@@ -1,0 +1,283 @@
+(* dgr — run programs on the distributed graph-reduction machine.
+
+   Subcommands:
+     dgr run FILE       evaluate a program (or -e EXPR) on the simulator
+     dgr check FILE     parse + compile only
+     dgr experiment ID  regenerate an experiment table (e1..e8, all)
+
+   See `dgr run --help` for the machine knobs. *)
+
+open Cmdliner
+open Dgr_sim
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level level
+
+let read_source file expr =
+  match (file, expr) with
+  | Some f, None -> Ok (In_channel.with_open_text f In_channel.input_all)
+  | None, Some e -> Ok ("def main = " ^ e ^ ";")
+  | Some _, Some _ -> Error "pass either FILE or --expr, not both"
+  | None, None -> Error "a FILE or --expr is required"
+
+let gc_of_string s ~deadlock_every ~idle_gap ~stw_every =
+  match s with
+  | "concurrent" -> Ok (Engine.Concurrent { deadlock_every; idle_gap })
+  | "stw" -> Ok (Engine.Stop_the_world { every = stw_every })
+  | "refcount" | "rc" -> Ok Engine.Refcount
+  | "none" -> Ok Engine.No_gc
+  | s -> Error (Printf.sprintf "unknown collector %S (concurrent|stw|refcount|none)" s)
+
+let policy_of_string = function
+  | "flat" -> Ok Pool.Flat
+  | "by-demand" -> Ok Pool.By_demand
+  | "dynamic" -> Ok Pool.Dynamic
+  | s -> Error (Printf.sprintf "unknown policy %S (flat|by-demand|dynamic)" s)
+
+let run_cmd file expr pes latency tasks_per_step gc_str heap idle_gap deadlock_every stw_every
+    policy_str marking_str recover_deadlock jitter seed no_speculate max_steps show_stats
+    dot_out log_level =
+  setup_logs log_level;
+  let ( let* ) = Result.bind in
+  let result =
+    let* source = read_source file expr in
+    let* gc = gc_of_string gc_str ~deadlock_every ~idle_gap ~stw_every in
+    let* policy = policy_of_string policy_str in
+    let* marking_scheme =
+      match marking_str with
+      | "tree" -> Ok Dgr_core.Cycle.Tree
+      | "flood" -> Ok Dgr_core.Cycle.Flood_counters
+      | s -> Error (Printf.sprintf "unknown marking scheme %S (tree|flood)" s)
+    in
+    let* g, templates =
+      try Ok (Dgr_lang.Compile.load_string ~num_pes:pes source) with
+      | Dgr_lang.Compile.Compile_error msg -> Error ("compile error: " ^ msg)
+      | Dgr_lang.Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+      | Dgr_lang.Lexer.Error (msg, pos) ->
+        Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+    in
+    let config =
+      {
+        Engine.num_pes = pes;
+        latency;
+        tasks_per_step;
+        marking_per_step = Engine.default_config.Engine.marking_per_step;
+        gc_work_factor = Engine.default_config.Engine.gc_work_factor;
+        heap_size = heap;
+        pool_policy = policy;
+        speculate_if = not no_speculate;
+        gc;
+        marking = marking_scheme;
+        recover_deadlock;
+        jitter;
+        seed;
+      }
+    in
+    let e = Engine.create ~config g templates in
+    Engine.inject_root_demand e;
+    let (_ : int) = Engine.run ~max_steps e in
+    (match Engine.result e with
+    | Some v -> Format.printf "result: %a@." Dgr_graph.Label.pp_value v
+    | None ->
+      Format.printf "no result after %d steps%s@." (Engine.now e)
+        (match Engine.cycle e with
+        | Some c
+          when not (Dgr_graph.Vid.Set.is_empty (Dgr_core.Cycle.deadlocked_ever c)) ->
+          " — deadlock detected: "
+          ^ String.concat ", "
+              (List.map Dgr_graph.Vid.to_string
+                 (Dgr_graph.Vid.Set.elements (Dgr_core.Cycle.deadlocked_ever c)))
+        | _ -> ""));
+    if show_stats then begin
+      Format.printf "%a@." Metrics.pp_summary (Engine.metrics e);
+      let red = Engine.reducer e in
+      Format.printf
+        "reducer: requests=%d responds=%d cancels=%d expansions=%d rewrites=%d stale=%d \
+         alloc-stalls=%d@."
+        red.Dgr_reduction.Reducer.requests_executed red.Dgr_reduction.Reducer.responds_executed
+        red.Dgr_reduction.Reducer.cancels_executed red.Dgr_reduction.Reducer.expansions
+        red.Dgr_reduction.Reducer.rewrites red.Dgr_reduction.Reducer.stale_dropped
+        red.Dgr_reduction.Reducer.alloc_stalls;
+      (match Engine.cycle e with
+      | Some c ->
+        Format.printf "gc: cycles=%d collected=%d deadlocked=%d@."
+          (Dgr_core.Cycle.cycles_completed c)
+          (Dgr_core.Cycle.total_garbage_collected c)
+          (Dgr_graph.Vid.Set.cardinal (Dgr_core.Cycle.deadlocked_ever c))
+      | None -> ());
+      match Engine.refcount e with
+      | Some rc ->
+        Format.printf "rc: reclaimed=%d messages=%d leaked=%d@."
+          (Dgr_baseline.Refcount.reclaimed rc)
+          (Dgr_baseline.Refcount.messages rc)
+          (List.length (Dgr_baseline.Refcount.leaked rc))
+      | None -> ()
+    end;
+    (match dot_out with
+    | Some path ->
+      Dgr_graph.Dot.to_file g path;
+      Format.printf "graph written to %s@." path
+    | None -> ());
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+    Format.eprintf "dgr: %s@." msg;
+    1
+
+let check_cmd file =
+  match
+    try
+      let source = In_channel.with_open_text file In_channel.input_all in
+      let program = Dgr_lang.Parser.parse_program source in
+      let (_ : Dgr_reduction.Template.registry) = Dgr_lang.Compile.compile_program program in
+      Ok (List.length program)
+    with
+    | Dgr_lang.Compile.Compile_error msg -> Error ("compile error: " ^ msg)
+    | Dgr_lang.Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+    | Dgr_lang.Lexer.Error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+    | Sys_error msg -> Error msg
+  with
+  | Ok n ->
+    Format.printf "%s: ok (%d definitions)@." file n;
+    0
+  | Error msg ->
+    Format.eprintf "dgr: %s@." msg;
+    1
+
+let experiment_cmd id =
+  match Dgr_harness.Experiments.run id with
+  | () -> 0
+  | exception Invalid_argument msg ->
+    Format.eprintf "dgr: %s@." msg;
+    1
+
+(* --- cmdliner plumbing ---------------------------------------------- *)
+
+let file_pos = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let expr_arg =
+  Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"EXPR"
+         ~doc:"Evaluate $(docv) instead of a file (becomes $(b,def main = EXPR;)).")
+
+let pes_arg =
+  Arg.(value & opt int 4 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Number of processing elements.")
+
+let latency_arg =
+  Arg.(value & opt int 4 & info [ "latency" ] ~docv:"STEPS" ~doc:"Cross-PE message latency.")
+
+let tps_arg =
+  Arg.(value & opt int 2 & info [ "tasks-per-step" ] ~docv:"N"
+         ~doc:"Per-PE reduction bandwidth per step.")
+
+let gc_arg =
+  Arg.(value & opt string "concurrent" & info [ "gc" ] ~docv:"MODE"
+         ~doc:"Memory management: $(b,concurrent) (the paper's), $(b,stw), $(b,refcount), \
+               $(b,none).")
+
+let heap_arg =
+  Arg.(value & opt (some int) (Some 50_000) & info [ "heap" ] ~docv:"N"
+         ~doc:"Vertex-table bound (finite V, §2.2); 0 or negative for unbounded.")
+
+let idle_gap_arg =
+  Arg.(value & opt int 50 & info [ "idle-gap" ] ~docv:"STEPS"
+         ~doc:"Steps between concurrent GC cycles.")
+
+let deadlock_every_arg =
+  Arg.(value & opt int 1 & info [ "deadlock-every" ] ~docv:"K"
+         ~doc:"Run M_T (deadlock detection) every K-th cycle; 0 disables it.")
+
+let stw_every_arg =
+  Arg.(value & opt int 400 & info [ "stw-every" ] ~docv:"STEPS"
+         ~doc:"Stop-the-world collection period.")
+
+let policy_arg =
+  Arg.(value & opt string "dynamic" & info [ "policy" ] ~docv:"P"
+         ~doc:"Task-pool policy: $(b,flat), $(b,by-demand), $(b,dynamic).")
+
+let marking_arg =
+  Arg.(value & opt string "tree" & info [ "marking" ] ~docv:"SCHEME"
+         ~doc:"Marking bookkeeping: $(b,tree) (Figs 4-1/5-1) or $(b,flood) (the §6 \
+               two-counters-per-PE optimization).")
+
+let recover_arg =
+  Arg.(value & flag & info [ "recover-deadlock" ]
+         ~doc:"Rewrite detected deadlocked operators to an error value (footnote 5's \
+               is-bottom pseudo-function) instead of only reporting them.")
+
+let jitter_arg =
+  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"P"
+         ~doc:"Probability of extra (seeded) delay on remote messages.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the machine's randomness.")
+
+let no_spec_arg =
+  Arg.(value & flag & info [ "no-speculation" ]
+         ~doc:"Disable eager evaluation of conditional branches (pure laziness).")
+
+let max_steps_arg =
+  Arg.(value & opt int 1_000_000 & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Simulation step budget.")
+
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print run metrics.")
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH"
+         ~doc:"Write the final graph as Graphviz DOT.")
+
+let heap_normalize = function Some n when n <= 0 -> None | h -> h
+
+let run_term =
+  Term.(
+    const
+      (fun file expr pes latency tps gc heap idle dle stw policy marking recover jitter seed
+           nospec ms stats dot ->
+        run_cmd file expr pes latency tps gc (heap_normalize heap) idle dle stw policy marking
+          recover jitter seed nospec ms stats dot (Some Logs.Warning))
+    $ file_pos $ expr_arg $ pes_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg
+    $ idle_gap_arg $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg
+    $ recover_arg $ jitter_arg $ seed_arg $ no_spec_arg $ max_steps_arg $ stats_arg $ dot_arg)
+
+let run_cmd_v =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Evaluate a program on the simulated distributed machine.")
+    run_term
+
+let check_term =
+  Term.(
+    const (fun file ->
+        match file with
+        | Some f -> check_cmd f
+        | None ->
+          Format.eprintf "dgr: a FILE is required@.";
+          1)
+    $ file_pos)
+
+let check_cmd_v =
+  Cmd.v (Cmd.info "check" ~doc:"Parse and compile a program without running it.") check_term
+
+let experiment_term =
+  Term.(
+    const experiment_cmd
+    $ Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
+             ~doc:"Experiment id: e1..e8 or all."))
+
+let experiment_cmd_v =
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate an experiment table (see EXPERIMENTS.md).")
+    experiment_term
+
+let main =
+  Cmd.group
+    (Cmd.info "dgr" ~version:"1.0.0"
+       ~doc:"Distributed graph reduction with decentralized concurrent marking (Hudak, PODC \
+             1983).")
+    [ run_cmd_v; check_cmd_v; experiment_cmd_v ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/deadlock_detection.ml: Dgr_analysis Dgr_core Dgr_graph Dgr_lang Dgr_sim Engine Format Graph Label Metrics Option Snapshot Vertex Vid

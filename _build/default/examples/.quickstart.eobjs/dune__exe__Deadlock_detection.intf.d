@@ -1,0 +1,1 @@
+examples/deadlock_detection.mli:

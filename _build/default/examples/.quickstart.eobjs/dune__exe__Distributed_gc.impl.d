@@ -1,0 +1,1 @@
+examples/distributed_gc.ml: Builder Dgr_baseline Dgr_core Dgr_graph Dgr_reduction Dgr_sim Engine Format Graph Label List Vertex Vid

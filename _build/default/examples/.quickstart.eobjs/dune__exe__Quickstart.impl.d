@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dgr_core Dgr_graph Dgr_lang Dgr_sim Engine Format Metrics

@@ -1,0 +1,1 @@
+examples/speculative_eval.ml: Dgr_graph Dgr_lang Dgr_reduction Dgr_sim Engine Format List Metrics Pool

@@ -1,0 +1,1 @@
+examples/speculative_eval.mli:

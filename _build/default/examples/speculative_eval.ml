@@ -1,0 +1,54 @@
+(* Speculative evaluation and dynamic task priorities (§3.2).
+
+   The program's conditional has a slow predicate; both branches are
+   requested eagerly. The losing branch is a large computation whose
+   tasks all become irrelevant the moment the predicate resolves — the
+   marking cycle then classifies them, the restructuring phase deletes
+   them, and pool priorities keep the vital chain ahead of the
+   speculative noise meanwhile.
+
+   The same workload is run under the three pool policies of E8 so the
+   effect of marking-driven prioritization is visible directly.
+
+     dune exec examples/speculative_eval.exe *)
+
+open Dgr_sim
+
+let source = Dgr_lang.Prelude.speculative 40
+
+let run policy =
+  let config =
+    {
+      Engine.default_config with
+      pool_policy = policy;
+      gc = Engine.Concurrent { deadlock_every = 0; idle_gap = 20 };
+      heap_size = Some 20_000;
+    }
+  in
+  let graph, templates = Dgr_lang.Compile.load_string ~num_pes:4 source in
+  let engine = Engine.create ~config graph templates in
+  Engine.inject_root_demand engine;
+  let (_ : int) = Engine.run ~max_steps:150_000 engine in
+  (engine, Engine.metrics engine)
+
+let () =
+  Format.printf
+    "workload: if slowly(40) == 0 then 42 else burn(18)   (burn explodes speculatively)@.@.";
+  List.iter
+    (fun (name, policy) ->
+      let engine, m = run policy in
+      let red = Engine.reducer engine in
+      (match Engine.result engine with
+      | Some v ->
+        Format.printf "%-10s result %a after %6d steps" name Dgr_graph.Label.pp_value v
+          (match m.Metrics.completion_step with Some s -> s | None -> Engine.now engine)
+      | None -> Format.printf "%-10s DID NOT FINISH within the budget" name);
+      Format.printf
+        " | cancels=%d purged=%d alloc-stalls=%d peak-live=%d@."
+        red.Dgr_reduction.Reducer.cancels_executed m.Metrics.tasks_purged
+        red.Dgr_reduction.Reducer.alloc_stalls m.Metrics.peak_live)
+    [ ("flat", Pool.Flat); ("by-demand", Pool.By_demand); ("dynamic", Pool.Dynamic) ];
+  Format.printf
+    "@.flat pools let the speculative explosion starve the vital chain; demand-aware and@.";
+  Format.printf
+    "marking-driven (dynamic) pools keep the 42 coming while speculation is contained.@."

@@ -1,0 +1,1 @@
+lib/analysis/classify.ml: Array Dgr_graph Dgr_task Format List Reach Snapshot Task Vid

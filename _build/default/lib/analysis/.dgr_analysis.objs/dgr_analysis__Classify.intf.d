@@ -1,0 +1,1 @@
+lib/analysis/classify.mli: Dgr_graph Dgr_task Format Reach Snapshot Task Vid

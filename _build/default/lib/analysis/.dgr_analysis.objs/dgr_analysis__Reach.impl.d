@@ -1,0 +1,1 @@
+lib/analysis/reach.ml: Array Dgr_graph Dgr_task Int List Queue Snapshot Task Vertex Vid

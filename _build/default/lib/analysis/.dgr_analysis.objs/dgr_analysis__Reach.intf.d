@@ -1,0 +1,1 @@
+lib/analysis/reach.mli: Dgr_graph Dgr_task Snapshot Task Vid

@@ -1,0 +1,112 @@
+open Dgr_graph
+open Dgr_task
+
+type t = {
+  root_reachable : Vid.Set.t;
+  best_priority : int Vid.Map.t;
+  r_v : Vid.Set.t;
+  r_e : Vid.Set.t;
+  r_r : Vid.Set.t;
+  task_reachable : Vid.Set.t;
+}
+
+let request_type (v : Snapshot.vertex) c =
+  if List.exists (Vid.equal c) v.Snapshot.req_v then 3
+  else if List.exists (Vid.equal c) v.Snapshot.req_e then 2
+  else 1
+
+let bfs snap ~seeds ~children =
+  let visited = ref Vid.Set.empty in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if (not (Vid.Set.mem v !visited)) && not (Snapshot.vertex snap v).Snapshot.free then begin
+        visited := Vid.Set.add v !visited;
+        Queue.add v queue
+      end)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun c ->
+        if (not (Vid.Set.mem c !visited)) && not (Snapshot.vertex snap c).Snapshot.free then begin
+          visited := Vid.Set.add c !visited;
+          Queue.add c queue
+        end)
+      (children (Snapshot.vertex snap v))
+  done;
+  !visited
+
+let reachable_from snap seeds = bfs snap ~seeds ~children:(fun v -> v.Snapshot.args)
+
+let mapsto_children (v : Snapshot.vertex) =
+  let requesters =
+    List.filter_map (fun (e : Vertex.request_entry) -> e.Vertex.who) v.Snapshot.requested
+  in
+  let requested_args = v.Snapshot.req_v @ v.Snapshot.req_e in
+  let unreq =
+    List.filter (fun c -> not (List.exists (Vid.equal c) requested_args)) v.Snapshot.args
+  in
+  requesters @ unreq
+
+let task_reachable_from snap tasks =
+  let seeds = List.concat_map Task.reduction_endpoints tasks in
+  bfs snap ~seeds ~children:mapsto_children
+
+(* Max-min priority fixpoint: prio(root) = 3,
+   prio(c) >= min(prio(v), request-type(c, v)). Processing vertices in
+   descending priority order (3 then 2 then 1) gives each vertex its final
+   value the first time it is assigned, so a simple bucketed BFS
+   suffices. *)
+let best_priorities snap =
+  match snap.Snapshot.root with
+  | None -> Vid.Map.empty
+  | Some root when (Snapshot.vertex snap root).Snapshot.free -> Vid.Map.empty
+  | Some root ->
+    let prio = ref Vid.Map.empty in
+    let buckets = [| Queue.create (); Queue.create (); Queue.create () |] in
+    (* bucket index = priority - 1 *)
+    let assign v p =
+      match Vid.Map.find_opt v !prio with
+      | Some q when q >= p -> ()
+      | Some _ | None ->
+        prio := Vid.Map.add v p !prio;
+        Queue.add v buckets.(p - 1)
+    in
+    assign root 3;
+    for p = 3 downto 1 do
+      let bucket = buckets.(p - 1) in
+      while not (Queue.is_empty bucket) do
+        let v = Queue.pop bucket in
+        (* Skip entries superseded by a later, higher assignment. *)
+        if Vid.Map.find_opt v !prio = Some p then begin
+          let vx = Snapshot.vertex snap v in
+          List.iter
+            (fun c ->
+              if not (Snapshot.vertex snap c).Snapshot.free then
+                assign c (Int.min p (request_type vx c)))
+            vx.Snapshot.args
+        end
+      done
+    done;
+    !prio
+
+let compute snap ~tasks =
+  let root_reachable =
+    match snap.Snapshot.root with
+    | None -> Vid.Set.empty
+    | Some root -> reachable_from snap [ root ]
+  in
+  let best_priority = best_priorities snap in
+  let set_of p =
+    Vid.Map.fold (fun v q acc -> if q = p then Vid.Set.add v acc else acc) best_priority
+      Vid.Set.empty
+  in
+  {
+    root_reachable;
+    best_priority;
+    r_v = set_of 3;
+    r_e = set_of 2;
+    r_r = set_of 1;
+    task_reachable = task_reachable_from snap tasks;
+  }

@@ -1,0 +1,37 @@
+open Dgr_graph
+open Dgr_task
+
+(** The reachability oracle — global, stop-the-world evaluation of the
+    paper's set definitions (§2.2, §3.2) over an immutable snapshot.
+
+    This module is the ground truth the decentralized algorithms are
+    tested against: [Dgr_core] must compute the same sets while the graph
+    mutates under it.
+
+    Conventions: the paper's priority encoding is used throughout — the
+    {e best priority} of a vertex is the maximum over all root paths of
+    the minimum request-type along the path (3 all-vital path, 2 a path
+    through requested args with at least one eager arc, 1 a path with an
+    un-requested arc; 0 = unreachable). Then R_v / R_e / R_r are the
+    vertices of best priority 3 / 2 / 1, which matches both §3.2's path
+    formulations and what a completed M_R leaves in [prior]. *)
+
+type t = {
+  root_reachable : Vid.Set.t;  (** R: reachable from the root via args *)
+  best_priority : int Vid.Map.t;  (** 3/2/1 for vertices in R, absent = 0 *)
+  r_v : Vid.Set.t;  (** best priority 3 *)
+  r_e : Vid.Set.t;  (** best priority 2 *)
+  r_r : Vid.Set.t;  (** best priority 1 *)
+  task_reachable : Vid.Set.t;
+      (** T: reachable from some task's endpoints via
+          requested ∪ (args − req-args) *)
+}
+
+val compute : Snapshot.t -> tasks:Task.reduction list -> t
+
+val reachable_from : Snapshot.t -> Vid.t list -> Vid.Set.t
+(** Plain args-reachability from a seed set (helper, also used by the
+    stop-the-world baseline). *)
+
+val task_reachable_from : Snapshot.t -> Task.reduction list -> Vid.Set.t
+(** T-style reachability (the [↦*] relation) from task endpoints. *)

@@ -1,0 +1,1 @@
+lib/baseline/refcount.ml: Dgr_analysis Dgr_graph Graph Hashtbl List Option Snapshot Vertex Vid

@@ -1,0 +1,1 @@
+lib/baseline/refcount.mli: Dgr_graph Graph Vid

@@ -1,0 +1,1 @@
+lib/baseline/stw.ml: Dgr_analysis Dgr_graph Dgr_task Graph List Snapshot Task Vertex Vid

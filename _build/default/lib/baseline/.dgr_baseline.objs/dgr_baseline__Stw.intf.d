@@ -1,0 +1,1 @@
+lib/baseline/stw.mli: Dgr_graph Dgr_task Graph Task

@@ -1,0 +1,87 @@
+open Dgr_graph
+
+type t = {
+  g : Graph.t;
+  counts : (Vid.t, int) Hashtbl.t;
+  mutable reclaimed : int;
+  mutable messages : int;
+  mutable on_free : Vid.t -> unit;
+}
+
+let count t v = Option.value ~default:0 (Hashtbl.find_opt t.counts v)
+
+let set t v n = Hashtbl.replace t.counts v n
+
+let create g =
+  let t =
+    { g; counts = Hashtbl.create 256; reclaimed = 0; messages = 0; on_free = ignore }
+  in
+  (* Adopt edges that existed before the collector was attached (the
+     initial program graph). *)
+  Graph.iter_live
+    (fun v -> List.iter (fun c -> set t c (count t c + 1)) v.Vertex.args)
+    g;
+  t
+
+let set_on_free t f = t.on_free <- f
+
+let tally_message t parent child =
+  if
+    Graph.mem t.g parent && Graph.mem t.g child
+    && (Graph.vertex t.g parent).Vertex.pe <> (Graph.vertex t.g child).Vertex.pe
+  then t.messages <- t.messages + 1
+
+let on_connect t parent child =
+  tally_message t parent child;
+  set t child (count t child + 1)
+
+let is_root t v = Graph.has_root t.g && Vid.equal (Graph.root t.g) v
+
+let rec release t v =
+  let vx = Graph.vertex t.g v in
+  if not vx.Vertex.free then begin
+    let children = vx.Vertex.args in
+    t.reclaimed <- t.reclaimed + 1;
+    t.on_free v;
+    Graph.release t.g v;
+    Hashtbl.remove t.counts v;
+    List.iter
+      (fun c ->
+        tally_message t v c;
+        decrement t c)
+      children
+  end
+
+and decrement t v =
+  let n = count t v - 1 in
+  if n < 0 then ()
+  else begin
+    set t v n;
+    if n = 0 && not (is_root t v) then release t v
+  end
+
+let on_disconnect t parent child =
+  tally_message t parent child;
+  decrement t child
+
+let pin t v = set t v (count t v + 1)
+
+let unpin t v = decrement t v
+
+let reclaimed t = t.reclaimed
+
+let messages t = t.messages
+
+let leaked t =
+  let snap = Snapshot.take t.g in
+  let reachable =
+    if Graph.has_root t.g then Dgr_analysis.Reach.reachable_from snap [ Graph.root t.g ]
+    else Vid.Set.empty
+  in
+  Graph.fold_live
+    (fun acc v ->
+      if (not (Vid.Set.mem v.Vertex.id reachable)) && count t v.Vertex.id > 0 then
+        v.Vertex.id :: acc
+      else acc)
+    [] t.g
+  |> List.rev

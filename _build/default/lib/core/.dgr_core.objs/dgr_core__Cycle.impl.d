@@ -1,0 +1,1 @@
+lib/core/cycle.ml: Dgr_graph Dgr_task Flood Graph List Marker Mutator Option Plane Restructure Run Task Termination Vertex Vid

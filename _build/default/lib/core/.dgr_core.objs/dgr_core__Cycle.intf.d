@@ -1,0 +1,1 @@
+lib/core/cycle.mli: Dgr_graph Dgr_task Flood Graph Mutator Plane Restructure Run Task Vid

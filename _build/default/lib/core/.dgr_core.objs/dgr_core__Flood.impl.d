@@ -1,0 +1,1 @@
+lib/core/flood.ml: Array Dgr_graph Dgr_task Graph List Plane Run Task Trace Vertex

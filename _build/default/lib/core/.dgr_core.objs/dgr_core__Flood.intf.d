@@ -1,0 +1,1 @@
+lib/core/flood.mli: Dgr_graph Dgr_task Graph Plane Run Task Vid

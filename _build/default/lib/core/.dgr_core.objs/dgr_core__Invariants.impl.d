@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Dgr_graph Dgr_task Graph List Plane Printf Run String Task Trace Vertex Vid

@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Dgr_task Run Task

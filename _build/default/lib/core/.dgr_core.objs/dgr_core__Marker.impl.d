@@ -1,0 +1,1 @@
+lib/core/marker.ml: Dgr_graph Dgr_task Format Graph List Plane Run Task Trace Vertex Vid

@@ -1,0 +1,1 @@
+lib/core/marker.mli: Dgr_graph Dgr_task Run Task Vid

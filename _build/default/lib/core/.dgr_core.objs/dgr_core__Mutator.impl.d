@@ -1,0 +1,1 @@
+lib/core/mutator.ml: Dgr_graph Dgr_task Flood Graph Int List Marker Plane Printf Run Task Trace Vertex Vid

@@ -1,0 +1,1 @@
+lib/core/mutator.mli: Demand Dgr_graph Dgr_task Flood Graph Run Task Vertex Vid

@@ -1,0 +1,1 @@
+lib/core/restructure.ml: Dgr_graph Dgr_task Format Graph List Plane Task Vertex Vid

@@ -1,0 +1,1 @@
+lib/core/restructure.mli: Dgr_graph Dgr_task Format Graph Task Vid

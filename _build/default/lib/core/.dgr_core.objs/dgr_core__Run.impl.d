@@ -1,0 +1,1 @@
+lib/core/run.ml: Dgr_graph Format Graph Plane

@@ -1,0 +1,1 @@
+lib/core/run.mli: Dgr_graph Format Graph Plane

@@ -1,0 +1,1 @@
+lib/core/sync_engine.ml: Dgr_graph Dgr_task Dgr_util Fun Graph List Marker Mutator Plane Rng Run Task Vec

@@ -1,0 +1,1 @@
+lib/core/sync_engine.mli: Dgr_graph Dgr_task Dgr_util Graph Mutator Run Task Vid

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Dgr_graph Graph Int List Plane Vertex

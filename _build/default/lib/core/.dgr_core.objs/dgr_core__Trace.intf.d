@@ -1,0 +1,1 @@
+lib/core/trace.mli: Dgr_graph Graph Plane Vid

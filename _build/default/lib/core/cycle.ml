@@ -1,0 +1,208 @@
+open Dgr_graph
+open Dgr_task
+
+type env = {
+  spawn_mark : Task.mark -> unit;
+  reduction_tasks : unit -> Task.reduction list;
+  purge_tasks : (Task.t -> bool) -> int;
+  reprioritize : unit -> int;
+  now : unit -> int;
+}
+
+type phase = Idle | Mark_tasks | Mark_root
+
+type scheme = Tree | Flood_counters
+
+type handler = Tree_run of Run.t | Flood_run of Flood.t
+
+type t = {
+  g : Graph.t;
+  mut : Mutator.t;
+  env : env;
+  deadlock_every : int;
+  cycle_scheme : scheme;
+  detection_window : int;
+  mutable phase : phase;
+  mutable mr_run : Run.t option;
+  mutable mt_run : Run.t option;
+  mutable mr_flood : Flood.t option;
+  mutable mt_flood : Flood.t option;
+  mutable detector : Termination.t;
+  mutable mt_ran_this_cycle : bool;
+  mutable cycles : int;
+  mutable last_report : Restructure.report option;
+  mutable deadlocked_ever : Vid.Set.t;
+  mutable total_garbage : int;
+  mutable mr_marks : int;
+  mutable mt_marks : int;
+}
+
+let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) g mut env =
+  {
+    g;
+    mut;
+    env;
+    deadlock_every;
+    cycle_scheme = scheme;
+    detection_window;
+    phase = Idle;
+    mr_run = None;
+    mt_run = None;
+    mr_flood = None;
+    mt_flood = None;
+    detector = Termination.create ~window:detection_window;
+    mt_ran_this_cycle = false;
+    cycles = 0;
+    last_report = None;
+    deadlocked_ever = Vid.Set.empty;
+    total_garbage = 0;
+    mr_marks = 0;
+    mt_marks = 0;
+  }
+
+let scheme t = t.cycle_scheme
+
+let phase t = t.phase
+
+let graph t = t.g
+
+let seed run env v =
+  Run.seed_added run;
+  env.spawn_mark (Marker.seed_for run v)
+
+let flood_seed fl env v =
+  Flood.count_seed fl ~pe:0;
+  env.spawn_mark (Flood.seed_for fl v)
+
+let mt_seed_set t =
+  List.fold_left
+    (fun acc task ->
+      List.fold_left (fun acc v -> Vid.Set.add v acc) acc (Task.reduction_endpoints task))
+    Vid.Set.empty (t.env.reduction_tasks ())
+
+let start_mark_root t =
+  Graph.reset_plane t.g Plane.MR;
+  t.phase <- Mark_root;
+  match t.cycle_scheme with
+  | Tree ->
+    let run = Run.create t.g Run.Priority in
+    t.mr_run <- Some run;
+    Mutator.set_active t.mut [ run ];
+    if Graph.has_root t.g then begin
+      let root = Graph.root t.g in
+      if not (Graph.vertex t.g root).Vertex.free then seed run t.env root
+    end;
+    Run.check_trivially_finished run
+  | Flood_counters ->
+    let fl = Flood.create t.g Run.Priority in
+    t.mr_flood <- Some fl;
+    t.detector <- Termination.create ~window:t.detection_window;
+    Mutator.set_active_flood t.mut [ fl ];
+    if Graph.has_root t.g then begin
+      let root = Graph.root t.g in
+      if not (Graph.vertex t.g root).Vertex.free then flood_seed fl t.env root
+    end
+
+let start_mark_tasks t =
+  Graph.reset_plane t.g Plane.MT;
+  t.mt_ran_this_cycle <- true;
+  t.phase <- Mark_tasks;
+  let seeds = mt_seed_set t in
+  match t.cycle_scheme with
+  | Tree ->
+    let run = Run.create t.g Run.Tasks in
+    t.mt_run <- Some run;
+    Mutator.set_active t.mut [ run ];
+    Vid.Set.iter
+      (fun v -> if not (Graph.vertex t.g v).Vertex.free then seed run t.env v)
+      seeds;
+    Run.check_trivially_finished run
+  | Flood_counters ->
+    let fl = Flood.create t.g Run.Tasks in
+    t.mt_flood <- Some fl;
+    t.detector <- Termination.create ~window:t.detection_window;
+    Mutator.set_active_flood t.mut [ fl ];
+    Vid.Set.iter
+      (fun v -> if not (Graph.vertex t.g v).Vertex.free then flood_seed fl t.env v)
+      seeds
+
+let start_cycle t =
+  if t.phase <> Idle then invalid_arg "Cycle.start_cycle: cycle already in progress";
+  t.mt_ran_this_cycle <- false;
+  let with_deadlock = t.deadlock_every > 0 && t.cycles mod t.deadlock_every = 0 in
+  if with_deadlock then start_mark_tasks t else start_mark_root t
+
+let finish_cycle t =
+  Mutator.set_active t.mut [];
+  Mutator.set_active_flood t.mut [];
+  (match t.mr_run with Some r -> t.mr_marks <- t.mr_marks + r.Run.marks_executed | None -> ());
+  (match t.mt_run with Some r -> t.mt_marks <- t.mt_marks + r.Run.marks_executed | None -> ());
+  (match t.mr_flood with
+  | Some f -> t.mr_marks <- t.mr_marks + f.Flood.marks_executed
+  | None -> ());
+  (match t.mt_flood with
+  | Some f -> t.mt_marks <- t.mt_marks + f.Flood.marks_executed
+  | None -> ());
+  let report =
+    Restructure.run ~graph:t.g ~deadlock_checked:t.mt_ran_this_cycle
+      ~purge_tasks:t.env.purge_tasks ~reprioritize:t.env.reprioritize ()
+  in
+  t.phase <- Idle;
+  t.cycles <- t.cycles + 1;
+  t.last_report <- Some report;
+  t.deadlocked_ever <-
+    List.fold_left (fun acc v -> Vid.Set.add v acc) t.deadlocked_ever report.deadlocked;
+  t.total_garbage <- t.total_garbage + List.length report.Restructure.garbage;
+  t.mr_run <- None;
+  t.mt_run <- None;
+  t.mr_flood <- None;
+  t.mt_flood <- None;
+  report
+
+(* Flood-scheme completion: the per-PE counters balance and stay balanced
+   across the detection window. *)
+let flood_finished t fl =
+  Termination.observe t.detector ~now:(t.env.now ())
+    ~sent:(Flood.sent_total fl) ~executed:(Flood.executed_total fl);
+  Termination.terminated t.detector
+
+let phase_finished t =
+  match (t.phase, t.cycle_scheme) with
+  | Idle, _ -> false
+  | Mark_tasks, Tree -> (
+    match t.mt_run with Some run -> run.Run.finished | None -> false)
+  | Mark_root, Tree -> (
+    match t.mr_run with Some run -> run.Run.finished | None -> false)
+  | Mark_tasks, Flood_counters -> (
+    match t.mt_flood with Some fl -> flood_finished t fl | None -> false)
+  | Mark_root, Flood_counters -> (
+    match t.mr_flood with Some fl -> flood_finished t fl | None -> false)
+
+let poll t =
+  match t.phase with
+  | Idle -> None
+  | Mark_tasks ->
+    if phase_finished t then start_mark_root t;
+    None
+  | Mark_root -> if phase_finished t then Some (finish_cycle t) else None
+
+let run_for_plane t = function Plane.MR -> t.mr_run | Plane.MT -> t.mt_run
+
+let handler_for_plane t plane =
+  match (t.cycle_scheme, plane) with
+  | Tree, Plane.MR -> Option.map (fun r -> Tree_run r) t.mr_run
+  | Tree, Plane.MT -> Option.map (fun r -> Tree_run r) t.mt_run
+  | Flood_counters, Plane.MR -> Option.map (fun f -> Flood_run f) t.mr_flood
+  | Flood_counters, Plane.MT -> Option.map (fun f -> Flood_run f) t.mt_flood
+
+let cycles_completed t = t.cycles
+
+let last_report t = t.last_report
+
+let deadlocked_ever t = t.deadlocked_ever
+
+let total_garbage_collected t = t.total_garbage
+
+let mr_marks_total t = t.mr_marks
+
+let mt_marks_total t = t.mt_marks

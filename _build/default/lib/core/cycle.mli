@@ -1,0 +1,89 @@
+open Dgr_graph
+open Dgr_task
+
+(** The endless mark/restructure cycle (§4, §5).
+
+    A [Cycle.t] is the controller state machine driving garbage collection
+    concurrently with the reduction process:
+
+    {v Idle → [Mark_tasks (M_T)] → Mark_root (M_R) → restructure → Idle v}
+
+    M_T runs {e before} M_R within a cycle (required by Theorem 2) and only
+    on every [deadlock_every]-th cycle (§6: "our approach is to execute
+    M_T only occasionally"). The controller is polled by the engine after
+    every simulation step; phase transitions are detected by run
+    completion. The restructuring phase executes atomically inside one
+    poll — its cost is what the engine reports as "pause" in E4.
+
+    M_T's seeds are the endpoints of every reduction task currently in a
+    pool or in flight — the [troot]/[taskroot_i] construction of §5.2
+    flattened, with in-transit tasks made visible by the environment
+    snapshot (the paper defers that mechanism to [5]). *)
+
+type env = {
+  spawn_mark : Task.mark -> unit;  (** route into the owning PE's pool *)
+  reduction_tasks : unit -> Task.reduction list;
+      (** all pending/in-flight reduction tasks, pools + network *)
+  purge_tasks : (Task.t -> bool) -> int;
+  reprioritize : unit -> int;
+  now : unit -> int;
+      (** simulation clock, for flood-scheme termination detection *)
+}
+
+type phase = Idle | Mark_tasks | Mark_root
+
+type scheme = Tree | Flood_counters
+(** [Tree]: the marking-tree algorithm of Figs 4-1/5-1/5-3 (per-vertex
+    mt-cnt/mt-par, return tasks, [done] via rootpar). [Flood_counters]:
+    the §6 space optimization — no returns, two counter words per PE,
+    termination by counting (see {!Flood} and {!Termination}). *)
+
+type handler = Tree_run of Run.t | Flood_run of Flood.t
+(** What the engine must hand a marking task to. *)
+
+type t
+
+val create :
+  ?deadlock_every:int -> ?scheme:scheme -> ?detection_window:int -> Graph.t -> Mutator.t ->
+  env -> t
+(** [deadlock_every = k]: every k-th cycle also runs M_T (default 1 =
+    every cycle; 0 = never detect deadlock). [scheme] defaults to [Tree];
+    [detection_window] (default 8) is the flood scheme's termination-wave
+    round trip in steps. The mutator's active lists are managed by this
+    controller from here on. *)
+
+val scheme : t -> scheme
+
+val phase : t -> phase
+
+val graph : t -> Graph.t
+
+val start_cycle : t -> unit
+(** Begin marking from [Idle]. Raises [Invalid_argument] if a cycle is
+    already in progress. No-op graphs (no root) still cycle: an absent
+    root means everything live is garbage. *)
+
+val poll : t -> Restructure.report option
+(** Advance the state machine if the current run has finished; returns the
+    cycle report when a cycle completes (restructure just ran). *)
+
+val run_for_plane : t -> Plane.id -> Run.t option
+(** The tree run whose tasks the engine should hand to [Marker.execute]
+    ([None] under the flood scheme — use {!handler_for_plane}). *)
+
+val handler_for_plane : t -> Plane.id -> handler option
+(** Scheme-agnostic dispatch for the engine. *)
+
+val cycles_completed : t -> int
+
+val last_report : t -> Restructure.report option
+
+val deadlocked_ever : t -> Vid.Set.t
+(** Union of all deadlock reports so far. *)
+
+val total_garbage_collected : t -> int
+
+val mr_marks_total : t -> int
+(** Cumulative mark-task executions across completed M_R runs. *)
+
+val mt_marks_total : t -> int

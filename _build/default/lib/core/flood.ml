@@ -1,0 +1,90 @@
+open Dgr_graph
+open Dgr_task
+open Task
+
+type t = {
+  graph : Graph.t;
+  plane : Plane.id;
+  variant : Run.variant;
+  sent : int array;
+  executed : int array;
+  mutable marks_executed : int;
+}
+
+let create graph variant =
+  let n = Graph.num_pes graph in
+  {
+    graph;
+    plane = Run.plane_of_variant variant;
+    variant;
+    sent = Array.make n 0;
+    executed = Array.make n 0;
+    marks_executed = 0;
+  }
+
+let pe_slot t pe = if pe >= 0 && pe < Array.length t.sent then pe else 0
+
+let count_seed t ~pe = t.sent.(pe_slot t pe) <- t.sent.(pe_slot t pe) + 1
+
+let count_coop_spawn t ~pe = count_seed t ~pe
+
+let count_executed t ~pe =
+  t.executed.(pe_slot t pe) <- t.executed.(pe_slot t pe) + 1;
+  t.marks_executed <- t.marks_executed + 1
+
+let mark_task_for t ~v ~prior =
+  match t.variant with
+  | Run.Basic -> Mark1 { v; par = Plane.Rootpar }
+  | Run.Priority -> Mark2 { v; par = Plane.Rootpar; prior }
+  | Run.Tasks -> Mark3 { v; par = Plane.Rootpar }
+
+(* The flood never uses mt-par; seeds and spawned tasks alike carry the
+   dummy Rootpar so a task printout distinguishes the schemes. *)
+let seed_for t v = mark_task_for t ~v ~prior:3
+
+let mark_task t ~v ~prior = mark_task_for t ~v ~prior
+
+let spawn_children t ~pe ~v ~prior =
+  let g = t.graph in
+  List.map
+    (fun c ->
+      count_seed t ~pe;
+      mark_task_for t ~v:c ~prior:(Trace.child_priority g v prior c))
+    (Trace.children g t.plane v)
+
+let execute t ~pe task =
+  (match task with
+  | Return _ -> invalid_arg "Flood.execute: this scheme has no return tasks"
+  | Mark1 _ | Mark2 _ | Mark3 _ ->
+    if Task.plane_of_mark task <> t.plane then
+      invalid_arg "Flood.execute: task for the wrong plane");
+  count_executed t ~pe;
+  match task with
+  | Return _ -> assert false
+  | Mark1 { v; _ } | Mark3 { v; _ } ->
+    let vx = Graph.vertex t.graph v in
+    let plane = Vertex.plane vx t.plane in
+    if vx.Vertex.free || Plane.marked plane then []
+    else begin
+      Plane.mark plane;
+      spawn_children t ~pe ~v ~prior:3
+    end
+  | Mark2 { v; prior; _ } ->
+    let vx = Graph.vertex t.graph v in
+    let plane = Vertex.plane vx t.plane in
+    if vx.Vertex.free then []
+    else if Plane.marked plane && prior <= plane.Plane.prior then []
+    else begin
+      (* first visit, or a strictly higher priority: (re-)flood *)
+      Plane.mark plane;
+      plane.Plane.prior <- prior;
+      spawn_children t ~pe ~v ~prior
+    end
+
+let sent_total t = Array.fold_left ( + ) 0 t.sent
+
+let executed_total t = Array.fold_left ( + ) 0 t.executed
+
+let outstanding t = sent_total t - executed_total t
+
+let bookkeeping_words t = 2 * Array.length t.sent

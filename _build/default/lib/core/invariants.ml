@@ -1,0 +1,65 @@
+open Dgr_graph
+open Dgr_task
+open Task
+
+let check run ~pending =
+  let g = run.Run.graph in
+  let plane_id = run.Run.plane in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Only this run's tasks are relevant. *)
+  let pending = List.filter (fun m -> Task.plane_of_mark m = plane_id) pending in
+  let pending_mark_on c =
+    List.exists
+      (function
+        | Mark1 { v; _ } | Mark2 { v; _ } | Mark3 { v; _ } -> Vid.equal v c
+        | Return _ -> false)
+      pending
+  in
+  let credits v =
+    List.length
+      (List.filter
+         (function
+           | Mark1 { par; _ } | Mark2 { par; _ } | Mark3 { par; _ } | Return { par; _ } ->
+             par = Plane.Parent v)
+         pending)
+  in
+  let transient_children_of v =
+    Graph.fold_live
+      (fun acc c ->
+        let p = Vertex.plane c plane_id in
+        if Plane.transient p && p.Plane.par = Plane.Parent v then acc + 1 else acc)
+      0 g
+  in
+  Graph.iter_live
+    (fun vx ->
+      let v = vx.Vertex.id in
+      let p = Vertex.plane vx plane_id in
+      let children = Trace.children g plane_id v in
+      if Plane.transient p then
+        List.iter
+          (fun c ->
+            let cp = Vertex.plane (Graph.vertex g c) plane_id in
+            if Plane.unmarked cp && not (pending_mark_on c) then
+              err "invariant 1: transient v%d has unmarked child v%d with no pending mark" v c)
+          children;
+      if Plane.marked p then
+        List.iter
+          (fun c ->
+            let cv = Graph.vertex g c in
+            if
+              (not cv.Vertex.free)
+              && Plane.unmarked (Vertex.plane cv plane_id)
+              && not (pending_mark_on c)
+            then err "invariant 2: marked v%d points to unmarked v%d with no pending mark" v c)
+          children;
+      let expected = credits v + transient_children_of v in
+      if p.Plane.cnt <> expected then
+        err "invariant 3: v%d has mt-cnt=%d but %d unreturned tasks" v p.Plane.cnt expected)
+    g;
+  List.rev !errors
+
+let check_exn run ~pending =
+  match check run ~pending with
+  | [] -> ()
+  | errs -> failwith ("Invariants.check failed:\n" ^ String.concat "\n" errs)

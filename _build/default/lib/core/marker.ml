@@ -1,0 +1,127 @@
+open Dgr_graph
+open Dgr_task
+open Task
+
+let bad_task run task =
+  invalid_arg
+    (Format.asprintf "Marker.execute: task %a does not belong to run %a" Task.pp_mark task Run.pp
+       run)
+
+(* Shared by mark1/mark3 (the non-priority variants): trace [children],
+   building the marking tree. Returns the spawned tasks. *)
+let mark_simple run ~v ~par ~children =
+  let g = run.Run.graph in
+  let vx = Graph.vertex g v in
+  let plane = Vertex.plane vx run.Run.plane in
+  if vx.Vertex.free || not (Plane.unmarked plane) then
+    [ Return { plane = run.Run.plane; par } ]
+  else begin
+    Plane.touch plane;
+    plane.Plane.par <- par;
+    let spawned =
+      List.map
+        (fun c ->
+          plane.Plane.cnt <- plane.Plane.cnt + 1;
+          match run.Run.variant with
+          | Run.Tasks -> Mark3 { v = c; par = Plane.Parent v }
+          | Run.Basic | Run.Priority -> Mark1 { v = c; par = Plane.Parent v })
+        children
+    in
+    if plane.Plane.cnt = 0 then begin
+      Plane.mark plane;
+      [ Return { plane = run.Run.plane; par } ]
+    end
+    else spawned
+  end
+
+(* Fig 5-1: the body of [modify(v,par,prior)]. *)
+let modify run ~v ~par ~prior =
+  let g = run.Run.graph in
+  let vx = Graph.vertex g v in
+  let plane = Vertex.plane vx run.Run.plane in
+  Plane.touch plane;
+  plane.Plane.par <- par;
+  plane.Plane.prior <- prior;
+  let spawned =
+    List.map
+      (fun c ->
+        plane.Plane.cnt <- plane.Plane.cnt + 1;
+        Mark2 { v = c; par = Plane.Parent v; prior = Trace.child_priority g v prior c })
+      vx.Vertex.args
+  in
+  if plane.Plane.cnt = 0 then begin
+    Plane.mark plane;
+    [ Return { plane = run.Run.plane; par } ]
+  end
+  else spawned
+
+(* Fig 5-1: mark2. *)
+let mark_priority run ~v ~par ~prior =
+  let g = run.Run.graph in
+  let vx = Graph.vertex g v in
+  let plane = Vertex.plane vx run.Run.plane in
+  if vx.Vertex.free then [ Return { plane = run.Run.plane; par } ]
+  else if Plane.unmarked plane then modify run ~v ~par ~prior
+  else if prior <= plane.Plane.prior then [ Return { plane = run.Run.plane; par } ]
+  else begin
+    (* Re-mark at a higher priority. If the vertex is mid-marking
+       (transient), release its current parent first: the new [modify]
+       re-points mt-par at the new parent, and the outstanding children
+       from the previous visit still credit this vertex's count. *)
+    let release =
+      if Plane.transient plane then [ Return { plane = run.Run.plane; par = plane.Plane.par } ]
+      else []
+    in
+    release @ modify run ~v ~par ~prior
+  end
+
+(* Fig 4-1: return1. *)
+let return_task run ~par =
+  match par with
+  | Plane.Rootpar ->
+    Run.seed_returned run;
+    []
+  | Plane.Parent v ->
+    let g = run.Run.graph in
+    let vx = Graph.vertex g v in
+    let plane = Vertex.plane vx run.Run.plane in
+    if plane.Plane.cnt <= 0 then
+      invalid_arg (Format.asprintf "Marker: return to %a with mt-cnt=0" Vid.pp v);
+    plane.Plane.cnt <- plane.Plane.cnt - 1;
+    if plane.Plane.cnt = 0 then begin
+      Plane.mark plane;
+      [ Return { plane = run.Run.plane; par = plane.Plane.par } ]
+    end
+    else []
+
+let execute run task =
+  (match task with
+  | Return _ -> ()
+  | Mark1 _ | Mark2 _ | Mark3 _ ->
+    if Task.plane_of_mark task <> run.Run.plane then bad_task run task);
+  match (task, run.Run.variant) with
+  | Mark1 { v; par }, Run.Basic ->
+    run.Run.marks_executed <- run.Run.marks_executed + 1;
+    mark_simple run ~v ~par ~children:(Trace.children run.Run.graph Plane.MR v)
+  | Mark1 { v; par }, Run.Priority ->
+    (* mark1 inside an M_R run happens only via legacy callers; treat it
+       as a priority-less mark2 at the lowest priority. *)
+    run.Run.marks_executed <- run.Run.marks_executed + 1;
+    mark_priority run ~v ~par ~prior:1
+  | Mark2 { v; par; prior }, Run.Priority ->
+    run.Run.marks_executed <- run.Run.marks_executed + 1;
+    mark_priority run ~v ~par ~prior
+  | Mark3 { v; par }, Run.Tasks ->
+    run.Run.marks_executed <- run.Run.marks_executed + 1;
+    mark_simple run ~v ~par ~children:(Trace.children run.Run.graph Plane.MT v)
+  | Return { plane; par }, _ ->
+    if plane <> run.Run.plane then bad_task run task;
+    run.Run.returns_executed <- run.Run.returns_executed + 1;
+    return_task run ~par
+  | (Mark1 _ | Mark2 _ | Mark3 _), _ -> bad_task run task
+
+let seed_for run v =
+  match run.Run.variant with
+  | Run.Basic -> Mark1 { v; par = Plane.Rootpar }
+  | Run.Priority -> Mark2 { v; par = Plane.Rootpar; prior = 3 }
+  | Run.Tasks -> Mark3 { v; par = Plane.Rootpar }

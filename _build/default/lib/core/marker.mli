@@ -1,0 +1,22 @@
+open Dgr_graph
+open Dgr_task
+
+(** Atomic execution of marking tasks (Figs 4-1, 5-1, 5-3).
+
+    [execute run task] runs one marking task to completion against the
+    run's plane and returns the mark tasks it spawns. Task execution is
+    atomic with respect to the vertex it manipulates (§2.1); in the
+    simulator the spawned tasks travel through the network, in the
+    synchronous engine they are queued locally. A mark task addressed to a
+    free vertex degenerates to an immediate return (its target was
+    reclaimed by an earlier cycle's restructuring; the next cycle will see
+    the truth). *)
+
+val execute : Run.t -> Task.mark -> Task.mark list
+(** Raises [Invalid_argument] if the task does not belong to the run
+    (wrong plane / variant). *)
+
+val seed_for : Run.t -> Vid.t -> Task.mark
+(** The seed task of the run's variant for a given vertex, with parent
+    [Rootpar] and (for M_R) initial priority 3 — "we assume that the value
+    of the root is essential to the overall computation" (§5.1). *)

@@ -1,0 +1,260 @@
+open Dgr_graph
+open Dgr_task
+open Task
+
+type t = {
+  graph : Graph.t;
+  mutable active : Run.t list;
+  mutable active_flood : Flood.t list;
+  mutable spawn : Task.mark -> unit;
+  mutable coop_pe : unit -> int;
+  mutable on_connect : Vid.t -> Vid.t -> unit;
+  mutable on_disconnect : Vid.t -> Vid.t -> unit;
+  mutable total_coop_spawned : int;
+  mutable total_coop_closure : int;
+}
+
+let nop2 _ _ = ()
+
+let create ?(on_connect = nop2) ?(on_disconnect = nop2) ~spawn graph =
+  {
+    graph;
+    active = [];
+    active_flood = [];
+    spawn;
+    coop_pe = (fun () -> 0);
+    on_connect;
+    on_disconnect;
+    total_coop_spawned = 0;
+    total_coop_closure = 0;
+  }
+
+let set_active t runs = t.active <- runs
+
+let set_active_flood t floods = t.active_flood <- floods
+
+(* Flood-scheme cooperation: a marked vertex that gains a traced child
+   marks the child's unmarked component synchronously (the same closure
+   the tree scheme uses for non-witnessed edges). Spawning counted tasks
+   here instead would be correct for the marked sets but unsound for
+   termination: a mutator that keeps editing marked regions (e.g. a
+   divergent speculative frontier) would feed the counters forever and
+   the detection wave would never see them balance. The closure adds no
+   bookkeeping, so the two-words-per-PE claim stands. *)
+let flood_cooperate_edge t (fl : Flood.t) ~parent ~child =
+  let g = t.graph in
+  let pplane = Vertex.plane (Graph.vertex g parent) fl.Flood.plane in
+  if Plane.marked pplane then begin
+    let stack =
+      ref [ (child, Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child) ]
+    in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, prior) :: rest ->
+        stack := rest;
+        let vx = Graph.vertex g v in
+        let plane = Vertex.plane vx fl.Flood.plane in
+        if
+          (not vx.Vertex.free)
+          && ((not (Plane.marked plane)) || prior > plane.Plane.prior)
+        then begin
+          Plane.mark plane;
+          plane.Plane.prior <- prior;
+          t.total_coop_closure <- t.total_coop_closure + 1;
+          List.iter
+            (fun c -> stack := (c, Trace.child_priority g v prior c) :: !stack)
+            (Trace.children g fl.Flood.plane v)
+        end
+    done
+  end
+
+let flood_edge_all t ~parent ~child ~mt_only =
+  List.iter
+    (fun fl ->
+      if (not mt_only) || fl.Flood.plane = Plane.MT then
+        flood_cooperate_edge t fl ~parent ~child)
+    t.active_flood
+
+let mark_task_for run ~v ~par ~prior =
+  match run.Run.variant with
+  | Run.Basic -> Mark1 { v; par }
+  | Run.Priority -> Mark2 { v; par; prior }
+  | Run.Tasks -> Mark3 { v; par }
+
+(* Spawn a mark task on [child] charged to the transient [parent]
+   (invariant 1 lets a transient vertex carry new outstanding tasks). *)
+let charge_and_spawn t run ~parent ~child ~prior =
+  let plane = Vertex.plane (Graph.vertex t.graph parent) run.Run.plane in
+  plane.Plane.cnt <- plane.Plane.cnt + 1;
+  run.Run.coop_spawns <- run.Run.coop_spawns + 1;
+  t.total_coop_spawned <- t.total_coop_spawned + 1;
+  t.spawn (mark_task_for run ~v:child ~par:(Plane.Parent parent) ~prior)
+
+(* Synchronously mark the unmarked component reachable from [v] through
+   the run's traced relation. Invariants: only unmarked vertices are
+   touched; they are set directly to Marked with no outstanding counts, so
+   no returns are owed; transient vertices are left to their own marking
+   subtree. Priorities propagate with min(prior, request-type). *)
+let closure t run ~from ~prior =
+  let stack = ref [ (from, prior) ] in
+  let g = t.graph in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, prior) :: rest ->
+      stack := rest;
+      let vx = Graph.vertex g v in
+      let plane = Vertex.plane vx run.Run.plane in
+      if (not vx.Vertex.free) && Plane.unmarked plane then begin
+        Plane.mark plane;
+        plane.Plane.prior <- prior;
+        run.Run.coop_closure <- run.Run.coop_closure + 1;
+        t.total_coop_closure <- t.total_coop_closure + 1;
+        List.iter
+          (fun c -> stack := (c, Trace.child_priority g v prior c) :: !stack)
+          (Trace.children g run.Run.plane v)
+      end
+  done
+
+(* Generic cooperation for a new traced edge parent→child. *)
+let cooperate_edge t run ~parent ~child =
+  let g = t.graph in
+  let pplane = Vertex.plane (Graph.vertex g parent) run.Run.plane in
+  if Plane.transient pplane then begin
+    let prior = Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child in
+    charge_and_spawn t run ~parent ~child ~prior
+  end
+  else if Plane.marked pplane then begin
+    let prior = Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child in
+    closure t run ~from:child ~prior
+  end
+
+let connect t a c =
+  Vertex.connect (Graph.vertex t.graph a) c;
+  t.on_connect a c
+
+let disconnect t a b =
+  Vertex.disconnect (Graph.vertex t.graph a) b;
+  t.on_disconnect a b
+
+let delete_reference t ~a ~b = disconnect t a b
+
+(* Fig 4-2 witness protocol, for a plane whose traced relation contains
+   plain args edges (M_R). [b] witnesses that [c] was already traceable. *)
+let witness_cooperate t run ~a ~b ~c =
+  let g = t.graph in
+  let pa = Vertex.plane (Graph.vertex g a) run.Run.plane in
+  let pb = Vertex.plane (Graph.vertex g b) run.Run.plane in
+  if Plane.transient pa && Plane.unmarked pb then begin
+    let prior = Trace.child_priority g a (Int.max 1 pa.Plane.prior) c in
+    charge_and_spawn t run ~parent:a ~child:c ~prior
+  end
+  else if Plane.marked pa && Plane.transient pb then begin
+    (* execute mark(c,b) synchronously, charged to the transient b. *)
+    pb.Plane.cnt <- pb.Plane.cnt + 1;
+    run.Run.coop_spawns <- run.Run.coop_spawns + 1;
+    t.total_coop_spawned <- t.total_coop_spawned + 1;
+    let prior = Trace.child_priority g b (Int.max 1 pb.Plane.prior) c in
+    let spawned = Marker.execute run (mark_task_for run ~v:c ~par:(Plane.Parent b) ~prior) in
+    List.iter t.spawn spawned
+  end
+  (* marked a / marked b: c is at least transient by invariant 2;
+     unmarked a, or transient a with non-unmarked b: covered by b. *)
+
+let add_reference t ~a ~b ~c =
+  let g = t.graph in
+  let va = Graph.vertex g a and vb = Graph.vertex g b in
+  if not (List.exists (Vid.equal b) va.Vertex.args) then
+    invalid_arg
+      (Printf.sprintf "Mutator.add_reference: witness v%d is not a child of v%d" b a);
+  if not (List.exists (Vid.equal c) vb.Vertex.args) then
+    invalid_arg
+      (Printf.sprintf "Mutator.add_reference: v%d is not a child of witness v%d" c b);
+  List.iter
+    (fun run ->
+      match run.Run.plane with
+      | Plane.MR -> witness_cooperate t run ~a ~b ~c
+      | Plane.MT ->
+        (* The witness argument needs c ∈ traced-children(b), which does
+           not hold for M_T in general (b may have requested c). Use the
+           generic protocol. *)
+        cooperate_edge t run ~parent:a ~child:c)
+    t.active;
+  flood_edge_all t ~parent:a ~child:c ~mt_only:false;
+  connect t a c
+
+let expand_node t ~a ~entry =
+  List.iter
+    (fun run ->
+      let pa = Vertex.plane (Graph.vertex t.graph a) run.Run.plane in
+      (* The new edge a→entry starts unrequested, so the trace priority is
+         min(prior(a), request-type) = 1 (Fig 5-1); if the caller records
+         demand on the spliced edge afterwards, the upgrade waits for the
+         next cycle (§5.3's "simply wait" option). *)
+      let prior = Trace.child_priority t.graph a (Int.max 1 pa.Plane.prior) entry in
+      if Plane.marked pa then closure t run ~from:entry ~prior
+      else if Plane.transient pa then charge_and_spawn t run ~parent:a ~child:entry ~prior)
+    t.active;
+  flood_edge_all t ~parent:a ~child:entry ~mt_only:false;
+  let va = Graph.vertex t.graph a in
+  List.iter (fun old -> disconnect t a old) va.Vertex.args;
+  connect t a entry
+
+let connect_fresh t ~parent ~child = connect t parent child
+
+let add_edge ?demand t ~a ~c =
+  (match demand with
+  | Some d -> Vertex.request_arg (Graph.vertex t.graph a) c d
+  | None -> ());
+  connect t a c;
+  List.iter
+    (fun run ->
+      match run.Run.plane with
+      | Plane.MR -> cooperate_edge t run ~parent:a ~child:c
+      | Plane.MT ->
+        (* a→c is in M_T's relation only if c is not requested by a. *)
+        if demand = None then cooperate_edge t run ~parent:a ~child:c)
+    t.active;
+  List.iter
+    (fun fl ->
+      if fl.Flood.plane = Plane.MR || demand = None then
+        flood_cooperate_edge t fl ~parent:a ~child:c)
+    t.active_flood
+
+let record_request t ~at ~requester ~demand ~key =
+  let vx = Graph.vertex t.graph at in
+  let fresh = not (Vertex.has_request_entry vx requester key) in
+  Vertex.add_requester vx requester ~demand ~key;
+  match requester with
+  | None -> ()
+  | Some r ->
+    (* Cooperate only when the traced edge is actually new — re-recording
+       an existing request (e.g. a retried task) must not charge the
+       marking tree again or M_T would never terminate. *)
+    if fresh then begin
+      List.iter
+        (fun run ->
+          if run.Run.plane = Plane.MT then cooperate_edge t run ~parent:at ~child:r)
+        t.active;
+      flood_edge_all t ~parent:at ~child:r ~mt_only:true
+    end
+
+let answer t ~at ~requester = Vertex.remove_requester (Graph.vertex t.graph at) requester
+
+let request_child t ~v ~c ~demand = Vertex.request_arg (Graph.vertex t.graph v) c demand
+
+let drop_request_child t ~v ~c =
+  let vx = Graph.vertex t.graph v in
+  Vertex.drop_request vx c;
+  if List.exists (Vid.equal c) vx.Vertex.args then begin
+    List.iter
+      (fun run ->
+        if run.Run.plane = Plane.MT then cooperate_edge t run ~parent:v ~child:c)
+      t.active;
+    flood_edge_all t ~parent:v ~child:c ~mt_only:true
+  end
+
+let coop_spawned t = t.total_coop_spawned
+
+let coop_closure_marked t = t.total_coop_closure

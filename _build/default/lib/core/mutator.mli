@@ -1,0 +1,111 @@
+open Dgr_graph
+open Dgr_task
+
+(** Cooperating mutator primitives (Fig 4-2 and §5.3).
+
+    Every connectivity mutation performed by the reduction process goes
+    through this module so that the marking invariants (§5.4.1) are
+    preserved while marking is in progress:
+
+    + for each transient vertex, there is at least one mark task spawned
+      on each of its (traced) children, and mt-cnt reflects this;
+    + a marked vertex never points to an unmarked (traced) child;
+    + mt-cnt(v) counts exactly the unreturned mark tasks spawned from v.
+
+    Cooperation is {e plane-relative} (§5.3): a mutation cooperates only
+    with the marking runs whose traced relation it changes. Mutations of
+    [args] concern M_R (and usually M_T, since an un-requested arg is in
+    M_T's relation); mutations of [requested] and of the req-args sets
+    concern only M_T.
+
+    Two cooperation mechanisms are used:
+
+    - the {b witness} protocol of Fig 4-2 (for [add-reference], whose new
+      edge [a→c] is covered by the adjacent witness [b]); and
+    - a {b generic} protocol for non-adjacent new edges ([add_edge],
+      [record_request], …): if the edge's parent is transient, spawn a
+      mark task on the child charged to the parent (valid by invariant 1);
+      if the parent is already marked, synchronously mark the child's
+      unmarked component (a bounded form of the paper's [mark(g)] in
+      [expand-node]) so invariant 2 is never violated.
+
+    A mutator with no active runs degenerates to plain graph edits. *)
+
+type t = {
+  graph : Graph.t;
+  mutable active : Run.t list;  (** tree-scheme runs in their mark phase *)
+  mutable active_flood : Flood.t list;  (** flood-scheme runs in flight *)
+  mutable spawn : Task.mark -> unit;  (** asynchronous task injection *)
+  mutable coop_pe : unit -> int;
+      (** the PE a cooperation spawn is charged to (flood counters) *)
+  mutable on_connect : Vid.t -> Vid.t -> unit;  (** parent, child — RC hook *)
+  mutable on_disconnect : Vid.t -> Vid.t -> unit;
+  mutable total_coop_spawned : int;
+  mutable total_coop_closure : int;
+}
+
+val create :
+  ?on_connect:(Vid.t -> Vid.t -> unit) ->
+  ?on_disconnect:(Vid.t -> Vid.t -> unit) ->
+  spawn:(Task.mark -> unit) ->
+  Graph.t ->
+  t
+
+val set_active : t -> Run.t list -> unit
+
+val set_active_flood : t -> Flood.t list -> unit
+
+(** {1 The paper's three primitives (Fig 4-2)} *)
+
+val delete_reference : t -> a:Vid.t -> b:Vid.t -> unit
+(** Remove [b] from [children(a)]. Never requires cooperation. *)
+
+val add_reference : t -> a:Vid.t -> b:Vid.t -> c:Vid.t -> unit
+(** Add [c] to [children(a)], where [b ∈ children(a)] and
+    [c ∈ children(b)] (checked). Witness cooperation for M_R runs, generic
+    cooperation for M_T runs. *)
+
+val expand_node : t -> a:Vid.t -> entry:Vid.t -> unit
+(** Splice a freshly-built subgraph rooted at [entry] below [a]: [a]'s
+    current args are disconnected (the subgraph is expected to reference
+    the ones it needs — wire it with [connect_fresh] {e before} calling
+    this) and replaced by the single child [entry]. Cooperation follows
+    Fig 4-2: if [a] is marked the subgraph is marked (by closure), if
+    transient a mark task is spawned on the new child. *)
+
+(** {1 Generalized mutations used by the reduction process} *)
+
+val connect_fresh : t -> parent:Vid.t -> child:Vid.t -> unit
+(** Wire an edge inside a not-yet-reachable subgraph under construction.
+    The caller asserts [parent] is unmarked in every active plane (it was
+    just taken from the free list); no cooperation is performed. *)
+
+val add_edge : ?demand:Demand.t -> t -> a:Vid.t -> c:Vid.t -> unit
+(** Add the (possibly non-adjacent) edge [a→c], optionally recording it as
+    a vital/eager request by [a]; generic cooperation on all active
+    planes. *)
+
+val record_request :
+  t -> at:Vid.t -> requester:Vertex.requester -> demand:Demand.t -> key:Vid.t -> unit
+(** Add a requester to [requested(at)] — a new M_T edge [at→requester];
+    generic cooperation on active M_T runs. *)
+
+val answer : t -> at:Vid.t -> requester:Vertex.requester -> unit
+(** Remove a requester from [requested(at)] (edge deletion — no
+    cooperation). *)
+
+val request_child : t -> v:Vid.t -> c:Vid.t -> demand:Demand.t -> unit
+(** Record [c ∈ req-args(v)] (removes [v→c] from M_T's relation — no
+    cooperation). *)
+
+val drop_request_child : t -> v:Vid.t -> c:Vid.t -> unit
+(** Dereference: remove [c] from [req-args(v)] while keeping the arg —
+    [v→c] re-enters M_T's relation, so M_T cooperation applies. *)
+
+(** {1 Introspection} *)
+
+val coop_spawned : t -> int
+(** Total mark tasks spawned by cooperation across all runs ever active. *)
+
+val coop_closure_marked : t -> int
+(** Total vertices marked synchronously by closure cooperation. *)

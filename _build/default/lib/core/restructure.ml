@@ -1,0 +1,71 @@
+open Dgr_graph
+open Dgr_task
+
+type report = {
+  garbage : Vid.t list;
+  deadlocked : Vid.t list;
+  deadlock_checked : bool;
+  irrelevant_purged : int;
+  reprioritized : int;
+}
+
+let collect_sets g ~deadlock_checked =
+  Graph.fold_live
+    (fun (gar, dl) v ->
+      let mr = v.Vertex.mr in
+      if Plane.unmarked mr then (v.Vertex.id :: gar, dl)
+      else begin
+        let dl =
+          if
+            deadlock_checked && Plane.marked mr
+            && mr.Plane.prior = 3
+            && not (Plane.marked v.Vertex.mt)
+          then v.Vertex.id :: dl
+          else dl
+        in
+        (gar, dl)
+      end)
+    ([], []) g
+
+let run ~graph:g ~deadlock_checked ~purge_tasks ~reprioritize () =
+  let gar, dl = collect_sets g ~deadlock_checked in
+  let gar_set = Vid.Set.of_list gar in
+  let in_gar v = Vid.Set.mem v gar_set in
+  (* Expunge tasks touching garbage before the slots are recycled.
+     Requests into GAR are Property 6's irrelevant tasks. *)
+  let purged =
+    purge_tasks (fun task ->
+        match task with
+        | Task.Reduction r -> List.exists in_gar (Task.reduction_endpoints r)
+        | Task.Marking _ -> false)
+  in
+  (* Dangling bookkeeping on surviving vertices. *)
+  Graph.iter_live
+    (fun v ->
+      if not (in_gar v.Vertex.id) then begin
+        v.Vertex.requested <-
+          List.filter
+            (fun (e : Vertex.request_entry) ->
+              match e.Vertex.who with Some r -> not (in_gar r) | None -> true)
+            v.Vertex.requested;
+        (* Persist the cycle's priority verdict for pool scheduling. *)
+        if Plane.marked v.Vertex.mr then v.Vertex.sched_prior <- v.Vertex.mr.Plane.prior
+      end)
+    g;
+  List.iter (Graph.release g) gar;
+  let moved = reprioritize () in
+  Graph.reset_plane g Plane.MR;
+  Graph.reset_plane g Plane.MT;
+  {
+    garbage = gar;
+    deadlocked = dl;
+    deadlock_checked;
+    irrelevant_purged = purged;
+    reprioritized = moved;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "garbage=%d deadlocked=%d%s purged=%d reprioritized=%d"
+    (List.length r.garbage) (List.length r.deadlocked)
+    (if r.deadlock_checked then "" else " (unchecked)")
+    r.irrelevant_purged r.reprioritized

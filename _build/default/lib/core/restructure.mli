@@ -1,0 +1,47 @@
+open Dgr_graph
+open Dgr_task
+
+(** The restructuring phase (§4).
+
+    Runs after a marking cycle completes (M_T, if scheduled, then M_R) and
+    performs the "appropriate action" for each identified set:
+
+    - vertices in GAR' = V − R' − F are returned to the free list
+      (Theorem 1 guarantees GAR(t_b) ⊆ GAR' ⊆ GAR(t_c));
+    - tasks whose endpoints lie in GAR' are expunged — these are exactly
+      the irrelevant tasks of Property 6 (plus stale responses/cancels
+      to/from reclaimed vertices, which would otherwise dangle once vertex
+      slots are recycled);
+    - dangling [requested] entries naming reclaimed vertices are dropped;
+    - deadlocked vertices DL'_v = R'_v − T' are reported (only when M_T ran
+      this cycle; Theorem 2);
+    - every live marked vertex's M_R priority is copied to its persistent
+      [sched_prior] so PE pools can re-prioritize queued tasks (§3.2), and
+      the pools are asked to re-sort;
+    - both marking planes are reset for the next cycle.
+
+    The paper leaves this phase "to be tailored to a particular system";
+    this is the obvious instantiation for ours (see DESIGN.md §1). *)
+
+type report = {
+  garbage : Vid.t list;  (** vertices reclaimed this cycle *)
+  deadlocked : Vid.t list;  (** DL'_v; empty when M_T did not run *)
+  deadlock_checked : bool;
+  irrelevant_purged : int;  (** reduction tasks expunged *)
+  reprioritized : int;  (** pool tasks whose priority changed *)
+}
+
+val run :
+  graph:Graph.t ->
+  deadlock_checked:bool ->
+  purge_tasks:((Task.t -> bool) -> int) ->
+  reprioritize:(unit -> int) ->
+  unit ->
+  report
+(** [purge_tasks pred] must delete every pending/in-flight task satisfying
+    [pred] from pools and network and return how many were deleted;
+    [reprioritize ()] re-sorts pool entries by current priorities and
+    returns how many moved. Both are provided by the engine driving the
+    system. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,46 @@
+open Dgr_graph
+
+type variant = Basic | Priority | Tasks
+
+type t = {
+  graph : Graph.t;
+  plane : Plane.id;
+  variant : variant;
+  mutable outstanding_seeds : int;
+  mutable finished : bool;
+  mutable marks_executed : int;
+  mutable returns_executed : int;
+  mutable coop_spawns : int;
+  mutable coop_closure : int;
+}
+
+let plane_of_variant = function Basic | Priority -> Plane.MR | Tasks -> Plane.MT
+
+let create graph variant =
+  {
+    graph;
+    plane = plane_of_variant variant;
+    variant;
+    outstanding_seeds = 0;
+    finished = false;
+    marks_executed = 0;
+    returns_executed = 0;
+    coop_spawns = 0;
+    coop_closure = 0;
+  }
+
+let seed_added t = t.outstanding_seeds <- t.outstanding_seeds + 1
+
+let seed_returned t =
+  if t.outstanding_seeds <= 0 then invalid_arg "Run.seed_returned: no outstanding seeds";
+  t.outstanding_seeds <- t.outstanding_seeds - 1;
+  if t.outstanding_seeds = 0 then t.finished <- true
+
+let check_trivially_finished t = if t.outstanding_seeds = 0 then t.finished <- true
+
+let pp fmt t =
+  let variant =
+    match t.variant with Basic -> "basic" | Priority -> "M_R" | Tasks -> "M_T"
+  in
+  Format.fprintf fmt "%s[%a] seeds=%d finished=%b marks=%d returns=%d" variant Plane.pp_id
+    t.plane t.outstanding_seeds t.finished t.marks_executed t.returns_executed

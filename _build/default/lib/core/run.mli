@@ -1,0 +1,44 @@
+open Dgr_graph
+
+(** State of one marking process (an instance of M_R or M_T).
+
+    The paper detects termination with a dummy [rootpar] vertex and a
+    [done] flag; we generalize the flag to a count of outstanding seeds so
+    that M_T can be started from every task endpoint at once (the paper's
+    [troot] / [taskroot_i] construction collapses to "one seed per
+    endpoint, all crediting rootpar"). *)
+
+type variant = Basic | Priority | Tasks
+(** Which mark task drives this run: [Basic] = mark1 (Fig 4-1),
+    [Priority] = mark2 / M_R (Fig 5-1), [Tasks] = mark3 / M_T (Fig 5-3). *)
+
+type t = {
+  graph : Graph.t;
+  plane : Plane.id;
+  variant : variant;
+  mutable outstanding_seeds : int;
+  mutable finished : bool;
+  mutable marks_executed : int;
+  mutable returns_executed : int;
+  mutable coop_spawns : int;  (** mark tasks spawned by cooperating mutators *)
+  mutable coop_closure : int;  (** vertices marked synchronously by closure cooperation *)
+}
+
+val create : Graph.t -> variant -> t
+(** A run with no seeds; [finished] is false until seeds are added and all
+    have returned. The plane is implied by the variant ([Tasks] -> M_T,
+    others -> M_R). *)
+
+val plane_of_variant : variant -> Plane.id
+
+val seed_added : t -> unit
+(** Record that a seed mark task (with parent [Rootpar]) was spawned. *)
+
+val seed_returned : t -> unit
+(** A [Return] reached [Rootpar]; the run finishes when the count drops to
+    zero. *)
+
+val check_trivially_finished : t -> unit
+(** A run seeded with zero seeds is immediately finished. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+open Dgr_graph
+open Dgr_task
+
+(** In-process marking engine.
+
+    Executes marking tasks from a single queue until quiescence — no PEs,
+    no network. This is the harness for unit tests, property tests (which
+    interleave adversarial mutations between task executions), and the
+    algorithmic micro-benchmarks; the full distributed execution lives in
+    [Dgr_sim].
+
+    The dequeue [order] explores different legal schedules of the
+    decentralized algorithm: results must be order-insensitive, which the
+    property tests assert. *)
+
+type order = Fifo | Lifo | Random of Dgr_util.Rng.t
+
+type t
+
+val create : ?order:order -> Graph.t -> t
+(** Default order is [Fifo]. *)
+
+val graph : t -> Graph.t
+
+val mutator : t -> Mutator.t
+(** A mutator whose [spawn] feeds this engine's queue. Its [active] list
+    is maintained by [start]/[drain]. *)
+
+val start : t -> Run.variant -> seeds:Vid.t list -> Run.t
+(** Create a run, enqueue a seed task per vertex (parent [Rootpar]) and
+    register the run with the mutator. A duplicate-free seed list is the
+    caller's responsibility (duplicates are legal but wasteful). *)
+
+val pending : t -> Task.mark list
+
+val step : t -> bool
+(** Execute one task; [false] when the queue is empty. Raises
+    [Invalid_argument] if a task's run was never started. *)
+
+val drain : ?interleave:(int -> unit) -> ?max_steps:int -> t -> int
+(** Execute until the queue is empty; returns the number of tasks
+    executed. [interleave n] is called before the [n]-th execution (the
+    mutation adversary). Raises [Failure] after [max_steps] (default
+    10_000_000) as a non-termination guard. *)
+
+val mark : ?order:order -> Graph.t -> Run.variant -> seeds:Vid.t list -> Run.t
+(** One-shot convenience: create an engine, [start], [drain], return the
+    finished run. *)

@@ -1,0 +1,24 @@
+type t = {
+  window : int;
+  mutable first : (int * int) option;  (** (step, sent) of the first quiet wave *)
+  mutable terminated : bool;
+}
+
+let create ~window = { window; first = None; terminated = false }
+
+let observe t ~now ~sent ~executed =
+  if not t.terminated then begin
+    if sent <> executed then t.first <- None
+    else
+      match t.first with
+      | None -> t.first <- Some (now, sent)
+      | Some (step, sent0) ->
+        if sent <> sent0 then t.first <- Some (now, sent)
+        else if now - step >= t.window then t.terminated <- true
+  end
+
+let terminated t = t.terminated
+
+let reset t =
+  t.first <- None;
+  t.terminated <- false

@@ -1,0 +1,24 @@
+(** Distributed termination detection for counter-based marking.
+
+    The compact marking scheme of §6 replaces the marking tree's
+    per-vertex [mt-cnt]/[mt-par] with two counters per PE — mark tasks
+    sent and mark tasks executed. Marking has terminated when the sums
+    are equal {e and stay equal across a detection wave}: a single
+    instantaneous reading can race with a task in flight, so we use the
+    classic two-wave rule (Mattern's four-counter method): two
+    observations at least [window] steps apart with [sent = executed] and
+    the same [sent] total. [window] models the wave's round-trip across
+    the machine. *)
+
+type t
+
+val create : window:int -> t
+
+val observe : t -> now:int -> sent:int -> executed:int -> unit
+(** Feed one reading of the global counter sums. *)
+
+val terminated : t -> bool
+(** True once two consistent quiescent observations [window] apart have
+    been seen. Latches; [reset] to reuse. *)
+
+val reset : t -> unit

@@ -1,0 +1,17 @@
+open Dgr_graph
+
+let children g plane v =
+  let vx = Graph.vertex g v in
+  if vx.Vertex.free then []
+  else
+    match plane with
+    | Plane.MR -> vx.Vertex.args
+    | Plane.MT ->
+      let requesters =
+        List.filter_map (fun (e : Vertex.request_entry) -> e.Vertex.who) vx.Vertex.requested
+      in
+      requesters @ Vertex.unrequested_args vx
+
+let child_priority g v prior c =
+  let vx = Graph.vertex g v in
+  Int.min prior (Vertex.request_type vx c)

@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Array Demand Dgr_util Float Graph Int Label List Rng Vertex Vid

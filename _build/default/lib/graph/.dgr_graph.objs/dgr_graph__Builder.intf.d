@@ -1,0 +1,1 @@
+lib/graph/builder.mli: Dgr_util Graph Label Vid

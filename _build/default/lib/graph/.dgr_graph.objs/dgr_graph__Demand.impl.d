@@ -1,0 +1,1 @@
+lib/graph/demand.ml: Format

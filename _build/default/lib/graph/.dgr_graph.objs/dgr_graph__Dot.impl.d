@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Buffer Fun Graph Label List Plane Printf String Vertex Vid

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Dgr_util Label List Plane Printf Vec Vertex Vid

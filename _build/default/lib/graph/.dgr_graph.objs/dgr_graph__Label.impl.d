@@ -1,0 +1,1 @@
+lib/graph/label.ml: Format String Vid

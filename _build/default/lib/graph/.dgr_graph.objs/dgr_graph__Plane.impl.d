@@ -1,0 +1,1 @@
+lib/graph/plane.ml: Format Vid

@@ -1,0 +1,1 @@
+lib/graph/plane.mli: Format Vid

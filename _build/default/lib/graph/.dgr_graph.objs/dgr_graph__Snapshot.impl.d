@@ -1,0 +1,1 @@
+lib/graph/snapshot.ml: Array Graph Label List Plane Printf Vertex Vid

@@ -1,0 +1,1 @@
+lib/graph/snapshot.mli: Graph Label Plane Vertex Vid

@@ -1,0 +1,1 @@
+lib/graph/validate.ml: Graph Label List Printf String Vertex Vid

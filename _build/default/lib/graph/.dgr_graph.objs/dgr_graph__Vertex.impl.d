@@ -1,0 +1,1 @@
+lib/graph/vertex.ml: Demand Fmt Format Label List Plane Vid

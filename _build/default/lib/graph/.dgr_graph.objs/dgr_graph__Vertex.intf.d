@@ -1,0 +1,1 @@
+lib/graph/vertex.mli: Demand Format Label Plane Vid

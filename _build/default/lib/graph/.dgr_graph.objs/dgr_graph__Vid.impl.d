@@ -1,0 +1,1 @@
+lib/graph/vid.ml: Format Hashtbl Int Map Set

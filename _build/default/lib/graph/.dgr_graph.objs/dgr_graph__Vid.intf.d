@@ -1,0 +1,1 @@
+lib/graph/vid.mli: Format Hashtbl Map Set

@@ -1,0 +1,148 @@
+open Dgr_util
+
+let add ?pe g label args =
+  let v = Graph.alloc ?pe g label in
+  List.iter (Vertex.connect v) args;
+  v.Vertex.id
+
+let add_root ?pe g label args =
+  let id = add ?pe g label args in
+  Graph.set_root g id;
+  id
+
+let int_list g ints =
+  let rec build = function
+    | [] -> add g Label.Nil []
+    | n :: rest ->
+      let tl = build rest in
+      let hd = add g (Label.Int n) [] in
+      add g Label.Cons [ hd; tl ]
+  in
+  build ints
+
+let chain g n =
+  if n < 1 then invalid_arg "Builder.chain: n must be >= 1";
+  let last = add g (Label.Int 0) [] in
+  let rec extend v k = if k = 0 then v else extend (add g Label.Ind [ v ]) (k - 1) in
+  extend last (n - 1)
+
+let binary_tree g ~depth =
+  let rec build d =
+    if d = 0 then add g (Label.Int 1) []
+    else
+      let l = build (d - 1) in
+      let r = build (d - 1) in
+      add g (Label.Prim Label.Add) [ l; r ]
+  in
+  build depth
+
+let cycle g n =
+  if n < 1 then invalid_arg "Builder.cycle: n must be >= 1";
+  let first = Graph.alloc g Label.Ind in
+  let rec extend prev k =
+    if k = 0 then prev
+    else begin
+      let v = Graph.alloc g Label.Ind in
+      Vertex.connect v prev.Vertex.id;
+      extend v (k - 1)
+    end
+  in
+  let last = extend first (n - 1) in
+  Vertex.connect first last.Vertex.id;
+  first.Vertex.id
+
+type random_spec = {
+  live : int;
+  garbage : int;
+  free_pool : int;
+  avg_degree : float;
+  cycle_bias : float;
+}
+
+let default_spec = { live = 100; garbage = 30; free_pool = 20; avg_degree = 2.0; cycle_bias = 0.2 }
+
+let placeholder_labels = [| Label.If; Label.Prim Label.Add; Label.Apply "f"; Label.Ind |]
+
+(* Build a weakly-connected rooted cluster over [ids]: ids.(0) is the
+   entry; every other vertex gets an incoming edge from an
+   earlier-indexed vertex (guaranteeing reachability from the entry), and
+   extra random edges are sprinkled on top, optionally back-edges to form
+   cycles. *)
+let wire_cluster rng g ids ~avg_degree ~cycle_bias =
+  let n = Array.length ids in
+  for i = 1 to n - 1 do
+    let parent = ids.(Rng.int rng i) in
+    Vertex.connect (Graph.vertex g parent) ids.(i)
+  done;
+  (* Extra edges: each vertex already has on average ~1 outgoing edge from
+     the spanning step (n-1 edges / n vertices), add the remainder. *)
+  let extra = int_of_float (Float.max 0.0 ((avg_degree -. 1.0) *. float_of_int n)) in
+  for _ = 1 to extra do
+    let src_idx = Rng.int rng n in
+    let dst_idx =
+      if Rng.float rng 1.0 < cycle_bias && src_idx > 0 then Rng.int rng src_idx
+        (* ancestor-ish: earlier index, may close a cycle *)
+      else Rng.int rng n
+    in
+    Vertex.connect (Graph.vertex g ids.(src_idx)) ids.(dst_idx)
+  done
+
+let random rng spec =
+  if spec.live < 1 then invalid_arg "Builder.random: spec.live must be >= 1";
+  let g = Graph.create () in
+  let live_ids =
+    Array.init spec.live (fun _ -> add g (Rng.choose rng placeholder_labels) [])
+  in
+  Graph.set_root g live_ids.(0);
+  wire_cluster rng g live_ids ~avg_degree:spec.avg_degree ~cycle_bias:spec.cycle_bias;
+  if spec.garbage > 0 then begin
+    (* Garbage forms a handful of independent clusters. *)
+    let remaining = ref spec.garbage in
+    while !remaining > 0 do
+      let size = Int.min !remaining (1 + Rng.int rng 8) in
+      remaining := !remaining - size;
+      let ids = Array.init size (fun _ -> add g (Rng.choose rng placeholder_labels) []) in
+      wire_cluster rng g ids ~avg_degree:spec.avg_degree ~cycle_bias:spec.cycle_bias;
+      (* Garbage clusters may also point into the live graph — that must
+         not resurrect them. *)
+      if Rng.bool rng then begin
+        let src = ids.(Rng.int rng size) in
+        let dst = live_ids.(Rng.int rng spec.live) in
+        Vertex.connect (Graph.vertex g src) dst
+      end
+    done
+  end;
+  Graph.preallocate g spec.free_pool;
+  g
+
+let random_with_requests rng spec =
+  let g = random rng spec in
+  Graph.iter_live
+    (fun v ->
+      List.iter
+        (fun c ->
+          match Rng.int rng 4 with
+          | 0 -> Vertex.request_arg v c Demand.Vital
+          | 1 -> Vertex.request_arg v c Demand.Eager
+          | _ -> ())
+        v.Vertex.args)
+    g;
+  (* Install requested-edges consistent with req-args: if v requested c,
+     then v is in requested(c) unless c already answered. *)
+  Graph.iter_live
+    (fun v ->
+      List.iter
+        (fun c ->
+          let cv = Graph.vertex g c in
+          if not cv.Vertex.free then
+            let demand =
+              if List.exists (Vid.equal c) v.Vertex.req_v then Demand.Vital else Demand.Eager
+            in
+            if Rng.int rng 4 <> 0 then
+              Vertex.add_requester cv (Some v.Vertex.id) ~demand ~key:c)
+        (Vertex.req_args v))
+    g;
+  (* The root is being demanded by the external initial task <-,root>. *)
+  let root = Graph.root g in
+  Vertex.add_requester (Graph.vertex g root) None ~demand:Demand.Vital ~key:root;
+  g

@@ -1,0 +1,51 @@
+(** Programmatic and random graph construction.
+
+    Builders bypass the cooperating mutator primitives (there is no marking
+    in progress while a graph is being set up), wiring [args] directly.
+    Random graphs are used by the marking unit tests, the property tests
+    and experiment E3. *)
+
+val add : ?pe:int -> Graph.t -> Label.t -> Vid.t list -> Vid.t
+(** [add g label args] allocates a vertex, connects it to [args] in order
+    and returns its id. *)
+
+val add_root : ?pe:int -> Graph.t -> Label.t -> Vid.t list -> Vid.t
+(** Like [add], then [Graph.set_root]. *)
+
+val int_list : Graph.t -> int list -> Vid.t
+(** Build a cons-list of integer vertices; returns the head vertex ([Nil]
+    for the empty list). *)
+
+val chain : Graph.t -> int -> Vid.t
+(** [chain g n] builds a linear chain of [n] [Ind] vertices ending in an
+    [Int 0]; returns the head. [n >= 1]. *)
+
+val binary_tree : Graph.t -> depth:int -> Vid.t
+(** Complete binary tree of [Prim Add] internal vertices with [Int] leaves. *)
+
+val cycle : Graph.t -> int -> Vid.t
+(** [cycle g n] builds a ring of [n] [Ind] vertices (self-referencing
+    garbage candidate). Returns one member. *)
+
+type random_spec = {
+  live : int;  (** vertices reachable from the root *)
+  garbage : int;  (** vertices in unreachable components *)
+  free_pool : int;  (** extra vertices preallocated on the free list *)
+  avg_degree : float;  (** mean out-degree of live vertices *)
+  cycle_bias : float;  (** probability that an edge targets an ancestor *)
+}
+
+val default_spec : random_spec
+
+val random : Dgr_util.Rng.t -> random_spec -> Graph.t
+(** A rooted random graph: [live] vertices reachable from the root (a
+    spanning structure guarantees reachability, extra edges are random,
+    possibly cyclic), plus [garbage] unreachable vertices forming random
+    (possibly cyclic) clusters, plus a free pool. Labels are arbitrary
+    non-WHNF placeholders; this generator feeds marking tests, which care
+    only about connectivity. *)
+
+val random_with_requests : Dgr_util.Rng.t -> random_spec -> Graph.t
+(** Like [random] but additionally promotes a random subset of edges to
+    vital/eager request status and installs random [requested] back-edges,
+    so that R_v / R_e / R_r / T are all non-trivial. *)

@@ -1,0 +1,10 @@
+type t = Vital | Eager
+
+let equal a b =
+  match (a, b) with Vital, Vital | Eager, Eager -> true | Vital, Eager | Eager, Vital -> false
+
+let to_string = function Vital -> "vital" | Eager -> "eager"
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let priority = function Vital -> 3 | Eager -> 2

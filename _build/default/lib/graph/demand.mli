@@ -1,0 +1,17 @@
+(** Demand kinds.
+
+    A request for a vertex's value is either {e vital} (the value is known
+    to be needed by the overall computation) or {e eager} (speculatively
+    requested; §3.2 of the paper). The kind determines which [req-args]
+    set the edge is recorded in and the priority of the spawned task. *)
+
+type t = Vital | Eager
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val priority : t -> int
+(** Paper §5.1 encoding: vital = 3, eager = 2 (reserve paths = 1). *)

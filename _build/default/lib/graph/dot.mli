@@ -1,0 +1,10 @@
+(** Graphviz (DOT) export, mirroring the paper's figure conventions:
+    vertices are circles; a solid arc from [x] to [y] denotes [y ∈
+    args(x)]; arcs for requested args are annotated ["*v"] / ["*e"]; a
+    dashed arc from [x] to [y] denotes [y ∈ requested(x)]. Marked /
+    transient vertices (M_R plane) are shaded. *)
+
+val to_string : ?name:string -> Graph.t -> string
+
+val to_file : ?name:string -> Graph.t -> string -> unit
+(** [to_file g path] writes the DOT source to [path]. *)

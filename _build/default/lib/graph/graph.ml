@@ -1,0 +1,127 @@
+open Dgr_util
+
+exception Out_of_vertices
+
+type t = {
+  verts : Vertex.t Vec.t;
+  free : Vid.t Vec.t;
+  num_pes : int;
+  mutable root : Vid.t option;
+  mutable next_pe : int;
+  mutable allocations : int;
+  mutable releases : int;
+  mutable capacity : int option;
+}
+
+let create ?(num_pes = 1) () =
+  if num_pes <= 0 then invalid_arg "Graph.create: num_pes must be positive";
+  {
+    verts = Vec.create ();
+    free = Vec.create ();
+    num_pes;
+    root = None;
+    next_pe = 0;
+    allocations = 0;
+    releases = 0;
+    capacity = None;
+  }
+
+let set_capacity t cap =
+  (match cap with
+  | Some c when c < Vec.length t.verts ->
+    invalid_arg "Graph.set_capacity: below current table size"
+  | Some _ | None -> ());
+  t.capacity <- cap
+
+let capacity t = t.capacity
+
+let headroom t =
+  match t.capacity with
+  | None -> max_int
+  | Some c -> Vec.length t.free + (c - Vec.length t.verts)
+
+let num_pes t = t.num_pes
+
+let root t =
+  match t.root with
+  | Some r -> r
+  | None -> invalid_arg "Graph.root: no root set"
+
+let has_root t = t.root <> None
+
+let set_root t r = t.root <- Some r
+
+let mem t v = v >= 0 && v < Vec.length t.verts
+
+let vertex t v =
+  if not (mem t v) then invalid_arg (Printf.sprintf "Graph.vertex: unknown vertex v%d" v);
+  Vec.get t.verts v
+
+let next_pe t =
+  let pe = t.next_pe in
+  t.next_pe <- (t.next_pe + 1) mod t.num_pes;
+  pe
+
+let fresh t ~pe label =
+  let id = Vec.length t.verts in
+  let v = Vertex.create id ~pe label in
+  Vec.push t.verts v;
+  v
+
+let alloc ?pe t label =
+  let pe = match pe with Some p -> p | None -> next_pe t in
+  match Vec.pop t.free with
+  | Some id ->
+    t.allocations <- t.allocations + 1;
+    let v = Vec.get t.verts id in
+    v.Vertex.label <- label;
+    v.Vertex.free <- false;
+    v.Vertex.pe <- pe;
+    v
+  | None ->
+    (match t.capacity with
+    | Some c when Vec.length t.verts >= c -> raise Out_of_vertices
+    | Some _ | None -> ());
+    t.allocations <- t.allocations + 1;
+    fresh t ~pe label
+
+let release t id =
+  let v = vertex t id in
+  if v.Vertex.free then invalid_arg (Printf.sprintf "Graph.release: v%d already free" id);
+  t.releases <- t.releases + 1;
+  Vertex.reset_for_free v;
+  Vec.push t.free id
+
+let preallocate t n =
+  for _ = 1 to n do
+    let v = fresh t ~pe:(next_pe t) Label.Freed in
+    v.Vertex.free <- true;
+    Vec.push t.free v.Vertex.id
+  done
+
+let children t v = (vertex t v).Vertex.args
+
+let vertex_count t = Vec.length t.verts
+
+let free_count t = Vec.length t.free
+
+let live_count t = vertex_count t - free_count t
+
+let free_list t = Vec.to_list t.free
+
+let iter_all f t = Vec.iter f t.verts
+
+let iter_live f t = Vec.iter (fun v -> if not v.Vertex.free then f v) t.verts
+
+let live_vids t =
+  Vec.fold_left (fun acc v -> if v.Vertex.free then acc else v.Vertex.id :: acc) [] t.verts
+  |> List.rev
+
+let fold_live f acc t =
+  Vec.fold_left (fun acc v -> if v.Vertex.free then acc else f acc v) acc t.verts
+
+let reset_plane t plane = iter_all (fun v -> Plane.reset (Vertex.plane v plane)) t
+
+let allocations t = t.allocations
+
+let releases t = t.releases

@@ -1,0 +1,83 @@
+(** The distributed computation graph.
+
+    A dense vertex table plus the free list [F] of §2.2. Vertices are
+    assigned to processing elements (the partition of §2) at allocation
+    time, round-robin by default. The graph itself is a passive store —
+    task semantics live in [Dgr_core] and [Dgr_reduction]. *)
+
+type t
+
+exception Out_of_vertices
+(** Raised by [alloc] when the free list is empty and the capacity is
+    reached — §2.2's V is finite; new vertices come only from F. *)
+
+val create : ?num_pes:int -> unit -> t
+(** [create ~num_pes ()] is an empty graph partitioned over [num_pes]
+    processing elements (default 1), with unbounded capacity. *)
+
+val set_capacity : t -> int option -> unit
+(** Bound (or unbound) the vertex-table size. Raises [Invalid_argument]
+    if the bound is below the current table size. *)
+
+val capacity : t -> int option
+
+val headroom : t -> int
+(** Vertices allocatable before [Out_of_vertices]: |F| plus remaining
+    table growth. [max_int] when unbounded. *)
+
+val num_pes : t -> int
+
+val root : t -> Vid.t
+(** Raises [Invalid_argument] if no root has been set. *)
+
+val has_root : t -> bool
+
+val set_root : t -> Vid.t -> unit
+
+val vertex : t -> Vid.t -> Vertex.t
+(** Raises [Invalid_argument] on an out-of-range id. *)
+
+val mem : t -> Vid.t -> bool
+
+val alloc : ?pe:int -> t -> Label.t -> Vertex.t
+(** Acquire a vertex from the free list (or grow the table if [F] is
+    empty), assign it to a PE and label it. The returned vertex has no
+    edges. *)
+
+val release : t -> Vid.t -> unit
+(** Reset the vertex and return it to the free list (the restructuring
+    phase's "add elements of GAR to F"). Raises [Invalid_argument] if the
+    vertex is already free. *)
+
+val preallocate : t -> int -> unit
+(** Grow the table by [n] vertices placed directly on the free list. *)
+
+val children : t -> Vid.t -> Vid.t list
+(** [args] of the vertex. *)
+
+val vertex_count : t -> int
+(** Total table size |V| (live + free). *)
+
+val free_count : t -> int
+(** |F|. *)
+
+val live_count : t -> int
+
+val free_list : t -> Vid.t list
+
+val iter_live : (Vertex.t -> unit) -> t -> unit
+
+val iter_all : (Vertex.t -> unit) -> t -> unit
+
+val live_vids : t -> Vid.t list
+
+val fold_live : ('a -> Vertex.t -> 'a) -> 'a -> t -> 'a
+
+val reset_plane : t -> Plane.id -> unit
+(** Unmark every vertex's plane (between marking cycles). *)
+
+val allocations : t -> int
+(** Cumulative number of [alloc] calls. *)
+
+val releases : t -> int
+(** Cumulative number of [release] calls. *)

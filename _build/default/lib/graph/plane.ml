@@ -1,0 +1,48 @@
+type color = Unmarked | Transient | Marked
+
+type parent = Rootpar | Parent of Vid.t
+
+type t = { mutable color : color; mutable cnt : int; mutable par : parent; mutable prior : int }
+
+type id = MR | MT
+
+let create () = { color = Unmarked; cnt = 0; par = Rootpar; prior = 0 }
+
+let reset t =
+  t.color <- Unmarked;
+  t.cnt <- 0;
+  t.par <- Rootpar;
+  t.prior <- 0
+
+let unmarked t = t.color = Unmarked
+
+let transient t = t.color = Transient
+
+let marked t = t.color = Marked
+
+let touch t = t.color <- Transient
+
+let mark t = t.color <- Marked
+
+let unmark t =
+  t.color <- Unmarked;
+  t.prior <- 0
+
+let equal_color (a : color) b = a = b
+
+let pp_color fmt = function
+  | Unmarked -> Format.pp_print_string fmt "unmarked"
+  | Transient -> Format.pp_print_string fmt "transient"
+  | Marked -> Format.pp_print_string fmt "marked"
+
+let pp_parent fmt = function
+  | Rootpar -> Format.pp_print_string fmt "rootpar"
+  | Parent v -> Vid.pp fmt v
+
+let pp_id fmt = function
+  | MR -> Format.pp_print_string fmt "M_R"
+  | MT -> Format.pp_print_string fmt "M_T"
+
+let pp fmt t =
+  Format.fprintf fmt "{%a cnt=%d par=%a prior=%d}" pp_color t.color t.cnt pp_parent t.par
+    t.prior

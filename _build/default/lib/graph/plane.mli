@@ -1,0 +1,56 @@
+(** Per-vertex marking state for one marking process.
+
+    Each vertex carries two independent planes — one for M_R (marking from
+    the root) and one for M_T (marking from tasks) — because deadlock
+    detection compares the two results (DL' = R'_v − T', §5.4) and the
+    paper requires their bits to be distinct (§5.2).
+
+    A plane holds the tri-state colour (unmarked / transient / marked,
+    §4.1), the outstanding-mark-task counter [mt-cnt], the marking-tree
+    parent [mt-par], and — for M_R only — the priority with which the
+    vertex was traced (3 = vital, 2 = eager, 1 = reserve; §5.1). *)
+
+type color = Unmarked | Transient | Marked
+
+type parent = Rootpar | Parent of Vid.t
+(** [Rootpar] is the paper's dummy node used by [return1] to detect
+    termination of the whole marking process. *)
+
+type t = {
+  mutable color : color;
+  mutable cnt : int;  (** mt-cnt: spawned-but-unreturned mark tasks *)
+  mutable par : parent;  (** mt-par: parent in the marking tree *)
+  mutable prior : int;  (** 0 when unmarked; 1..3 once traced (M_R) *)
+}
+
+type id = MR | MT
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Return the plane to the pristine unmarked state (between cycles). *)
+
+val unmarked : t -> bool
+
+val transient : t -> bool
+
+val marked : t -> bool
+
+val touch : t -> unit
+(** unmarked/marked -> transient (paper's [touch]). *)
+
+val mark : t -> unit
+(** -> marked (paper's [mark]). *)
+
+val unmark : t -> unit
+(** -> unmarked, clearing priority. *)
+
+val equal_color : color -> color -> bool
+
+val pp_color : Format.formatter -> color -> unit
+
+val pp_parent : Format.formatter -> parent -> unit
+
+val pp_id : Format.formatter -> id -> unit
+
+val pp : Format.formatter -> t -> unit

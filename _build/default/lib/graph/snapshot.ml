@@ -1,0 +1,51 @@
+type vertex = {
+  id : Vid.t;
+  label : Label.t;
+  args : Vid.t list;
+  req_v : Vid.t list;
+  req_e : Vid.t list;
+  requested : Vertex.request_entry list;
+  free : bool;
+  pe : int;
+  mr_color : Plane.color;
+  mr_prior : int;
+  mt_color : Plane.color;
+}
+
+type t = { root : Vid.t option; verts : vertex array }
+
+let snap_vertex (v : Vertex.t) =
+  {
+    id = v.Vertex.id;
+    label = v.Vertex.label;
+    args = v.Vertex.args;
+    req_v = v.Vertex.req_v;
+    req_e = v.Vertex.req_e;
+    requested = v.Vertex.requested;
+    free = v.Vertex.free;
+    pe = v.Vertex.pe;
+    mr_color = v.Vertex.mr.Plane.color;
+    mr_prior = v.Vertex.mr.Plane.prior;
+    mt_color = v.Vertex.mt.Plane.color;
+  }
+
+let take g =
+  let n = Graph.vertex_count g in
+  let verts =
+    Array.init n (fun i -> snap_vertex (Graph.vertex g i))
+  in
+  let root = if Graph.has_root g then Some (Graph.root g) else None in
+  { root; verts }
+
+let vertex t v =
+  if v < 0 || v >= Array.length t.verts then
+    invalid_arg (Printf.sprintf "Snapshot.vertex: unknown vertex v%d" v);
+  t.verts.(v)
+
+let size t = Array.length t.verts
+
+let live t = Array.to_list t.verts |> List.filter (fun v -> not v.free)
+
+let free_set t =
+  Array.fold_left (fun acc v -> if v.free then Vid.Set.add v.id acc else acc) Vid.Set.empty
+    t.verts

@@ -1,0 +1,32 @@
+(** Immutable global snapshots of a graph.
+
+    The reachability oracle ([Dgr_analysis]) and the correctness tests
+    operate on snapshots so that the sets of Properties 1-6 can be
+    evaluated "at time t" while the live graph keeps mutating. *)
+
+type vertex = {
+  id : Vid.t;
+  label : Label.t;
+  args : Vid.t list;
+  req_v : Vid.t list;
+  req_e : Vid.t list;
+  requested : Vertex.request_entry list;
+  free : bool;
+  pe : int;
+  mr_color : Plane.color;
+  mr_prior : int;
+  mt_color : Plane.color;
+}
+
+type t = { root : Vid.t option; verts : vertex array }
+
+val take : Graph.t -> t
+
+val vertex : t -> Vid.t -> vertex
+
+val size : t -> int
+
+val live : t -> vertex list
+
+val free_set : t -> Vid.Set.t
+(** The free list F as a set. *)

@@ -1,0 +1,70 @@
+type error = string
+
+let check g =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let in_range v = Graph.mem g v in
+  let subset name vid sub super =
+    List.iter
+      (fun c ->
+        if not (List.exists (Vid.equal c) super) then
+          err "v%d: %s contains v%d which is not in args" vid name c)
+      sub
+  in
+  Graph.iter_all
+    (fun v ->
+      let id = v.Vertex.id in
+      List.iter
+        (fun c -> if not (in_range c) then err "v%d: arg v%d out of range" id c)
+        v.Vertex.args;
+      List.iter
+        (fun (e : Vertex.request_entry) ->
+          match e.Vertex.who with
+          | Some r when not (in_range r) -> err "v%d: requester v%d out of range" id r
+          | Some _ | None -> ())
+        v.Vertex.requested;
+      subset "req_v" id v.Vertex.req_v v.Vertex.args;
+      subset "req_e" id v.Vertex.req_e v.Vertex.args;
+      List.iter
+        (fun c ->
+          if List.exists (Vid.equal c) v.Vertex.req_e then
+            err "v%d: v%d in both req_v and req_e" id c)
+        v.Vertex.req_v;
+      if v.Vertex.free then begin
+        if v.Vertex.label <> Label.Freed then
+          err "v%d: free vertex has label %s" id (Label.to_string v.Vertex.label);
+        if v.Vertex.args <> [] then err "v%d: free vertex has args" id;
+        if v.Vertex.requested <> [] then err "v%d: free vertex has requesters" id
+      end
+      else
+        List.iter
+          (fun c ->
+            if in_range c && (Graph.vertex g c).Vertex.free then
+              err "v%d: live vertex points to free vertex v%d" id c)
+          v.Vertex.args)
+    g;
+  (* Free list and flags agree. *)
+  let on_list = Vid.Tbl.create 16 in
+  List.iter
+    (fun v ->
+      if Vid.Tbl.mem on_list v then err "free list contains v%d twice" v;
+      Vid.Tbl.replace on_list v ();
+      if Graph.mem g v && not (Graph.vertex g v).Vertex.free then
+        err "free list contains live vertex v%d" v)
+    (Graph.free_list g);
+  Graph.iter_all
+    (fun v ->
+      if v.Vertex.free && not (Vid.Tbl.mem on_list v.Vertex.id) then
+        err "v%d flagged free but not on free list" v.Vertex.id)
+    g;
+  if Graph.has_root g then begin
+    let r = Graph.root g in
+    if not (Graph.mem g r) then err "root v%d out of range" r
+    else if (Graph.vertex g r).Vertex.free then err "root v%d is free" r
+  end;
+  List.rev !errors
+
+let check_exn g =
+  match check g with
+  | [] -> ()
+  | errs -> failwith ("Validate.check failed:\n" ^ String.concat "\n" errs)

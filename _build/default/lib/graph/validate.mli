@@ -1,0 +1,19 @@
+(** Structural well-formedness checks for graphs.
+
+    Distinct from the {e marking} invariants (checked in
+    [Dgr_core.Invariants]); these validate the mutator-level data
+    structure itself and are asserted throughout the test suite. *)
+
+type error = string
+
+val check : Graph.t -> error list
+(** Empty list when the graph is well-formed. Checked properties:
+    - every [args]/[req-args]/[requested] edge targets an in-range vertex;
+    - [req_v] and [req_e] are disjoint subsets of [args];
+    - no live vertex points to a free vertex via [args];
+    - free vertices carry label [Freed] and no edges;
+    - the free list and the [free] flags agree;
+    - the root (when set) is live. *)
+
+val check_exn : Graph.t -> unit
+(** Raises [Failure] with the concatenated errors. *)

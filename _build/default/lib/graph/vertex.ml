@@ -1,0 +1,142 @@
+type requester = Vid.t option
+
+type request_entry = { who : requester; demand : Demand.t; key : Vid.t }
+
+type t = {
+  id : Vid.t;
+  mutable label : Label.t;
+  mutable args : Vid.t list;
+  mutable req_v : Vid.t list;
+  mutable req_e : Vid.t list;
+  mutable requested : request_entry list;
+  mutable recv : (Vid.t * Label.value) list;
+  mutable pe : int;
+  mutable free : bool;
+  mutable sched_prior : int;
+  mr : Plane.t;
+  mt : Plane.t;
+}
+
+let create id ~pe label =
+  {
+    id;
+    label;
+    args = [];
+    req_v = [];
+    req_e = [];
+    requested = [];
+    recv = [];
+    pe;
+    free = false;
+    sched_prior = 0;
+    mr = Plane.create ();
+    mt = Plane.create ();
+  }
+
+let plane t = function Plane.MR -> t.mr | Plane.MT -> t.mt
+
+let connect t c = t.args <- t.args @ [ c ]
+
+let remove_one x l =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | y :: rest -> if Vid.equal x y then List.rev_append acc rest else loop (y :: acc) rest
+  in
+  loop [] l
+
+let remove_all x l = List.filter (fun y -> not (Vid.equal x y)) l
+
+let disconnect t c =
+  t.args <- remove_one c t.args;
+  (* req-args must remain subsets of args: drop the request record only if
+     no occurrence of [c] remains among the args. *)
+  if not (List.exists (Vid.equal c) t.args) then begin
+    t.req_v <- remove_all c t.req_v;
+    t.req_e <- remove_all c t.req_e
+  end
+
+let req_args t = t.req_v @ t.req_e
+
+let unrequested_args t =
+  let requested = req_args t in
+  List.filter (fun c -> not (List.exists (Vid.equal c) requested)) t.args
+
+let request_arg t c demand =
+  let in_v = List.exists (Vid.equal c) t.req_v in
+  let in_e = List.exists (Vid.equal c) t.req_e in
+  match demand with
+  | Demand.Vital ->
+    if not in_v then begin
+      t.req_v <- c :: t.req_v;
+      if in_e then t.req_e <- remove_all c t.req_e
+    end
+  | Demand.Eager -> if (not in_v) && not in_e then t.req_e <- c :: t.req_e
+
+let drop_request t c =
+  t.req_v <- remove_all c t.req_v;
+  t.req_e <- remove_all c t.req_e
+
+let request_type t c =
+  if List.exists (Vid.equal c) t.req_v then 3
+  else if List.exists (Vid.equal c) t.req_e then 2
+  else 1
+
+let requester_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Vid.equal x y
+  | None, Some _ | Some _, None -> false
+
+let add_requester t r ~demand ~key =
+  if
+    List.exists
+      (fun e -> requester_equal r e.who && Vid.equal key e.key)
+      t.requested
+  then begin
+    let upgrade e =
+      if
+        requester_equal r e.who && Vid.equal key e.key
+        && Demand.equal e.demand Demand.Eager
+        && Demand.equal demand Demand.Vital
+      then { e with demand = Demand.Vital }
+      else e
+    in
+    t.requested <- List.map upgrade t.requested
+  end
+  else t.requested <- { who = r; demand; key } :: t.requested
+
+let remove_requester t r =
+  t.requested <- List.filter (fun e -> not (requester_equal r e.who)) t.requested
+
+let has_requester t r = List.exists (fun e -> requester_equal r e.who) t.requested
+
+let has_request_entry t r key =
+  List.exists (fun e -> requester_equal r e.who && Vid.equal key e.key) t.requested
+
+let record_value t ~from value =
+  if not (List.exists (fun (c, _) -> Vid.equal c from) t.recv) then
+    t.recv <- (from, value) :: t.recv
+
+let value_from t c =
+  List.find_map (fun (c', v) -> if Vid.equal c c' then Some v else None) t.recv
+
+let clear_reduction_state t = t.recv <- []
+
+let reset_for_free t =
+  t.label <- Label.Freed;
+  t.args <- [];
+  t.req_v <- [];
+  t.req_e <- [];
+  t.requested <- [];
+  t.recv <- [];
+  t.free <- true;
+  t.sched_prior <- 0;
+  Plane.reset t.mr;
+  Plane.reset t.mt
+
+let pp fmt t =
+  let pp_vids = Fmt.(list ~sep:comma Vid.pp) in
+  Format.fprintf fmt "@[<h>%a[%a] pe=%d args=[%a] req_v=[%a] req_e=[%a] requested=%d%s@]" Vid.pp
+    t.id Label.pp t.label t.pe pp_vids t.args pp_vids t.req_v pp_vids t.req_e
+    (List.length t.requested)
+    (if t.free then " FREE" else "")

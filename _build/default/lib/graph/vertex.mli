@@ -1,0 +1,103 @@
+(** Vertices of the computation graph.
+
+    Each vertex carries the edge sets of the paper's abstract model (§2.1):
+
+    - [args v]: ordered data-dependency children;
+    - [req-args_v v] / [req-args_e v]: the disjoint subsets of [args]
+      whose values have been vitally / eagerly requested by [v];
+    - [requested v]: the vertices that have requested [v]'s value and not
+      yet been answered (each recorded with the demand kind, plus [None]
+      for the distinguished initial task [<-,root>]).
+
+    It also carries the reduction engine's per-vertex bookkeeping (values
+    received so far) and the two marking planes. Mutations of [args] must
+    go through the cooperating mutator primitives in [Dgr_core.Mutator];
+    the raw [connect]/[disconnect] operations here are the paper's
+    non-cooperating graph edits. *)
+
+type requester = Vid.t option
+(** [None] is the external origin of the initial task [<-,root>]. *)
+
+type request_entry = {
+  who : requester;
+  demand : Demand.t;
+  key : Vid.t;
+      (** the requester's own arg this request resolves (tasks carry it as
+          correlation state; see [Dgr_task.Task]) *)
+}
+
+type t = {
+  id : Vid.t;
+  mutable label : Label.t;
+  mutable args : Vid.t list;
+  mutable req_v : Vid.t list;
+  mutable req_e : Vid.t list;
+  mutable requested : request_entry list;
+  mutable recv : (Vid.t * Label.value) list;
+      (** values already returned by requested children, keyed by child *)
+  mutable pe : int;  (** owning processing element *)
+  mutable free : bool;  (** true while the vertex sits on the free list *)
+  mutable sched_prior : int;
+      (** last priority assigned by a completed M_R cycle (3 = vital, 2 =
+          eager, 1 = reserve); 0 until first classified. Survives plane
+          resets so PE pools can order tasks between cycles (§3.2). *)
+  mr : Plane.t;
+  mt : Plane.t;
+}
+
+val create : Vid.t -> pe:int -> Label.t -> t
+
+val plane : t -> Plane.id -> Plane.t
+
+val connect : t -> Vid.t -> unit
+(** Append a child to [args] (paper's [connect(a,b)]); duplicates allowed —
+    [args] is a multiset in the presence of e.g. [x + x]. *)
+
+val disconnect : t -> Vid.t -> unit
+(** Remove one occurrence of the child from [args] and from any [req-args]
+    set it appears in (paper's [disconnect(a,b)]). No-op if absent. *)
+
+val req_args : t -> Vid.t list
+(** [req_v @ req_e] — the paper's req-args(v). *)
+
+val unrequested_args : t -> Vid.t list
+(** args(v) − req-args(v): children not yet demanded (reserve paths). *)
+
+val request_arg : t -> Vid.t -> Demand.t -> unit
+(** Record that [v] demanded a child with the given kind. Upgrades an
+    eager record to vital when re-requested vitally; never downgrades. *)
+
+val drop_request : t -> Vid.t -> unit
+(** Remove a child from both req-args sets (dereference, §3.2) — the child
+    stays in [args] unless also disconnected. *)
+
+val request_type : t -> Vid.t -> int
+(** The paper's [request-type(c,v)] (Fig 5-1): 3 if [c] is vitally
+    requested by [v], 2 if eagerly requested, 1 otherwise. *)
+
+val add_requester : t -> requester -> demand:Demand.t -> key:Vid.t -> unit
+(** Add to [requested v]. Entries are identified by [(who, key)] — the
+    same requester may legitimately await [v] through two different args.
+    A vital request upgrades an existing eager entry. *)
+
+val remove_requester : t -> requester -> unit
+(** Remove every entry of this requester (it dereferenced [v], or was
+    answered on all its keys). *)
+
+val has_requester : t -> requester -> bool
+
+val has_request_entry : t -> requester -> Vid.t -> bool
+(** Entry-level membership (same [(who, key)] identity as
+    [add_requester]). *)
+
+val record_value : t -> from:Vid.t -> Label.value -> unit
+
+val value_from : t -> Vid.t -> Label.value option
+
+val clear_reduction_state : t -> unit
+(** Reset [recv] (used when a vertex is re-expanded or freed). *)
+
+val reset_for_free : t -> unit
+(** Wipe every field for return to the free list. *)
+
+val pp : Format.formatter -> t -> unit

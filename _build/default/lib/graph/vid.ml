@@ -1,0 +1,21 @@
+type t = int
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash = Hashtbl.hash
+
+let pp fmt v = Format.fprintf fmt "v%d" v
+
+let to_string v = "v" ^ string_of_int v
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

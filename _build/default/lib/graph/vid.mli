@@ -1,0 +1,24 @@
+(** Vertex identifiers.
+
+    A [Vid.t] is a dense non-negative integer index into the graph's vertex
+    table; identifiers are never reused across the lifetime of a graph even
+    when the vertex returns to the free list (the index is, the identity
+    semantics are handled by the vertex's [free] flag). *)
+
+type t = int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+module Tbl : Hashtbl.S with type key = t

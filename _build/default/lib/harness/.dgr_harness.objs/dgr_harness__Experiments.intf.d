@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Dgr_util Table

@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Builder Demand Dgr_graph Dgr_task Graph Label Task Vertex Vid

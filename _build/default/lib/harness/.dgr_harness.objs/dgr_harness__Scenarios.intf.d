@@ -1,0 +1,1 @@
+lib/harness/scenarios.mli: Dgr_graph Dgr_task Graph Task Vid

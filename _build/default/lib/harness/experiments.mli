@@ -1,0 +1,58 @@
+open Dgr_util
+
+(** The experiment suite (see DESIGN.md §3 and EXPERIMENTS.md).
+
+    The paper (PODC 1983) has no quantitative evaluation section; its
+    "evaluation" is two worked figures and a set of claims argued in
+    prose. Each experiment here regenerates one of those artifacts as a
+    table:
+
+    - E1 — Fig 3-1 / Theorem 2: deadlock detection on [x = x + 1];
+    - E2 — Fig 3-2 / Properties 3-6: the four task types classified both
+      by the oracle and by the decentralized marking;
+    - E3 — Fig 3-3: Venn-region sizes on random mutating graphs, with the
+      structural containments checked;
+    - E4 — §4: concurrent marking vs stop-the-world vs reference counting
+      (pause times and completion);
+    - E5 — §1/§4: scaling of the decentralized marking with PE count;
+    - E6 — §4: cyclic garbage — tracing reclaims it, RC leaks it;
+    - E7 — §3.2 item 3 / Property 6: irrelevant-task deletion bounds the
+      speculative explosion;
+    - E8 — §3.2 items 1-2: dynamic task priorities (ablation of the pool
+      policy);
+    - E9 — §6: the space optimization — marking-tree bookkeeping
+      (2 words/vertex, return tasks) vs flood counters (2 words/PE,
+      termination by counting);
+    - E10 — §2.2: V is finite — the smallest heap each collector can run
+      the same program in.
+
+    Each run function is deterministic for a given seed. *)
+
+type result = Table.t list
+
+val e1_deadlock : ?seed:int -> unit -> result
+
+val e2_task_types : unit -> result
+
+val e3_venn : ?seed:int -> unit -> result
+
+val e4_gc_comparison : ?seed:int -> unit -> result
+
+val e5_scaling : ?seed:int -> unit -> result
+
+val e6_cyclic_garbage : ?seed:int -> unit -> result
+
+val e7_irrelevant_tasks : ?seed:int -> unit -> result
+
+val e8_priorities : ?seed:int -> unit -> result
+
+val e9_marking_schemes : ?seed:int -> unit -> result
+
+val e10_heap_sweep : ?seed:int -> unit -> result
+
+val all : (string * string * (unit -> result)) list
+(** [(id, title, run)] for every experiment, in order. *)
+
+val run : string -> unit
+(** Run one experiment by id ("e1".."e10" or "all") and print its tables.
+    Raises [Invalid_argument] on an unknown id. *)

@@ -1,0 +1,70 @@
+open Dgr_graph
+open Dgr_task
+open Task
+
+type fig_3_1 = { graph : Graph.t; x : Vid.t; one : Vid.t }
+
+let fig_3_1 ?(num_pes = 2) () =
+  let g = Graph.create ~num_pes () in
+  let one = Builder.add g (Label.Int 1) [] in
+  let x = Graph.alloc g (Label.Prim Label.Add) in
+  Vertex.connect x x.Vertex.id;
+  Vertex.connect x one;
+  let root = Builder.add_root g Label.Ind [ x.Vertex.id ] in
+  ignore root;
+  { graph = g; x = x.Vertex.id; one }
+
+type fig_3_2 = {
+  graph : Graph.t;
+  if0 : Vid.t;
+  if1 : Vid.t;
+  a1 : Vid.t;
+  d : Vid.t;
+  c : Vid.t;
+  abc : Vid.t;
+  tasks : Task.reduction list;
+}
+
+let fig_3_2 ?(num_pes = 2) () =
+  let g = Graph.create ~num_pes () in
+  let vital = Demand.Vital and eager = Demand.Eager in
+  (* leaves *)
+  let a = Builder.add g (Label.Int 10) [] in
+  let b = Builder.add g (Label.Int 20) [] in
+  let one = Builder.add g (Label.Int 1) [] in
+  let tt = Builder.add g (Label.Bool true) [] in
+  let d = Builder.add g (Label.Int 30) [] in
+  let c = Builder.add g (Label.Int 40) [] in
+  (* a+1, vitally requested by the resolved inner conditional *)
+  let a1 = Builder.add g (Label.Prim Label.Add) [ a; one ] in
+  (* a+b+c, already dereferenced *and* disconnected from if1: garbage *)
+  let ab = Builder.add g (Label.Prim Label.Add) [ a; b ] in
+  let abc = Builder.add g (Label.Prim Label.Add) [ ab; c ] in
+  (* the predicate if1 = if true then a1 else abc, frozen just after its
+     own predicate resolved: abc dereferenced and dropped, a1 upgraded *)
+  let if1 = Builder.add g Label.If [ tt; a1 ] in
+  let vif1 = Graph.vertex g if1 in
+  Vertex.request_arg vif1 a1 vital;
+  (* the outer conditional if0 = if p then d else c: p vital, branches
+     speculated; c has since been dereferenced (but stays an argument of
+     if0 — reserve territory) *)
+  let if0 = Builder.add_root g Label.If [ if1; d; c ] in
+  let vif0 = Graph.vertex g if0 in
+  Vertex.request_arg vif0 if1 vital;
+  Vertex.request_arg vif0 d eager;
+  (* the external initial task has demanded the root *)
+  Vertex.add_requester vif0 None ~demand:vital ~key:if0;
+  (* requested-entries mirroring the outstanding requests *)
+  Vertex.add_requester vif1 (Some if0) ~demand:vital ~key:if1;
+  Vertex.add_requester (Graph.vertex g a1) (Some if1) ~demand:vital ~key:a1;
+  Vertex.add_requester (Graph.vertex g d) (Some if0) ~demand:eager ~key:d;
+  (* the four tasks of Fig 3-2, one per destination of interest *)
+  let tasks =
+    [
+      Request { src = Some if1; dst = a1; demand = vital; key = a1 };
+      Request { src = Some if0; dst = d; demand = eager; key = d };
+      Request { src = Some if0; dst = c; demand = eager; key = c };
+      Request { src = Some if1; dst = abc; demand = eager; key = abc };
+    ]
+  in
+  { graph = g; if0; if1; a1; d; c; abc; tasks }

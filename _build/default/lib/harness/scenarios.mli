@@ -1,0 +1,34 @@
+open Dgr_graph
+open Dgr_task
+
+(** The paper's worked figures as constructible graph states. *)
+
+type fig_3_1 = {
+  graph : Graph.t;
+  x : Vid.t;  (** the self-referential [x = x + 1] vertex *)
+  one : Vid.t;
+}
+
+val fig_3_1 : ?num_pes:int -> unit -> fig_3_1
+(** Fig 3-1: a vertex whose value directly depends on itself. The root is
+    an indirection onto [x]; demanding the root deadlocks. *)
+
+type fig_3_2 = {
+  graph : Graph.t;
+  if0 : Vid.t;  (** outer conditional (the root) *)
+  if1 : Vid.t;  (** the predicate [p = if true then (a+1) else (a+b+c)] *)
+  a1 : Vid.t;  (** [a+1] — vitally reachable *)
+  d : Vid.t;  (** then-branch of [if0] — eagerly requested *)
+  c : Vid.t;  (** else-branch of [if0] — dereferenced but still an arg *)
+  abc : Vid.t;  (** [a+b+c] — dereferenced and disconnected: garbage *)
+  tasks : Task.reduction list;
+      (** one in-flight task per vertex of interest, in the order
+          [a1; d; c; abc] — classifying them must yield vital, eager,
+          reserve, irrelevant (Properties 3-6) *)
+}
+
+val fig_3_2 : ?num_pes:int -> unit -> fig_3_2
+(** Fig 3-2 frozen at the instant the paper depicts: the inner conditional
+    has resolved its predicate to [true], upgrading [a+1] to vital and
+    dereferencing [a+b+c]; the outer conditional still speculates on its
+    branches, and [c] has been dereferenced but remains an argument. *)

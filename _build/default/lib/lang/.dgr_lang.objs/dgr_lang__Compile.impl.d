@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Ast Dgr_core Dgr_graph Dgr_reduction Dgr_util Graph Label List Option Parser Printf Template

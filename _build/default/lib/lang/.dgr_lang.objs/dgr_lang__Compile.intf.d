@@ -1,0 +1,1 @@
+lib/lang/compile.mli: Ast Dgr_graph Dgr_reduction Graph Template Vid

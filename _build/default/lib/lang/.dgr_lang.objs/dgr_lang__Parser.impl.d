@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Dgr_graph Label Lexer List Printf

@@ -1,0 +1,1 @@
+lib/lang/prelude.ml: Printf

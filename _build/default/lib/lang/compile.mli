@@ -1,0 +1,29 @@
+open Dgr_graph
+open Dgr_reduction
+
+(** Compiler from the surface language to graph templates.
+
+    Each [def] becomes one {!Template.t}; [main] (which must take no
+    parameters) is instantiated to form the initial computation graph.
+    [Let]-bound expressions compile to a single shared slot — the shared
+    subexpressions whose interaction with task types §3.2 dwells on. *)
+
+exception Compile_error of string
+
+val compile_program : Ast.program -> Template.registry
+(** Validates: no duplicate definitions, all variables bound, all calls
+    target known functions with matching arity. Raises {!Compile_error}. *)
+
+val load : ?num_pes:int -> ?free_pool:int -> Ast.program -> Graph.t * Template.registry
+(** Compile, then build a graph whose root is an instance of [main].
+    [free_pool] extra vertices are preallocated on the free list first, so
+    instantiation draws from [F] as the paper prescribes. *)
+
+val load_string : ?num_pes:int -> ?free_pool:int -> string -> Graph.t * Template.registry
+(** [load] ∘ {!Parser.parse_program}. *)
+
+val graph_of_expr :
+  ?registry:Template.registry -> Graph.t -> Ast.expr -> Vid.t
+(** Build a closed expression directly into an existing graph and return
+    its root vertex (not set as graph root). Calls must resolve in
+    [registry] (empty by default). *)

@@ -1,0 +1,151 @@
+type token =
+  | INT of int
+  | NAME of string
+  | KW_DEF
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_LET
+  | KW_IN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NIL
+  | KW_BOTTOM
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NEQ
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+exception Error of string * int
+
+let keyword = function
+  | "def" -> Some KW_DEF
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "let" -> Some KW_LET
+  | "in" -> Some KW_IN
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "nil" -> Some KW_NIL
+  | "bottom" -> Some KW_BOTTOM
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c || c = '\''
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_name_start c then begin
+      let start = !i in
+      while !i < n && is_name_char input.[!i] do
+        incr i
+      done;
+      let name = String.sub input start (!i - start) in
+      emit (match keyword name with Some kw -> kw | None -> NAME name)
+    end
+    else begin
+      let two tok = emit tok; i := !i + 2 in
+      let one tok = emit tok; incr i in
+      match (c, peek 1) with
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LEQ
+      | '>', Some '=' -> two GEQ
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '=', _ -> one EQUALS
+      | '!', _ -> one BANG
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i))
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | NAME s -> s
+  | KW_DEF -> "def"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_LET -> "let"
+  | KW_IN -> "in"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NIL -> "nil"
+  | KW_BOTTOM -> "bottom"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LEQ -> "<="
+  | GT -> ">"
+  | GEQ -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"

@@ -1,0 +1,46 @@
+(** Tokenizer for the surface language. *)
+
+type token =
+  | INT of int
+  | NAME of string
+  | KW_DEF
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_LET
+  | KW_IN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NIL
+  | KW_BOTTOM
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | EQUALS  (** = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NEQ
+  | LT
+  | LEQ
+  | GT
+  | GEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+exception Error of string * int
+(** message, character offset *)
+
+val tokenize : string -> token list
+(** Supports line comments ([# ... \n]). Raises {!Error} on unknown
+    characters. *)
+
+val token_to_string : token -> string

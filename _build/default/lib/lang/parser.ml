@@ -1,0 +1,250 @@
+open Dgr_graph
+open Lexer
+
+exception Parse_error of string
+
+type state = { mutable tokens : token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> EOF | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" (token_to_string tok) (token_to_string (peek st))
+
+let builtin_prims =
+  [
+    ("head", (Label.Head, 1));
+    ("tail", (Label.Tail, 1));
+    ("isnil", (Label.Is_nil, 1));
+    ("not", (Label.Not, 1));
+    ("neg", (Label.Neg, 1));
+  ]
+
+let rec parse_expression st =
+  match peek st with
+  | KW_IF ->
+    advance st;
+    let p = parse_expression st in
+    expect st KW_THEN;
+    let t = parse_expression st in
+    expect st KW_ELSE;
+    let e = parse_expression st in
+    Ast.If (p, t, e)
+  | KW_LET ->
+    advance st;
+    let x =
+      match peek st with
+      | NAME x ->
+        advance st;
+        x
+      | t -> fail "expected name after let, found %s" (token_to_string t)
+    in
+    expect st EQUALS;
+    let e1 = parse_expression st in
+    expect st KW_IN;
+    let e2 = parse_expression st in
+    Ast.Let (x, e1, e2)
+  | _ -> parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = OROR then begin
+    advance st;
+    Ast.Prim (Label.Or, [ lhs; parse_or st ])
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = ANDAND then begin
+    advance st;
+    Ast.Prim (Label.And, [ lhs; parse_and st ])
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | EQEQ ->
+    advance st;
+    Ast.Prim (Label.Eq, [ lhs; parse_add st ])
+  | NEQ ->
+    advance st;
+    Ast.Prim (Label.Not, [ Ast.Prim (Label.Eq, [ lhs; parse_add st ]) ])
+  | LT ->
+    advance st;
+    Ast.Prim (Label.Lt, [ lhs; parse_add st ])
+  | LEQ ->
+    advance st;
+    Ast.Prim (Label.Leq, [ lhs; parse_add st ])
+  | GT ->
+    advance st;
+    let rhs = parse_add st in
+    Ast.Prim (Label.Lt, [ rhs; lhs ])
+  | GEQ ->
+    advance st;
+    let rhs = parse_add st in
+    Ast.Prim (Label.Leq, [ rhs; lhs ])
+  | _ -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Ast.Prim (Label.Add, [ lhs; parse_mul st ]))
+    | MINUS ->
+      advance st;
+      loop (Ast.Prim (Label.Sub, [ lhs; parse_mul st ]))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Ast.Prim (Label.Mul, [ lhs; parse_unary st ]))
+    | SLASH ->
+      advance st;
+      loop (Ast.Prim (Label.Div, [ lhs; parse_unary st ]))
+    | PERCENT ->
+      advance st;
+      loop (Ast.Prim (Label.Mod, [ lhs; parse_unary st ]))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+    advance st;
+    Ast.Prim (Label.Neg, [ parse_unary st ])
+  | BANG ->
+    advance st;
+    Ast.Prim (Label.Not, [ parse_unary st ])
+  | _ -> parse_atom st
+
+and parse_args st =
+  expect st LPAREN;
+  if peek st = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expression st in
+      match peek st with
+      | COMMA ->
+        advance st;
+        loop (e :: acc)
+      | RPAREN ->
+        advance st;
+        List.rev (e :: acc)
+      | t -> fail "expected , or ) in argument list, found %s" (token_to_string t)
+    in
+    loop []
+  end
+
+and parse_atom st =
+  match peek st with
+  | INT n ->
+    advance st;
+    Ast.Int n
+  | KW_TRUE ->
+    advance st;
+    Ast.Bool true
+  | KW_FALSE ->
+    advance st;
+    Ast.Bool false
+  | KW_NIL ->
+    advance st;
+    Ast.Nil
+  | KW_BOTTOM ->
+    advance st;
+    Ast.Bottom
+  | LPAREN ->
+    advance st;
+    let e = parse_expression st in
+    expect st RPAREN;
+    e
+  | LBRACKET ->
+    advance st;
+    let rec elems acc =
+      if peek st = RBRACKET then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let e = parse_expression st in
+        match peek st with
+        | COMMA ->
+          advance st;
+          elems (e :: acc)
+        | RBRACKET ->
+          advance st;
+          List.rev (e :: acc)
+        | t -> fail "expected , or ] in list literal, found %s" (token_to_string t)
+      end
+    in
+    let es = elems [] in
+    List.fold_right (fun h t -> Ast.Cons (h, t)) es Ast.Nil
+  | NAME x -> (
+    advance st;
+    if peek st <> LPAREN then Ast.Var x
+    else
+      let args = parse_args st in
+      match (x, args) with
+      | "cons", [ h; t ] -> Ast.Cons (h, t)
+      | "cons", _ -> fail "cons expects 2 arguments"
+      | _ -> (
+        match List.assoc_opt x builtin_prims with
+        | Some (p, arity) ->
+          if List.length args <> arity then
+            fail "%s expects %d argument(s), got %d" x arity (List.length args);
+          Ast.Prim (p, args)
+        | None -> Ast.Call (x, args)))
+  | t -> fail "unexpected token %s" (token_to_string t)
+
+let parse_def st =
+  expect st KW_DEF;
+  let name =
+    match peek st with
+    | NAME x ->
+      advance st;
+      x
+    | t -> fail "expected function name after def, found %s" (token_to_string t)
+  in
+  let rec params acc =
+    match peek st with
+    | NAME x ->
+      advance st;
+      params (x :: acc)
+    | _ -> List.rev acc
+  in
+  let ps = params [] in
+  expect st EQUALS;
+  let body = parse_expression st in
+  expect st SEMI;
+  { Ast.name; params = ps; body }
+
+let parse_program input =
+  let st = { tokens = tokenize input } in
+  let rec loop acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | KW_DEF -> loop (parse_def st :: acc)
+    | t -> fail "expected def, found %s" (token_to_string t)
+  in
+  loop []
+
+let parse_expr input =
+  let st = { tokens = tokenize input } in
+  let e = parse_expression st in
+  expect st EOF;
+  e

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the surface language.
+
+    Syntax (see README for a tour):
+    {v
+    def fib n = if n < 2 then n else fib(n - 1) + fib(n - 2);
+    def main = fib(15);
+    v}
+
+    Functions are applied with parenthesized argument lists; [head],
+    [tail], [isnil], [not] and [cons] are builtin names; [\[e1, e2, ...\]]
+    is list-literal sugar; [#] starts a line comment. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Error}. *)
+
+val parse_expr : string -> Ast.expr
+(** A single expression (for tests and the CLI's [--expr]). *)

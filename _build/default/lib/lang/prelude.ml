@@ -1,0 +1,75 @@
+let fib n =
+  Printf.sprintf
+    {|
+def fib n = if n < 2 then n else fib(n - 1) + fib(n - 2);
+def main = fib(%d);
+|}
+    n
+
+let fib_expected n =
+  let rec f n = if n < 2 then n else f (n - 1) + f (n - 2) in
+  f n
+
+let sum_range n =
+  Printf.sprintf
+    {|
+def range n = if n == 0 then nil else cons(n, range(n - 1));
+def map_double xs = if isnil(xs) then nil else cons(2 * head(xs), map_double(tail(xs)));
+def sum xs = if isnil(xs) then 0 else head(xs) + sum(tail(xs));
+def main = sum(map_double(range(%d)));
+|}
+    n
+
+let sum_range_expected n = n * (n + 1)
+
+let mutual n =
+  Printf.sprintf
+    {|
+def even n = if n == 0 then true else odd(n - 1);
+def odd n = if n == 0 then false else even(n - 1);
+def main = if even(%d) then 1 else 0;
+|}
+    n
+
+let speculative n =
+  Printf.sprintf
+    {|
+# The predicate takes a while to compute; both branches are eagerly
+# requested meanwhile. The losing branch is a sizeable computation whose
+# tasks all become irrelevant once the predicate resolves.
+def slowly n = if n == 0 then 0 else slowly(n - 1);
+def burn n = if n == 0 then 1 else burn(n - 1) + burn(n - 1);
+def main = if slowly(%d) == 0 then 42 else burn(18);
+|}
+    n
+
+let divergent_speculation =
+  {|
+def spin x = spin(x + 1);
+def slowly n = if n == 0 then 0 else slowly(n - 1);
+def main = if slowly(24) == 0 then 7 else spin(0);
+|}
+
+let deadlock = {|
+def main = bottom + 1;
+|}
+
+let shared =
+  {|
+# d is shared: demanded vitally through one path and eagerly through the
+# conditional's losing branch.
+def main =
+  let d = 21 + 21 in
+  if 1 < 2 then d else d + head(nil);
+|}
+
+let speculative_deep n m =
+  Printf.sprintf
+    {|
+# The vital side is a deep recursion whose frames exceed the machine's
+# memory unless reclaimed; the losing branch is a large eager computation.
+def slowly n = if n == 0 then 0 else slowly(n - 1);
+def burn n = if n == 0 then 1 else burn(n - 1) + burn(n - 1);
+def main = if slowly(%d) == 0 then 42 else burn(%d);
+|}
+    n m

@@ -1,0 +1,39 @@
+(** Canonical example programs used by tests, examples and benches. *)
+
+val fib : int -> string
+(** Naive doubly-recursive Fibonacci of [n]; heavy graph expansion. *)
+
+val fib_expected : int -> int
+
+val sum_range : int -> string
+(** Builds the list [\[n, n-1, ..., 1\]], doubles it with [map], sums it:
+    list-processing workload with cons cells, head/tail projections. *)
+
+val sum_range_expected : int -> int
+
+val mutual : int -> string
+(** Mutually recursive even/odd — exercises cross-template recursion. *)
+
+val speculative : int -> string
+(** A conditional whose predicate is slow and whose losing branch is a
+    large eager computation — generates eager tasks that turn irrelevant
+    (§3.2). *)
+
+val speculative_deep : int -> int -> string
+(** [speculative_deep n m]: the vital side recurses [n] deep (allocating
+    ~8n vertices over its lifetime) while the losing branch is
+    [burn m] — on a bounded heap this only completes if garbage is
+    recycled. *)
+
+val divergent_speculation : string
+(** The losing branch diverges (an infinitely expanding call): without
+    irrelevant-task deletion this generates unbounded parallel workload —
+    §3.2 item 3 verbatim. [main] still has a value. *)
+
+val deadlock : string
+(** [main = bottom + 1]: the Fig 3-1 shape — root vitally awaits a vertex
+    no task can ever reach. *)
+
+val shared : string
+(** A let-shared subexpression demanded both vitally and eagerly, for the
+    reserve-task scenarios of Fig 3-2. *)

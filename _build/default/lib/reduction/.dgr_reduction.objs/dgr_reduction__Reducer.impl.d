@@ -1,0 +1,1 @@
+lib/reduction/reducer.ml: Demand Dgr_core Dgr_graph Dgr_task Dgr_util Graph Int Label List Logs Option Printf Task Template Vertex Vid

@@ -1,0 +1,1 @@
+lib/reduction/reducer.mli: Dgr_core Dgr_graph Dgr_task Dgr_util Graph Label Task Template Vid

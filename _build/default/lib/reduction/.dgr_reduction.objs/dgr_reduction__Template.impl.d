@@ -1,0 +1,1 @@
+lib/reduction/template.ml: Array Dgr_core Dgr_graph Graph Hashtbl Label List Printf String Vertex

@@ -1,0 +1,1 @@
+lib/reduction/template.mli: Dgr_core Dgr_graph Graph Label Vid

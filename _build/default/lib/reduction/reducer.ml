@@ -1,0 +1,460 @@
+open Dgr_graph
+open Dgr_task
+open Task
+module Mutator = Dgr_core.Mutator
+
+type reduction_task_vec = Task.reduction Dgr_util.Vec.t
+
+let src = Logs.Src.create "dgr.reducer" ~doc:"distributed graph reduction"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  graph : Graph.t;
+  mut : Mutator.t;
+  templates : Template.registry;
+  send : Task.t -> unit;
+  speculate_if : bool;
+  speculation_reserve : int;
+  parked : reduction_task_vec;
+  mutable result : Label.value option;
+  mutable requests_executed : int;
+  mutable responds_executed : int;
+  mutable cancels_executed : int;
+  mutable expansions : int;
+  mutable rewrites : int;
+  mutable stale_dropped : int;
+  mutable alloc_stalls : int;
+  mutable stuck : (Vid.t * string) list;
+}
+
+let create ?(speculate_if = true) ?(speculation_reserve = 0) ~graph ~mut ~templates
+    ~send () =
+  {
+    graph;
+    mut;
+    templates;
+    send;
+    speculate_if;
+    speculation_reserve;
+    parked = Dgr_util.Vec.create ();
+    result = None;
+    requests_executed = 0;
+    responds_executed = 0;
+    cancels_executed = 0;
+    expansions = 0;
+    rewrites = 0;
+    stale_dropped = 0;
+    alloc_stalls = 0;
+    stuck = [];
+  }
+
+let initial_task t =
+  let root = Graph.root t.graph in
+  Task.request root Demand.Vital
+
+let finished t = t.result <> None
+
+let stale t = t.stale_dropped <- t.stale_dropped + 1
+
+let mark_stuck t v reason =
+  if not (List.mem_assoc v t.stuck) then begin
+    t.stuck <- (v, reason) :: t.stuck;
+    Log.warn (fun m -> m "v%d stuck: %s (behaves as ⊥)" v reason)
+  end
+
+let distinct vids =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | v :: rest -> if List.exists (Vid.equal v) seen then loop seen rest else loop (v :: seen) rest
+  in
+  loop [] vids
+
+let send_request t ~src:s ~dst ~demand ~key =
+  t.send (Reduction (Request { src = s; dst; demand; key }))
+
+let send_respond t ~src:s ~dst ~value ~key ~demand =
+  t.send (Reduction (Respond { src = s; dst; value; key; demand }))
+
+(* Demand all strict arguments (first-demand path of Prim). The graph
+   records the {e relative} request type (strict args are vitally
+   requested, §3.2/Fig 5-1); the spawned tasks carry the {e global} class
+   [ctx] — a task spawned on behalf of an eager computation is itself
+   eager ("an initially eager task may expand into a highly parallel
+   workload of many other tasks"). *)
+let demand_args t v args ~ctx =
+  List.iter
+    (fun c ->
+      Mutator.request_child t.mut ~v ~c ~demand:Demand.Vital;
+      send_request t ~src:(Some v) ~dst:c ~demand:ctx ~key:c)
+    (distinct args)
+
+(* True when an existing requester already makes [v] globally vital. *)
+let has_vital_requester vx =
+  List.exists
+    (fun (e : Vertex.request_entry) -> Demand.equal e.Vertex.demand Demand.Vital)
+    vx.Vertex.requested
+
+(* Answer every requester of [v] with [value] and forget them. *)
+let answer_all t v value =
+  let vx = Graph.vertex t.graph v in
+  let entries = vx.Vertex.requested in
+  List.iter
+    (fun (e : Vertex.request_entry) ->
+      send_respond t ~src:v ~dst:e.Vertex.who ~value ~key:e.Vertex.key ~demand:e.Vertex.demand)
+    entries;
+  (* [answer] removes all entries of a requester at once; deduplicate. *)
+  let whos =
+    List.fold_left
+      (fun acc (e : Vertex.request_entry) ->
+        if List.mem e.Vertex.who acc then acc else e.Vertex.who :: acc)
+      [] entries
+  in
+  List.iter (fun who -> Mutator.answer t.mut ~at:v ~requester:who) whos
+
+(* Forward every pending requester of the indirection [v] to [target].
+   The forwarded demand is also recorded on the edge v→target itself
+   (request-type, Fig 5-1): demand has really propagated through [v], and
+   M_R must see the path as requested or it would classify everything
+   below an indirection as reserve. *)
+let forward_requesters t v target =
+  let vx = Graph.vertex t.graph v in
+  let entries = vx.Vertex.requested in
+  (match entries with
+  | [] -> ()
+  | _ ->
+    let demand =
+      if
+        List.exists
+          (fun (e : Vertex.request_entry) -> Demand.equal e.Vertex.demand Demand.Vital)
+          entries
+      then Demand.Vital
+      else Demand.Eager
+    in
+    Mutator.request_child t.mut ~v ~c:target ~demand);
+  List.iter
+    (fun (e : Vertex.request_entry) ->
+      send_request t ~src:e.Vertex.who ~dst:target ~demand:e.Vertex.demand ~key:e.Vertex.key)
+    entries;
+  vx.Vertex.requested <- []
+
+(* Rewrite [v] to a scalar/WHNF label: answer requesters, drop argument
+   references (the contraction that creates garbage), clear state. *)
+let finish_value t v label =
+  let vx = Graph.vertex t.graph v in
+  vx.Vertex.label <- label;
+  t.rewrites <- t.rewrites + 1;
+  (match Label.value_of_whnf ~self:v label with
+  | Some value -> answer_all t v value
+  | None -> assert false);
+  List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) vx.Vertex.args;
+  Vertex.clear_reduction_state vx
+
+(* Rewrite [v] to an indirection onto its (sole remaining) child [target],
+   forwarding all pending demand. *)
+let become_indirection t v target =
+  let vx = Graph.vertex t.graph v in
+  vx.Vertex.label <- Label.Ind;
+  t.rewrites <- t.rewrites + 1;
+  forward_requesters t v target;
+  Vertex.clear_reduction_state vx
+
+let truthy = function
+  | Label.V_bool b -> b
+  | Label.V_int n -> n <> 0
+  | Label.V_nil | Label.V_ref _ | Label.V_err _ -> false
+
+(* --- primitive evaluation ------------------------------------------- *)
+
+let eval_scalar p values =
+  let int_of = function Label.V_int n -> Some n | _ -> None in
+  let bool_of = function Label.V_bool b -> Some b | _ -> None in
+  let module L = Label in
+  let err = Error (Printf.sprintf "type error in %s" (L.prim_name p)) in
+  (* ⊥-recovery values are contagious through strict operators
+     (footnote 5): the requester learns its input was undefined. *)
+  let first_err =
+    List.find_opt (function L.V_err _ -> true | _ -> false) values
+  in
+  match first_err with
+  | Some (L.V_err msg) -> Ok (L.Err msg)
+  | _ ->
+  match (p, values) with
+  | L.Add, [ a; b ] | L.Sub, [ a; b ] | L.Mul, [ a; b ] | L.Div, [ a; b ] | L.Mod, [ a; b ]
+    -> (
+    match (int_of a, int_of b) with
+    | Some x, Some y -> (
+      match p with
+      | L.Add -> Ok (L.Int (x + y))
+      | L.Sub -> Ok (L.Int (x - y))
+      | L.Mul -> Ok (L.Int (x * y))
+      | L.Div -> if y = 0 then Error "division by zero" else Ok (L.Int (x / y))
+      | L.Mod -> if y = 0 then Error "modulo by zero" else Ok (L.Int (x mod y))
+      | _ -> assert false)
+    | _ -> err)
+  | L.Lt, [ a; b ] | L.Leq, [ a; b ] -> (
+    match (int_of a, int_of b) with
+    | Some x, Some y -> Ok (L.Bool (if p = L.Lt then x < y else x <= y))
+    | _ -> err)
+  | L.Eq, [ a; b ] -> Ok (L.Bool (L.equal_value a b))
+  | L.And, [ a; b ] | L.Or, [ a; b ] -> (
+    match (bool_of a, bool_of b) with
+    | Some x, Some y -> Ok (L.Bool (if p = L.And then x && y else x || y))
+    | _ -> err)
+  | L.Not, [ a ] -> (
+    match bool_of a with Some x -> Ok (L.Bool (not x)) | None -> err)
+  | L.Neg, [ a ] -> ( match int_of a with Some x -> Ok (L.Int (-x)) | None -> err)
+  | L.Is_nil, [ a ] -> Ok (L.Bool (a = L.V_nil))
+  | (L.Head | L.Tail), _ -> assert false (* handled structurally *)
+  | _, _ -> Error (Printf.sprintf "arity error in %s" (L.prim_name p))
+
+(* --- task execution -------------------------------------------------- *)
+
+let rec exec_request t ~src:s ~dst:v ~demand ~key =
+  t.requests_executed <- t.requests_executed + 1;
+  let vx = Graph.vertex t.graph v in
+  if vx.Vertex.free then stale t
+  else
+    match vx.Vertex.label with
+    | (Label.Int _ | Label.Bool _ | Label.Nil | Label.Cons | Label.Err _) as l ->
+      let value = Option.get (Label.value_of_whnf ~self:v l) in
+      send_respond t ~src:v ~dst:s ~value ~key ~demand
+    | Label.Ind -> (
+      match vx.Vertex.args with
+      | target :: _ ->
+        (* Record the forwarded demand on the edge so the marking process
+           sees the path as requested (never downgrades). *)
+        Mutator.request_child t.mut ~v ~c:target ~demand;
+        send_request t ~src:s ~dst:target ~demand ~key
+      | [] ->
+        mark_stuck t v "dangling indirection";
+        Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key)
+    | Label.Bottom -> Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key
+    | Label.Param _ | Label.Freed ->
+      mark_stuck t v "request on template parameter or freed vertex";
+      stale t
+    | Label.Prim p ->
+      let first = Vertex.req_args vx = [] in
+      let was_vital = has_vital_requester vx in
+      Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
+      if first then begin
+        if List.length vx.Vertex.args <> Label.prim_arity p then
+          mark_stuck t v
+            (Printf.sprintf "%s applied to %d args (arity %d)" (Label.prim_name p)
+               (List.length vx.Vertex.args) (Label.prim_arity p))
+        else demand_args t v vx.Vertex.args ~ctx:demand
+      end
+      else if Demand.equal demand Demand.Vital && not was_vital then
+        (* Eager → vital upgrade (§3.2 item 2): re-demand the pending
+           arguments vitally so the whole speculative subcomputation is
+           promoted. *)
+        List.iter
+          (fun c ->
+            if Vertex.value_from vx c = None then
+              send_request t ~src:(Some v) ~dst:c ~demand:Demand.Vital ~key:c)
+          (distinct (Vertex.req_args vx))
+    | Label.If -> (
+      let was_vital = has_vital_requester vx in
+      Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
+      match vx.Vertex.args with
+      | [ p; th; el ] when Vertex.req_args vx = [] ->
+        Mutator.request_child t.mut ~v ~c:p ~demand:Demand.Vital;
+        send_request t ~src:(Some v) ~dst:p ~demand ~key:p;
+        if t.speculate_if then begin
+          Mutator.request_child t.mut ~v ~c:th ~demand:Demand.Eager;
+          send_request t ~src:(Some v) ~dst:th ~demand:Demand.Eager ~key:th;
+          Mutator.request_child t.mut ~v ~c:el ~demand:Demand.Eager;
+          send_request t ~src:(Some v) ~dst:el ~demand:Demand.Eager ~key:el
+        end
+      | ([ _; _; _ ] | [ _ ]) when Demand.equal demand Demand.Vital && not was_vital ->
+        (* Upgrade: re-demand whatever we are still waiting on. *)
+        List.iter
+          (fun c ->
+            if Vertex.value_from vx c = None then
+              send_request t ~src:(Some v) ~dst:c ~demand:Demand.Vital ~key:c)
+          (distinct (Vertex.req_args vx))
+      | [ _; _; _ ] | [ _ ] -> () (* demand already in flight *)
+      | _ -> mark_stuck t v "malformed if")
+    | Label.Apply f -> (
+      Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
+      match Template.find t.templates f with
+      | None -> mark_stuck t v (Printf.sprintf "unknown function %s" f)
+      | Some tpl ->
+        if List.length vx.Vertex.args <> tpl.Template.arity then
+          mark_stuck t v
+            (Printf.sprintf "%s applied to %d args (arity %d)" f (List.length vx.Vertex.args)
+               tpl.Template.arity)
+        else if
+          (* V is finite (§2.2): expansion draws vertices from F, and
+             eager work is "resources permitting" (§3.2) — a non-vital
+             expansion must leave [speculation_reserve] slots free so
+             speculation can never starve the vital computation of
+             memory. Class = destination's global priority when a cycle
+             has classified it, else the source's, else the relative
+             demand. *)
+          let cls =
+            match demand with
+            | Demand.Vital ->
+              (* A vital-flagged task is never blocked by a stale lower
+                 verdict — upgrades travel by task between cycles. *)
+              3
+            | Demand.Eager -> (
+              match vx.Vertex.sched_prior with
+              | 0 -> (
+                match s with
+                | Some src_v when (Graph.vertex t.graph src_v).Vertex.sched_prior > 0 ->
+                  Int.min (Graph.vertex t.graph src_v).Vertex.sched_prior 2
+                | Some _ | None -> 2)
+              | c -> c)
+          in
+          let need =
+            Template.size tpl + if cls >= 3 then 0 else t.speculation_reserve
+          in
+          Graph.headroom t.graph < need
+        then begin
+          t.alloc_stalls <- t.alloc_stalls + 1;
+          Dgr_util.Vec.push t.parked (Request { src = s; dst = v; demand; key })
+        end
+        else begin
+          let entry =
+            Template.instantiate tpl t.graph t.mut ~actuals:vx.Vertex.args
+          in
+          Mutator.expand_node t.mut ~a:v ~entry;
+          vx.Vertex.label <- Label.Ind;
+          t.expansions <- t.expansions + 1;
+          forward_requesters t v entry;
+          Vertex.clear_reduction_state vx
+        end)
+
+and exec_respond t ~src:responder ~dst ~value ~key =
+  t.responds_executed <- t.responds_executed + 1;
+  match dst with
+  | None -> t.result <- Some value
+  | Some r -> (
+    let vx = Graph.vertex t.graph r in
+    if vx.Vertex.free then stale t
+    else if not (List.exists (Vid.equal key) (Vertex.req_args vx)) then stale t
+    else begin
+      Vertex.record_value vx ~from:key value;
+      match vx.Vertex.label with
+      | Label.Prim p -> try_reduce_prim t r p
+      | Label.If -> progress_if t r ~key ~value
+      | Label.Int _ | Label.Bool _ | Label.Nil | Label.Cons | Label.Ind | Label.Apply _
+      | Label.Bottom | Label.Err _ | Label.Param _ | Label.Freed ->
+        stale t
+    end);
+  ignore responder
+
+and try_reduce_prim t v p =
+  let vx = Graph.vertex t.graph v in
+  let needed = distinct vx.Vertex.args in
+  if List.for_all (fun c -> Vertex.value_from vx c <> None) needed then begin
+    match p with
+    | Label.Head | Label.Tail -> (
+      match List.map (fun c -> Option.get (Vertex.value_from vx c)) vx.Vertex.args with
+      | [ Label.V_ref cell ] -> reduce_projection t v p cell
+      | [ _ ] -> mark_stuck t v (Label.prim_name p ^ " of a non-list value")
+      | _ -> mark_stuck t v (Label.prim_name p ^ " arity error"))
+    | _ -> (
+      let values = List.map (fun c -> Option.get (Vertex.value_from vx c)) vx.Vertex.args in
+      match eval_scalar p values with
+      | Ok label -> finish_value t v label
+      | Error reason -> mark_stuck t v reason)
+  end
+
+and reduce_projection t v p cell =
+  let cx = Graph.vertex t.graph cell in
+  match (cx.Vertex.label, cx.Vertex.args) with
+  | Label.Cons, [ hd; tl ] ->
+    let target = match p with Label.Head -> hd | _ -> tl in
+    let vx = Graph.vertex t.graph v in
+    (* Rewire v → target. If the cons cell is v's direct child the paper's
+       witnessed add-reference applies; otherwise the general edge. *)
+    if List.exists (Vid.equal cell) vx.Vertex.args then
+      Mutator.add_reference t.mut ~a:v ~b:cell ~c:target
+    else Mutator.add_edge t.mut ~a:v ~c:target;
+    (* Drop every old argument, keeping exactly the one new occurrence of
+       [target] appended by the rewiring above. *)
+    let olds = List.filteri (fun i _ -> i < List.length vx.Vertex.args - 1) vx.Vertex.args in
+    List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) olds;
+    become_indirection t v target
+  | Label.Cons, _ -> mark_stuck t v "malformed cons cell"
+  | _ -> mark_stuck t v (Label.prim_name p ^ " of a non-cons vertex")
+
+and progress_if t v ~key ~value =
+  let vx = Graph.vertex t.graph v in
+  match vx.Vertex.args with
+  | [ p; th; el ] when Vid.equal key p && (match value with Label.V_err _ -> true | _ -> false)
+    ->
+    (* an undefined predicate poisons the conditional: cancel both
+       branches and propagate the error *)
+    let msg = match value with Label.V_err m -> m | _ -> assert false in
+    List.iter
+      (fun b ->
+        if List.exists (Vid.equal b) (Vertex.req_args vx) then
+          t.send (Reduction (Cancel { src = v; dst = b })))
+      [ th; el ];
+    finish_value t v (Label.Err msg)
+  | [ p; th; el ] when Vid.equal key p ->
+    let chosen, other = if truthy value then (th, el) else (el, th) in
+    (* Dereference the losing branch (§3.2): drop our reference and tell
+       it to forget us. Irrelevant tasks under it keep running until a
+       marking cycle expunges them. *)
+    let other_requested = List.exists (Vid.equal other) (Vertex.req_args vx) in
+    Mutator.delete_reference t.mut ~a:v ~b:other;
+    if other_requested && not (Vid.equal other chosen) then
+      t.send (Reduction (Cancel { src = v; dst = other }));
+    Mutator.delete_reference t.mut ~a:v ~b:p;
+    (match Vertex.value_from vx chosen with
+    | Some cv -> resolve_if t v chosen cv
+    | None ->
+      (* The winner is now strictly needed relative to v; globally it is
+         vital only if v itself is vitally awaited. *)
+      Mutator.request_child t.mut ~v ~c:chosen ~demand:Demand.Vital;
+      let ctx = if has_vital_requester vx then Demand.Vital else Demand.Eager in
+      send_request t ~src:(Some v) ~dst:chosen ~demand:ctx ~key:chosen)
+  | [ _; _; _ ] -> () (* speculative branch value arrived first; cached *)
+  | [ chosen ] when Vid.equal key chosen ->
+    resolve_if t v chosen value
+  | _ -> stale t
+
+and resolve_if t v chosen value =
+  match value with
+  | Label.V_int n -> finish_value t v (Label.Int n)
+  | Label.V_bool b -> finish_value t v (Label.Bool b)
+  | Label.V_nil -> finish_value t v Label.Nil
+  | Label.V_err msg -> finish_value t v (Label.Err msg)
+  | Label.V_ref _ -> become_indirection t v chosen
+
+and exec_cancel t ~src:s ~dst:v =
+  t.cancels_executed <- t.cancels_executed + 1;
+  let vx = Graph.vertex t.graph v in
+  if vx.Vertex.free then stale t
+  else begin
+    Mutator.answer t.mut ~at:v ~requester:(Some s);
+    match (vx.Vertex.label, vx.Vertex.args) with
+    | Label.Ind, target :: _ -> t.send (Reduction (Cancel { src = s; dst = target }))
+    | _ -> ()
+  end
+
+let execute t task =
+  Log.debug (fun m -> m "exec %a" Task.pp_reduction task);
+  match task with
+  | Request { src = s; dst; demand; key } -> exec_request t ~src:s ~dst ~demand ~key
+  | Respond { src = s; dst; value; key; demand = _ } -> exec_respond t ~src:s ~dst ~value ~key
+  | Cancel { src = s; dst } -> exec_cancel t ~src:s ~dst
+
+
+let parked t = Dgr_util.Vec.to_list t.parked
+
+let parked_count t = Dgr_util.Vec.length t.parked
+
+let drain_parked t =
+  let tasks = Dgr_util.Vec.to_list t.parked in
+  Dgr_util.Vec.clear t.parked;
+  tasks
+
+let purge_parked t pred =
+  let before = Dgr_util.Vec.length t.parked in
+  Dgr_util.Vec.filter_in_place (fun task -> not (pred task)) t.parked;
+  before - Dgr_util.Vec.length t.parked

@@ -1,0 +1,88 @@
+open Dgr_graph
+open Dgr_task
+
+(** The reduction process (§2.1) — demand-driven task semantics.
+
+    Each reduction task executes atomically at its destination vertex:
+
+    - a [Request <s,v>] on a WHNF vertex answers immediately; on an
+      operator vertex it records [s ∈ requested(v)] and (on first demand)
+      spawns requests on the operator's arguments — vitally for strict
+      positions, eagerly for the speculated branches of [If] (§3.2);
+    - an [Apply] vertex is reduced by instantiating the function's
+      template from the free list and splicing it in with the paper's
+      [expand-node] primitive, after which the vertex forwards demand as
+      an indirection;
+    - a [Respond] carrying the predicate's value resolves an [If]: the
+      losing branch is dereferenced — [delete-reference] plus a [Cancel]
+      task — which is precisely how irrelevant tasks and garbage arise;
+    - when a strict operator has all argument values it rewrites its
+      vertex to the result value, answers every requester, and drops its
+      argument references (the graph "contracts", §2).
+
+    Type errors, arity mismatches, division by zero, [head nil] and
+    [Bottom] all behave as ⊥: the vertex never answers. Such vertices are
+    exactly what M_T ∘ M_R later reports as deadlocked (Property 2'),
+    which the tests exercise.
+
+    All mutations go through the {!Dgr_core.Mutator} cooperation layer so
+    reduction can run concurrently with marking. *)
+
+type t = {
+  graph : Graph.t;
+  mut : Dgr_core.Mutator.t;
+  templates : Template.registry;
+  send : Task.t -> unit;
+  speculate_if : bool;
+  speculation_reserve : int;
+  parked : Task.reduction Dgr_util.Vec.t;
+      (** allocation-stalled expansions awaiting free-list replenishment;
+          still part of "the set of all tasks" for M_T and purging *)
+  mutable result : Label.value option;  (** the root's value, once delivered *)
+  mutable requests_executed : int;
+  mutable responds_executed : int;
+  mutable cancels_executed : int;
+  mutable expansions : int;  (** Apply reductions performed *)
+  mutable rewrites : int;  (** vertices rewritten to values / indirections *)
+  mutable stale_dropped : int;  (** tasks dropped as stale/irrelevant *)
+  mutable alloc_stalls : int;
+      (** expansions deferred because the free list could not supply the
+          template (V is finite, §2.2; the task is retried) *)
+  mutable stuck : (Vid.t * string) list;  (** runtime errors turned into ⊥ *)
+}
+
+val create :
+  ?speculate_if:bool ->
+  ?speculation_reserve:int ->
+  graph:Graph.t ->
+  mut:Dgr_core.Mutator.t ->
+  templates:Template.registry ->
+  send:(Task.t -> unit) ->
+  unit ->
+  t
+(** [speculate_if] (default true) controls eager evaluation of both [If]
+    branches — the paper's source of eager/irrelevant/reserve tasks.
+    With it off, evaluation is purely demand-driven (lazy).
+    [speculation_reserve] (default 0) is the number of heap slots an
+    eager/reserve-class expansion must leave free, so speculation cannot
+    allocate the vital computation out of memory. *)
+
+val execute : t -> Task.reduction -> unit
+
+val initial_task : t -> Task.t
+(** The distinguished initial task [<-,root>] (§2.2). *)
+
+val finished : t -> bool
+(** The overall result has been delivered. *)
+
+val parked : t -> Task.reduction list
+
+val parked_count : t -> int
+
+val drain_parked : t -> Task.reduction list
+(** Remove and return every parked task (the engine re-injects them once
+    the free list has been replenished). *)
+
+val purge_parked : t -> (Task.reduction -> bool) -> int
+(** Expunge matching parked tasks (restructure's irrelevant-task
+    deletion must see parked tasks too). *)

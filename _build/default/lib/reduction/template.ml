@@ -1,0 +1,62 @@
+open Dgr_graph
+
+type operand = Param of int | Slot of int
+
+type instr = { label : Label.t; operands : operand list }
+
+type t = { name : string; arity : int; slots : instr array; entry : int }
+
+let make ~name ~arity instrs =
+  let slots = Array.of_list instrs in
+  if Array.length slots = 0 then invalid_arg "Template.make: empty body";
+  Array.iteri
+    (fun i instr ->
+      List.iter
+        (function
+          | Param p ->
+            if p < 0 || p >= arity then
+              invalid_arg
+                (Printf.sprintf "Template.make(%s): slot %d references parameter %d/%d" name i
+                   p arity)
+          | Slot s ->
+            if s < 0 || s >= i then
+              invalid_arg
+                (Printf.sprintf
+                   "Template.make(%s): slot %d references slot %d (must be earlier)" name i s))
+        instr.operands)
+    slots;
+  { name; arity; slots; entry = Array.length slots - 1 }
+
+let instantiate t g mut ~actuals =
+  if List.length actuals <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Template.instantiate(%s): expected %d actuals, got %d" t.name t.arity
+         (List.length actuals));
+  let actuals = Array.of_list actuals in
+  let vids = Array.make (Array.length t.slots) (-1) in
+  Array.iteri
+    (fun i instr ->
+      let v = Graph.alloc g instr.label in
+      vids.(i) <- v.Vertex.id;
+      List.iter
+        (fun operand ->
+          let child = match operand with Param p -> actuals.(p) | Slot s -> vids.(s) in
+          Dgr_core.Mutator.connect_fresh mut ~parent:v.Vertex.id ~child)
+        instr.operands)
+    t.slots;
+  vids.(t.entry)
+
+let size t = Array.length t.slots
+
+type registry = (string, t) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 16
+
+let define reg t =
+  if Hashtbl.mem reg t.name then
+    invalid_arg (Printf.sprintf "Template.define: duplicate template %s" t.name);
+  Hashtbl.replace reg t.name t
+
+let find reg name = Hashtbl.find_opt reg name
+
+let names reg = Hashtbl.fold (fun k _ acc -> k :: acc) reg [] |> List.sort String.compare

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Dgr_baseline Dgr_core Dgr_graph Dgr_reduction Dgr_task Dgr_util Graph Int Label List Metrics Network Pool Printf Rng Task Vertex Vid

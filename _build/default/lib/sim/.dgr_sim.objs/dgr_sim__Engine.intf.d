@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Dgr_baseline Dgr_core Dgr_graph Dgr_reduction Dgr_task Graph Label Metrics Pool Task

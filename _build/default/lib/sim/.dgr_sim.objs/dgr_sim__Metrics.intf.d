@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Dgr_util Format Stats

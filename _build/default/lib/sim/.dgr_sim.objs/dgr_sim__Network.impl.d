@@ -1,0 +1,1 @@
+lib/sim/network.ml: Dgr_task Dgr_util List Pqueue Task

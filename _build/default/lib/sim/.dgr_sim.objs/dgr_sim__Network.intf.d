@@ -1,0 +1,1 @@
+lib/sim/network.mli: Dgr_task Task

@@ -1,0 +1,1 @@
+lib/sim/pool.ml: Demand Dgr_graph Dgr_task Dgr_util Graph Int List Option Pqueue Task Vertex

@@ -1,0 +1,1 @@
+lib/sim/pool.mli: Dgr_graph Dgr_task Graph Task

@@ -1,0 +1,473 @@
+open Dgr_util
+open Dgr_graph
+open Dgr_task
+open Task
+module Marker = Dgr_core.Marker
+module Mutator = Dgr_core.Mutator
+module Cycle = Dgr_core.Cycle
+module Flood = Dgr_core.Flood
+module Reducer = Dgr_reduction.Reducer
+module Refcount = Dgr_baseline.Refcount
+module Stw = Dgr_baseline.Stw
+
+type gc_mode =
+  | No_gc
+  | Concurrent of { deadlock_every : int; idle_gap : int }
+  | Stop_the_world of { every : int }
+  | Refcount
+
+type config = {
+  num_pes : int;
+  latency : int;
+  tasks_per_step : int;
+  marking_per_step : int;
+  gc_work_factor : int;
+  heap_size : int option;
+  pool_policy : Pool.policy;
+  speculate_if : bool;
+  gc : gc_mode;
+  marking : Cycle.scheme;
+  recover_deadlock : bool;
+  jitter : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    num_pes = 4;
+    latency = 4;
+    tasks_per_step = 2;
+    marking_per_step = 8;
+    gc_work_factor = 8;
+    heap_size = Some 50_000;
+    pool_policy = Pool.Dynamic;
+    speculate_if = true;
+    gc = Concurrent { deadlock_every = 1; idle_gap = 50 };
+    marking = Cycle.Tree;
+    recover_deadlock = false;
+    jitter = 0.0;
+    seed = 0;
+  }
+
+type t = {
+  cfg : config;
+  g : Graph.t;
+  pools : Pool.t array;
+  net : Network.t;
+  mut : Mutator.t;
+  mutable red : Reducer.t;
+  mutable cyc : Cycle.t option;
+  rc : Refcount.t option;
+  m : Metrics.t;
+  mutable now : int;
+  mutable current_pe : int;  (** PE whose task is executing; -1 = controller *)
+  mutable paused_until : int;
+  mutable next_cycle_at : int;
+  mutable next_stw_at : int;
+  rng : Rng.t;
+  mutable rc_freed_batch : Vid.Set.t;
+      (** vertices RC reclaimed since the last batch purge *)
+}
+
+let throughput cfg = Int.max 1 (cfg.num_pes * cfg.tasks_per_step)
+
+let pe_of t task =
+  match Task.exec_vertex task with
+  | None -> None
+  | Some v -> Some (Graph.vertex t.g v).Vertex.pe
+
+(* Execute controller-addressed tasks immediately: the final response of
+   the computation, and marking returns to the dummy rootpar. *)
+let rec execute_marking t ~pe m =
+  match t.cyc with
+  | None -> ()
+  | Some c -> (
+    match Cycle.handler_for_plane c (Task.plane_of_mark m) with
+    | Some (Cycle.Tree_run run) ->
+      List.iter (fun x -> send t (Marking x)) (Marker.execute run m)
+    | Some (Cycle.Flood_run fl) ->
+      List.iter (fun x -> send t (Marking x)) (Flood.execute fl ~pe m)
+    | None -> () (* stray task from a finished run: drop *))
+
+and execute_at_controller t task =
+  match task with
+  | Reduction r -> Reducer.execute t.red r
+  | Marking m -> execute_marking t ~pe:0 m
+
+and send t task =
+  match pe_of t task with
+  | None -> execute_at_controller t task
+  | Some pe ->
+    let delay =
+      if pe = t.current_pe then 1
+      else begin
+        (if t.current_pe >= 0 then t.m.Metrics.remote_messages <- t.m.Metrics.remote_messages + 1);
+        (* Marking messages are tiny and bounded (§6) and ride a fast
+           path: if they paid full data latency, a mutator expanding a
+           deep structure could outrun the marking wavefront forever and
+           the cycle would never terminate. *)
+        let base =
+          match task with
+          | Marking _ -> Int.max 1 (t.cfg.latency / 4)
+          | Reduction _ -> Int.max 1 t.cfg.latency
+        in
+        (* Seeded delivery jitter: occasionally a message takes longer,
+           reordering arrivals — the interleaving adversary for the full
+           machine. Deterministic for a given config seed. *)
+        if t.cfg.jitter > 0.0 && Rng.float t.rng 1.0 < t.cfg.jitter then
+          base + 1 + Rng.int t.rng (Int.max 1 t.cfg.latency)
+        else base
+      end
+    in
+    if pe = t.current_pe then t.m.Metrics.local_messages <- t.m.Metrics.local_messages + 1;
+    Network.send t.net ~arrival:(t.now + delay) ~pe task
+
+let purge_everywhere t pred =
+  Array.fold_left (fun acc pool -> acc + Pool.purge pool pred) 0 t.pools
+  + Network.purge t.net pred
+  + Reducer.purge_parked t.red (fun r -> pred (Reduction r))
+
+let purge_for_baseline t pred =
+  let n = purge_everywhere t pred in
+  t.m.Metrics.tasks_purged <- t.m.Metrics.tasks_purged + n;
+  n
+
+let create ?(config = default_config) g templates =
+  (match config.heap_size with
+  | Some c -> Graph.set_capacity g (Some (Int.max c (Graph.vertex_count g)))
+  | None -> Graph.set_capacity g None);
+  let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+  let red =
+    Reducer.create ~speculate_if:config.speculate_if ~graph:g ~mut ~templates
+      ~send:(fun _ -> ())
+      ()
+  in
+  let rc =
+    match config.gc with
+    | Refcount -> Some (Refcount.create g)
+    | No_gc | Concurrent _ | Stop_the_world _ -> None
+  in
+  let t =
+    {
+      cfg = config;
+      g;
+      pools = Array.init config.num_pes (fun _ -> Pool.create config.pool_policy g);
+      net = Network.create ();
+      mut;
+      red;
+      cyc = None;
+      rc;
+      m = Metrics.create ();
+      now = 0;
+      current_pe = -1;
+      paused_until = 0;
+      next_cycle_at = 0;
+      next_stw_at = (match config.gc with Stop_the_world { every } -> every | _ -> 0);
+      rng = Rng.create config.seed;
+      rc_freed_batch = Vid.Set.empty;
+    }
+  in
+  mut.Mutator.spawn <- (fun mark -> send t (Marking mark));
+  mut.Mutator.coop_pe <- (fun () -> Int.max 0 t.current_pe);
+  (* Rebuild the reducer with the real send, preserving the mutator. *)
+  let speculation_reserve =
+    match config.heap_size with Some c -> c / 4 | None -> 0
+  in
+  t.red <-
+    Reducer.create ~speculate_if:config.speculate_if ~speculation_reserve ~graph:g ~mut
+      ~templates
+      ~send:(fun task -> send t task)
+      ();
+  (match rc with
+  | Some rc ->
+    mut.Mutator.on_connect <- Refcount.on_connect rc;
+    mut.Mutator.on_disconnect <- Refcount.on_disconnect rc;
+    (* A reclaimed slot may be recycled by the free list: tasks still
+       addressing dead vertices are expunged in one batch per step (see
+       [flush_rc_purge]) before any slot can be handed out again. *)
+    Refcount.set_on_free rc (fun v -> t.rc_freed_batch <- Vid.Set.add v t.rc_freed_batch);
+    if Graph.has_root g then Refcount.pin rc (Graph.root g)
+  | None -> ());
+  (match config.gc with
+  | Concurrent { deadlock_every; idle_gap } ->
+    let purge_tasks pred = purge_for_baseline t pred in
+    let reduction_tasks () =
+      let pooled =
+        Array.fold_left (fun acc pool -> List.rev_append (Pool.tasks pool) acc) [] t.pools
+      in
+      Reducer.parked t.red
+      @ List.filter_map
+          (function Reduction r -> Some r | Marking _ -> None)
+          (List.rev_append (Network.in_flight t.net) pooled)
+    in
+    let reprioritize () =
+      Array.fold_left (fun acc pool -> acc + Pool.reprioritize pool) 0 t.pools
+    in
+    let env =
+      {
+        Cycle.spawn_mark = (fun mark -> send t (Marking mark));
+        reduction_tasks;
+        purge_tasks;
+        reprioritize;
+        now = (fun () -> t.now);
+      }
+    in
+    t.cyc <-
+      Some
+        (Cycle.create ~deadlock_every ~scheme:config.marking
+           ~detection_window:(2 * Int.max 1 config.latency)
+           g mut env);
+    t.next_cycle_at <- idle_gap
+  | No_gc | Stop_the_world _ | Refcount -> ());
+  t
+
+let config t = t.cfg
+
+let graph t = t.g
+
+let reducer t = t.red
+
+let mutator t = t.mut
+
+let cycle t = t.cyc
+
+let refcount t = t.rc
+
+let metrics t = t.m
+
+let now t = t.now
+
+let inject t task =
+  t.current_pe <- -1;
+  send t task
+
+let inject_root_demand t = inject t (Reducer.initial_task t.red)
+
+let pending_tasks t =
+  let pooled =
+    Array.fold_left (fun acc pool -> List.rev_append (Pool.tasks pool) acc) [] t.pools
+  in
+  List.map (fun r -> Reduction r) (Reducer.parked t.red)
+  @ List.rev_append (Network.in_flight t.net) pooled
+
+let locate_task t pred =
+  let acc = ref [] in
+  Array.iteri
+    (fun pe pool ->
+      List.iter
+        (fun task ->
+          if pred task then
+            acc := Printf.sprintf "pool[pe=%d] %s" pe (Task.to_string task) :: !acc)
+        (Pool.tasks pool))
+    t.pools;
+  List.iter
+    (fun task ->
+      if pred task then acc := Printf.sprintf "network %s" (Task.to_string task) :: !acc)
+    (Network.in_flight t.net);
+  !acc
+
+let pending_reduction_tasks t =
+  List.filter_map (function Reduction r -> Some r | Marking _ -> None) (pending_tasks t)
+
+let quiescent t =
+  Array.for_all Pool.is_empty t.pools
+  && Network.size t.net = 0
+  && Reducer.parked_count t.red = 0
+  && match t.cyc with None -> true | Some c -> Cycle.phase c = Cycle.Idle
+
+(* Batch-expunge tasks addressing RC-reclaimed vertices; must run before
+   any allocation can recycle the slots, i.e. before task execution. *)
+let flush_rc_purge t =
+  if not (Vid.Set.is_empty t.rc_freed_batch) then begin
+    let dead = t.rc_freed_batch in
+    t.rc_freed_batch <- Vid.Set.empty;
+    ignore
+      (purge_for_baseline t (fun task ->
+           match task with
+           | Reduction r ->
+             List.exists (fun v -> Vid.Set.mem v dead) (Task.reduction_endpoints r)
+           | Marking _ -> false))
+  end
+
+let execute_one t pe task =
+  t.current_pe <- pe;
+  (* If the previous task's RC cascade reclaimed vertices, expunge tasks
+     addressing them before this task can allocate (and recycle) a slot. *)
+  flush_rc_purge t;
+  (match task with
+  | Reduction r ->
+    t.m.Metrics.reduction_executed <- t.m.Metrics.reduction_executed + 1;
+    Reducer.execute t.red r
+  | Marking mark ->
+    t.m.Metrics.marking_executed <- t.m.Metrics.marking_executed + 1;
+    execute_marking t ~pe mark);
+  t.current_pe <- -1
+
+(* GC work (tracing a vertex, sweeping a slot) is much lighter than
+   executing a task; [gc_work_factor] work units fit in one task slot. *)
+let pause t work =
+  let per_step = throughput t.cfg * Int.max 1 t.cfg.gc_work_factor in
+  let steps = (work + per_step - 1) / per_step in
+  Metrics.record_pause t.m steps;
+  t.paused_until <- Int.max t.paused_until (t.now + steps)
+
+(* ⊥-recovery (the paper's footnote 5): a deadlocked region never harms
+   anyone, but in a multi-user machine its requesters should not wait
+   forever. Rewrite each deadlocked operator vertex to an error value and
+   answer its requesters — the error then propagates through strict
+   operators like any other value. Vertices that already hold values are
+   left alone (they are in the formal DL set only because their consumer
+   is stuck). *)
+let recover_deadlocks t report =
+  List.iter
+    (fun v ->
+      let vx = Graph.vertex t.g v in
+      if (not vx.Vertex.free) && not (Label.is_whnf vx.Vertex.label) then begin
+        vx.Vertex.label <- Label.Err "deadlock";
+        t.m.Metrics.deadlocks_recovered <- t.m.Metrics.deadlocks_recovered + 1;
+        let entries = vx.Vertex.requested in
+        List.iter
+          (fun (e : Vertex.request_entry) ->
+            send t
+              (Reduction
+                 (Respond
+                    {
+                      src = v;
+                      dst = e.Vertex.who;
+                      value = Label.V_err "deadlock";
+                      key = e.Vertex.key;
+                      demand = e.Vertex.demand;
+                    })))
+          entries;
+        vx.Vertex.requested <- [];
+        List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) vx.Vertex.args;
+        Vertex.clear_reduction_state vx
+      end)
+    report.Dgr_core.Restructure.deadlocked
+
+(* Memory pressure: collect early when the allocatable reserve runs low
+   (an eighth of the heap, at least 64 slots). *)
+let under_pressure t =
+  match Graph.capacity t.g with
+  | None -> false
+  | Some c -> Graph.headroom t.g < Int.max 64 (c / 8)
+
+(* Re-inject allocation-stalled expansions once the free list has a
+   chance of supplying them. *)
+let unpark t =
+  match Reducer.drain_parked t.red with
+  | [] -> ()
+  | tasks ->
+    List.iter
+      (fun r ->
+        match pe_of t (Reduction r) with
+        | Some pe -> Network.send t.net ~arrival:(t.now + 1) ~pe (Reduction r)
+        | None -> ())
+      tasks
+
+let gc_control t =
+  match t.cfg.gc with
+  | No_gc | Refcount ->
+    (* Re-inject stalled expansions only when the free list has actually
+       recovered; under persistent pressure they stay parked (and a
+       collector-less machine simply quiesces). *)
+    if t.now land 63 = 0 && not (under_pressure t) then unpark t
+  | Stop_the_world { every } ->
+    (* Memory pressure pulls the schedule in, but never below a quarter
+       of the period — a full collection per step would thrash. *)
+    if
+      every > 0
+      && (t.now >= t.next_stw_at
+         || (under_pressure t && t.now >= t.next_stw_at - (3 * every / 4)))
+    then begin
+      let report = Stw.collect t.g ~purge_tasks:(purge_for_baseline t) in
+      t.m.Metrics.stw_collections <- t.m.Metrics.stw_collections + 1;
+      pause t report.Stw.work;
+      t.next_stw_at <- Int.max t.paused_until t.now + every;
+      unpark t
+    end
+    else if t.now land 63 = 0 && not (under_pressure t) then unpark t
+  | Concurrent { idle_gap; _ } -> (
+    match t.cyc with
+    | None -> ()
+    | Some c -> (
+      (match Cycle.poll c with
+      | Some report ->
+        t.m.Metrics.cycles_completed <- t.m.Metrics.cycles_completed + 1;
+        (* Restructure is the concurrent scheme's only stop: a sweep over
+           the live vertices plus the slots being reclaimed. *)
+        pause t (Graph.live_count t.g + List.length report.Dgr_core.Restructure.garbage);
+        if t.cfg.recover_deadlock then recover_deadlocks t report;
+        t.next_cycle_at <- Int.max t.paused_until t.now + idle_gap;
+        unpark t
+      | None -> if t.now land 63 = 0 && not (under_pressure t) then unpark t);
+      if Cycle.phase c = Cycle.Idle && (t.now >= t.next_cycle_at || under_pressure t) then
+        Cycle.start_cycle c))
+
+let step t =
+  (* 1. Deliver the network. *)
+  List.iter (fun (pe, task) -> Pool.push t.pools.(pe) task) (Network.deliver t.net ~now:t.now);
+  flush_rc_purge t;
+  (* 2. Execute, unless the machine is paused by a collection. Marking
+     tasks are lightweight (§6: "bounded amount of time once the required
+     vertices are accessed") and get their own per-step budget so GC
+     neither starves nor is starved by the reduction process. *)
+  if t.now >= t.paused_until then
+    Array.iteri
+      (fun pe pool ->
+        let rec go_marking k =
+          if k > 0 then
+            match Pool.pop_marking pool with
+            | Some task ->
+              execute_one t pe task;
+              go_marking (k - 1)
+            | None -> ()
+        in
+        go_marking t.cfg.marking_per_step;
+        let rec go k =
+          if k > 0 then
+            match Pool.pop pool with
+            | Some task ->
+              execute_one t pe task;
+              go (k - 1)
+            | None -> ()
+        in
+        go t.cfg.tasks_per_step)
+      t.pools;
+  (* 3. Memory management. *)
+  flush_rc_purge t;
+  gc_control t;
+  (* 4. Bookkeeping. *)
+  (match (Reducer.finished t.red, t.m.Metrics.completion_step) with
+  | true, None -> t.m.Metrics.completion_step <- Some t.now
+  | _ -> ());
+  let depth = Array.fold_left (fun acc pool -> acc + Pool.length pool) 0 t.pools in
+  Dgr_util.Stats.add t.m.Metrics.pool_depth (float_of_int depth);
+  t.m.Metrics.peak_live <- Int.max t.m.Metrics.peak_live (Graph.live_count t.g);
+  t.now <- t.now + 1;
+  t.m.Metrics.steps <- t.m.Metrics.steps + 1
+
+let result t = t.red.Reducer.result
+
+let finished t = Reducer.finished t.red
+
+let run ?(max_steps = 1_000_000) ?stop t =
+  let start = t.now in
+  (* Under the concurrent collector the mark/restructure cycle "is
+     repeated endlessly" (§4) — a task-quiescent machine is not done (a
+     deadlocked computation stays quiescent forever, and detecting that is
+     the point), so only the stop condition or the step budget end the
+     run. The default stop condition is program completion; an explicit
+     [stop] replaces it (e.g. to keep collecting after the result). *)
+  let stop = match stop with Some f -> f | None -> finished in
+  let gc_cycles_forever = match t.cfg.gc with Concurrent _ -> true | _ -> false in
+  let continue = ref true in
+  while !continue do
+    if stop t || t.now - start >= max_steps then continue := false
+    else if (not gc_cycles_forever) && quiescent t && t.now >= t.paused_until then
+      continue := false
+    else step t
+  done;
+  t.now - start
+
+let network_entries t = Network.entries t.net

@@ -1,0 +1,123 @@
+open Dgr_graph
+open Dgr_task
+
+(** The distributed machine: n autonomous PEs with local task pools, a
+    message network, the reduction process, and one of four memory-
+    management regimes. Execution is a deterministic discrete-step
+    simulation — each step every PE executes up to [tasks_per_step] tasks
+    from its pool, spawned tasks travel [1] step locally or [latency]
+    steps across PE boundaries.
+
+    Regimes:
+    - [No_gc]: the graph only grows (control runs, and the workload
+      generator for E7's "unbounded irrelevant work" ablation);
+    - [Concurrent _]: the paper's system — endless M_T/M_R cycles running
+      {e while reduction mutates the graph}, restructure charged as the
+      only pause;
+    - [Stop_the_world _]: halt everything and trace (§4's strawman);
+    - [Refcount]: distributed reference counting (§4's other strawman).
+
+    Pauses are modeled by converting synchronous work (STW trace+sweep,
+    concurrent restructure sweep) into skipped execution steps at the
+    machine's aggregate throughput. *)
+
+type gc_mode =
+  | No_gc
+  | Concurrent of { deadlock_every : int; idle_gap : int }
+      (** [deadlock_every]: run M_T every k-th cycle (0 = never);
+          [idle_gap]: steps between a cycle's end and the next start *)
+  | Stop_the_world of { every : int }
+  | Refcount
+
+type config = {
+  num_pes : int;
+  latency : int;  (** cross-PE message delay, in steps (local = 1) *)
+  tasks_per_step : int;  (** per-PE execution bandwidth *)
+  marking_per_step : int;
+      (** extra per-PE budget for marking tasks, which are much lighter
+          than reduction tasks (§6) *)
+  gc_work_factor : int;
+      (** GC work units (trace/sweep one vertex) per task slot, used when
+          converting synchronous collection work into pause steps *)
+  heap_size : int option;
+      (** bound on the vertex table — §2.2's finite V. Template expansion
+          stalls when the free list cannot supply it, which is what makes
+          eager evaluation "resources permitting" (§3.2); collections are
+          additionally triggered by memory pressure. [None] = unbounded. *)
+  pool_policy : Pool.policy;
+  speculate_if : bool;
+  gc : gc_mode;
+  marking : Dgr_core.Cycle.scheme;
+      (** [Tree] (Figs 4-1/5-1/5-3, the default) or [Flood_counters]
+          (the §6 space optimization: counters instead of a marking
+          tree). *)
+  recover_deadlock : bool;
+      (** footnote 5's [is-bottom] pseudo-function: rewrite detected
+          deadlocked operators to an error value and answer their
+          requesters, so one deadlocked computation cannot hang the
+          machine (default false — detection only). *)
+  jitter : float;
+      (** probability that a remote message takes extra (seeded-random)
+          delay, reordering deliveries; 0.0 = fixed latency *)
+  seed : int;  (** seed for all of the machine's randomness *)
+}
+
+val default_config : config
+(** 4 PEs, latency 4, 2 tasks/step (+8 marking), [Dynamic] pools,
+    speculation on, concurrent GC with M_T every cycle and idle gap 50. *)
+
+type t
+
+val create : ?config:config -> Graph.t -> Dgr_reduction.Template.registry -> t
+
+val config : t -> config
+
+val graph : t -> Graph.t
+
+val reducer : t -> Dgr_reduction.Reducer.t
+
+val mutator : t -> Dgr_core.Mutator.t
+
+val cycle : t -> Dgr_core.Cycle.t option
+(** The GC controller, in [Concurrent] mode. *)
+
+val refcount : t -> Dgr_baseline.Refcount.t option
+
+val metrics : t -> Metrics.t
+
+val now : t -> int
+
+val inject_root_demand : t -> unit
+(** Send the distinguished initial task [<-,root>]. *)
+
+val inject : t -> Task.t -> unit
+(** Route an arbitrary task (tests and scenario builders). *)
+
+val step : t -> unit
+
+val run : ?max_steps:int -> ?stop:(t -> bool) -> t -> int
+(** Step until the stop condition holds or the budget is exhausted;
+    returns steps executed this call. The default stop condition is
+    {!finished}; passing [stop] {e replaces} it (e.g. to keep the
+    collector cycling after the result, or to wait for a deadlock
+    verdict). Without a concurrent collector the machine also stops once
+    fully quiescent. [max_steps] defaults to 1_000_000. *)
+
+val result : t -> Label.value option
+
+val finished : t -> bool
+
+val quiescent : t -> bool
+(** No tasks pooled or in flight and no marking cycle mid-phase. *)
+
+val pending_tasks : t -> Task.t list
+(** Everything pooled + in flight (reduction and marking). *)
+
+val pending_reduction_tasks : t -> Task.reduction list
+
+val locate_task : t -> (Task.t -> bool) -> string list
+(** Where matching pending tasks currently sit ("pool[pe=N] …" or
+    "network …"); a debugging aid. *)
+
+val network_entries : t -> (int * Task.t) list
+(** [(arrival, task)] for every in-flight message (debugging aid). *)

@@ -1,0 +1,50 @@
+open Dgr_util
+
+type t = {
+  mutable steps : int;
+  mutable reduction_executed : int;
+  mutable marking_executed : int;
+  mutable remote_messages : int;
+  mutable local_messages : int;
+  mutable tasks_purged : int;
+  mutable cycles_completed : int;
+  mutable stw_collections : int;
+  pauses : Stats.t;
+  mutable total_pause_steps : int;
+  mutable completion_step : int option;
+  pool_depth : Stats.t;
+  mutable peak_live : int;
+  mutable deadlocks_recovered : int;
+}
+
+let create () =
+  {
+    steps = 0;
+    reduction_executed = 0;
+    marking_executed = 0;
+    remote_messages = 0;
+    local_messages = 0;
+    tasks_purged = 0;
+    cycles_completed = 0;
+    stw_collections = 0;
+    pauses = Stats.create ();
+    total_pause_steps = 0;
+    completion_step = None;
+    pool_depth = Stats.create ();
+    peak_live = 0;
+    deadlocks_recovered = 0;
+  }
+
+let record_pause t steps =
+  Stats.add t.pauses (float_of_int steps);
+  t.total_pause_steps <- t.total_pause_steps + steps
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>steps=%d reduction=%d marking=%d msgs(remote/local)=%d/%d purged=%d cycles=%d \
+     stw=%d pause(total/max)=%d/%.0f completion=%s peak_live=%d@]"
+    t.steps t.reduction_executed t.marking_executed t.remote_messages t.local_messages
+    t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
+    (if Stats.count t.pauses = 0 then 0.0 else Stats.max_value t.pauses)
+    (match t.completion_step with Some s -> string_of_int s | None -> "-")
+    t.peak_live

@@ -1,0 +1,27 @@
+open Dgr_util
+
+(** Run metrics collected by the engine, reported by the harness. *)
+
+type t = {
+  mutable steps : int;
+  mutable reduction_executed : int;
+  mutable marking_executed : int;
+  mutable remote_messages : int;  (** tasks sent across PE boundaries *)
+  mutable local_messages : int;
+  mutable tasks_purged : int;  (** irrelevant/stale tasks expunged by GC *)
+  mutable cycles_completed : int;
+  mutable stw_collections : int;
+  pauses : Stats.t;  (** mutator pause lengths, in steps *)
+  mutable total_pause_steps : int;
+  mutable completion_step : int option;  (** when the root's value arrived *)
+  pool_depth : Stats.t;  (** sampled every step, aggregated over PEs *)
+  mutable peak_live : int;  (** max live vertices observed *)
+  mutable deadlocks_recovered : int;
+      (** vertices rewritten to an error value by ⊥-recovery *)
+}
+
+val create : unit -> t
+
+val record_pause : t -> int -> unit
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+open Dgr_util
+open Dgr_task
+
+type t = { q : (int * Task.t) Pqueue.t }
+
+let create () = { q = Pqueue.create () }
+
+let send t ~arrival ~pe task = Pqueue.add t.q arrival (pe, task)
+
+let deliver t ~now =
+  let rec loop acc =
+    match Pqueue.peek t.q with
+    | Some (arrival, _) when arrival <= now -> (
+      match Pqueue.pop t.q with
+      | Some (_, entry) -> loop (entry :: acc)
+      | None -> acc)
+    | Some _ | None -> acc
+  in
+  List.rev (loop [])
+
+let in_flight t = List.map (fun (_, (_, task)) -> task) (Pqueue.to_list t.q)
+
+let purge t pred =
+  let before = Pqueue.length t.q in
+  Pqueue.filter_in_place (fun _ (_, task) -> not (pred task)) t.q;
+  before - Pqueue.length t.q
+
+let size t = Pqueue.length t.q
+
+let entries t = List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_list t.q)

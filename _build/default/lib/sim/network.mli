@@ -1,0 +1,26 @@
+open Dgr_task
+
+(** The message network: tasks in transit between PEs.
+
+    Delivery is deterministic: messages become available at their arrival
+    step and drain in send order among equals. The cycle controller reads
+    {!in_flight} when seeding M_T — the visibility of in-transit tasks the
+    paper defers to [5]. *)
+
+type t
+
+val create : unit -> t
+
+val send : t -> arrival:int -> pe:int -> Task.t -> unit
+
+val deliver : t -> now:int -> (int * Task.t) list
+(** Pop every message with [arrival <= now] as [(pe, task)], in order. *)
+
+val in_flight : t -> Task.t list
+
+val purge : t -> (Task.t -> bool) -> int
+
+val size : t -> int
+
+val entries : t -> (int * Task.t) list
+(** [(arrival, task)] pairs, unspecified order (debugging aid). *)

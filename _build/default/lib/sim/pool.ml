@@ -1,0 +1,98 @@
+open Dgr_util
+open Dgr_graph
+open Dgr_task
+
+type policy = Flat | By_demand | Dynamic
+
+let policy_to_string = function
+  | Flat -> "flat"
+  | By_demand -> "by-demand"
+  | Dynamic -> "dynamic"
+
+(* Marking and reduction tasks occupy separate queues: the engine gives
+   each its own per-step budget, so GC and computation cannot starve one
+   another by queue position alone. *)
+type t = { marking : Task.t Pqueue.t; reduction : Task.t Pqueue.t; policy : policy; g : Graph.t }
+
+(* The global class of a vertex: the priority the last completed M_R
+   cycle assigned (3 vital / 2 eager / 1 reserve), 0 when not yet
+   classified. *)
+let class_of g v = if Graph.mem g v then (Graph.vertex g v).Vertex.sched_prior else 0
+
+(* Effective global class of a request <s,d>: the destination's class if
+   known; otherwise inherit from the source, capped by the request's own
+   (relative) demand — a task spawned from an eager region stays eager no
+   matter how "vital" it is locally (§3.2). Fresh regions with no
+   classified source fall back to the relative demand. *)
+let request_class g ~src ~dst ~demand =
+  match demand with
+  | Demand.Vital ->
+    (* A vital-flagged task is vital no matter what an older cycle said:
+       demand upgrades (§3.2 item 2) travel by task between cycles. *)
+    3
+  | Demand.Eager -> (
+    match class_of g dst with
+    | 0 -> (
+      match src with
+      | Some s when class_of g s > 0 -> Int.min (class_of g s) 2
+      | Some _ | None -> 2)
+    | c -> c)
+
+let priority_of policy g task =
+  match task with
+  | Task.Marking _ -> 0
+  | Task.Reduction (Task.Cancel _) -> 1 (* cheap, and it shrinks future work *)
+  | Task.Reduction (Task.Respond { src; dst; demand; _ }) -> (
+    match policy with
+    | Flat -> 2
+    | By_demand -> ( match demand with Demand.Vital -> 1 | Demand.Eager -> 3)
+    | Dynamic -> (
+      let cls =
+        match dst with
+        | None -> 3
+        | Some d -> request_class g ~src:(Some src) ~dst:d ~demand
+      in
+      match cls with 3 -> 1 | 2 -> 3 | _ -> 5))
+  | Task.Reduction (Task.Request { src; dst; demand; _ }) -> (
+    match policy with
+    | Flat -> 2
+    | By_demand -> ( match demand with Demand.Vital -> 2 | Demand.Eager -> 4)
+    | Dynamic -> (
+      match request_class g ~src ~dst ~demand with 3 -> 2 | 2 -> 4 | _ -> 5))
+
+let create policy g =
+  { marking = Pqueue.create (); reduction = Pqueue.create (); policy; g }
+
+let push t task =
+  let q = match task with Task.Marking _ -> t.marking | Task.Reduction _ -> t.reduction in
+  Pqueue.add q (priority_of t.policy t.g task) task
+
+let pop t =
+  match Pqueue.pop t.reduction with
+  | Some (_, task) -> Some task
+  | None -> Option.map snd (Pqueue.pop t.marking)
+
+let pop_marking t = Option.map snd (Pqueue.pop t.marking)
+
+let length t = Pqueue.length t.marking + Pqueue.length t.reduction
+
+let is_empty t = Pqueue.is_empty t.marking && Pqueue.is_empty t.reduction
+
+let tasks t =
+  List.map snd (Pqueue.to_list t.marking) @ List.map snd (Pqueue.to_list t.reduction)
+
+let purge t pred =
+  let before = length t in
+  Pqueue.filter_in_place (fun _ task -> not (pred task)) t.marking;
+  Pqueue.filter_in_place (fun _ task -> not (pred task)) t.reduction;
+  before - length t
+
+let reprioritize t =
+  let changed = ref 0 in
+  Pqueue.map_priorities
+    (fun old task ->
+      let p = priority_of t.policy t.g task in
+      if p <> old then incr changed;
+      p)
+    t.reduction;
+  !changed

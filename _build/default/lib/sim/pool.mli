@@ -1,0 +1,57 @@
+open Dgr_graph
+open Dgr_task
+
+(** Per-PE task pools (§5.2's [taskpool(i)]) with dynamic prioritization.
+
+    A pool is a priority queue (FIFO among equals, so execution stays
+    deterministic). The policy decides how much of the paper's §3.2 the
+    scheduler uses:
+
+    - [Flat]: no priorities (everything FIFO) — the ablation baseline;
+    - [By_demand]: vital requests before eager ones, statically;
+    - [Dynamic]: additionally refined by the destination vertex's
+      [sched_prior] — the global priority the last completed M_R cycle
+      assigned (3 vital / 2 eager / 1 reserve), so an eager subtree that
+      became vital is boosted and one that became reserve is demoted. *)
+
+type policy = Flat | By_demand | Dynamic
+
+val policy_to_string : policy -> string
+
+type t
+
+val create : policy -> Graph.t -> t
+
+val push : t -> Task.t -> unit
+
+val pop : t -> Task.t option
+(** Highest-priority reduction task, falling back to marking work when no
+    reduction is queued (an idle PE lends its slot to the collector). *)
+
+val pop_marking : t -> Task.t option
+(** Highest-priority queued marking task, if any — marking and reduction
+    live in separate queues so the engine can budget them separately. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val tasks : t -> Task.t list
+(** Unspecified order. *)
+
+val purge : t -> (Task.t -> bool) -> int
+(** Remove all tasks matching the predicate; returns how many. *)
+
+val reprioritize : t -> int
+(** Recompute priorities under the current graph state ([sched_prior] may
+    have changed after a cycle); returns the number of entries whose
+    priority changed. *)
+
+val priority_of : policy -> Graph.t -> Task.t -> int
+(** Exposed for tests. Marking = 0; cancels = 1. Under [Dynamic], a
+    request's global class is its destination's [sched_prior] when
+    classified, else inherited from its source capped by the relative
+    demand (a task spawned from an eager region stays eager, §3.2);
+    responses ride their requester's class. Classes map to bands: vital
+    responses (1), vital requests (2), eager responses (3), eager
+    requests (4), reserve (5). *)

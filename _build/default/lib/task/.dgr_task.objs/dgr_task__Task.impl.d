@@ -1,0 +1,1 @@
+lib/task/task.ml: Demand Dgr_graph Format Label Plane Vertex Vid

@@ -1,0 +1,1 @@
+lib/task/task.mli: Demand Dgr_graph Format Label Plane Vertex Vid

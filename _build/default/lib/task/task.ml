@@ -1,0 +1,79 @@
+(* shared graph vocabulary *)
+open Dgr_graph
+
+type reduction =
+  | Request of { src : Vertex.requester; dst : Vid.t; demand : Demand.t; key : Vid.t }
+  | Respond of {
+      src : Vid.t;
+      dst : Vertex.requester;
+      value : Label.value;
+      key : Vid.t;
+      demand : Demand.t;
+    }
+  | Cancel of { src : Vid.t; dst : Vid.t }
+
+type mark =
+  | Mark1 of { v : Vid.t; par : Plane.parent }
+  | Mark2 of { v : Vid.t; par : Plane.parent; prior : int }
+  | Mark3 of { v : Vid.t; par : Plane.parent }
+  | Return of { plane : Plane.id; par : Plane.parent }
+
+type t = Reduction of reduction | Marking of mark
+
+let exec_vertex = function
+  | Reduction (Request { dst; _ }) -> Some dst
+  | Reduction (Respond { dst; _ }) -> dst
+  | Reduction (Cancel { dst; _ }) -> Some dst
+  | Marking (Mark1 { v; _ } | Mark2 { v; _ } | Mark3 { v; _ }) -> Some v
+  | Marking (Return { par = Plane.Parent v; _ }) -> Some v
+  | Marking (Return { par = Plane.Rootpar; _ }) -> None
+
+let reduction_endpoints = function
+  | Request { src; dst; _ } -> ( match src with Some s -> [ s; dst ] | None -> [ dst ])
+  | Respond { src; dst; _ } -> ( match dst with Some d -> [ src; d ] | None -> [ src ])
+  | Cancel { src; dst } -> [ src; dst ]
+
+let plane_of_mark = function
+  | Mark1 _ | Mark2 _ -> Plane.MR
+  | Mark3 _ -> Plane.MT
+  | Return { plane; _ } -> plane
+
+let is_marking = function Marking _ -> true | Reduction _ -> false
+
+let is_reduction = function Reduction _ -> true | Marking _ -> false
+
+let request ?src ?key dst demand =
+  let key = match key with Some k -> k | None -> dst in
+  Reduction (Request { src; dst; demand; key })
+
+let respond ~src ~key ?(demand = Demand.Vital) dst value =
+  Reduction (Respond { src; dst; value; key; demand })
+
+let pp_requester fmt = function
+  | Some v -> Vid.pp fmt v
+  | None -> Format.pp_print_string fmt "-"
+
+let pp_reduction fmt = function
+  | Request { src; dst; demand; key } ->
+    Format.fprintf fmt "request<%a,%a>%s[key=%a]" pp_requester src Vid.pp dst
+      (match demand with Demand.Vital -> "!" | Demand.Eager -> "?")
+      Vid.pp key
+  | Respond { src; dst; value; key; demand } ->
+    Format.fprintf fmt "respond<%a,%a>%s=%a[key=%a]" Vid.pp src pp_requester dst
+      (match demand with Demand.Vital -> "!" | Demand.Eager -> "?")
+      Label.pp_value value Vid.pp key
+  | Cancel { src; dst } -> Format.fprintf fmt "cancel<%a,%a>" Vid.pp src Vid.pp dst
+
+let pp_mark fmt = function
+  | Mark1 { v; par } -> Format.fprintf fmt "mark1<%a par=%a>" Vid.pp v Plane.pp_parent par
+  | Mark2 { v; par; prior } ->
+    Format.fprintf fmt "mark2<%a par=%a prio=%d>" Vid.pp v Plane.pp_parent par prior
+  | Mark3 { v; par } -> Format.fprintf fmt "mark3<%a par=%a>" Vid.pp v Plane.pp_parent par
+  | Return { plane; par } ->
+    Format.fprintf fmt "return<%a to=%a>" Plane.pp_id plane Plane.pp_parent par
+
+let pp fmt = function
+  | Reduction r -> pp_reduction fmt r
+  | Marking m -> pp_mark fmt m
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,85 @@
+type 'a entry = { prio : int; rank : int; value : 'a }
+
+type 'a t = { heap : 'a entry Vec.t; mutable next_rank : int }
+
+let create () = { heap = Vec.create (); next_rank = 0 }
+
+let length q = Vec.length q.heap
+
+let is_empty q = Vec.is_empty q.heap
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.rank < b.rank)
+
+let swap h i j =
+  let tmp = Vec.get h i in
+  Vec.set h i (Vec.get h j);
+  Vec.set h j tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Vec.get h i) (Vec.get h parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Vec.get h l) (Vec.get h !smallest) then smallest := l;
+  if r < n && less (Vec.get h r) (Vec.get h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add q prio value =
+  let e = { prio; rank = q.next_rank; value } in
+  q.next_rank <- q.next_rank + 1;
+  Vec.push q.heap e;
+  sift_up q.heap (Vec.length q.heap - 1)
+
+let pop q =
+  if Vec.is_empty q.heap then None
+  else begin
+    let top = Vec.get q.heap 0 in
+    let last = Vec.pop q.heap in
+    (match last with
+    | Some e when Vec.length q.heap > 0 ->
+      Vec.set q.heap 0 e;
+      sift_down q.heap 0
+    | _ -> ());
+    Some (top.prio, top.value)
+  end
+
+let peek q = if Vec.is_empty q.heap then None else
+    let e = Vec.get q.heap 0 in
+    Some (e.prio, e.value)
+
+let clear q = Vec.clear q.heap
+
+let iter f q = Vec.iter (fun e -> f e.prio e.value) q.heap
+
+let to_list q = Vec.fold_left (fun acc e -> (e.prio, e.value) :: acc) [] q.heap
+
+let rebuild q entries =
+  Vec.clear q.heap;
+  List.iter (fun e -> Vec.push q.heap e) entries;
+  let n = Vec.length q.heap in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down q.heap i
+  done
+
+let filter_in_place p q =
+  let entries =
+    Vec.fold_left (fun acc e -> if p e.prio e.value then e :: acc else acc) [] q.heap
+  in
+  rebuild q entries
+
+let map_priorities f q =
+  let entries =
+    Vec.fold_left (fun acc e -> { e with prio = f e.prio e.value } :: acc) [] q.heap
+  in
+  rebuild q entries

@@ -1,0 +1,36 @@
+(** Mutable min-priority queue (binary heap) with integer priorities.
+
+    Used for PE task pools (lower priority value = served first) and the
+    simulator's event ordering. Ties are broken by insertion order (FIFO),
+    which keeps simulator runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> int -> 'a -> unit
+(** [add q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum-priority element (FIFO among ties). *)
+
+val peek : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iteration order is unspecified. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** Unspecified order. *)
+
+val filter_in_place : (int -> 'a -> bool) -> 'a t -> unit
+(** Keep only entries satisfying the predicate. O(n log n). *)
+
+val map_priorities : (int -> 'a -> int) -> 'a t -> unit
+(** Recompute every entry's priority (rebuilds the heap; preserves FIFO
+    ranks so equal-priority entries keep their relative order). *)

@@ -1,0 +1,40 @@
+(** Running statistics and simple histograms for experiment reporting. *)
+
+type t
+(** A running accumulator of float samples (Welford's algorithm for
+    variance; all samples retained for percentiles). *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0.0 with fewer than two samples. *)
+
+val min_value : t -> float
+(** [nan] when empty. *)
+
+val max_value : t -> float
+(** [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], nearest-rank on sorted
+    samples; [nan] when empty. *)
+
+type histogram
+
+val histogram : ?buckets:int -> t -> histogram
+(** Equal-width histogram over the observed range (default 10 buckets). *)
+
+val histogram_buckets : histogram -> (float * float * int) list
+(** [(lo, hi, count)] per bucket. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: n/mean/stddev/min/p50/p99/max. *)

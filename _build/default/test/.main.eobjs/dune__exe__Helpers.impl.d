@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dgr_core Dgr_graph Fmt Graph Plane Vertex Vid

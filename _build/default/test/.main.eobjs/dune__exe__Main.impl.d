@@ -1,0 +1,1 @@
+test/main.ml: Alcotest T_analysis T_baseline T_cycle T_flood T_graph T_lang T_marking T_mutator T_properties T_reduction T_sim T_task T_theorems T_util

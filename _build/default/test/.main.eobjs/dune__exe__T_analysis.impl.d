@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Builder Classify Demand Dgr_analysis Dgr_graph Dgr_harness Dgr_task Graph Helpers Label List Reach Snapshot Task Vertex Vid

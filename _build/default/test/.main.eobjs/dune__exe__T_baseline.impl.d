@@ -1,0 +1,1 @@
+test/t_baseline.ml: Alcotest Builder Demand Dgr_baseline Dgr_graph Dgr_task Graph Label List Refcount Stw Validate Vertex Vid

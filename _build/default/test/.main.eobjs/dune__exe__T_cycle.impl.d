@@ -1,0 +1,1 @@
+test/t_cycle.ml: Alcotest Builder Cycle Demand Dgr_core Dgr_graph Dgr_harness Dgr_reduction Dgr_sim Dgr_task Engine Graph Label List Metrics Mutator Option Plane Validate Vertex Vid

@@ -1,0 +1,1 @@
+test/t_graph.ml: Alcotest Builder Demand Dgr_graph Dgr_util Dot Graph Label List Plane Printf Rng Snapshot String Validate Vertex

@@ -1,0 +1,1 @@
+test/t_lang.ml: Alcotest Ast Builder Compile Dgr_core Dgr_graph Dgr_lang Dgr_reduction Graph Label Lexer List Parser Template Validate Vertex

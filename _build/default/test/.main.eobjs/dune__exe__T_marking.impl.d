@@ -1,0 +1,1 @@
+test/t_marking.ml: Alcotest Builder Demand Dgr_analysis Dgr_core Dgr_graph Dgr_task Dgr_util Graph Helpers Invariants Label List Marker Mutator Plane Printf Rng Run Snapshot Sync_engine Vertex Vid

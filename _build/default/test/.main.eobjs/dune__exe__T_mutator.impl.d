@@ -1,0 +1,1 @@
+test/t_mutator.ml: Alcotest Builder Demand Dgr_analysis Dgr_core Dgr_graph Dgr_util Graph Invariants Label List Mutator Plane Printf Rng Run Snapshot Sync_engine Vertex Vid

@@ -1,0 +1,1 @@
+test/t_reduction.ml: Alcotest Compile Dgr_core Dgr_graph Dgr_lang Dgr_reduction Dgr_sim Engine Graph Label List Metrics Pool Prelude Validate Vertex Vid

@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Builder Demand Dgr_core Dgr_graph Dgr_lang Dgr_reduction Dgr_sim Dgr_task Engine Format Graph Label List Metrics Network Plane Pool Printf String Task Validate Vertex Vid

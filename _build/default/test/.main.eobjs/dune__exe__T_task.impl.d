@@ -1,0 +1,1 @@
+test/t_task.ml: Alcotest Demand Dgr_graph Dgr_task Label List Plane Task

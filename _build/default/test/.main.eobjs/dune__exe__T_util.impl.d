@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Dgr_util Float List Pqueue Rng Stats String Table Vec

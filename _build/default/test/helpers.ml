@@ -1,0 +1,42 @@
+(* Shared test utilities. *)
+open Dgr_graph
+
+let vid_set = Alcotest.testable (Fmt.Dump.list Fmt.int) (fun a b -> a = b)
+
+let sorted_list_of_set s = Vid.Set.elements s
+
+let check_vid_set msg expected actual =
+  Alcotest.check vid_set msg (sorted_list_of_set expected) (sorted_list_of_set actual)
+
+(* All vertices marked on a plane. *)
+let marked_set g plane =
+  Graph.fold_live
+    (fun acc v ->
+      if Plane.marked (Vertex.plane v plane) then Vid.Set.add v.Vertex.id acc else acc)
+    Vid.Set.empty g
+
+let marked_with_prior g prior =
+  Graph.fold_live
+    (fun acc v ->
+      if Plane.marked v.Vertex.mr && v.Vertex.mr.Plane.prior = prior then
+        Vid.Set.add v.Vertex.id acc
+      else acc)
+    Vid.Set.empty g
+
+(* No vertex left transient, every count zero. *)
+let check_quiescent g plane =
+  Graph.iter_live
+    (fun v ->
+      let p = Vertex.plane v plane in
+      if Plane.transient p then
+        Alcotest.failf "v%d left transient after marking" v.Vertex.id;
+      if p.Plane.cnt <> 0 then
+        Alcotest.failf "v%d has residual mt-cnt=%d" v.Vertex.id p.Plane.cnt)
+    g
+
+let orders rng =
+  [
+    ("fifo", Dgr_core.Sync_engine.Fifo);
+    ("lifo", Dgr_core.Sync_engine.Lifo);
+    ("random", Dgr_core.Sync_engine.Random rng);
+  ]

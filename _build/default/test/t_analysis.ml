@@ -1,0 +1,163 @@
+(* The reachability oracle: Properties 1-6 on hand-built graphs. *)
+open Dgr_graph
+open Dgr_analysis
+open Dgr_task
+open Task
+
+let compute g tasks =
+  let snap = Snapshot.take g in
+  Classify.compute snap ~tasks
+
+let test_r_is_args_reachability () =
+  let g = Graph.create () in
+  let live = Builder.chain g 4 in
+  Graph.set_root g live;
+  let junk = Builder.cycle g 3 in
+  let sets = compute g [] in
+  Alcotest.(check int) "R has the chain" 4
+    (Vid.Set.cardinal sets.Classify.reach.Reach.root_reachable);
+  Alcotest.(check bool) "junk not in R" false
+    (Vid.Set.mem junk sets.Classify.reach.Reach.root_reachable);
+  Helpers.check_vid_set "Property 1: GAR = V − R − F"
+    (Vid.Set.of_list [ junk; junk + 1; junk + 2 ])
+    sets.Classify.garbage
+
+let test_free_disjoint_from_gar () =
+  let g = Graph.create () in
+  let (_ : Vid.t) = Builder.add_root g (Label.Int 1) [] in
+  Graph.preallocate g 6;
+  let sets = compute g [] in
+  Alcotest.(check int) "free counted" 6 (Vid.Set.cardinal sets.Classify.free);
+  Alcotest.(check int) "free not garbage" 0 (Vid.Set.cardinal sets.Classify.garbage)
+
+let test_priorities_max_min () =
+  (* root --v--> m --e--> d and root --r--> d: d's best priority is the
+     max over paths of the min along each: max(min(3,2), 1) = 2. *)
+  let g = Graph.create () in
+  let d = Builder.add g (Label.Int 9) [] in
+  let m = Builder.add g Label.Ind [ d ] in
+  let root = Builder.add_root g Label.If [ m; d ] in
+  Vertex.request_arg (Graph.vertex g root) m Demand.Vital;
+  Vertex.request_arg (Graph.vertex g m) d Demand.Eager;
+  (* root -> d stays unrequested *)
+  let sets = compute g [] in
+  let r = sets.Classify.reach in
+  Alcotest.(check bool) "d in R_e" true (Vid.Set.mem d r.Reach.r_e);
+  Alcotest.(check bool) "d not in R_v" false (Vid.Set.mem d r.Reach.r_v);
+  Alcotest.(check bool) "d not in R_r (eager path wins)" false (Vid.Set.mem d r.Reach.r_r);
+  Alcotest.(check (option int)) "best_priority" (Some 2)
+    (Vid.Map.find_opt d r.Reach.best_priority)
+
+let test_t_reachability_via_requested () =
+  (* T traces requested ∪ (args − req-args): a task at y reaches x through
+     requested(y) ∋ x, and x's unrequested arg z, but not x's requested
+     arg w. *)
+  let g = Graph.create () in
+  let w = Builder.add g (Label.Int 1) [] in
+  let z = Builder.add g (Label.Int 2) [] in
+  let y = Builder.add g (Label.Int 3) [] in
+  let x = Builder.add_root g Label.If [ w; z; y ] in
+  Vertex.request_arg (Graph.vertex g x) w Demand.Vital;
+  Vertex.request_arg (Graph.vertex g x) y Demand.Vital;
+  Vertex.add_requester (Graph.vertex g y) (Some x) ~demand:Demand.Vital ~key:y;
+  let task = Request { src = Some x; dst = y; demand = Demand.Vital; key = y } in
+  let sets = compute g [ task ] in
+  let t = sets.Classify.reach.Reach.task_reachable in
+  Alcotest.(check bool) "y in T (destination)" true (Vid.Set.mem y t);
+  Alcotest.(check bool) "x in T (source / via requested)" true (Vid.Set.mem x t);
+  Alcotest.(check bool) "z in T (unrequested arg)" true (Vid.Set.mem z t);
+  Alcotest.(check bool) "w not in T (requested arg)" false (Vid.Set.mem w t)
+
+let test_deadlock_properties () =
+  let s = Dgr_harness.Scenarios.fig_3_1 () in
+  let g = s.Dgr_harness.Scenarios.graph in
+  let x = s.Dgr_harness.Scenarios.x in
+  (* reflect the quiesced execution state: root demanded x, x demanded
+     itself and the constant *)
+  let root = Graph.root g in
+  Vertex.add_requester (Graph.vertex g root) None ~demand:Demand.Vital ~key:root;
+  Vertex.request_arg (Graph.vertex g root) x Demand.Vital;
+  let vx = Graph.vertex g x in
+  List.iter (fun c -> Vertex.request_arg vx c Demand.Vital) vx.Vertex.args;
+  Vertex.add_requester vx (Some x) ~demand:Demand.Vital ~key:x;
+  Vertex.add_requester vx (Some root) ~demand:Demand.Vital ~key:x;
+  let sets = compute g [] in
+  Alcotest.(check bool) "Property 2': x deadlocked" true
+    (Vid.Set.mem x sets.Classify.deadlocked);
+  Alcotest.(check bool) "DL_v ⊆ DL" true
+    (Vid.Set.subset sets.Classify.deadlocked sets.Classify.deadlocked_plain)
+
+let test_no_deadlock_with_live_task () =
+  let s = Dgr_harness.Scenarios.fig_3_1 () in
+  let g = s.Dgr_harness.Scenarios.graph in
+  let x = s.Dgr_harness.Scenarios.x in
+  let root = Graph.root g in
+  Vertex.request_arg (Graph.vertex g root) x Demand.Vital;
+  (* a request task still in flight toward x: not deadlocked yet *)
+  let task = Request { src = Some root; dst = x; demand = Demand.Vital; key = x } in
+  let sets = compute g [ task ] in
+  Alcotest.(check bool) "x not deadlocked while a task can reach it" false
+    (Vid.Set.mem x sets.Classify.deadlocked)
+
+let test_task_classification () =
+  let s = Dgr_harness.Scenarios.fig_3_2 () in
+  let sets =
+    Classify.compute (Snapshot.take s.Dgr_harness.Scenarios.graph)
+      ~tasks:s.Dgr_harness.Scenarios.tasks
+  in
+  let kinds =
+    List.map (Classify.classify_task sets) s.Dgr_harness.Scenarios.tasks
+  in
+  Alcotest.(check (list string)) "Properties 3-6 on Fig 3-2"
+    [ "vital"; "eager"; "reserve"; "irrelevant" ]
+    (List.map Classify.task_kind_to_string kinds)
+
+let test_classify_final_respond () =
+  let g = Graph.create () in
+  let r = Builder.add_root g (Label.Int 1) [] in
+  let sets = compute g [] in
+  Alcotest.(check string) "respond to the external requester" "unclassified"
+    (Classify.task_kind_to_string
+       (Classify.classify_task sets
+          (Respond { src = r; dst = None; value = Label.V_int 1; key = r;
+                     demand = Demand.Vital })))
+
+let test_venn_counts () =
+  let s = Dgr_harness.Scenarios.fig_3_2 () in
+  let g = s.Dgr_harness.Scenarios.graph in
+  let sets = Classify.compute (Snapshot.take g) ~tasks:s.Dgr_harness.Scenarios.tasks in
+  let venn = Classify.venn (Snapshot.take g) sets in
+  (* vital: the all-vital chain if0 → if1 → a1 *)
+  Alcotest.(check int) "vital region" 3 venn.Classify.n_vital;
+  (* eager: d (speculated then-branch of if0) *)
+  Alcotest.(check int) "eager region" 1 venn.Classify.n_eager;
+  (* reserve: vertices held only through unrequested args — c (dereferenced
+     branch), tt (if1's consumed predicate), and a1's unrequested leaves
+     a and one *)
+  Alcotest.(check int) "reserve region" 4 venn.Classify.n_reserve;
+  (* garbage: the dereferenced-and-disconnected a+b+c with its private
+     subexpressions ab and b *)
+  Alcotest.(check int) "garbage region" 3 venn.Classify.n_garbage
+
+let test_empty_graph () =
+  let g = Graph.create () in
+  let sets = compute g [] in
+  Alcotest.(check int) "no garbage in the empty graph" 0
+    (Vid.Set.cardinal sets.Classify.garbage);
+  Alcotest.(check int) "nothing reachable" 0
+    (Vid.Set.cardinal sets.Classify.reach.Reach.root_reachable)
+
+let suite =
+  [
+    Alcotest.test_case "R and Property 1 (GAR)" `Quick test_r_is_args_reachability;
+    Alcotest.test_case "F disjoint from GAR" `Quick test_free_disjoint_from_gar;
+    Alcotest.test_case "max-min priorities" `Quick test_priorities_max_min;
+    Alcotest.test_case "T-reachability (↦*)" `Quick test_t_reachability_via_requested;
+    Alcotest.test_case "Property 2': deadlock" `Quick test_deadlock_properties;
+    Alcotest.test_case "live task prevents deadlock verdict" `Quick
+      test_no_deadlock_with_live_task;
+    Alcotest.test_case "Properties 3-6: task kinds" `Quick test_task_classification;
+    Alcotest.test_case "final respond unclassified" `Quick test_classify_final_respond;
+    Alcotest.test_case "Fig 3-3 region counts" `Quick test_venn_counts;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+  ]

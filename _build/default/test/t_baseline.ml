@@ -1,0 +1,132 @@
+(* GC baselines: distributed reference counting and stop-the-world. *)
+open Dgr_graph
+open Dgr_baseline
+
+let test_rc_adopts_existing_edges () =
+  let g = Graph.create () in
+  let b = Builder.add g (Label.Int 1) [] in
+  let a = Builder.add_root g Label.If [ b; b ] in
+  ignore a;
+  let rc = Refcount.create g in
+  Alcotest.(check int) "both occurrences counted" 2 (Refcount.count rc b)
+
+let test_rc_frees_on_zero_and_cascades () =
+  let g = Graph.create () in
+  let c = Builder.add g (Label.Int 1) [] in
+  let b = Builder.add g Label.Ind [ c ] in
+  let a = Builder.add_root g Label.Ind [ b ] in
+  let rc = Refcount.create g in
+  Refcount.pin rc a;
+  Refcount.on_disconnect rc a b;
+  Vertex.disconnect (Graph.vertex g a) b;
+  Alcotest.(check bool) "b freed" true (Graph.vertex g b).Vertex.free;
+  Alcotest.(check bool) "cascade freed c" true (Graph.vertex g c).Vertex.free;
+  Alcotest.(check int) "reclaimed count" 2 (Refcount.reclaimed rc)
+
+let test_rc_cannot_reclaim_cycles () =
+  let g = Graph.create () in
+  let (_ : Vid.t) = Builder.add_root g (Label.Int 0) [] in
+  let ring = Builder.cycle g 4 in
+  let holder = Builder.add g Label.Ind [ ring ] in
+  let rc = Refcount.create g in
+  Refcount.pin rc (Graph.root g);
+  (* drop the only external reference into the ring *)
+  Refcount.on_disconnect rc holder ring;
+  Vertex.disconnect (Graph.vertex g holder) ring;
+  Alcotest.(check bool) "ring member still live (leak)" false
+    (Graph.vertex g ring).Vertex.free;
+  (* the holder has count 0 (never referenced) so it is not part of the
+     positive-count leak census; the four ring members are *)
+  Alcotest.(check int) "leak reported" 4 (List.length (Refcount.leaked rc))
+
+let test_rc_cycle_leak_exact () =
+  let g = Graph.create () in
+  let (_ : Vid.t) = Builder.add_root g (Label.Int 0) [] in
+  let ring = Builder.cycle g 4 in
+  let rc = Refcount.create g in
+  ignore ring;
+  Alcotest.(check int) "exactly the ring leaks" 4 (List.length (Refcount.leaked rc))
+
+let test_rc_pin_unpin () =
+  let g = Graph.create () in
+  let v = Builder.add_root g (Label.Int 1) [] in
+  let w = Builder.add g (Label.Int 2) [] in
+  let rc = Refcount.create g in
+  Refcount.pin rc w;
+  Refcount.unpin rc w;
+  Alcotest.(check bool) "unpin frees unreferenced vertex" true (Graph.vertex g w).Vertex.free;
+  Refcount.pin rc v;
+  Refcount.unpin rc v;
+  Alcotest.(check bool) "the root is never freed" false (Graph.vertex g v).Vertex.free
+
+let test_rc_messages_cross_pe_only () =
+  let g = Graph.create ~num_pes:2 () in
+  let b = Graph.alloc ~pe:0 g (Label.Int 1) in
+  let c = Graph.alloc ~pe:1 g (Label.Int 2) in
+  let a = Graph.alloc ~pe:0 g Label.If in
+  Graph.set_root g a.Vertex.id;
+  let rc = Refcount.create g in
+  Refcount.on_connect rc a.Vertex.id b.Vertex.id;
+  Vertex.connect a b.Vertex.id;
+  Alcotest.(check int) "same-PE inc is local" 0 (Refcount.messages rc);
+  Refcount.on_connect rc a.Vertex.id c.Vertex.id;
+  Vertex.connect a c.Vertex.id;
+  Alcotest.(check int) "cross-PE inc is a message" 1 (Refcount.messages rc)
+
+let test_rc_on_free_callback () =
+  let g = Graph.create () in
+  let b = Builder.add g (Label.Int 1) [] in
+  let a = Builder.add_root g Label.Ind [ b ] in
+  let rc = Refcount.create g in
+  Refcount.pin rc a;
+  let freed = ref [] in
+  Refcount.set_on_free rc (fun v -> freed := v :: !freed);
+  Refcount.on_disconnect rc a b;
+  Vertex.disconnect (Graph.vertex g a) b;
+  Alcotest.(check (list int)) "callback saw the free" [ b ] !freed
+
+let test_stw_collects_and_purges () =
+  let g = Graph.create () in
+  let live = Builder.chain g 4 in
+  Graph.set_root g live;
+  let junk = Builder.cycle g 5 in
+  let purged = ref 0 in
+  let report =
+    Stw.collect g ~purge_tasks:(fun pred ->
+        (* one irrelevant task addressed into the junk, one live one *)
+        let tasks =
+          [ Dgr_task.Task.request junk Demand.Eager; Dgr_task.Task.request live Demand.Vital ]
+        in
+        purged := List.length (List.filter pred tasks);
+        !purged)
+  in
+  Alcotest.(check int) "marked" 4 report.Stw.marked;
+  Alcotest.(check int) "reclaimed" 5 report.Stw.reclaimed;
+  Alcotest.(check int) "only the junk task purged" 1 !purged;
+  Alcotest.(check bool) "junk freed" true (Graph.vertex g junk).Vertex.free;
+  Alcotest.(check bool) "live kept" false (Graph.vertex g live).Vertex.free;
+  Alcotest.(check (list string)) "graph valid after sweep" [] (Validate.check g)
+
+let test_stw_cleans_dangling_requesters () =
+  let g = Graph.create () in
+  let live = Builder.add_root g Label.Bottom [] in
+  let junk = Builder.add g Label.If [] in
+  Vertex.add_requester (Graph.vertex g live) (Some junk) ~demand:Demand.Eager ~key:live;
+  let (_ : Stw.report) = Stw.collect g ~purge_tasks:(fun _ -> 0) in
+  Alcotest.(check bool) "junk reclaimed" true (Graph.vertex g junk).Vertex.free;
+  Alcotest.(check int) "dangling requester dropped" 0
+    (List.length (Graph.vertex g live).Vertex.requested)
+
+let suite =
+  [
+    Alcotest.test_case "rc adopts existing edges" `Quick test_rc_adopts_existing_edges;
+    Alcotest.test_case "rc frees on zero, cascades" `Quick test_rc_frees_on_zero_and_cascades;
+    Alcotest.test_case "rc cannot reclaim cycles (§4)" `Quick test_rc_cannot_reclaim_cycles;
+    Alcotest.test_case "rc leak census" `Quick test_rc_cycle_leak_exact;
+    Alcotest.test_case "rc pin/unpin" `Quick test_rc_pin_unpin;
+    Alcotest.test_case "rc message accounting" `Quick test_rc_messages_cross_pe_only;
+    Alcotest.test_case "rc on_free callback" `Quick test_rc_on_free_callback;
+    Alcotest.test_case "stw collects and purges" `Quick test_stw_collects_and_purges;
+    Alcotest.test_case "stw cleans dangling requesters" `Quick
+      test_stw_cleans_dangling_requesters;
+  ]

@@ -1,0 +1,182 @@
+(* The full mark/restructure cycle driven through the simulator on
+   hand-built graphs (no reduction program): collection, deadlock
+   reports, priority persistence, task purging. *)
+open Dgr_graph
+open Dgr_sim
+open Dgr_core
+
+let empty_registry = Dgr_reduction.Template.create_registry ()
+
+let engine_for ?(deadlock_every = 1) ?(idle_gap = 5) g =
+  let config =
+    {
+      Engine.default_config with
+      num_pes = Graph.num_pes g;
+      gc = Engine.Concurrent { deadlock_every; idle_gap };
+      heap_size = None;
+    }
+  in
+  Engine.create ~config g empty_registry
+
+let run_cycles e n =
+  let target t =
+    match Engine.cycle t with
+    | Some c -> Cycle.cycles_completed c >= n
+    | None -> true
+  in
+  let (_ : int) = Engine.run ~max_steps:100_000 ~stop:target e in
+  Option.get (Engine.cycle e)
+
+let test_collects_unreachable () =
+  let g = Graph.create ~num_pes:2 () in
+  let live = Builder.chain g 5 in
+  Graph.set_root g live;
+  let ring = Builder.cycle g 6 in
+  ignore ring;
+  let before = Graph.live_count g in
+  let e = engine_for g in
+  let c = run_cycles e 1 in
+  Alcotest.(check int) "garbage collected" (before - 5) (Cycle.total_garbage_collected c);
+  Alcotest.(check int) "free list refilled" (before - 5) (Graph.free_count g);
+  Alcotest.(check (list string)) "valid" [] (Validate.check g)
+
+let test_live_never_collected_across_cycles () =
+  let g = Graph.create ~num_pes:4 () in
+  let root = Builder.binary_tree g ~depth:4 in
+  Graph.set_root g root;
+  let e = engine_for g in
+  let (_ : Cycle.t) = run_cycles e 5 in
+  Alcotest.(check int) "all live survive 5 cycles" 31 (Graph.live_count g)
+
+let test_deadlock_reported_only_with_mt () =
+  let build () =
+    let s = Dgr_harness.Scenarios.fig_3_1 () in
+    (s.Dgr_harness.Scenarios.graph, s.Dgr_harness.Scenarios.x)
+  in
+  (* deadlock_every = 0: M_T never runs, nothing is ever reported *)
+  let g, _x = build () in
+  Vertex.add_requester (Graph.vertex g (Graph.root g)) None ~demand:Demand.Vital
+    ~key:(Graph.root g);
+  Vertex.request_arg
+    (Graph.vertex g (Graph.root g))
+    (List.hd (Graph.children g (Graph.root g)))
+    Demand.Vital;
+  let e = engine_for ~deadlock_every:0 g in
+  let c = run_cycles e 3 in
+  Alcotest.(check bool) "no M_T, no deadlock report" true
+    (Vid.Set.is_empty (Cycle.deadlocked_ever c));
+  (* deadlock_every = 1: found in the first cycle *)
+  let g, x = build () in
+  Vertex.add_requester (Graph.vertex g (Graph.root g)) None ~demand:Demand.Vital
+    ~key:(Graph.root g);
+  Vertex.request_arg
+    (Graph.vertex g (Graph.root g))
+    (List.hd (Graph.children g (Graph.root g)))
+    Demand.Vital;
+  (* x vitally requests itself and the constant *)
+  let vx = Graph.vertex g x in
+  List.iter (fun c -> Vertex.request_arg vx c Demand.Vital) vx.Vertex.args;
+  Vertex.add_requester vx (Some x) ~demand:Demand.Vital ~key:x;
+  let e = engine_for ~deadlock_every:1 g in
+  let c = run_cycles e 2 in
+  Alcotest.(check bool) "x reported deadlocked" true
+    (Vid.Set.mem x (Cycle.deadlocked_ever c))
+
+let test_sched_prior_persists () =
+  let g = Graph.create () in
+  let leaf = Builder.add g (Label.Int 1) [] in
+  let root = Builder.add_root g Label.If [ leaf ] in
+  Vertex.request_arg (Graph.vertex g root) leaf Demand.Eager;
+  let e = engine_for g in
+  let (_ : Cycle.t) = run_cycles e 1 in
+  Alcotest.(check int) "root classified vital" 3 (Graph.vertex g root).Vertex.sched_prior;
+  Alcotest.(check int) "leaf classified eager" 2 (Graph.vertex g leaf).Vertex.sched_prior;
+  Alcotest.(check bool) "planes reset between cycles" true
+    (Plane.unmarked (Graph.vertex g root).Vertex.mr
+    || Plane.transient (Graph.vertex g root).Vertex.mr
+    || Plane.marked (Graph.vertex g root).Vertex.mr)
+
+let test_irrelevant_tasks_purged () =
+  let g = Graph.create ~num_pes:1 () in
+  let live = Builder.chain g 3 in
+  Graph.set_root g live;
+  (* a ring of indirections: a request injected into it forwards forever —
+     §3.2's non-terminating irrelevant workload in miniature *)
+  let junk = Builder.cycle g 3 in
+  let e = engine_for g in
+  Engine.inject e (Dgr_task.Task.request junk Demand.Eager);
+  let (_ : Cycle.t) = run_cycles e 3 in
+  Alcotest.(check bool) "circulating irrelevant task expunged" true
+    ((Engine.metrics e).Metrics.tasks_purged >= 1);
+  Alcotest.(check bool) "junk ring collected" true (Graph.vertex g junk).Vertex.free;
+  (* and the machine actually quiesces once the task is gone *)
+  let still_pending =
+    List.exists Dgr_task.Task.is_reduction (Engine.pending_tasks e)
+  in
+  Alcotest.(check bool) "no reduction tasks survive" false still_pending
+
+let test_start_cycle_twice_rejected () =
+  let g = Graph.create () in
+  let (_ : Vid.t) = Builder.add_root g (Label.Int 1) [] in
+  let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+  let env =
+    {
+      Cycle.spawn_mark = (fun _ -> ());
+      reduction_tasks = (fun () -> []);
+      purge_tasks = (fun _ -> 0);
+      reprioritize = (fun () -> 0);
+      now = (fun () -> 0);
+    }
+  in
+  let c = Cycle.create g mut env in
+  Cycle.start_cycle c;
+  Alcotest.check_raises "double start"
+    (Invalid_argument "Cycle.start_cycle: cycle already in progress") (fun () ->
+      Cycle.start_cycle c)
+
+let test_mt_before_mr_order () =
+  (* With deadlock detection on, the first phase must be Mark_tasks. *)
+  let g = Graph.create () in
+  let (_ : Vid.t) = Builder.add_root g (Label.Int 1) [] in
+  let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+  let spawned = ref [] in
+  let env =
+    {
+      Cycle.spawn_mark = (fun m -> spawned := m :: !spawned);
+      reduction_tasks =
+        (fun () -> [ Dgr_task.Task.Request { src = None; dst = Graph.root g;
+                                             demand = Demand.Vital; key = Graph.root g } ]);
+      purge_tasks = (fun _ -> 0);
+      reprioritize = (fun () -> 0);
+      now = (fun () -> 0);
+    }
+  in
+  let c = Cycle.create ~deadlock_every:1 g mut env in
+  Cycle.start_cycle c;
+  Alcotest.(check bool) "starts in Mark_tasks" true (Cycle.phase c = Cycle.Mark_tasks);
+  (match !spawned with
+  | [ Dgr_task.Task.Mark3 _ ] -> ()
+  | _ -> Alcotest.fail "expected one mark3 seed");
+  Alcotest.(check bool) "M_T run exposed" true (Cycle.run_for_plane c Plane.MT <> None);
+  Alcotest.(check bool) "no M_R run yet" true (Cycle.run_for_plane c Plane.MR = None)
+
+let test_cycle_with_empty_graph () =
+  let g = Graph.create () in
+  Graph.preallocate g 4;
+  let e = engine_for g in
+  let c = run_cycles e 1 in
+  Alcotest.(check int) "nothing to collect" 0 (Cycle.total_garbage_collected c)
+
+let suite =
+  [
+    Alcotest.test_case "collects unreachable clusters" `Quick test_collects_unreachable;
+    Alcotest.test_case "live data survives repeated cycles" `Quick
+      test_live_never_collected_across_cycles;
+    Alcotest.test_case "deadlock needs M_T (and finds it)" `Quick
+      test_deadlock_reported_only_with_mt;
+    Alcotest.test_case "sched_prior persists past plane reset" `Quick test_sched_prior_persists;
+    Alcotest.test_case "irrelevant tasks purged" `Quick test_irrelevant_tasks_purged;
+    Alcotest.test_case "double start rejected" `Quick test_start_cycle_twice_rejected;
+    Alcotest.test_case "M_T runs before M_R" `Quick test_mt_before_mr_order;
+    Alcotest.test_case "empty graph cycles" `Quick test_cycle_with_empty_graph;
+  ]

@@ -1,0 +1,295 @@
+(* The §6 space optimization: flood marking with per-PE counters and
+   termination detection. Must compute exactly the same sets as the
+   marking-tree scheme, statically and under concurrent mutation. *)
+open Dgr_graph
+open Dgr_core
+open Dgr_util
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A minimal single-queue driver for flood runs (the sync-engine
+   equivalent; the full distributed execution is exercised through the
+   simulator below). *)
+let flood_drain ?mut fl seeds =
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      Flood.count_seed fl ~pe:0;
+      Queue.add (Flood.seed_for fl v) queue)
+    seeds;
+  (match mut with
+  | Some m -> m.Mutator.spawn <- (fun task -> Queue.add task queue)
+  | None -> ());
+  let executed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let task = Queue.pop queue in
+    List.iter (fun t -> Queue.add t queue) (Flood.execute fl ~pe:0 task);
+    incr executed;
+    if !executed > 10_000_000 then failwith "flood diverged"
+  done;
+  Alcotest.(check int) "counters balance" (Flood.sent_total fl) (Flood.executed_total fl);
+  Alcotest.(check int) "outstanding zero" 0 (Flood.outstanding fl)
+
+let test_termination_detector () =
+  let t = Termination.create ~window:5 in
+  Termination.observe t ~now:0 ~sent:3 ~executed:1;
+  Alcotest.(check bool) "busy" false (Termination.terminated t);
+  Termination.observe t ~now:1 ~sent:3 ~executed:3;
+  Termination.observe t ~now:3 ~sent:3 ~executed:3;
+  Alcotest.(check bool) "quiet but window not elapsed" false (Termination.terminated t);
+  Termination.observe t ~now:6 ~sent:3 ~executed:3;
+  Alcotest.(check bool) "two waves apart" true (Termination.terminated t);
+  Termination.reset t;
+  (* a racing task between waves resets the first observation *)
+  Termination.observe t ~now:10 ~sent:5 ~executed:5;
+  Termination.observe t ~now:16 ~sent:6 ~executed:6;
+  Alcotest.(check bool) "sum moved between waves" false (Termination.terminated t);
+  Termination.observe t ~now:22 ~sent:6 ~executed:6;
+  Alcotest.(check bool) "stable afterwards" true (Termination.terminated t)
+
+let test_flood_marks_reachable () =
+  let g = Graph.create () in
+  let root = Builder.binary_tree g ~depth:4 in
+  Graph.set_root g root;
+  let junk = Builder.cycle g 4 in
+  let fl = Flood.create g Run.Basic in
+  flood_drain fl [ root ];
+  let marked = Helpers.marked_set g Plane.MR in
+  let expected = Dgr_analysis.Reach.reachable_from (Snapshot.take g) [ root ] in
+  Helpers.check_vid_set "flood = R" expected marked;
+  Alcotest.(check bool) "junk untouched" true
+    (Plane.unmarked (Graph.vertex g junk).Vertex.mr);
+  Alcotest.(check int) "2 words per PE" 2 (Flood.bookkeeping_words fl)
+
+let spec_gen =
+  QCheck.Gen.(
+    map3
+      (fun live garbage seed ->
+        ( { Builder.live = 5 + live; garbage; free_pool = 30;
+            avg_degree = 1.2 +. (float_of_int (seed land 7) /. 4.0);
+            cycle_bias = float_of_int (seed land 3) /. 4.0 },
+          seed ))
+      (int_bound 80) (int_bound 40) (int_bound 50_000))
+
+let arb_spec = QCheck.make spec_gen
+
+let prop_flood_equals_tree_static =
+  QCheck.Test.make ~name:"flood priorities = tree priorities (static)" ~count:60 arb_spec
+    (fun (spec, seed) ->
+      let g1 = Builder.random_with_requests (Rng.create seed) spec in
+      let g2 = Builder.random_with_requests (Rng.create seed) spec in
+      (* tree on g1 *)
+      let (_ : Run.t) = Sync_engine.mark g1 Run.Priority ~seeds:[ Graph.root g1 ] in
+      (* flood on g2 *)
+      let fl = Flood.create g2 Run.Priority in
+      flood_drain fl [ Graph.root g2 ];
+      Graph.fold_live
+        (fun ok v ->
+          ok
+          &&
+          let w = Graph.vertex g2 v.Vertex.id in
+          Plane.marked v.Vertex.mr = Plane.marked w.Vertex.mr
+          && v.Vertex.mr.Plane.prior = w.Vertex.mr.Plane.prior)
+        true g1)
+
+let prop_flood_mt_equals_oracle =
+  QCheck.Test.make ~name:"flood M_T = oracle T" ~count:40 arb_spec
+    (fun (spec, seed) ->
+      let g = Builder.random_with_requests (Rng.create seed) spec in
+      let rng = Rng.create (seed * 5) in
+      let tasks =
+        Graph.fold_live
+          (fun acc v ->
+            List.fold_left
+              (fun acc (e : Vertex.request_entry) ->
+                if Rng.int rng 2 = 0 then
+                  Dgr_task.Task.Request
+                    { src = e.Vertex.who; dst = v.Vertex.id; demand = e.Vertex.demand;
+                      key = e.Vertex.key }
+                  :: acc
+                else acc)
+              acc v.Vertex.requested)
+          [] g
+      in
+      let seeds =
+        List.concat_map Dgr_task.Task.reduction_endpoints tasks |> List.sort_uniq compare
+      in
+      let fl = Flood.create g Run.Tasks in
+      flood_drain fl seeds;
+      Vid.Set.equal (Helpers.marked_set g Plane.MT)
+        (Dgr_analysis.Reach.task_reachable_from (Snapshot.take g) tasks))
+
+(* Under concurrent mutation: drive the flood through a queue while an
+   axiom-safe adversary mutates between executions; everything reachable
+   at the end must be marked, nothing garbage-at-start may be marked. *)
+let prop_flood_safety_liveness_under_mutation =
+  QCheck.Test.make ~name:"flood safety+liveness under mutation" ~count:40 arb_spec
+    (fun (spec, seed) ->
+      let rng = Rng.create (seed + 91) in
+      let g = Builder.random (Rng.create seed) spec in
+      let gar_tb =
+        let snap = Snapshot.take g in
+        let r = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
+        Graph.fold_live
+          (fun acc v ->
+            if Vid.Set.mem v.Vertex.id r then acc else Vid.Set.add v.Vertex.id acc)
+          Vid.Set.empty g
+      in
+      let fl = Flood.create g Run.Priority in
+      let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+      Mutator.set_active_flood mut [ fl ];
+      let queue = Queue.create () in
+      mut.Mutator.spawn <- (fun task -> Queue.add task queue);
+      Flood.count_seed fl ~pe:0;
+      Queue.add (Flood.seed_for fl (Graph.root g)) queue;
+      let adversary () =
+        if Rng.int rng 3 = 0 then begin
+          let live = Graph.live_vids g in
+          let pick () = Rng.choose_list rng live in
+          match Rng.int rng 3 with
+          | 0 -> (
+            let a = pick () in
+            match Graph.children g a with
+            | [] -> ()
+            | bs -> (
+              let b = Rng.choose_list rng bs in
+              match Graph.children g b with
+              | [] -> ()
+              | cs -> Mutator.add_reference mut ~a ~b ~c:(Rng.choose_list rng cs)))
+          | 1 -> (
+            let a = pick () in
+            match Graph.children g a with
+            | [] -> ()
+            | bs -> Mutator.delete_reference mut ~a ~b:(Rng.choose_list rng bs))
+          | _ ->
+            let a = pick () in
+            if Graph.headroom g > 3 then begin
+              let inner = Graph.alloc g Label.Ind in
+              List.iter
+                (fun old -> Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:old)
+                (Graph.children g a);
+              Mutator.expand_node mut ~a ~entry:inner.Vertex.id
+            end
+        end
+      in
+      let steps = ref 0 in
+      while not (Queue.is_empty queue) do
+        adversary ();
+        (if not (Queue.is_empty queue) then
+           let task = Queue.pop queue in
+           List.iter (fun t -> Queue.add t queue) (Flood.execute fl ~pe:0 task));
+        incr steps;
+        if !steps > 5_000_000 then failwith "flood diverged under mutation"
+      done;
+      let reachable = Dgr_analysis.Reach.reachable_from (Snapshot.take g) [ Graph.root g ] in
+      let liveness =
+        Vid.Set.for_all
+          (fun v -> Plane.marked (Graph.vertex g v).Vertex.mr)
+          reachable
+      in
+      let safety =
+        Vid.Set.for_all
+          (fun v -> Plane.unmarked (Graph.vertex g v).Vertex.mr)
+          gar_tb
+      in
+      liveness && safety && Flood.outstanding fl = 0)
+
+(* End-to-end: the whole machine under the flood scheme computes the same
+   results and still collects, detects deadlock, etc. *)
+let engine_flood_config gc =
+  { Dgr_sim.Engine.default_config with gc; marking = Cycle.Flood_counters }
+
+let test_engine_flood_programs () =
+  List.iter
+    (fun (src, expected) ->
+      let config =
+        engine_flood_config (Dgr_sim.Engine.Concurrent { deadlock_every = 2; idle_gap = 20 })
+      in
+      let g, templates = Dgr_lang.Compile.load_string ~num_pes:4 src in
+      let e = Dgr_sim.Engine.create ~config g templates in
+      Dgr_sim.Engine.inject_root_demand e;
+      let (_ : int) = Dgr_sim.Engine.run ~max_steps:400_000 e in
+      Alcotest.(check bool) "result" true
+        (Dgr_sim.Engine.result e = Some (Label.V_int expected));
+      Alcotest.(check (list string)) "valid" [] (Validate.check g))
+    [
+      (Dgr_lang.Prelude.fib 10, Dgr_lang.Prelude.fib_expected 10);
+      (Dgr_lang.Prelude.sum_range 10, Dgr_lang.Prelude.sum_range_expected 10);
+      (Dgr_lang.Prelude.speculative 30, 42);
+    ]
+
+let test_engine_flood_collects () =
+  let config =
+    engine_flood_config (Dgr_sim.Engine.Concurrent { deadlock_every = 0; idle_gap = 10 })
+  in
+  let g, templates = Dgr_lang.Compile.load_string ~num_pes:4 (Dgr_lang.Prelude.fib 11) in
+  let e = Dgr_sim.Engine.create ~config g templates in
+  Dgr_sim.Engine.inject_root_demand e;
+  let (_ : int) = Dgr_sim.Engine.run ~max_steps:400_000 e in
+  Alcotest.(check bool) "finished" true (Dgr_sim.Engine.finished e);
+  match Dgr_sim.Engine.cycle e with
+  | Some c ->
+    Alcotest.(check bool) "collected concurrently" true
+      (Cycle.total_garbage_collected c > 0)
+  | None -> Alcotest.fail "no controller"
+
+let test_engine_flood_deadlock () =
+  let config =
+    engine_flood_config (Dgr_sim.Engine.Concurrent { deadlock_every = 1; idle_gap = 10 })
+  in
+  let g, templates = Dgr_lang.Compile.load_string Dgr_lang.Prelude.deadlock in
+  let e = Dgr_sim.Engine.create ~config g templates in
+  Dgr_sim.Engine.inject_root_demand e;
+  let found t =
+    match Dgr_sim.Engine.cycle t with
+    | Some c -> not (Vid.Set.is_empty (Cycle.deadlocked_ever c))
+    | None -> false
+  in
+  let (_ : int) = Dgr_sim.Engine.run ~max_steps:50_000 ~stop:found e in
+  Alcotest.(check bool) "deadlock detected under flood scheme" true (found e)
+
+let suite =
+  [
+    Alcotest.test_case "termination detector" `Quick test_termination_detector;
+    Alcotest.test_case "flood marks exactly R" `Quick test_flood_marks_reachable;
+    qtest prop_flood_equals_tree_static;
+    qtest prop_flood_mt_equals_oracle;
+    qtest prop_flood_safety_liveness_under_mutation;
+    Alcotest.test_case "engine end-to-end (flood)" `Quick test_engine_flood_programs;
+    Alcotest.test_case "engine collects (flood)" `Quick test_engine_flood_collects;
+    Alcotest.test_case "engine detects deadlock (flood)" `Quick test_engine_flood_deadlock;
+  ]
+
+(* The two bookkeeping schemes must be observationally equivalent on the
+   full machine: same results on random programs. *)
+let prop_schemes_agree_end_to_end =
+  QCheck.Test.make ~name:"tree and flood engines compute the same results" ~count:20
+    QCheck.(int_bound 1_000)
+    (fun seed ->
+      let source =
+        match seed mod 3 with
+        | 0 -> Dgr_lang.Prelude.fib (7 + (seed mod 4))
+        | 1 -> Dgr_lang.Prelude.sum_range (4 + (seed mod 8))
+        | _ -> Dgr_lang.Prelude.speculative (10 + (seed mod 25))
+      in
+      let run scheme =
+        let config =
+          {
+            Dgr_sim.Engine.default_config with
+            num_pes = 1 + (seed mod 5);
+            gc = Dgr_sim.Engine.Concurrent { deadlock_every = 2; idle_gap = 5 + (seed mod 20) };
+            marking = scheme;
+          }
+        in
+        let g, templates =
+          Dgr_lang.Compile.load_string ~num_pes:config.Dgr_sim.Engine.num_pes source
+        in
+        let e = Dgr_sim.Engine.create ~config g templates in
+        Dgr_sim.Engine.inject_root_demand e;
+        let (_ : int) = Dgr_sim.Engine.run ~max_steps:300_000 e in
+        Dgr_sim.Engine.result e
+      in
+      let a = run Cycle.Tree and b = run Cycle.Flood_counters in
+      a <> None && a = b)
+
+let suite = suite @ [ qtest prop_schemes_agree_end_to_end ]

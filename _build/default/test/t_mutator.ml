@@ -1,0 +1,263 @@
+(* Cooperating mutator primitives (Fig 4-2): mutations concurrent with a
+   marking run must preserve the marking invariants and never cause a
+   reachable vertex to be missed. *)
+open Dgr_graph
+open Dgr_core
+open Dgr_util
+
+(* Build a chain a -> b -> c rooted at a, start basic marking, and stop
+   after [steps] task executions so the graph is mid-mark. *)
+let partial_mark g ~steps =
+  let engine = Sync_engine.create g in
+  let run = Sync_engine.start engine Run.Basic ~seeds:[ Graph.root g ] in
+  let executed = ref 0 in
+  while !executed < steps && Sync_engine.step engine do
+    incr executed
+  done;
+  (engine, run)
+
+let drain_and_check engine run =
+  let (_ : int) = Sync_engine.drain engine in
+  Alcotest.(check bool) "run finished" true run.Run.finished;
+  let g = Sync_engine.graph engine in
+  let snap = Snapshot.take g in
+  let reachable = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
+  Vid.Set.iter
+    (fun v ->
+      if not (Plane.marked (Graph.vertex g v).Vertex.mr) then
+        Alcotest.failf "reachable v%d missed by marking" v)
+    reachable
+
+let test_paper_race () =
+  (* The §4.2 motivating race: a -> b -> c; marking has passed a; then
+     add-reference(a,b,c) and delete-reference(b,c) leave c reachable only
+     from a. Cooperation must still mark c. *)
+  let g = Graph.create () in
+  let c = Builder.add g (Label.Int 1) [] in
+  let b = Builder.add g Label.Ind [ c ] in
+  let a = Builder.add_root g Label.Ind [ b ] in
+  let engine, run = partial_mark g ~steps:1 in
+  (* After one step the root a is transient and a mark task for b is
+     pending; c is untouched. *)
+  Alcotest.(check bool) "a transient" true (Plane.transient (Graph.vertex g a).Vertex.mr);
+  let mut = Sync_engine.mutator engine in
+  Mutator.add_reference mut ~a ~b ~c;
+  Mutator.delete_reference mut ~a:b ~b:c;
+  Invariants.check_exn run ~pending:(Sync_engine.pending engine);
+  drain_and_check engine run
+
+let test_paper_race_after_marked () =
+  (* Same shape, but the mutation happens when a is already marked and b
+     is transient: the witnessed "execute mark1(c,b)" branch. *)
+  let g = Graph.create () in
+  let c = Builder.add g (Label.Int 1) [] in
+  let slow = Builder.chain g 6 in
+  let b = Builder.add g Label.If [ c; slow ] in
+  let a = Builder.add_root g Label.Ind [ b ] in
+  let engine, run = partial_mark g ~steps:3 in
+  ignore a;
+  (* Drive until a is marked but b still transient (b waits on the slow
+     chain). *)
+  let steps = ref 0 in
+  while
+    (not (Plane.marked (Graph.vertex g a).Vertex.mr))
+    && !steps < 100
+    && Sync_engine.step engine
+  do
+    incr steps
+  done;
+  if Plane.marked (Graph.vertex g a).Vertex.mr && Plane.transient (Graph.vertex g b).Vertex.mr
+  then begin
+    let fresh = Builder.add g (Label.Int 9) [] in
+    Vertex.connect (Graph.vertex g b) fresh;
+    (* fresh is a child of b; now reference it from a *)
+    let mut = Sync_engine.mutator engine in
+    Mutator.add_reference mut ~a ~b ~c:fresh;
+    Invariants.check_exn run ~pending:(Sync_engine.pending engine)
+  end;
+  drain_and_check engine run
+
+let test_add_reference_validates_witness () =
+  let g = Graph.create () in
+  let c = Builder.add g (Label.Int 1) [] in
+  let b = Builder.add g Label.Ind [ c ] in
+  let a = Builder.add_root g Label.Ind [ b ] in
+  let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+  Alcotest.check_raises "b must be a child of a"
+    (Invalid_argument
+       (Printf.sprintf "Mutator.add_reference: witness v%d is not a child of v%d" c a))
+    (fun () -> Mutator.add_reference mut ~a ~b:c ~c:b);
+  Alcotest.check_raises "c must be a child of b"
+    (Invalid_argument
+       (Printf.sprintf "Mutator.add_reference: v%d is not a child of witness v%d" a b))
+    (fun () -> Mutator.add_reference mut ~a ~b ~c:a)
+
+let test_expand_node_marked_parent () =
+  (* Splicing a fresh subgraph below a marked vertex must mark the whole
+     subgraph (paper: "if marked(a) then mark(g)"). *)
+  let g = Graph.create () in
+  let leaf = Builder.add g (Label.Int 5) [] in
+  let a = Builder.add_root g Label.Ind [ leaf ] in
+  let engine, run = partial_mark g ~steps:10_000 in
+  Alcotest.(check bool) "fully marked" true run.Run.finished;
+  (* a marked; now expand: fresh subgraph referencing the old child *)
+  let mut = Sync_engine.mutator engine in
+  Mutator.set_active mut [ run ];
+  let inner = Graph.alloc g (Label.Prim Label.Neg) in
+  Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:leaf;
+  Mutator.expand_node mut ~a ~entry:inner.Vertex.id;
+  Alcotest.(check bool) "subgraph closure-marked" true (Plane.marked inner.Vertex.mr);
+  Alcotest.(check (list int)) "a rewired" [ inner.Vertex.id ] (Graph.vertex g a).Vertex.args;
+  Invariants.check_exn run ~pending:(Sync_engine.pending engine)
+
+let test_expand_node_unmarked_parent () =
+  let g = Graph.create () in
+  let leaf = Builder.add g (Label.Int 5) [] in
+  let a = Builder.add_root g Label.Ind [ leaf ] in
+  let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+  let inner = Graph.alloc g (Label.Prim Label.Neg) in
+  Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:leaf;
+  Mutator.expand_node mut ~a ~entry:inner.Vertex.id;
+  Alcotest.(check bool) "no marking without active runs" true (Plane.unmarked inner.Vertex.mr)
+
+let test_record_request_cooperates_once () =
+  (* Re-recording the same request entry must not charge the marking tree
+     again (the M_T-termination regression). *)
+  let g = Graph.create () in
+  let y = Builder.add g (Label.Int 1) [] in
+  let x = Builder.add_root g Label.Bottom [ y ] in
+  let engine = Sync_engine.create g in
+  let run = Sync_engine.start engine Run.Tasks ~seeds:[ x ] in
+  let (_ : bool) = Sync_engine.step engine in
+  (* x is now transient on the MT plane *)
+  Alcotest.(check bool) "x transient (MT)" true (Plane.transient (Graph.vertex g x).Vertex.mt);
+  let mut = Sync_engine.mutator engine in
+  let cnt_before = (Graph.vertex g x).Vertex.mt.Plane.cnt in
+  Mutator.record_request mut ~at:x ~requester:(Some y) ~demand:Demand.Vital ~key:x;
+  let cnt_after_first = (Graph.vertex g x).Vertex.mt.Plane.cnt in
+  Alcotest.(check int) "first recording charges once" (cnt_before + 1) cnt_after_first;
+  Mutator.record_request mut ~at:x ~requester:(Some y) ~demand:Demand.Vital ~key:x;
+  Alcotest.(check int) "re-recording does not charge"
+    cnt_after_first
+    (Graph.vertex g x).Vertex.mt.Plane.cnt;
+  let (_ : int) = Sync_engine.drain engine in
+  Alcotest.(check bool) "M_T terminates" true run.Run.finished
+
+let test_drop_request_restores_mt_edge () =
+  (* Dereferencing (drop req-args, keep the arg) re-adds the edge to M_T's
+     relation; cooperation must cover it when the parent is marked. *)
+  let g = Graph.create () in
+  let y = Builder.add g (Label.Int 1) [] in
+  let x = Builder.add_root g Label.If [ y ] in
+  Vertex.request_arg (Graph.vertex g x) y Demand.Eager;
+  let engine = Sync_engine.create g in
+  let run = Sync_engine.start engine Run.Tasks ~seeds:[ x ] in
+  let (_ : int) = Sync_engine.drain engine in
+  Alcotest.(check bool) "x marked, y skipped (req-arg edge)" true
+    (Plane.marked (Graph.vertex g x).Vertex.mt && Plane.unmarked (Graph.vertex g y).Vertex.mt);
+  let mut = Sync_engine.mutator engine in
+  Mutator.set_active mut [ run ];
+  Mutator.drop_request_child mut ~v:x ~c:y;
+  Alcotest.(check bool) "y closure-marked on dereference" true
+    (Plane.marked (Graph.vertex g y).Vertex.mt)
+
+let test_hooks_fire () =
+  let g = Graph.create () in
+  let b = Builder.add g (Label.Int 1) [] in
+  let c = Builder.add g (Label.Int 2) [] in
+  let a = Builder.add_root g Label.If [ b ] in
+  Vertex.connect (Graph.vertex g b) c;
+  let log = ref [] in
+  let mut =
+    Mutator.create
+      ~on_connect:(fun p ch -> log := ("connect", p, ch) :: !log)
+      ~on_disconnect:(fun p ch -> log := ("disconnect", p, ch) :: !log)
+      ~spawn:(fun _ -> ()) g
+  in
+  Mutator.add_reference mut ~a ~b ~c;
+  Mutator.delete_reference mut ~a ~b;
+  Alcotest.(check bool) "hooks observed both edits" true
+    (List.mem ("connect", a, c) !log && List.mem ("disconnect", a, b) !log)
+
+let test_interleaved_random_mutations () =
+  (* Random mutations interleaved with basic marking: invariants hold at
+     every step, and everything reachable at the end is marked. *)
+  let rng = Rng.create 4242 in
+  for seed = 0 to 14 do
+    let spec =
+      {
+        Builder.live = 25 + Rng.int rng 50;
+        garbage = Rng.int rng 20;
+        free_pool = 30;
+        avg_degree = 1.5 +. Rng.float rng 1.5;
+        cycle_bias = Rng.float rng 0.4;
+      }
+    in
+    let g = Builder.random (Rng.create (seed * 131)) spec in
+    let engine = Sync_engine.create ~order:(Sync_engine.Random (Rng.split rng)) g in
+    let run = Sync_engine.start engine Run.Basic ~seeds:[ Graph.root g ] in
+    let mut = Sync_engine.mutator engine in
+    let mutate _ =
+      if Rng.int rng 3 = 0 then begin
+        (* pick random mutation on live vertices *)
+        let live = Graph.live_vids g in
+        let pick () = Rng.choose_list rng live in
+        match Rng.int rng 3 with
+        | 0 -> (
+          (* add-reference via a random witness path a -> b -> c *)
+          let a = pick () in
+          match Graph.children g a with
+          | [] -> ()
+          | bs -> (
+            let b = Rng.choose_list rng bs in
+            match Graph.children g b with
+            | [] -> ()
+            | cs -> Mutator.add_reference mut ~a ~b ~c:(Rng.choose_list rng cs)))
+        | 1 -> (
+          let a = pick () in
+          match Graph.children g a with
+          | [] -> ()
+          | bs -> Mutator.delete_reference mut ~a ~b:(Rng.choose_list rng bs))
+        | _ ->
+          (* expand-node with a one-vertex subgraph *)
+          let a = pick () in
+          if Graph.headroom g > 2 then begin
+            let inner = Graph.alloc g Label.Ind in
+            List.iter
+              (fun old -> Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:old)
+              (Graph.children g a);
+            Mutator.expand_node mut ~a ~entry:inner.Vertex.id
+          end
+      end;
+      Invariants.check_exn run ~pending:(Sync_engine.pending engine)
+    in
+    let (_ : int) = Sync_engine.drain ~interleave:mutate engine in
+    Alcotest.(check bool) (Printf.sprintf "finished (seed %d)" seed) true run.Run.finished;
+    (* Liveness: everything now reachable is marked (Lemma 2 under the
+       cooperating mutator). *)
+    let snap = Snapshot.take g in
+    let reachable = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
+    Vid.Set.iter
+      (fun v ->
+        if not (Plane.marked (Graph.vertex g v).Vertex.mr) then
+          Alcotest.failf "seed %d: reachable v%d missed" seed v)
+      reachable
+  done
+
+let suite =
+  [
+    Alcotest.test_case "the §4.2 race is covered" `Quick test_paper_race;
+    Alcotest.test_case "witnessed execute branch" `Quick test_paper_race_after_marked;
+    Alcotest.test_case "add_reference validates adjacency" `Quick
+      test_add_reference_validates_witness;
+    Alcotest.test_case "expand-node under a marked parent" `Quick
+      test_expand_node_marked_parent;
+    Alcotest.test_case "expand-node with no active runs" `Quick
+      test_expand_node_unmarked_parent;
+    Alcotest.test_case "record_request charges once" `Quick test_record_request_cooperates_once;
+    Alcotest.test_case "dereference restores the M_T edge" `Quick
+      test_drop_request_restores_mt_edge;
+    Alcotest.test_case "connect/disconnect hooks" `Quick test_hooks_fire;
+    Alcotest.test_case "random mutations keep invariants" `Quick
+      test_interleaved_random_mutations;
+  ]

@@ -1,0 +1,72 @@
+(* Task model: routing, endpoints, plane selection, constructors. *)
+open Dgr_graph
+open Dgr_task
+open Task
+
+let test_exec_vertex () =
+  Alcotest.(check (option int)) "request executes at dst" (Some 3)
+    (exec_vertex (request ~src:1 3 Demand.Vital));
+  Alcotest.(check (option int)) "respond executes at requester" (Some 1)
+    (exec_vertex (respond ~src:3 ~key:3 (Some 1) (Label.V_int 7)));
+  Alcotest.(check (option int)) "final respond goes to the controller" None
+    (exec_vertex (respond ~src:3 ~key:3 None (Label.V_int 7)));
+  Alcotest.(check (option int)) "cancel executes at dst" (Some 9)
+    (exec_vertex (Reduction (Cancel { src = 2; dst = 9 })));
+  Alcotest.(check (option int)) "mark executes at v" (Some 4)
+    (exec_vertex (Marking (Mark1 { v = 4; par = Plane.Rootpar })));
+  Alcotest.(check (option int)) "return executes at the credited parent" (Some 6)
+    (exec_vertex (Marking (Return { plane = Plane.MR; par = Plane.Parent 6 })));
+  Alcotest.(check (option int)) "rootpar return goes to the controller" None
+    (exec_vertex (Marking (Return { plane = Plane.MT; par = Plane.Rootpar })))
+
+let test_endpoints () =
+  let sorted = List.sort compare in
+  Alcotest.(check (list int)) "request endpoints" [ 1; 3 ]
+    (sorted (reduction_endpoints (Request { src = Some 1; dst = 3; demand = Demand.Vital; key = 3 })));
+  Alcotest.(check (list int)) "initial task endpoint" [ 3 ]
+    (reduction_endpoints (Request { src = None; dst = 3; demand = Demand.Vital; key = 3 }));
+  Alcotest.(check (list int)) "respond endpoints" [ 1; 3 ]
+    (sorted
+       (reduction_endpoints
+          (Respond { src = 3; dst = Some 1; value = Label.V_nil; key = 3; demand = Demand.Vital })));
+  Alcotest.(check (list int)) "final respond endpoint" [ 3 ]
+    (reduction_endpoints
+       (Respond { src = 3; dst = None; value = Label.V_nil; key = 3; demand = Demand.Vital }));
+  Alcotest.(check (list int)) "cancel endpoints" [ 2; 9 ]
+    (sorted (reduction_endpoints (Cancel { src = 2; dst = 9 })))
+
+let test_planes () =
+  Alcotest.(check bool) "mark1 -> MR" true
+    (plane_of_mark (Mark1 { v = 0; par = Plane.Rootpar }) = Plane.MR);
+  Alcotest.(check bool) "mark2 -> MR" true
+    (plane_of_mark (Mark2 { v = 0; par = Plane.Rootpar; prior = 3 }) = Plane.MR);
+  Alcotest.(check bool) "mark3 -> MT" true
+    (plane_of_mark (Mark3 { v = 0; par = Plane.Rootpar }) = Plane.MT);
+  Alcotest.(check bool) "return carries its plane" true
+    (plane_of_mark (Return { plane = Plane.MT; par = Plane.Rootpar }) = Plane.MT)
+
+let test_predicates_and_pp () =
+  let req = request 5 Demand.Eager in
+  Alcotest.(check bool) "is_reduction" true (is_reduction req);
+  Alcotest.(check bool) "not marking" false (is_marking req);
+  Alcotest.(check string) "request pp" "request<-,v5>?[key=v5]" (to_string req);
+  Alcotest.(check string) "respond pp" "respond<v5,v2>!=7[key=v5]"
+    (to_string (respond ~src:5 ~key:5 (Some 2) (Label.V_int 7)));
+  Alcotest.(check string) "mark2 pp" "mark2<v1 par=rootpar prio=3>"
+    (to_string (Marking (Mark2 { v = 1; par = Plane.Rootpar; prior = 3 })))
+
+let test_request_default_key () =
+  match request ~src:9 7 Demand.Vital with
+  | Reduction (Request { key; src; _ }) ->
+    Alcotest.(check int) "key defaults to dst" 7 key;
+    Alcotest.(check (option int)) "src" (Some 9) src
+  | _ -> Alcotest.fail "expected a request"
+
+let suite =
+  [
+    Alcotest.test_case "exec_vertex routing" `Quick test_exec_vertex;
+    Alcotest.test_case "reduction endpoints" `Quick test_endpoints;
+    Alcotest.test_case "mark planes" `Quick test_planes;
+    Alcotest.test_case "predicates and printing" `Quick test_predicates_and_pp;
+    Alcotest.test_case "request default key" `Quick test_request_default_key;
+  ]

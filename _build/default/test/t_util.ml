@@ -1,0 +1,114 @@
+open Dgr_util
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 99 (Vec.get v 99);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Vec.get v 3))
+
+let test_vec_filter_in_place () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens kept in order" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list [ 10; 20; 30; 40 ] in
+  let x = Vec.swap_remove v 1 in
+  Alcotest.(check int) "removed" 20 x;
+  Alcotest.(check (list int)) "last moved in" [ 10; 40; 30 ] (Vec.to_list v)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independence () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 100) in
+  let ys = List.init 20 (fun _ -> Rng.int b 100) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "Rng.int out of range: %d" x;
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "Rng.float out of range: %f" f
+  done
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.add q 3 "c";
+  Pqueue.add q 1 "a";
+  Pqueue.add q 2 "b";
+  Pqueue.add q 1 "a2";
+  let order = List.init 4 (fun _ -> match Pqueue.pop q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "min first, fifo ties" [ "a"; "a2"; "b"; "c" ] order
+
+let test_pqueue_filter () =
+  let q = Pqueue.create () in
+  List.iter (fun i -> Pqueue.add q i i) [ 5; 3; 8; 1; 9 ];
+  Pqueue.filter_in_place (fun p _ -> p < 6) q;
+  Alcotest.(check int) "filtered size" 3 (Pqueue.length q);
+  Alcotest.(check (option (pair int int))) "min survives" (Some (1, 1)) (Pqueue.pop q)
+
+let test_pqueue_map_priorities () =
+  let q = Pqueue.create () in
+  List.iter (fun i -> Pqueue.add q i (string_of_int i)) [ 1; 2; 3 ];
+  Pqueue.map_priorities (fun p _ -> -p) q;
+  Alcotest.(check (option (pair int string))) "reversed" (Some (-3, "3")) (Pqueue.pop q)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944 (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile s 50.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "mean empty" 0.0 (Stats.mean s);
+  Alcotest.(check bool) "p50 empty is nan" true (Float.is_nan (Stats.percentile s 50.0))
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 11 = "== demo ==\n");
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Table.add_row: expected 2 cells, got 1") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let suite =
+  [
+    Alcotest.test_case "vec push/get/pop" `Quick test_vec_push_get;
+    Alcotest.test_case "vec bounds checking" `Quick test_vec_bounds;
+    Alcotest.test_case "vec filter_in_place" `Quick test_vec_filter_in_place;
+    Alcotest.test_case "vec swap_remove" `Quick test_vec_swap_remove;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independence;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "pqueue ordering and ties" `Quick test_pqueue_ordering;
+    Alcotest.test_case "pqueue filter" `Quick test_pqueue_filter;
+    Alcotest.test_case "pqueue map_priorities" `Quick test_pqueue_map_priorities;
+    Alcotest.test_case "stats accumulation" `Quick test_stats_basic;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+  ]
