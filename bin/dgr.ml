@@ -2,8 +2,9 @@
 
    Subcommands:
      dgr run FILE       evaluate a program (or -e EXPR) on the simulator
+     dgr trace FILE     evaluate with event tracing, write a Perfetto trace
      dgr check FILE     parse + compile only
-     dgr experiment ID  regenerate an experiment table (e1..e8, all)
+     dgr experiment ID  regenerate an experiment table (e1..e10, all)
 
    See `dgr run --help` for the machine knobs. *)
 
@@ -22,6 +23,25 @@ let read_source file expr =
   | Some _, Some _ -> Error "pass either FILE or --expr, not both"
   | None, None -> Error "a FILE or --expr is required"
 
+(* --- machine configuration (shared by run and trace) ----------------- *)
+
+type machine_opts = {
+  pes : int;
+  latency : int;
+  tasks_per_step : int;
+  gc_str : string;
+  heap : int option;
+  idle_gap : int;
+  deadlock_every : int;
+  stw_every : int;
+  policy_str : string;
+  marking_str : string;
+  recover_deadlock : bool;
+  jitter : float;
+  seed : int;
+  no_speculate : bool;
+}
+
 let gc_of_string s ~deadlock_every ~idle_gap ~stw_every =
   match s with
   | "concurrent" -> Ok (Engine.Concurrent { deadlock_every; idle_gap })
@@ -36,97 +56,157 @@ let policy_of_string = function
   | "dynamic" -> Ok Pool.Dynamic
   | s -> Error (Printf.sprintf "unknown policy %S (flat|by-demand|dynamic)" s)
 
-let run_cmd file expr pes latency tasks_per_step gc_str heap idle_gap deadlock_every stw_every
-    policy_str marking_str recover_deadlock jitter seed no_speculate max_steps show_stats
-    dot_out log_level =
-  setup_logs log_level;
+let config_of_opts o =
   let ( let* ) = Result.bind in
-  let result =
-    let* source = read_source file expr in
-    let* gc = gc_of_string gc_str ~deadlock_every ~idle_gap ~stw_every in
-    let* policy = policy_of_string policy_str in
-    let* marking_scheme =
-      match marking_str with
-      | "tree" -> Ok Dgr_core.Cycle.Tree
-      | "flood" -> Ok Dgr_core.Cycle.Flood_counters
-      | s -> Error (Printf.sprintf "unknown marking scheme %S (tree|flood)" s)
-    in
-    let* g, templates =
-      try Ok (Dgr_lang.Compile.load_string ~num_pes:pes source) with
-      | Dgr_lang.Compile.Compile_error msg -> Error ("compile error: " ^ msg)
-      | Dgr_lang.Parser.Parse_error msg -> Error ("parse error: " ^ msg)
-      | Dgr_lang.Lexer.Error (msg, pos) ->
-        Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
-    in
-    let config =
-      {
-        Engine.num_pes = pes;
-        latency;
-        tasks_per_step;
-        marking_per_step = Engine.default_config.Engine.marking_per_step;
-        gc_work_factor = Engine.default_config.Engine.gc_work_factor;
-        heap_size = heap;
-        pool_policy = policy;
-        speculate_if = not no_speculate;
-        gc;
-        marking = marking_scheme;
-        recover_deadlock;
-        jitter;
-        seed;
-      }
-    in
-    let e = Engine.create ~config g templates in
-    Engine.inject_root_demand e;
-    let (_ : int) = Engine.run ~max_steps e in
-    (match Engine.result e with
-    | Some v -> Format.printf "result: %a@." Dgr_graph.Label.pp_value v
-    | None ->
-      Format.printf "no result after %d steps%s@." (Engine.now e)
-        (match Engine.cycle e with
-        | Some c
-          when not (Dgr_graph.Vid.Set.is_empty (Dgr_core.Cycle.deadlocked_ever c)) ->
-          " — deadlock detected: "
-          ^ String.concat ", "
-              (List.map Dgr_graph.Vid.to_string
-                 (Dgr_graph.Vid.Set.elements (Dgr_core.Cycle.deadlocked_ever c)))
-        | _ -> ""));
-    if show_stats then begin
-      Format.printf "%a@." Metrics.pp_summary (Engine.metrics e);
-      let red = Engine.reducer e in
-      Format.printf
-        "reducer: requests=%d responds=%d cancels=%d expansions=%d rewrites=%d stale=%d \
-         alloc-stalls=%d@."
-        red.Dgr_reduction.Reducer.requests_executed red.Dgr_reduction.Reducer.responds_executed
-        red.Dgr_reduction.Reducer.cancels_executed red.Dgr_reduction.Reducer.expansions
-        red.Dgr_reduction.Reducer.rewrites red.Dgr_reduction.Reducer.stale_dropped
-        red.Dgr_reduction.Reducer.alloc_stalls;
+  let* gc =
+    gc_of_string o.gc_str ~deadlock_every:o.deadlock_every ~idle_gap:o.idle_gap
+      ~stw_every:o.stw_every
+  in
+  let* policy = policy_of_string o.policy_str in
+  let* marking =
+    match o.marking_str with
+    | "tree" -> Ok Dgr_core.Cycle.Tree
+    | "flood" -> Ok Dgr_core.Cycle.Flood_counters
+    | s -> Error (Printf.sprintf "unknown marking scheme %S (tree|flood)" s)
+  in
+  Ok
+    {
+      Engine.num_pes = o.pes;
+      latency = o.latency;
+      tasks_per_step = o.tasks_per_step;
+      marking_per_step = Engine.default_config.Engine.marking_per_step;
+      gc_work_factor = Engine.default_config.Engine.gc_work_factor;
+      heap_size = o.heap;
+      pool_policy = policy;
+      speculate_if = not o.no_speculate;
+      gc;
+      marking;
+      recover_deadlock = o.recover_deadlock;
+      jitter = o.jitter;
+      seed = o.seed;
+    }
+
+(* What each invocation wants written out. *)
+type outputs = {
+  trace : string option;  (** Chrome trace-event JSON *)
+  timeseries : string option;  (** sampled per-PE series as CSV *)
+  stats_json : string option;  (** {!Metrics.to_json} *)
+  sample_every : int;
+  show_stats : bool;
+  dot_out : string option;
+}
+
+let execute ~file ~expr ~opts ~max_steps ~out =
+  let ( let* ) = Result.bind in
+  let* source = read_source file expr in
+  let* config = config_of_opts opts in
+  let* g, templates =
+    try Ok (Dgr_lang.Compile.load_string ~num_pes:opts.pes source) with
+    | Dgr_lang.Compile.Compile_error msg -> Error ("compile error: " ^ msg)
+    | Dgr_lang.Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+    | Dgr_lang.Lexer.Error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  in
+  let recorder =
+    if out.trace <> None || out.timeseries <> None then
+      Some
+        (Dgr_obs.Recorder.create ~capacity:262_144 ~sample_every:out.sample_every
+           ~num_pes:opts.pes ())
+    else None
+  in
+  let e = Engine.create ?recorder ~config g templates in
+  Engine.inject_root_demand e;
+  let (_ : int) = Engine.run ~max_steps e in
+  (match Engine.result e with
+  | Some v -> Format.printf "result: %a@." Dgr_graph.Label.pp_value v
+  | None ->
+    Format.printf "no result after %d steps%s@." (Engine.now e)
       (match Engine.cycle e with
-      | Some c ->
-        Format.printf "gc: cycles=%d collected=%d deadlocked=%d@."
-          (Dgr_core.Cycle.cycles_completed c)
-          (Dgr_core.Cycle.total_garbage_collected c)
-          (Dgr_graph.Vid.Set.cardinal (Dgr_core.Cycle.deadlocked_ever c))
-      | None -> ());
-      match Engine.refcount e with
-      | Some rc ->
-        Format.printf "rc: reclaimed=%d messages=%d leaked=%d@."
-          (Dgr_baseline.Refcount.reclaimed rc)
-          (Dgr_baseline.Refcount.messages rc)
-          (List.length (Dgr_baseline.Refcount.leaked rc))
-      | None -> ()
-    end;
-    (match dot_out with
+      | Some c
+        when not (Dgr_graph.Vid.Set.is_empty (Dgr_core.Cycle.deadlocked_ever c)) ->
+        " — deadlock detected: "
+        ^ String.concat ", "
+            (List.map Dgr_graph.Vid.to_string
+               (Dgr_graph.Vid.Set.elements (Dgr_core.Cycle.deadlocked_ever c)))
+      | _ -> ""));
+  if out.show_stats then begin
+    Format.printf "%a@." Metrics.pp_summary (Engine.metrics e);
+    let red = Engine.reducer e in
+    Format.printf
+      "reducer: requests=%d responds=%d cancels=%d expansions=%d rewrites=%d stale=%d \
+       alloc-stalls=%d@."
+      red.Dgr_reduction.Reducer.requests_executed red.Dgr_reduction.Reducer.responds_executed
+      red.Dgr_reduction.Reducer.cancels_executed red.Dgr_reduction.Reducer.expansions
+      red.Dgr_reduction.Reducer.rewrites red.Dgr_reduction.Reducer.stale_dropped
+      red.Dgr_reduction.Reducer.alloc_stalls;
+    (match Engine.cycle e with
+    | Some c ->
+      Format.printf "gc: cycles=%d collected=%d deadlocked=%d@."
+        (Dgr_core.Cycle.cycles_completed c)
+        (Dgr_core.Cycle.total_garbage_collected c)
+        (Dgr_graph.Vid.Set.cardinal (Dgr_core.Cycle.deadlocked_ever c))
+    | None -> ());
+    match Engine.refcount e with
+    | Some rc ->
+      Format.printf "rc: reclaimed=%d messages=%d leaked=%d@."
+        (Dgr_baseline.Refcount.reclaimed rc)
+        (Dgr_baseline.Refcount.messages rc)
+        (List.length (Dgr_baseline.Refcount.leaked rc))
+    | None -> ()
+  end;
+  try
+    (match (out.trace, recorder) with
+    | Some path, Some r ->
+      Dgr_obs.Export.write_file path (Dgr_obs.Export.chrome_trace r);
+      Format.printf "trace written to %s (%d events%s)@." path
+        (Dgr_obs.Recorder.length r)
+        (let d = Dgr_obs.Recorder.dropped r in
+         if d = 0 then "" else Printf.sprintf ", %d dropped" d)
+    | _ -> ());
+    (match (out.timeseries, recorder) with
+    | Some path, Some r ->
+      Dgr_obs.Export.write_file path (Dgr_obs.Export.timeseries_csv r);
+      Format.printf "time series written to %s@." path
+    | _ -> ());
+    (match out.stats_json with
+    | Some path ->
+      Dgr_obs.Export.write_file path (Metrics.to_json (Engine.metrics e));
+      Format.printf "metrics written to %s@." path
+    | None -> ());
+    (match out.dot_out with
     | Some path ->
       Dgr_graph.Dot.to_file g path;
       Format.printf "graph written to %s@." path
     | None -> ());
     Ok ()
-  in
-  match result with
+  with Sys_error msg -> Error msg
+
+let report = function
   | Ok () -> 0
   | Error msg ->
     Format.eprintf "dgr: %s@." msg;
     1
+
+let run_cmd file expr opts trace timeseries stats_json sample_every max_steps show_stats
+    dot_out log_level =
+  setup_logs log_level;
+  report
+    (execute ~file ~expr ~opts ~max_steps
+       ~out:{ trace; timeseries; stats_json; sample_every; show_stats; dot_out })
+
+let trace_cmd file expr opts output timeseries sample_every max_steps log_level =
+  setup_logs log_level;
+  report
+    (execute ~file ~expr ~opts ~max_steps
+       ~out:
+         {
+           trace = Some output;
+           timeseries;
+           stats_json = None;
+           sample_every;
+           show_stats = false;
+           dot_out = None;
+         })
 
 let check_cmd file =
   match
@@ -149,8 +229,8 @@ let check_cmd file =
     Format.eprintf "dgr: %s@." msg;
     1
 
-let experiment_cmd id =
-  match Dgr_harness.Experiments.run id with
+let experiment_cmd id trace_dir =
+  match Dgr_harness.Experiments.run ?trace_dir id with
   | () -> 0
   | exception Invalid_argument msg ->
     Format.eprintf "dgr: %s@." msg;
@@ -230,24 +310,89 @@ let dot_arg =
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH"
          ~doc:"Write the final graph as Graphviz DOT.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Record structured events and write Chrome trace-event JSON (open in \
+               Perfetto or chrome://tracing). Deterministic: same program, config and \
+               seed produce byte-identical output.")
+
+let timeseries_arg =
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"PATH"
+         ~doc:"Write the sampled per-PE time series (pool depth, throughput, live \
+               vertices, messages in flight) as CSV.")
+
+let stats_json_arg =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"PATH"
+         ~doc:"Write run metrics as a JSON object (machine-readable $(b,--stats)).")
+
+let sample_every_arg =
+  Arg.(value & opt int 20 & info [ "sample-every" ] ~docv:"STEPS"
+         ~doc:"Time-series sampling interval, in simulation steps (0 disables sampling).")
+
 let heap_normalize = function Some n when n <= 0 -> None | h -> h
+
+let machine_term =
+  Term.(
+    const
+      (fun pes latency tasks_per_step gc_str heap idle_gap deadlock_every stw_every
+           policy_str marking_str recover_deadlock jitter seed no_speculate ->
+        {
+          pes;
+          latency;
+          tasks_per_step;
+          gc_str;
+          heap = heap_normalize heap;
+          idle_gap;
+          deadlock_every;
+          stw_every;
+          policy_str;
+          marking_str;
+          recover_deadlock;
+          jitter;
+          seed;
+          no_speculate;
+        })
+    $ pes_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg $ idle_gap_arg
+    $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg $ recover_arg
+    $ jitter_arg $ seed_arg $ no_spec_arg)
 
 let run_term =
   Term.(
     const
-      (fun file expr pes latency tps gc heap idle dle stw policy marking recover jitter seed
-           nospec ms stats dot ->
-        run_cmd file expr pes latency tps gc (heap_normalize heap) idle dle stw policy marking
-          recover jitter seed nospec ms stats dot (Some Logs.Warning))
-    $ file_pos $ expr_arg $ pes_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg
-    $ idle_gap_arg $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg
-    $ recover_arg $ jitter_arg $ seed_arg $ no_spec_arg $ max_steps_arg $ stats_arg $ dot_arg)
+      (fun file expr opts trace timeseries stats_json sample_every ms stats dot ->
+        run_cmd file expr opts trace timeseries stats_json sample_every ms stats dot
+          (Some Logs.Warning))
+    $ file_pos $ expr_arg $ machine_term $ trace_arg $ timeseries_arg $ stats_json_arg
+    $ sample_every_arg $ max_steps_arg $ stats_arg $ dot_arg)
 
 let run_cmd_v =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Evaluate a program on the simulated distributed machine.")
     run_term
+
+let trace_out_arg =
+  Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"PATH"
+         ~doc:"Where to write the Chrome trace-event JSON.")
+
+let trace_term =
+  Term.(
+    const
+      (fun file expr opts output timeseries sample_every ms ->
+        trace_cmd file expr opts output timeseries sample_every ms (Some Logs.Warning))
+    $ file_pos $ expr_arg $ machine_term $ trace_out_arg $ timeseries_arg
+    $ sample_every_arg $ max_steps_arg)
+
+let trace_cmd_v =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Evaluate a program with event tracing on and write a Perfetto-viewable \
+             Chrome trace (shorthand for $(b,run --trace)). Tracks: one per PE \
+             (task execution and message instants), one for the marking plane \
+             (M_T/M_R/restructure phase spans, deadlock and irrelevance verdicts), \
+             one for the controller (pauses, heap pressure), plus counter tracks \
+             for the sampled time series.")
+    trace_term
 
 let check_term =
   Term.(
@@ -262,11 +407,17 @@ let check_term =
 let check_cmd_v =
   Cmd.v (Cmd.info "check" ~doc:"Parse and compile a program without running it.") check_term
 
+let trace_dir_arg =
+  Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR"
+         ~doc:"Also write a Chrome trace per simulated run into $(docv) (created if \
+               missing), numbered per experiment: e4-01.json, e4-02.json, ...")
+
 let experiment_term =
   Term.(
     const experiment_cmd
     $ Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-             ~doc:"Experiment id: e1..e8 or all."))
+             ~doc:"Experiment id: e1..e10 or all.")
+    $ trace_dir_arg)
 
 let experiment_cmd_v =
   Cmd.v
@@ -278,6 +429,6 @@ let main =
     (Cmd.info "dgr" ~version:"1.0.0"
        ~doc:"Distributed graph reduction with decentralized concurrent marking (Hudak, PODC \
              1983).")
-    [ run_cmd_v; check_cmd_v; experiment_cmd_v ]
+    [ run_cmd_v; trace_cmd_v; check_cmd_v; experiment_cmd_v ]
 
 let () = exit (Cmd.eval' main)

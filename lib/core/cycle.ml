@@ -19,6 +19,7 @@ type t = {
   g : Graph.t;
   mut : Mutator.t;
   env : env;
+  recorder : Dgr_obs.Recorder.t option;
   deadlock_every : int;
   cycle_scheme : scheme;
   detection_window : int;
@@ -37,11 +38,13 @@ type t = {
   mutable mt_marks : int;
 }
 
-let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) g mut env =
+let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) ?recorder g mut
+    env =
   {
     g;
     mut;
     env;
+    recorder;
     deadlock_every;
     cycle_scheme = scheme;
     detection_window;
@@ -59,6 +62,9 @@ let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) g mut 
     mr_marks = 0;
     mt_marks = 0;
   }
+
+let obs t kind =
+  match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
 
 let scheme t = t.cycle_scheme
 
@@ -83,6 +89,7 @@ let mt_seed_set t =
 let start_mark_root t =
   Graph.reset_plane t.g Plane.MR;
   t.phase <- Mark_root;
+  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Mark_root; cycle = t.cycles });
   match t.cycle_scheme with
   | Tree ->
     let run = Run.create t.g Run.Priority in
@@ -107,6 +114,7 @@ let start_mark_tasks t =
   Graph.reset_plane t.g Plane.MT;
   t.mt_ran_this_cycle <- true;
   t.phase <- Mark_tasks;
+  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Mark_tasks; cycle = t.cycles });
   let seeds = mt_seed_set t in
   match t.cycle_scheme with
   | Tree ->
@@ -143,10 +151,20 @@ let finish_cycle t =
   (match t.mt_flood with
   | Some f -> t.mt_marks <- t.mt_marks + f.Flood.marks_executed
   | None -> ());
+  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Restructure; cycle = t.cycles });
   let report =
     Restructure.run ~graph:t.g ~deadlock_checked:t.mt_ran_this_cycle
       ~purge_tasks:t.env.purge_tasks ~reprioritize:t.env.reprioritize ()
   in
+  (match report.Restructure.deadlocked with
+  | [] -> ()
+  | vids -> obs t (Dgr_obs.Event.Deadlock { vids }));
+  if report.Restructure.irrelevant_purged > 0 then
+    obs t (Dgr_obs.Event.Irrelevant { purged = report.Restructure.irrelevant_purged });
+  obs t
+    (Dgr_obs.Event.Cycle_done
+       { cycle = t.cycles; garbage = List.length report.Restructure.garbage });
+  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Idle; cycle = t.cycles });
   t.phase <- Idle;
   t.cycles <- t.cycles + 1;
   t.last_report <- Some report;

@@ -44,13 +44,14 @@ type handler = Tree_run of Run.t | Flood_run of Flood.t
 type t
 
 val create :
-  ?deadlock_every:int -> ?scheme:scheme -> ?detection_window:int -> Graph.t -> Mutator.t ->
-  env -> t
+  ?deadlock_every:int -> ?scheme:scheme -> ?detection_window:int ->
+  ?recorder:Dgr_obs.Recorder.t -> Graph.t -> Mutator.t -> env -> t
 (** [deadlock_every = k]: every k-th cycle also runs M_T (default 1 =
     every cycle; 0 = never detect deadlock). [scheme] defaults to [Tree];
     [detection_window] (default 8) is the flood scheme's termination-wave
-    round trip in steps. The mutator's active lists are managed by this
-    controller from here on. *)
+    round trip in steps. [recorder] receives phase transitions and cycle
+    verdicts as trace events. The mutator's active lists are managed by
+    this controller from here on. *)
 
 val scheme : t -> scheme
 

@@ -10,13 +10,14 @@ type t = {
   mutable coop_pe : unit -> int;
   mutable on_connect : Vid.t -> Vid.t -> unit;
   mutable on_disconnect : Vid.t -> Vid.t -> unit;
+  mutable recorder : Dgr_obs.Recorder.t option;
   mutable total_coop_spawned : int;
   mutable total_coop_closure : int;
 }
 
 let nop2 _ _ = ()
 
-let create ?(on_connect = nop2) ?(on_disconnect = nop2) ~spawn graph =
+let create ?(on_connect = nop2) ?(on_disconnect = nop2) ?recorder ~spawn graph =
   {
     graph;
     active = [];
@@ -25,9 +26,17 @@ let create ?(on_connect = nop2) ?(on_disconnect = nop2) ~spawn graph =
     coop_pe = (fun () -> 0);
     on_connect;
     on_disconnect;
+    recorder;
     total_coop_spawned = 0;
     total_coop_closure = 0;
   }
+
+let obs t kind =
+  match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
+
+let obs_closure t ~from ~marked =
+  if marked > 0 then
+    obs t (Dgr_obs.Event.Coop_closure { pe = t.coop_pe (); from_ = from; marked })
 
 let set_active t runs = t.active <- runs
 
@@ -48,6 +57,7 @@ let flood_cooperate_edge t (fl : Flood.t) ~parent ~child =
     let stack =
       ref [ (child, Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child) ]
     in
+    let marked_here = ref 0 in
     while !stack <> [] do
       match !stack with
       | [] -> ()
@@ -62,11 +72,13 @@ let flood_cooperate_edge t (fl : Flood.t) ~parent ~child =
           Plane.mark plane;
           plane.Plane.prior <- prior;
           t.total_coop_closure <- t.total_coop_closure + 1;
+          incr marked_here;
           List.iter
             (fun c -> stack := (c, Trace.child_priority g v prior c) :: !stack)
             (Trace.children g fl.Flood.plane v)
         end
-    done
+    done;
+    obs_closure t ~from:child ~marked:!marked_here
   end
 
 let flood_edge_all t ~parent ~child ~mt_only =
@@ -89,6 +101,7 @@ let charge_and_spawn t run ~parent ~child ~prior =
   plane.Plane.cnt <- plane.Plane.cnt + 1;
   run.Run.coop_spawns <- run.Run.coop_spawns + 1;
   t.total_coop_spawned <- t.total_coop_spawned + 1;
+  obs t (Dgr_obs.Event.Coop_spawn { pe = t.coop_pe (); parent; child });
   t.spawn (mark_task_for run ~v:child ~par:(Plane.Parent parent) ~prior)
 
 (* Synchronously mark the unmarked component reachable from [v] through
@@ -99,6 +112,7 @@ let charge_and_spawn t run ~parent ~child ~prior =
 let closure t run ~from ~prior =
   let stack = ref [ (from, prior) ] in
   let g = t.graph in
+  let marked_here = ref 0 in
   while !stack <> [] do
     match !stack with
     | [] -> ()
@@ -111,11 +125,13 @@ let closure t run ~from ~prior =
         plane.Plane.prior <- prior;
         run.Run.coop_closure <- run.Run.coop_closure + 1;
         t.total_coop_closure <- t.total_coop_closure + 1;
+        incr marked_here;
         List.iter
           (fun c -> stack := (c, Trace.child_priority g v prior c) :: !stack)
           (Trace.children g run.Run.plane v)
       end
-  done
+  done;
+  obs_closure t ~from ~marked:!marked_here
 
 (* Generic cooperation for a new traced edge parent→child. *)
 let cooperate_edge t run ~parent ~child =
@@ -155,6 +171,7 @@ let witness_cooperate t run ~a ~b ~c =
     pb.Plane.cnt <- pb.Plane.cnt + 1;
     run.Run.coop_spawns <- run.Run.coop_spawns + 1;
     t.total_coop_spawned <- t.total_coop_spawned + 1;
+    obs t (Dgr_obs.Event.Coop_spawn { pe = t.coop_pe (); parent = b; child = c });
     let prior = Trace.child_priority g b (Int.max 1 pb.Plane.prior) c in
     let spawned = Marker.execute run (mark_task_for run ~v:c ~par:(Plane.Parent b) ~prior) in
     List.iter t.spawn spawned

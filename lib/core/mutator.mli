@@ -40,6 +40,9 @@ type t = {
       (** the PE a cooperation spawn is charged to (flood counters) *)
   mutable on_connect : Vid.t -> Vid.t -> unit;  (** parent, child — RC hook *)
   mutable on_disconnect : Vid.t -> Vid.t -> unit;
+  mutable recorder : Dgr_obs.Recorder.t option;
+      (** trace sink for cooperation events ([Coop_spawn]/[Coop_closure]);
+          [None] (the default) records nothing *)
   mutable total_coop_spawned : int;
   mutable total_coop_closure : int;
 }
@@ -47,6 +50,7 @@ type t = {
 val create :
   ?on_connect:(Vid.t -> Vid.t -> unit) ->
   ?on_disconnect:(Vid.t -> Vid.t -> unit) ->
+  ?recorder:Dgr_obs.Recorder.t ->
   spawn:(Task.mark -> unit) ->
   Graph.t ->
   t

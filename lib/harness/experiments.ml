@@ -12,6 +12,31 @@ type result = Table.t list
 
 let empty_registry = Template.create_registry ()
 
+(* --- optional trace sink -------------------------------------------- *)
+
+(* When [run ~trace_dir] is given, every engine built through
+   [run_program] gets a recorder and writes a Chrome trace on completion,
+   numbered per experiment: DIR/e4-01.json, DIR/e4-02.json, ... *)
+let trace_dir : string option ref = ref None
+let trace_label = ref "exp"
+let trace_counter = ref 0
+
+let maybe_recorder (config : Engine.config) =
+  match !trace_dir with
+  | None -> None
+  | Some _ ->
+    Some
+      (Dgr_obs.Recorder.create ~capacity:262_144 ~sample_every:20
+         ~num_pes:config.Engine.num_pes ())
+
+let write_trace e =
+  match (!trace_dir, Engine.recorder e) with
+  | Some dir, Some r ->
+    incr trace_counter;
+    let path = Filename.concat dir (Printf.sprintf "%s-%02d.json" !trace_label !trace_counter) in
+    Dgr_obs.Export.write_file path (Dgr_obs.Export.chrome_trace r)
+  | _ -> ()
+
 let concurrent ?(deadlock_every = 1) ?(idle_gap = 50) () =
   Engine.Concurrent { deadlock_every; idle_gap }
 
@@ -246,9 +271,10 @@ type run_stats = {
 
 let run_program ?(max_steps = 600_000) ~config source =
   let g, templates = Compile.load_string ~num_pes:config.Engine.num_pes source in
-  let e = Engine.create ~config g templates in
+  let e = Engine.create ?recorder:(maybe_recorder config) ~config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps e in
+  write_trace e;
   let m = Engine.metrics e in
   let reclaimed =
     match (Engine.cycle e, Engine.refcount e) with
@@ -704,7 +730,7 @@ let all =
     ("e10", "heap-bound sweep (§2.2)", fun () -> e10_heap_sweep ());
   ]
 
-let run id =
+let run ?trace_dir:dir id =
   let selected =
     if id = "all" then all
     else
@@ -712,8 +738,15 @@ let run id =
       | Some e -> [ e ]
       | None -> invalid_arg (Printf.sprintf "Experiments.run: unknown experiment %S" id)
   in
+  trace_dir := dir;
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | Some _ | None -> ());
   List.iter
-    (fun (_, _, f) ->
+    (fun (eid, _, f) ->
+      trace_label := eid;
+      trace_counter := 0;
       List.iter Table.print (f ());
       print_newline ())
-    selected
+    selected;
+  trace_dir := None

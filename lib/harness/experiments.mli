@@ -53,6 +53,11 @@ val e10_heap_sweep : ?seed:int -> unit -> result
 val all : (string * string * (unit -> result)) list
 (** [(id, title, run)] for every experiment, in order. *)
 
-val run : string -> unit
+val run : ?trace_dir:string -> string -> unit
 (** Run one experiment by id ("e1".."e10" or "all") and print its tables.
-    Raises [Invalid_argument] on an unknown id. *)
+    With [trace_dir] (created if missing), every simulated run made
+    through the shared program-runner additionally records a structured
+    event trace and writes it as Chrome trace-event JSON, numbered per
+    experiment: [DIR/e4-01.json], [DIR/e4-02.json], ... (E4/E5/E7-E10;
+    the figure-replay experiments E1-E3, E6 drive the engine directly and
+    are not traced). Raises [Invalid_argument] on an unknown id. *)

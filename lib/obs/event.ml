@@ -1,0 +1,71 @@
+type task_kind = Request | Respond | Cancel | Mark | Return_mark
+
+type phase = Idle | Mark_tasks | Mark_root | Restructure
+
+type pause_reason = Restructure_pause | Stw_pause
+
+type kind =
+  | Send of { kind : task_kind; pe : int; vid : int; arrival : int; remote : bool }
+  | Deliver of { kind : task_kind; pe : int; vid : int }
+  | Execute of { kind : task_kind; pe : int; vid : int }
+  | Purge of { pe : int; count : int }
+  | Phase of { phase : phase; cycle : int }
+  | Pause of { steps : int; reason : pause_reason }
+  | Heap_pressure of { headroom : int }
+  | Alloc_stall of { vid : int }
+  | Expand of { vid : int; entry : int }
+  | Coop_spawn of { pe : int; parent : int; child : int }
+  | Coop_closure of { pe : int; from_ : int; marked : int }
+  | Deadlock of { vids : int list }
+  | Irrelevant of { purged : int }
+  | Cycle_done of { cycle : int; garbage : int }
+  | Finished
+
+type t = { step : int; seq : int; kind : kind }
+
+let task_kind_name = function
+  | Request -> "request"
+  | Respond -> "respond"
+  | Cancel -> "cancel"
+  | Mark -> "mark"
+  | Return_mark -> "return"
+
+let phase_name = function
+  | Idle -> "idle"
+  | Mark_tasks -> "M_T"
+  | Mark_root -> "M_R"
+  | Restructure -> "restructure"
+
+let pause_reason_name = function
+  | Restructure_pause -> "restructure"
+  | Stw_pause -> "stw"
+
+let pp_kind fmt = function
+  | Send { kind; pe; vid; arrival; remote } ->
+    Format.fprintf fmt "send %s pe=%d vid=%d arrival=%d%s" (task_kind_name kind) pe vid
+      arrival
+      (if remote then " remote" else "")
+  | Deliver { kind; pe; vid } ->
+    Format.fprintf fmt "deliver %s pe=%d vid=%d" (task_kind_name kind) pe vid
+  | Execute { kind; pe; vid } ->
+    Format.fprintf fmt "execute %s pe=%d vid=%d" (task_kind_name kind) pe vid
+  | Purge { pe; count } -> Format.fprintf fmt "purge pe=%d count=%d" pe count
+  | Phase { phase; cycle } ->
+    Format.fprintf fmt "phase %s cycle=%d" (phase_name phase) cycle
+  | Pause { steps; reason } ->
+    Format.fprintf fmt "pause %d (%s)" steps (pause_reason_name reason)
+  | Heap_pressure { headroom } -> Format.fprintf fmt "heap-pressure headroom=%d" headroom
+  | Alloc_stall { vid } -> Format.fprintf fmt "alloc-stall vid=%d" vid
+  | Expand { vid; entry } -> Format.fprintf fmt "expand vid=%d entry=%d" vid entry
+  | Coop_spawn { pe; parent; child } ->
+    Format.fprintf fmt "coop-spawn pe=%d parent=%d child=%d" pe parent child
+  | Coop_closure { pe; from_; marked } ->
+    Format.fprintf fmt "coop-closure pe=%d from=%d marked=%d" pe from_ marked
+  | Deadlock { vids } ->
+    Format.fprintf fmt "deadlock [%s]" (String.concat " " (List.map string_of_int vids))
+  | Irrelevant { purged } -> Format.fprintf fmt "irrelevant purged=%d" purged
+  | Cycle_done { cycle; garbage } ->
+    Format.fprintf fmt "cycle-done cycle=%d garbage=%d" cycle garbage
+  | Finished -> Format.pp_print_string fmt "finished"
+
+let pp fmt t = Format.fprintf fmt "@[[%d.%d] %a@]" t.step t.seq pp_kind t.kind

@@ -1,0 +1,58 @@
+(** Structured trace events.
+
+    One event is one thing the machine did, stamped with the simulation
+    step it happened at and a monotonically increasing sequence number
+    (assigned by the {!Recorder}, which is also what disambiguates events
+    within a step). Vertex and PE identities are carried as plain [int]s
+    so this library depends on nothing — the simulator maps its own types
+    down when emitting ({!Dgr_task.Task.obs_kind}). [-1] stands for "the
+    controller" wherever a PE is expected and for "no vertex" wherever a
+    vid is expected. *)
+
+type task_kind = Request | Respond | Cancel | Mark | Return_mark
+
+type phase = Idle | Mark_tasks | Mark_root | Restructure
+(** Marking-cycle phases as the trace sees them: the controller's
+    [Idle → M_T → M_R] state machine plus the synchronous restructure
+    stop that closes a cycle. *)
+
+type pause_reason = Restructure_pause | Stw_pause
+
+type kind =
+  | Send of { kind : task_kind; pe : int; vid : int; arrival : int; remote : bool }
+      (** a task entered the network, to arrive at [pe] at step [arrival] *)
+  | Deliver of { kind : task_kind; pe : int; vid : int }
+      (** the network handed a task to [pe]'s pool *)
+  | Execute of { kind : task_kind; pe : int; vid : int }
+      (** [pe] executed a task addressed at [vid] *)
+  | Purge of { pe : int; count : int }
+      (** [count] tasks expunged from [pe]'s pool ([-1]: network/parked) *)
+  | Phase of { phase : phase; cycle : int }
+      (** the marking controller entered [phase] of cycle number [cycle] *)
+  | Pause of { steps : int; reason : pause_reason }
+      (** the whole machine stops executing for [steps] steps *)
+  | Heap_pressure of { headroom : int }
+      (** a collection was triggered early by a low free list *)
+  | Alloc_stall of { vid : int }
+      (** an expansion of [vid] parked: the free list could not supply it *)
+  | Expand of { vid : int; entry : int }
+      (** [vid] was expanded by template instantiation rooted at [entry] *)
+  | Coop_spawn of { pe : int; parent : int; child : int }
+      (** the mutator charged a cooperation mark task to [parent] *)
+  | Coop_closure of { pe : int; from_ : int; marked : int }
+      (** the mutator synchronously marked [marked] vertices from [from_] *)
+  | Deadlock of { vids : int list }  (** restructure's DL' verdict *)
+  | Irrelevant of { purged : int }
+      (** irrelevant tasks expunged by restructure *)
+  | Cycle_done of { cycle : int; garbage : int }
+  | Finished  (** the root's value arrived *)
+
+type t = { step : int; seq : int; kind : kind }
+
+val task_kind_name : task_kind -> string
+
+val phase_name : phase -> string
+
+val pause_reason_name : pause_reason -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type sample = {
+  s_step : int;
+  s_live : int;
+  s_in_flight : int;
+  s_headroom : int;
+  s_pool_depth : int array;
+  s_marking : int array;
+  s_reduction : int array;
+}
+
+type t = {
+  cap : int;
+  buf : Event.t array;
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable seq : int;  (* total events ever emitted *)
+  mutable clock : int;
+  pes : int;
+  period : int;
+  mutable samples_rev : sample list;
+  mark_delta : int array;
+  red_delta : int array;
+}
+
+let dummy = { Event.step = 0; seq = -1; kind = Event.Finished }
+
+let create ?(capacity = 65536) ?(sample_every = 0) ~num_pes () =
+  let cap = Int.max 1 capacity in
+  {
+    cap;
+    buf = Array.make cap dummy;
+    start = 0;
+    len = 0;
+    seq = 0;
+    clock = 0;
+    pes = Int.max 1 num_pes;
+    period = sample_every;
+    samples_rev = [];
+    mark_delta = Array.make (Int.max 1 num_pes) 0;
+    red_delta = Array.make (Int.max 1 num_pes) 0;
+  }
+
+let set_now t now = t.clock <- now
+
+let now t = t.clock
+
+let num_pes t = t.pes
+
+let sample_every t = t.period
+
+let emit t kind =
+  (match kind with
+  | Event.Execute { kind = k; pe; _ } when pe >= 0 && pe < t.pes -> (
+    match k with
+    | Event.Mark | Event.Return_mark -> t.mark_delta.(pe) <- t.mark_delta.(pe) + 1
+    | Event.Request | Event.Respond | Event.Cancel ->
+      t.red_delta.(pe) <- t.red_delta.(pe) + 1)
+  | _ -> ());
+  let e = { Event.step = t.clock; seq = t.seq; kind } in
+  t.seq <- t.seq + 1;
+  if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* full: overwrite the oldest slot and advance the window *)
+    t.buf.(t.start) <- e;
+    t.start <- (t.start + 1) mod t.cap
+  end
+
+let length t = t.len
+
+let capacity t = t.cap
+
+let emitted t = t.seq
+
+let dropped t = t.seq - t.len
+
+let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+
+let tick t ~live ~in_flight ~headroom ~pool_depth =
+  if t.period > 0 && t.clock mod t.period = 0 then begin
+    let s =
+      {
+        s_step = t.clock;
+        s_live = live;
+        s_in_flight = in_flight;
+        s_headroom = headroom;
+        s_pool_depth = Array.init t.pes (fun i -> if i < Array.length pool_depth then pool_depth.(i) else 0);
+        s_marking = Array.copy t.mark_delta;
+        s_reduction = Array.copy t.red_delta;
+      }
+    in
+    t.samples_rev <- s :: t.samples_rev;
+    Array.fill t.mark_delta 0 t.pes 0;
+    Array.fill t.red_delta 0 t.pes 0
+  end
+
+let samples t = List.rev t.samples_rev

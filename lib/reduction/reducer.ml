@@ -16,6 +16,7 @@ type t = {
   send : Task.t -> unit;
   speculate_if : bool;
   speculation_reserve : int;
+  recorder : Dgr_obs.Recorder.t option;
   parked : reduction_task_vec;
   mutable result : Label.value option;
   mutable requests_executed : int;
@@ -28,8 +29,8 @@ type t = {
   mutable stuck : (Vid.t * string) list;
 }
 
-let create ?(speculate_if = true) ?(speculation_reserve = 0) ~graph ~mut ~templates
-    ~send () =
+let create ?(speculate_if = true) ?(speculation_reserve = 0) ?recorder ~graph ~mut
+    ~templates ~send () =
   {
     graph;
     mut;
@@ -37,6 +38,7 @@ let create ?(speculate_if = true) ?(speculation_reserve = 0) ~graph ~mut ~templa
     send;
     speculate_if;
     speculation_reserve;
+    recorder;
     parked = Dgr_util.Vec.create ();
     result = None;
     requests_executed = 0;
@@ -48,6 +50,9 @@ let create ?(speculate_if = true) ?(speculation_reserve = 0) ~graph ~mut ~templa
     alloc_stalls = 0;
     stuck = [];
   }
+
+let obs t kind =
+  match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
 
 let initial_task t =
   let root = Graph.root t.graph in
@@ -313,6 +318,7 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
           Graph.headroom t.graph < need
         then begin
           t.alloc_stalls <- t.alloc_stalls + 1;
+          obs t (Dgr_obs.Event.Alloc_stall { vid = v });
           Dgr_util.Vec.push t.parked (Request { src = s; dst = v; demand; key })
         end
         else begin
@@ -322,6 +328,7 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
           Mutator.expand_node t.mut ~a:v ~entry;
           vx.Vertex.label <- Label.Ind;
           t.expansions <- t.expansions + 1;
+          obs t (Dgr_obs.Event.Expand { vid = v; entry });
           forward_requesters t v entry;
           Vertex.clear_reduction_state vx
         end)

@@ -35,6 +35,8 @@ type t = {
   send : Task.t -> unit;
   speculate_if : bool;
   speculation_reserve : int;
+  recorder : Dgr_obs.Recorder.t option;
+      (** trace sink for allocation stalls and expansions *)
   parked : Task.reduction Dgr_util.Vec.t;
       (** allocation-stalled expansions awaiting free-list replenishment;
           still part of "the set of all tasks" for M_T and purging *)
@@ -54,6 +56,7 @@ type t = {
 val create :
   ?speculate_if:bool ->
   ?speculation_reserve:int ->
+  ?recorder:Dgr_obs.Recorder.t ->
   graph:Graph.t ->
   mut:Dgr_core.Mutator.t ->
   templates:Template.registry ->

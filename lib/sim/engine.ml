@@ -58,6 +58,7 @@ type t = {
   mutable red : Reducer.t;
   mutable cyc : Cycle.t option;
   rc : Refcount.t option;
+  recorder : Dgr_obs.Recorder.t option;
   m : Metrics.t;
   mutable now : int;
   mutable current_pe : int;  (** PE whose task is executing; -1 = controller *)
@@ -70,6 +71,9 @@ type t = {
 }
 
 let throughput cfg = Int.max 1 (cfg.num_pes * cfg.tasks_per_step)
+
+let obs t kind =
+  match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
 
 let pe_of t task =
   match Task.exec_vertex task with
@@ -120,6 +124,15 @@ and send t task =
       end
     in
     if pe = t.current_pe then t.m.Metrics.local_messages <- t.m.Metrics.local_messages + 1;
+    obs t
+      (Dgr_obs.Event.Send
+         {
+           kind = Task.obs_kind task;
+           pe;
+           vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+           arrival = t.now + delay;
+           remote = pe <> t.current_pe;
+         });
     Network.send t.net ~arrival:(t.now + delay) ~pe task
 
 let purge_everywhere t pred =
@@ -132,13 +145,13 @@ let purge_for_baseline t pred =
   t.m.Metrics.tasks_purged <- t.m.Metrics.tasks_purged + n;
   n
 
-let create ?(config = default_config) g templates =
+let create ?recorder ?(config = default_config) g templates =
   (match config.heap_size with
   | Some c -> Graph.set_capacity g (Some (Int.max c (Graph.vertex_count g)))
   | None -> Graph.set_capacity g None);
-  let mut = Mutator.create ~spawn:(fun _ -> ()) g in
+  let mut = Mutator.create ?recorder ~spawn:(fun _ -> ()) g in
   let red =
-    Reducer.create ~speculate_if:config.speculate_if ~graph:g ~mut ~templates
+    Reducer.create ~speculate_if:config.speculate_if ?recorder ~graph:g ~mut ~templates
       ~send:(fun _ -> ())
       ()
   in
@@ -151,12 +164,13 @@ let create ?(config = default_config) g templates =
     {
       cfg = config;
       g;
-      pools = Array.init config.num_pes (fun _ -> Pool.create config.pool_policy g);
-      net = Network.create ();
+      pools = Array.init config.num_pes (fun pe -> Pool.create ?recorder ~pe config.pool_policy g);
+      net = Network.create ?recorder ();
       mut;
       red;
       cyc = None;
       rc;
+      recorder;
       m = Metrics.create ();
       now = 0;
       current_pe = -1;
@@ -174,8 +188,8 @@ let create ?(config = default_config) g templates =
     match config.heap_size with Some c -> c / 4 | None -> 0
   in
   t.red <-
-    Reducer.create ~speculate_if:config.speculate_if ~speculation_reserve ~graph:g ~mut
-      ~templates
+    Reducer.create ~speculate_if:config.speculate_if ~speculation_reserve ?recorder ~graph:g
+      ~mut ~templates
       ~send:(fun task -> send t task)
       ();
   (match rc with
@@ -216,12 +230,14 @@ let create ?(config = default_config) g templates =
       Some
         (Cycle.create ~deadlock_every ~scheme:config.marking
            ~detection_window:(2 * Int.max 1 config.latency)
-           g mut env);
+           ?recorder g mut env);
     t.next_cycle_at <- idle_gap
   | No_gc | Stop_the_world _ | Refcount -> ());
   t
 
 let config t = t.cfg
+
+let recorder t = t.recorder
 
 let graph t = t.g
 
@@ -294,6 +310,13 @@ let execute_one t pe task =
   (* If the previous task's RC cascade reclaimed vertices, expunge tasks
      addressing them before this task can allocate (and recycle) a slot. *)
   flush_rc_purge t;
+  obs t
+    (Dgr_obs.Event.Execute
+       {
+         kind = Task.obs_kind task;
+         pe;
+         vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+       });
   (match task with
   | Reduction r ->
     t.m.Metrics.reduction_executed <- t.m.Metrics.reduction_executed + 1;
@@ -305,10 +328,11 @@ let execute_one t pe task =
 
 (* GC work (tracing a vertex, sweeping a slot) is much lighter than
    executing a task; [gc_work_factor] work units fit in one task slot. *)
-let pause t work =
+let pause t ~reason work =
   let per_step = throughput t.cfg * Int.max 1 t.cfg.gc_work_factor in
   let steps = (work + per_step - 1) / per_step in
   Metrics.record_pause t.m steps;
+  obs t (Dgr_obs.Event.Pause { steps; reason });
   t.paused_until <- Int.max t.paused_until (t.now + steps)
 
 (* ⊥-recovery (the paper's footnote 5): a deadlocked region never harms
@@ -380,9 +404,10 @@ let gc_control t =
       && (t.now >= t.next_stw_at
          || (under_pressure t && t.now >= t.next_stw_at - (3 * every / 4)))
     then begin
+      if t.now < t.next_stw_at then obs t (Dgr_obs.Event.Heap_pressure { headroom = Graph.headroom t.g });
       let report = Stw.collect t.g ~purge_tasks:(purge_for_baseline t) in
       t.m.Metrics.stw_collections <- t.m.Metrics.stw_collections + 1;
-      pause t report.Stw.work;
+      pause t ~reason:Dgr_obs.Event.Stw_pause report.Stw.work;
       t.next_stw_at <- Int.max t.paused_until t.now + every;
       unpark t
     end
@@ -396,15 +421,20 @@ let gc_control t =
         t.m.Metrics.cycles_completed <- t.m.Metrics.cycles_completed + 1;
         (* Restructure is the concurrent scheme's only stop: a sweep over
            the live vertices plus the slots being reclaimed. *)
-        pause t (Graph.live_count t.g + List.length report.Dgr_core.Restructure.garbage);
+        pause t ~reason:Dgr_obs.Event.Restructure_pause
+          (Graph.live_count t.g + List.length report.Dgr_core.Restructure.garbage);
         if t.cfg.recover_deadlock then recover_deadlocks t report;
         t.next_cycle_at <- Int.max t.paused_until t.now + idle_gap;
         unpark t
       | None -> if t.now land 63 = 0 && not (under_pressure t) then unpark t);
-      if Cycle.phase c = Cycle.Idle && (t.now >= t.next_cycle_at || under_pressure t) then
-        Cycle.start_cycle c))
+      if Cycle.phase c = Cycle.Idle && (t.now >= t.next_cycle_at || under_pressure t) then begin
+        if t.now < t.next_cycle_at then
+          obs t (Dgr_obs.Event.Heap_pressure { headroom = Graph.headroom t.g });
+        Cycle.start_cycle c
+      end))
 
 let step t =
+  (match t.recorder with Some r -> Dgr_obs.Recorder.set_now r t.now | None -> ());
   (* 1. Deliver the network. *)
   List.iter (fun (pe, task) -> Pool.push t.pools.(pe) task) (Network.deliver t.net ~now:t.now);
   flush_rc_purge t;
@@ -439,11 +469,19 @@ let step t =
   gc_control t;
   (* 4. Bookkeeping. *)
   (match (Reducer.finished t.red, t.m.Metrics.completion_step) with
-  | true, None -> t.m.Metrics.completion_step <- Some t.now
+  | true, None ->
+    t.m.Metrics.completion_step <- Some t.now;
+    obs t Dgr_obs.Event.Finished
   | _ -> ());
   let depth = Array.fold_left (fun acc pool -> acc + Pool.length pool) 0 t.pools in
   Dgr_util.Stats.add t.m.Metrics.pool_depth (float_of_int depth);
   t.m.Metrics.peak_live <- Int.max t.m.Metrics.peak_live (Graph.live_count t.g);
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+    Dgr_obs.Recorder.tick r ~live:(Graph.live_count t.g) ~in_flight:(Network.size t.net)
+      ~headroom:(match Graph.capacity t.g with None -> -1 | Some _ -> Graph.headroom t.g)
+      ~pool_depth:(Array.map Pool.length t.pools));
   t.now <- t.now + 1;
   t.m.Metrics.steps <- t.m.Metrics.steps + 1
 

@@ -68,7 +68,21 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Graph.t -> Dgr_reduction.Template.registry -> t
+val create :
+  ?recorder:Dgr_obs.Recorder.t ->
+  ?config:config ->
+  Graph.t ->
+  Dgr_reduction.Template.registry ->
+  t
+(** [recorder] (default none) turns on structured event tracing: it is
+    threaded through the network, pools, mutator, reducer and marking
+    controller, receives every task send/deliver/execute, purge, phase
+    transition, pause, heap-pressure and verdict event, and samples the
+    per-PE time series once per [sample_every] steps (see
+    {!Dgr_obs.Recorder}). With no recorder the instrumented paths cost a
+    single branch. *)
+
+val recorder : t -> Dgr_obs.Recorder.t option
 
 val config : t -> config
 

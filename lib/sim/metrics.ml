@@ -39,6 +39,29 @@ let record_pause t steps =
   Stats.add t.pauses (float_of_int steps);
   t.total_pause_steps <- t.total_pause_steps + steps
 
+(* Machine-readable run metrics. All scalar counters plus fixed summary
+   statistics for the sampled series; field order is fixed and floats are
+   printed with a fixed precision, so equal metrics serialize to equal
+   bytes (the bench trajectories diff these files). *)
+let to_json t =
+  let b = Buffer.create 512 in
+  let stats name (s : Stats.t) =
+    if Stats.count s = 0 then
+      Printf.sprintf "\"%s\":{\"count\":0,\"total\":0,\"mean\":0.00,\"max\":0}" name
+    else
+      Printf.sprintf "\"%s\":{\"count\":%d,\"total\":%.0f,\"mean\":%.2f,\"max\":%.0f}" name
+        (Stats.count s) (Stats.total s) (Stats.mean s) (Stats.max_value s)
+  in
+  Printf.bprintf b
+    "{\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d}"
+    t.steps t.reduction_executed t.marking_executed t.remote_messages t.local_messages
+    t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
+    (stats "pauses" t.pauses)
+    (match t.completion_step with Some s -> string_of_int s | None -> "null")
+    (stats "pool_depth" t.pool_depth)
+    t.peak_live t.deadlocks_recovered;
+  Buffer.contents b
+
 let pp_summary fmt t =
   Format.fprintf fmt
     "@[<v>steps=%d reduction=%d marking=%d msgs(remote/local)=%d/%d purged=%d cycles=%d \

@@ -24,4 +24,10 @@ val create : unit -> t
 
 val record_pause : t -> int -> unit
 
+val to_json : t -> string
+(** Machine-readable metrics (one JSON object, fixed field order and
+    float precision — byte-deterministic for equal metrics). The bench
+    harness and [--stats-json] consume this instead of scraping
+    {!pp_summary} text. *)
+
 val pp_summary : Format.formatter -> t -> unit

@@ -1,9 +1,9 @@
 open Dgr_util
 open Dgr_task
 
-type t = { q : (int * Task.t) Pqueue.t }
+type t = { q : (int * Task.t) Pqueue.t; recorder : Dgr_obs.Recorder.t option }
 
-let create () = { q = Pqueue.create () }
+let create ?recorder () = { q = Pqueue.create (); recorder }
 
 let send t ~arrival ~pe task = Pqueue.add t.q arrival (pe, task)
 
@@ -16,15 +16,33 @@ let deliver t ~now =
       | None -> acc)
     | Some _ | None -> acc
   in
-  List.rev (loop [])
+  let delivered = List.rev (loop []) in
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun (pe, task) ->
+        Dgr_obs.Recorder.emit r
+          (Dgr_obs.Event.Deliver
+             {
+               kind = Task.obs_kind task;
+               pe;
+               vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+             }))
+      delivered);
+  delivered
 
-let in_flight t = List.map (fun (_, (_, task)) -> task) (Pqueue.to_list t.q)
+let in_flight t = List.map (fun (_, (_, task)) -> task) (Pqueue.to_sorted_list t.q)
 
 let purge t pred =
   let before = Pqueue.length t.q in
   Pqueue.filter_in_place (fun _ (_, task) -> not (pred task)) t.q;
-  before - Pqueue.length t.q
+  let n = before - Pqueue.length t.q in
+  (match t.recorder with
+  | Some r when n > 0 -> Dgr_obs.Recorder.emit r (Dgr_obs.Event.Purge { pe = -1; count = n })
+  | Some _ | None -> ());
+  n
 
 let size t = Pqueue.length t.q
 
-let entries t = List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_list t.q)
+let entries t = List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_sorted_list t.q)

@@ -9,7 +9,9 @@ open Dgr_task
 
 type t
 
-val create : unit -> t
+val create : ?recorder:Dgr_obs.Recorder.t -> unit -> t
+(** With a recorder, {!deliver} emits a [Deliver] event per message and
+    {!purge} a [Purge] event (pe [-1]) per non-empty sweep. *)
 
 val send : t -> arrival:int -> pe:int -> Task.t -> unit
 
@@ -17,10 +19,13 @@ val deliver : t -> now:int -> (int * Task.t) list
 (** Pop every message with [arrival <= now] as [(pe, task)], in order. *)
 
 val in_flight : t -> Task.t list
+(** In-transit tasks, ordered by arrival step then send order. *)
 
 val purge : t -> (Task.t -> bool) -> int
 
 val size : t -> int
 
 val entries : t -> (int * Task.t) list
-(** [(arrival, task)] pairs, unspecified order (debugging aid). *)
+(** [(arrival, task)] pairs, sorted by arrival step then send order —
+    deterministic under [jitter > 0], so trace output and M_T seeding
+    never depend on heap layout. *)

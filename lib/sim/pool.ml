@@ -12,7 +12,14 @@ let policy_to_string = function
 (* Marking and reduction tasks occupy separate queues: the engine gives
    each its own per-step budget, so GC and computation cannot starve one
    another by queue position alone. *)
-type t = { marking : Task.t Pqueue.t; reduction : Task.t Pqueue.t; policy : policy; g : Graph.t }
+type t = {
+  marking : Task.t Pqueue.t;
+  reduction : Task.t Pqueue.t;
+  policy : policy;
+  g : Graph.t;
+  pe : int;
+  recorder : Dgr_obs.Recorder.t option;
+}
 
 (* The global class of a vertex: the priority the last completed M_R
    cycle assigned (3 vital / 2 eager / 1 reserve), 0 when not yet
@@ -60,8 +67,8 @@ let priority_of policy g task =
     | Dynamic -> (
       match request_class g ~src ~dst ~demand with 3 -> 2 | 2 -> 4 | _ -> 5))
 
-let create policy g =
-  { marking = Pqueue.create (); reduction = Pqueue.create (); policy; g }
+let create ?recorder ?(pe = 0) policy g =
+  { marking = Pqueue.create (); reduction = Pqueue.create (); policy; g; pe; recorder }
 
 let push t task =
   let q = match task with Task.Marking _ -> t.marking | Task.Reduction _ -> t.reduction in
@@ -79,13 +86,19 @@ let length t = Pqueue.length t.marking + Pqueue.length t.reduction
 let is_empty t = Pqueue.is_empty t.marking && Pqueue.is_empty t.reduction
 
 let tasks t =
-  List.map snd (Pqueue.to_list t.marking) @ List.map snd (Pqueue.to_list t.reduction)
+  List.map snd (Pqueue.to_sorted_list t.marking)
+  @ List.map snd (Pqueue.to_sorted_list t.reduction)
 
 let purge t pred =
   let before = length t in
   Pqueue.filter_in_place (fun _ task -> not (pred task)) t.marking;
   Pqueue.filter_in_place (fun _ task -> not (pred task)) t.reduction;
-  before - length t
+  let n = before - length t in
+  (match t.recorder with
+  | Some r when n > 0 ->
+    Dgr_obs.Recorder.emit r (Dgr_obs.Event.Purge { pe = t.pe; count = n })
+  | Some _ | None -> ());
+  n
 
 let reprioritize t =
   let changed = ref 0 in

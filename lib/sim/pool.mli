@@ -20,7 +20,10 @@ val policy_to_string : policy -> string
 
 type t
 
-val create : policy -> Graph.t -> t
+val create : ?recorder:Dgr_obs.Recorder.t -> ?pe:int -> policy -> Graph.t -> t
+(** [pe] (default 0) is the owning PE's index, used only to stamp trace
+    events; with a recorder, {!purge} emits a [Purge] event per non-empty
+    sweep. *)
 
 val push : t -> Task.t -> unit
 
@@ -37,7 +40,8 @@ val length : t -> int
 val is_empty : t -> bool
 
 val tasks : t -> Task.t list
-(** Unspecified order. *)
+(** Queue order (ascending priority, FIFO among ties) — deterministic, so
+    external views built from pool contents are stable. *)
 
 val purge : t -> (Task.t -> bool) -> int
 (** Remove all tasks matching the predicate; returns how many. *)

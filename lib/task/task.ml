@@ -38,6 +38,13 @@ let plane_of_mark = function
   | Mark3 _ -> Plane.MT
   | Return { plane; _ } -> plane
 
+let obs_kind = function
+  | Reduction (Request _) -> Dgr_obs.Event.Request
+  | Reduction (Respond _) -> Dgr_obs.Event.Respond
+  | Reduction (Cancel _) -> Dgr_obs.Event.Cancel
+  | Marking (Mark1 _ | Mark2 _ | Mark3 _) -> Dgr_obs.Event.Mark
+  | Marking (Return _) -> Dgr_obs.Event.Return_mark
+
 let is_marking = function Marking _ -> true | Reduction _ -> false
 
 let is_reduction = function Reduction _ -> true | Marking _ -> false

@@ -65,6 +65,9 @@ val plane_of_mark : mark -> Plane.id
 (** The marking plane a mark task operates on: M_R for [Mark1]/[Mark2],
     M_T for [Mark3], the carried plane for [Return]. *)
 
+val obs_kind : t -> Dgr_obs.Event.task_kind
+(** The trace-event kind a task maps to (observability layer). *)
+
 val is_marking : t -> bool
 
 val is_reduction : t -> bool

@@ -64,6 +64,15 @@ let iter f q = Vec.iter (fun e -> f e.prio e.value) q.heap
 
 let to_list q = Vec.fold_left (fun acc e -> (e.prio, e.value) :: acc) [] q.heap
 
+let to_sorted_list q =
+  let entries = Vec.fold_left (fun acc e -> e :: acc) [] q.heap in
+  List.map
+    (fun e -> (e.prio, e.value))
+    (List.sort
+       (fun a b ->
+         match Int.compare a.prio b.prio with 0 -> Int.compare a.rank b.rank | c -> c)
+       entries)
+
 let rebuild q entries =
   Vec.clear q.heap;
   List.iter (fun e -> Vec.push q.heap e) entries;

@@ -28,6 +28,10 @@ val iter : (int -> 'a -> unit) -> 'a t -> unit
 val to_list : 'a t -> (int * 'a) list
 (** Unspecified order. *)
 
+val to_sorted_list : 'a t -> (int * 'a) list
+(** Pop order without popping: ascending priority, FIFO among ties.
+    O(n log n) — for deterministic external views (traces, debugging). *)
+
 val filter_in_place : (int -> 'a -> bool) -> 'a t -> unit
 (** Keep only entries satisfying the predicate. O(n log n). *)
 

@@ -13,6 +13,7 @@ let () =
       ("analysis", T_analysis.suite);
       ("baseline", T_baseline.suite);
       ("sim", T_sim.suite);
+      ("obs", T_obs.suite);
       ("jitter", T_sim.jitter_suite);
       ("reduction", T_reduction.suite);
       ("recovery", T_reduction.recovery_suite);
