@@ -4,7 +4,7 @@
      dgr run FILE       evaluate a program (or -e EXPR) on the simulator
      dgr trace FILE     evaluate with event tracing, write a Perfetto trace
      dgr check FILE     parse + compile only
-     dgr experiment ID  regenerate an experiment table (e1..e10, all)
+     dgr experiment ID  regenerate an experiment table (e1..e11, all)
 
    See `dgr run --help` for the machine knobs. *)
 
@@ -40,6 +40,11 @@ type machine_opts = {
   jitter : float;
   seed : int;
   no_speculate : bool;
+  fault_drop : float;
+  fault_dup : float;
+  fault_delay : float;
+  fault_stall : float;
+  fault_seed : int;
 }
 
 let gc_of_string s ~deadlock_every ~idle_gap ~stw_every =
@@ -84,6 +89,15 @@ let config_of_opts o =
       recover_deadlock = o.recover_deadlock;
       jitter = o.jitter;
       seed = o.seed;
+      faults =
+        {
+          Faults.none with
+          Faults.drop = o.fault_drop;
+          duplicate = o.fault_dup;
+          delay = o.fault_delay;
+          stall = o.fault_stall;
+          fault_seed = o.fault_seed;
+        };
     }
 
 (* What each invocation wants written out. *)
@@ -300,6 +314,31 @@ let no_spec_arg =
   Arg.(value & flag & info [ "no-speculation" ]
          ~doc:"Disable eager evaluation of conditional branches (pure laziness).")
 
+let fault_drop_arg =
+  Arg.(value & opt float 0.0 & info [ "fault-drop" ] ~docv:"P"
+         ~doc:"Probability that a network frame is lost in transit. Any positive fault \
+               probability turns on the reliable-delivery layer (acks, retransmission, \
+               dedup).")
+
+let fault_dup_arg =
+  Arg.(value & opt float 0.0 & info [ "fault-dup" ] ~docv:"P"
+         ~doc:"Probability that a data frame is duplicated in transit (the duplicate is \
+               suppressed by receiver-side dedup).")
+
+let fault_delay_arg =
+  Arg.(value & opt float 0.0 & info [ "fault-delay" ] ~docv:"P"
+         ~doc:"Probability that a frame takes extra, seeded delay (reordering).")
+
+let fault_stall_arg =
+  Arg.(value & opt float 0.0 & info [ "fault-stall" ] ~docv:"P"
+         ~doc:"Per-PE, per-step probability that a transient stall begins (the PE stops \
+               executing for a few steps; its pool and heap survive).")
+
+let fault_seed_arg =
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed for the fault plane's randomness, independent of $(b,--seed): same \
+               config, seed and fault-seed replay byte-identically.")
+
 let max_steps_arg =
   Arg.(value & opt int 1_000_000 & info [ "max-steps" ] ~docv:"N"
          ~doc:"Simulation step budget.")
@@ -335,7 +374,8 @@ let machine_term =
   Term.(
     const
       (fun pes latency tasks_per_step gc_str heap idle_gap deadlock_every stw_every
-           policy_str marking_str recover_deadlock jitter seed no_speculate ->
+           policy_str marking_str recover_deadlock jitter seed no_speculate fault_drop
+           fault_dup fault_delay fault_stall fault_seed ->
         {
           pes;
           latency;
@@ -351,10 +391,16 @@ let machine_term =
           jitter;
           seed;
           no_speculate;
+          fault_drop;
+          fault_dup;
+          fault_delay;
+          fault_stall;
+          fault_seed;
         })
     $ pes_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg $ idle_gap_arg
     $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg $ recover_arg
-    $ jitter_arg $ seed_arg $ no_spec_arg)
+    $ jitter_arg $ seed_arg $ no_spec_arg $ fault_drop_arg $ fault_dup_arg
+    $ fault_delay_arg $ fault_stall_arg $ fault_seed_arg)
 
 let run_term =
   Term.(
@@ -416,7 +462,7 @@ let experiment_term =
   Term.(
     const experiment_cmd
     $ Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-             ~doc:"Experiment id: e1..e10 or all.")
+             ~doc:"Experiment id: e1..e11 or all.")
     $ trace_dir_arg)
 
 let experiment_cmd_v =

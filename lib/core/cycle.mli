@@ -18,7 +18,17 @@ open Dgr_task
     M_T's seeds are the endpoints of every reduction task currently in a
     pool or in flight — the [troot]/[taskroot_i] construction of §5.2
     flattened, with in-transit tasks made visible by the environment
-    snapshot (the paper defers that mechanism to [5]). *)
+    snapshot (the paper defers that mechanism to [5]).
+
+    Everything here assumes §2.1's idealized channel: every spawned mark
+    task arrives, exactly once. A lost mark leaves its parent's count
+    forever positive (tree scheme) or the PE counters forever unbalanced
+    (flood scheme) — the cycle simply never completes; a duplicated
+    return corrupts the counts outright. When the simulator injects
+    faults, the network's reliable-delivery layer ([Dgr_sim.Network])
+    restores that exactly-once effect, and "in flight" above means
+    {e undelivered sends} — a dropped frame still seeds M_T, since its
+    retransmission will eventually deliver it. *)
 
 type env = {
   spawn_mark : Task.mark -> unit;  (** route into the owning PE's pool *)

@@ -8,7 +8,15 @@
     classic two-wave rule (Mattern's four-counter method): two
     observations at least [window] steps apart with [sent = executed] and
     the same [sent] total. [window] models the wave's round-trip across
-    the machine. *)
+    the machine.
+
+    Counting assumes exactly-once effect: a counted send must execute
+    exactly once, or the sums never balance (a lost mark task) or
+    over-balance (a duplicated one). The physical channel only promises
+    at-most-once under the fault plane; the network's reliable-delivery
+    layer (acks, retransmission, dedup — see [Dgr_sim.Network]) is what
+    makes the counters honest, and [executed] must be counted at first
+    delivery only. *)
 
 type t
 

@@ -87,9 +87,9 @@ let wire_cluster rng g ids ~avg_degree ~cycle_bias =
     Vertex.connect (Graph.vertex g ids.(src_idx)) ids.(dst_idx)
   done
 
-let random rng spec =
+let random ?(num_pes = 1) rng spec =
   if spec.live < 1 then invalid_arg "Builder.random: spec.live must be >= 1";
-  let g = Graph.create () in
+  let g = Graph.create ~num_pes () in
   let live_ids =
     Array.init spec.live (fun _ -> add g (Rng.choose rng placeholder_labels) [])
   in
@@ -115,8 +115,8 @@ let random rng spec =
   Graph.preallocate g spec.free_pool;
   g
 
-let random_with_requests rng spec =
-  let g = random rng spec in
+let random_with_requests ?num_pes rng spec =
+  let g = random ?num_pes rng spec in
   Graph.iter_live
     (fun v ->
       List.iter

@@ -37,15 +37,17 @@ type random_spec = {
 
 val default_spec : random_spec
 
-val random : Dgr_util.Rng.t -> random_spec -> Graph.t
+val random : ?num_pes:int -> Dgr_util.Rng.t -> random_spec -> Graph.t
 (** A rooted random graph: [live] vertices reachable from the root (a
     spanning structure guarantees reachability, extra edges are random,
     possibly cyclic), plus [garbage] unreachable vertices forming random
     (possibly cyclic) clusters, plus a free pool. Labels are arbitrary
     non-WHNF placeholders; this generator feeds marking tests, which care
-    only about connectivity. *)
+    only about connectivity. [num_pes] (default 1) spreads allocation
+    round-robin across PEs, so distributed-machine tests exercise remote
+    edges. *)
 
-val random_with_requests : Dgr_util.Rng.t -> random_spec -> Graph.t
+val random_with_requests : ?num_pes:int -> Dgr_util.Rng.t -> random_spec -> Graph.t
 (** Like [random] but additionally promotes a random subset of edges to
     vital/eager request status and installs random [requested] back-edges,
     so that R_v / R_e / R_r / T are all non-trivial. *)

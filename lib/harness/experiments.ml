@@ -715,6 +715,71 @@ let e10_heap_sweep ?seed:(_ = 1) () =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* E11: fault sweep — marking-cycle length and channel overhead vs      *)
+(* message drop rate, reliable delivery over a lossy network.           *)
+(* ------------------------------------------------------------------ *)
+
+let e11_fault_sweep ?(seed = 1) () =
+  let table =
+    Table.create
+      ~title:
+        "E11: drop rate vs marking-cycle length — fib 11, 4 PEs, concurrent GC, \
+         reliable delivery over a lossy channel"
+      ~columns:
+        [
+          ("drop", Table.Left);
+          ("completion", Table.Right);
+          ("cycles", Table.Right);
+          ("avg cycle len", Table.Right);
+          ("retransmits", Table.Right);
+          ("dropped", Table.Right);
+          ("dup-suppressed", Table.Right);
+          ("stalls", Table.Right);
+          ("result", Table.Left);
+        ]
+  in
+  List.iter
+    (fun drop ->
+      (* duplicate rides at half the drop rate, plus a little reordering
+         and a rare transient PE stall — the full adversary, scaled by
+         the sweep variable. drop = 0.0 is the fault-free control. *)
+      let faults =
+        if drop = 0.0 then Faults.none
+        else
+          {
+            Faults.none with
+            Faults.drop;
+            duplicate = drop /. 2.0;
+            delay = 0.1;
+            stall = 0.02;
+            fault_seed = seed;
+          }
+      in
+      let config =
+        {
+          Engine.default_config with
+          gc = concurrent ~deadlock_every:1 ~idle_gap:20 ();
+          faults;
+        }
+      in
+      let stats, e = run_program ~max_steps:300_000 ~config (Prelude.fib 11) in
+      let m = Engine.metrics e in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" drop;
+          fmt_steps stats;
+          Table.cell_i stats.cycles;
+          (if stats.cycles = 0 then "-" else Table.cell_i (stats.steps / stats.cycles));
+          Table.cell_i m.Metrics.retransmits;
+          Table.cell_i m.Metrics.msgs_dropped;
+          Table.cell_i m.Metrics.dup_suppressed;
+          Table.cell_i m.Metrics.stalls;
+          value_to_string (Engine.result e);
+        ])
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -728,6 +793,7 @@ let all =
     ("e8", "priority ablation", fun () -> e8_priorities ());
     ("e9", "marking-scheme ablation (§6)", fun () -> e9_marking_schemes ());
     ("e10", "heap-bound sweep (§2.2)", fun () -> e10_heap_sweep ());
+    ("e11", "fault sweep (drop rate vs cycle length)", fun () -> e11_fault_sweep ());
   ]
 
 let run ?trace_dir:dir id =

@@ -24,7 +24,10 @@ open Dgr_util
       (2 words/vertex, return tasks) vs flood counters (2 words/PE,
       termination by counting);
     - E10 — §2.2: V is finite — the smallest heap each collector can run
-      the same program in.
+      the same program in;
+    - E11 — §2.1's idealized network, revoked: message drop rate vs
+      marking-cycle length with reliable delivery (acks, retransmission,
+      dedup) re-earning exactly-once effect over a lossy channel.
 
     Each run function is deterministic for a given seed. *)
 
@@ -50,11 +53,13 @@ val e9_marking_schemes : ?seed:int -> unit -> result
 
 val e10_heap_sweep : ?seed:int -> unit -> result
 
+val e11_fault_sweep : ?seed:int -> unit -> result
+
 val all : (string * string * (unit -> result)) list
 (** [(id, title, run)] for every experiment, in order. *)
 
 val run : ?trace_dir:string -> string -> unit
-(** Run one experiment by id ("e1".."e10" or "all") and print its tables.
+(** Run one experiment by id ("e1".."e11" or "all") and print its tables.
     With [trace_dir] (created if missing), every simulated run made
     through the shared program-runner additionally records a structured
     event trace and writes it as Chrome trace-event JSON, numbered per

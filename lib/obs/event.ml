@@ -19,6 +19,10 @@ type kind =
   | Deadlock of { vids : int list }
   | Irrelevant of { purged : int }
   | Cycle_done of { cycle : int; garbage : int }
+  | Drop of { kind : task_kind; pe : int; vid : int }
+  | Dup of { kind : task_kind; pe : int; vid : int }
+  | Retransmit of { kind : task_kind; pe : int; vid : int; attempt : int }
+  | Stall of { pe : int; steps : int }
   | Finished
 
 type t = { step : int; seq : int; kind : kind }
@@ -66,6 +70,14 @@ let pp_kind fmt = function
   | Irrelevant { purged } -> Format.fprintf fmt "irrelevant purged=%d" purged
   | Cycle_done { cycle; garbage } ->
     Format.fprintf fmt "cycle-done cycle=%d garbage=%d" cycle garbage
+  | Drop { kind; pe; vid } ->
+    Format.fprintf fmt "drop %s pe=%d vid=%d" (task_kind_name kind) pe vid
+  | Dup { kind; pe; vid } ->
+    Format.fprintf fmt "dup %s pe=%d vid=%d" (task_kind_name kind) pe vid
+  | Retransmit { kind; pe; vid; attempt } ->
+    Format.fprintf fmt "retransmit %s pe=%d vid=%d attempt=%d" (task_kind_name kind) pe vid
+      attempt
+  | Stall { pe; steps } -> Format.fprintf fmt "stall pe=%d steps=%d" pe steps
   | Finished -> Format.pp_print_string fmt "finished"
 
 let pp fmt t = Format.fprintf fmt "@[[%d.%d] %a@]" t.step t.seq pp_kind t.kind

@@ -45,6 +45,14 @@ type kind =
   | Irrelevant of { purged : int }
       (** irrelevant tasks expunged by restructure *)
   | Cycle_done of { cycle : int; garbage : int }
+  | Drop of { kind : task_kind; pe : int; vid : int }
+      (** the fault plane lost a frame bound for [pe] in transit *)
+  | Dup of { kind : task_kind; pe : int; vid : int }
+      (** the fault plane duplicated a frame bound for [pe] *)
+  | Retransmit of { kind : task_kind; pe : int; vid : int; attempt : int }
+      (** an unacknowledged frame timed out and was sent again *)
+  | Stall of { pe : int; steps : int }
+      (** [pe] stops executing for [steps] steps (pool and heap survive) *)
   | Finished  (** the root's value arrived *)
 
 type t = { step : int; seq : int; kind : kind }

@@ -128,6 +128,23 @@ let chrome_trace r =
       | Event.Cycle_done { cycle; garbage } ->
         instant ctx ~name:"cycle_done" ~tid:mark_tid ~ts
           ~args:(Printf.sprintf "\"cycle\":%d,\"garbage\":%d,%s" cycle garbage seq_arg)
+      | Event.Drop { kind; pe; vid } ->
+        instant ctx
+          ~name:("drop:" ^ Event.task_kind_name kind)
+          ~tid:(pe_tid pe) ~ts
+          ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
+      | Event.Dup { kind; pe; vid } ->
+        instant ctx
+          ~name:("dup:" ^ Event.task_kind_name kind)
+          ~tid:(pe_tid pe) ~ts
+          ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
+      | Event.Retransmit { kind; pe; vid; attempt } ->
+        instant ctx
+          ~name:("retransmit:" ^ Event.task_kind_name kind)
+          ~tid:(pe_tid pe) ~ts
+          ~args:(Printf.sprintf "\"vid\":%d,\"attempt\":%d,%s" vid attempt seq_arg)
+      | Event.Stall { pe; steps } ->
+        span ctx ~name:"stall" ~tid:(pe_tid pe) ~ts ~dur:(Int.max 1 steps) ~args:seq_arg
       | Event.Finished -> instant ctx ~name:"finished" ~tid:ctrl_tid ~ts ~args:seq_arg)
     (Recorder.events r);
   close_phase ctx ~mark_tid ~ts:(Recorder.now r);
@@ -147,21 +164,27 @@ let chrome_trace r =
         (Printf.sprintf "\"live\":%d,\"headroom\":%d" s.Recorder.s_live
            s.Recorder.s_headroom);
       counter "in_flight" s.Recorder.s_step
-        (Printf.sprintf "\"msgs\":%d" s.Recorder.s_in_flight))
+        (Printf.sprintf "\"msgs\":%d" s.Recorder.s_in_flight);
+      counter "faults" s.Recorder.s_step
+        (Printf.sprintf "\"drops\":%d,\"dups\":%d,\"retransmits\":%d,\"stalls\":%d"
+           s.Recorder.s_drops s.Recorder.s_dups s.Recorder.s_retransmits
+           s.Recorder.s_stalls))
     (Recorder.samples r);
   Buffer.add_string ctx.b "\n]}\n";
   Buffer.contents ctx.b
 
 let timeseries_csv r =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "step,pe,pool_depth,marking,reduction,live,in_flight,headroom\n";
+  Buffer.add_string b
+    "step,pe,pool_depth,marking,reduction,live,in_flight,headroom,drops,dups,retransmits,stalls\n";
   List.iter
     (fun (s : Recorder.sample) ->
       Array.iteri
         (fun pe depth ->
-          bpf b "%d,%d,%d,%d,%d,%d,%d,%d\n" s.Recorder.s_step pe depth
+          bpf b "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n" s.Recorder.s_step pe depth
             s.Recorder.s_marking.(pe) s.Recorder.s_reduction.(pe) s.Recorder.s_live
-            s.Recorder.s_in_flight s.Recorder.s_headroom)
+            s.Recorder.s_in_flight s.Recorder.s_headroom s.Recorder.s_drops
+            s.Recorder.s_dups s.Recorder.s_retransmits s.Recorder.s_stalls)
         s.Recorder.s_pool_depth)
     (Recorder.samples r);
   Buffer.contents b
@@ -178,10 +201,11 @@ let timeseries_json r =
     (fun (s : Recorder.sample) ->
       if !first then first := false else Buffer.add_string b ",\n";
       bpf b
-        "  {\"step\":%d,\"live\":%d,\"in_flight\":%d,\"headroom\":%d,\"pool_depth\":[%s],\"marking\":[%s],\"reduction\":[%s]}"
+        "  {\"step\":%d,\"live\":%d,\"in_flight\":%d,\"headroom\":%d,\"pool_depth\":[%s],\"marking\":[%s],\"reduction\":[%s],\"drops\":%d,\"dups\":%d,\"retransmits\":%d,\"stalls\":%d}"
         s.Recorder.s_step s.Recorder.s_live s.Recorder.s_in_flight s.Recorder.s_headroom
         (ints s.Recorder.s_pool_depth) (ints s.Recorder.s_marking)
-        (ints s.Recorder.s_reduction))
+        (ints s.Recorder.s_reduction) s.Recorder.s_drops s.Recorder.s_dups
+        s.Recorder.s_retransmits s.Recorder.s_stalls)
     (Recorder.samples r);
   Buffer.add_string b "\n]}\n";
   Buffer.contents b

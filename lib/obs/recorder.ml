@@ -6,6 +6,10 @@ type sample = {
   s_pool_depth : int array;
   s_marking : int array;
   s_reduction : int array;
+  s_drops : int;
+  s_dups : int;
+  s_retransmits : int;
+  s_stalls : int;
 }
 
 type t = {
@@ -20,6 +24,10 @@ type t = {
   mutable samples_rev : sample list;
   mark_delta : int array;
   red_delta : int array;
+  mutable drop_delta : int;
+  mutable dup_delta : int;
+  mutable retransmit_delta : int;
+  mutable stall_delta : int;
 }
 
 let dummy = { Event.step = 0; seq = -1; kind = Event.Finished }
@@ -38,6 +46,10 @@ let create ?(capacity = 65536) ?(sample_every = 0) ~num_pes () =
     samples_rev = [];
     mark_delta = Array.make (Int.max 1 num_pes) 0;
     red_delta = Array.make (Int.max 1 num_pes) 0;
+    drop_delta = 0;
+    dup_delta = 0;
+    retransmit_delta = 0;
+    stall_delta = 0;
   }
 
 let set_now t now = t.clock <- now
@@ -55,6 +67,10 @@ let emit t kind =
     | Event.Mark | Event.Return_mark -> t.mark_delta.(pe) <- t.mark_delta.(pe) + 1
     | Event.Request | Event.Respond | Event.Cancel ->
       t.red_delta.(pe) <- t.red_delta.(pe) + 1)
+  | Event.Drop _ -> t.drop_delta <- t.drop_delta + 1
+  | Event.Dup _ -> t.dup_delta <- t.dup_delta + 1
+  | Event.Retransmit _ -> t.retransmit_delta <- t.retransmit_delta + 1
+  | Event.Stall _ -> t.stall_delta <- t.stall_delta + 1
   | _ -> ());
   let e = { Event.step = t.clock; seq = t.seq; kind } in
   t.seq <- t.seq + 1;
@@ -89,11 +105,19 @@ let tick t ~live ~in_flight ~headroom ~pool_depth =
         s_pool_depth = Array.init t.pes (fun i -> if i < Array.length pool_depth then pool_depth.(i) else 0);
         s_marking = Array.copy t.mark_delta;
         s_reduction = Array.copy t.red_delta;
+        s_drops = t.drop_delta;
+        s_dups = t.dup_delta;
+        s_retransmits = t.retransmit_delta;
+        s_stalls = t.stall_delta;
       }
     in
     t.samples_rev <- s :: t.samples_rev;
     Array.fill t.mark_delta 0 t.pes 0;
-    Array.fill t.red_delta 0 t.pes 0
+    Array.fill t.red_delta 0 t.pes 0;
+    t.drop_delta <- 0;
+    t.dup_delta <- 0;
+    t.retransmit_delta <- 0;
+    t.stall_delta <- 0
   end
 
 let samples t = List.rev t.samples_rev

@@ -23,6 +23,10 @@ type sample = {
   s_pool_depth : int array;  (** per PE *)
   s_marking : int array;  (** marking tasks executed per PE since last sample *)
   s_reduction : int array;  (** reduction tasks executed per PE since last sample *)
+  s_drops : int;  (** frames lost by the fault plane since last sample *)
+  s_dups : int;  (** frames duplicated since last sample *)
+  s_retransmits : int;  (** retransmissions fired since last sample *)
+  s_stalls : int;  (** PE stalls begun since last sample *)
 }
 
 type t

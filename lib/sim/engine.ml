@@ -30,6 +30,7 @@ type config = {
   recover_deadlock : bool;
   jitter : float;
   seed : int;
+  faults : Faults.spec;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     recover_deadlock = false;
     jitter = 0.0;
     seed = 0;
+    faults = Faults.none;
   }
 
 type t = {
@@ -66,6 +68,8 @@ type t = {
   mutable next_cycle_at : int;
   mutable next_stw_at : int;
   rng : Rng.t;
+  flt : Faults.t option;
+  stall_until : int array;  (** per PE: first step it executes again *)
   mutable rc_freed_batch : Vid.Set.t;
       (** vertices RC reclaimed since the last batch purge *)
 }
@@ -133,7 +137,7 @@ and send t task =
            arrival = t.now + delay;
            remote = pe <> t.current_pe;
          });
-    Network.send t.net ~arrival:(t.now + delay) ~pe task
+    Network.send ~src:t.current_pe t.net ~arrival:(t.now + delay) ~pe task
 
 let purge_everywhere t pred =
   Array.fold_left (fun acc pool -> acc + Pool.purge pool pred) 0 t.pools
@@ -160,12 +164,15 @@ let create ?recorder ?(config = default_config) g templates =
     | Refcount -> Some (Refcount.create g)
     | No_gc | Concurrent _ | Stop_the_world _ -> None
   in
+  let flt =
+    if Faults.active config.faults then Some (Faults.create config.faults) else None
+  in
   let t =
     {
       cfg = config;
       g;
       pools = Array.init config.num_pes (fun pe -> Pool.create ?recorder ~pe config.pool_policy g);
-      net = Network.create ?recorder ();
+      net = Network.create ?recorder ?faults:flt ();
       mut;
       red;
       cyc = None;
@@ -178,6 +185,8 @@ let create ?recorder ?(config = default_config) g templates =
       next_cycle_at = 0;
       next_stw_at = (match config.gc with Stop_the_world { every } -> every | _ -> 0);
       rng = Rng.create config.seed;
+      flt;
+      stall_until = Array.make (Int.max 1 config.num_pes) 0;
       rc_freed_batch = Vid.Set.empty;
     }
   in
@@ -250,6 +259,8 @@ let cycle t = t.cyc
 let refcount t = t.rc
 
 let metrics t = t.m
+
+let faults t = t.flt
 
 let now t = t.now
 
@@ -385,7 +396,7 @@ let unpark t =
     List.iter
       (fun r ->
         match pe_of t (Reduction r) with
-        | Some pe -> Network.send t.net ~arrival:(t.now + 1) ~pe (Reduction r)
+        | Some pe -> Network.send ~src:(-1) t.net ~arrival:(t.now + 1) ~pe (Reduction r)
         | None -> ())
       tasks
 
@@ -445,6 +456,30 @@ let step t =
   if t.now >= t.paused_until then
     Array.iteri
       (fun pe pool ->
+        (* Transient PE stall (crash-restart with memory preserved): the
+           PE skips its execution budget; its pool, heap and in-flight
+           messages survive. The marking plane must tolerate this — a
+           stalled PE delays but never loses its share of the cycle. *)
+        let stalled =
+          match t.flt with
+          | None -> false
+          | Some f ->
+            if t.now < t.stall_until.(pe) then begin
+              f.Faults.stall_steps <- f.Faults.stall_steps + 1;
+              true
+            end
+            else if Faults.stall_begins f ~pe then begin
+              let steps = Faults.stall_length f in
+              f.Faults.stalls <- f.Faults.stalls + 1;
+              f.Faults.stall_steps <- f.Faults.stall_steps + 1;
+              t.stall_until.(pe) <- t.now + steps;
+              obs t (Dgr_obs.Event.Stall { pe; steps });
+              true
+            end
+            else false
+        in
+        if stalled then ()
+        else
         let rec go_marking k =
           if k > 0 then
             match Pool.pop_marking pool with
@@ -476,6 +511,16 @@ let step t =
   let depth = Array.fold_left (fun acc pool -> acc + Pool.length pool) 0 t.pools in
   Dgr_util.Stats.add t.m.Metrics.pool_depth (float_of_int depth);
   t.m.Metrics.peak_live <- Int.max t.m.Metrics.peak_live (Graph.live_count t.g);
+  (match t.flt with
+  | None -> ()
+  | Some f ->
+    t.m.Metrics.msgs_dropped <- f.Faults.drops;
+    t.m.Metrics.msgs_duplicated <- f.Faults.dups;
+    t.m.Metrics.msgs_delayed <- f.Faults.delays;
+    t.m.Metrics.retransmits <- f.Faults.retransmits;
+    t.m.Metrics.dup_suppressed <- f.Faults.dup_suppressed;
+    t.m.Metrics.stalls <- f.Faults.stalls;
+    t.m.Metrics.stall_steps <- f.Faults.stall_steps);
   (match t.recorder with
   | None -> ()
   | Some r ->

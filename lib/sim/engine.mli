@@ -60,6 +60,13 @@ type config = {
       (** probability that a remote message takes extra (seeded-random)
           delay, reordering deliveries; 0.0 = fixed latency *)
   seed : int;  (** seed for all of the machine's randomness *)
+  faults : Faults.spec;
+      (** the fault plane: seeded message drop/duplication/delay and
+          transient PE stalls, with reliable delivery layered on the
+          network (see {!Faults} and {!Network}). [Faults.none] (the
+          default) leaves every fault path byte-identical to a machine
+          without the plane. Fault randomness rides [fault_seed]'s own
+          streams, never [seed]'s. *)
 }
 
 val default_config : config
@@ -98,6 +105,11 @@ val cycle : t -> Dgr_core.Cycle.t option
 val refcount : t -> Dgr_baseline.Refcount.t option
 
 val metrics : t -> Metrics.t
+
+val faults : t -> Faults.t option
+(** The live fault plane, when [config.faults] is active: its counters
+    (drops, dups, retransmits, suppressed redeliveries, stalls) are the
+    ground truth the per-step metrics sync from. *)
 
 val now : t -> int
 

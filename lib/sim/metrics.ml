@@ -15,6 +15,13 @@ type t = {
   pool_depth : Stats.t;
   mutable peak_live : int;
   mutable deadlocks_recovered : int;
+  mutable msgs_dropped : int;
+  mutable msgs_duplicated : int;
+  mutable msgs_delayed : int;
+  mutable retransmits : int;
+  mutable dup_suppressed : int;
+  mutable stalls : int;
+  mutable stall_steps : int;
 }
 
 let create () =
@@ -33,6 +40,13 @@ let create () =
     pool_depth = Stats.create ();
     peak_live = 0;
     deadlocks_recovered = 0;
+    msgs_dropped = 0;
+    msgs_duplicated = 0;
+    msgs_delayed = 0;
+    retransmits = 0;
+    dup_suppressed = 0;
+    stalls = 0;
+    stall_steps = 0;
   }
 
 let record_pause t steps =
@@ -53,13 +67,14 @@ let to_json t =
         (Stats.count s) (Stats.total s) (Stats.mean s) (Stats.max_value s)
   in
   Printf.bprintf b
-    "{\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d}"
+    "{\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d}"
     t.steps t.reduction_executed t.marking_executed t.remote_messages t.local_messages
     t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
     (stats "pauses" t.pauses)
     (match t.completion_step with Some s -> string_of_int s | None -> "null")
     (stats "pool_depth" t.pool_depth)
-    t.peak_live t.deadlocks_recovered;
+    t.peak_live t.deadlocks_recovered t.msgs_dropped t.msgs_duplicated t.msgs_delayed
+    t.retransmits t.dup_suppressed t.stalls t.stall_steps;
   Buffer.contents b
 
 let pp_summary fmt t =
@@ -70,4 +85,13 @@ let pp_summary fmt t =
     t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
     (if Stats.count t.pauses = 0 then 0.0 else Stats.max_value t.pauses)
     (match t.completion_step with Some s -> string_of_int s | None -> "-")
-    t.peak_live
+    t.peak_live;
+  if
+    t.msgs_dropped > 0 || t.msgs_duplicated > 0 || t.msgs_delayed > 0 || t.retransmits > 0
+    || t.stalls > 0
+  then
+    Format.fprintf fmt
+      "@ @[faults: dropped=%d duplicated=%d delayed=%d retransmits=%d dup_suppressed=%d \
+       stalls=%d stall_steps=%d@]"
+      t.msgs_dropped t.msgs_duplicated t.msgs_delayed t.retransmits t.dup_suppressed
+      t.stalls t.stall_steps

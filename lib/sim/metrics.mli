@@ -18,6 +18,13 @@ type t = {
   mutable peak_live : int;  (** max live vertices observed *)
   mutable deadlocks_recovered : int;
       (** vertices rewritten to an error value by ⊥-recovery *)
+  mutable msgs_dropped : int;  (** frames (data and ack) lost by the fault plane *)
+  mutable msgs_duplicated : int;  (** data frames duplicated in transit *)
+  mutable msgs_delayed : int;  (** frames given extra, reordering delay *)
+  mutable retransmits : int;  (** timeouts that resent an unacked frame *)
+  mutable dup_suppressed : int;  (** redeliveries swallowed by dedup *)
+  mutable stalls : int;  (** transient PE stalls begun *)
+  mutable stall_steps : int;  (** execution steps lost to stalls *)
 }
 
 val create : unit -> t

@@ -1,48 +1,295 @@
 open Dgr_util
 open Dgr_task
 
-type t = { q : (int * Task.t) Pqueue.t; recorder : Dgr_obs.Recorder.t option }
+(* Two regimes share this module.
 
-let create ?recorder () = { q = Pqueue.create (); recorder }
+   Without a fault plane the network is the idealized channel of the
+   paper: an arrival-keyed queue of (pe, task), delivered exactly once in
+   send order among equals. This path is byte-identical to the original
+   implementation so fault-free traces never change.
 
-let send t ~arrival ~pe task = Pqueue.add t.q arrival (pe, task)
+   With a fault plane, tasks ride in [Data] frames over an at-most-once
+   channel (Faults may drop, duplicate or delay any physical
+   transmission). Reliability is re-earned end to end: per-(src, dst)
+   sequence numbers, an individual [Ack] per data frame, retransmission
+   on timeout with exponential backoff, and receiver-side dedup keyed on
+   (src, dst, fseq) — so the layer above still sees every task exactly
+   once, in a deterministic order for a fixed fault seed. *)
+
+type frame =
+  | Data of { src : int; dst : int; fseq : int; delay : int; task : Task.t }
+  | Ack of { src : int; dst : int; fseq : int }
+      (** identifies the data frame being acknowledged; travels dst→src *)
+
+type pending = {
+  p_src : int;
+  p_dst : int;
+  p_fseq : int;
+  p_task : Task.t;
+  p_delay : int;  (* base link delay of the original send (incl. jitter) *)
+  p_uid : int;  (* global send order; ties in in_flight/entries *)
+  p_arrival : int;  (* fault-free arrival step, the stable sort key *)
+  mutable p_attempts : int;
+  mutable p_rto : int;
+  mutable p_delivered : bool;  (* receiver got a copy; awaiting ack *)
+}
+
+type t = {
+  q : (int * Task.t) Pqueue.t;  (* ideal channel (faults = None) *)
+  fq : frame Pqueue.t;  (* lossy channel, arrival-keyed *)
+  recorder : Dgr_obs.Recorder.t option;
+  faults : Faults.t option;
+  link_seq : (int * int, int) Hashtbl.t;  (* (src, dst) -> next fseq *)
+  pending : (int * int * int, pending) Hashtbl.t;  (* unacked sends *)
+  timers : (int * int * int) Pqueue.t;  (* fire step -> frame key *)
+  mutable next_uid : int;
+  mutable undelivered : int;  (* data frames the receiver hasn't seen *)
+  mutable clock : int;  (* last [deliver ~now]; send-time reference *)
+}
+
+let create ?recorder ?faults () =
+  {
+    q = Pqueue.create ();
+    fq = Pqueue.create ();
+    recorder;
+    faults;
+    link_seq = Hashtbl.create 16;
+    pending = Hashtbl.create 64;
+    timers = Pqueue.create ();
+    next_uid = 0;
+    undelivered = 0;
+    clock = 0;
+  }
+
+let emit t kind =
+  match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
+
+let obs_of task =
+  (Task.obs_kind task, match Task.exec_vertex task with Some v -> v | None -> -1)
+
+let rto_cap = 1024
+
+(* One logical transmission through the fault plane: data frames roll
+   duplicate (two independent copies on a hit), then every copy rolls
+   drop and extra delay. Acks roll drop and delay only — duplicating an
+   ack is a no-op, and keeping it out of the stream keeps the dup
+   counter equal to the number of Dup events. *)
+let transmit t f ~now ~base frame =
+  let data =
+    match frame with Data { dst; task; _ } -> Some (dst, task) | Ack _ -> None
+  in
+  let copies =
+    match data with
+    | Some (dst, task) when Faults.duplicates_frame f ->
+      let kind, vid = obs_of task in
+      emit t (Dgr_obs.Event.Dup { kind; pe = dst; vid });
+      2
+    | Some _ | None -> 1
+  in
+  for _ = 1 to copies do
+    if Faults.drops_frame f then (
+      match data with
+      | Some (dst, task) ->
+        let kind, vid = obs_of task in
+        emit t (Dgr_obs.Event.Drop { kind; pe = dst; vid })
+      | None -> ())
+    else begin
+      let arrival = now + base + Faults.extra_delay f ~latency:base in
+      Pqueue.add t.fq arrival frame
+    end
+  done
+
+let send ?(src = -1) t ~arrival ~pe task =
+  match t.faults with
+  | None -> Pqueue.add t.q arrival (pe, task)
+  | Some f ->
+    let base = Int.max 1 (arrival - t.clock) in
+    let fseq =
+      match Hashtbl.find_opt t.link_seq (src, pe) with Some n -> n | None -> 0
+    in
+    Hashtbl.replace t.link_seq (src, pe) (fseq + 1);
+    let p =
+      {
+        p_src = src;
+        p_dst = pe;
+        p_fseq = fseq;
+        p_task = task;
+        p_delay = base;
+        p_uid = t.next_uid;
+        p_arrival = arrival;
+        p_attempts = 1;
+        p_rto = (2 * base) + 2;
+        p_delivered = false;
+      }
+    in
+    t.next_uid <- t.next_uid + 1;
+    Hashtbl.replace t.pending (src, pe, fseq) p;
+    t.undelivered <- t.undelivered + 1;
+    Pqueue.add t.timers (t.clock + p.p_rto) (src, pe, fseq);
+    transmit t f ~now:t.clock ~base (Data { src; dst = pe; fseq; delay = base; task })
 
 let deliver t ~now =
-  let rec loop acc =
-    match Pqueue.peek t.q with
-    | Some (arrival, _) when arrival <= now -> (
-      match Pqueue.pop t.q with
-      | Some (_, entry) -> loop (entry :: acc)
-      | None -> acc)
-    | Some _ | None -> acc
-  in
-  let delivered = List.rev (loop []) in
-  (match t.recorder with
-  | None -> ()
-  | Some r ->
-    List.iter
-      (fun (pe, task) ->
-        Dgr_obs.Recorder.emit r
-          (Dgr_obs.Event.Deliver
-             {
-               kind = Task.obs_kind task;
-               pe;
-               vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
-             }))
-      delivered);
-  delivered
+  t.clock <- now;
+  match t.faults with
+  | None ->
+    let rec loop acc =
+      match Pqueue.peek t.q with
+      | Some (arrival, _) when arrival <= now -> (
+        match Pqueue.pop t.q with
+        | Some (_, entry) -> loop (entry :: acc)
+        | None -> acc)
+      | Some _ | None -> acc
+    in
+    let delivered = List.rev (loop []) in
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      List.iter
+        (fun (pe, task) ->
+          Dgr_obs.Recorder.emit r
+            (Dgr_obs.Event.Deliver
+               {
+                 kind = Task.obs_kind task;
+                 pe;
+                 vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+               }))
+        delivered);
+    delivered
+  | Some f ->
+    let delivered = ref [] in
+    let rec drain () =
+      match Pqueue.peek t.fq with
+      | Some (arrival, _) when arrival <= now ->
+        (match Pqueue.pop t.fq with
+        | Some (_, Data { src; dst; fseq; delay; task }) ->
+          let key = (src, dst, fseq) in
+          (match Hashtbl.find_opt t.pending key with
+          | Some p when not p.p_delivered ->
+            p.p_delivered <- true;
+            t.undelivered <- t.undelivered - 1;
+            delivered := (dst, task) :: !delivered;
+            let kind, vid = obs_of task in
+            emit t (Dgr_obs.Event.Deliver { kind; pe = dst; vid })
+          | Some _ | None ->
+            (* redelivery of a frame already seen (or since acked and
+               forgotten): suppress — this is the exactly-once edge *)
+            f.Faults.dup_suppressed <- f.Faults.dup_suppressed + 1);
+          (* always ack, even duplicates: the previous ack may be lost *)
+          transmit t f ~now ~base:delay (Ack { src; dst; fseq })
+        | Some (_, Ack { src; dst; fseq }) -> Hashtbl.remove t.pending (src, dst, fseq)
+        | None -> ());
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ();
+    let rec service_timers () =
+      match Pqueue.peek t.timers with
+      | Some (at, _) when at <= now ->
+        (match Pqueue.pop t.timers with
+        | Some (_, key) -> (
+          match Hashtbl.find_opt t.pending key with
+          | None -> () (* acked or purged; timer lazily deleted *)
+          | Some p ->
+            p.p_attempts <- p.p_attempts + 1;
+            f.Faults.retransmits <- f.Faults.retransmits + 1;
+            let kind, vid = obs_of p.p_task in
+            emit t
+              (Dgr_obs.Event.Retransmit { kind; pe = p.p_dst; vid; attempt = p.p_attempts });
+            transmit t f ~now ~base:p.p_delay
+              (Data
+                 {
+                   src = p.p_src;
+                   dst = p.p_dst;
+                   fseq = p.p_fseq;
+                   delay = p.p_delay;
+                   task = p.p_task;
+                 });
+            p.p_rto <- Int.min (p.p_rto * 2) rto_cap;
+            Pqueue.add t.timers (now + p.p_rto) key)
+        | None -> ());
+        service_timers ()
+      | Some _ | None -> ()
+    in
+    service_timers ();
+    List.rev !delivered
 
-let in_flight t = List.map (fun (_, (_, task)) -> task) (Pqueue.to_sorted_list t.q)
+(* Undelivered sends in fault-free arrival order, send order among
+   equals — deterministic regardless of hash-table layout. *)
+let pending_sorted t =
+  let undelivered =
+    Hashtbl.fold (fun _ p acc -> if p.p_delivered then acc else p :: acc) t.pending []
+  in
+  List.sort
+    (fun a b ->
+      match compare a.p_arrival b.p_arrival with 0 -> compare a.p_uid b.p_uid | c -> c)
+    undelivered
+
+let in_flight t =
+  match t.faults with
+  | None -> List.map (fun (_, (_, task)) -> task) (Pqueue.to_sorted_list t.q)
+  | Some _ -> List.map (fun p -> p.p_task) (pending_sorted t)
+
+let emit_purges t counts =
+  List.iter
+    (fun (pe, n) -> emit t (Dgr_obs.Event.Purge { pe; count = n }))
+    (List.sort compare counts)
+
+let counts_of_tbl tbl = Hashtbl.fold (fun pe n acc -> (pe, !n) :: acc) tbl []
+
+let bump tbl pe =
+  match Hashtbl.find_opt tbl pe with
+  | Some n -> incr n
+  | None -> Hashtbl.add tbl pe (ref 1)
 
 let purge t pred =
-  let before = Pqueue.length t.q in
-  Pqueue.filter_in_place (fun _ (_, task) -> not (pred task)) t.q;
-  let n = before - Pqueue.length t.q in
-  (match t.recorder with
-  | Some r when n > 0 -> Dgr_obs.Recorder.emit r (Dgr_obs.Event.Purge { pe = -1; count = n })
-  | Some _ | None -> ());
-  n
+  match t.faults with
+  | None ->
+    let per_pe = Hashtbl.create 8 in
+    let before = Pqueue.length t.q in
+    Pqueue.filter_in_place
+      (fun _ (pe, task) ->
+        if pred task then begin
+          bump per_pe pe;
+          false
+        end
+        else true)
+      t.q;
+    let n = before - Pqueue.length t.q in
+    if n > 0 then emit_purges t (counts_of_tbl per_pe);
+    n
+  | Some _ ->
+    let victims =
+      Hashtbl.fold
+        (fun key p acc ->
+          if (not p.p_delivered) && pred p.p_task then (key, p) :: acc else acc)
+        t.pending []
+    in
+    let keys = Hashtbl.create 8 in
+    let per_pe = Hashtbl.create 8 in
+    List.iter
+      (fun (key, p) ->
+        Hashtbl.remove t.pending key;
+        Hashtbl.replace keys key ();
+        bump per_pe p.p_dst;
+        t.undelivered <- t.undelivered - 1)
+      victims;
+    (* discard queued copies too, so they are neither re-acked nor
+       miscounted as duplicates when they arrive *)
+    if victims <> [] then
+      Pqueue.filter_in_place
+        (fun _ frame ->
+          match frame with
+          | Data { src; dst; fseq; _ } -> not (Hashtbl.mem keys (src, dst, fseq))
+          | Ack _ -> true)
+        t.fq;
+    let n = List.length victims in
+    if n > 0 then emit_purges t (counts_of_tbl per_pe);
+    n
 
-let size t = Pqueue.length t.q
+let size t =
+  match t.faults with None -> Pqueue.length t.q | Some _ -> t.undelivered
 
-let entries t = List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_sorted_list t.q)
+let entries t =
+  match t.faults with
+  | None -> List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_sorted_list t.q)
+  | Some _ -> List.map (fun p -> (p.p_arrival, p.p_task)) (pending_sorted t)

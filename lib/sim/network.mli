@@ -2,30 +2,66 @@ open Dgr_task
 
 (** The message network: tasks in transit between PEs.
 
-    Delivery is deterministic: messages become available at their arrival
-    step and drain in send order among equals. The cycle controller reads
-    {!in_flight} when seeding M_T — the visibility of in-transit tasks the
-    paper defers to [5]. *)
+    Without a fault plane, delivery is the paper's idealized channel:
+    messages become available at their arrival step and drain in send
+    order among equals, exactly once. This path is byte-identical to the
+    pre-fault implementation, so fault-free traces are unchanged.
+
+    With a fault plane ({!Faults.t}), each task rides in a data frame
+    over an at-most-once channel — any physical transmission may be
+    dropped, duplicated or delayed. A reliable-delivery layer re-earns
+    the exactly-once effect the marking and reduction planes assume:
+    per-(sender, destination) sequence numbers, an individual ack per
+    data frame, retransmission on timeout with exponential backoff
+    (initial RTO [2·delay + 2], doubling per attempt, capped), and
+    receiver-side dedup on (src, dst, seq). Everything is driven by the
+    fault plane's own seeded streams, so a (config, seed, fault-spec)
+    triple replays byte-identically.
+
+    The cycle controller reads {!in_flight} when seeding M_T — the
+    visibility of in-transit tasks the paper defers to [5]. Under
+    faults, that means undelivered sends (frames the receiver has not
+    yet seen), whether or not copies currently sit in the lossy queue:
+    a dropped frame is still in flight in the sense that matters, since
+    its retransmission will eventually deliver it. *)
 
 type t
 
-val create : ?recorder:Dgr_obs.Recorder.t -> unit -> t
-(** With a recorder, {!deliver} emits a [Deliver] event per message and
-    {!purge} a [Purge] event (pe [-1]) per non-empty sweep. *)
+val create : ?recorder:Dgr_obs.Recorder.t -> ?faults:Faults.t -> unit -> t
+(** With a recorder, {!deliver} emits a [Deliver] event per message
+    handed up and {!purge} a [Purge] event per destination PE swept.
+    Under faults, [Drop]/[Dup]/[Retransmit] events trace the channel. *)
 
-val send : t -> arrival:int -> pe:int -> Task.t -> unit
+val send : ?src:int -> t -> arrival:int -> pe:int -> Task.t -> unit
+(** [src] (default [-1], the controller) names the sending PE; it keys
+    the per-link sequence-number space under faults and is otherwise
+    ignored. [arrival] is the fault-free arrival step; under faults the
+    link's base delay is recovered as [arrival - now of last deliver]. *)
 
 val deliver : t -> now:int -> (int * Task.t) list
-(** Pop every message with [arrival <= now] as [(pe, task)], in order. *)
+(** Pop every message due by [now] as [(pe, task)], in order. Under
+    faults this is also the network's clock tick: acks go out for every
+    data frame received (duplicates included — the previous ack may have
+    been lost), duplicate deliveries are suppressed, and expired
+    retransmission timers fire. Call once per step. *)
 
 val in_flight : t -> Task.t list
-(** In-transit tasks, ordered by arrival step then send order. *)
+(** Tasks sent but not yet delivered, ordered by fault-free arrival step
+    then send order. Delivered-but-unacked frames are excluded: their
+    effect already happened. *)
 
 val purge : t -> (Task.t -> bool) -> int
+(** Remove matching undelivered tasks; returns the count. Retransmission
+    of purged frames stops and late copies are not delivered. Emits one
+    [Purge] event per affected destination PE, ascending. *)
 
 val size : t -> int
+(** Undelivered task count. [0] means no task will ever be handed up
+    again (outstanding acks and timers for already-delivered frames do
+    not count), so quiescence detection is unaffected by ack traffic. *)
 
 val entries : t -> (int * Task.t) list
-(** [(arrival, task)] pairs, sorted by arrival step then send order —
-    deterministic under [jitter > 0], so trace output and M_T seeding
-    never depend on heap layout. *)
+(** [(arrival, task)] pairs for undelivered sends, sorted by fault-free
+    arrival step then send order — deterministic under [jitter > 0] and
+    under faults, so trace output and M_T seeding never depend on heap
+    or hash layout. *)

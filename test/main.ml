@@ -15,6 +15,7 @@ let () =
       ("sim", T_sim.suite);
       ("obs", T_obs.suite);
       ("jitter", T_sim.jitter_suite);
+      ("faults", T_faults.suite);
       ("reduction", T_reduction.suite);
       ("recovery", T_reduction.recovery_suite);
       ("properties", T_properties.suite);

@@ -1,0 +1,361 @@
+(* The fault plane (drop / duplicate / delay / stall) and the reliable-
+   delivery layer that re-earns exactly-once effect over it.
+
+   Three layers of evidence:
+   - unit tests of the network's ack/retransmit/dedup machinery;
+   - differential fuzzing: a machine collecting concurrently under heavy
+     faults must end with exactly the live set (and deadlock verdict) a
+     fault-free stop-the-world oracle computes on an identical replica;
+   - invariant-at-every-step: the marking-tree invariants hold after
+     every single engine step while the channel misbehaves.
+
+   The differential seed block is offset by [DGR_FAULT_SEED_BASE] so CI
+   can matrix disjoint blocks without touching the code. *)
+open Dgr_graph
+open Dgr_util
+open Dgr_sim
+open Dgr_task
+
+let registry () = Dgr_reduction.Template.create_registry ()
+
+let seed_base () =
+  match Sys.getenv_opt "DGR_FAULT_SEED_BASE" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+  | None -> 0
+
+(* --- the reliable layer, in isolation -------------------------------- *)
+
+(* Drive [deliver] step by step until nothing is undelivered; returns all
+   (pe, task) handed up. The bound is generous: retransmission backoff
+   caps, so every frame is eventually delivered with probability 1. *)
+let drain net =
+  let out = ref [] in
+  let now = ref 0 in
+  while Network.size net > 0 && !now < 100_000 do
+    incr now;
+    out := !out @ Network.deliver net ~now:!now
+  done;
+  Alcotest.(check int) "network drained" 0 (Network.size net);
+  !out
+
+let test_everything_duplicated () =
+  let f =
+    Faults.create { Faults.none with Faults.duplicate = 1.0; fault_seed = 3 }
+  in
+  let net = Network.create ~faults:f () in
+  for i = 1 to 5 do
+    Network.send ~src:0 net ~arrival:(i + 1) ~pe:(i mod 2) (Task.request i Demand.Vital)
+  done;
+  let delivered = drain net in
+  Alcotest.(check int) "each task handed up exactly once" 5 (List.length delivered);
+  Alcotest.(check bool) "channel duplicated frames" true (f.Faults.dups >= 5);
+  Alcotest.(check bool) "dedup swallowed the copies" true (f.Faults.dup_suppressed >= 5)
+
+let test_heavy_drop_still_delivers () =
+  let f = Faults.create { Faults.none with Faults.drop = 0.5; fault_seed = 11 } in
+  let net = Network.create ~faults:f () in
+  let n = 30 in
+  for i = 1 to n do
+    Network.send ~src:(i mod 3) net ~arrival:(2 + (i mod 5)) ~pe:(i mod 4)
+      (Task.request i Demand.Vital)
+  done;
+  let delivered = drain net in
+  Alcotest.(check int) "every send delivered despite 50% loss" n (List.length delivered);
+  let vids =
+    List.filter_map
+      (function
+        | _, Task.Reduction (Task.Request { dst; _ }) -> Some dst
+        | _ -> None)
+      delivered
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "exactly once each" n (List.length vids);
+  Alcotest.(check bool) "frames were lost" true (f.Faults.drops > 0);
+  Alcotest.(check bool) "losses forced retransmits" true (f.Faults.retransmits > 0)
+
+let test_faulted_purge_stops_retransmission () =
+  let f = Faults.create { Faults.none with Faults.drop = 0.3; fault_seed = 5 } in
+  let r = Dgr_obs.Recorder.create ~num_pes:4 () in
+  let net = Network.create ~recorder:r ~faults:f () in
+  Network.send ~src:0 net ~arrival:3 ~pe:2 (Task.request 7 Demand.Vital);
+  Network.send ~src:0 net ~arrival:3 ~pe:3 (Task.request 8 Demand.Vital);
+  Network.send ~src:1 net ~arrival:3 ~pe:3 (Task.request 9 Demand.Vital);
+  let purged =
+    Network.purge net (function
+      | Task.Reduction (Task.Request { dst; _ }) -> dst <> 8
+      | _ -> false)
+  in
+  Alcotest.(check int) "two purged" 2 purged;
+  Alcotest.(check int) "one undelivered left" 1 (Network.size net);
+  let purge_events =
+    List.filter_map
+      (function
+        | { Dgr_obs.Event.kind = Dgr_obs.Event.Purge { pe; count }; _ } -> Some (pe, count)
+        | _ -> None)
+      (Dgr_obs.Recorder.events r)
+  in
+  Alcotest.(check (list (pair int int))) "purge events name the real PEs, ascending"
+    [ (2, 1); (3, 1) ] purge_events;
+  (* The survivor still arrives — purged frames never do, even via
+     late retransmission. *)
+  let delivered = drain net in
+  Alcotest.(check bool) "only vid 8 delivered" true
+    (List.for_all
+       (function
+         | _, Task.Reduction (Task.Request { dst; _ }) -> dst = 8
+         | _ -> false)
+       delivered
+    && delivered <> [])
+
+(* --- differential fuzz: faulted concurrent GC vs fault-free STW ------- *)
+
+(* Build the machine's graph and an identical fault-free replica (same
+   seed, same spec → same vids), generate an alloc-free mutation schedule
+   against the replica, replay it on the machine while the fault plane
+   mauls the channel, settle a few clean cycles, then demand the two
+   worlds agree exactly. *)
+let run_differential seed =
+  let ctx = Printf.sprintf "seed %d" seed in
+  let num_pes = 1 + (seed mod 4) in
+  let spec = Helpers.fuzz_spec seed in
+  let ga = Builder.random ~num_pes (Rng.create seed) spec in
+  let gb = Builder.random ~num_pes (Rng.create seed) spec in
+  let marking =
+    if seed land 1 = 0 then Dgr_core.Cycle.Tree else Dgr_core.Cycle.Flood_counters
+  in
+  let config =
+    {
+      Engine.default_config with
+      num_pes;
+      seed;
+      marking;
+      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 8 };
+      faults = Helpers.heavy_faults ~seed ();
+    }
+  in
+  let e = Engine.create ~config ga (registry ()) in
+  let rng = Rng.create ((seed * 7) + 1) in
+  let schedule = Helpers.gen_schedule rng gb ~ops:(10 + (seed mod 20)) in
+  let mut = Engine.mutator e in
+  List.iter
+    (fun op ->
+      Helpers.apply_mutation mut op;
+      for _ = 1 to Rng.int rng 6 do
+        Engine.step e
+      done)
+    schedule;
+  (* Settle: enough post-mutation cycles for verdicts to stabilize. *)
+  let c = Option.get (Engine.cycle e) in
+  let target = Dgr_core.Cycle.cycles_completed c + 6 in
+  let guard = ref 0 in
+  while Dgr_core.Cycle.cycles_completed c < target && !guard < 400_000 do
+    incr guard;
+    Engine.step e
+  done;
+  Alcotest.(check bool) (ctx ^ ": cycles keep completing under faults") true
+    (Dgr_core.Cycle.cycles_completed c >= target);
+  (* Oracle: halt the fault-free replica and trace it. *)
+  let (_ : Dgr_baseline.Stw.report) =
+    Dgr_baseline.Stw.collect gb ~purge_tasks:(fun _ -> 0)
+  in
+  Helpers.check_vid_set (ctx ^ ": live set = fault-free STW live set")
+    (Vid.Set.of_list (Graph.live_vids gb))
+    (Vid.Set.of_list (Graph.live_vids ga));
+  Alcotest.(check (list string)) (ctx ^ ": machine graph validates") []
+    (Validate.check ga);
+  (* Deadlock verdict: no reduction tasks exist, so DL' = R_v − T = R_v;
+     the last settled cycle must flag exactly what the oracle computes on
+     the replica. *)
+  let oracle = Dgr_analysis.Classify.compute (Snapshot.take gb) ~tasks:[] in
+  let report = Option.get (Dgr_core.Cycle.last_report c) in
+  Alcotest.(check bool) (ctx ^ ": last cycle ran M_T") true
+    report.Dgr_core.Restructure.deadlock_checked;
+  Helpers.check_vid_set (ctx ^ ": deadlock verdict = oracle DL'")
+    oracle.Dgr_analysis.Classify.deadlocked
+    (Vid.Set.of_list report.Dgr_core.Restructure.deadlocked);
+  (* The adversary actually showed up, and the reliable layer actually
+     recovered: a duplicate's surviving twin can mask a dropped copy (and
+     its ack), so runs whose graph mutated down to a sliver may see a
+     handful of drops all covered for free — but any loss beyond that
+     cover must have been re-earned by the timers. *)
+  let f = Option.get (Engine.faults e) in
+  Alcotest.(check bool) (ctx ^ ": frames dropped") true (f.Faults.drops > 0);
+  Alcotest.(check bool) (ctx ^ ": losses beyond dup cover were retransmitted") true
+    (f.Faults.retransmits > 0 || f.Faults.drops <= 2 * f.Faults.dups);
+  (f.Faults.drops, f.Faults.retransmits, f.Faults.dup_suppressed)
+
+let test_differential_block () =
+  let base = seed_base () in
+  let drops = ref 0 and retx = ref 0 and supp = ref 0 in
+  for seed = base to base + 49 do
+    let d, r, s = run_differential seed in
+    drops := !drops + d;
+    retx := !retx + r;
+    supp := !supp + s
+  done;
+  Alcotest.(check bool) "block-wide: drops, retransmits and suppressed dups all nonzero"
+    true
+    (!drops > 0 && !retx > 0 && !supp > 0)
+
+(* --- invariants after every step, while the channel misbehaves -------- *)
+
+let check_invariants_now seed e =
+  match Engine.cycle e with
+  | None -> ()
+  | Some c ->
+    List.iter
+      (fun plane ->
+        match Dgr_core.Cycle.run_for_plane c plane with
+        | None -> ()
+        | Some run -> (
+          let pending =
+            List.filter_map
+              (function
+                | Task.Marking m when Task.plane_of_mark m = plane -> Some m
+                | _ -> None)
+              (Engine.pending_tasks e)
+          in
+          match Dgr_core.Invariants.check run ~pending with
+          | [] -> ()
+          | errs ->
+            Alcotest.failf "seed %d, step %d, %s plane: %s" seed (Engine.now e)
+              (match plane with Plane.MR -> "MR" | Plane.MT -> "MT")
+              (String.concat "; " errs)))
+      [ Plane.MR; Plane.MT ]
+
+let run_invariant_seed seed =
+  let num_pes = 1 + (seed mod 3) in
+  let spec = Helpers.fuzz_spec seed in
+  let ga = Builder.random ~num_pes (Rng.create seed) spec in
+  let gb = Builder.random ~num_pes (Rng.create seed) spec in
+  let config =
+    {
+      Engine.default_config with
+      num_pes;
+      seed;
+      marking = Dgr_core.Cycle.Tree;
+      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 5 };
+      faults = Helpers.heavy_faults ~seed:(seed + 100) ();
+    }
+  in
+  let e = Engine.create ~config ga (registry ()) in
+  let rng = Rng.create (seed lxor 0xabcd) in
+  let schedule = Helpers.gen_schedule rng gb ~ops:8 in
+  let mut = Engine.mutator e in
+  List.iter
+    (fun op ->
+      Helpers.apply_mutation mut op;
+      check_invariants_now seed e;
+      for _ = 1 to Rng.int rng 5 do
+        Engine.step e;
+        check_invariants_now seed e
+      done)
+    schedule;
+  let c = Option.get (Engine.cycle e) in
+  let target = Dgr_core.Cycle.cycles_completed c + 3 in
+  let guard = ref 0 in
+  while Dgr_core.Cycle.cycles_completed c < target && !guard < 30_000 do
+    incr guard;
+    Engine.step e;
+    check_invariants_now seed e
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d: settled under per-step checking" seed)
+    true
+    (Dgr_core.Cycle.cycles_completed c >= target)
+
+let test_invariants_every_step () =
+  for seed = 0 to 11 do
+    run_invariant_seed seed
+  done
+
+(* --- whole programs under heavy faults ------------------------------- *)
+
+let run_program ?(num_pes = 4) ?(marking = Dgr_core.Cycle.Tree) ~fault_seed src =
+  let config =
+    {
+      Engine.default_config with
+      num_pes;
+      marking;
+      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 20 };
+      faults = Helpers.heavy_faults ~seed:fault_seed ();
+    }
+  in
+  let g, templates = Dgr_lang.Compile.load_string ~num_pes src in
+  let e = Engine.create ~config g templates in
+  Engine.inject_root_demand e;
+  let (_ : int) = Engine.run ~max_steps:600_000 e in
+  e
+
+let test_programs_survive_faults () =
+  List.iter
+    (fun (fault_seed, marking) ->
+      let e = Dgr_lang.(run_program ~marking ~fault_seed (Prelude.fib 10)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fib 10 correct (fault seed %d)" fault_seed)
+        true
+        (Engine.result e = Some (Label.V_int (Dgr_lang.Prelude.fib_expected 10)));
+      Alcotest.(check (list string)) "graph valid" [] (Validate.check (Engine.graph e));
+      let f = Option.get (Engine.faults e) in
+      Alcotest.(check bool) "channel was actually lossy" true
+        (f.Faults.drops > 0 && f.Faults.retransmits > 0))
+    [ (1, Dgr_core.Cycle.Tree); (2, Dgr_core.Cycle.Flood_counters) ];
+  let e = Dgr_lang.(run_program ~fault_seed:3 (Prelude.sum_range 8)) in
+  Alcotest.(check bool) "sum_range 8 correct under faults" true
+    (Engine.result e
+    = Some (Label.V_int (Dgr_lang.Prelude.sum_range_expected 8)))
+
+let test_deadlock_detected_under_faults () =
+  let config =
+    {
+      Engine.default_config with
+      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 10 };
+      faults = Helpers.heavy_faults ~seed:9 ();
+    }
+  in
+  let g, templates = Dgr_lang.Compile.load_string Dgr_lang.Prelude.deadlock in
+  let e = Engine.create ~config g templates in
+  Engine.inject_root_demand e;
+  let found t =
+    match Engine.cycle t with
+    | Some c -> not (Vid.Set.is_empty (Dgr_core.Cycle.deadlocked_ever c))
+    | None -> false
+  in
+  let (_ : int) = Engine.run ~max_steps:100_000 ~stop:found e in
+  Alcotest.(check bool) "deadlock found despite drops and stalls" true (found e)
+
+(* --- determinism: same fault seed, same machine ----------------------- *)
+
+let test_fault_determinism () =
+  let fingerprint e =
+    let m = Engine.metrics e in
+    let f = Option.get (Engine.faults e) in
+    ( Engine.now e,
+      m.Metrics.reduction_executed,
+      ( f.Faults.drops, f.Faults.dups, f.Faults.retransmits,
+        f.Faults.dup_suppressed, f.Faults.stalls ) )
+  in
+  let a = fingerprint (run_program ~fault_seed:42 (Dgr_lang.Prelude.fib 9)) in
+  let b = fingerprint (run_program ~fault_seed:42 (Dgr_lang.Prelude.fib 9)) in
+  let c = fingerprint (run_program ~fault_seed:43 (Dgr_lang.Prelude.fib 9)) in
+  Alcotest.(check bool) "same fault seed: identical run" true (a = b);
+  Alcotest.(check bool) "different fault seed: different faults" true (a <> c)
+
+let suite =
+  [
+    Alcotest.test_case "dedup: duplicate everything" `Quick test_everything_duplicated;
+    Alcotest.test_case "retransmit: 50% drop still delivers" `Quick
+      test_heavy_drop_still_delivers;
+    Alcotest.test_case "purge under faults stops retransmission" `Quick
+      test_faulted_purge_stops_retransmission;
+    Alcotest.test_case "differential fuzz vs STW oracle (50 seeds)" `Slow
+      test_differential_block;
+    Alcotest.test_case "invariants hold after every step" `Slow
+      test_invariants_every_step;
+    Alcotest.test_case "programs compute correctly under faults" `Slow
+      test_programs_survive_faults;
+    Alcotest.test_case "deadlock detection survives faults" `Quick
+      test_deadlock_detected_under_faults;
+    Alcotest.test_case "fault plane is deterministic per seed" `Quick
+      test_fault_determinism;
+  ]

@@ -87,6 +87,34 @@ let test_pool_purge_and_reprioritize () =
   (Graph.vertex g a).Vertex.sched_prior <- 3;
   Alcotest.(check int) "reprioritize reports changes" 1 (Pool.reprioritize pool)
 
+(* Full pop orderings, policy by policy, over one mixed push set. *)
+let test_pool_policy_pop_orders () =
+  let g, a, b = mk_graph () in
+  (* a sits in the vital region, b was classified reserve last cycle *)
+  (Graph.vertex g a).Vertex.sched_prior <- 3;
+  (Graph.vertex g b).Vertex.sched_prior <- 1;
+  let e_b = Task.request ~src:a b Demand.Eager in
+  let v_b = Task.request ~src:a b Demand.Vital in
+  let e_a = Task.request ~src:b a Demand.Eager in
+  let m = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar }) in
+  let pop_all policy =
+    let pool = Pool.create policy g in
+    List.iter (Pool.push pool) [ e_b; v_b; e_a; m ];
+    List.init 4 (fun _ -> Option.get (Pool.pop pool))
+  in
+  (* Flat: pure FIFO among reduction tasks; the marking task only gets
+     the idle slot at the end. *)
+  Alcotest.(check bool) "flat is FIFO" true (pop_all Pool.Flat = [ e_b; v_b; e_a; m ]);
+  (* By_demand: static demand only — vital first, eager FIFO, verdicts
+     ignored. *)
+  Alcotest.(check bool) "by-demand orders by static demand" true
+    (pop_all Pool.By_demand = [ v_b; e_b; e_a; m ]);
+  (* Dynamic: the cycle's verdicts reorder the eager tasks — e_a rides
+     its destination's vital class ahead of e_b, which b's reserve
+     verdict demotes behind everything. *)
+  Alcotest.(check bool) "dynamic applies cycle verdicts" true
+    (pop_all Pool.Dynamic = [ v_b; e_a; e_b; m ])
+
 let test_network_ordering () =
   let net = Network.create () in
   let t1 = Task.request 1 Demand.Vital in
@@ -112,6 +140,31 @@ let test_network_purge () =
   in
   Alcotest.(check int) "one purged" 1 n;
   Alcotest.(check int) "one left" 1 (Network.size net)
+
+let test_network_purge_records_destination () =
+  (* The purge trace must name the PE each expunged task was bound for
+     (not a blanket -1), one event per destination, ascending. *)
+  let r = Dgr_obs.Recorder.create ~num_pes:4 () in
+  let net = Network.create ~recorder:r () in
+  Network.send net ~arrival:1 ~pe:2 (Task.request 7 Demand.Vital);
+  Network.send net ~arrival:1 ~pe:0 (Task.request 8 Demand.Vital);
+  Network.send net ~arrival:2 ~pe:2 (Task.request 9 Demand.Vital);
+  Network.send net ~arrival:2 ~pe:1 (Task.request 10 Demand.Vital);
+  let n =
+    Network.purge net (function
+      | Task.Reduction (Task.Request { dst; _ }) -> dst <> 10
+      | _ -> false)
+  in
+  Alcotest.(check int) "three purged" 3 n;
+  let purge_events =
+    List.filter_map
+      (function
+        | { Dgr_obs.Event.kind = Dgr_obs.Event.Purge { pe; count }; _ } -> Some (pe, count)
+        | _ -> None)
+      (Dgr_obs.Recorder.events r)
+  in
+  Alcotest.(check (list (pair int int))) "per-PE purge events, real destinations"
+    [ (0, 1); (2, 2) ] purge_events
 
 let test_engine_local_vs_remote_latency () =
   (* Two vertices on different PEs: the respond crosses the boundary. *)
@@ -166,8 +219,11 @@ let suite =
     Alcotest.test_case "fifo ties, separate queues" `Quick test_pool_fifo_and_separate_queues;
     Alcotest.test_case "idle slots lend to marking" `Quick test_pool_pop_lends_slot_to_marking;
     Alcotest.test_case "pool purge / reprioritize" `Quick test_pool_purge_and_reprioritize;
+    Alcotest.test_case "policy pop orders" `Quick test_pool_policy_pop_orders;
     Alcotest.test_case "network ordering" `Quick test_network_ordering;
     Alcotest.test_case "network purge" `Quick test_network_purge;
+    Alcotest.test_case "network purge records destination" `Quick
+      test_network_purge_records_destination;
     Alcotest.test_case "remote latency accounting" `Quick test_engine_local_vs_remote_latency;
     Alcotest.test_case "quiescence without gc" `Quick test_engine_quiescence_no_gc;
     Alcotest.test_case "inject and locate" `Quick test_engine_inject_and_locate;

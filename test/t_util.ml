@@ -71,6 +71,31 @@ let test_pqueue_map_priorities () =
   Pqueue.map_priorities (fun p _ -> -p) q;
   Alcotest.(check (option (pair int string))) "reversed" (Some (-3, "3")) (Pqueue.pop q)
 
+let test_pqueue_sorted_list_stable () =
+  let q = Pqueue.create () in
+  (* Many entries sharing priorities, interleaved across bands: the
+     insertion index is the payload, so stability is directly visible. *)
+  List.iteri (fun i p -> Pqueue.add q p i) [ 5; 1; 5; 3; 5; 1; 5; 3; 5 ];
+  let sorted = Pqueue.to_sorted_list q in
+  Alcotest.(check (list (pair int int))) "ascending priority, insertion order among equals"
+    [ (1, 1); (1, 5); (3, 3); (3, 7); (5, 0); (5, 2); (5, 4); (5, 6); (5, 8) ]
+    sorted;
+  (* Building the view must not disturb the queue, and must predict pop
+     order exactly. *)
+  let popped = List.init (Pqueue.length q) (fun _ -> Option.get (Pqueue.pop q)) in
+  Alcotest.(check (list (pair int int))) "to_sorted_list = pop order" sorted popped
+
+let test_pqueue_map_priorities_keeps_ranks () =
+  let q = Pqueue.create () in
+  List.iteri (fun i p -> Pqueue.add q p i) [ 2; 2; 2; 7; 7 ];
+  (* Collapse every band into one: the heap rebuild must keep FIFO ranks,
+     so the pop order is exactly insertion order. *)
+  Pqueue.map_priorities (fun _ _ -> 1) q;
+  let popped = List.init (Pqueue.length q) (fun _ -> Option.get (Pqueue.pop q)) in
+  Alcotest.(check (list (pair int int))) "fifo ranks survive the rebuild"
+    [ (1, 0); (1, 1); (1, 2); (1, 3); (1, 4) ]
+    popped
+
 let test_stats_basic () =
   let s = Stats.create () in
   List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
@@ -108,6 +133,10 @@ let suite =
     Alcotest.test_case "pqueue ordering and ties" `Quick test_pqueue_ordering;
     Alcotest.test_case "pqueue filter" `Quick test_pqueue_filter;
     Alcotest.test_case "pqueue map_priorities" `Quick test_pqueue_map_priorities;
+    Alcotest.test_case "pqueue to_sorted_list stability" `Quick
+      test_pqueue_sorted_list_stable;
+    Alcotest.test_case "pqueue map_priorities keeps ranks" `Quick
+      test_pqueue_map_priorities_keeps_ranks;
     Alcotest.test_case "stats accumulation" `Quick test_stats_basic;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "table rendering" `Quick test_table_render;
