@@ -1,14 +1,18 @@
 (* Benchmark harness.
 
    Usage:
-     bench/main.exe            -- all experiment tables (E1-E8) + micro
+     bench/main.exe            -- all experiment tables + micro
      bench/main.exe e4         -- one experiment table
      bench/main.exe micro      -- bechamel micro-benchmarks only
-     bench/main.exe tables     -- E1-E8 only
+     bench/main.exe tables     -- experiment tables only
+     bench/main.exe list       -- registered experiment ids
 
-   The experiment tables regenerate the paper's figures/claims (see
-   EXPERIMENTS.md); the micro-benchmarks measure the marking core itself
-   (host wall-clock, not simulator steps). *)
+   The experiment tables regenerate the paper's figures/claims — the set
+   comes from the {!Dgr_harness.Experiments.all} registry, so a new
+   experiment shows up here with no change to this file (see
+   EXPERIMENTS.md). The micro-benchmarks measure the marking core itself
+   (host wall-clock, not simulator steps); `dgr bench` is the macro
+   suite (whole-machine throughput, BENCH.json). *)
 
 open Dgr_graph
 open Dgr_util
@@ -141,8 +145,15 @@ let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match arg with
   | "micro" -> run_micro ()
-  | "tables" -> Dgr_harness.Experiments.run "all"
+  | "tables" -> List.iter (fun (id, _, _) -> Dgr_harness.Experiments.run id)
+                  Dgr_harness.Experiments.all
+  | "list" ->
+    List.iter
+      (fun (id, { Dgr_harness.Experiments.title; paper_ref }, _) ->
+        Printf.printf "%-4s %s (%s)\n" id title paper_ref)
+      Dgr_harness.Experiments.all
   | "all" ->
-    Dgr_harness.Experiments.run "all";
+    List.iter (fun (id, _, _) -> Dgr_harness.Experiments.run id)
+      Dgr_harness.Experiments.all;
     run_micro ()
   | id -> Dgr_harness.Experiments.run id

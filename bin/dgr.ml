@@ -5,6 +5,7 @@
      dgr trace FILE     evaluate with event tracing, write a Perfetto trace
      dgr check FILE     parse + compile only
      dgr experiment ID  regenerate an experiment table (e1..e11, all)
+     dgr bench          run the macro-benchmark suite, write BENCH.json
 
    See `dgr run --help` for the machine knobs. *)
 
@@ -75,30 +76,20 @@ let config_of_opts o =
     | s -> Error (Printf.sprintf "unknown marking scheme %S (tree|flood)" s)
   in
   Ok
-    {
-      Engine.num_pes = o.pes;
-      latency = o.latency;
-      tasks_per_step = o.tasks_per_step;
-      marking_per_step = Engine.default_config.Engine.marking_per_step;
-      gc_work_factor = Engine.default_config.Engine.gc_work_factor;
-      heap_size = o.heap;
-      pool_policy = policy;
-      speculate_if = not o.no_speculate;
-      gc;
-      marking;
-      recover_deadlock = o.recover_deadlock;
-      jitter = o.jitter;
-      seed = o.seed;
-      faults =
-        {
-          Faults.none with
-          Faults.drop = o.fault_drop;
-          duplicate = o.fault_dup;
-          delay = o.fault_delay;
-          stall = o.fault_stall;
-          fault_seed = o.fault_seed;
-        };
-    }
+    (Engine.Config.make ~num_pes:o.pes ~latency:o.latency
+       ~tasks_per_step:o.tasks_per_step ~heap_size:o.heap ~pool_policy:policy
+       ~speculate_if:(not o.no_speculate) ~gc ~marking
+       ~recover_deadlock:o.recover_deadlock ~jitter:o.jitter ~seed:o.seed
+       ~faults:
+         {
+           Faults.none with
+           Faults.drop = o.fault_drop;
+           duplicate = o.fault_dup;
+           delay = o.fault_delay;
+           stall = o.fault_stall;
+           fault_seed = o.fault_seed;
+         }
+       ())
 
 (* What each invocation wants written out. *)
 type outputs = {
@@ -249,6 +240,57 @@ let experiment_cmd id trace_dir =
   | exception Invalid_argument msg ->
     Format.eprintf "dgr: %s@." msg;
     1
+
+let bench_cmd smoke deterministic out baseline list_only =
+  let module B = Dgr_harness.Bench in
+  if list_only then begin
+    List.iter print_endline (B.scenario_names ~smoke);
+    0
+  end
+  else
+    match
+      let rows =
+        List.map
+          (fun name ->
+            match B.run_suite ~only:[ name ] ~smoke ~deterministic () with
+            | [ row ] ->
+              Format.printf "%-24s %8d steps %9d tasks%s@." name row.B.steps
+                row.B.tasks
+                (if deterministic || row.B.wall_ns = 0L then ""
+                 else
+                   Printf.sprintf "  %.0f steps/sec"
+                     (float_of_int row.B.steps
+                     /. (Int64.to_float row.B.wall_ns /. 1e9)));
+              row
+            | _ -> assert false)
+          (B.scenario_names ~smoke)
+      in
+      let mode = if smoke then "smoke" else "full" in
+      let json = B.to_json ~mode ~deterministic rows in
+      Dgr_obs.Export.write_file out json;
+      Format.printf "wrote %s (%d scenarios, mode=%s%s)@." out (List.length rows)
+        mode
+        (if deterministic then ", deterministic" else "");
+      match baseline with
+      | None -> Ok ()
+      | Some path ->
+        let base = In_channel.with_open_text path In_channel.input_all in
+        (match B.regressions ~threshold:0.2 ~baseline:base rows with
+        | [] ->
+          Format.printf "no steps/sec regression beyond 20%% vs %s@." path;
+          Ok ()
+        | regs ->
+          Error
+            (String.concat "; "
+               (List.map
+                  (fun (n, b, c) ->
+                    Printf.sprintf "%s regressed: %.0f -> %.0f steps/sec" n b c)
+                  regs)))
+    with
+    | Ok () -> 0
+    | Error msg | (exception Sys_error msg) | (exception Failure msg) ->
+      Format.eprintf "dgr: %s@." msg;
+      1
 
 (* --- cmdliner plumbing ---------------------------------------------- *)
 
@@ -459,22 +501,74 @@ let trace_dir_arg =
                missing), numbered per experiment: e4-01.json, e4-02.json, ...")
 
 let experiment_term =
+  let doc =
+    Printf.sprintf "Experiment id: %s or $(b,all)."
+      (String.concat ", " (List.map (Printf.sprintf "$(b,%s)") Dgr_harness.Experiments.ids))
+  in
   Term.(
     const experiment_cmd
-    $ Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-             ~doc:"Experiment id: e1..e11 or all.")
+    $ Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
     $ trace_dir_arg)
 
 let experiment_cmd_v =
+  let man =
+    `S Manpage.s_description
+    :: `P "The registered experiments (see EXPERIMENTS.md):"
+    :: List.map
+         (fun (id, { Dgr_harness.Experiments.title; paper_ref }, _) ->
+           `P (Printf.sprintf "$(b,%s) — %s (%s)" id title paper_ref))
+         Dgr_harness.Experiments.all
+  in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate an experiment table (see EXPERIMENTS.md).")
+    (Cmd.info "experiment" ~man
+       ~doc:"Regenerate an experiment table (see EXPERIMENTS.md).")
     experiment_term
+
+let bench_smoke_arg =
+  Arg.(value & flag & info [ "smoke" ]
+         ~doc:"Run only the smoke subset — the cheap half of the suite at the same \
+               sizes (a subset, not a miniature), so its rates compare directly \
+               against a full-run baseline (CI).")
+
+let bench_det_arg =
+  Arg.(value & flag & info [ "deterministic" ]
+         ~doc:"Skip the wall-clock and allocation meters and zero their fields: the \
+               output is then byte-reproducible across runs and machines (the \
+               determinism check in CI diffs two such files).")
+
+let bench_out_arg =
+  Arg.(value & opt string "BENCH.json" & info [ "o"; "output" ] ~docv:"PATH"
+         ~doc:"Where to write the results (versioned JSON, schema_version 1).")
+
+let bench_baseline_arg =
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"PATH"
+         ~doc:"Compare steps/sec per scenario against a committed BENCH.json and exit \
+               non-zero if any scenario regressed by more than 20%.")
+
+let bench_list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the scenario names and exit.")
+
+let bench_term =
+  Term.(
+    const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_out_arg
+    $ bench_baseline_arg $ bench_list_arg)
+
+let bench_cmd_v =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the macro-benchmark suite — seeded end-to-end machine scenarios \
+             (demand storms over large random graphs, programs under each collector, \
+             fault and jitter planes) — and write BENCH.json: throughput \
+             (steps/tasks/messages per second), allocation per step, marking-cycle \
+             length, and a digest of each run's deterministic end state. See the \
+             README's Benchmarking section.")
+    bench_term
 
 let main =
   Cmd.group
     (Cmd.info "dgr" ~version:"1.0.0"
        ~doc:"Distributed graph reduction with decentralized concurrent marking (Hudak, PODC \
              1983).")
-    [ run_cmd_v; trace_cmd_v; check_cmd_v; experiment_cmd_v ]
+    [ run_cmd_v; trace_cmd_v; check_cmd_v; experiment_cmd_v; bench_cmd_v ]
 
 let () = exit (Cmd.eval' main)

@@ -15,11 +15,9 @@ let detect title source =
   Format.printf "--- %s ---@." title;
   let graph, templates = Dgr_lang.Compile.load_string ~num_pes:2 source in
   let config =
-    {
-      Engine.default_config with
-      num_pes = 2;
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 10 };
-    }
+    Engine.Config.make ~num_pes:2
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 10 })
+      ()
   in
   let engine = Engine.create ~config graph templates in
   Engine.inject_root_demand engine;
@@ -71,12 +69,9 @@ let () =
 let () =
   Format.printf "--- recovery (footnote 5's is-bottom) ---@.";
   let config =
-    {
-      Engine.default_config with
-      num_pes = 2;
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 10 };
-      recover_deadlock = true;
-    }
+    Engine.Config.make ~num_pes:2
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 10 })
+      ~recover_deadlock:true ()
   in
   let graph, templates =
     Dgr_lang.Compile.load_string ~num_pes:2 "def main = (1 / 0) + head(nil);"

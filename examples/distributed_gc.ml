@@ -31,7 +31,7 @@ let build () =
 
 let run name gc =
   let g, hub, entries = build () in
-  let config = { Engine.default_config with gc; heap_size = None } in
+  let config = Engine.Config.make ~gc ~heap_size:None () in
   let engine = Engine.create ~config g (Dgr_reduction.Template.create_registry ()) in
   (* settle *)
   for _ = 1 to 150 do

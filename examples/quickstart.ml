@@ -24,10 +24,7 @@ let () =
      priorities, and the endless concurrent mark/restructure cycle
      (collecting every ~10 steps here so its work is visible below). *)
   let config =
-    {
-      Engine.default_config with
-      gc = Engine.Concurrent { deadlock_every = 2; idle_gap = 10 };
-    }
+    Engine.Config.make ~gc:(Engine.Concurrent { deadlock_every = 2; idle_gap = 10 }) ()
   in
   let engine = Engine.create ~config graph templates in
 

@@ -18,12 +18,9 @@ let source = Dgr_lang.Prelude.speculative 40
 
 let run policy =
   let config =
-    {
-      Engine.default_config with
-      pool_policy = policy;
-      gc = Engine.Concurrent { deadlock_every = 0; idle_gap = 20 };
-      heap_size = Some 20_000;
-    }
+    Engine.Config.make ~pool_policy:policy
+      ~gc:(Engine.Concurrent { deadlock_every = 0; idle_gap = 20 })
+      ~heap_size:(Some 20_000) ()
   in
   let graph, templates = Dgr_lang.Compile.load_string ~num_pes:4 source in
   let engine = Engine.create ~config graph templates in

@@ -3,7 +3,7 @@ open Dgr_task
 
 type env = {
   spawn_mark : Task.mark -> unit;
-  reduction_tasks : unit -> Task.reduction list;
+  iter_reduction_endpoints : (Vid.t -> unit) -> unit;
   purge_tasks : (Task.t -> bool) -> int;
   reprioritize : unit -> int;
   now : unit -> int;
@@ -81,10 +81,9 @@ let flood_seed fl env v =
   env.spawn_mark (Flood.seed_for fl v)
 
 let mt_seed_set t =
-  List.fold_left
-    (fun acc task ->
-      List.fold_left (fun acc v -> Vid.Set.add v acc) acc (Task.reduction_endpoints task))
-    Vid.Set.empty (t.env.reduction_tasks ())
+  let acc = ref Vid.Set.empty in
+  t.env.iter_reduction_endpoints (fun v -> acc := Vid.Set.add v !acc);
+  !acc
 
 let start_mark_root t =
   Graph.reset_plane t.g Plane.MR;

@@ -32,8 +32,11 @@ open Dgr_task
 
 type env = {
   spawn_mark : Task.mark -> unit;  (** route into the owning PE's pool *)
-  reduction_tasks : unit -> Task.reduction list;
-      (** all pending/in-flight reduction tasks, pools + network *)
+  iter_reduction_endpoints : (Vid.t -> unit) -> unit;
+      (** apply a function to the endpoint vertices of every pending or
+          in-flight reduction task (pools + network + parked), in no
+          particular order and possibly with repeats — the controller
+          folds them into the M_T seed set *)
   purge_tasks : (Task.t -> bool) -> int;
   reprioritize : unit -> int;
   now : unit -> int;

@@ -1,0 +1,434 @@
+open Dgr_graph
+open Dgr_sim
+open Dgr_lang
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* The macro suite.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type workload =
+  | Program of string
+      (** surface-language source; the root's value is demanded *)
+  | Storm of Builder.random_spec
+      (** a rooted random operator graph (no templates): demanding the
+          root floods requests through it while the collector cycles
+          over a large live set — the marking/network hot path with
+          almost no useful reduction *)
+
+type scenario = {
+  s_name : string;
+  s_smoke : bool;
+  s_workload : workload;
+  s_config : Engine.config;
+  s_max_steps : int;
+  s_endless : bool;
+      (** ignore completion and run the full step budget (concurrent
+          collectors cycle endlessly; other regimes still stop at
+          quiescence) *)
+}
+
+let conc ?(deadlock_every = 1) ?(idle_gap = 30) () =
+  Engine.Concurrent { deadlock_every; idle_gap }
+
+let storm_spec n =
+  {
+    Builder.live = n;
+    garbage = n / 4;
+    free_pool = 64;
+    avg_degree = 2.5;
+    cycle_bias = 0.15;
+  }
+
+let storm ~name ~smoke ?(marking = Dgr_core.Cycle.Tree) ?(gc = conc ()) ~live
+    ~max_steps () =
+  {
+    s_name = name;
+    s_smoke = smoke;
+    s_workload = Storm (storm_spec live);
+    s_config =
+      Engine.Config.make ~num_pes:8 ~gc ~heap_size:None ~marking ~seed:11 ();
+    s_max_steps = max_steps;
+    s_endless = true;
+  }
+
+let program ~name ~smoke ?(num_pes = 4) ?(gc = conc ~idle_gap:50 ())
+    ?(jitter = 0.0) ?(seed = 0) ?(faults = Faults.none) ~max_steps source =
+  {
+    s_name = name;
+    s_smoke = smoke;
+    s_workload = Program source;
+    s_config = Engine.Config.make ~num_pes ~gc ~jitter ~seed ~faults ();
+    s_max_steps = max_steps;
+    s_endless = false;
+  }
+
+let light_faults =
+  {
+    Faults.none with
+    Faults.drop = 0.05;
+    duplicate = 0.02;
+    delay = 0.05;
+    stall = 0.01;
+    fault_seed = 7;
+  }
+
+(* The smoke subset (s_smoke = true) is the cheap half of the suite at
+   the SAME sizes and configs — a subset, not a miniature — so smoke
+   rates compare directly against a full-run baseline. *)
+let suite =
+  [
+    storm ~name:"storm-tree-8k" ~smoke:true ~live:8_000 ~max_steps:2_000 ();
+    storm ~name:"storm-flood-8k" ~smoke:true ~live:8_000 ~max_steps:2_000
+      ~marking:Dgr_core.Cycle.Flood_counters ();
+    storm ~name:"storm-tree-50k" ~smoke:false ~live:50_000 ~max_steps:3_000 ();
+    storm ~name:"storm-stw-50k" ~smoke:false ~live:50_000 ~max_steps:3_000
+      ~gc:(Engine.Stop_the_world { every = 200 }) ();
+    program ~name:"fib-12-concurrent" ~smoke:true ~max_steps:200_000
+      (Prelude.fib 12);
+    program ~name:"fib-14-concurrent" ~smoke:false ~num_pes:8
+      ~max_steps:400_000 (Prelude.fib 14);
+    program ~name:"fib-12-stw" ~smoke:true
+      ~gc:(Engine.Stop_the_world { every = 400 }) ~max_steps:200_000
+      (Prelude.fib 12);
+    program ~name:"fib-12-refcount" ~smoke:true ~gc:Engine.Refcount
+      ~max_steps:200_000 (Prelude.fib 12);
+    program ~name:"sumrange-18-concurrent" ~smoke:false ~max_steps:200_000
+      (Prelude.sum_range 18);
+    program ~name:"specdeep-concurrent" ~smoke:false
+      ~gc:(conc ~idle_gap:20 ()) ~max_steps:60_000
+      (Prelude.speculative_deep 600 10);
+    program ~name:"fib-12-faults" ~smoke:true ~faults:light_faults
+      ~max_steps:200_000 (Prelude.fib 12);
+    program ~name:"fib-12-jitter" ~smoke:false ~jitter:0.3 ~seed:3
+      ~max_steps:200_000 (Prelude.fib 12);
+  ]
+
+let scenario_names ~smoke =
+  List.filter_map
+    (fun s -> if (not smoke) || s.s_smoke then Some s.s_name else None)
+    suite
+
+(* ------------------------------------------------------------------ *)
+(* Running and measuring.                                              *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  name : string;
+  seed : int;
+  steps : int;
+  tasks : int;
+  messages : int;
+  cycles : int;
+  avg_cycle_len : float;
+  live : int;
+  completed : bool;
+  digest : string;
+  wall_ns : int64;
+  minor_words : float;
+}
+
+(* Everything a run's semantics determine, in one string: if two engines
+   produce equal signatures they finished in the same state having done
+   the same work. The digest of this is the row's [digest] field and what
+   the CI determinism check compares. *)
+let signature e =
+  let m = Engine.metrics e in
+  let live =
+    String.concat "," (List.map Vid.to_string (Graph.live_vids (Engine.graph e)))
+  in
+  let deadlocked =
+    match Engine.cycle e with
+    | Some c ->
+      String.concat ","
+        (List.map Vid.to_string
+           (Vid.Set.elements (Dgr_core.Cycle.deadlocked_ever c)))
+    | None -> ""
+  in
+  let result =
+    match Engine.result e with
+    | Some v -> Format.asprintf "%a" Label.pp_value v
+    | None -> "-"
+  in
+  Printf.sprintf "%d|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d" (Engine.now e) live
+    deadlocked result m.Metrics.reduction_executed m.Metrics.marking_executed
+    m.Metrics.remote_messages m.Metrics.local_messages m.Metrics.tasks_purged
+    m.Metrics.cycles_completed m.Metrics.stw_collections m.Metrics.msgs_dropped
+    m.Metrics.retransmits m.Metrics.stalls
+
+let build_engine s =
+  let num_pes = Engine.Config.num_pes s.s_config in
+  let g, templates =
+    match s.s_workload with
+    | Program source -> Compile.load_string ~num_pes source
+    | Storm spec ->
+      let rng = Dgr_util.Rng.create (Engine.Config.seed s.s_config) in
+      (Builder.random ~num_pes rng spec, Dgr_reduction.Template.create_registry ())
+  in
+  Engine.create ~config:s.s_config g templates
+
+let run_scenario ~deterministic s =
+  let e = build_engine s in
+  Engine.inject_root_demand e;
+  (match s.s_workload with
+  | Storm _ ->
+    (* Demand alone dies out quickly on a placeholder graph; spraying
+       requests over every 8th live vertex keeps the pools busy (and a
+       stop-the-world machine non-quiescent) while the collector works. *)
+    List.iteri
+      (fun i v ->
+        if i mod 8 = 0 then
+          Engine.inject e (Dgr_task.Task.request v Demand.Eager))
+      (Graph.live_vids (Engine.graph e))
+  | Program _ -> ());
+  let mw0 = if deterministic then 0.0 else Gc.minor_words () in
+  let t0 = if deterministic then 0.0 else Unix.gettimeofday () in
+  let steps =
+    if s.s_endless then Engine.run ~max_steps:s.s_max_steps ~stop:(fun _ -> false) e
+    else Engine.run ~max_steps:s.s_max_steps e
+  in
+  let wall_ns =
+    if deterministic then 0L
+    else Int64.of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let minor_words = if deterministic then 0.0 else Gc.minor_words () -. mw0 in
+  let m = Engine.metrics e in
+  let cycles = m.Metrics.cycles_completed in
+  {
+    name = s.s_name;
+    seed = Engine.Config.seed s.s_config;
+    steps;
+    tasks = m.Metrics.reduction_executed + m.Metrics.marking_executed;
+    messages = m.Metrics.remote_messages + m.Metrics.local_messages;
+    cycles;
+    avg_cycle_len =
+      (if cycles = 0 then 0.0 else float_of_int steps /. float_of_int cycles);
+    live = Graph.live_count (Engine.graph e);
+    completed = Engine.result e <> None;
+    digest = Digest.to_hex (Digest.string (signature e));
+    wall_ns;
+    minor_words;
+  }
+
+let run_suite ?only ~smoke ~deterministic () =
+  let selected =
+    match only with
+    | None -> List.filter (fun s -> (not smoke) || s.s_smoke) suite
+    | Some names ->
+      List.map
+        (fun n ->
+          match List.find_opt (fun s -> s.s_name = n) suite with
+          | Some s -> s
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Bench.run_suite: unknown scenario %S (have: %s)" n
+                 (String.concat ", " (scenario_names ~smoke:false))))
+        names
+  in
+  List.map (run_scenario ~deterministic) selected
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let row_json r =
+  let secs = Int64.to_float r.wall_ns /. 1e9 in
+  let rate n = if r.wall_ns = 0L then 0.0 else float_of_int n /. secs in
+  let mwps =
+    if r.wall_ns = 0L || r.steps = 0 then 0.0
+    else r.minor_words /. float_of_int r.steps
+  in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"seed\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f}"
+    r.name r.seed r.steps r.tasks r.messages r.cycles r.avg_cycle_len r.live
+    r.completed r.digest r.wall_ns (rate r.steps) (rate r.tasks)
+    (rate r.messages) mwps
+
+let to_json ~mode ~deterministic rows =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\"schema_version\":%d,\"bench\":\"dgr-macro\",\"mode\":\"%s\",\"deterministic\":%b,\"scenarios\":[\n"
+    schema_version mode deterministic;
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (row_json r))
+    rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Reading a baseline back.                                            *)
+(*                                                                     *)
+(* We only ever parse documents this module wrote (the committed        *)
+(* baseline), so a targeted scanner beats a JSON dependency: pull out   *)
+(* each scenario's "name" and "steps_per_sec" by key, ignore the rest.  *)
+(* ------------------------------------------------------------------ *)
+
+let find_from hay needle start =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub hay i n = needle then Some (i + n)
+    else go (i + 1)
+  in
+  go start
+
+let scenario_rates json =
+  (match find_from json "\"bench\":\"dgr-macro\"" 0 with
+  | Some _ -> ()
+  | None -> failwith "Bench.scenario_rates: not a dgr-macro BENCH.json");
+  let rec collect acc pos =
+    match find_from json "\"name\":\"" pos with
+    | None -> List.rev acc
+    | Some start -> (
+      match String.index_from_opt json start '"' with
+      | None -> List.rev acc
+      | Some close -> (
+        let name = String.sub json start (close - start) in
+        match find_from json "\"steps_per_sec\":" close with
+        | None -> List.rev acc
+        | Some vstart ->
+          let vend = ref vstart in
+          let len = String.length json in
+          while
+            !vend < len
+            && (match json.[!vend] with
+               | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+               | _ -> false)
+          do
+            incr vend
+          done;
+          let rate =
+            try float_of_string (String.sub json vstart (!vend - vstart))
+            with _ -> 0.0
+          in
+          collect ((name, rate) :: acc) !vend))
+  in
+  collect [] 0
+
+let regressions ~threshold ~baseline rows =
+  let base = scenario_rates baseline in
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt r.name base with
+      | Some base_sps when base_sps > 0.0 ->
+        let cur =
+          if r.wall_ns = 0L then 0.0
+          else float_of_int r.steps /. (Int64.to_float r.wall_ns /. 1e9)
+        in
+        if cur < (1.0 -. threshold) *. base_sps then Some (r.name, base_sps, cur)
+        else None
+      | Some _ | None -> None)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* The differential fixture: 20 mixed scenarios whose end states the    *)
+(* pre-optimization engine wrote to test/golden_engine.txt. The         *)
+(* differential test regenerates these lines and diffs byte-for-byte:   *)
+(* any drift in scheduling, marking, fault handling or tracing shows    *)
+(* up as a diff, which is how the hot-path rewrite is pinned to         *)
+(* bit-identical semantics. Do not edit casually: any change here or    *)
+(* to the fixture must regenerate the other.                            *)
+(* ------------------------------------------------------------------ *)
+
+let golden_workloads =
+  [|
+    ("fib11", Prelude.fib 11);
+    ("sumrange16", Prelude.sum_range 16);
+    ("spec25", Prelude.speculative 25);
+    ("specdeep", Prelude.speculative_deep 600 10);
+    ("deadlock", Prelude.deadlock);
+  |]
+
+let golden_gc_modes =
+  [|
+    ("conc-a", Engine.Concurrent { deadlock_every = 1; idle_gap = 20 });
+    ("conc-b", Engine.Concurrent { deadlock_every = 2; idle_gap = 10 });
+    ("stw", Engine.Stop_the_world { every = 300 });
+    ("rc", Engine.Refcount);
+    ("nogc", Engine.No_gc);
+  |]
+
+let golden_pes = [| 1; 2; 4; 8 |]
+let golden_latencies = [| 2; 4; 8 |]
+let golden_policies = [| Pool.Dynamic; Pool.Flat; Pool.By_demand |]
+
+let golden_scenario i =
+  let wname, source = golden_workloads.(i mod 5) in
+  let gname, gc = golden_gc_modes.(3 * i mod 5) in
+  let faults =
+    if i mod 4 = 1 then
+      {
+        Faults.none with
+        Faults.drop = 0.08;
+        duplicate = 0.04;
+        delay = 0.08;
+        stall = 0.01;
+        fault_seed = i;
+      }
+    else Faults.none
+  in
+  let config =
+    Engine.Config.make
+      ~num_pes:golden_pes.(i / 2 mod 4)
+      ~latency:golden_latencies.(i mod 3)
+      ~heap_size:(if i mod 2 = 0 then Some 12_000 else None)
+      ~pool_policy:golden_policies.(i mod 3)
+      ~speculate_if:(not (i = 7 || i = 14))
+      ~gc
+      ~marking:
+        (if i mod 4 = 3 then Dgr_core.Cycle.Flood_counters
+         else Dgr_core.Cycle.Tree)
+      ~jitter:(if i mod 3 = 0 then 0.25 else 0.0)
+      ~seed:(1000 + i) ~faults ()
+  in
+  (Printf.sprintf "%02d-%s-%s" i wname gname, config, source)
+
+let golden_line i =
+  let name, config, source = golden_scenario i in
+  let num_pes = Engine.Config.num_pes config in
+  let g, templates = Compile.load_string ~num_pes source in
+  let recorder =
+    Dgr_obs.Recorder.create ~capacity:(1 lsl 18) ~sample_every:25 ~num_pes ()
+  in
+  let e = Engine.create ~recorder ~config g templates in
+  Engine.inject_root_demand e;
+  let (_ : int) = Engine.run ~max_steps:40_000 e in
+  let m = Engine.metrics e in
+  let live =
+    String.concat "," (List.map string_of_int (Graph.live_vids (Engine.graph e)))
+  in
+  let deadlocked =
+    match Engine.cycle e with
+    | Some c ->
+      String.concat ","
+        (List.map Vid.to_string
+           (Vid.Set.elements (Dgr_core.Cycle.deadlocked_ever c)))
+    | None -> ""
+  in
+  let result =
+    match Engine.result e with
+    | Some v -> Format.asprintf "%a" Label.pp_value v
+    | None -> "-"
+  in
+  let trace_md5 =
+    Digest.to_hex (Digest.string (Dgr_obs.Export.chrome_trace recorder))
+  in
+  Printf.sprintf
+    "%s now=%d completion=%s result=%s live_md5=%s live_n=%d dl=[%s] red=%d mark=%d \
+     remote=%d local=%d purged=%d cycles=%d stw=%d pause=%d peak=%d drops=%d dups=%d \
+     retx=%d stalls=%d trace_md5=%s"
+    name (Engine.now e)
+    (match m.Metrics.completion_step with Some s -> string_of_int s | None -> "-")
+    result
+    (Digest.to_hex (Digest.string live))
+    (Graph.live_count (Engine.graph e))
+    deadlocked m.Metrics.reduction_executed m.Metrics.marking_executed
+    m.Metrics.remote_messages m.Metrics.local_messages m.Metrics.tasks_purged
+    m.Metrics.cycles_completed m.Metrics.stw_collections m.Metrics.total_pause_steps
+    m.Metrics.peak_live m.Metrics.msgs_dropped m.Metrics.msgs_duplicated
+    m.Metrics.retransmits m.Metrics.stalls trace_md5
+
+let golden_lines () = List.init 20 golden_line

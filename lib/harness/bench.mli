@@ -1,0 +1,77 @@
+(** Macro benchmarks: seeded end-to-end machine scenarios.
+
+    Where {!Experiments} regenerates the paper's figures and claims, this
+    module measures the simulator itself — whole runs of the distributed
+    machine (reduction + marking + network) on fixed workloads, reported
+    as throughput. Results are written as versioned [BENCH.json] so runs
+    can be diffed across commits ({!schema_version}).
+
+    Every scenario is seeded and deterministic: for a fixed (config,
+    seed) the simulation fields of a row — steps, tasks, messages,
+    cycles, live set, completion, digest — are byte-identical across
+    runs and machines. Only the wall-clock fields (and the rates derived
+    from them) vary; [~deterministic:true] zeroes those, making the whole
+    file byte-reproducible (the determinism test diffs two such runs).
+
+    The smoke subset ([~smoke:true]) is a {e subset} of the full suite —
+    the same scenarios at the same sizes, not scaled-down variants — so
+    smoke numbers are directly comparable against a committed
+    [BENCH_baseline.json] produced by a full run. *)
+
+val schema_version : int
+(** Version of the [BENCH.json] layout (and of the digest recipe). *)
+
+type row = {
+  name : string;
+  seed : int;
+  steps : int;  (** simulation steps executed *)
+  tasks : int;  (** reduction + marking tasks executed *)
+  messages : int;  (** remote + local task sends *)
+  cycles : int;  (** marking cycles completed *)
+  avg_cycle_len : float;  (** steps per completed cycle; 0 when none *)
+  live : int;  (** live vertices at the end *)
+  completed : bool;  (** the program delivered its result *)
+  digest : string;
+      (** MD5 over the run's deterministic signature: final live set,
+          deadlock verdicts, result, and the task/message/GC counters.
+          Equal digests mean semantically identical runs. *)
+  wall_ns : int64;  (** host wall clock; 0 in deterministic mode *)
+  minor_words : float;  (** minor heap allocated; 0 in deterministic mode *)
+}
+
+val scenario_names : smoke:bool -> string list
+(** The suite in run order ([dgr bench --list]). *)
+
+val run_suite :
+  ?only:string list -> smoke:bool -> deterministic:bool -> unit -> row list
+(** Run the suite (or the [only] subset of it, by name) and return one
+    row per scenario. [deterministic] skips the clock and allocation
+    meters. Raises [Invalid_argument] on an unknown name in [only]. *)
+
+val to_json : mode:string -> deterministic:bool -> row list -> string
+(** The [BENCH.json] document: fixed field order and float precision, so
+    equal rows serialize to equal bytes. [mode] is recorded verbatim
+    ("full" or "smoke"). *)
+
+val scenario_rates : string -> (string * float) list
+(** [(name, steps_per_sec)] per scenario parsed back out of a
+    {!to_json}-formatted document (the committed baseline). Tolerant of
+    unknown fields; raises [Failure] if the document does not look like
+    a BENCH.json at all. *)
+
+val regressions :
+  threshold:float -> baseline:string -> row list -> (string * float * float) list
+(** [(name, baseline_sps, current_sps)] for every scenario present in
+    both the baseline document and the fresh rows whose steps/sec fell
+    below [(1 - threshold) * baseline] — e.g. [~threshold:0.2] flags
+    >20% regressions. Scenarios with a non-positive baseline rate (a
+    deterministic baseline) are skipped. *)
+
+val golden_lines : unit -> string list
+(** The 20-scenario differential fixture: workloads × collectors ×
+    machine shapes × fault planes, each summarized as one line capturing
+    the end state (live-set digest, deadlock verdicts, result, metrics)
+    and the MD5 of the full event trace. [test/golden_engine.txt] holds
+    the lines produced by the pre-optimization engine; the differential
+    test regenerates them and diffs byte-for-byte, pinning the hot-path
+    rewrite to bit-identical semantics. *)

@@ -27,7 +27,7 @@ let maybe_recorder (config : Engine.config) =
   | Some _ ->
     Some
       (Dgr_obs.Recorder.create ~capacity:262_144 ~sample_every:20
-         ~num_pes:config.Engine.num_pes ())
+         ~num_pes:(Engine.Config.num_pes config) ())
 
 let write_trace e =
   match (!trace_dir, Engine.recorder e) with
@@ -65,9 +65,7 @@ let e1_deadlock ?seed:(_ = 1) () =
     (fun num_pes ->
       let scenario = Scenarios.fig_3_1 ~num_pes () in
       let g = scenario.Scenarios.graph in
-      let config =
-        { Engine.default_config with num_pes; gc = concurrent ~idle_gap:10 () }
-      in
+      let config = Engine.Config.make ~num_pes ~gc:(concurrent ~idle_gap:10 ()) () in
       let e = Engine.create ~config g empty_registry in
       Engine.inject_root_demand e;
       let detected t =
@@ -270,7 +268,9 @@ type run_stats = {
 }
 
 let run_program ?(max_steps = 600_000) ~config source =
-  let g, templates = Compile.load_string ~num_pes:config.Engine.num_pes source in
+  let g, templates =
+    Compile.load_string ~num_pes:(Engine.Config.num_pes config) source
+  in
   let e = Engine.create ?recorder:(maybe_recorder config) ~config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps e in
@@ -335,9 +335,7 @@ let e4_gc_comparison ?seed:(_ = 1) () =
     (fun (wname, source) ->
       List.iter
         (fun (mname, gc, heap) ->
-          let config =
-            { Engine.default_config with gc; heap_size = heap }
-          in
+          let config = Engine.Config.make ~gc ~heap_size:heap () in
           let stats, e = run_program ~max_steps:300_000 ~config source in
           let collections =
             match gc with
@@ -387,7 +385,7 @@ let e5_scaling ?seed:(_ = 1) () =
   List.iter
     (fun num_pes ->
       let config =
-        { Engine.default_config with num_pes; gc = concurrent ~deadlock_every:0 ~idle_gap:20 () }
+        Engine.Config.make ~num_pes ~gc:(concurrent ~deadlock_every:0 ~idle_gap:20 ()) ()
       in
       let stats, e = run_program ~config (Prelude.fib 11) in
       let m = Engine.metrics e in
@@ -462,7 +460,7 @@ let e6_cyclic_garbage ?(seed = 3) () =
     let root = Builder.add_root g Label.Ind [ hub ] in
     ignore root;
     let acyclic, cyclic = build_clusters rng g hub ~clusters ~cluster_size in
-    let config = { Engine.default_config with gc; heap_size = None } in
+    let config = Engine.Config.make ~gc ~heap_size:None () in
     let e = Engine.create ~config g empty_registry in
     (* Warm-up: everything reachable, nothing to collect. *)
     let (_ : int) = Engine.run ~max_steps:200 ~stop:(fun _ -> true) e in
@@ -541,7 +539,7 @@ let e7_irrelevant_tasks ?seed:(_ = 1) () =
     (fun (wname, source) ->
       List.iter
         (fun (mname, gc, heap) ->
-          let config = { Engine.default_config with gc; heap_size = heap } in
+          let config = Engine.Config.make ~gc ~heap_size:heap () in
           let stats, _ = run_program ~max_steps:300_000 ~config source in
           Table.add_row table
             [
@@ -583,12 +581,9 @@ let e8_priorities ?seed:(_ = 1) () =
         List.map
           (fun policy ->
             let config =
-              {
-                Engine.default_config with
-                pool_policy = policy;
-                gc = concurrent ~deadlock_every:0 ~idle_gap:20 ();
-                heap_size = Some 20_000;
-              }
+              Engine.Config.make ~pool_policy:policy
+                ~gc:(concurrent ~deadlock_every:0 ~idle_gap:20 ())
+                ~heap_size:(Some 20_000) ()
             in
             let stats, _ = run_program ~max_steps:150_000 ~config source in
             fmt_steps stats)
@@ -627,11 +622,9 @@ let e9_marking_schemes ?seed:(_ = 1) () =
       List.iter
         (fun (sname, scheme) ->
           let config =
-            {
-              Engine.default_config with
-              gc = concurrent ~deadlock_every:2 ~idle_gap:20 ();
-              marking = scheme;
-            }
+            Engine.Config.make
+              ~gc:(concurrent ~deadlock_every:2 ~idle_gap:20 ())
+              ~marking:scheme ()
           in
           let stats, e = run_program ~max_steps:300_000 ~config source in
           (* the cycle "is repeated endlessly": let at least two finish
@@ -660,7 +653,7 @@ let e9_marking_schemes ?seed:(_ = 1) () =
             | Dgr_core.Cycle.Tree ->
               Printf.sprintf "2 x |V| = %d" (2 * Graph.vertex_count (Engine.graph e))
             | Dgr_core.Cycle.Flood_counters ->
-              Printf.sprintf "2 x PEs = %d" (2 * config.Engine.num_pes)
+              Printf.sprintf "2 x PEs = %d" (2 * Engine.Config.num_pes config)
           in
           Table.add_row table
             [
@@ -700,7 +693,7 @@ let e10_heap_sweep ?seed:(_ = 1) () =
       let cells =
         List.map
           (fun heap ->
-            let config = { Engine.default_config with gc; heap_size = heap } in
+            let config = Engine.Config.make ~gc ~heap_size:heap () in
             let stats, _ = run_program ~max_steps:60_000 ~config (Prelude.fib 13) in
             fmt_steps stats)
           heaps
@@ -756,11 +749,7 @@ let e11_fault_sweep ?(seed = 1) () =
           }
       in
       let config =
-        {
-          Engine.default_config with
-          gc = concurrent ~deadlock_every:1 ~idle_gap:20 ();
-          faults;
-        }
+        Engine.Config.make ~gc:(concurrent ~deadlock_every:1 ~idle_gap:20 ()) ~faults ()
       in
       let stats, e = run_program ~max_steps:300_000 ~config (Prelude.fib 11) in
       let m = Engine.metrics e in
@@ -781,20 +770,43 @@ let e11_fault_sweep ?(seed = 1) () =
 
 (* ------------------------------------------------------------------ *)
 
+type info = { title : string; paper_ref : string }
+
+(* The single registry every front end enumerates ([dgr experiment],
+   [dgr experiment --list], bench/main.ml): adding E12 means adding one
+   line here and nothing anywhere else. *)
 let all =
   [
-    ("e1", "Fig 3-1: deadlock detection", fun () -> e1_deadlock ());
-    ("e2", "Fig 3-2: task types", fun () -> e2_task_types ());
-    ("e3", "Fig 3-3: Venn regions", fun () -> e3_venn ());
-    ("e4", "GC comparison", fun () -> e4_gc_comparison ());
-    ("e5", "PE scaling", fun () -> e5_scaling ());
-    ("e6", "cyclic garbage", fun () -> e6_cyclic_garbage ());
-    ("e7", "irrelevant-task deletion", fun () -> e7_irrelevant_tasks ());
-    ("e8", "priority ablation", fun () -> e8_priorities ());
-    ("e9", "marking-scheme ablation (§6)", fun () -> e9_marking_schemes ());
-    ("e10", "heap-bound sweep (§2.2)", fun () -> e10_heap_sweep ());
-    ("e11", "fault sweep (drop rate vs cycle length)", fun () -> e11_fault_sweep ());
+    ("e1", { title = "deadlock detection on x = x + 1"; paper_ref = "Fig 3-1" },
+     fun () -> e1_deadlock ());
+    ("e2", { title = "the four task types"; paper_ref = "Fig 3-2" },
+     fun () -> e2_task_types ());
+    ("e3", { title = "Venn regions on random graphs"; paper_ref = "Fig 3-3" },
+     fun () -> e3_venn ());
+    ("e4", { title = "GC comparison"; paper_ref = "§4" },
+     fun () -> e4_gc_comparison ());
+    ("e5", { title = "PE scaling"; paper_ref = "§1/§4" },
+     fun () -> e5_scaling ());
+    ("e6", { title = "cyclic garbage"; paper_ref = "§4" },
+     fun () -> e6_cyclic_garbage ());
+    ("e7", { title = "irrelevant-task deletion"; paper_ref = "§3.2" },
+     fun () -> e7_irrelevant_tasks ());
+    ("e8", { title = "priority ablation"; paper_ref = "§3.2" },
+     fun () -> e8_priorities ());
+    ("e9", { title = "marking-scheme ablation"; paper_ref = "§6" },
+     fun () -> e9_marking_schemes ());
+    ("e10", { title = "heap-bound sweep"; paper_ref = "§2.2" },
+     fun () -> e10_heap_sweep ());
+    ("e11", { title = "fault sweep (drop rate vs cycle length)"; paper_ref = "§2.1 relaxed" },
+     fun () -> e11_fault_sweep ());
   ]
+
+let ids = List.map (fun (id, _, _) -> id) all
+
+let describe id =
+  match List.find_opt (fun (i, _, _) -> i = id) all with
+  | Some (_, info, _) -> Some info
+  | None -> None
 
 let run ?trace_dir:dir id =
   let selected =

@@ -55,8 +55,20 @@ val e10_heap_sweep : ?seed:int -> unit -> result
 
 val e11_fault_sweep : ?seed:int -> unit -> result
 
-val all : (string * string * (unit -> result)) list
-(** [(id, title, run)] for every experiment, in order. *)
+type info = {
+  title : string;  (** one-line description *)
+  paper_ref : string;  (** the figure/section of the paper it regenerates *)
+}
+
+val all : (string * info * (unit -> result)) list
+(** [(id, info, run)] for every experiment, in order — the single
+    registry every front end ([dgr experiment], [bench/main.ml])
+    enumerates. Adding an experiment touches only this list. *)
+
+val ids : string list
+(** The registered ids, in order. *)
+
+val describe : string -> info option
 
 val run : ?trace_dir:string -> string -> unit
 (** Run one experiment by id ("e1".."e11" or "all") and print its tables.

@@ -454,6 +454,8 @@ let execute t task =
 
 let parked t = Dgr_util.Vec.to_list t.parked
 
+let iter_parked t f = Dgr_util.Vec.iter f t.parked
+
 let parked_count t = Dgr_util.Vec.length t.parked
 
 let drain_parked t =

@@ -80,6 +80,10 @@ val finished : t -> bool
 
 val parked : t -> Task.reduction list
 
+val iter_parked : t -> (Task.reduction -> unit) -> unit
+(** Apply [f] to every parked task without building a list (M_T seed
+    assembly). *)
+
 val parked_count : t -> int
 
 val drain_parked : t -> Task.reduction list

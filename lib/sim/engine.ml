@@ -16,43 +16,90 @@ type gc_mode =
   | Stop_the_world of { every : int }
   | Refcount
 
-type config = {
+module Config = struct
+  type machine = {
+    num_pes : int;
+    tasks_per_step : int;
+    marking_per_step : int;
+    pool_policy : Pool.policy;
+    speculate_if : bool;
+    seed : int;
+  }
+
+  type gc = {
+    mode : gc_mode;
+    heap_size : int option;
+    gc_work_factor : int;
+    marking : Cycle.scheme;
+    recover_deadlock : bool;
+  }
+
+  type network = { latency : int; jitter : float; faults : Faults.spec }
+
+  type t = { machine : machine; gc : gc; network : network }
+
+  let make ?(num_pes = 4) ?(latency = 4) ?(tasks_per_step = 2) ?(marking_per_step = 8)
+      ?(gc_work_factor = 8) ?(heap_size = Some 50_000) ?(pool_policy = Pool.Dynamic)
+      ?(speculate_if = true) ?(gc = Concurrent { deadlock_every = 1; idle_gap = 50 })
+      ?(marking = Cycle.Tree) ?(recover_deadlock = false) ?(jitter = 0.0) ?(seed = 0)
+      ?(faults = Faults.none) () =
+    {
+      machine = { num_pes; tasks_per_step; marking_per_step; pool_policy; speculate_if; seed };
+      gc = { mode = gc; heap_size; gc_work_factor; marking; recover_deadlock };
+      network = { latency; jitter; faults };
+    }
+
+  let default = make ()
+
+  let num_pes t = t.machine.num_pes
+  let latency t = t.network.latency
+  let tasks_per_step t = t.machine.tasks_per_step
+  let marking_per_step t = t.machine.marking_per_step
+  let gc_work_factor t = t.gc.gc_work_factor
+  let heap_size t = t.gc.heap_size
+  let pool_policy t = t.machine.pool_policy
+  let speculate_if t = t.machine.speculate_if
+  let gc t = t.gc.mode
+  let marking t = t.gc.marking
+  let recover_deadlock t = t.gc.recover_deadlock
+  let jitter t = t.network.jitter
+  let seed t = t.machine.seed
+  let faults t = t.network.faults
+
+  let with_num_pes v t = { t with machine = { t.machine with num_pes = v } }
+  let with_latency v t = { t with network = { t.network with latency = v } }
+  let with_tasks_per_step v t = { t with machine = { t.machine with tasks_per_step = v } }
+
+  let with_marking_per_step v t =
+    { t with machine = { t.machine with marking_per_step = v } }
+
+  let with_gc_work_factor v t = { t with gc = { t.gc with gc_work_factor = v } }
+  let with_heap_size v t = { t with gc = { t.gc with heap_size = v } }
+  let with_pool_policy v t = { t with machine = { t.machine with pool_policy = v } }
+  let with_speculate_if v t = { t with machine = { t.machine with speculate_if = v } }
+  let with_gc v t = { t with gc = { t.gc with mode = v } }
+  let with_marking v t = { t with gc = { t.gc with marking = v } }
+  let with_recover_deadlock v t = { t with gc = { t.gc with recover_deadlock = v } }
+  let with_jitter v t = { t with network = { t.network with jitter = v } }
+  let with_seed v t = { t with machine = { t.machine with seed = v } }
+  let with_faults v t = { t with network = { t.network with faults = v } }
+end
+
+type config = Config.t
+
+let default_config = Config.default
+
+type t = {
+  cfg : config;
+  (* Hot knobs, denormalized out of [cfg] so the step loop never chases
+     three records per field. *)
   num_pes : int;
   latency : int;
   tasks_per_step : int;
   marking_per_step : int;
   gc_work_factor : int;
-  heap_size : int option;
-  pool_policy : Pool.policy;
-  speculate_if : bool;
-  gc : gc_mode;
-  marking : Cycle.scheme;
-  recover_deadlock : bool;
   jitter : float;
-  seed : int;
-  faults : Faults.spec;
-}
-
-let default_config =
-  {
-    num_pes = 4;
-    latency = 4;
-    tasks_per_step = 2;
-    marking_per_step = 8;
-    gc_work_factor = 8;
-    heap_size = Some 50_000;
-    pool_policy = Pool.Dynamic;
-    speculate_if = true;
-    gc = Concurrent { deadlock_every = 1; idle_gap = 50 };
-    marking = Cycle.Tree;
-    recover_deadlock = false;
-    jitter = 0.0;
-    seed = 0;
-    faults = Faults.none;
-  }
-
-type t = {
-  cfg : config;
+  gc_mode : gc_mode;
   g : Graph.t;
   pools : Pool.t array;
   net : Network.t;
@@ -61,6 +108,7 @@ type t = {
   mutable cyc : Cycle.t option;
   rc : Refcount.t option;
   recorder : Dgr_obs.Recorder.t option;
+  obs_on : bool;  (** [recorder <> None]; avoids building event records when off *)
   m : Metrics.t;
   mutable now : int;
   mutable current_pe : int;  (** PE whose task is executing; -1 = controller *)
@@ -74,7 +122,7 @@ type t = {
       (** vertices RC reclaimed since the last batch purge *)
 }
 
-let throughput cfg = Int.max 1 (cfg.num_pes * cfg.tasks_per_step)
+let throughput t = Int.max 1 (t.num_pes * t.tasks_per_step)
 
 let obs t kind =
   match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
@@ -116,27 +164,28 @@ and send t task =
            the cycle would never terminate. *)
         let base =
           match task with
-          | Marking _ -> Int.max 1 (t.cfg.latency / 4)
-          | Reduction _ -> Int.max 1 t.cfg.latency
+          | Marking _ -> Int.max 1 (t.latency / 4)
+          | Reduction _ -> Int.max 1 t.latency
         in
         (* Seeded delivery jitter: occasionally a message takes longer,
            reordering arrivals — the interleaving adversary for the full
            machine. Deterministic for a given config seed. *)
-        if t.cfg.jitter > 0.0 && Rng.float t.rng 1.0 < t.cfg.jitter then
-          base + 1 + Rng.int t.rng (Int.max 1 t.cfg.latency)
+        if t.jitter > 0.0 && Rng.float t.rng 1.0 < t.jitter then
+          base + 1 + Rng.int t.rng (Int.max 1 t.latency)
         else base
       end
     in
     if pe = t.current_pe then t.m.Metrics.local_messages <- t.m.Metrics.local_messages + 1;
-    obs t
-      (Dgr_obs.Event.Send
-         {
-           kind = Task.obs_kind task;
-           pe;
-           vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
-           arrival = t.now + delay;
-           remote = pe <> t.current_pe;
-         });
+    if t.obs_on then
+      obs t
+        (Dgr_obs.Event.Send
+           {
+             kind = Task.obs_kind task;
+             pe;
+             vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+             arrival = t.now + delay;
+             remote = pe <> t.current_pe;
+           });
     Network.send ~src:t.current_pe t.net ~arrival:(t.now + delay) ~pe task
 
 let purge_everywhere t pred =
@@ -149,44 +198,55 @@ let purge_for_baseline t pred =
   t.m.Metrics.tasks_purged <- t.m.Metrics.tasks_purged + n;
   n
 
-let create ?recorder ?(config = default_config) g templates =
-  (match config.heap_size with
+let create ?recorder ?(config = Config.default) g templates =
+  (match config.Config.gc.Config.heap_size with
   | Some c -> Graph.set_capacity g (Some (Int.max c (Graph.vertex_count g)))
   | None -> Graph.set_capacity g None);
   let mut = Mutator.create ?recorder ~spawn:(fun _ -> ()) g in
+  let speculate_if = Config.speculate_if config in
   let red =
-    Reducer.create ~speculate_if:config.speculate_if ?recorder ~graph:g ~mut ~templates
-      ~send:(fun _ -> ())
-      ()
+    Reducer.create ~speculate_if ?recorder ~graph:g ~mut ~templates ~send:(fun _ -> ()) ()
   in
   let rc =
-    match config.gc with
+    match Config.gc config with
     | Refcount -> Some (Refcount.create g)
     | No_gc | Concurrent _ | Stop_the_world _ -> None
   in
   let flt =
-    if Faults.active config.faults then Some (Faults.create config.faults) else None
+    let faults = Config.faults config in
+    if Faults.active faults then Some (Faults.create faults) else None
   in
+  let num_pes = Config.num_pes config in
   let t =
     {
       cfg = config;
+      num_pes;
+      latency = Config.latency config;
+      tasks_per_step = Config.tasks_per_step config;
+      marking_per_step = Config.marking_per_step config;
+      gc_work_factor = Config.gc_work_factor config;
+      jitter = Config.jitter config;
+      gc_mode = Config.gc config;
       g;
-      pools = Array.init config.num_pes (fun pe -> Pool.create ?recorder ~pe config.pool_policy g);
+      pools =
+        Array.init num_pes (fun pe ->
+            Pool.create ?recorder ~pe (Config.pool_policy config) g);
       net = Network.create ?recorder ?faults:flt ();
       mut;
       red;
       cyc = None;
       rc;
       recorder;
+      obs_on = recorder <> None;
       m = Metrics.create ();
       now = 0;
       current_pe = -1;
       paused_until = 0;
       next_cycle_at = 0;
-      next_stw_at = (match config.gc with Stop_the_world { every } -> every | _ -> 0);
-      rng = Rng.create config.seed;
+      next_stw_at = (match Config.gc config with Stop_the_world { every } -> every | _ -> 0);
+      rng = Rng.create (Config.seed config);
       flt;
-      stall_until = Array.make (Int.max 1 config.num_pes) 0;
+      stall_until = Array.make (Int.max 1 num_pes) 0;
       rc_freed_batch = Vid.Set.empty;
     }
   in
@@ -194,11 +254,10 @@ let create ?recorder ?(config = default_config) g templates =
   mut.Mutator.coop_pe <- (fun () -> Int.max 0 t.current_pe);
   (* Rebuild the reducer with the real send, preserving the mutator. *)
   let speculation_reserve =
-    match config.heap_size with Some c -> c / 4 | None -> 0
+    match Config.heap_size config with Some c -> c / 4 | None -> 0
   in
   t.red <-
-    Reducer.create ~speculate_if:config.speculate_if ~speculation_reserve ?recorder ~graph:g
-      ~mut ~templates
+    Reducer.create ~speculate_if ~speculation_reserve ?recorder ~graph:g ~mut ~templates
       ~send:(fun task -> send t task)
       ();
   (match rc with
@@ -211,17 +270,25 @@ let create ?recorder ?(config = default_config) g templates =
     Refcount.set_on_free rc (fun v -> t.rc_freed_batch <- Vid.Set.add v t.rc_freed_batch);
     if Graph.has_root g then Refcount.pin rc (Graph.root g)
   | None -> ());
-  (match config.gc with
+  (match Config.gc config with
   | Concurrent { deadlock_every; idle_gap } ->
     let purge_tasks pred = purge_for_baseline t pred in
-    let reduction_tasks () =
-      let pooled =
-        Array.fold_left (fun acc pool -> List.rev_append (Pool.tasks pool) acc) [] t.pools
-      in
-      Reducer.parked t.red
-      @ List.filter_map
-          (function Reduction r -> Some r | Marking _ -> None)
-          (List.rev_append (Network.in_flight t.net) pooled)
+    (* Endpoint vids of every pending reduction task — pooled, in flight
+       and parked — in no particular order: the cycle controller folds
+       them into a set, so no sorting or list assembly is needed here. *)
+    let iter_reduction_endpoints f =
+      Array.iter
+        (fun pool ->
+          Pool.iter_tasks pool (fun task ->
+              match task with
+              | Reduction r -> Task.iter_reduction_endpoints f r
+              | Marking _ -> ()))
+        t.pools;
+      Network.iter_in_flight t.net (fun task ->
+          match task with
+          | Reduction r -> Task.iter_reduction_endpoints f r
+          | Marking _ -> ());
+      Reducer.iter_parked t.red (fun r -> Task.iter_reduction_endpoints f r)
     in
     let reprioritize () =
       Array.fold_left (fun acc pool -> acc + Pool.reprioritize pool) 0 t.pools
@@ -229,7 +296,7 @@ let create ?recorder ?(config = default_config) g templates =
     let env =
       {
         Cycle.spawn_mark = (fun mark -> send t (Marking mark));
-        reduction_tasks;
+        iter_reduction_endpoints;
         purge_tasks;
         reprioritize;
         now = (fun () -> t.now);
@@ -237,8 +304,8 @@ let create ?recorder ?(config = default_config) g templates =
     in
     t.cyc <-
       Some
-        (Cycle.create ~deadlock_every ~scheme:config.marking
-           ~detection_window:(2 * Int.max 1 config.latency)
+        (Cycle.create ~deadlock_every ~scheme:(Config.marking config)
+           ~detection_window:(2 * Int.max 1 (Config.latency config))
            ?recorder g mut env);
     t.next_cycle_at <- idle_gap
   | No_gc | Stop_the_world _ | Refcount -> ());
@@ -312,7 +379,7 @@ let flush_rc_purge t =
       (purge_for_baseline t (fun task ->
            match task with
            | Reduction r ->
-             List.exists (fun v -> Vid.Set.mem v dead) (Task.reduction_endpoints r)
+             Task.reduction_endpoint_exists (fun v -> Vid.Set.mem v dead) r
            | Marking _ -> false))
   end
 
@@ -321,13 +388,14 @@ let execute_one t pe task =
   (* If the previous task's RC cascade reclaimed vertices, expunge tasks
      addressing them before this task can allocate (and recycle) a slot. *)
   flush_rc_purge t;
-  obs t
-    (Dgr_obs.Event.Execute
-       {
-         kind = Task.obs_kind task;
-         pe;
-         vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
-       });
+  if t.obs_on then
+    obs t
+      (Dgr_obs.Event.Execute
+         {
+           kind = Task.obs_kind task;
+           pe;
+           vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+         });
   (match task with
   | Reduction r ->
     t.m.Metrics.reduction_executed <- t.m.Metrics.reduction_executed + 1;
@@ -340,7 +408,7 @@ let execute_one t pe task =
 (* GC work (tracing a vertex, sweeping a slot) is much lighter than
    executing a task; [gc_work_factor] work units fit in one task slot. *)
 let pause t ~reason work =
-  let per_step = throughput t.cfg * Int.max 1 t.cfg.gc_work_factor in
+  let per_step = throughput t * Int.max 1 t.gc_work_factor in
   let steps = (work + per_step - 1) / per_step in
   Metrics.record_pause t.m steps;
   obs t (Dgr_obs.Event.Pause { steps; reason });
@@ -401,7 +469,7 @@ let unpark t =
       tasks
 
 let gc_control t =
-  match t.cfg.gc with
+  match t.gc_mode with
   | No_gc | Refcount ->
     (* Re-inject stalled expansions only when the free list has actually
        recovered; under persistent pressure they stay parked (and a
@@ -434,7 +502,7 @@ let gc_control t =
            the live vertices plus the slots being reclaimed. *)
         pause t ~reason:Dgr_obs.Event.Restructure_pause
           (Graph.live_count t.g + List.length report.Dgr_core.Restructure.garbage);
-        if t.cfg.recover_deadlock then recover_deadlocks t report;
+        if Config.recover_deadlock t.cfg then recover_deadlocks t report;
         t.next_cycle_at <- Int.max t.paused_until t.now + idle_gap;
         unpark t
       | None -> if t.now land 63 = 0 && not (under_pressure t) then unpark t);
@@ -444,61 +512,67 @@ let gc_control t =
         Cycle.start_cycle c
       end))
 
+(* One PE's execution budget for one step: the marking budget first, then
+   the reduction budget (which lends idle slots to marking — see
+   [Pool.pop]). Plain loops: this is the innermost simulator code. *)
+let execute_budgets t pe pool =
+  let k = ref t.marking_per_step in
+  let continue = ref (!k > 0) in
+  while !continue do
+    match Pool.pop_marking pool with
+    | Some task ->
+      execute_one t pe task;
+      decr k;
+      if !k = 0 then continue := false
+    | None -> continue := false
+  done;
+  let k = ref t.tasks_per_step in
+  let continue = ref (!k > 0) in
+  while !continue do
+    match Pool.pop pool with
+    | Some task ->
+      execute_one t pe task;
+      decr k;
+      if !k = 0 then continue := false
+    | None -> continue := false
+  done
+
 let step t =
   (match t.recorder with Some r -> Dgr_obs.Recorder.set_now r t.now | None -> ());
-  (* 1. Deliver the network. *)
-  List.iter (fun (pe, task) -> Pool.push t.pools.(pe) task) (Network.deliver t.net ~now:t.now);
+  (* 1. Deliver the network, straight into the destination pools. *)
+  Network.deliver_into t.net ~now:t.now ~push:(fun pe task ->
+      Pool.push t.pools.(pe) task);
   flush_rc_purge t;
   (* 2. Execute, unless the machine is paused by a collection. Marking
      tasks are lightweight (§6: "bounded amount of time once the required
      vertices are accessed") and get their own per-step budget so GC
      neither starves nor is starved by the reduction process. *)
   if t.now >= t.paused_until then
-    Array.iteri
-      (fun pe pool ->
-        (* Transient PE stall (crash-restart with memory preserved): the
-           PE skips its execution budget; its pool, heap and in-flight
-           messages survive. The marking plane must tolerate this — a
-           stalled PE delays but never loses its share of the cycle. *)
-        let stalled =
-          match t.flt with
-          | None -> false
-          | Some f ->
-            if t.now < t.stall_until.(pe) then begin
-              f.Faults.stall_steps <- f.Faults.stall_steps + 1;
-              true
-            end
-            else if Faults.stall_begins f ~pe then begin
-              let steps = Faults.stall_length f in
-              f.Faults.stalls <- f.Faults.stalls + 1;
-              f.Faults.stall_steps <- f.Faults.stall_steps + 1;
-              t.stall_until.(pe) <- t.now + steps;
-              obs t (Dgr_obs.Event.Stall { pe; steps });
-              true
-            end
-            else false
-        in
-        if stalled then ()
-        else
-        let rec go_marking k =
-          if k > 0 then
-            match Pool.pop_marking pool with
-            | Some task ->
-              execute_one t pe task;
-              go_marking (k - 1)
-            | None -> ()
-        in
-        go_marking t.cfg.marking_per_step;
-        let rec go k =
-          if k > 0 then
-            match Pool.pop pool with
-            | Some task ->
-              execute_one t pe task;
-              go (k - 1)
-            | None -> ()
-        in
-        go t.cfg.tasks_per_step)
-      t.pools;
+    for pe = 0 to t.num_pes - 1 do
+      (* Transient PE stall (crash-restart with memory preserved): the
+         PE skips its execution budget; its pool, heap and in-flight
+         messages survive. The marking plane must tolerate this — a
+         stalled PE delays but never loses its share of the cycle. *)
+      let stalled =
+        match t.flt with
+        | None -> false
+        | Some f ->
+          if t.now < t.stall_until.(pe) then begin
+            f.Faults.stall_steps <- f.Faults.stall_steps + 1;
+            true
+          end
+          else if Faults.stall_begins f ~pe then begin
+            let steps = Faults.stall_length f in
+            f.Faults.stalls <- f.Faults.stalls + 1;
+            f.Faults.stall_steps <- f.Faults.stall_steps + 1;
+            t.stall_until.(pe) <- t.now + steps;
+            obs t (Dgr_obs.Event.Stall { pe; steps });
+            true
+          end
+          else false
+      in
+      if not stalled then execute_budgets t pe t.pools.(pe)
+    done;
   (* 3. Memory management. *)
   flush_rc_purge t;
   gc_control t;
@@ -508,8 +582,11 @@ let step t =
     t.m.Metrics.completion_step <- Some t.now;
     obs t Dgr_obs.Event.Finished
   | _ -> ());
-  let depth = Array.fold_left (fun acc pool -> acc + Pool.length pool) 0 t.pools in
-  Dgr_util.Stats.add t.m.Metrics.pool_depth (float_of_int depth);
+  let depth = ref 0 in
+  for pe = 0 to t.num_pes - 1 do
+    depth := !depth + Pool.length t.pools.(pe)
+  done;
+  Dgr_util.Stats.add t.m.Metrics.pool_depth (float_of_int !depth);
   t.m.Metrics.peak_live <- Int.max t.m.Metrics.peak_live (Graph.live_count t.g);
   (match t.flt with
   | None -> ()
@@ -543,7 +620,7 @@ let run ?(max_steps = 1_000_000) ?stop t =
      run. The default stop condition is program completion; an explicit
      [stop] replaces it (e.g. to keep collecting after the result). *)
   let stop = match stop with Some f -> f | None -> finished in
-  let gc_cycles_forever = match t.cfg.gc with Concurrent _ -> true | _ -> false in
+  let gc_cycles_forever = match t.gc_mode with Concurrent _ -> true | _ -> false in
   let continue = ref true in
   while !continue do
     if stop t || t.now - start >= max_steps then continue := false

@@ -29,49 +29,135 @@ type gc_mode =
   | Stop_the_world of { every : int }
   | Refcount
 
-type config = {
-  num_pes : int;
-  latency : int;  (** cross-PE message delay, in steps (local = 1) *)
-  tasks_per_step : int;  (** per-PE execution bandwidth *)
-  marking_per_step : int;
-      (** extra per-PE budget for marking tasks, which are much lighter
-          than reduction tasks (§6) *)
-  gc_work_factor : int;
-      (** GC work units (trace/sweep one vertex) per task slot, used when
-          converting synchronous collection work into pause steps *)
-  heap_size : int option;
-      (** bound on the vertex table — §2.2's finite V. Template expansion
-          stalls when the free list cannot supply it, which is what makes
-          eager evaluation "resources permitting" (§3.2); collections are
-          additionally triggered by memory pressure. [None] = unbounded. *)
-  pool_policy : Pool.policy;
-  speculate_if : bool;
-  gc : gc_mode;
-  marking : Dgr_core.Cycle.scheme;
-      (** [Tree] (Figs 4-1/5-1/5-3, the default) or [Flood_counters]
-          (the §6 space optimization: counters instead of a marking
-          tree). *)
-  recover_deadlock : bool;
-      (** footnote 5's [is-bottom] pseudo-function: rewrite detected
-          deadlocked operators to an error value and answer their
-          requesters, so one deadlocked computation cannot hang the
-          machine (default false — detection only). *)
-  jitter : float;
-      (** probability that a remote message takes extra (seeded-random)
-          delay, reordering deliveries; 0.0 = fixed latency *)
-  seed : int;  (** seed for all of the machine's randomness *)
-  faults : Faults.spec;
-      (** the fault plane: seeded message drop/duplication/delay and
-          transient PE stalls, with reliable delivery layered on the
-          network (see {!Faults} and {!Network}). [Faults.none] (the
-          default) leaves every fault path byte-identical to a machine
-          without the plane. Fault randomness rides [fault_seed]'s own
-          streams, never [seed]'s. *)
-}
+(** Machine configuration, grouped by concern: [machine] (the PEs and
+    their scheduling), [gc] (the memory-management regime), [network]
+    (the interconnect and its fault plane). Build one with {!Config.make}
+    — named optional arguments with the historical defaults — and derive
+    variants with the [with_*] updaters, so adding a knob never breaks a
+    caller:
+
+    {[
+      let cfg = Engine.Config.make ~num_pes:8 ~gc:Engine.Refcount () in
+      let faster = Engine.Config.with_latency 1 cfg
+    ]} *)
+module Config : sig
+  type machine = {
+    num_pes : int;
+    tasks_per_step : int;  (** per-PE execution bandwidth *)
+    marking_per_step : int;
+        (** extra per-PE budget for marking tasks, which are much lighter
+            than reduction tasks (§6) *)
+    pool_policy : Pool.policy;
+    speculate_if : bool;
+    seed : int;  (** seed for all of the machine's scheduling randomness *)
+  }
+
+  type gc = {
+    mode : gc_mode;
+    heap_size : int option;
+        (** bound on the vertex table — §2.2's finite V. Template
+            expansion stalls when the free list cannot supply it, which
+            is what makes eager evaluation "resources permitting" (§3.2);
+            collections are additionally triggered by memory pressure.
+            [None] = unbounded. *)
+    gc_work_factor : int;
+        (** GC work units (trace/sweep one vertex) per task slot, used
+            when converting synchronous collection work into pause
+            steps *)
+    marking : Dgr_core.Cycle.scheme;
+        (** [Tree] (Figs 4-1/5-1/5-3, the default) or [Flood_counters]
+            (the §6 space optimization: counters instead of a marking
+            tree). *)
+    recover_deadlock : bool;
+        (** footnote 5's [is-bottom] pseudo-function: rewrite detected
+            deadlocked operators to an error value and answer their
+            requesters, so one deadlocked computation cannot hang the
+            machine (default false — detection only). *)
+  }
+
+  type network = {
+    latency : int;  (** cross-PE message delay, in steps (local = 1) *)
+    jitter : float;
+        (** probability that a remote message takes extra (seeded-random)
+            delay, reordering deliveries; 0.0 = fixed latency *)
+    faults : Faults.spec;
+        (** the fault plane: seeded message drop/duplication/delay and
+            transient PE stalls, with reliable delivery layered on the
+            network (see {!Faults} and {!Network}). [Faults.none] (the
+            default) leaves every fault path byte-identical to a machine
+            without the plane. Fault randomness rides [fault_seed]'s own
+            streams, never [seed]'s. *)
+  }
+
+  type t = { machine : machine; gc : gc; network : network }
+
+  val make :
+    ?num_pes:int ->
+    ?latency:int ->
+    ?tasks_per_step:int ->
+    ?marking_per_step:int ->
+    ?gc_work_factor:int ->
+    ?heap_size:int option ->
+    ?pool_policy:Pool.policy ->
+    ?speculate_if:bool ->
+    ?gc:gc_mode ->
+    ?marking:Dgr_core.Cycle.scheme ->
+    ?recover_deadlock:bool ->
+    ?jitter:float ->
+    ?seed:int ->
+    ?faults:Faults.spec ->
+    unit ->
+    t
+  (** Smart constructor; every omitted knob takes the historical default:
+      4 PEs, latency 4, 2 tasks/step (+8 marking), heap 50k, [Dynamic]
+      pools, speculation on, concurrent GC with M_T every cycle and idle
+      gap 50, [Tree] marking, no jitter, no faults, seed 0. *)
+
+  val default : t
+  (** [make ()]. *)
+
+  (** {2 Flat accessors} *)
+
+  val num_pes : t -> int
+  val latency : t -> int
+  val tasks_per_step : t -> int
+  val marking_per_step : t -> int
+  val gc_work_factor : t -> int
+  val heap_size : t -> int option
+  val pool_policy : t -> Pool.policy
+  val speculate_if : t -> bool
+  val gc : t -> gc_mode
+  val marking : t -> Dgr_core.Cycle.scheme
+  val recover_deadlock : t -> bool
+  val jitter : t -> float
+  val seed : t -> int
+  val faults : t -> Faults.spec
+
+  (** {2 Updaters}
+
+      [with_x v cfg] is [cfg] with knob [x] set to [v]; composes with
+      [|>]. *)
+
+  val with_num_pes : int -> t -> t
+  val with_latency : int -> t -> t
+  val with_tasks_per_step : int -> t -> t
+  val with_marking_per_step : int -> t -> t
+  val with_gc_work_factor : int -> t -> t
+  val with_heap_size : int option -> t -> t
+  val with_pool_policy : Pool.policy -> t -> t
+  val with_speculate_if : bool -> t -> t
+  val with_gc : gc_mode -> t -> t
+  val with_marking : Dgr_core.Cycle.scheme -> t -> t
+  val with_recover_deadlock : bool -> t -> t
+  val with_jitter : float -> t -> t
+  val with_seed : int -> t -> t
+  val with_faults : Faults.spec -> t -> t
+end
+
+type config = Config.t
 
 val default_config : config
-(** 4 PEs, latency 4, 2 tasks/step (+8 marking), [Dynamic] pools,
-    speculation on, concurrent GC with M_T every cycle and idle gap 50. *)
+  [@@deprecated "use Engine.Config.default (or Engine.Config.make) instead"]
 
 type t
 

@@ -57,6 +57,8 @@ let record_pause t steps =
    statistics for the sampled series; field order is fixed and floats are
    printed with a fixed precision, so equal metrics serialize to equal
    bytes (the bench trajectories diff these files). *)
+let schema_version = 1
+
 let to_json t =
   let b = Buffer.create 512 in
   let stats name (s : Stats.t) =
@@ -66,8 +68,9 @@ let to_json t =
       Printf.sprintf "\"%s\":{\"count\":%d,\"total\":%.0f,\"mean\":%.2f,\"max\":%.0f}" name
         (Stats.count s) (Stats.total s) (Stats.mean s) (Stats.max_value s)
   in
+  Printf.bprintf b "{\"schema_version\":%d," schema_version;
   Printf.bprintf b
-    "{\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d}"
+    "\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d}"
     t.steps t.reduction_executed t.marking_executed t.remote_messages t.local_messages
     t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
     (stats "pauses" t.pauses)

@@ -31,10 +31,16 @@ val create : unit -> t
 
 val record_pause : t -> int -> unit
 
+val schema_version : int
+(** Version of the {!to_json} layout; bumped whenever a field is added,
+    removed or reinterpreted, so downstream readers of [--stats-json]
+    files can tell what they are looking at. *)
+
 val to_json : t -> string
 (** Machine-readable metrics (one JSON object, fixed field order and
-    float precision — byte-deterministic for equal metrics). The bench
-    harness and [--stats-json] consume this instead of scraping
-    {!pp_summary} text. *)
+    float precision — byte-deterministic for equal metrics), carrying
+    [schema_version] as its first field. The bench harness and
+    [--stats-json] consume this instead of scraping {!pp_summary}
+    text. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -128,35 +128,39 @@ let send ?(src = -1) t ~arrival ~pe task =
     Pqueue.add t.timers (t.clock + p.p_rto) (src, pe, fseq);
     transmit t f ~now:t.clock ~base (Data { src; dst = pe; fseq; delay = base; task })
 
-let deliver t ~now =
+(* Delivery hands each due message to [push] as it pops — the engine's
+   pools consume directly, with no intermediate list. The event stream is
+   unchanged from the list-returning days: pops emit [Deliver] in pop
+   order and [push] emits nothing, so interleaving push with pop leaves
+   the trace bytes identical. *)
+let deliver_into t ~now ~push =
   t.clock <- now;
   match t.faults with
   | None ->
-    let rec loop acc =
+    (* Fast path: the idealized channel is a single peek/pop loop with
+       no frame bookkeeping, and the [Deliver] event record is only
+       constructed when a recorder is attached. *)
+    let continue = ref true in
+    while !continue do
       match Pqueue.peek t.q with
       | Some (arrival, _) when arrival <= now -> (
         match Pqueue.pop t.q with
-        | Some (_, entry) -> loop (entry :: acc)
-        | None -> acc)
-      | Some _ | None -> acc
-    in
-    let delivered = List.rev (loop []) in
-    (match t.recorder with
-    | None -> ()
-    | Some r ->
-      List.iter
-        (fun (pe, task) ->
-          Dgr_obs.Recorder.emit r
-            (Dgr_obs.Event.Deliver
-               {
-                 kind = Task.obs_kind task;
-                 pe;
-                 vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
-               }))
-        delivered);
-    delivered
+        | Some (_, (pe, task)) ->
+          (match t.recorder with
+          | None -> ()
+          | Some r ->
+            Dgr_obs.Recorder.emit r
+              (Dgr_obs.Event.Deliver
+                 {
+                   kind = Task.obs_kind task;
+                   pe;
+                   vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+                 }));
+          push pe task
+        | None -> continue := false)
+      | Some _ | None -> continue := false
+    done
   | Some f ->
-    let delivered = ref [] in
     let rec drain () =
       match Pqueue.peek t.fq with
       | Some (arrival, _) when arrival <= now ->
@@ -167,9 +171,9 @@ let deliver t ~now =
           | Some p when not p.p_delivered ->
             p.p_delivered <- true;
             t.undelivered <- t.undelivered - 1;
-            delivered := (dst, task) :: !delivered;
             let kind, vid = obs_of task in
-            emit t (Dgr_obs.Event.Deliver { kind; pe = dst; vid })
+            emit t (Dgr_obs.Event.Deliver { kind; pe = dst; vid });
+            push dst task
           | Some _ | None ->
             (* redelivery of a frame already seen (or since acked and
                forgotten): suppress — this is the exactly-once edge *)
@@ -210,8 +214,12 @@ let deliver t ~now =
         service_timers ()
       | Some _ | None -> ()
     in
-    service_timers ();
-    List.rev !delivered
+    service_timers ()
+
+let deliver t ~now =
+  let acc = ref [] in
+  deliver_into t ~now ~push:(fun pe task -> acc := (pe, task) :: !acc);
+  List.rev !acc
 
 (* Undelivered sends in fault-free arrival order, send order among
    equals — deterministic regardless of hash-table layout. *)
@@ -228,6 +236,11 @@ let in_flight t =
   match t.faults with
   | None -> List.map (fun (_, (_, task)) -> task) (Pqueue.to_sorted_list t.q)
   | Some _ -> List.map (fun p -> p.p_task) (pending_sorted t)
+
+let iter_in_flight t f =
+  match t.faults with
+  | None -> Pqueue.iter (fun _ (_, task) -> f task) t.q
+  | Some _ -> Hashtbl.iter (fun _ p -> if not p.p_delivered then f p.p_task) t.pending
 
 let emit_purges t counts =
   List.iter

@@ -38,17 +38,26 @@ val send : ?src:int -> t -> arrival:int -> pe:int -> Task.t -> unit
     ignored. [arrival] is the fault-free arrival step; under faults the
     link's base delay is recovered as [arrival - now of last deliver]. *)
 
+val deliver_into : t -> now:int -> push:(int -> Task.t -> unit) -> unit
+(** Hand every message due by [now] to [push pe task], in delivery
+    order, without building a list. Under faults this is also the
+    network's clock tick: acks go out for every data frame received
+    (duplicates included — the previous ack may have been lost),
+    duplicate deliveries are suppressed, and expired retransmission
+    timers fire. Call once per step. *)
+
 val deliver : t -> now:int -> (int * Task.t) list
-(** Pop every message due by [now] as [(pe, task)], in order. Under
-    faults this is also the network's clock tick: acks go out for every
-    data frame received (duplicates included — the previous ack may have
-    been lost), duplicate deliveries are suppressed, and expired
-    retransmission timers fire. Call once per step. *)
+(** {!deliver_into} collected into a list, in delivery order (tests and
+    debugging; the engine consumes via [deliver_into]). *)
 
 val in_flight : t -> Task.t list
 (** Tasks sent but not yet delivered, ordered by fault-free arrival step
     then send order. Delivered-but-unacked frames are excluded: their
     effect already happened. *)
+
+val iter_in_flight : t -> (Task.t -> unit) -> unit
+(** Apply [f] to every undelivered task in {e unspecified} order, without
+    sorting or allocating — for order-insensitive folds (M_T seeding). *)
 
 val purge : t -> (Task.t -> bool) -> int
 (** Remove matching undelivered tasks; returns the count. Retransmission

@@ -89,6 +89,10 @@ let tasks t =
   List.map snd (Pqueue.to_sorted_list t.marking)
   @ List.map snd (Pqueue.to_sorted_list t.reduction)
 
+let iter_tasks t f =
+  Pqueue.iter (fun _ task -> f task) t.marking;
+  Pqueue.iter (fun _ task -> f task) t.reduction
+
 let purge t pred =
   let before = length t in
   Pqueue.filter_in_place (fun _ task -> not (pred task)) t.marking;

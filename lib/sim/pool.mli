@@ -43,6 +43,11 @@ val tasks : t -> Task.t list
 (** Queue order (ascending priority, FIFO among ties) — deterministic, so
     external views built from pool contents are stable. *)
 
+val iter_tasks : t -> (Task.t -> unit) -> unit
+(** Apply [f] to every pooled task in {e unspecified} order, without
+    sorting or allocating — for callers folding into order-insensitive
+    structures (e.g. the M_T seed set). *)
+
 val purge : t -> (Task.t -> bool) -> int
 (** Remove all tasks matching the predicate; returns how many. *)
 

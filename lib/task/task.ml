@@ -33,6 +33,26 @@ let reduction_endpoints = function
   | Respond { src; dst; _ } -> ( match dst with Some d -> [ src; d ] | None -> [ src ])
   | Cancel { src; dst } -> [ src; dst ]
 
+(* Allocation-free variants of [reduction_endpoints] for the hot callers
+   (M_T seeding visits every pending task; RC purges run per step). *)
+let iter_reduction_endpoints f = function
+  | Request { src; dst; _ } ->
+    (match src with Some s -> f s | None -> ());
+    f dst
+  | Respond { src; dst; _ } -> (
+    f src;
+    match dst with Some d -> f d | None -> ())
+  | Cancel { src; dst } ->
+    f src;
+    f dst
+
+let reduction_endpoint_exists p = function
+  | Request { src; dst; _ } ->
+    (match src with Some s -> p s | None -> false) || p dst
+  | Respond { src; dst; _ } ->
+    p src || (match dst with Some d -> p d | None -> false)
+  | Cancel { src; dst } -> p src || p dst
+
 let plane_of_mark = function
   | Mark1 _ | Mark2 _ -> Plane.MR
   | Mark3 _ -> Plane.MT

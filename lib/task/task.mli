@@ -61,6 +61,14 @@ val reduction_endpoints : reduction -> Vid.t list
 (** Source and destination vertices of a reduction task — the seeds
     contributed to [args(taskroot_i)] when M_T starts (§5.2). *)
 
+val iter_reduction_endpoints : (Vid.t -> unit) -> reduction -> unit
+(** [reduction_endpoints] without the list: applies [f] to each endpoint
+    (source first). Hot path — M_T seeding visits every pending task. *)
+
+val reduction_endpoint_exists : (Vid.t -> bool) -> reduction -> bool
+(** Does any endpoint satisfy the predicate? Allocation-free; used by
+    per-step task purges. *)
+
 val plane_of_mark : mark -> Plane.id
 (** The marking plane a mark task operates on: M_R for [Mark1]/[Mark2],
     M_T for [Mark3], the carried plane for [Return]. *)

@@ -1,94 +1,147 @@
-type 'a entry = { prio : int; rank : int; value : 'a }
+(* Parallel-array binary heap: priorities and FIFO ranks live in int
+   arrays (unboxed), values in a third array, so [add] allocates nothing
+   once capacity is reached — the previous entry-record representation
+   cost one 4-word block per insertion, and pools/networks insert on
+   every task send. Comparison semantics are unchanged: ascending
+   priority, FIFO (insertion rank) among ties. *)
 
-type 'a t = { heap : 'a entry Vec.t; mutable next_rank : int }
+type 'a t = {
+  mutable prio : int array;
+  mutable rank : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+  mutable next_rank : int;
+}
 
-let create () = { heap = Vec.create (); next_rank = 0 }
+let create () = { prio = [||]; rank = [||]; vals = [||]; len = 0; next_rank = 0 }
 
-let length q = Vec.length q.heap
+let length q = q.len
 
-let is_empty q = Vec.is_empty q.heap
+let is_empty q = q.len = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.rank < b.rank)
+(* [x] seeds the new value array's filler, keeping the representation
+   correct for any 'a (including float). *)
+let grow q x =
+  let cap = Array.length q.vals in
+  let cap' = if cap = 0 then 8 else cap * 2 in
+  let prio' = Array.make cap' 0 in
+  let rank' = Array.make cap' 0 in
+  let vals' = Array.make cap' x in
+  Array.blit q.prio 0 prio' 0 q.len;
+  Array.blit q.rank 0 rank' 0 q.len;
+  Array.blit q.vals 0 vals' 0 q.len;
+  q.prio <- prio';
+  q.rank <- rank';
+  q.vals <- vals'
 
-let swap h i j =
-  let tmp = Vec.get h i in
-  Vec.set h i (Vec.get h j);
-  Vec.set h j tmp
+let less q i j =
+  let pi = q.prio.(i) and pj = q.prio.(j) in
+  pi < pj || (pi = pj && q.rank.(i) < q.rank.(j))
 
-let rec sift_up h i =
+let swap q i j =
+  let p = q.prio.(i) in
+  q.prio.(i) <- q.prio.(j);
+  q.prio.(j) <- p;
+  let r = q.rank.(i) in
+  q.rank.(i) <- q.rank.(j);
+  q.rank.(j) <- r;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
+
+let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less (Vec.get h i) (Vec.get h parent) then begin
-      swap h i parent;
-      sift_up h parent
+    if less q i parent then begin
+      swap q i parent;
+      sift_up q parent
     end
   end
 
-let rec sift_down h i =
-  let n = Vec.length h in
+let rec sift_down q i =
+  let n = q.len in
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < n && less (Vec.get h l) (Vec.get h !smallest) then smallest := l;
-  if r < n && less (Vec.get h r) (Vec.get h !smallest) then smallest := r;
+  if l < n && less q l !smallest then smallest := l;
+  if r < n && less q r !smallest then smallest := r;
   if !smallest <> i then begin
-    swap h i !smallest;
-    sift_down h !smallest
+    swap q i !smallest;
+    sift_down q !smallest
   end
 
 let add q prio value =
-  let e = { prio; rank = q.next_rank; value } in
+  if q.len = Array.length q.vals then grow q value;
+  let i = q.len in
+  q.prio.(i) <- prio;
+  q.rank.(i) <- q.next_rank;
+  q.vals.(i) <- value;
   q.next_rank <- q.next_rank + 1;
-  Vec.push q.heap e;
-  sift_up q.heap (Vec.length q.heap - 1)
+  q.len <- i + 1;
+  sift_up q i
 
 let pop q =
-  if Vec.is_empty q.heap then None
+  if q.len = 0 then None
   else begin
-    let top = Vec.get q.heap 0 in
-    let last = Vec.pop q.heap in
-    (match last with
-    | Some e when Vec.length q.heap > 0 ->
-      Vec.set q.heap 0 e;
-      sift_down q.heap 0
-    | _ -> ());
-    Some (top.prio, top.value)
+    let p = q.prio.(0) and v = q.vals.(0) in
+    let n = q.len - 1 in
+    q.len <- n;
+    if n > 0 then begin
+      q.prio.(0) <- q.prio.(n);
+      q.rank.(0) <- q.rank.(n);
+      q.vals.(0) <- q.vals.(n);
+      sift_down q 0
+    end;
+    Some (p, v)
   end
 
-let peek q = if Vec.is_empty q.heap then None else
-    let e = Vec.get q.heap 0 in
-    Some (e.prio, e.value)
+let peek q = if q.len = 0 then None else Some (q.prio.(0), q.vals.(0))
 
-let clear q = Vec.clear q.heap
+let clear q = q.len <- 0
 
-let iter f q = Vec.iter (fun e -> f e.prio e.value) q.heap
+let iter f q =
+  for i = 0 to q.len - 1 do
+    f q.prio.(i) q.vals.(i)
+  done
 
-let to_list q = Vec.fold_left (fun acc e -> (e.prio, e.value) :: acc) [] q.heap
+let to_list q =
+  let acc = ref [] in
+  for i = 0 to q.len - 1 do
+    acc := (q.prio.(i), q.vals.(i)) :: !acc
+  done;
+  !acc
 
 let to_sorted_list q =
-  let entries = Vec.fold_left (fun acc e -> e :: acc) [] q.heap in
-  List.map
-    (fun e -> (e.prio, e.value))
-    (List.sort
-       (fun a b ->
-         match Int.compare a.prio b.prio with 0 -> Int.compare a.rank b.rank | c -> c)
-       entries)
+  let idx = Array.init q.len (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match Int.compare q.prio.(a) q.prio.(b) with
+      | 0 -> Int.compare q.rank.(a) q.rank.(b)
+      | c -> c)
+    idx;
+  Array.fold_right (fun i acc -> (q.prio.(i), q.vals.(i)) :: acc) idx []
 
-let rebuild q entries =
-  Vec.clear q.heap;
-  List.iter (fun e -> Vec.push q.heap e) entries;
-  let n = Vec.length q.heap in
-  for i = (n / 2) - 1 downto 0 do
-    sift_down q.heap i
+let heapify q =
+  for i = (q.len / 2) - 1 downto 0 do
+    sift_down q i
   done
 
 let filter_in_place p q =
-  let entries =
-    Vec.fold_left (fun acc e -> if p e.prio e.value then e :: acc else acc) [] q.heap
-  in
-  rebuild q entries
+  let j = ref 0 in
+  for i = 0 to q.len - 1 do
+    if p q.prio.(i) q.vals.(i) then begin
+      if !j <> i then begin
+        q.prio.(!j) <- q.prio.(i);
+        q.rank.(!j) <- q.rank.(i);
+        q.vals.(!j) <- q.vals.(i)
+      end;
+      incr j
+    end
+  done;
+  q.len <- !j;
+  heapify q
 
 let map_priorities f q =
-  let entries =
-    Vec.fold_left (fun acc e -> { e with prio = f e.prio e.value } :: acc) [] q.heap
-  in
-  rebuild q entries
+  for i = 0 to q.len - 1 do
+    q.prio.(i) <- f q.prio.(i) q.vals.(i)
+  done;
+  heapify q

@@ -20,4 +20,5 @@ let () =
       ("recovery", T_reduction.recovery_suite);
       ("properties", T_properties.suite);
       ("theorems", T_theorems.suite);
+      ("bench", T_bench.suite);
     ]

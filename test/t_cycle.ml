@@ -9,12 +9,9 @@ let empty_registry = Dgr_reduction.Template.create_registry ()
 
 let engine_for ?(deadlock_every = 1) ?(idle_gap = 5) g =
   let config =
-    {
-      Engine.default_config with
-      num_pes = Graph.num_pes g;
-      gc = Engine.Concurrent { deadlock_every; idle_gap };
-      heap_size = None;
-    }
+    Engine.Config.make ~num_pes:(Graph.num_pes g)
+      ~gc:(Engine.Concurrent { deadlock_every; idle_gap })
+      ~heap_size:None ()
   in
   Engine.create ~config g empty_registry
 
@@ -122,7 +119,7 @@ let test_start_cycle_twice_rejected () =
   let env =
     {
       Cycle.spawn_mark = (fun _ -> ());
-      reduction_tasks = (fun () -> []);
+      iter_reduction_endpoints = (fun _ -> ());
       purge_tasks = (fun _ -> 0);
       reprioritize = (fun () -> 0);
       now = (fun () -> 0);
@@ -143,9 +140,12 @@ let test_mt_before_mr_order () =
   let env =
     {
       Cycle.spawn_mark = (fun m -> spawned := m :: !spawned);
-      reduction_tasks =
-        (fun () -> [ Dgr_task.Task.Request { src = None; dst = Graph.root g;
-                                             demand = Demand.Vital; key = Graph.root g } ]);
+      iter_reduction_endpoints =
+        (fun f ->
+          Dgr_task.Task.iter_reduction_endpoints f
+            (Dgr_task.Task.Request
+               { src = None; dst = Graph.root g; demand = Demand.Vital;
+                 key = Graph.root g }));
       purge_tasks = (fun _ -> 0);
       reprioritize = (fun () -> 0);
       now = (fun () -> 0);

@@ -124,14 +124,10 @@ let run_differential seed =
     if seed land 1 = 0 then Dgr_core.Cycle.Tree else Dgr_core.Cycle.Flood_counters
   in
   let config =
-    {
-      Engine.default_config with
-      num_pes;
-      seed;
-      marking;
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 8 };
-      faults = Helpers.heavy_faults ~seed ();
-    }
+    Engine.Config.make ~num_pes ~seed ~marking
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 8 })
+      ~faults:(Helpers.heavy_faults ~seed ())
+      ()
   in
   let e = Engine.create ~config ga (registry ()) in
   let rng = Rng.create ((seed * 7) + 1) in
@@ -229,14 +225,10 @@ let run_invariant_seed seed =
   let ga = Builder.random ~num_pes (Rng.create seed) spec in
   let gb = Builder.random ~num_pes (Rng.create seed) spec in
   let config =
-    {
-      Engine.default_config with
-      num_pes;
-      seed;
-      marking = Dgr_core.Cycle.Tree;
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 5 };
-      faults = Helpers.heavy_faults ~seed:(seed + 100) ();
-    }
+    Engine.Config.make ~num_pes ~seed ~marking:Dgr_core.Cycle.Tree
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 5 })
+      ~faults:(Helpers.heavy_faults ~seed:(seed + 100) ())
+      ()
   in
   let e = Engine.create ~config ga (registry ()) in
   let rng = Rng.create (seed lxor 0xabcd) in
@@ -273,13 +265,10 @@ let test_invariants_every_step () =
 
 let run_program ?(num_pes = 4) ?(marking = Dgr_core.Cycle.Tree) ~fault_seed src =
   let config =
-    {
-      Engine.default_config with
-      num_pes;
-      marking;
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 20 };
-      faults = Helpers.heavy_faults ~seed:fault_seed ();
-    }
+    Engine.Config.make ~num_pes ~marking
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 20 })
+      ~faults:(Helpers.heavy_faults ~seed:fault_seed ())
+      ()
   in
   let g, templates = Dgr_lang.Compile.load_string ~num_pes src in
   let e = Engine.create ~config g templates in
@@ -307,11 +296,10 @@ let test_programs_survive_faults () =
 
 let test_deadlock_detected_under_faults () =
   let config =
-    {
-      Engine.default_config with
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 10 };
-      faults = Helpers.heavy_faults ~seed:9 ();
-    }
+    Engine.Config.make
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 10 })
+      ~faults:(Helpers.heavy_faults ~seed:9 ())
+      ()
   in
   let g, templates = Dgr_lang.Compile.load_string Dgr_lang.Prelude.deadlock in
   let e = Engine.create ~config g templates in

@@ -197,7 +197,7 @@ let prop_flood_safety_liveness_under_mutation =
 (* End-to-end: the whole machine under the flood scheme computes the same
    results and still collects, detects deadlock, etc. *)
 let engine_flood_config gc =
-  { Dgr_sim.Engine.default_config with gc; marking = Cycle.Flood_counters }
+  Dgr_sim.Engine.Config.make ~gc ~marking:Cycle.Flood_counters ()
 
 let test_engine_flood_programs () =
   List.iter
@@ -274,15 +274,17 @@ let prop_schemes_agree_end_to_end =
       in
       let run scheme =
         let config =
-          {
-            Dgr_sim.Engine.default_config with
-            num_pes = 1 + (seed mod 5);
-            gc = Dgr_sim.Engine.Concurrent { deadlock_every = 2; idle_gap = 5 + (seed mod 20) };
-            marking = scheme;
-          }
+          Dgr_sim.Engine.Config.make
+            ~num_pes:(1 + (seed mod 5))
+            ~gc:
+              (Dgr_sim.Engine.Concurrent
+                 { deadlock_every = 2; idle_gap = 5 + (seed mod 20) })
+            ~marking:scheme ()
         in
         let g, templates =
-          Dgr_lang.Compile.load_string ~num_pes:config.Dgr_sim.Engine.num_pes source
+          Dgr_lang.Compile.load_string
+            ~num_pes:(Dgr_sim.Engine.Config.num_pes config)
+            source
         in
         let e = Dgr_sim.Engine.create ~config g templates in
         Dgr_sim.Engine.inject_root_demand e;

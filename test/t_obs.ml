@@ -111,19 +111,18 @@ let test_timeseries_csv_shape () =
 
 let traced_run ?(seed = 11) () =
   let config =
-    {
-      Engine.default_config with
-      num_pes = 4;
-      heap_size = Some 9_000;
-      jitter = 0.3;
-      seed;
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 20 };
-    }
+    Engine.Config.make ~num_pes:4 ~heap_size:(Some 9_000) ~jitter:0.3 ~seed
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 20 })
+      ()
   in
   let g, templates =
-    Dgr_lang.Compile.load_string ~num_pes:config.Engine.num_pes (Dgr_lang.Prelude.fib 9)
+    Dgr_lang.Compile.load_string
+      ~num_pes:(Engine.Config.num_pes config)
+      (Dgr_lang.Prelude.fib 9)
   in
-  let r = Recorder.create ~sample_every:10 ~num_pes:config.Engine.num_pes () in
+  let r =
+    Recorder.create ~sample_every:10 ~num_pes:(Engine.Config.num_pes config) ()
+  in
   let e = Engine.create ~recorder:r ~config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps:100_000 e in
@@ -170,7 +169,9 @@ let test_trace_covers_machine () =
 let test_metrics_json () =
   let e, _ = traced_run () in
   let s = Metrics.to_json (Engine.metrics e) in
-  check_contains "object" "{\"steps\":" s;
+  check_contains "object"
+    (Printf.sprintf "{\"schema_version\":%d,\"steps\":" Metrics.schema_version)
+    s;
   check_contains "pauses stats" "\"pauses\":{\"count\":" s;
   check_contains "completion" "\"completion_step\":" s;
   let e2, _ = traced_run () in

@@ -247,14 +247,15 @@ let prop_engine_matches_interpreter =
         | _ -> Dgr_sim.Engine.Refcount
       in
       let config =
-        {
-          Dgr_sim.Engine.default_config with
-          num_pes = 1 + (seed mod 7);
-          gc;
-          speculate_if = seed land 1 = 0;
-        }
+        Dgr_sim.Engine.Config.make
+          ~num_pes:(1 + (seed mod 7))
+          ~gc
+          ~speculate_if:(seed land 1 = 0)
+          ()
       in
-      let g, templates = Compile.load ~num_pes:config.Dgr_sim.Engine.num_pes program in
+      let g, templates =
+        Compile.load ~num_pes:(Dgr_sim.Engine.Config.num_pes config) program
+      in
       let e = Dgr_sim.Engine.create ~config g templates in
       Dgr_sim.Engine.inject_root_demand e;
       let (_ : int) = Dgr_sim.Engine.run ~max_steps:400_000 e in

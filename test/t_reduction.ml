@@ -6,8 +6,10 @@ open Dgr_lang
 
 let value = Alcotest.testable Label.pp_value Label.equal_value
 
-let run_program ?(config = Engine.default_config) ?(max_steps = 400_000) source =
-  let g, templates = Compile.load_string ~num_pes:config.Engine.num_pes source in
+let run_program ?(config = Engine.Config.default) ?(max_steps = 400_000) source =
+  let g, templates =
+    Compile.load_string ~num_pes:(Engine.Config.num_pes config) source
+  in
   let e = Engine.create ~config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps e in
@@ -70,7 +72,7 @@ let all_gc_modes =
 let test_gc_modes_agree () =
   List.iter
     (fun (name, gc) ->
-      let config = { Engine.default_config with gc } in
+      let config = Engine.Config.make ~gc () in
       let e = check_result ~config (Prelude.fib 9) (Label.V_int (Prelude.fib_expected 9)) in
       Alcotest.(check (list string)) (name ^ " graph valid") []
         (Validate.check (Engine.graph e)))
@@ -79,7 +81,7 @@ let test_gc_modes_agree () =
 let test_pe_counts_agree () =
   List.iter
     (fun num_pes ->
-      let config = { Engine.default_config with num_pes } in
+      let config = Engine.Config.make ~num_pes () in
       ignore
         (check_result ~config (Prelude.sum_range 8)
            (Label.V_int (Prelude.sum_range_expected 8))))
@@ -88,12 +90,12 @@ let test_pe_counts_agree () =
 let test_policies_agree () =
   List.iter
     (fun policy ->
-      let config = { Engine.default_config with pool_policy = policy } in
+      let config = Engine.Config.make ~pool_policy:policy () in
       ignore (check_result ~config (Prelude.fib 8) (Label.V_int (Prelude.fib_expected 8))))
     [ Pool.Flat; Pool.By_demand; Pool.Dynamic ]
 
 let test_no_speculation () =
-  let config = { Engine.default_config with speculate_if = false } in
+  let config = Engine.Config.make ~speculate_if:false () in
   ignore (check_result ~config (Prelude.fib 9) (Label.V_int (Prelude.fib_expected 9)));
   ignore (check_result ~config Prelude.shared (Label.V_int 42))
 
@@ -106,10 +108,7 @@ let test_speculation_cancels () =
 
 let test_gc_collects_garbage_during_run () =
   let config =
-    {
-      Engine.default_config with
-      gc = Engine.Concurrent { deadlock_every = 2; idle_gap = 2 };
-    }
+    Engine.Config.make ~gc:(Engine.Concurrent { deadlock_every = 2; idle_gap = 2 }) ()
   in
   let e = check_result ~config (Prelude.fib 12) (Label.V_int (Prelude.fib_expected 12)) in
   match Engine.cycle e with
@@ -124,20 +123,14 @@ let test_gc_collects_garbage_during_run () =
 
 let test_divergent_speculation_still_completes () =
   let config =
-    {
-      Engine.default_config with
-      gc = Engine.Concurrent { deadlock_every = 0; idle_gap = 5 };
-    }
+    Engine.Config.make ~gc:(Engine.Concurrent { deadlock_every = 0; idle_gap = 5 }) ()
   in
   ignore (check_result ~config ~max_steps:500_000 Prelude.divergent_speculation
             (Label.V_int 7))
 
 let test_deadlock_detected () =
   let config =
-    {
-      Engine.default_config with
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 5 };
-    }
+    Engine.Config.make ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 5 }) ()
   in
   let g, templates = Compile.load_string Prelude.deadlock in
   let e = Engine.create ~config g templates in
@@ -167,10 +160,7 @@ let test_deadlock_detected () =
 
 let test_division_by_zero_deadlocks () =
   let config =
-    {
-      Engine.default_config with
-      gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 5 };
-    }
+    Engine.Config.make ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 5 }) ()
   in
   let g, templates = Compile.load_string "def main = 1 / 0;" in
   let e = Engine.create ~config g templates in
@@ -224,14 +214,14 @@ let suite =
 (* ⊥-recovery (footnote 5): deadlocked operators are rewritten to an
    error value that propagates like any other value. *)
 let recover_config =
-  {
-    Engine.default_config with
-    gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 5 };
-    recover_deadlock = true;
-  }
+  Engine.Config.make
+    ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 5 })
+    ~recover_deadlock:true ()
 
 let run_recovering source =
-  let g, templates = Compile.load_string ~num_pes:recover_config.Engine.num_pes source in
+  let g, templates =
+    Compile.load_string ~num_pes:(Engine.Config.num_pes recover_config) source
+  in
   let e = Engine.create ~config:recover_config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps:50_000 e in
@@ -261,7 +251,7 @@ let test_recovery_err_predicate () =
 
 let test_no_recovery_by_default () =
   let config =
-    { Engine.default_config with gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 5 } }
+    Engine.Config.make ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 5 }) ()
   in
   let g, templates = Compile.load_string Prelude.deadlock in
   let e = Engine.create ~config g templates in

@@ -173,7 +173,7 @@ let test_engine_local_vs_remote_latency () =
   let a = Graph.alloc ~pe:0 g Label.Ind in
   Vertex.connect a b.Vertex.id;
   Graph.set_root g a.Vertex.id;
-  let config = { Engine.default_config with num_pes = 2; latency = 9; gc = Engine.No_gc } in
+  let config = Engine.Config.make ~num_pes:2 ~latency:9 ~gc:Engine.No_gc () in
   let e = Engine.create ~config g (Dgr_reduction.Template.create_registry ()) in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps:200 e in
@@ -184,7 +184,7 @@ let test_engine_local_vs_remote_latency () =
 let test_engine_quiescence_no_gc () =
   let g = Graph.create () in
   let (_ : Vid.t) = Builder.add_root g (Label.Int 3) [] in
-  let config = { Engine.default_config with gc = Engine.No_gc } in
+  let config = Engine.Config.make ~gc:Engine.No_gc () in
   let e = Engine.create ~config g (Dgr_reduction.Template.create_registry ()) in
   Engine.inject_root_demand e;
   let steps = Engine.run e in
@@ -194,7 +194,7 @@ let test_engine_quiescence_no_gc () =
 let test_engine_inject_and_locate () =
   let g, a, b = mk_graph () in
   ignore b;
-  let config = { Engine.default_config with num_pes = 2; gc = Engine.No_gc } in
+  let config = Engine.Config.make ~num_pes:2 ~gc:Engine.No_gc () in
   let e = Engine.create ~config g (Dgr_reduction.Template.create_registry ()) in
   Engine.inject e (Task.request a Demand.Eager);
   Alcotest.(check int) "one pending" 1 (List.length (Engine.pending_tasks e));
@@ -234,12 +234,9 @@ let suite =
 let jitter_suite =
   let run ~jitter ~seed =
     let config =
-      {
-        Engine.default_config with
-        jitter;
-        seed;
-        gc = Engine.Concurrent { deadlock_every = 2; idle_gap = 10 };
-      }
+      Engine.Config.make ~jitter ~seed
+        ~gc:(Engine.Concurrent { deadlock_every = 2; idle_gap = 10 })
+        ()
     in
     let g, templates =
       Dgr_lang.Compile.load_string ~num_pes:4 (Dgr_lang.Prelude.fib 9)
@@ -273,12 +270,9 @@ let jitter_suite =
         Alcotest.(check bool) "different seed, different schedule" true (a <> c));
     Alcotest.test_case "deadlock detected under jitter" `Quick (fun () ->
         let config =
-          {
-            Engine.default_config with
-            jitter = 0.4;
-            seed = 11;
-            gc = Engine.Concurrent { deadlock_every = 1; idle_gap = 10 };
-          }
+          Engine.Config.make ~jitter:0.4 ~seed:11
+            ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 10 })
+            ()
         in
         let g, templates = Dgr_lang.Compile.load_string Dgr_lang.Prelude.deadlock in
         let e = Engine.create ~config g templates in

@@ -237,13 +237,18 @@ let prop_cycle_never_collects_live =
         | _ -> Dgr_lang.Prelude.speculative (10 + (seed mod 20))
       in
       let config =
-        {
-          Dgr_sim.Engine.default_config with
-          num_pes = 1 + (seed mod 5);
-          gc = Dgr_sim.Engine.Concurrent { deadlock_every = 2; idle_gap = 1 + (seed mod 9) };
-        }
+        Dgr_sim.Engine.Config.make
+          ~num_pes:(1 + (seed mod 5))
+          ~gc:
+            (Dgr_sim.Engine.Concurrent
+               { deadlock_every = 2; idle_gap = 1 + (seed mod 9) })
+          ()
       in
-      let g, templates = Dgr_lang.Compile.load_string ~num_pes:config.Dgr_sim.Engine.num_pes source in
+      let g, templates =
+        Dgr_lang.Compile.load_string
+          ~num_pes:(Dgr_sim.Engine.Config.num_pes config)
+          source
+      in
       let e = Dgr_sim.Engine.create ~config g templates in
       Dgr_sim.Engine.inject_root_demand e;
       let (_ : int) = Dgr_sim.Engine.run ~max_steps:300_000 e in
