@@ -28,6 +28,7 @@ let read_source file expr =
 
 type machine_opts = {
   pes : int;
+  domains : int;
   latency : int;
   tasks_per_step : int;
   gc_str : string;
@@ -76,7 +77,7 @@ let config_of_opts o =
     | s -> Error (Printf.sprintf "unknown marking scheme %S (tree|flood)" s)
   in
   Ok
-    (Engine.Config.make ~num_pes:o.pes ~latency:o.latency
+    (Engine.Config.make ~num_pes:o.pes ~domains:o.domains ~latency:o.latency
        ~tasks_per_step:o.tasks_per_step ~heap_size:o.heap ~pool_policy:policy
        ~speculate_if:(not o.no_speculate) ~gc ~marking
        ~recover_deadlock:o.recover_deadlock ~jitter:o.jitter ~seed:o.seed
@@ -122,6 +123,7 @@ let execute ~file ~expr ~opts ~max_steps ~out =
   let e = Engine.create ?recorder ~config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps e in
+  Engine.dispose e;
   (match Engine.result e with
   | Some v -> Format.printf "result: %a@." Dgr_graph.Label.pp_value v
   | None ->
@@ -241,7 +243,7 @@ let experiment_cmd id trace_dir =
     Format.eprintf "dgr: %s@." msg;
     1
 
-let bench_cmd smoke deterministic out baseline list_only =
+let bench_cmd smoke deterministic domains out baseline list_only =
   let module B = Dgr_harness.Bench in
   if list_only then begin
     List.iter print_endline (B.scenario_names ~smoke);
@@ -252,7 +254,7 @@ let bench_cmd smoke deterministic out baseline list_only =
       let rows =
         List.map
           (fun name ->
-            match B.run_suite ~only:[ name ] ~smoke ~deterministic () with
+            match B.run_suite ~domains ~only:[ name ] ~smoke ~deterministic () with
             | [ row ] ->
               Format.printf "%-24s %8d steps %9d tasks%s@." name row.B.steps
                 row.B.tasks
@@ -264,6 +266,26 @@ let bench_cmd smoke deterministic out baseline list_only =
               row
             | _ -> assert false)
           (B.scenario_names ~smoke)
+      in
+      let rows =
+        (* With shards and live clocks, take a sequential reference pass
+           and report the comparison; any digest divergence is a
+           determinism bug and outranks the numbers. *)
+        if domains > 1 && not deterministic then begin
+          let seq = B.run_suite ~domains:1 ~smoke ~deterministic () in
+          Format.printf "@.%-24s %13s %13s %9s@." "scenario" "seq steps/s"
+            (Printf.sprintf "%dd steps/s" domains)
+            "speedup";
+          List.iter
+            (fun (name, seq_sps, par_sps, agree) ->
+              Format.printf "%-24s %13.0f %13.0f %8.2fx%s@." name seq_sps
+                par_sps
+                (if seq_sps > 0.0 then par_sps /. seq_sps else 0.0)
+                (if agree then "" else "  DIGEST MISMATCH"))
+            (B.speedup_table ~seq ~par:rows);
+          B.with_speedups ~seq rows
+        end
+        else rows
       in
       let mode = if smoke then "smoke" else "full" in
       let json = B.to_json ~mode ~deterministic rows in
@@ -302,6 +324,11 @@ let expr_arg =
 
 let pes_arg =
   Arg.(value & opt int 4 & info [ "p"; "pes" ] ~docv:"N" ~doc:"Number of processing elements.")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"OCaml domains to shard the PEs across (capped at the PE count). \
+               The run is bit-identical at every value.")
 
 let latency_arg =
   Arg.(value & opt int 4 & info [ "latency" ] ~docv:"STEPS" ~doc:"Cross-PE message latency.")
@@ -415,11 +442,12 @@ let heap_normalize = function Some n when n <= 0 -> None | h -> h
 let machine_term =
   Term.(
     const
-      (fun pes latency tasks_per_step gc_str heap idle_gap deadlock_every stw_every
-           policy_str marking_str recover_deadlock jitter seed no_speculate fault_drop
-           fault_dup fault_delay fault_stall fault_seed ->
+      (fun pes domains latency tasks_per_step gc_str heap idle_gap deadlock_every
+           stw_every policy_str marking_str recover_deadlock jitter seed no_speculate
+           fault_drop fault_dup fault_delay fault_stall fault_seed ->
         {
           pes;
+          domains;
           latency;
           tasks_per_step;
           gc_str;
@@ -439,7 +467,7 @@ let machine_term =
           fault_stall;
           fault_seed;
         })
-    $ pes_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg $ idle_gap_arg
+    $ pes_arg $ domains_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg $ idle_gap_arg
     $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg $ recover_arg
     $ jitter_arg $ seed_arg $ no_spec_arg $ fault_drop_arg $ fault_dup_arg
     $ fault_delay_arg $ fault_stall_arg $ fault_seed_arg)
@@ -536,9 +564,17 @@ let bench_det_arg =
                output is then byte-reproducible across runs and machines (the \
                determinism check in CI diffs two such files).")
 
+let bench_domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Shard each scenario's machine across $(docv) OCaml domains. \
+               Simulation fields and digests are identical at every value; with \
+               $(docv) > 1 (and without $(b,--deterministic)) an extra \
+               sequential pass runs and a sequential-vs-parallel speedup table \
+               is printed.")
+
 let bench_out_arg =
   Arg.(value & opt string "BENCH.json" & info [ "o"; "output" ] ~docv:"PATH"
-         ~doc:"Where to write the results (versioned JSON, schema_version 1).")
+         ~doc:"Where to write the results (versioned JSON, schema_version 2).")
 
 let bench_baseline_arg =
   Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"PATH"
@@ -550,8 +586,8 @@ let bench_list_arg =
 
 let bench_term =
   Term.(
-    const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_out_arg
-    $ bench_baseline_arg $ bench_list_arg)
+    const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_domains_arg
+    $ bench_out_arg $ bench_baseline_arg $ bench_list_arg)
 
 let bench_cmd_v =
   Cmd.v

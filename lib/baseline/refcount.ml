@@ -19,7 +19,7 @@ let create g =
   (* Adopt edges that existed before the collector was attached (the
      initial program graph). *)
   Graph.iter_live
-    (fun v -> List.iter (fun c -> set t c (count t c + 1)) v.Vertex.args)
+    (fun v -> List.iter (fun c -> set t c (count t c + 1)) (Vertex.args v))
     g;
   t
 
@@ -40,7 +40,7 @@ let is_root t v = Graph.has_root t.g && Vid.equal (Graph.root t.g) v
 let rec release t v =
   let vx = Graph.vertex t.g v in
   if not vx.Vertex.free then begin
-    let children = vx.Vertex.args in
+    let children = Vertex.args vx in
     t.reclaimed <- t.reclaimed + 1;
     t.on_free v;
     Graph.release t.g v;

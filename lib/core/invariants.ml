@@ -63,3 +63,25 @@ let check_exn run ~pending =
   match check run ~pending with
   | [] -> ()
   | errs -> failwith ("Invariants.check failed:\n" ^ String.concat "\n" errs)
+
+(* Ownership discipline: a task executing at PE p mutates only vertices
+   homed at p — the locality property (§2: PEs interact only by sending
+   tasks) that lets the sharded engine run PEs on different domains
+   without locking the graph. Exempt are the controller (pe < 0, serial
+   by construction) and vertices born in the current allocation epoch:
+   a template instantiated this step is wired up by its allocating PE
+   before any other PE can learn the fresh vids. *)
+let ownership_guard g ~current_pe v =
+  let pe = current_pe () in
+  if pe >= 0 then begin
+    let vx = Graph.vertex g v in
+    if
+      (not vx.Vertex.free)
+      && vx.Vertex.birth < Graph.epoch g
+      && vx.Vertex.pe <> pe
+    then
+      failwith
+        (Printf.sprintf
+           "Invariants.ownership: task at PE %d mutated v%d owned by PE %d" pe v
+           vx.Vertex.pe)
+  end

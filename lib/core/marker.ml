@@ -47,7 +47,7 @@ let modify run ~v ~par ~prior =
       (fun c ->
         plane.Plane.cnt <- plane.Plane.cnt + 1;
         Mark2 { v = c; par = Plane.Parent v; prior = Trace.child_priority g v prior c })
-      vx.Vertex.args
+      (Vertex.args vx)
   in
   if plane.Plane.cnt = 0 then begin
     Plane.mark plane;

@@ -11,6 +11,7 @@ type t = {
   mutable on_connect : Vid.t -> Vid.t -> unit;
   mutable on_disconnect : Vid.t -> Vid.t -> unit;
   mutable recorder : Dgr_obs.Recorder.t option;
+  mutable guard : Vid.t -> unit;
   mutable total_coop_spawned : int;
   mutable total_coop_closure : int;
 }
@@ -27,6 +28,7 @@ let create ?(on_connect = nop2) ?(on_disconnect = nop2) ?recorder ~spawn graph =
     on_connect;
     on_disconnect;
     recorder;
+    guard = ignore;
     total_coop_spawned = 0;
     total_coop_closure = 0;
   }
@@ -147,10 +149,12 @@ let cooperate_edge t run ~parent ~child =
   end
 
 let connect t a c =
+  t.guard a;
   Vertex.connect (Graph.vertex t.graph a) c;
   t.on_connect a c
 
 let disconnect t a b =
+  t.guard a;
   Vertex.disconnect (Graph.vertex t.graph a) b;
   t.on_disconnect a b
 
@@ -182,10 +186,10 @@ let witness_cooperate t run ~a ~b ~c =
 let add_reference t ~a ~b ~c =
   let g = t.graph in
   let va = Graph.vertex g a and vb = Graph.vertex g b in
-  if not (List.exists (Vid.equal b) va.Vertex.args) then
+  if not (Vertex.has_arg va b) then
     invalid_arg
       (Printf.sprintf "Mutator.add_reference: witness v%d is not a child of v%d" b a);
-  if not (List.exists (Vid.equal c) vb.Vertex.args) then
+  if not (Vertex.has_arg vb c) then
     invalid_arg
       (Printf.sprintf "Mutator.add_reference: v%d is not a child of witness v%d" c b);
   List.iter
@@ -215,7 +219,7 @@ let expand_node t ~a ~entry =
     t.active;
   flood_edge_all t ~parent:a ~child:entry ~mt_only:false;
   let va = Graph.vertex t.graph a in
-  List.iter (fun old -> disconnect t a old) va.Vertex.args;
+  List.iter (fun old -> disconnect t a old) (Vertex.args va);
   connect t a entry
 
 let connect_fresh t ~parent ~child = connect t parent child
@@ -240,6 +244,7 @@ let add_edge ?demand t ~a ~c =
     t.active_flood
 
 let record_request t ~at ~requester ~demand ~key =
+  t.guard at;
   let vx = Graph.vertex t.graph at in
   let fresh = not (Vertex.has_request_entry vx requester key) in
   Vertex.add_requester vx requester ~demand ~key;
@@ -257,14 +262,19 @@ let record_request t ~at ~requester ~demand ~key =
       flood_edge_all t ~parent:at ~child:r ~mt_only:true
     end
 
-let answer t ~at ~requester = Vertex.remove_requester (Graph.vertex t.graph at) requester
+let answer t ~at ~requester =
+  t.guard at;
+  Vertex.remove_requester (Graph.vertex t.graph at) requester
 
-let request_child t ~v ~c ~demand = Vertex.request_arg (Graph.vertex t.graph v) c demand
+let request_child t ~v ~c ~demand =
+  t.guard v;
+  Vertex.request_arg (Graph.vertex t.graph v) c demand
 
 let drop_request_child t ~v ~c =
+  t.guard v;
   let vx = Graph.vertex t.graph v in
   Vertex.drop_request vx c;
-  if List.exists (Vid.equal c) vx.Vertex.args then begin
+  if Vertex.has_arg vx c then begin
     List.iter
       (fun run ->
         if run.Run.plane = Plane.MT then cooperate_edge t run ~parent:v ~child:c)

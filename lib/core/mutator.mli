@@ -43,6 +43,11 @@ type t = {
   mutable recorder : Dgr_obs.Recorder.t option;
       (** trace sink for cooperation events ([Coop_spawn]/[Coop_closure]);
           [None] (the default) records nothing *)
+  mutable guard : Vid.t -> unit;
+      (** called with the vertex about to be mutated, before every
+          edge-set mutation ([connect]/[disconnect]/request bookkeeping).
+          Default [ignore]; {!Dgr_core.Invariants.ownership_guard}
+          installs the debug ownership-discipline check here. *)
   mutable total_coop_spawned : int;
   mutable total_coop_closure : int;
 }

@@ -5,7 +5,7 @@ let children g plane v =
   if vx.Vertex.free then []
   else
     match plane with
-    | Plane.MR -> vx.Vertex.args
+    | Plane.MR -> Vertex.args vx
     | Plane.MT ->
       let requesters =
         List.filter_map (fun (e : Vertex.request_entry) -> e.Vertex.who) vx.Vertex.requested

@@ -125,7 +125,7 @@ let random_with_requests ?num_pes rng spec =
           | 0 -> Vertex.request_arg v c Demand.Vital
           | 1 -> Vertex.request_arg v c Demand.Eager
           | _ -> ())
-        v.Vertex.args)
+        (Vertex.args v))
     g;
   (* Install requested-edges consistent with req-args: if v requested c,
      then v is in requested(c) unless c already answered. *)

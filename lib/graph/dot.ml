@@ -25,7 +25,7 @@ let to_string ?(name = "g") g =
             else ""
           in
           Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" v.Vertex.id c annot))
-        v.Vertex.args;
+        (Vertex.args v);
       List.iter
         (fun (e : Vertex.request_entry) ->
           match e.Vertex.who with

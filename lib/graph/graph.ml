@@ -2,15 +2,78 @@ open Dgr_util
 
 exception Out_of_vertices
 
+(* A segment: append-only vertex storage with a fixed chunk directory.
+   Chunk [j] holds [base_size * 2^j] slots and, once allocated, never
+   moves — unlike a resizing array, a reader on another domain can never
+   observe a half-copied backing store. The sharded engine's step barrier
+   orders every push before any cross-domain read of the slot (fresh vids
+   only escape their allocating PE via messages, which take a step), so
+   reads of published slots are race-free. Single writer per segment. *)
+module Seg = struct
+  type t = { chunks : Vertex.t array array; mutable len : int }
+
+  let n_chunks = 40
+
+  let base_size = 512
+
+  let create () = { chunks = Array.make n_chunks [||]; len = 0 }
+
+  (* chunk index and offset for slot [i]: chunk [j] starts at
+     [base_size * (2^j - 1)]. *)
+  let locate i =
+    let j = ref 0 and lo = ref 0 and size = ref base_size in
+    while i >= !lo + !size do
+      lo := !lo + !size;
+      size := !size * 2;
+      incr j
+    done;
+    (!j, i - !lo)
+
+  let length t = t.len
+
+  let get t i =
+    let j, off = locate i in
+    Array.unsafe_get (Array.unsafe_get t.chunks j) off
+
+  let dummy = lazy (Vertex.create (-1) ~pe:(-1) Label.Freed)
+
+  let push t v =
+    let j, off = locate t.len in
+    if Array.length t.chunks.(j) = 0 then
+      t.chunks.(j) <- Array.make (base_size lsl j) (Lazy.force dummy);
+    t.chunks.(j).(off) <- v;
+    t.len <- t.len + 1
+end
+
+(* Partitioned storage, installed by [partition] once the graph stops
+   growing densely (i.e. when an engine takes ownership). Each home PE
+   gets its own free list, its own segment of fresh slots, and its own
+   slice of the capacity budget, so PEs running on different domains can
+   allocate without sharing any mutable structure. Fresh vids are striped
+   — home [h]'s [k]-th fresh slot is [base + k*pes + h] — which keeps the
+   vid space dense and makes vid-order iteration (the digest order)
+   independent of which PE allocated what first. *)
+type part = {
+  pes : int;
+  base : int;  (** dense-prefix length at partition time *)
+  segs : Seg.t array;
+  frees : Vid.t Vec.t array;
+  shares : int array;  (** per-home slot budget; [max_int] = unbounded *)
+  dense_counts : int array;  (** dense-prefix slots owned by each home *)
+  allocs : int array;
+}
+
 type t = {
   verts : Vertex.t Vec.t;
   free : Vid.t Vec.t;
-  num_pes : int;
+  mutable num_pes : int;
   mutable root : Vid.t option;
   mutable next_pe : int;
   mutable allocations : int;
   mutable releases : int;
   mutable capacity : int option;
+  mutable part : part option;
+  mutable epoch : int;
 }
 
 let create ?(num_pes = 1) () =
@@ -24,23 +87,98 @@ let create ?(num_pes = 1) () =
     allocations = 0;
     releases = 0;
     capacity = None;
+    part = None;
+    epoch = 0;
   }
+
+let vertex_count t =
+  Vec.length t.verts
+  + match t.part with
+    | None -> 0
+    | Some p -> Array.fold_left (fun acc s -> acc + Seg.length s) 0 p.segs
+
+let share_of cap pes h = (cap / pes) + if h < cap mod pes then 1 else 0
 
 let set_capacity t cap =
   (match cap with
-  | Some c when c < Vec.length t.verts ->
+  | Some c when c < vertex_count t ->
     invalid_arg "Graph.set_capacity: below current table size"
   | Some _ | None -> ());
-  t.capacity <- cap
+  t.capacity <- cap;
+  match t.part with
+  | None -> ()
+  | Some p ->
+    Array.iteri
+      (fun h _ ->
+        p.shares.(h) <-
+          (match cap with None -> max_int | Some c -> share_of c p.pes h))
+      p.shares
 
 let capacity t = t.capacity
 
+let partitioned t = t.part <> None
+
+let partition t ~pes =
+  if pes <= 0 then invalid_arg "Graph.partition: pes must be positive";
+  if t.part <> None then invalid_arg "Graph.partition: already partitioned";
+  t.num_pes <- pes;
+  let base = Vec.length t.verts in
+  let dense_counts = Array.init pes (fun h -> share_of base pes h) in
+  let shares =
+    match t.capacity with
+    | None -> Array.make pes max_int
+    | Some c -> Array.init pes (fun h -> share_of c pes h)
+  in
+  let frees = Array.init pes (fun _ -> Vec.create ()) in
+  Vec.iter (fun id -> Vec.push frees.(id mod pes) id) t.free;
+  Vec.clear t.free;
+  t.part <-
+    Some
+      {
+        pes;
+        base;
+        segs = Array.init pes (fun _ -> Seg.create ());
+        frees;
+        shares;
+        dense_counts;
+        allocs = Array.make pes 0;
+      }
+
+let home_of p v = if v < p.base then v mod p.pes else (v - p.base) mod p.pes
+
+let used_of p h = p.dense_counts.(h) + Seg.length p.segs.(h)
+
+let headroom_for t ~pe =
+  match t.part with
+  | None -> (
+    match t.capacity with
+    | None -> max_int
+    | Some c -> Vec.length t.free + (c - Vec.length t.verts))
+  | Some p ->
+    let h = ((pe mod p.pes) + p.pes) mod p.pes in
+    if p.shares.(h) = max_int then max_int
+    else Vec.length p.frees.(h) + Int.max 0 (p.shares.(h) - used_of p h)
+
 let headroom t =
-  match t.capacity with
-  | None -> max_int
-  | Some c -> Vec.length t.free + (c - Vec.length t.verts)
+  match t.part with
+  | None -> (
+    match t.capacity with
+    | None -> max_int
+    | Some c -> Vec.length t.free + (c - Vec.length t.verts))
+  | Some p ->
+    if t.capacity = None then max_int
+    else
+      let acc = ref 0 in
+      for h = 0 to p.pes - 1 do
+        acc := !acc + headroom_for t ~pe:h
+      done;
+      !acc
 
 let num_pes t = t.num_pes
+
+let epoch t = t.epoch
+
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let root t =
   match t.root with
@@ -51,11 +189,26 @@ let has_root t = t.root <> None
 
 let set_root t r = t.root <- Some r
 
-let mem t v = v >= 0 && v < Vec.length t.verts
+let mem t v =
+  v >= 0
+  &&
+  if v < Vec.length t.verts then true
+  else
+    match t.part with
+    | None -> false
+    | Some p ->
+      let off = v - p.base in
+      off >= 0 && off / p.pes < Seg.length p.segs.(off mod p.pes)
 
 let vertex t v =
-  if not (mem t v) then invalid_arg (Printf.sprintf "Graph.vertex: unknown vertex v%d" v);
-  Vec.get t.verts v
+  if v >= 0 && v < Vec.length t.verts then Vec.get t.verts v
+  else
+    match t.part with
+    | Some p when v >= p.base && (v - p.base) / p.pes < Seg.length p.segs.((v - p.base) mod p.pes)
+      ->
+      Seg.get p.segs.((v - p.base) mod p.pes) ((v - p.base) / p.pes)
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "Graph.vertex: unknown vertex v%d" v)
 
 let next_pe t =
   let pe = t.next_pe in
@@ -68,60 +221,117 @@ let fresh t ~pe label =
   Vec.push t.verts v;
   v
 
-let alloc ?pe t label =
-  let pe = match pe with Some p -> p | None -> next_pe t in
-  match Vec.pop t.free with
-  | Some id ->
-    t.allocations <- t.allocations + 1;
-    let v = Vec.get t.verts id in
-    v.Vertex.label <- label;
-    v.Vertex.free <- false;
-    v.Vertex.pe <- pe;
-    v
+let reuse t v ~pe label =
+  let vx = vertex t v in
+  vx.Vertex.label <- label;
+  vx.Vertex.free <- false;
+  vx.Vertex.pe <- pe;
+  vx.Vertex.birth <- t.epoch;
+  vx
+
+let alloc ?pe ?from t label =
+  match t.part with
   | None ->
-    (match t.capacity with
-    | Some c when Vec.length t.verts >= c -> raise Out_of_vertices
-    | Some _ | None -> ());
+    let pe = match pe with Some p -> p | None -> next_pe t in
     t.allocations <- t.allocations + 1;
-    fresh t ~pe label
+    (match Vec.pop t.free with
+    | Some id -> reuse t id ~pe label
+    | None ->
+      (match t.capacity with
+      | Some c when Vec.length t.verts >= c -> raise Out_of_vertices
+      | Some _ | None -> ());
+      let v = fresh t ~pe label in
+      v.Vertex.birth <- t.epoch;
+      v)
+  | Some p ->
+    (* Partitioned: every structure touched below belongs to [home], so
+       concurrent allocations from distinct PEs never contend. *)
+    let home =
+      match (from, pe) with
+      | Some f, _ -> ((f mod p.pes) + p.pes) mod p.pes
+      | None, Some q -> ((q mod p.pes) + p.pes) mod p.pes
+      | None, None -> 0
+    in
+    let pe = match pe with Some q -> q | None -> home in
+    p.allocs.(home) <- p.allocs.(home) + 1;
+    (match Vec.pop p.frees.(home) with
+    | Some id -> reuse t id ~pe label
+    | None ->
+      if p.shares.(home) <> max_int && used_of p home >= p.shares.(home) then
+        raise Out_of_vertices;
+      let k = Seg.length p.segs.(home) in
+      let id = p.base + (k * p.pes) + home in
+      let v = Vertex.create id ~pe label in
+      v.Vertex.birth <- t.epoch;
+      Seg.push p.segs.(home) v;
+      v)
 
 let release t id =
   let v = vertex t id in
   if v.Vertex.free then invalid_arg (Printf.sprintf "Graph.release: v%d already free" id);
   t.releases <- t.releases + 1;
   Vertex.reset_for_free v;
-  Vec.push t.free id
+  match t.part with
+  | None -> Vec.push t.free id
+  | Some p -> Vec.push p.frees.(home_of p id) id
 
 let preallocate t n =
+  if t.part <> None then invalid_arg "Graph.preallocate: graph is partitioned";
   for _ = 1 to n do
     let v = fresh t ~pe:(next_pe t) Label.Freed in
     v.Vertex.free <- true;
     Vec.push t.free v.Vertex.id
   done
 
-let children t v = (vertex t v).Vertex.args
+let children t v = Vertex.args (vertex t v)
 
-let vertex_count t = Vec.length t.verts
-
-let free_count t = Vec.length t.free
+let free_count t =
+  Vec.length t.free
+  + match t.part with
+    | None -> 0
+    | Some p -> Array.fold_left (fun acc f -> acc + Vec.length f) 0 p.frees
 
 let live_count t = vertex_count t - free_count t
 
-let free_list t = Vec.to_list t.free
+let free_list t =
+  Vec.to_list t.free
+  @ match t.part with
+    | None -> []
+    | Some p -> List.concat_map Vec.to_list (Array.to_list p.frees)
 
-let iter_all f t = Vec.iter f t.verts
+(* Iteration is always in ascending vid order — dense prefix first, then
+   the striped segments interleaved by stripe index — so digests and
+   live-set listings cannot depend on which PE allocated a vertex. *)
+let iter_all f t =
+  Vec.iter f t.verts;
+  match t.part with
+  | None -> ()
+  | Some p ->
+    let maxk = Array.fold_left (fun m s -> Int.max m (Seg.length s)) 0 p.segs in
+    for k = 0 to maxk - 1 do
+      for h = 0 to p.pes - 1 do
+        if k < Seg.length p.segs.(h) then f (Seg.get p.segs.(h) k)
+      done
+    done
 
-let iter_live f t = Vec.iter (fun v -> if not v.Vertex.free then f v) t.verts
+let iter_live f t = iter_all (fun v -> if not v.Vertex.free then f v) t
 
 let live_vids t =
-  Vec.fold_left (fun acc v -> if v.Vertex.free then acc else v.Vertex.id :: acc) [] t.verts
-  |> List.rev
+  let acc = ref [] in
+  iter_live (fun v -> acc := v.Vertex.id :: !acc) t;
+  List.rev !acc
 
 let fold_live f acc t =
-  Vec.fold_left (fun acc v -> if v.Vertex.free then acc else f acc v) acc t.verts
+  let acc = ref acc in
+  iter_live (fun v -> acc := f !acc v) t;
+  !acc
 
 let reset_plane t plane = iter_all (fun v -> Plane.reset (Vertex.plane v plane)) t
 
-let allocations t = t.allocations
+let allocations t =
+  t.allocations
+  + match t.part with
+    | None -> 0
+    | Some p -> Array.fold_left ( + ) 0 p.allocs
 
 let releases t = t.releases

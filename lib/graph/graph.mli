@@ -23,7 +23,31 @@ val capacity : t -> int option
 
 val headroom : t -> int
 (** Vertices allocatable before [Out_of_vertices]: |F| plus remaining
-    table growth. [max_int] when unbounded. *)
+    table growth. [max_int] when unbounded. On a partitioned graph this
+    sums every home's headroom and is only meaningful serially. *)
+
+val partition : t -> pes:int -> unit
+(** Switch the graph to partitioned storage: each of the [pes] home PEs
+    gets its own free list, its own striped segment of fresh vids
+    ([base + k*pes + home]) and a [1/pes] share of the capacity budget,
+    so allocations by distinct PEs touch disjoint mutable state (the
+    local stores of the paper's autonomous PEs). The existing dense
+    prefix keeps its vids; home of a dense vid is [vid mod pes]. Called
+    once by the engine; growth-by-[preallocate] is dense-only and must
+    happen before. Raises [Invalid_argument] if already partitioned. *)
+
+val partitioned : t -> bool
+
+val headroom_for : t -> pe:int -> int
+(** Allocatable slots in [pe]'s home partition (= [headroom] before
+    [partition]). Safe to read from [pe]'s own domain. *)
+
+val epoch : t -> int
+(** Allocation epoch, stamped into [Vertex.birth] by [alloc]. The engine
+    bumps it every step so the ownership checker can recognize
+    vertices born in the current step. *)
+
+val bump_epoch : t -> unit
 
 val num_pes : t -> int
 
@@ -39,10 +63,13 @@ val vertex : t -> Vid.t -> Vertex.t
 
 val mem : t -> Vid.t -> bool
 
-val alloc : ?pe:int -> t -> Label.t -> Vertex.t
+val alloc : ?pe:int -> ?from:int -> t -> Label.t -> Vertex.t
 (** Acquire a vertex from the free list (or grow the table if [F] is
     empty), assign it to a PE and label it. The returned vertex has no
-    edges. *)
+    edges. On a partitioned graph, [from] names the allocating PE and
+    selects the home partition (fresh vertices default to [pe = from] —
+    allocation is from the local store); before [partition], PEs are
+    assigned round-robin and [from] is ignored. *)
 
 val release : t -> Vid.t -> unit
 (** Reset the vertex and return it to the free list (the restructuring

@@ -12,13 +12,16 @@ type vertex = {
   mt_color : Plane.color;
 }
 
-type t = { root : Vid.t option; verts : vertex array }
+(* [verts] holds every vertex in ascending vid order. Partitioned graphs
+   stripe fresh vids across homes, so the vid space can have gaps;
+   [index] maps a vid to its position (or -1). *)
+type t = { root : Vid.t option; verts : vertex array; index : int array }
 
 let snap_vertex (v : Vertex.t) =
   {
     id = v.Vertex.id;
     label = v.Vertex.label;
-    args = v.Vertex.args;
+    args = Vertex.args v;
     req_v = v.Vertex.req_v;
     req_e = v.Vertex.req_e;
     requested = v.Vertex.requested;
@@ -30,17 +33,19 @@ let snap_vertex (v : Vertex.t) =
   }
 
 let take g =
-  let n = Graph.vertex_count g in
-  let verts =
-    Array.init n (fun i -> snap_vertex (Graph.vertex g i))
-  in
+  let acc = ref [] in
+  Graph.iter_all (fun v -> acc := snap_vertex v :: !acc) g;
+  let verts = Array.of_list (List.rev !acc) in
+  let max_vid = Array.fold_left (fun m v -> Int.max m v.id) (-1) verts in
+  let index = Array.make (max_vid + 1) (-1) in
+  Array.iteri (fun i v -> index.(v.id) <- i) verts;
   let root = if Graph.has_root g then Some (Graph.root g) else None in
-  { root; verts }
+  { root; verts; index }
 
 let vertex t v =
-  if v < 0 || v >= Array.length t.verts then
+  if v < 0 || v >= Array.length t.index || t.index.(v) < 0 then
     invalid_arg (Printf.sprintf "Snapshot.vertex: unknown vertex v%d" v);
-  t.verts.(v)
+  t.verts.(t.index.(v))
 
 let size t = Array.length t.verts
 

@@ -18,7 +18,11 @@ type vertex = {
   mt_color : Plane.color;
 }
 
-type t = { root : Vid.t option; verts : vertex array }
+type t = {
+  root : Vid.t option;
+  verts : vertex array;  (** ascending vid order; vids may have gaps *)
+  index : int array;  (** vid → position in [verts], [-1] for unknown vids *)
+}
 
 val take : Graph.t -> t
 

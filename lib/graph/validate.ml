@@ -14,17 +14,18 @@ let check g =
   Graph.iter_all
     (fun v ->
       let id = v.Vertex.id in
+      let vargs = Vertex.args v in
       List.iter
         (fun c -> if not (in_range c) then err "v%d: arg v%d out of range" id c)
-        v.Vertex.args;
+        vargs;
       List.iter
         (fun (e : Vertex.request_entry) ->
           match e.Vertex.who with
           | Some r when not (in_range r) -> err "v%d: requester v%d out of range" id r
           | Some _ | None -> ())
         v.Vertex.requested;
-      subset "req_v" id v.Vertex.req_v v.Vertex.args;
-      subset "req_e" id v.Vertex.req_e v.Vertex.args;
+      subset "req_v" id v.Vertex.req_v vargs;
+      subset "req_e" id v.Vertex.req_e vargs;
       List.iter
         (fun c ->
           if List.exists (Vid.equal c) v.Vertex.req_e then
@@ -33,7 +34,7 @@ let check g =
       if v.Vertex.free then begin
         if v.Vertex.label <> Label.Freed then
           err "v%d: free vertex has label %s" id (Label.to_string v.Vertex.label);
-        if v.Vertex.args <> [] then err "v%d: free vertex has args" id;
+        if vargs <> [] then err "v%d: free vertex has args" id;
         if v.Vertex.requested <> [] then err "v%d: free vertex has requesters" id
       end
       else
@@ -41,7 +42,7 @@ let check g =
           (fun c ->
             if in_range c && (Graph.vertex g c).Vertex.free then
               err "v%d: live vertex points to free vertex v%d" id c)
-          v.Vertex.args)
+          vargs)
     g;
   (* Free list and flags agree. *)
   let on_list = Vid.Tbl.create 16 in

@@ -2,16 +2,27 @@ type requester = Vid.t option
 
 type request_entry = { who : requester; demand : Demand.t; key : Vid.t }
 
+(* The argument list, as an immutable pair: the normalized prefix [fwd]
+   plus a reversed tail of recent appends. [connect] prepends onto
+   [rtail] in O(1); readers normalize ([fwd @ rev rtail]) lazily and
+   cache the result back, so a burst of n appends costs O(n) total
+   instead of the O(n²) of repeated [l @ [c]]. Both fields live in one
+   immutable record behind a single mutable field: a concurrent reader
+   racing a (re-)normalization can only ever observe a consistent pair,
+   and re-normalizing twice writes structurally equal values. *)
+type args_cell = { fwd : Vid.t list; rtail : Vid.t list }
+
 type t = {
   id : Vid.t;
+  mutable argc : args_cell;
   mutable label : Label.t;
-  mutable args : Vid.t list;
   mutable req_v : Vid.t list;
   mutable req_e : Vid.t list;
   mutable requested : request_entry list;
   mutable recv : (Vid.t * Label.value) list;
   mutable pe : int;
   mutable free : bool;
+  mutable birth : int;
   mutable sched_prior : int;
   mr : Plane.t;
   mt : Plane.t;
@@ -21,13 +32,14 @@ let create id ~pe label =
   {
     id;
     label;
-    args = [];
+    argc = { fwd = []; rtail = [] };
     req_v = [];
     req_e = [];
     requested = [];
     recv = [];
     pe;
     free = false;
+    birth = 0;
     sched_prior = 0;
     mr = Plane.create ();
     mt = Plane.create ();
@@ -35,7 +47,22 @@ let create id ~pe label =
 
 let plane t = function Plane.MR -> t.mr | Plane.MT -> t.mt
 
-let connect t c = t.args <- t.args @ [ c ]
+let args t =
+  match t.argc with
+  | { fwd; rtail = [] } -> fwd
+  | { fwd; rtail } ->
+    let all = fwd @ List.rev rtail in
+    t.argc <- { fwd = all; rtail = [] };
+    all
+
+let set_args t l = t.argc <- { fwd = l; rtail = [] }
+
+let connect t c = t.argc <- { t.argc with rtail = c :: t.argc.rtail }
+
+let has_arg t c =
+  List.exists (Vid.equal c) t.argc.fwd || List.exists (Vid.equal c) t.argc.rtail
+
+let arg_count t = List.length t.argc.fwd + List.length t.argc.rtail
 
 let remove_one x l =
   let rec loop acc = function
@@ -47,10 +74,10 @@ let remove_one x l =
 let remove_all x l = List.filter (fun y -> not (Vid.equal x y)) l
 
 let disconnect t c =
-  t.args <- remove_one c t.args;
+  set_args t (remove_one c (args t));
   (* req-args must remain subsets of args: drop the request record only if
      no occurrence of [c] remains among the args. *)
-  if not (List.exists (Vid.equal c) t.args) then begin
+  if not (has_arg t c) then begin
     t.req_v <- remove_all c t.req_v;
     t.req_e <- remove_all c t.req_e
   end
@@ -59,7 +86,7 @@ let req_args t = t.req_v @ t.req_e
 
 let unrequested_args t =
   let requested = req_args t in
-  List.filter (fun c -> not (List.exists (Vid.equal c) requested)) t.args
+  List.filter (fun c -> not (List.exists (Vid.equal c) requested)) (args t)
 
 let request_arg t c demand =
   let in_v = List.exists (Vid.equal c) t.req_v in
@@ -124,7 +151,7 @@ let clear_reduction_state t = t.recv <- []
 
 let reset_for_free t =
   t.label <- Label.Freed;
-  t.args <- [];
+  set_args t [];
   t.req_v <- [];
   t.req_e <- [];
   t.requested <- [];
@@ -137,6 +164,6 @@ let reset_for_free t =
 let pp fmt t =
   let pp_vids = Fmt.(list ~sep:comma Vid.pp) in
   Format.fprintf fmt "@[<h>%a[%a] pe=%d args=[%a] req_v=[%a] req_e=[%a] requested=%d%s@]" Vid.pp
-    t.id Label.pp t.label t.pe pp_vids t.args pp_vids t.req_v pp_vids t.req_e
+    t.id Label.pp t.label t.pe pp_vids (args t) pp_vids t.req_v pp_vids t.req_e
     (List.length t.requested)
     (if t.free then " FREE" else "")

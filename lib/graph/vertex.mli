@@ -26,10 +26,16 @@ type request_entry = {
           correlation state; see [Dgr_task.Task]) *)
 }
 
+type args_cell
+(** The argument list behind one mutable field: a normalized prefix plus
+    a reversed tail of recent O(1) appends, re-normalized lazily by
+    {!args}. Abstract so every reader goes through the accessor. *)
+
 type t = {
   id : Vid.t;
+  mutable argc : args_cell;
+      (** access through {!args}/{!has_arg}/{!arg_count} *)
   mutable label : Label.t;
-  mutable args : Vid.t list;
   mutable req_v : Vid.t list;
   mutable req_e : Vid.t list;
   mutable requested : request_entry list;
@@ -37,6 +43,10 @@ type t = {
       (** values already returned by requested children, keyed by child *)
   mutable pe : int;  (** owning processing element *)
   mutable free : bool;  (** true while the vertex sits on the free list *)
+  mutable birth : int;
+      (** the graph epoch (engine step) this slot was last allocated in;
+          the ownership checker exempts same-epoch vertices, which only
+          their allocating PE can reach *)
   mutable sched_prior : int;
       (** last priority assigned by a completed M_R cycle (3 = vital, 2 =
           eager, 1 = reserve); 0 until first classified. Survives plane
@@ -49,9 +59,20 @@ val create : Vid.t -> pe:int -> Label.t -> t
 
 val plane : t -> Plane.id -> Plane.t
 
+val args : t -> Vid.t list
+(** The ordered data-dependency children. Amortized O(1): normalizes and
+    caches pending appends on first read. *)
+
+val set_args : t -> Vid.t list -> unit
+
+val has_arg : t -> Vid.t -> bool
+(** Membership in [args] without forcing normalization. *)
+
+val arg_count : t -> int
+
 val connect : t -> Vid.t -> unit
 (** Append a child to [args] (paper's [connect(a,b)]); duplicates allowed —
-    [args] is a multiset in the presence of e.g. [x + x]. *)
+    [args] is a multiset in the presence of e.g. [x + x]. O(1). *)
 
 val disconnect : t -> Vid.t -> unit
 (** Remove one occurrence of the child from [args] and from any [req-args]

@@ -2,7 +2,9 @@ open Dgr_graph
 open Dgr_sim
 open Dgr_lang
 
-let schema_version = 1
+(* v2: rows gained "domains" and "speedup_vs_seq", the document gained a
+   top-level "domains" (the shard count the suite ran at). *)
+let schema_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* The macro suite.                                                    *)
@@ -117,6 +119,7 @@ let scenario_names ~smoke =
 type row = {
   name : string;
   seed : int;
+  domains : int;  (** shard count the scenario ran at *)
   steps : int;
   tasks : int;
   messages : int;
@@ -127,6 +130,9 @@ type row = {
   digest : string;
   wall_ns : int64;
   minor_words : float;
+  speedup_vs_seq : float;
+      (** steps/sec vs the same scenario at [domains = 1]; [0.0] when
+          unknown (deterministic runs, or no sequential row to compare) *)
 }
 
 (* Everything a run's semantics determine, in one string: if two engines
@@ -157,19 +163,20 @@ let signature e =
     m.Metrics.cycles_completed m.Metrics.stw_collections m.Metrics.msgs_dropped
     m.Metrics.retransmits m.Metrics.stalls
 
-let build_engine s =
-  let num_pes = Engine.Config.num_pes s.s_config in
+let build_engine ?(domains = 1) s =
+  let config = Engine.Config.with_domains domains s.s_config in
+  let num_pes = Engine.Config.num_pes config in
   let g, templates =
     match s.s_workload with
     | Program source -> Compile.load_string ~num_pes source
     | Storm spec ->
-      let rng = Dgr_util.Rng.create (Engine.Config.seed s.s_config) in
+      let rng = Dgr_util.Rng.create (Engine.Config.seed config) in
       (Builder.random ~num_pes rng spec, Dgr_reduction.Template.create_registry ())
   in
-  Engine.create ~config:s.s_config g templates
+  Engine.create ~config g templates
 
-let run_scenario ~deterministic s =
-  let e = build_engine s in
+let run_scenario ?(domains = 1) ~deterministic s =
+  let e = build_engine ~domains s in
   Engine.inject_root_demand e;
   (match s.s_workload with
   | Storm _ ->
@@ -195,9 +202,11 @@ let run_scenario ~deterministic s =
   let minor_words = if deterministic then 0.0 else Gc.minor_words () -. mw0 in
   let m = Engine.metrics e in
   let cycles = m.Metrics.cycles_completed in
+  let row_result =
   {
     name = s.s_name;
     seed = Engine.Config.seed s.s_config;
+    domains = Engine.Config.domains (Engine.config e);
     steps;
     tasks = m.Metrics.reduction_executed + m.Metrics.marking_executed;
     messages = m.Metrics.remote_messages + m.Metrics.local_messages;
@@ -209,9 +218,37 @@ let run_scenario ~deterministic s =
     digest = Digest.to_hex (Digest.string (signature e));
     wall_ns;
     minor_words;
+    speedup_vs_seq = 0.0;
   }
+  in
+  Engine.dispose e;
+  row_result
 
-let run_suite ?only ~smoke ~deterministic () =
+let steps_per_sec r =
+  if r.wall_ns = 0L then 0.0
+  else float_of_int r.steps /. (Int64.to_float r.wall_ns /. 1e9)
+
+(* Fill [speedup_vs_seq] in [rows] from a matching sequential run of the
+   same scenarios. The digests must agree — the determinism contract —
+   so the speedup compares identical work. *)
+let with_speedups ~seq rows =
+  List.map
+    (fun r ->
+      match List.find_opt (fun s -> s.name = r.name) seq with
+      | Some s when steps_per_sec s > 0.0 && s.digest = r.digest ->
+        { r with speedup_vs_seq = steps_per_sec r /. steps_per_sec s }
+      | Some _ | None -> r)
+    rows
+
+let speedup_table ~seq ~par =
+  List.filter_map
+    (fun r ->
+      match List.find_opt (fun s -> s.name = r.name) seq with
+      | Some s -> Some (r.name, steps_per_sec s, steps_per_sec r, r.digest = s.digest)
+      | None -> None)
+    (with_speedups ~seq par)
+
+let run_suite ?(domains = 1) ?only ~smoke ~deterministic () =
   let selected =
     match only with
     | None -> List.filter (fun s -> (not smoke) || s.s_smoke) suite
@@ -226,7 +263,7 @@ let run_suite ?only ~smoke ~deterministic () =
                  (String.concat ", " (scenario_names ~smoke:false))))
         names
   in
-  List.map (run_scenario ~deterministic) selected
+  List.map (run_scenario ~domains ~deterministic) selected
 
 (* ------------------------------------------------------------------ *)
 (* BENCH.json.                                                         *)
@@ -240,16 +277,17 @@ let row_json r =
     else r.minor_words /. float_of_int r.steps
   in
   Printf.sprintf
-    "{\"name\":\"%s\",\"seed\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f}"
-    r.name r.seed r.steps r.tasks r.messages r.cycles r.avg_cycle_len r.live
-    r.completed r.digest r.wall_ns (rate r.steps) (rate r.tasks)
-    (rate r.messages) mwps
+    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
+    r.name r.seed r.domains r.steps r.tasks r.messages r.cycles r.avg_cycle_len
+    r.live r.completed r.digest r.wall_ns (rate r.steps) (rate r.tasks)
+    (rate r.messages) mwps r.speedup_vs_seq
 
 let to_json ~mode ~deterministic rows =
+  let domains = List.fold_left (fun m r -> Int.max m r.domains) 1 rows in
   let b = Buffer.create 2048 in
   Printf.bprintf b
-    "{\"schema_version\":%d,\"bench\":\"dgr-macro\",\"mode\":\"%s\",\"deterministic\":%b,\"scenarios\":[\n"
-    schema_version mode deterministic;
+    "{\"schema_version\":%d,\"bench\":\"dgr-macro\",\"mode\":\"%s\",\"deterministic\":%b,\"domains\":%d,\"scenarios\":[\n"
+    schema_version mode deterministic domains;
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
@@ -386,8 +424,9 @@ let golden_scenario i =
   in
   (Printf.sprintf "%02d-%s-%s" i wname gname, config, source)
 
-let golden_line i =
+let golden_line ?(domains = 1) i =
   let name, config, source = golden_scenario i in
+  let config = Engine.Config.with_domains domains config in
   let num_pes = Engine.Config.num_pes config in
   let g, templates = Compile.load_string ~num_pes source in
   let recorder =
@@ -396,6 +435,7 @@ let golden_line i =
   let e = Engine.create ~recorder ~config g templates in
   Engine.inject_root_demand e;
   let (_ : int) = Engine.run ~max_steps:40_000 e in
+  Engine.dispose e;
   let m = Engine.metrics e in
   let live =
     String.concat "," (List.map string_of_int (Graph.live_vids (Engine.graph e)))
@@ -431,4 +471,4 @@ let golden_line i =
     m.Metrics.peak_live m.Metrics.msgs_dropped m.Metrics.msgs_duplicated
     m.Metrics.retransmits m.Metrics.stalls trace_md5
 
-let golden_lines () = List.init 20 golden_line
+let golden_lines ?domains () = List.init 20 (fun i -> golden_line ?domains i)

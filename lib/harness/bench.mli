@@ -24,6 +24,7 @@ val schema_version : int
 type row = {
   name : string;
   seed : int;
+  domains : int;  (** shard count the scenario ran at (see {!Engine.dispose}) *)
   steps : int;  (** simulation steps executed *)
   tasks : int;  (** reduction + marking tasks executed *)
   messages : int;  (** remote + local task sends *)
@@ -37,16 +38,42 @@ type row = {
           Equal digests mean semantically identical runs. *)
   wall_ns : int64;  (** host wall clock; 0 in deterministic mode *)
   minor_words : float;  (** minor heap allocated; 0 in deterministic mode *)
+  speedup_vs_seq : float;
+      (** steps/sec relative to the same scenario at [domains = 1];
+          [0.0] until filled by {!with_speedups} (and always [0.0] in
+          deterministic mode, where no rates exist) *)
 }
 
 val scenario_names : smoke:bool -> string list
 (** The suite in run order ([dgr bench --list]). *)
 
 val run_suite :
-  ?only:string list -> smoke:bool -> deterministic:bool -> unit -> row list
+  ?domains:int ->
+  ?only:string list ->
+  smoke:bool ->
+  deterministic:bool ->
+  unit ->
+  row list
 (** Run the suite (or the [only] subset of it, by name) and return one
     row per scenario. [deterministic] skips the clock and allocation
-    meters. Raises [Invalid_argument] on an unknown name in [only]. *)
+    meters. [domains] (default 1) shards each engine across that many
+    OCaml domains — the simulation fields and digest are identical at
+    every value; only the wall-clock fields move. Raises
+    [Invalid_argument] on an unknown name in [only]. *)
+
+val steps_per_sec : row -> float
+(** [0.0] for deterministic rows. *)
+
+val with_speedups : seq:row list -> row list -> row list
+(** Fill each row's [speedup_vs_seq] from the matching (same name,
+    {e same digest}) row of a sequential run; rows without a comparable
+    sequential twin pass through unchanged. *)
+
+val speedup_table : seq:row list -> par:row list -> (string * float * float * bool) list
+(** [(name, seq_sps, par_sps, digests_agree)] for every parallel row with
+    a sequential twin — the sequential-vs-parallel comparison [dgr bench
+    --domains N] prints. [digests_agree = false] flags a determinism
+    violation, which is worth more than any speedup. *)
 
 val to_json : mode:string -> deterministic:bool -> row list -> string
 (** The [BENCH.json] document: fixed field order and float precision, so
@@ -67,11 +94,11 @@ val regressions :
     >20% regressions. Scenarios with a non-positive baseline rate (a
     deterministic baseline) are skipped. *)
 
-val golden_lines : unit -> string list
+val golden_lines : ?domains:int -> unit -> string list
 (** The 20-scenario differential fixture: workloads × collectors ×
     machine shapes × fault planes, each summarized as one line capturing
     the end state (live-set digest, deadlock verdicts, result, metrics)
     and the MD5 of the full event trace. [test/golden_engine.txt] holds
-    the lines produced by the pre-optimization engine; the differential
-    test regenerates them and diffs byte-for-byte, pinning the hot-path
-    rewrite to bit-identical semantics. *)
+    the committed lines; the differential test regenerates them — at
+    [domains] ∈ {1, 2, 4} — and diffs byte-for-byte, pinning the sharded
+    engine to bit-identical semantics at every shard count. *)

@@ -121,3 +121,26 @@ let tick t ~live ~in_flight ~headroom ~pool_depth =
   end
 
 let samples t = List.rev t.samples_rev
+
+(* Replay a sub-recorder's buffered events into [t] and reset it. The
+   sharded engine gives each PE a private sub-recorder (so emitting never
+   contends across domains) and drains them at the step barrier in
+   ascending PE order; re-emitting through [emit] restamps each event
+   with [t]'s clock and sequence, so the merged stream is identical to
+   what a serial run would have recorded. Raises if [src] has wrapped —
+   sub-recorders are sized for one step's events, drained every step. *)
+let drain_into ~src ~dst =
+  if src.seq > src.len then
+    invalid_arg "Recorder.drain_into: source ring wrapped; events lost";
+  for i = 0 to src.len - 1 do
+    emit dst src.buf.((src.start + i) mod src.cap).Event.kind
+  done;
+  src.start <- 0;
+  src.len <- 0;
+  src.seq <- 0;
+  Array.fill src.mark_delta 0 src.pes 0;
+  Array.fill src.red_delta 0 src.pes 0;
+  src.drop_delta <- 0;
+  src.dup_delta <- 0;
+  src.retransmit_delta <- 0;
+  src.stall_delta <- 0

@@ -69,3 +69,12 @@ val tick : t -> live:int -> in_flight:int -> headroom:int -> pool_depth:int arra
 
 val samples : t -> sample list
 (** Oldest first. *)
+
+val drain_into : src:t -> dst:t -> unit
+(** Re-emit every event buffered in [src] into [dst] (restamping with
+    [dst]'s clock and sequence) and reset [src]. The sharded engine
+    drains each PE's private sub-recorder at the step barrier in
+    ascending PE order, which makes the merged event stream — and every
+    export derived from it — independent of domain scheduling. Raises
+    [Invalid_argument] if [src]'s ring has wrapped (events would be
+    silently missing from the merge). *)

@@ -152,7 +152,7 @@ let finish_value t v label =
   (match Label.value_of_whnf ~self:v label with
   | Some value -> answer_all t v value
   | None -> assert false);
-  List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) vx.Vertex.args;
+  List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) (Vertex.args vx);
   Vertex.clear_reduction_state vx
 
 (* Rewrite [v] to an indirection onto its (sole remaining) child [target],
@@ -225,7 +225,7 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
       let value = Option.get (Label.value_of_whnf ~self:v l) in
       send_respond t ~src:v ~dst:s ~value ~key ~demand
     | Label.Ind -> (
-      match vx.Vertex.args with
+      match Vertex.args vx with
       | target :: _ ->
         (* Record the forwarded demand on the edge so the marking process
            sees the path as requested (never downgrades). *)
@@ -243,11 +243,11 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
       let was_vital = has_vital_requester vx in
       Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
       if first then begin
-        if List.length vx.Vertex.args <> Label.prim_arity p then
+        if Vertex.arg_count vx <> Label.prim_arity p then
           mark_stuck t v
             (Printf.sprintf "%s applied to %d args (arity %d)" (Label.prim_name p)
-               (List.length vx.Vertex.args) (Label.prim_arity p))
-        else demand_args t v vx.Vertex.args ~ctx:demand
+               (Vertex.arg_count vx) (Label.prim_arity p))
+        else demand_args t v (Vertex.args vx) ~ctx:demand
       end
       else if Demand.equal demand Demand.Vital && not was_vital then
         (* Eager → vital upgrade (§3.2 item 2): re-demand the pending
@@ -261,7 +261,7 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
     | Label.If -> (
       let was_vital = has_vital_requester vx in
       Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
-      match vx.Vertex.args with
+      match Vertex.args vx with
       | [ p; th; el ] when Vertex.req_args vx = [] ->
         Mutator.request_child t.mut ~v ~c:p ~demand:Demand.Vital;
         send_request t ~src:(Some v) ~dst:p ~demand ~key:p;
@@ -285,9 +285,9 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
       match Template.find t.templates f with
       | None -> mark_stuck t v (Printf.sprintf "unknown function %s" f)
       | Some tpl ->
-        if List.length vx.Vertex.args <> tpl.Template.arity then
+        if Vertex.arg_count vx <> tpl.Template.arity then
           mark_stuck t v
-            (Printf.sprintf "%s applied to %d args (arity %d)" f (List.length vx.Vertex.args)
+            (Printf.sprintf "%s applied to %d args (arity %d)" f (Vertex.arg_count vx)
                tpl.Template.arity)
         else if
           (* V is finite (§2.2): expansion draws vertices from F, and
@@ -315,7 +315,7 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
           let need =
             Template.size tpl + if cls >= 3 then 0 else t.speculation_reserve
           in
-          Graph.headroom t.graph < need
+          Graph.headroom_for t.graph ~pe:vx.Vertex.pe < need
         then begin
           t.alloc_stalls <- t.alloc_stalls + 1;
           obs t (Dgr_obs.Event.Alloc_stall { vid = v });
@@ -323,7 +323,8 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
         end
         else begin
           let entry =
-            Template.instantiate tpl t.graph t.mut ~actuals:vx.Vertex.args
+            Template.instantiate ~from:vx.Vertex.pe tpl t.graph t.mut
+              ~actuals:(Vertex.args vx)
           in
           Mutator.expand_node t.mut ~a:v ~entry;
           vx.Vertex.label <- Label.Ind;
@@ -354,16 +355,16 @@ and exec_respond t ~src:responder ~dst ~value ~key =
 
 and try_reduce_prim t v p =
   let vx = Graph.vertex t.graph v in
-  let needed = distinct vx.Vertex.args in
+  let needed = distinct (Vertex.args vx) in
   if List.for_all (fun c -> Vertex.value_from vx c <> None) needed then begin
     match p with
     | Label.Head | Label.Tail -> (
-      match List.map (fun c -> Option.get (Vertex.value_from vx c)) vx.Vertex.args with
+      match List.map (fun c -> Option.get (Vertex.value_from vx c)) (Vertex.args vx) with
       | [ Label.V_ref cell ] -> reduce_projection t v p cell
       | [ _ ] -> mark_stuck t v (Label.prim_name p ^ " of a non-list value")
       | _ -> mark_stuck t v (Label.prim_name p ^ " arity error"))
     | _ -> (
-      let values = List.map (fun c -> Option.get (Vertex.value_from vx c)) vx.Vertex.args in
+      let values = List.map (fun c -> Option.get (Vertex.value_from vx c)) (Vertex.args vx) in
       match eval_scalar p values with
       | Ok label -> finish_value t v label
       | Error reason -> mark_stuck t v reason)
@@ -371,18 +372,19 @@ and try_reduce_prim t v p =
 
 and reduce_projection t v p cell =
   let cx = Graph.vertex t.graph cell in
-  match (cx.Vertex.label, cx.Vertex.args) with
+  match (cx.Vertex.label, Vertex.args cx) with
   | Label.Cons, [ hd; tl ] ->
     let target = match p with Label.Head -> hd | _ -> tl in
     let vx = Graph.vertex t.graph v in
     (* Rewire v → target. If the cons cell is v's direct child the paper's
        witnessed add-reference applies; otherwise the general edge. *)
-    if List.exists (Vid.equal cell) vx.Vertex.args then
+    if Vertex.has_arg vx cell then
       Mutator.add_reference t.mut ~a:v ~b:cell ~c:target
     else Mutator.add_edge t.mut ~a:v ~c:target;
     (* Drop every old argument, keeping exactly the one new occurrence of
        [target] appended by the rewiring above. *)
-    let olds = List.filteri (fun i _ -> i < List.length vx.Vertex.args - 1) vx.Vertex.args in
+    let va = Vertex.args vx in
+    let olds = List.filteri (fun i _ -> i < List.length va - 1) va in
     List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) olds;
     become_indirection t v target
   | Label.Cons, _ -> mark_stuck t v "malformed cons cell"
@@ -390,7 +392,7 @@ and reduce_projection t v p cell =
 
 and progress_if t v ~key ~value =
   let vx = Graph.vertex t.graph v in
-  match vx.Vertex.args with
+  match Vertex.args vx with
   | [ p; th; el ] when Vid.equal key p && (match value with Label.V_err _ -> true | _ -> false)
     ->
     (* an undefined predicate poisons the conditional: cancel both
@@ -439,7 +441,7 @@ and exec_cancel t ~src:s ~dst:v =
   if vx.Vertex.free then stale t
   else begin
     Mutator.answer t.mut ~at:v ~requester:(Some s);
-    match (vx.Vertex.label, vx.Vertex.args) with
+    match (vx.Vertex.label, Vertex.args vx) with
     | Label.Ind, target :: _ -> t.send (Reduction (Cancel { src = s; dst = target }))
     | _ -> ()
   end
@@ -467,3 +469,32 @@ let purge_parked t pred =
   let before = Dgr_util.Vec.length t.parked in
   Dgr_util.Vec.filter_in_place (fun task -> not (pred task)) t.parked;
   before - Dgr_util.Vec.length t.parked
+
+(* Fold a per-PE reducer's step-local effects into [t] and zero them.
+   The sharded engine calls this at the barrier in ascending PE order, so
+   the merged parked list and stuck set are independent of which domain
+   ran which PE. *)
+let absorb t src =
+  t.requests_executed <- t.requests_executed + src.requests_executed;
+  src.requests_executed <- 0;
+  t.responds_executed <- t.responds_executed + src.responds_executed;
+  src.responds_executed <- 0;
+  t.cancels_executed <- t.cancels_executed + src.cancels_executed;
+  src.cancels_executed <- 0;
+  t.expansions <- t.expansions + src.expansions;
+  src.expansions <- 0;
+  t.rewrites <- t.rewrites + src.rewrites;
+  src.rewrites <- 0;
+  t.stale_dropped <- t.stale_dropped + src.stale_dropped;
+  src.stale_dropped <- 0;
+  t.alloc_stalls <- t.alloc_stalls + src.alloc_stalls;
+  src.alloc_stalls <- 0;
+  (match t.result with None -> t.result <- src.result | Some _ -> ());
+  src.result <- None;
+  Dgr_util.Vec.iter (fun task -> Dgr_util.Vec.push t.parked task) src.parked;
+  Dgr_util.Vec.clear src.parked;
+  List.iter
+    (fun (v, reason) ->
+      if not (List.mem_assoc v t.stuck) then t.stuck <- (v, reason) :: t.stuck)
+    (List.rev src.stuck);
+  src.stuck <- []

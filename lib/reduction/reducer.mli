@@ -93,3 +93,10 @@ val drain_parked : t -> Task.reduction list
 val purge_parked : t -> (Task.reduction -> bool) -> int
 (** Expunge matching parked tasks (restructure's irrelevant-task
     deletion must see parked tasks too). *)
+
+val absorb : t -> t -> unit
+(** [absorb t src] folds a per-PE reducer's step-local effects into [t]
+    and zeroes [src]: counters are summed, parked tasks appended, stuck
+    vertices merged (first report wins), and a pending [result] adopted.
+    The sharded engine calls this at each barrier in ascending PE order
+    so the merge is independent of domain scheduling. *)

@@ -27,7 +27,7 @@ let make ~name ~arity instrs =
     slots;
   { name; arity; slots; entry = Array.length slots - 1 }
 
-let instantiate t g mut ~actuals =
+let instantiate ?from t g mut ~actuals =
   if List.length actuals <> t.arity then
     invalid_arg
       (Printf.sprintf "Template.instantiate(%s): expected %d actuals, got %d" t.name t.arity
@@ -36,7 +36,7 @@ let instantiate t g mut ~actuals =
   let vids = Array.make (Array.length t.slots) (-1) in
   Array.iteri
     (fun i instr ->
-      let v = Graph.alloc g instr.label in
+      let v = Graph.alloc ?from g instr.label in
       vids.(i) <- v.Vertex.id;
       List.iter
         (fun operand ->

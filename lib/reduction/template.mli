@@ -26,11 +26,13 @@ val make : name:string -> arity:int -> instr list -> t
     earlier slots and in-range parameters; raises [Invalid_argument]
     otherwise. *)
 
-val instantiate : t -> Graph.t -> Dgr_core.Mutator.t -> actuals:Vid.t list -> Vid.t
+val instantiate : ?from:int -> t -> Graph.t -> Dgr_core.Mutator.t -> actuals:Vid.t list -> Vid.t
 (** Allocate one vertex per slot from the free list, wire operands with
     [Mutator.connect_fresh] (the subgraph is unreachable until the caller
     splices it), substitute actuals for parameters, and return the entry
-    vertex. Raises [Invalid_argument] on an arity mismatch. *)
+    vertex. [from] is forwarded to [Graph.alloc] so a partitioned graph
+    draws the slots from the expanding PE's local store. Raises
+    [Invalid_argument] on an arity mismatch. *)
 
 val size : t -> int
 (** Number of vertices an instantiation allocates. *)

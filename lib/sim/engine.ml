@@ -6,6 +6,7 @@ module Marker = Dgr_core.Marker
 module Mutator = Dgr_core.Mutator
 module Cycle = Dgr_core.Cycle
 module Flood = Dgr_core.Flood
+module Invariants = Dgr_core.Invariants
 module Reducer = Dgr_reduction.Reducer
 module Refcount = Dgr_baseline.Refcount
 module Stw = Dgr_baseline.Stw
@@ -24,6 +25,7 @@ module Config = struct
     pool_policy : Pool.policy;
     speculate_if : bool;
     seed : int;
+    domains : int;
   }
 
   type gc = {
@@ -42,9 +44,10 @@ module Config = struct
       ?(gc_work_factor = 8) ?(heap_size = Some 50_000) ?(pool_policy = Pool.Dynamic)
       ?(speculate_if = true) ?(gc = Concurrent { deadlock_every = 1; idle_gap = 50 })
       ?(marking = Cycle.Tree) ?(recover_deadlock = false) ?(jitter = 0.0) ?(seed = 0)
-      ?(faults = Faults.none) () =
+      ?(faults = Faults.none) ?(domains = 1) () =
     {
-      machine = { num_pes; tasks_per_step; marking_per_step; pool_policy; speculate_if; seed };
+      machine =
+        { num_pes; tasks_per_step; marking_per_step; pool_policy; speculate_if; seed; domains };
       gc = { mode = gc; heap_size; gc_work_factor; marking; recover_deadlock };
       network = { latency; jitter; faults };
     }
@@ -65,6 +68,7 @@ module Config = struct
   let jitter t = t.network.jitter
   let seed t = t.machine.seed
   let faults t = t.network.faults
+  let domains t = t.machine.domains
 
   let with_num_pes v t = { t with machine = { t.machine with num_pes = v } }
   let with_latency v t = { t with network = { t.network with latency = v } }
@@ -83,11 +87,41 @@ module Config = struct
   let with_jitter v t = { t with network = { t.network with jitter = v } }
   let with_seed v t = { t with machine = { t.machine with seed = v } }
   let with_faults v t = { t with network = { t.network with faults = v } }
+  let with_domains v t = { t with machine = { t.machine with domains = v } }
 end
 
 type config = Config.t
 
 let default_config = Config.default
+
+(* Per-PE execution context for buffered steps. Everything a PE's budget
+   touches during a buffered step lives here (or in graph/pool state only
+   its owner mutates), so shards on different domains share no mutable
+   state until the step barrier merges them in ascending PE order. *)
+type pe_ctx = {
+  cpe : int;
+  crng : Rng.t;  (** scheduling stream [Rng.stream ~seed cpe] *)
+  mbox : Network.Mailbox.mb;  (** outgoing sends, flushed at the barrier *)
+  ctrl : Task.t Vec.t;  (** controller-addressed tasks, replayed at the barrier *)
+  pred : Reducer.t;  (** private reducer: own counters/park list, shared graph *)
+  pm : Metrics.t;  (** private counters, absorbed at the barrier *)
+  sub : Dgr_obs.Recorder.t option;  (** private event buffer, drained at the barrier *)
+}
+
+(* The worker pool: [domains - 1] long-lived domains driven by a
+   generation barrier. The main domain publishes a job and a new
+   generation, runs shard 0 itself, then waits for every worker to check
+   in. Workers are spawned lazily on the first parallel step (the OCaml
+   runtime caps total domains) and joined by [dispose]. *)
+type workers = {
+  mutable doms : unit Domain.t array;
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable gen : int;
+  mutable done_count : int;
+  mutable stop : bool;
+}
 
 type t = {
   cfg : config;
@@ -100,6 +134,7 @@ type t = {
   gc_work_factor : int;
   jitter : float;
   gc_mode : gc_mode;
+  domains : int;  (** shard count, clamped to [1, num_pes] *)
   g : Graph.t;
   pools : Pool.t array;
   net : Network.t;
@@ -115,11 +150,14 @@ type t = {
   mutable paused_until : int;
   mutable next_cycle_at : int;
   mutable next_stw_at : int;
-  rng : Rng.t;
+  pe_rngs : Rng.t array;  (** per-PE scheduling streams, [Rng.stream ~seed pe] *)
+  ctrl_rng : Rng.t;  (** the controller's stream, [Rng.stream ~seed (-1)] *)
   flt : Faults.t option;
   stall_until : int array;  (** per PE: first step it executes again *)
   mutable rc_freed_batch : Vid.Set.t;
       (** vertices RC reclaimed since the last batch purge *)
+  mutable ctxs : pe_ctx array;
+  mutable workers : workers option;
 }
 
 let throughput t = Int.max 1 (t.num_pes * t.tasks_per_step)
@@ -131,6 +169,41 @@ let pe_of t task =
   match Task.exec_vertex task with
   | None -> None
   | Some v -> Some (Graph.vertex t.g v).Vertex.pe
+
+(* The PE a mutation is charged to for the ownership checker: the
+   domain-local executing PE during buffered steps (the engine never
+   touches [current_pe] from a worker), else the serial [current_pe]. *)
+let dls_pe : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+(* A PE's scheduling randomness is its own splitmix stream derived from
+   the config seed, so the jitter draws a PE sees depend only on its own
+   send history — not on how the other PEs' sends interleave, and not on
+   how many domains the machine is sharded across. The controller (and
+   deadlock-recovery responses, injections, …) draws from stream -1. *)
+let rng_for t =
+  if t.current_pe >= 0 && t.current_pe < Array.length t.pe_rngs then
+    t.pe_rngs.(t.current_pe)
+  else t.ctrl_rng
+
+let delay_of t ~rng ~src task pe =
+  if pe = src then 1
+  else begin
+    (* Marking messages are tiny and bounded (§6) and ride a fast
+       path: if they paid full data latency, a mutator expanding a
+       deep structure could outrun the marking wavefront forever and
+       the cycle would never terminate. *)
+    let base =
+      match task with
+      | Marking _ -> Int.max 1 (t.latency / 4)
+      | Reduction _ -> Int.max 1 t.latency
+    in
+    (* Seeded delivery jitter: occasionally a message takes longer,
+       reordering arrivals — the interleaving adversary for the full
+       machine. Deterministic for a given config seed. *)
+    if t.jitter > 0.0 && Rng.float rng 1.0 < t.jitter then
+      base + 1 + Rng.int rng (Int.max 1 t.latency)
+    else base
+  end
 
 (* Execute controller-addressed tasks immediately: the final response of
    the computation, and marking returns to the dummy rootpar. *)
@@ -154,27 +227,9 @@ and send t task =
   match pe_of t task with
   | None -> execute_at_controller t task
   | Some pe ->
-    let delay =
-      if pe = t.current_pe then 1
-      else begin
-        (if t.current_pe >= 0 then t.m.Metrics.remote_messages <- t.m.Metrics.remote_messages + 1);
-        (* Marking messages are tiny and bounded (§6) and ride a fast
-           path: if they paid full data latency, a mutator expanding a
-           deep structure could outrun the marking wavefront forever and
-           the cycle would never terminate. *)
-        let base =
-          match task with
-          | Marking _ -> Int.max 1 (t.latency / 4)
-          | Reduction _ -> Int.max 1 t.latency
-        in
-        (* Seeded delivery jitter: occasionally a message takes longer,
-           reordering arrivals — the interleaving adversary for the full
-           machine. Deterministic for a given config seed. *)
-        if t.jitter > 0.0 && Rng.float t.rng 1.0 < t.jitter then
-          base + 1 + Rng.int t.rng (Int.max 1 t.latency)
-        else base
-      end
-    in
+    (if pe <> t.current_pe && t.current_pe >= 0 then
+       t.m.Metrics.remote_messages <- t.m.Metrics.remote_messages + 1);
+    let delay = delay_of t ~rng:(rng_for t) ~src:t.current_pe task pe in
     if pe = t.current_pe then t.m.Metrics.local_messages <- t.m.Metrics.local_messages + 1;
     if t.obs_on then
       obs t
@@ -187,6 +242,34 @@ and send t task =
              remote = pe <> t.current_pe;
            });
     Network.send ~src:t.current_pe t.net ~arrival:(t.now + delay) ~pe task
+
+(* The buffered counterpart of [send], used while PE budgets run inside a
+   buffered step (possibly on a worker domain): controller tasks are
+   deferred to the barrier, network sends are posted to the PE's private
+   mailbox, and all bookkeeping lands in the context — nothing shared is
+   touched. The delay computation and jitter stream are exactly [send]'s,
+   so a PE's arrival schedule is identical whichever path carried it. *)
+let pe_send t ctx task =
+  match pe_of t task with
+  | None -> Vec.push ctx.ctrl task
+  | Some pe ->
+    (if pe <> ctx.cpe then
+       ctx.pm.Metrics.remote_messages <- ctx.pm.Metrics.remote_messages + 1);
+    let delay = delay_of t ~rng:ctx.crng ~src:ctx.cpe task pe in
+    if pe = ctx.cpe then ctx.pm.Metrics.local_messages <- ctx.pm.Metrics.local_messages + 1;
+    (match ctx.sub with
+    | None -> ()
+    | Some r ->
+      Dgr_obs.Recorder.emit r
+        (Dgr_obs.Event.Send
+           {
+             kind = Task.obs_kind task;
+             pe;
+             vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+             arrival = t.now + delay;
+             remote = pe <> ctx.cpe;
+           }));
+    Network.Mailbox.post ctx.mbox ~src:ctx.cpe ~arrival:(t.now + delay) ~pe task
 
 let purge_everywhere t pred =
   Array.fold_left (fun acc pool -> acc + Pool.purge pool pred) 0 t.pools
@@ -202,6 +285,10 @@ let create ?recorder ?(config = Config.default) g templates =
   (match config.Config.gc.Config.heap_size with
   | Some c -> Graph.set_capacity g (Some (Int.max c (Graph.vertex_count g)))
   | None -> Graph.set_capacity g None);
+  let num_pes = Config.num_pes config in
+  (* Hand the graph to the PEs: per-home free lists and striped fresh
+     vids, so buffered allocation never shares a structure across PEs. *)
+  if not (Graph.partitioned g) then Graph.partition g ~pes:num_pes;
   let mut = Mutator.create ?recorder ~spawn:(fun _ -> ()) g in
   let speculate_if = Config.speculate_if config in
   let red =
@@ -216,7 +303,7 @@ let create ?recorder ?(config = Config.default) g templates =
     let faults = Config.faults config in
     if Faults.active faults then Some (Faults.create faults) else None
   in
-  let num_pes = Config.num_pes config in
+  let seed = Config.seed config in
   let t =
     {
       cfg = config;
@@ -227,6 +314,7 @@ let create ?recorder ?(config = Config.default) g templates =
       gc_work_factor = Config.gc_work_factor config;
       jitter = Config.jitter config;
       gc_mode = Config.gc config;
+      domains = Int.max 1 (Int.min (Config.domains config) num_pes);
       g;
       pools =
         Array.init num_pes (fun pe ->
@@ -244,22 +332,59 @@ let create ?recorder ?(config = Config.default) g templates =
       paused_until = 0;
       next_cycle_at = 0;
       next_stw_at = (match Config.gc config with Stop_the_world { every } -> every | _ -> 0);
-      rng = Rng.create (Config.seed config);
+      pe_rngs = Array.init num_pes (fun pe -> Rng.stream ~seed pe);
+      ctrl_rng = Rng.stream ~seed (-1);
       flt;
       stall_until = Array.make (Int.max 1 num_pes) 0;
       rc_freed_batch = Vid.Set.empty;
+      ctxs = [||];
+      workers = None;
     }
   in
   mut.Mutator.spawn <- (fun mark -> send t (Marking mark));
   mut.Mutator.coop_pe <- (fun () -> Int.max 0 t.current_pe);
-  (* Rebuild the reducer with the real send, preserving the mutator. *)
+  (* The reserve is per-home now that parking consults the executing
+     vertex's partition ({!Graph.headroom_for}): a quarter of the heap
+     globally, i.e. a quarter of each home's share. *)
   let speculation_reserve =
-    match Config.heap_size config with Some c -> c / 4 | None -> 0
+    match Config.heap_size config with Some c -> c / 4 / Int.max 1 num_pes | None -> 0
   in
+  (* Rebuild the reducer with the real send, preserving the mutator. *)
   t.red <-
     Reducer.create ~speculate_if ~speculation_reserve ?recorder ~graph:g ~mut ~templates
       ~send:(fun task -> send t task)
       ();
+  t.ctxs <-
+    Array.init num_pes (fun pe ->
+        let sub =
+          match recorder with
+          | None -> None
+          | Some _ ->
+            (* Sized for one step's events of one PE; [drain_into] raises
+               if it ever wraps, so overflow is loud, not silent. *)
+            Some (Dgr_obs.Recorder.create ~capacity:(1 lsl 14) ~sample_every:0 ~num_pes ())
+        in
+        let cell = ref None in
+        let pred =
+          Reducer.create ~speculate_if ~speculation_reserve ?recorder:sub ~graph:g ~mut
+            ~templates
+            ~send:(fun task ->
+              match !cell with Some ctx -> pe_send t ctx task | None -> assert false)
+            ()
+        in
+        let ctx =
+          {
+            cpe = pe;
+            crng = t.pe_rngs.(pe);
+            mbox = Network.Mailbox.create ();
+            ctrl = Vec.create ();
+            pred;
+            pm = Metrics.create ();
+            sub;
+          }
+        in
+        cell := Some ctx;
+        ctx);
   (match rc with
   | Some rc ->
     mut.Mutator.on_connect <- Refcount.on_connect rc;
@@ -330,6 +455,13 @@ let metrics t = t.m
 let faults t = t.flt
 
 let now t = t.now
+
+let enable_ownership_checks t =
+  let current_pe () =
+    let d = Domain.DLS.get dls_pe in
+    if d >= 0 then d else t.current_pe
+  in
+  t.mut.Mutator.guard <- (fun v -> Invariants.ownership_guard t.g ~current_pe v)
 
 let inject t task =
   t.current_pe <- -1;
@@ -405,6 +537,28 @@ let execute_one t pe task =
     execute_marking t ~pe mark);
   t.current_pe <- -1
 
+(* The buffered counterpart of [execute_one]: no RC purge (buffered steps
+   require [rc = None]) and marking tasks are counted and dropped — with
+   the cycle controller idle (another buffered-step requirement) the
+   handler lookup in [execute_marking] is [None], so the direct path would
+   drop them identically. *)
+let execute_one_buffered ctx task =
+  (match ctx.sub with
+  | None -> ()
+  | Some r ->
+    Dgr_obs.Recorder.emit r
+      (Dgr_obs.Event.Execute
+         {
+           kind = Task.obs_kind task;
+           pe = ctx.cpe;
+           vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+         }));
+  match task with
+  | Reduction r ->
+    ctx.pm.Metrics.reduction_executed <- ctx.pm.Metrics.reduction_executed + 1;
+    Reducer.execute ctx.pred r
+  | Marking _ -> ctx.pm.Metrics.marking_executed <- ctx.pm.Metrics.marking_executed + 1
+
 (* GC work (tracing a vertex, sweeping a slot) is much lighter than
    executing a task; [gc_work_factor] work units fit in one task slot. *)
 let pause t ~reason work =
@@ -443,7 +597,7 @@ let recover_deadlocks t report =
                     })))
           entries;
         vx.Vertex.requested <- [];
-        List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) vx.Vertex.args;
+        List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) (Vertex.args vx);
         Vertex.clear_reduction_state vx
       end)
     report.Dgr_core.Restructure.deadlocked
@@ -537,8 +691,164 @@ let execute_budgets t pe pool =
     | None -> continue := false
   done
 
+let execute_budgets_buffered t ctx pool =
+  let k = ref t.marking_per_step in
+  let continue = ref (!k > 0) in
+  while !continue do
+    match Pool.pop_marking pool with
+    | Some task ->
+      execute_one_buffered ctx task;
+      decr k;
+      if !k = 0 then continue := false
+    | None -> continue := false
+  done;
+  let k = ref t.tasks_per_step in
+  let continue = ref (!k > 0) in
+  while !continue do
+    match Pool.pop pool with
+    | Some task ->
+      execute_one_buffered ctx task;
+      decr k;
+      if !k = 0 then continue := false
+    | None -> continue := false
+  done
+
+(* A step is {e buffered} when nothing serial-only is in play: no
+   refcounting (immediate purges and free-slot recycling), no fault plane
+   (stalls and the reliable-delivery clock), and the marking controller
+   idle (cooperative marking mutates shared run state). The predicate
+   depends only on machine state — never on [domains] — so whether a step
+   is buffered is identical at every shard count; [domains] only decides
+   whether the buffered budgets run on worker domains or inline. *)
+let buffered_ok t =
+  t.rc = None && t.flt = None
+  && t.mut.Mutator.active = []
+  && t.mut.Mutator.active_flood = []
+  && match t.cyc with None -> true | Some c -> Cycle.phase c = Cycle.Idle
+
+(* Shard [d] owns the PE range [d*n/domains, (d+1)*n/domains). *)
+let run_shard t d =
+  let lo = d * t.num_pes / t.domains and hi = (d + 1) * t.num_pes / t.domains in
+  for pe = lo to hi - 1 do
+    Domain.DLS.set dls_pe pe;
+    execute_budgets_buffered t t.ctxs.(pe) t.pools.(pe)
+  done;
+  Domain.DLS.set dls_pe (-1)
+
+let spawn_workers t =
+  let w =
+    {
+      doms = [||];
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      job = None;
+      gen = 0;
+      done_count = 0;
+      stop = false;
+    }
+  in
+  let worker i () =
+    let my_gen = ref 0 in
+    let continue = ref true in
+    while !continue do
+      Mutex.lock w.mu;
+      while (not w.stop) && w.gen = !my_gen do
+        Condition.wait w.cv w.mu
+      done;
+      if w.stop then begin
+        Mutex.unlock w.mu;
+        continue := false
+      end
+      else begin
+        let g = w.gen and job = w.job in
+        Mutex.unlock w.mu;
+        (match job with Some f -> f (i + 1) | None -> ());
+        my_gen := g;
+        Mutex.lock w.mu;
+        w.done_count <- w.done_count + 1;
+        Condition.broadcast w.cv;
+        Mutex.unlock w.mu
+      end
+    done
+  in
+  w.doms <- Array.init (t.domains - 1) (fun i -> Domain.spawn (worker i));
+  w
+
+(* One parallel buffered phase: publish the job, run shard 0 on the main
+   domain, wait for the workers. The mutex pair on each side doubles as
+   the memory barrier that publishes every shard's writes to the merge. *)
+let run_parallel t =
+  let w =
+    match t.workers with
+    | Some w -> w
+    | None ->
+      let w = spawn_workers t in
+      t.workers <- Some w;
+      w
+  in
+  Mutex.lock w.mu;
+  w.job <- Some (fun d -> run_shard t d);
+  w.gen <- w.gen + 1;
+  w.done_count <- 0;
+  Condition.broadcast w.cv;
+  Mutex.unlock w.mu;
+  run_shard t 0;
+  Mutex.lock w.mu;
+  while w.done_count < Array.length w.doms do
+    Condition.wait w.cv w.mu
+  done;
+  w.job <- None;
+  Mutex.unlock w.mu
+
+let dispose t =
+  match t.workers with
+  | None -> ()
+  | Some w ->
+    Mutex.lock w.mu;
+    w.stop <- true;
+    Condition.broadcast w.cv;
+    Mutex.unlock w.mu;
+    Array.iter Domain.join w.doms;
+    t.workers <- None
+
+(* The step barrier: merge every context back into the shared machine, in
+   ascending PE order throughout, so the merged state is a pure function
+   of the per-PE buffers — independent of domain count and scheduling.
+   Order within the merge: events first (so traces read
+   execute-then-control), then counters, then network sends (the queue is
+   FIFO-stable among equal arrivals, so PE-ordered flushing reproduces
+   what a serial PE-ordered execution would have enqueued), then the
+   deferred controller tasks (whose own sends go straight to the network,
+   after every buffered send — again a fixed order). *)
+let merge_buffered t =
+  t.current_pe <- -1;
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+    Array.iter
+      (fun ctx ->
+        match ctx.sub with
+        | Some s -> Dgr_obs.Recorder.drain_into ~src:s ~dst:r
+        | None -> ())
+      t.ctxs);
+  Array.iter
+    (fun ctx ->
+      Reducer.absorb t.red ctx.pred;
+      Metrics.absorb t.m ctx.pm)
+    t.ctxs;
+  Array.iter (fun ctx -> Network.Mailbox.flush ctx.mbox t.net) t.ctxs;
+  Array.iter
+    (fun ctx ->
+      Vec.iter (fun task -> execute_at_controller t task) ctx.ctrl;
+      Vec.clear ctx.ctrl)
+    t.ctxs
+
 let step t =
   (match t.recorder with Some r -> Dgr_obs.Recorder.set_now r t.now | None -> ());
+  (* Every vertex allocated from here on is this step's: the ownership
+     checker exempts same-step births (a PE wires up its own fresh
+     template vertices before they are published to anyone). *)
+  Graph.bump_epoch t.g;
   (* 1. Deliver the network, straight into the destination pools. *)
   Network.deliver_into t.net ~now:t.now ~push:(fun pe task ->
       Pool.push t.pools.(pe) task);
@@ -547,32 +857,41 @@ let step t =
      tasks are lightweight (§6: "bounded amount of time once the required
      vertices are accessed") and get their own per-step budget so GC
      neither starves nor is starved by the reduction process. *)
-  if t.now >= t.paused_until then
-    for pe = 0 to t.num_pes - 1 do
-      (* Transient PE stall (crash-restart with memory preserved): the
-         PE skips its execution budget; its pool, heap and in-flight
-         messages survive. The marking plane must tolerate this — a
-         stalled PE delays but never loses its share of the cycle. *)
-      let stalled =
-        match t.flt with
-        | None -> false
-        | Some f ->
-          if t.now < t.stall_until.(pe) then begin
-            f.Faults.stall_steps <- f.Faults.stall_steps + 1;
-            true
-          end
-          else if Faults.stall_begins f ~pe then begin
-            let steps = Faults.stall_length f in
-            f.Faults.stalls <- f.Faults.stalls + 1;
-            f.Faults.stall_steps <- f.Faults.stall_steps + 1;
-            t.stall_until.(pe) <- t.now + steps;
-            obs t (Dgr_obs.Event.Stall { pe; steps });
-            true
-          end
-          else false
-      in
-      if not stalled then execute_budgets t pe t.pools.(pe)
-    done;
+  if t.now >= t.paused_until then begin
+    if buffered_ok t then begin
+      (* Buffered: every PE runs against its private context; with one
+         shard that is a plain loop on this domain, with more the same
+         loop bodies run on the worker pool — same buffers either way. *)
+      if t.domains > 1 then run_parallel t else run_shard t 0;
+      merge_buffered t
+    end
+    else
+      for pe = 0 to t.num_pes - 1 do
+        (* Transient PE stall (crash-restart with memory preserved): the
+           PE skips its execution budget; its pool, heap and in-flight
+           messages survive. The marking plane must tolerate this — a
+           stalled PE delays but never loses its share of the cycle. *)
+        let stalled =
+          match t.flt with
+          | None -> false
+          | Some f ->
+            if t.now < t.stall_until.(pe) then begin
+              f.Faults.stall_steps <- f.Faults.stall_steps + 1;
+              true
+            end
+            else if Faults.stall_begins f ~pe then begin
+              let steps = Faults.stall_length f in
+              f.Faults.stalls <- f.Faults.stalls + 1;
+              f.Faults.stall_steps <- f.Faults.stall_steps + 1;
+              t.stall_until.(pe) <- t.now + steps;
+              obs t (Dgr_obs.Event.Stall { pe; steps });
+              true
+            end
+            else false
+        in
+        if not stalled then execute_budgets t pe t.pools.(pe)
+      done
+  end;
   (* 3. Memory management. *)
   flush_rc_purge t;
   gc_control t;

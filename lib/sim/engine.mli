@@ -50,6 +50,13 @@ module Config : sig
     pool_policy : Pool.policy;
     speculate_if : bool;
     seed : int;  (** seed for all of the machine's scheduling randomness *)
+    domains : int;
+        (** OS-level shards: the PEs are split into [domains] contiguous
+            ranges, each stepped on its own OCaml domain between step
+            barriers. Purely an execution knob — live sets, verdicts and
+            digests for a (config, seed) pair are identical at every
+            shard count, and [1] (the default) runs everything on the
+            calling domain. Clamped to [[1, num_pes]]. *)
   }
 
   type gc = {
@@ -106,12 +113,13 @@ module Config : sig
     ?jitter:float ->
     ?seed:int ->
     ?faults:Faults.spec ->
+    ?domains:int ->
     unit ->
     t
   (** Smart constructor; every omitted knob takes the historical default:
       4 PEs, latency 4, 2 tasks/step (+8 marking), heap 50k, [Dynamic]
       pools, speculation on, concurrent GC with M_T every cycle and idle
-      gap 50, [Tree] marking, no jitter, no faults, seed 0. *)
+      gap 50, [Tree] marking, no jitter, no faults, seed 0, 1 domain. *)
 
   val default : t
   (** [make ()]. *)
@@ -132,6 +140,7 @@ module Config : sig
   val jitter : t -> float
   val seed : t -> int
   val faults : t -> Faults.spec
+  val domains : t -> int
 
   (** {2 Updaters}
 
@@ -152,6 +161,7 @@ module Config : sig
   val with_jitter : float -> t -> t
   val with_seed : int -> t -> t
   val with_faults : Faults.spec -> t -> t
+  val with_domains : int -> t -> t
 end
 
 type config = Config.t
@@ -206,6 +216,31 @@ val inject : t -> Task.t -> unit
 (** Route an arbitrary task (tests and scenario builders). *)
 
 val step : t -> unit
+(** One discrete step. A step with no serial-only machinery in play (no
+    refcounting, no fault plane, marking controller idle) is {e buffered}:
+    each PE's budget runs against a private context — its own splitmix
+    scheduling stream, outgoing-message mailbox, metrics, reducer
+    counters and event buffer — and the contexts are merged into the
+    shared machine at a step barrier in ascending PE order. When
+    [Config.domains > 1] the buffered budgets run on a pool of OCaml
+    domains (spawned lazily on the first parallel step; see {!dispose});
+    because the merge order is fixed and whether a step buffers never
+    depends on the shard count, results are bit-identical at every
+    [domains] value. *)
+
+val dispose : t -> unit
+(** Stop and join the worker domains, if any were spawned. Idempotent;
+    an engine is usable (serially) after disposal, but call this before
+    dropping any engine run with [domains > 1] — the runtime caps the
+    number of live domains. *)
+
+val enable_ownership_checks : t -> unit
+(** Install {!Dgr_core.Invariants.ownership_guard} on the mutator: every
+    edge-set mutation then verifies that the executing PE owns the vertex
+    it mutates (vertices born this step are exempt — a PE wires up its
+    own fresh template vertices before publishing them). This is the
+    discipline that makes buffered steps race-free; the guard makes
+    violations fail loudly in tests instead of corrupting a run. *)
 
 val run : ?max_steps:int -> ?stop:(t -> bool) -> t -> int
 (** Step until the stop condition holds or the budget is exhausted;

@@ -53,6 +53,24 @@ let record_pause t steps =
   Stats.add t.pauses (float_of_int steps);
   t.total_pause_steps <- t.total_pause_steps + steps
 
+(* Fold a per-PE metrics sink into [t] and zero it. Only the counters a
+   PE can touch while executing its budget are merged — pauses, pool
+   depth, completion and the fault/GC counters are recorded serially by
+   the engine and never live in a per-PE sink. *)
+let absorb t src =
+  t.reduction_executed <- t.reduction_executed + src.reduction_executed;
+  src.reduction_executed <- 0;
+  t.marking_executed <- t.marking_executed + src.marking_executed;
+  src.marking_executed <- 0;
+  t.remote_messages <- t.remote_messages + src.remote_messages;
+  src.remote_messages <- 0;
+  t.local_messages <- t.local_messages + src.local_messages;
+  src.local_messages <- 0;
+  t.tasks_purged <- t.tasks_purged + src.tasks_purged;
+  src.tasks_purged <- 0;
+  t.deadlocks_recovered <- t.deadlocks_recovered + src.deadlocks_recovered;
+  src.deadlocks_recovered <- 0
+
 (* Machine-readable run metrics. All scalar counters plus fixed summary
    statistics for the sampled series; field order is fixed and floats are
    printed with a fixed precision, so equal metrics serialize to equal

@@ -31,6 +31,13 @@ val create : unit -> t
 
 val record_pause : t -> int -> unit
 
+val absorb : t -> t -> unit
+(** [absorb t src] adds [src]'s execution counters (reduction/marking
+    executed, messages, purges, recoveries) into [t] and zeroes them in
+    [src]. Used by the sharded engine to merge per-PE sinks at the step
+    barrier; the serially-recorded fields (pauses, pool depth,
+    completion, faults) are untouched. *)
+
 val schema_version : int
 (** Version of the {!to_json} layout; bumped whenever a field is added,
     removed or reinterpreted, so downstream readers of [--stats-json]

@@ -306,3 +306,31 @@ let entries t =
   match t.faults with
   | None -> List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_sorted_list t.q)
   | Some _ -> List.map (fun p -> (p.p_arrival, p.p_task)) (pending_sorted t)
+
+(* Per-PE outgoing buffer for the sharded engine. A PE executing on a
+   worker domain never touches the shared queue directly: it posts into
+   its private mailbox, and the engine flushes all mailboxes into the
+   network at the step barrier in ascending PE order. Flushing preserves
+   each mailbox's post order, and the arrival-keyed queue is FIFO among
+   equal arrivals, so the merged delivery order equals the serial
+   engine's — independent of which domain ran which PE when. *)
+module Mailbox = struct
+  type entry = { e_src : int; e_arrival : int; e_pe : int; e_task : Task.t }
+
+  type mb = entry Vec.t
+
+  let create () : mb = Vec.create ()
+
+  let post (mb : mb) ~src ~arrival ~pe task =
+    Vec.push mb { e_src = src; e_arrival = arrival; e_pe = pe; e_task = task }
+
+  let length (mb : mb) = Vec.length mb
+
+  let flush (mb : mb) net =
+    Vec.iter
+      (fun e -> send ~src:e.e_src net ~arrival:e.e_arrival ~pe:e.e_pe e.e_task)
+      mb;
+    Vec.clear mb
+
+  type t = mb
+end

@@ -74,3 +74,24 @@ val entries : t -> (int * Task.t) list
     arrival step then send order — deterministic under [jitter > 0] and
     under faults, so trace output and M_T seeding never depend on heap
     or hash layout. *)
+
+(** Per-PE outgoing buffer for the sharded engine: a worker-domain PE
+    posts its sends here instead of into the shared queue; the engine
+    flushes every mailbox at the step barrier in ascending PE order,
+    which (with FIFO tie-breaking among equal arrivals) reproduces the
+    serial engine's delivery order exactly. *)
+module Mailbox : sig
+  type mb
+
+  val create : unit -> mb
+
+  val post : mb -> src:int -> arrival:int -> pe:int -> Task.t -> unit
+
+  val length : mb -> int
+
+  val flush : mb -> t -> unit
+  (** Issue every buffered send into the network in post order, then
+      clear the mailbox. *)
+
+  type t = mb
+end

@@ -19,6 +19,15 @@ let int64 t = mix (next_state t)
 
 let split t = { state = int64 t }
 
+(* A keyed stream: the [i]-th generator of the family rooted at [seed].
+   Unlike [split], the derivation is stateless — stream i is a pure
+   function of (seed, i), never of how many numbers any other stream has
+   drawn. The sharded engine hands stream i to PE i so that a PE's
+   scheduling randomness depends only on its own history. *)
+let stream ~seed i =
+  let z = mix (Int64.add (Int64.mul (Int64.of_int seed) golden) (Int64.of_int i)) in
+  { state = mix (Int64.logxor z (Int64.of_int i)) }
+
 let copy t = { state = t.state }
 
 let int t n =

@@ -13,6 +13,13 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator, advancing [t] once. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed i] is the [i]-th generator of the family rooted at
+    [seed] — a stateless derivation, so stream [i] is a pure function of
+    [(seed, i)] and never of any other stream's draws. The engine gives
+    each PE its own stream, which is what makes per-PE scheduling
+    randomness independent of how work is sharded across domains. *)
+
 val copy : t -> t
 
 val int64 : t -> int64

@@ -88,7 +88,7 @@ let root_reachable g =
     let rec go v =
       if not (Vid.Set.mem v !seen) then begin
         seen := Vid.Set.add v !seen;
-        List.iter go (Graph.vertex g v).Vertex.args
+        List.iter go (Vertex.args (Graph.vertex g v))
       end
     in
     go (Graph.root g);
@@ -104,7 +104,7 @@ let root_reachable g =
 let gen_schedule rng g ~ops =
   let mut = Dgr_core.Mutator.create ~spawn:(fun _ -> ()) g in
   let pick l = List.nth l (Rng.int rng (List.length l)) in
-  let args v = (Graph.vertex g v).Vertex.args in
+  let args v = Vertex.args (Graph.vertex g v) in
   let schedule = ref [] in
   for _ = 1 to ops do
     let reachable = Vid.Set.elements (root_reachable g) in

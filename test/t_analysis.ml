@@ -78,7 +78,7 @@ let test_deadlock_properties () =
   Vertex.add_requester (Graph.vertex g root) None ~demand:Demand.Vital ~key:root;
   Vertex.request_arg (Graph.vertex g root) x Demand.Vital;
   let vx = Graph.vertex g x in
-  List.iter (fun c -> Vertex.request_arg vx c Demand.Vital) vx.Vertex.args;
+  List.iter (fun c -> Vertex.request_arg vx c Demand.Vital) (Vertex.args vx);
   Vertex.add_requester vx (Some x) ~demand:Demand.Vital ~key:x;
   Vertex.add_requester vx (Some root) ~demand:Demand.Vital ~key:x;
   let sets = compute g [] in

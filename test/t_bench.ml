@@ -1,22 +1,32 @@
-(* The macro-benchmark harness and the hot-path differential.
+(* The macro-benchmark harness and the engine differential.
 
-   [golden_engine.txt] was produced by the engine as it stood before the
-   hot-path optimization pass (reusable buffers in the live-set/in-flight
-   folds, allocation-free Pqueue, callback network delivery, guarded
-   event construction): 20 mixed scenarios — workloads x collectors x
-   machine shapes x fault planes — each summarized as one line of end
-   state plus the MD5 of the full event trace. Regenerating the lines
-   and diffing byte-for-byte pins the optimized engine to bit-identical
-   semantics: same live sets, same deadlock verdicts, same metrics, same
-   traces. *)
+   [golden_engine.txt] holds 20 mixed scenarios — workloads x collectors
+   x machine shapes x fault planes — each summarized as one line of end
+   state plus the MD5 of the full event trace. The fixture was
+   regenerated once when the engine became sharded (per-PE RNG streams,
+   striped partitioned allocation, and barrier-deferred controller tasks
+   moved every schedule); since then regenerating the lines and diffing
+   byte-for-byte pins the engine to bit-identical semantics: same live
+   sets, same deadlock verdicts, same metrics, same traces.
+
+   The same fixture doubles as the cross-domain differential: the lines
+   must come out byte-identical when the machine is sharded across 2 and
+   4 OCaml domains — live sets, verdicts, digests and traces may never
+   depend on how many domains stepped the PEs. *)
 
 let read_lines path = String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all)
 
-let test_golden_differential () =
+let check_golden ?domains () =
   let expected = List.filter (fun l -> l <> "") (read_lines "golden_engine.txt") in
-  let actual = Dgr_harness.Bench.golden_lines () in
+  let actual = Dgr_harness.Bench.golden_lines ?domains () in
   Alcotest.(check int) "scenario count" (List.length expected) (List.length actual);
   List.iter2 (fun e a -> Alcotest.(check string) "golden line" e a) expected actual
+
+let test_golden_differential () = check_golden ()
+
+let test_golden_domains_2 () = check_golden ~domains:2 ()
+
+let test_golden_domains_4 () = check_golden ~domains:4 ()
 
 (* A deterministic BENCH.json is byte-reproducible: the simulation fields
    are replayed exactly and the wall-clock fields are zeroed. *)
@@ -54,6 +64,10 @@ let suite =
   [
     Alcotest.test_case "hot-path rewrite is bit-identical (20 goldens)" `Slow
       test_golden_differential;
+    Alcotest.test_case "sharded engine is bit-identical at 2 domains" `Slow
+      test_golden_domains_2;
+    Alcotest.test_case "sharded engine is bit-identical at 4 domains" `Slow
+      test_golden_domains_4;
     Alcotest.test_case "deterministic BENCH.json is byte-reproducible" `Quick
       test_bench_json_deterministic;
     Alcotest.test_case "baseline rates round-trip through BENCH.json" `Quick

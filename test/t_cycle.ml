@@ -72,7 +72,7 @@ let test_deadlock_reported_only_with_mt () =
     Demand.Vital;
   (* x vitally requests itself and the constant *)
   let vx = Graph.vertex g x in
-  List.iter (fun c -> Vertex.request_arg vx c Demand.Vital) vx.Vertex.args;
+  List.iter (fun c -> Vertex.request_arg vx c Demand.Vital) (Vertex.args vx);
   Vertex.add_requester vx (Some x) ~demand:Demand.Vital ~key:x;
   let e = engine_for ~deadlock_every:1 g in
   let c = run_cycles e 2 in

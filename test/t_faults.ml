@@ -231,6 +231,10 @@ let run_invariant_seed seed =
       ()
   in
   let e = Engine.create ~config ga (registry ()) in
+  (* Every edge-set mutation must come from the vertex's owner (or the
+     controller) — checked per mutation, on top of the per-step marking
+     invariants below. *)
+  Engine.enable_ownership_checks e;
   let rng = Rng.create (seed lxor 0xabcd) in
   let schedule = Helpers.gen_schedule rng gb ~ops:8 in
   let mut = Engine.mutator e in

@@ -8,11 +8,24 @@ let test_vertex_connect_disconnect () =
   Vertex.connect v 1;
   Vertex.connect v 2;
   Vertex.connect v 1;
-  Alcotest.(check (list int)) "multiset args" [ 1; 2; 1 ] v.Vertex.args;
+  Alcotest.(check (list int)) "multiset args" [ 1; 2; 1 ] (Vertex.args v);
   Vertex.disconnect v 1;
-  Alcotest.(check (list int)) "one occurrence removed" [ 2; 1 ] v.Vertex.args;
+  Alcotest.(check (list int)) "one occurrence removed" [ 2; 1 ] (Vertex.args v);
   Vertex.disconnect v 99;
-  Alcotest.(check (list int)) "absent disconnect is a no-op" [ 2; 1 ] v.Vertex.args
+  Alcotest.(check (list int)) "absent disconnect is a no-op" [ 2; 1 ] (Vertex.args v)
+
+(* Bulk appends: [connect] must keep argument order stable however many
+   edges pile up (the arg list is stored reversed internally, so this is
+   the test that pins the normalization). *)
+let test_vertex_bulk_connect_order () =
+  let v = Vertex.create 0 ~pe:0 (Label.Prim Label.Add) in
+  let expected = List.init 1000 (fun i -> i + 1) in
+  List.iter (Vertex.connect v) expected;
+  Alcotest.(check (list int)) "1000 appends in order" expected (Vertex.args v);
+  Vertex.disconnect v 500;
+  Alcotest.(check (list int)) "interior removal keeps order"
+    (List.filter (fun i -> i <> 500) expected)
+    (Vertex.args v)
 
 let test_vertex_request_tracking () =
   let v = Vertex.create 0 ~pe:0 Label.If in
@@ -215,6 +228,8 @@ let test_dot_export () =
 let suite =
   [
     Alcotest.test_case "vertex connect/disconnect" `Quick test_vertex_connect_disconnect;
+    Alcotest.test_case "bulk connect preserves order" `Quick
+      test_vertex_bulk_connect_order;
     Alcotest.test_case "vertex request tracking" `Quick test_vertex_request_tracking;
     Alcotest.test_case "disconnect cleans requests" `Quick test_vertex_disconnect_cleans_requests;
     Alcotest.test_case "requester entries" `Quick test_vertex_requesters;

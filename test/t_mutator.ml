@@ -107,7 +107,7 @@ let test_expand_node_marked_parent () =
   Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:leaf;
   Mutator.expand_node mut ~a ~entry:inner.Vertex.id;
   Alcotest.(check bool) "subgraph closure-marked" true (Plane.marked inner.Vertex.mr);
-  Alcotest.(check (list int)) "a rewired" [ inner.Vertex.id ] (Graph.vertex g a).Vertex.args;
+  Alcotest.(check (list int)) "a rewired" [ inner.Vertex.id ] (Vertex.args (Graph.vertex g a));
   Invariants.check_exn run ~pending:(Sync_engine.pending engine)
 
 let test_expand_node_unmarked_parent () =

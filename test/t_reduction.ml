@@ -176,6 +176,40 @@ let test_division_by_zero_deadlocks () =
     | Some c -> not (Vid.Set.is_empty (Dgr_core.Cycle.deadlocked_ever c))
     | None -> false)
 
+(* The ownership guard under the sharded buffered path: with 4 domains
+   stepping 8 PEs, every edge-set mutation a worker performs must target
+   a vertex homed on the PE it is stepping (vertices born this step are
+   exempt — they cannot be visible to anyone else yet). The heavy-fault
+   invariant runs only ever take the direct path, so this is the test
+   that runs the guard inside worker domains; the run must also agree
+   with the sequential engine field-for-field. *)
+let test_sharded_ownership () =
+  let run domains =
+    let config =
+      Engine.Config.make ~num_pes:8 ~domains
+        ~gc:(Engine.Concurrent { deadlock_every = 4; idle_gap = 5 })
+        ()
+    in
+    let g, templates = Compile.load_string ~num_pes:8 (Prelude.fib 10) in
+    let e = Engine.create ~config g templates in
+    Engine.enable_ownership_checks e;
+    Engine.inject_root_demand e;
+    let (_ : int) = Engine.run ~max_steps:400_000 e in
+    let m = Engine.metrics e in
+    let signature =
+      ( Engine.result e,
+        Engine.now e,
+        m.Metrics.reduction_executed,
+        m.Metrics.remote_messages )
+    in
+    Engine.dispose e;
+    signature
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check bool) "result delivered" true
+    (match seq with Some (Label.V_int _), _, _, _ -> true | _ -> false);
+  Alcotest.(check bool) "sharded run identical to sequential" true (seq = par)
+
 let test_determinism () =
   let run () =
     let e = run_program (Prelude.fib 9) in
@@ -209,6 +243,8 @@ let suite =
     Alcotest.test_case "deadlock detected (fig 3-1)" `Quick test_deadlock_detected;
     Alcotest.test_case "division by zero deadlocks" `Quick test_division_by_zero_deadlocks;
     Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "ownership discipline holds under 4 domains" `Quick
+      test_sharded_ownership;
   ]
 
 (* ⊥-recovery (footnote 5): deadlocked operators are rewritten to an
