@@ -47,6 +47,7 @@ type machine_opts = {
   fault_delay : float;
   fault_stall : float;
   fault_seed : int;
+  no_batch : bool;
 }
 
 let gc_of_string s ~deadlock_every ~idle_gap ~stw_every =
@@ -81,6 +82,7 @@ let config_of_opts o =
        ~tasks_per_step:o.tasks_per_step ~heap_size:o.heap ~pool_policy:policy
        ~speculate_if:(not o.no_speculate) ~gc ~marking
        ~recover_deadlock:o.recover_deadlock ~jitter:o.jitter ~seed:o.seed
+       ~batch:(not o.no_batch)
        ~faults:
          {
            Faults.none with
@@ -243,7 +245,7 @@ let experiment_cmd id trace_dir =
     Format.eprintf "dgr: %s@." msg;
     1
 
-let bench_cmd smoke deterministic domains out baseline list_only =
+let bench_cmd smoke deterministic domains batch out baseline list_only =
   let module B = Dgr_harness.Bench in
   if list_only then begin
     List.iter print_endline (B.scenario_names ~smoke);
@@ -254,10 +256,15 @@ let bench_cmd smoke deterministic domains out baseline list_only =
       let rows =
         List.map
           (fun name ->
-            match B.run_suite ~domains ~only:[ name ] ~smoke ~deterministic () with
+            match
+              B.run_suite ~domains ~batch ~only:[ name ] ~smoke ~deterministic ()
+            with
             | [ row ] ->
-              Format.printf "%-24s %8d steps %9d tasks%s@." name row.B.steps
+              Format.printf "%-24s %8d steps %9d tasks%s%s@." name row.B.steps
                 row.B.tasks
+                (if row.B.frames_sent = 0 then ""
+                 else
+                   Printf.sprintf "  %.1f tasks/frame" row.B.tasks_per_frame)
                 (if deterministic || row.B.wall_ns = 0L then ""
                  else
                    Printf.sprintf "  %.0f steps/sec"
@@ -272,7 +279,7 @@ let bench_cmd smoke deterministic domains out baseline list_only =
            and report the comparison; any digest divergence is a
            determinism bug and outranks the numbers. *)
         if domains > 1 && not deterministic then begin
-          let seq = B.run_suite ~domains:1 ~smoke ~deterministic () in
+          let seq = B.run_suite ~domains:1 ~batch ~smoke ~deterministic () in
           Format.printf "@.%-24s %13s %13s %9s@." "scenario" "seq steps/s"
             (Printf.sprintf "%dd steps/s" domains)
             "speedup";
@@ -288,7 +295,7 @@ let bench_cmd smoke deterministic domains out baseline list_only =
         else rows
       in
       let mode = if smoke then "smoke" else "full" in
-      let json = B.to_json ~mode ~deterministic rows in
+      let json = B.to_json ~batch ~mode ~deterministic rows in
       Dgr_obs.Export.write_file out json;
       Format.printf "wrote %s (%d scenarios, mode=%s%s)@." out (List.length rows)
         mode
@@ -408,6 +415,13 @@ let fault_seed_arg =
          ~doc:"Seed for the fault plane's randomness, independent of $(b,--seed): same \
                config, seed and fault-seed replay byte-identically.")
 
+let no_batch_arg =
+  Arg.(value & flag & info [ "no-batch" ]
+         ~doc:"Disable per-link frame batching: every task rides its own frame, as in \
+               the paper's one-task-per-message model. The escape hatch for isolating \
+               transport effects; batching changes no task-level semantics, only \
+               frame counts and delivery grouping.")
+
 let max_steps_arg =
   Arg.(value & opt int 1_000_000 & info [ "max-steps" ] ~docv:"N"
          ~doc:"Simulation step budget.")
@@ -444,7 +458,7 @@ let machine_term =
     const
       (fun pes domains latency tasks_per_step gc_str heap idle_gap deadlock_every
            stw_every policy_str marking_str recover_deadlock jitter seed no_speculate
-           fault_drop fault_dup fault_delay fault_stall fault_seed ->
+           fault_drop fault_dup fault_delay fault_stall fault_seed no_batch ->
         {
           pes;
           domains;
@@ -466,11 +480,12 @@ let machine_term =
           fault_delay;
           fault_stall;
           fault_seed;
+          no_batch;
         })
     $ pes_arg $ domains_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg $ idle_gap_arg
     $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg $ recover_arg
     $ jitter_arg $ seed_arg $ no_spec_arg $ fault_drop_arg $ fault_dup_arg
-    $ fault_delay_arg $ fault_stall_arg $ fault_seed_arg)
+    $ fault_delay_arg $ fault_stall_arg $ fault_seed_arg $ no_batch_arg)
 
 let run_term =
   Term.(
@@ -574,7 +589,12 @@ let bench_domains_arg =
 
 let bench_out_arg =
   Arg.(value & opt string "BENCH.json" & info [ "o"; "output" ] ~docv:"PATH"
-         ~doc:"Where to write the results (versioned JSON, schema_version 2).")
+         ~doc:"Where to write the results (versioned JSON, schema_version 3).")
+
+let bench_no_batch_arg =
+  Arg.(value & flag & info [ "no-batch" ]
+         ~doc:"Run every scenario with frame batching off (one task per frame): the \
+               transport floor to compare frames_sent and steps/sec against.")
 
 let bench_baseline_arg =
   Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"PATH"
@@ -587,7 +607,8 @@ let bench_list_arg =
 let bench_term =
   Term.(
     const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_domains_arg
-    $ bench_out_arg $ bench_baseline_arg $ bench_list_arg)
+    $ Term.app (const not) bench_no_batch_arg $ bench_out_arg $ bench_baseline_arg
+    $ bench_list_arg)
 
 let bench_cmd_v =
   Cmd.v

@@ -32,6 +32,13 @@ let count_executed t ~pe =
   t.executed.(pe_slot t pe) <- t.executed.(pe_slot t pe) + 1;
   t.marks_executed <- t.marks_executed + 1
 
+(* A mark coalesced in transit was already counted sent by its spawner;
+   crediting executed here keeps sent − executed = outstanding honest
+   without inflating marks_executed — no marking work actually ran, the
+   surviving twin will do it. *)
+let count_coalesced t ~pe =
+  t.executed.(pe_slot t pe) <- t.executed.(pe_slot t pe) + 1
+
 let mark_task_for t ~v ~prior =
   match t.variant with
   | Run.Basic -> Mark1 { v; par = Plane.Rootpar }

@@ -58,6 +58,12 @@ val count_coop_spawn : t -> pe:int -> unit
 (** Account for a mark task spawned by a cooperating mutation executing
     on PE [pe]. *)
 
+val count_coalesced : t -> pe:int -> unit
+(** Account for a mark task bound for PE [pe] that the transport
+    coalesced into an identical staged twin: it counts as executed (its
+    spawner already counted it sent, and it will never arrive) but not
+    as marking work — the surviving twin marks the vertex. *)
+
 val sent_total : t -> int
 
 val executed_total : t -> int

@@ -2,9 +2,11 @@ open Dgr_graph
 open Dgr_sim
 open Dgr_lang
 
-(* v2: rows gained "domains" and "speedup_vs_seq", the document gained a
-   top-level "domains" (the shard count the suite ran at). *)
-let schema_version = 2
+(* v3: rows gained the transport columns "frames_sent", "acks_sent",
+   "marks_coalesced" and "tasks_per_frame", and the document a top-level
+   "batch" (whether frame batching was on). v2 added per-row "domains"
+   and "speedup_vs_seq" and the top-level "domains". *)
+let schema_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* The macro suite.                                                    *)
@@ -127,6 +129,12 @@ type row = {
   avg_cycle_len : float;
   live : int;
   completed : bool;
+  frames_sent : int;  (** data frames flushed by the transport *)
+  acks_sent : int;  (** standalone cumulative-ack frames *)
+  marks_coalesced : int;  (** marks absorbed by a staged twin *)
+  tasks_per_frame : float;
+      (** tasks carried / frames sent — the frame-count reduction
+          batching bought over one-task-per-frame transport *)
   digest : string;
   wall_ns : int64;
   minor_words : float;
@@ -163,8 +171,10 @@ let signature e =
     m.Metrics.cycles_completed m.Metrics.stw_collections m.Metrics.msgs_dropped
     m.Metrics.retransmits m.Metrics.stalls
 
-let build_engine ?(domains = 1) s =
-  let config = Engine.Config.with_domains domains s.s_config in
+let build_engine ?(domains = 1) ?(batch = true) s =
+  let config =
+    s.s_config |> Engine.Config.with_domains domains |> Engine.Config.with_batch batch
+  in
   let num_pes = Engine.Config.num_pes config in
   let g, templates =
     match s.s_workload with
@@ -175,8 +185,8 @@ let build_engine ?(domains = 1) s =
   in
   Engine.create ~config g templates
 
-let run_scenario ?(domains = 1) ~deterministic s =
-  let e = build_engine ~domains s in
+let run_scenario ?(domains = 1) ?(batch = true) ~deterministic s =
+  let e = build_engine ~domains ~batch s in
   Engine.inject_root_demand e;
   (match s.s_workload with
   | Storm _ ->
@@ -215,6 +225,12 @@ let run_scenario ?(domains = 1) ~deterministic s =
       (if cycles = 0 then 0.0 else float_of_int steps /. float_of_int cycles);
     live = Graph.live_count (Engine.graph e);
     completed = Engine.result e <> None;
+    frames_sent = m.Metrics.frames_sent;
+    acks_sent = m.Metrics.acks_sent;
+    marks_coalesced = m.Metrics.marks_coalesced;
+    tasks_per_frame =
+      (if m.Metrics.frames_sent = 0 then 0.0
+       else float_of_int m.Metrics.tasks_sent /. float_of_int m.Metrics.frames_sent);
     digest = Digest.to_hex (Digest.string (signature e));
     wall_ns;
     minor_words;
@@ -248,7 +264,7 @@ let speedup_table ~seq ~par =
       | None -> None)
     (with_speedups ~seq par)
 
-let run_suite ?(domains = 1) ?only ~smoke ~deterministic () =
+let run_suite ?(domains = 1) ?(batch = true) ?only ~smoke ~deterministic () =
   let selected =
     match only with
     | None -> List.filter (fun s -> (not smoke) || s.s_smoke) suite
@@ -263,7 +279,7 @@ let run_suite ?(domains = 1) ?only ~smoke ~deterministic () =
                  (String.concat ", " (scenario_names ~smoke:false))))
         names
   in
-  List.map (run_scenario ~domains ~deterministic) selected
+  List.map (run_scenario ~domains ~batch ~deterministic) selected
 
 (* ------------------------------------------------------------------ *)
 (* BENCH.json.                                                         *)
@@ -277,17 +293,18 @@ let row_json r =
     else r.minor_words /. float_of_int r.steps
   in
   Printf.sprintf
-    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
+    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"frames_sent\":%d,\"acks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
     r.name r.seed r.domains r.steps r.tasks r.messages r.cycles r.avg_cycle_len
-    r.live r.completed r.digest r.wall_ns (rate r.steps) (rate r.tasks)
+    r.live r.completed r.frames_sent r.acks_sent r.marks_coalesced
+    r.tasks_per_frame r.digest r.wall_ns (rate r.steps) (rate r.tasks)
     (rate r.messages) mwps r.speedup_vs_seq
 
-let to_json ~mode ~deterministic rows =
+let to_json ?(batch = true) ~mode ~deterministic rows =
   let domains = List.fold_left (fun m r -> Int.max m r.domains) 1 rows in
   let b = Buffer.create 2048 in
   Printf.bprintf b
-    "{\"schema_version\":%d,\"bench\":\"dgr-macro\",\"mode\":\"%s\",\"deterministic\":%b,\"domains\":%d,\"scenarios\":[\n"
-    schema_version mode deterministic domains;
+    "{\"schema_version\":%d,\"bench\":\"dgr-macro\",\"mode\":\"%s\",\"deterministic\":%b,\"batch\":%b,\"domains\":%d,\"scenarios\":[\n"
+    schema_version mode deterministic batch domains;
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
@@ -459,7 +476,7 @@ let golden_line ?(domains = 1) i =
   Printf.sprintf
     "%s now=%d completion=%s result=%s live_md5=%s live_n=%d dl=[%s] red=%d mark=%d \
      remote=%d local=%d purged=%d cycles=%d stw=%d pause=%d peak=%d drops=%d dups=%d \
-     retx=%d stalls=%d trace_md5=%s"
+     retx=%d stalls=%d frames=%d acks=%d coalesced=%d trace_md5=%s"
     name (Engine.now e)
     (match m.Metrics.completion_step with Some s -> string_of_int s | None -> "-")
     result
@@ -469,6 +486,7 @@ let golden_line ?(domains = 1) i =
     m.Metrics.remote_messages m.Metrics.local_messages m.Metrics.tasks_purged
     m.Metrics.cycles_completed m.Metrics.stw_collections m.Metrics.total_pause_steps
     m.Metrics.peak_live m.Metrics.msgs_dropped m.Metrics.msgs_duplicated
-    m.Metrics.retransmits m.Metrics.stalls trace_md5
+    m.Metrics.retransmits m.Metrics.stalls m.Metrics.frames_sent
+    m.Metrics.acks_sent m.Metrics.marks_coalesced trace_md5
 
 let golden_lines ?domains () = List.init 20 (fun i -> golden_line ?domains i)

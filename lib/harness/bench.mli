@@ -32,6 +32,13 @@ type row = {
   avg_cycle_len : float;  (** steps per completed cycle; 0 when none *)
   live : int;  (** live vertices at the end *)
   completed : bool;  (** the program delivered its result *)
+  frames_sent : int;  (** data frames flushed by the transport *)
+  acks_sent : int;  (** standalone cumulative-ack frames *)
+  marks_coalesced : int;  (** marks absorbed by a staged twin *)
+  tasks_per_frame : float;
+      (** tasks carried / frames sent — the frame-count reduction
+          batching bought over one-task-per-frame transport; [0.0]
+          when no frames were sent (fault-free ideal channel) *)
   digest : string;
       (** MD5 over the run's deterministic signature: final live set,
           deadlock verdicts, result, and the task/message/GC counters.
@@ -49,6 +56,7 @@ val scenario_names : smoke:bool -> string list
 
 val run_suite :
   ?domains:int ->
+  ?batch:bool ->
   ?only:string list ->
   smoke:bool ->
   deterministic:bool ->
@@ -58,7 +66,9 @@ val run_suite :
     row per scenario. [deterministic] skips the clock and allocation
     meters. [domains] (default 1) shards each engine across that many
     OCaml domains — the simulation fields and digest are identical at
-    every value; only the wall-clock fields move. Raises
+    every value; only the wall-clock fields move. [batch] (default
+    [true]) toggles the transport's frame batching ([dgr bench
+    --no-batch] measures the one-task-per-frame floor). Raises
     [Invalid_argument] on an unknown name in [only]. *)
 
 val steps_per_sec : row -> float
@@ -75,10 +85,11 @@ val speedup_table : seq:row list -> par:row list -> (string * float * float * bo
     --domains N] prints. [digests_agree = false] flags a determinism
     violation, which is worth more than any speedup. *)
 
-val to_json : mode:string -> deterministic:bool -> row list -> string
+val to_json : ?batch:bool -> mode:string -> deterministic:bool -> row list -> string
 (** The [BENCH.json] document: fixed field order and float precision, so
     equal rows serialize to equal bytes. [mode] is recorded verbatim
-    ("full" or "smoke"). *)
+    ("full" or "smoke"); [batch] (default [true]) records whether frame
+    batching was on for the run. *)
 
 val scenario_rates : string -> (string * float) list
 (** [(name, steps_per_sec)] per scenario parsed back out of a

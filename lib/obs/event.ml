@@ -23,6 +23,9 @@ type kind =
   | Dup of { kind : task_kind; pe : int; vid : int }
   | Retransmit of { kind : task_kind; pe : int; vid : int; attempt : int }
   | Stall of { pe : int; steps : int }
+  | Batch of { src : int; dst : int; count : int }
+  | Cum_ack of { src : int; dst : int; upto : int; piggyback : bool }
+  | Coalesce of { pe : int; vid : int }
   | Finished
 
 type t = { step : int; seq : int; kind : kind }
@@ -78,6 +81,12 @@ let pp_kind fmt = function
     Format.fprintf fmt "retransmit %s pe=%d vid=%d attempt=%d" (task_kind_name kind) pe vid
       attempt
   | Stall { pe; steps } -> Format.fprintf fmt "stall pe=%d steps=%d" pe steps
+  | Batch { src; dst; count } ->
+    Format.fprintf fmt "batch link=%d->%d tasks=%d" src dst count
+  | Cum_ack { src; dst; upto; piggyback } ->
+    Format.fprintf fmt "cum-ack link=%d->%d upto=%d%s" src dst upto
+      (if piggyback then " piggyback" else "")
+  | Coalesce { pe; vid } -> Format.fprintf fmt "coalesce pe=%d vid=%d" pe vid
   | Finished -> Format.pp_print_string fmt "finished"
 
 let pp fmt t = Format.fprintf fmt "@[[%d.%d] %a@]" t.step t.seq pp_kind t.kind

@@ -53,6 +53,16 @@ type kind =
       (** an unacknowledged frame timed out and was sent again *)
   | Stall of { pe : int; steps : int }
       (** [pe] stops executing for [steps] steps (pool and heap survive) *)
+  | Batch of { src : int; dst : int; count : int }
+      (** a data frame carrying [count] tasks flushed onto link
+          [src]→[dst] *)
+  | Cum_ack of { src : int; dst : int; upto : int; piggyback : bool }
+      (** the receiver on data link [src]→[dst] acknowledged every frame
+          up to sequence [upto], riding a reverse data frame when
+          [piggyback] *)
+  | Coalesce of { pe : int; vid : int }
+      (** a mark task bound for [vid] at [pe] was absorbed by an
+          identical mark staged in the same batch *)
   | Finished  (** the root's value arrived *)
 
 type t = { step : int; seq : int; kind : kind }

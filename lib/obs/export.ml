@@ -145,6 +145,18 @@ let chrome_trace r =
           ~args:(Printf.sprintf "\"vid\":%d,\"attempt\":%d,%s" vid attempt seq_arg)
       | Event.Stall { pe; steps } ->
         span ctx ~name:"stall" ~tid:(pe_tid pe) ~ts ~dur:(Int.max 1 steps) ~args:seq_arg
+      | Event.Batch { src; dst; count } ->
+        instant ctx ~name:"batch" ~tid:(pe_tid dst) ~ts
+          ~args:(Printf.sprintf "\"src\":%d,\"tasks\":%d,%s" src count seq_arg)
+      | Event.Cum_ack { src; dst; upto; piggyback } ->
+        instant ctx ~name:"cum_ack" ~tid:(pe_tid dst) ~ts
+          ~args:
+            (Printf.sprintf "\"src\":%d,\"upto\":%d,\"piggyback\":%d,%s" src upto
+               (if piggyback then 1 else 0)
+               seq_arg)
+      | Event.Coalesce { pe; vid } ->
+        instant ctx ~name:"coalesce" ~tid:(pe_tid pe) ~ts
+          ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
       | Event.Finished -> instant ctx ~name:"finished" ~tid:ctrl_tid ~ts ~args:seq_arg)
     (Recorder.events r);
   close_phase ctx ~mark_tid ~ts:(Recorder.now r);

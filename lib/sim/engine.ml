@@ -36,7 +36,7 @@ module Config = struct
     recover_deadlock : bool;
   }
 
-  type network = { latency : int; jitter : float; faults : Faults.spec }
+  type network = { latency : int; jitter : float; faults : Faults.spec; batch : bool }
 
   type t = { machine : machine; gc : gc; network : network }
 
@@ -44,12 +44,12 @@ module Config = struct
       ?(gc_work_factor = 8) ?(heap_size = Some 50_000) ?(pool_policy = Pool.Dynamic)
       ?(speculate_if = true) ?(gc = Concurrent { deadlock_every = 1; idle_gap = 50 })
       ?(marking = Cycle.Tree) ?(recover_deadlock = false) ?(jitter = 0.0) ?(seed = 0)
-      ?(faults = Faults.none) ?(domains = 1) () =
+      ?(faults = Faults.none) ?(domains = 1) ?(batch = true) () =
     {
       machine =
         { num_pes; tasks_per_step; marking_per_step; pool_policy; speculate_if; seed; domains };
       gc = { mode = gc; heap_size; gc_work_factor; marking; recover_deadlock };
-      network = { latency; jitter; faults };
+      network = { latency; jitter; faults; batch };
     }
 
   let default = make ()
@@ -69,6 +69,7 @@ module Config = struct
   let seed t = t.machine.seed
   let faults t = t.network.faults
   let domains t = t.machine.domains
+  let batch t = t.network.batch
 
   let with_num_pes v t = { t with machine = { t.machine with num_pes = v } }
   let with_latency v t = { t with network = { t.network with latency = v } }
@@ -88,11 +89,10 @@ module Config = struct
   let with_seed v t = { t with machine = { t.machine with seed = v } }
   let with_faults v t = { t with network = { t.network with faults = v } }
   let with_domains v t = { t with machine = { t.machine with domains = v } }
+  let with_batch v t = { t with network = { t.network with batch = v } }
 end
 
 type config = Config.t
-
-let default_config = Config.default
 
 (* Per-PE execution context for buffered steps. Everything a PE's budget
    touches during a buffered step lives here (or in graph/pool state only
@@ -319,7 +319,7 @@ let create ?recorder ?(config = Config.default) g templates =
       pools =
         Array.init num_pes (fun pe ->
             Pool.create ?recorder ~pe (Config.pool_policy config) g);
-      net = Network.create ?recorder ?faults:flt ();
+      net = Network.create ?recorder ?faults:flt ~batch:(Config.batch config) ();
       mut;
       red;
       cyc = None;
@@ -343,6 +343,26 @@ let create ?recorder ?(config = Config.default) g templates =
   in
   mut.Mutator.spawn <- (fun mark -> send t (Marking mark));
   mut.Mutator.coop_pe <- (fun () -> Int.max 0 t.current_pe);
+  (* A mark the transport coalesced away still owes its parent a return
+     credit (tree) or an executed count (flood): synthesize it here, as
+     if the absorbed twin had executed and immediately returned. The
+     surviving twin keeps the wave's progress honest — a subtree is
+     never considered marked before a mark actually traverses it. Marks
+     only fly while a cycle is active, so these steps are never
+     buffered: [send] runs with the spawning PE's context at every
+     domain count. *)
+  Network.set_on_coalesce t.net (fun ~pe mark ->
+      match t.cyc with
+      | None -> ()
+      | Some c -> (
+        match Cycle.handler_for_plane c (Task.plane_of_mark mark) with
+        | Some (Cycle.Tree_run _) -> (
+          match mark with
+          | Mark1 { par; _ } | Mark2 { par; _ } | Mark3 { par; _ } ->
+            send t (Marking (Return { plane = Task.plane_of_mark mark; par }))
+          | Return _ -> () (* returns never coalesce *))
+        | Some (Cycle.Flood_run fl) -> Flood.count_coalesced fl ~pe
+        | None -> () (* stray mark from a finished run: nothing owed *)));
   (* The reserve is per-home now that parking consults the executing
      vertex's partition ({!Graph.headroom_for}): a quarter of the heap
      globally, i.e. a quarter of each home's share. *)
@@ -917,6 +937,11 @@ let step t =
     t.m.Metrics.dup_suppressed <- f.Faults.dup_suppressed;
     t.m.Metrics.stalls <- f.Faults.stalls;
     t.m.Metrics.stall_steps <- f.Faults.stall_steps);
+  t.m.Metrics.frames_sent <- Network.frames_sent t.net;
+  t.m.Metrics.acks_sent <- Network.acks_sent t.net;
+  t.m.Metrics.acks_piggybacked <- Network.acks_piggybacked t.net;
+  t.m.Metrics.tasks_sent <- Network.tasks_sent t.net;
+  t.m.Metrics.marks_coalesced <- Network.marks_coalesced t.net;
   (match t.recorder with
   | None -> ()
   | Some r ->

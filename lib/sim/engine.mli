@@ -94,6 +94,14 @@ module Config : sig
             default) leaves every fault path byte-identical to a machine
             without the plane. Fault randomness rides [fault_seed]'s own
             streams, never [seed]'s. *)
+    batch : bool;
+        (** frame batching (default true): tasks staged on the same
+            (src, dst) link for the same arrival step ride one data
+            frame, and identical marks within a batch coalesce (see
+            {!Network}). [false] restores one task per frame — the
+            paper's literal one-task-per-message transport — for A/B
+            measurement; task-level arrival steps and per-link order
+            are identical either way. *)
   }
 
   type t = { machine : machine; gc : gc; network : network }
@@ -114,12 +122,14 @@ module Config : sig
     ?seed:int ->
     ?faults:Faults.spec ->
     ?domains:int ->
+    ?batch:bool ->
     unit ->
     t
   (** Smart constructor; every omitted knob takes the historical default:
       4 PEs, latency 4, 2 tasks/step (+8 marking), heap 50k, [Dynamic]
       pools, speculation on, concurrent GC with M_T every cycle and idle
-      gap 50, [Tree] marking, no jitter, no faults, seed 0, 1 domain. *)
+      gap 50, [Tree] marking, no jitter, no faults, seed 0, 1 domain,
+      batching on. *)
 
   val default : t
   (** [make ()]. *)
@@ -141,6 +151,7 @@ module Config : sig
   val seed : t -> int
   val faults : t -> Faults.spec
   val domains : t -> int
+  val batch : t -> bool
 
   (** {2 Updaters}
 
@@ -162,12 +173,10 @@ module Config : sig
   val with_seed : int -> t -> t
   val with_faults : Faults.spec -> t -> t
   val with_domains : int -> t -> t
+  val with_batch : bool -> t -> t
 end
 
 type config = Config.t
-
-val default_config : config
-  [@@deprecated "use Engine.Config.default (or Engine.Config.make) instead"]
 
 type t
 

@@ -22,6 +22,11 @@ type t = {
   mutable dup_suppressed : int;
   mutable stalls : int;
   mutable stall_steps : int;
+  mutable frames_sent : int;
+  mutable acks_sent : int;
+  mutable acks_piggybacked : int;
+  mutable tasks_sent : int;
+  mutable marks_coalesced : int;
 }
 
 let create () =
@@ -47,6 +52,11 @@ let create () =
     dup_suppressed = 0;
     stalls = 0;
     stall_steps = 0;
+    frames_sent = 0;
+    acks_sent = 0;
+    acks_piggybacked = 0;
+    tasks_sent = 0;
+    marks_coalesced = 0;
   }
 
 let record_pause t steps =
@@ -75,7 +85,7 @@ let absorb t src =
    statistics for the sampled series; field order is fixed and floats are
    printed with a fixed precision, so equal metrics serialize to equal
    bytes (the bench trajectories diff these files). *)
-let schema_version = 1
+let schema_version = 2
 
 let to_json t =
   let b = Buffer.create 512 in
@@ -88,7 +98,7 @@ let to_json t =
   in
   Printf.bprintf b "{\"schema_version\":%d," schema_version;
   Printf.bprintf b
-    "\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d}"
+    "\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d"
     t.steps t.reduction_executed t.marking_executed t.remote_messages t.local_messages
     t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
     (stats "pauses" t.pauses)
@@ -96,6 +106,11 @@ let to_json t =
     (stats "pool_depth" t.pool_depth)
     t.peak_live t.deadlocks_recovered t.msgs_dropped t.msgs_duplicated t.msgs_delayed
     t.retransmits t.dup_suppressed t.stalls t.stall_steps;
+  Printf.bprintf b
+    ",\"frames_sent\":%d,\"acks_sent\":%d,\"acks_piggybacked\":%d,\"tasks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f}"
+    t.frames_sent t.acks_sent t.acks_piggybacked t.tasks_sent t.marks_coalesced
+    (if t.frames_sent = 0 then 0.0
+     else float_of_int t.tasks_sent /. float_of_int t.frames_sent);
   Buffer.contents b
 
 let pp_summary fmt t =
@@ -115,4 +130,11 @@ let pp_summary fmt t =
       "@ @[faults: dropped=%d duplicated=%d delayed=%d retransmits=%d dup_suppressed=%d \
        stalls=%d stall_steps=%d@]"
       t.msgs_dropped t.msgs_duplicated t.msgs_delayed t.retransmits t.dup_suppressed
-      t.stalls t.stall_steps
+      t.stalls t.stall_steps;
+  if t.frames_sent > 0 then
+    Format.fprintf fmt
+      "@ @[transport: frames=%d tasks=%d tasks/frame=%.2f acks=%d(+%d piggybacked) \
+       coalesced=%d@]"
+      t.frames_sent t.tasks_sent
+      (float_of_int t.tasks_sent /. float_of_int t.frames_sent)
+      t.acks_sent t.acks_piggybacked t.marks_coalesced

@@ -25,6 +25,11 @@ type t = {
   mutable dup_suppressed : int;  (** redeliveries swallowed by dedup *)
   mutable stalls : int;  (** transient PE stalls begun *)
   mutable stall_steps : int;  (** execution steps lost to stalls *)
+  mutable frames_sent : int;  (** data frames flushed (initial sends) *)
+  mutable acks_sent : int;  (** standalone cumulative-ack frames *)
+  mutable acks_piggybacked : int;  (** cum acks riding reverse data frames *)
+  mutable tasks_sent : int;  (** tasks staged for transmission *)
+  mutable marks_coalesced : int;  (** marks absorbed by a staged twin *)
 }
 
 val create : unit -> t

@@ -1,65 +1,144 @@
 open Dgr_util
 open Dgr_task
 
-(* Two regimes share this module.
+(* Two regimes share this module, and both now speak in *batches*: every
+   task staged on the same (src, dst) link for the same arrival step
+   rides in one frame. Staging happens at [send]; the staged batches are
+   flushed into the channel at the next [deliver_into] (the network's
+   clock tick), which is also when the fault plane rolls its dice — one
+   roll per frame, not per task.
 
-   Without a fault plane the network is the idealized channel of the
-   paper: an arrival-keyed queue of (pe, task), delivered exactly once in
-   send order among equals. This path is byte-identical to the original
-   implementation so fault-free traces never change.
+   Without a fault plane the flushed batches sit in an arrival-keyed
+   queue and drain exactly once in flush order among equals, preserving
+   the paper's idealized-channel semantics at task granularity: a task's
+   arrival step is unchanged, only its grouping into frames is new.
 
-   With a fault plane, tasks ride in [Data] frames over an at-most-once
-   channel (Faults may drop, duplicate or delay any physical
-   transmission). Reliability is re-earned end to end: per-(src, dst)
-   sequence numbers, an individual [Ack] per data frame, retransmission
-   on timeout with exponential backoff, and receiver-side dedup keyed on
-   (src, dst, fseq) — so the layer above still sees every task exactly
-   once, in a deterministic order for a fixed fault seed. *)
+   With a fault plane, batches ride in [Data] frames over an
+   at-most-once channel (Faults may drop, duplicate or delay any
+   physical transmission; a dropped batch is retransmitted as a unit).
+   Reliability is re-earned end to end with per-(src, dst) sequence
+   numbers and *cumulative* acks: the receiver tracks the highest
+   contiguous sequence per link and acks that watermark — piggybacked on
+   a reverse-direction data frame when one is already going out this
+   step, as a standalone [Ack] frame otherwise — so the reliable layer
+   no longer generates one ack frame per data frame. Retransmission on
+   timeout with exponential backoff and receiver-side dedup keyed on
+   (src, dst, fseq) give the layer above every task exactly once, in a
+   deterministic order for a fixed fault seed.
+
+   On top of batching, the staging step *coalesces* mark waves: an
+   identical mark task (same constructor, vertex, parent, priority)
+   already staged in the batch absorbs the newcomer. The newcomer is
+   never transmitted; instead [on_coalesce] fires so the engine can
+   settle the mark/return accounting (synthesize the [Return] the
+   dropped twin would have produced, or credit the flood counters). *)
+
+type batch = {
+  b_src : int;
+  b_dst : int;
+  b_arrival : int;  (* fault-free arrival step, the stable sort key *)
+  b_delay : int;  (* base link delay at stage time (incl. jitter) *)
+  b_uid : int;  (* global stage order; ties in in_flight/entries *)
+  b_tasks : Task.t Vec.t;  (* shared with every queued copy of the frame *)
+  mutable b_marks : (Task.mark, unit) Hashtbl.t option;
+      (* membership index over the staged coalescible marks, built only
+         once the batch outgrows [mark_scan_limit]: typical batches stay
+         small and scan linearly with zero extra allocation, while a
+         mark wave piling hundreds of tasks onto one link in one step
+         still gets an O(1) coalescing test instead of O(batch) *)
+  mutable b_pack : bool;  (* claimed to carry the reverse link's cum ack *)
+}
+
+let mark_scan_limit = 16
 
 type frame =
-  | Data of { src : int; dst : int; fseq : int; delay : int; task : Task.t }
-  | Ack of { src : int; dst : int; fseq : int }
-      (** identifies the data frame being acknowledged; travels dst→src *)
+  | Data of { fseq : int; pack : int; batch : batch }
+      (** [pack] piggybacks a cumulative ack for the reverse data link
+          (batch.b_dst, batch.b_src); [min_int] when none is carried. *)
+  | Ack of { a_src : int; a_dst : int; cum : int }
+      (** cumulative ack for data link (a_src, a_dst): every fseq up to
+          and including [cum] has been received; travels a_dst→a_src *)
 
 type pending = {
-  p_src : int;
-  p_dst : int;
+  p_batch : batch;
   p_fseq : int;
-  p_task : Task.t;
-  p_delay : int;  (* base link delay of the original send (incl. jitter) *)
-  p_uid : int;  (* global send order; ties in in_flight/entries *)
-  p_arrival : int;  (* fault-free arrival step, the stable sort key *)
   mutable p_attempts : int;
   mutable p_rto : int;
   mutable p_delivered : bool;  (* receiver got a copy; awaiting ack *)
 }
 
+type snd_link = {
+  mutable snd_next : int;  (* next fseq to assign *)
+  mutable snd_una : int;  (* lowest fseq not yet cumulatively acked *)
+}
+
+type rcv_link = {
+  mutable rcv_next : int;  (* next fseq expected in order; cum = rcv_next - 1 *)
+  ooo : (int, unit) Hashtbl.t;  (* received out of order, above rcv_next *)
+}
+
 type t = {
-  q : (int * Task.t) Pqueue.t;  (* ideal channel (faults = None) *)
+  q : batch Pqueue.t;  (* ideal channel (faults = None) *)
   fq : frame Pqueue.t;  (* lossy channel, arrival-keyed *)
   recorder : Dgr_obs.Recorder.t option;
   faults : Faults.t option;
-  link_seq : (int * int, int) Hashtbl.t;  (* (src, dst) -> next fseq *)
+  batching : bool;  (* false: one task per frame, no coalescing *)
+  staged : batch Vec.t;  (* batches forming since the last flush *)
+  snd : (int * int, snd_link) Hashtbl.t;  (* (src, dst) -> sender state *)
+  rcv : (int * int, rcv_link) Hashtbl.t;  (* (src, dst) -> receiver state *)
   pending : (int * int * int, pending) Hashtbl.t;  (* unacked sends *)
   timers : (int * int * int) Pqueue.t;  (* fire step -> frame key *)
+  owed : (int * int, int) Hashtbl.t;  (* data link -> ack base delay *)
+  owed_order : (int * int) Vec.t;  (* links in first-owed order *)
+  mutable last_batch : batch option;
+      (* the batch the previous send staged into: sends cluster by link,
+         so most lookups hit here without scanning [staged] *)
+  mutable on_coalesce : pe:int -> Task.mark -> unit;
   mutable next_uid : int;
-  mutable undelivered : int;  (* data frames the receiver hasn't seen *)
+  mutable undelivered : int;  (* staged + in-channel task count *)
   mutable clock : int;  (* last [deliver ~now]; send-time reference *)
+  (* transport counters, synced into Metrics by the engine each step *)
+  mutable frames_sent : int;  (* initial data-frame flushes (both regimes) *)
+  mutable acks_sent : int;  (* standalone cumulative-ack frames *)
+  mutable acks_piggybacked : int;  (* cum acks carried on reverse data *)
+  mutable tasks_sent : int;  (* tasks staged for transmission *)
+  mutable marks_coalesced : int;  (* mark tasks absorbed before transmit *)
 }
 
-let create ?recorder ?faults () =
+let create ?recorder ?faults ?(batch = true) () =
   {
     q = Pqueue.create ();
     fq = Pqueue.create ();
     recorder;
     faults;
-    link_seq = Hashtbl.create 16;
+    batching = batch;
+    staged = Vec.create ();
+    snd = Hashtbl.create 16;
+    rcv = Hashtbl.create 16;
     pending = Hashtbl.create 64;
     timers = Pqueue.create ();
+    owed = Hashtbl.create 16;
+    owed_order = Vec.create ();
+    last_batch = None;
+    on_coalesce = (fun ~pe:_ _ -> ());
     next_uid = 0;
     undelivered = 0;
     clock = 0;
+    frames_sent = 0;
+    acks_sent = 0;
+    acks_piggybacked = 0;
+    tasks_sent = 0;
+    marks_coalesced = 0;
   }
+
+let set_on_coalesce t f = t.on_coalesce <- f
+
+let frames_sent t = t.frames_sent
+let acks_sent t = t.acks_sent
+let acks_piggybacked t = t.acks_piggybacked
+let tasks_sent t = t.tasks_sent
+let marks_coalesced t = t.marks_coalesced
+let unacked t = Hashtbl.length t.pending
 
 let emit t kind =
   match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
@@ -67,122 +146,361 @@ let emit t kind =
 let obs_of task =
   (Task.obs_kind task, match Task.exec_vertex task with Some v -> v | None -> -1)
 
+(* Drop/Dup/Retransmit events describe a whole frame via its head task —
+   batches are never empty in the channel (fully-purged batches are
+   removed outright), so [Vec.get 0] is safe. *)
+let head_obs b = obs_of (Vec.get b.b_tasks 0)
+
 let rto_cap = 1024
 
-(* One logical transmission through the fault plane: data frames roll
-   duplicate (two independent copies on a hit), then every copy rolls
-   drop and extra delay. Acks roll drop and delay only — duplicating an
-   ack is a no-op, and keeping it out of the stream keeps the dup
-   counter equal to the number of Dup events. *)
-let transmit t f ~now ~base frame =
-  let data =
-    match frame with Data { dst; task; _ } -> Some (dst, task) | Ack _ -> None
-  in
+(* The sequence space is per-link and never wraps: links live as long as
+   the machine, so at [seq_guard] sends on one link we fail loudly
+   rather than let cumulative acks silently go backwards. *)
+let seq_guard = max_int / 2
+
+let snd_link_for t key =
+  match Hashtbl.find_opt t.snd key with
+  | Some l -> l
+  | None ->
+    let l = { snd_next = 0; snd_una = 0 } in
+    Hashtbl.add t.snd key l;
+    l
+
+let rcv_link_for t key =
+  match Hashtbl.find_opt t.rcv key with
+  | Some l -> l
+  | None ->
+    let l = { rcv_next = 0; ooo = Hashtbl.create 8 } in
+    Hashtbl.add t.rcv key l;
+    l
+
+(* Record fseq as received on (src, dst), advancing the contiguous
+   watermark through any out-of-order backlog it unlocks. *)
+let mark_received t ~src ~dst fseq =
+  let rl = rcv_link_for t (src, dst) in
+  if fseq >= rl.rcv_next then
+    if fseq = rl.rcv_next then begin
+      rl.rcv_next <- rl.rcv_next + 1;
+      while Hashtbl.mem rl.ooo rl.rcv_next do
+        Hashtbl.remove rl.ooo rl.rcv_next;
+        rl.rcv_next <- rl.rcv_next + 1
+      done
+    end
+    else Hashtbl.replace rl.ooo fseq ()
+
+let already_received t ~src ~dst fseq =
+  match Hashtbl.find_opt t.rcv (src, dst) with
+  | None -> false
+  | Some rl -> fseq < rl.rcv_next || Hashtbl.mem rl.ooo fseq
+
+let cum_for t ~src ~dst =
+  match Hashtbl.find_opt t.rcv (src, dst) with
+  | None -> -1
+  | Some rl -> rl.rcv_next - 1
+
+(* A cumulative ack for link (src, dst): forget every pending send up to
+   [cum]. Idempotent — older acks and already-forgotten (purged) seqs
+   are no-ops. *)
+let apply_cum t ~src ~dst cum =
+  match Hashtbl.find_opt t.snd (src, dst) with
+  | None -> ()
+  | Some sl ->
+    while sl.snd_una <= cum do
+      Hashtbl.remove t.pending (src, dst, sl.snd_una);
+      sl.snd_una <- sl.snd_una + 1
+    done
+
+(* The receiver owes the sender a cumulative ack: remember the link (and
+   the triggering frame's base delay, for the ack's travel time). Every
+   owed link is settled at the next flush — piggybacked or standalone —
+   so [owed]/[owed_order] never carry across more than one step. *)
+let owe_ack t ~src ~dst ~delay =
+  if not (Hashtbl.mem t.owed (src, dst)) then Vec.push t.owed_order (src, dst);
+  Hashtbl.replace t.owed (src, dst) delay
+
+(* One physical transmission of a data frame through the fault plane:
+   roll duplicate (two independent copies on a hit), then every copy
+   rolls drop and extra delay. [arrival] is the fault-free arrival step;
+   [base] the link delay that scales the fault plane's extra delay. *)
+let transmit_data t f ~arrival ~base ~fseq ~pack b =
   let copies =
-    match data with
-    | Some (dst, task) when Faults.duplicates_frame f ->
-      let kind, vid = obs_of task in
-      emit t (Dgr_obs.Event.Dup { kind; pe = dst; vid });
+    if Faults.duplicates_frame f then begin
+      let kind, vid = head_obs b in
+      emit t (Dgr_obs.Event.Dup { kind; pe = b.b_dst; vid });
       2
-    | Some _ | None -> 1
+    end
+    else 1
   in
   for _ = 1 to copies do
-    if Faults.drops_frame f then (
-      match data with
-      | Some (dst, task) ->
-        let kind, vid = obs_of task in
-        emit t (Dgr_obs.Event.Drop { kind; pe = dst; vid })
-      | None -> ())
-    else begin
-      let arrival = now + base + Faults.extra_delay f ~latency:base in
-      Pqueue.add t.fq arrival frame
+    if Faults.drops_frame f then begin
+      let kind, vid = head_obs b in
+      emit t (Dgr_obs.Event.Drop { kind; pe = b.b_dst; vid })
     end
+    else
+      Pqueue.add t.fq
+        (arrival + Faults.extra_delay f ~latency:base)
+        (Data { fseq; pack; batch = b })
   done
 
-let send ?(src = -1) t ~arrival ~pe task =
-  match t.faults with
-  | None -> Pqueue.add t.q arrival (pe, task)
-  | Some f ->
-    let base = Int.max 1 (arrival - t.clock) in
-    let fseq =
-      match Hashtbl.find_opt t.link_seq (src, pe) with Some n -> n | None -> 0
-    in
-    Hashtbl.replace t.link_seq (src, pe) (fseq + 1);
-    let p =
-      {
-        p_src = src;
-        p_dst = pe;
-        p_fseq = fseq;
-        p_task = task;
-        p_delay = base;
-        p_uid = t.next_uid;
-        p_arrival = arrival;
-        p_attempts = 1;
-        p_rto = (2 * base) + 2;
-        p_delivered = false;
-      }
-    in
-    t.next_uid <- t.next_uid + 1;
-    Hashtbl.replace t.pending (src, pe, fseq) p;
-    t.undelivered <- t.undelivered + 1;
-    Pqueue.add t.timers (t.clock + p.p_rto) (src, pe, fseq);
-    transmit t f ~now:t.clock ~base (Data { src; dst = pe; fseq; delay = base; task })
+(* Acks roll drop and delay only — duplicating an ack is a no-op, and
+   keeping it out of the stream keeps the dup counter equal to the
+   number of Dup events. *)
+let transmit_ack t f ~arrival ~base frame =
+  if not (Faults.drops_frame f) then
+    Pqueue.add t.fq (arrival + Faults.extra_delay f ~latency:base) frame
 
-(* Delivery hands each due message to [push] as it pops — the engine's
-   pools consume directly, with no intermediate list. The event stream is
-   unchanged from the list-returning days: pops emit [Deliver] in pop
-   order and [push] emits nothing, so interleaving push with pop leaves
-   the trace bytes identical. *)
+(* Flush the batches staged since the last tick into the channel, then
+   (under faults) settle every owed cumulative ack. Fault-plane dice are
+   rolled here, once per frame, in stage order. *)
+let flush t f ~now =
+  (* Piggyback claim, newest staged batch first: the *last* reverse
+     frame of the step carries the ack, so it covers everything the
+     receiver saw before this flush. Claiming removes the debt, which
+     also stops earlier batches on the same link from claiming it. *)
+  for i = Vec.length t.staged - 1 downto 0 do
+    let b = Vec.get t.staged i in
+    let reverse = (b.b_dst, b.b_src) in
+    if Hashtbl.mem t.owed reverse then begin
+      Hashtbl.remove t.owed reverse;
+      b.b_pack <- true
+    end
+  done;
+  Vec.iter
+    (fun b ->
+      let link = (b.b_src, b.b_dst) in
+      let sl = snd_link_for t link in
+      if sl.snd_next >= seq_guard then
+        invalid_arg "Network.send: per-link sequence space exhausted";
+      let fseq = sl.snd_next in
+      sl.snd_next <- fseq + 1;
+      let p =
+        { p_batch = b; p_fseq = fseq; p_attempts = 1; p_rto = (2 * b.b_delay) + 2;
+          p_delivered = false }
+      in
+      Hashtbl.replace t.pending (b.b_src, b.b_dst, fseq) p;
+      Pqueue.add t.timers (now + p.p_rto) (b.b_src, b.b_dst, fseq);
+      t.frames_sent <- t.frames_sent + 1;
+      emit t
+        (Dgr_obs.Event.Batch
+           { src = b.b_src; dst = b.b_dst; count = Vec.length b.b_tasks });
+      let pack =
+        if b.b_pack then begin
+          let cum = cum_for t ~src:b.b_dst ~dst:b.b_src in
+          t.acks_piggybacked <- t.acks_piggybacked + 1;
+          emit t
+            (Dgr_obs.Event.Cum_ack
+               { src = b.b_dst; dst = b.b_src; upto = cum; piggyback = true });
+          cum
+        end
+        else min_int
+      in
+      transmit_data t f ~arrival:b.b_arrival ~base:b.b_delay ~fseq ~pack b)
+    t.staged;
+  Vec.clear t.staged;
+  t.last_batch <- None;
+  (* Standalone acks for links no reverse data frame covered. *)
+  Vec.iter
+    (fun (src, dst) ->
+      match Hashtbl.find_opt t.owed (src, dst) with
+      | None -> () (* piggybacked above *)
+      | Some delay ->
+        Hashtbl.remove t.owed (src, dst);
+        let cum = cum_for t ~src ~dst in
+        t.acks_sent <- t.acks_sent + 1;
+        emit t (Dgr_obs.Event.Cum_ack { src; dst; upto = cum; piggyback = false });
+        transmit_ack t f ~arrival:(now + delay) ~base:delay
+          (Ack { a_src = src; a_dst = dst; cum }))
+    t.owed_order;
+  Vec.clear t.owed_order
+
+(* Fault-free flush: batches go straight onto the ideal arrival-keyed
+   queue. Stage order among equal arrivals is preserved by the queue's
+   FIFO tie-breaking, so delivery order is deterministic. *)
+let flush_ideal t =
+  Vec.iter
+    (fun b ->
+      t.frames_sent <- t.frames_sent + 1;
+      (match t.recorder with
+      | None -> ()
+      | Some r ->
+        Dgr_obs.Recorder.emit r
+          (Dgr_obs.Event.Batch
+             { src = b.b_src; dst = b.b_dst; count = Vec.length b.b_tasks }));
+      Pqueue.add t.q b.b_arrival b)
+    t.staged;
+  Vec.clear t.staged;
+  t.last_batch <- None
+
+(* Find the forming batch for (src, dst, arrival). Sends cluster by
+   link (a PE drains its pool, a mark wave fans out), so the previous
+   send's batch is checked first; otherwise a backward linear scan over
+   the staged set — one forming batch per active (link, arrival), so it
+   stays short. *)
+let find_staged t ~src ~dst ~arrival =
+  let matches b = b.b_src = src && b.b_dst = dst && b.b_arrival = arrival in
+  match t.last_batch with
+  | Some b when matches b -> Some b
+  | _ ->
+    let rec scan i =
+      if i < 0 then None
+      else
+        let b = Vec.get t.staged i in
+        if matches b then Some b else scan (i - 1)
+    in
+    scan (Vec.length t.staged - 1)
+
+(* Is an identical coalescible mark already staged in this batch? Short
+   batches scan the task vector directly; batches past [mark_scan_limit]
+   are answered by their [b_marks] index. *)
+let mark_staged b m =
+  match b.b_marks with
+  | Some tbl -> Hashtbl.mem tbl m
+  | None ->
+    Vec.exists
+      (fun task ->
+        match task with Task.Marking m' -> m' = m | Task.Reduction _ -> false)
+      b.b_tasks
+
+(* Called just before pushing mark [m]: once the push will take the
+   batch past the scan limit, build the index over everything staged so
+   far (a one-time O(batch) catch-up) and keep it current from then on. *)
+let index_mark b m =
+  match b.b_marks with
+  | Some tbl -> Hashtbl.replace tbl m ()
+  | None ->
+    if Vec.length b.b_tasks >= mark_scan_limit then begin
+      let tbl = Hashtbl.create (2 * mark_scan_limit) in
+      Vec.iter
+        (fun task ->
+          match task with
+          | Task.Marking (Task.Return _) | Task.Reduction _ -> ()
+          | Task.Marking m' -> Hashtbl.replace tbl m' ())
+        b.b_tasks;
+      Hashtbl.replace tbl m ();
+      b.b_marks <- Some tbl
+    end
+
+let send ?(src = -1) t ~arrival ~pe task =
+  let b =
+    match if t.batching then find_staged t ~src ~dst:pe ~arrival else None with
+    | Some b -> b
+    | None ->
+      let b =
+        {
+          b_src = src;
+          b_dst = pe;
+          b_arrival = arrival;
+          b_delay = Int.max 1 (arrival - t.clock);
+          b_uid = t.next_uid;
+          b_tasks = Vec.create ();
+          b_marks = None;
+          b_pack = false;
+        }
+      in
+      t.next_uid <- t.next_uid + 1;
+      Vec.push t.staged b;
+      b
+  in
+  if t.batching then t.last_batch <- Some b;
+  (* Marks are flat scalar records, so the structural hashing and
+     equality behind [b_marks] are exact; Returns never coalesce (each
+     one carries a distinct mt-cnt credit) and reduction tasks are never
+     compared (closures, and no two are semantically identical). *)
+  match task with
+  | Task.Marking m
+    when (match m with Task.Return _ -> false | _ -> t.batching)
+         && mark_staged b m ->
+    t.marks_coalesced <- t.marks_coalesced + 1;
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      Dgr_obs.Recorder.emit r
+        (Dgr_obs.Event.Coalesce
+           { pe; vid = (match Task.exec_vertex task with Some v -> v | None -> -1) }));
+    (* state is consistent here: the callback may re-enter [send] (the
+       engine stages the Return the dropped twin would have produced;
+       Returns never coalesce, so recursion is depth 1) *)
+    t.on_coalesce ~pe m
+  | task ->
+    (match task with
+    | Task.Marking (Task.Return _) | Task.Reduction _ -> ()
+    | Task.Marking m -> if t.batching then index_mark b m);
+    Vec.push b.b_tasks task;
+    t.undelivered <- t.undelivered + 1;
+    t.tasks_sent <- t.tasks_sent + 1
+
+(* Delivery hands each due task to [push] as its batch pops — the
+   engine's pools consume directly, with no intermediate list. Pops emit
+   [Deliver] per task in pop order and [push] emits nothing, so
+   interleaving push with pop keeps the trace deterministic. *)
 let deliver_into t ~now ~push =
   t.clock <- now;
   match t.faults with
   | None ->
+    flush_ideal t;
     (* Fast path: the idealized channel is a single peek/pop loop with
-       no frame bookkeeping, and the [Deliver] event record is only
+       no frame bookkeeping, and [Deliver] event records are only
        constructed when a recorder is attached. *)
     let continue = ref true in
     while !continue do
       match Pqueue.peek t.q with
       | Some (arrival, _) when arrival <= now -> (
         match Pqueue.pop t.q with
-        | Some (_, (pe, task)) ->
-          (match t.recorder with
-          | None -> ()
-          | Some r ->
-            Dgr_obs.Recorder.emit r
-              (Dgr_obs.Event.Deliver
-                 {
-                   kind = Task.obs_kind task;
-                   pe;
-                   vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
-                 }));
-          push pe task
+        | Some (_, b) ->
+          t.undelivered <- t.undelivered - Vec.length b.b_tasks;
+          Vec.iter
+            (fun task ->
+              (match t.recorder with
+              | None -> ()
+              | Some r ->
+                Dgr_obs.Recorder.emit r
+                  (Dgr_obs.Event.Deliver
+                     {
+                       kind = Task.obs_kind task;
+                       pe = b.b_dst;
+                       vid =
+                         (match Task.exec_vertex task with Some v -> v | None -> -1);
+                     }));
+              push b.b_dst task)
+            b.b_tasks
         | None -> continue := false)
       | Some _ | None -> continue := false
     done
   | Some f ->
+    flush t f ~now;
     let rec drain () =
       match Pqueue.peek t.fq with
       | Some (arrival, _) when arrival <= now ->
         (match Pqueue.pop t.fq with
-        | Some (_, Data { src; dst; fseq; delay; task }) ->
-          let key = (src, dst, fseq) in
-          (match Hashtbl.find_opt t.pending key with
-          | Some p when not p.p_delivered ->
-            p.p_delivered <- true;
-            t.undelivered <- t.undelivered - 1;
-            let kind, vid = obs_of task in
-            emit t (Dgr_obs.Event.Deliver { kind; pe = dst; vid });
-            push dst task
-          | Some _ | None ->
-            (* redelivery of a frame already seen (or since acked and
-               forgotten): suppress — this is the exactly-once edge *)
-            f.Faults.dup_suppressed <- f.Faults.dup_suppressed + 1);
-          (* always ack, even duplicates: the previous ack may be lost *)
-          transmit t f ~now ~base:delay (Ack { src; dst; fseq })
-        | Some (_, Ack { src; dst; fseq }) -> Hashtbl.remove t.pending (src, dst, fseq)
-        | None -> ());
-        drain ()
+        | Some (_, Data { fseq; pack; batch = b }) ->
+          let src = b.b_src and dst = b.b_dst in
+          (* a piggybacked cum ack settles the reverse data link *)
+          if pack > min_int then apply_cum t ~src:dst ~dst:src pack;
+          if already_received t ~src ~dst fseq then
+            (* redelivery of a frame already seen (or whose batch was
+               purged): suppress — this is the exactly-once edge *)
+            f.Faults.dup_suppressed <- f.Faults.dup_suppressed + 1
+          else begin
+            mark_received t ~src ~dst fseq;
+            (match Hashtbl.find_opt t.pending (src, dst, fseq) with
+            | Some p -> p.p_delivered <- true
+            | None -> ());
+            t.undelivered <- t.undelivered - Vec.length b.b_tasks;
+            Vec.iter
+              (fun task ->
+                let kind, vid = obs_of task in
+                emit t (Dgr_obs.Event.Deliver { kind; pe = dst; vid });
+                push dst task)
+              b.b_tasks
+          end;
+          (* always owe an ack, even for duplicates: the previous
+             cumulative ack may have been lost *)
+          owe_ack t ~src ~dst ~delay:b.b_delay;
+          drain ()
+        | Some (_, Ack { a_src; a_dst; cum }) ->
+          apply_cum t ~src:a_src ~dst:a_dst cum;
+          drain ()
+        | None -> ())
       | Some _ | None -> ()
     in
     drain ();
@@ -194,20 +512,18 @@ let deliver_into t ~now ~push =
           match Hashtbl.find_opt t.pending key with
           | None -> () (* acked or purged; timer lazily deleted *)
           | Some p ->
+            let b = p.p_batch in
             p.p_attempts <- p.p_attempts + 1;
             f.Faults.retransmits <- f.Faults.retransmits + 1;
-            let kind, vid = obs_of p.p_task in
+            let kind, vid = head_obs b in
             emit t
-              (Dgr_obs.Event.Retransmit { kind; pe = p.p_dst; vid; attempt = p.p_attempts });
-            transmit t f ~now ~base:p.p_delay
-              (Data
-                 {
-                   src = p.p_src;
-                   dst = p.p_dst;
-                   fseq = p.p_fseq;
-                   delay = p.p_delay;
-                   task = p.p_task;
-                 });
+              (Dgr_obs.Event.Retransmit
+                 { kind; pe = b.b_dst; vid; attempt = p.p_attempts });
+            (* the whole batch retransmits as a unit, without a
+               piggybacked ack (the ack path has its own redundancy:
+               every receipt re-owes the watermark) *)
+            transmit_data t f ~arrival:(now + b.b_delay) ~base:b.b_delay
+              ~fseq:p.p_fseq ~pack:min_int b;
             p.p_rto <- Int.min (p.p_rto * 2) rto_cap;
             Pqueue.add t.timers (now + p.p_rto) key)
         | None -> ());
@@ -221,26 +537,36 @@ let deliver t ~now =
   deliver_into t ~now ~push:(fun pe task -> acc := (pe, task) :: !acc);
   List.rev !acc
 
-(* Undelivered sends in fault-free arrival order, send order among
-   equals — deterministic regardless of hash-table layout. *)
-let pending_sorted t =
-  let undelivered =
-    Hashtbl.fold (fun _ p acc -> if p.p_delivered then acc else p :: acc) t.pending []
-  in
+(* Undelivered batches in fault-free arrival order, stage order among
+   equals — deterministic regardless of hash-table or heap layout.
+   Staged batches (sent this step, flushing next tick) are included:
+   between ticks they are exactly as in-flight as queued ones. *)
+let sorted_batches t =
+  let acc = ref [] in
+  (match t.faults with
+  | None -> Pqueue.iter (fun _ b -> acc := b :: !acc) t.q
+  | Some _ ->
+    Hashtbl.iter (fun _ p -> if not p.p_delivered then acc := p.p_batch :: !acc) t.pending);
+  Vec.iter (fun b -> acc := b :: !acc) t.staged;
   List.sort
     (fun a b ->
-      match compare a.p_arrival b.p_arrival with 0 -> compare a.p_uid b.p_uid | c -> c)
-    undelivered
+      match compare a.b_arrival b.b_arrival with 0 -> compare a.b_uid b.b_uid | c -> c)
+    !acc
 
 let in_flight t =
-  match t.faults with
-  | None -> List.map (fun (_, (_, task)) -> task) (Pqueue.to_sorted_list t.q)
-  | Some _ -> List.map (fun p -> p.p_task) (pending_sorted t)
+  List.concat_map (fun b -> Vec.to_list b.b_tasks) (sorted_batches t)
 
 let iter_in_flight t f =
-  match t.faults with
-  | None -> Pqueue.iter (fun _ (_, task) -> f task) t.q
-  | Some _ -> Hashtbl.iter (fun _ p -> if not p.p_delivered then f p.p_task) t.pending
+  let visit b = Vec.iter f b.b_tasks in
+  (match t.faults with
+  | None -> Pqueue.iter (fun _ b -> visit b) t.q
+  | Some _ -> Hashtbl.iter (fun _ p -> if not p.p_delivered then visit p.p_batch) t.pending);
+  Vec.iter visit t.staged
+
+let entries t =
+  List.concat_map
+    (fun b -> List.map (fun task -> (b.b_arrival, task)) (Vec.to_list b.b_tasks))
+    (sorted_batches t)
 
 let emit_purges t counts =
   List.iter
@@ -254,66 +580,84 @@ let bump tbl pe =
   | Some n -> incr n
   | None -> Hashtbl.add tbl pe (ref 1)
 
+(* Purge filters tasks *inside* batches. Queued frame copies share the
+   batch's task vector, so pruning a pending batch prunes every copy in
+   the channel at once. A batch emptied before it ever flushed simply
+   disappears; one emptied while in the channel leaves a sequence hole,
+   which the receiver is told to treat as received — cumulative acks
+   then skip over it and its queued copies are discarded, so survivors
+   on the link are neither blocked nor double-acked. *)
 let purge t pred =
-  match t.faults with
-  | None ->
-    let per_pe = Hashtbl.create 8 in
-    let before = Pqueue.length t.q in
-    Pqueue.filter_in_place
-      (fun _ (pe, task) ->
+  let per_pe = Hashtbl.create 8 in
+  let removed = ref 0 in
+  let prune b =
+    let before = Vec.length b.b_tasks in
+    Vec.filter_in_place
+      (fun task ->
         if pred task then begin
-          bump per_pe pe;
+          bump per_pe b.b_dst;
+          (* a still-staged batch may yet coalesce: the purged mark must
+             not absorb a later identical send as a ghost *)
+          (match (task, b.b_marks) with
+          | (Task.Marking (Task.Return _) | Task.Reduction _), _ | _, None -> ()
+          | Task.Marking m, Some tbl -> Hashtbl.remove tbl m);
           false
         end
         else true)
-      t.q;
-    let n = before - Pqueue.length t.q in
-    if n > 0 then emit_purges t (counts_of_tbl per_pe);
-    n
+      b.b_tasks;
+    let n = before - Vec.length b.b_tasks in
+    removed := !removed + n;
+    t.undelivered <- t.undelivered - n;
+    Vec.length b.b_tasks = 0
+  in
+  Vec.filter_in_place (fun b -> not (prune b)) t.staged;
+  (match t.faults with
+  | None -> Pqueue.filter_in_place (fun _ b -> not (prune b)) t.q
   | Some _ ->
     let victims =
       Hashtbl.fold
-        (fun key p acc ->
-          if (not p.p_delivered) && pred p.p_task then (key, p) :: acc else acc)
+        (fun key p acc -> if not p.p_delivered then (key, p) :: acc else acc)
         t.pending []
     in
-    let keys = Hashtbl.create 8 in
-    let per_pe = Hashtbl.create 8 in
+    let holes = Hashtbl.create 8 in
     List.iter
-      (fun (key, p) ->
-        Hashtbl.remove t.pending key;
-        Hashtbl.replace keys key ();
-        bump per_pe p.p_dst;
-        t.undelivered <- t.undelivered - 1)
+      (fun ((src, dst, fseq) as key, p) ->
+        if prune p.p_batch then begin
+          Hashtbl.remove t.pending key;
+          Hashtbl.replace holes key ();
+          mark_received t ~src ~dst fseq
+        end)
       victims;
-    (* discard queued copies too, so they are neither re-acked nor
-       miscounted as duplicates when they arrive *)
-    if victims <> [] then
+    (* discard queued copies of emptied batches too, so they are
+       neither delivered nor miscounted as duplicates when they arrive *)
+    if Hashtbl.length holes > 0 then
       Pqueue.filter_in_place
         (fun _ frame ->
           match frame with
-          | Data { src; dst; fseq; _ } -> not (Hashtbl.mem keys (src, dst, fseq))
+          | Data { fseq; batch = b; _ } ->
+            not (Hashtbl.mem holes (b.b_src, b.b_dst, fseq))
           | Ack _ -> true)
-        t.fq;
-    let n = List.length victims in
-    if n > 0 then emit_purges t (counts_of_tbl per_pe);
-    n
+        t.fq);
+  if !removed > 0 then emit_purges t (counts_of_tbl per_pe);
+  !removed
 
-let size t =
-  match t.faults with None -> Pqueue.length t.q | Some _ -> t.undelivered
+let size t = t.undelivered
 
-let entries t =
-  match t.faults with
-  | None -> List.map (fun (arr, (_, task)) -> (arr, task)) (Pqueue.to_sorted_list t.q)
-  | Some _ -> List.map (fun p -> (p.p_arrival, p.p_task)) (pending_sorted t)
+(* Test hook: fast-forward a link's sender sequence to exercise the
+   wraparound guard without billions of sends. *)
+let set_link_seq t ~src ~dst n =
+  let sl = snd_link_for t (src, dst) in
+  sl.snd_next <- n;
+  sl.snd_una <- n
 
 (* Per-PE outgoing buffer for the sharded engine. A PE executing on a
-   worker domain never touches the shared queue directly: it posts into
-   its private mailbox, and the engine flushes all mailboxes into the
-   network at the step barrier in ascending PE order. Flushing preserves
-   each mailbox's post order, and the arrival-keyed queue is FIFO among
-   equal arrivals, so the merged delivery order equals the serial
-   engine's — independent of which domain ran which PE when. *)
+   worker domain never touches the shared staging area directly: it
+   posts into its private mailbox, and the engine flushes all mailboxes
+   into the network at the step barrier in ascending PE order. Flushing
+   preserves each mailbox's post order, and staging groups tasks by
+   (src, dst, arrival) irrespective of post interleaving, so the merged
+   batches equal the serial engine's — independent of which domain ran
+   which PE when. *)
 module Mailbox = struct
   type entry = { e_src : int; e_arrival : int; e_pe : int; e_task : Task.t }
 

@@ -1,73 +1,111 @@
 open Dgr_task
 
-(** The message network: tasks in transit between PEs.
+(** The message network: tasks in transit between PEs, batched per link.
+
+    Transport is frame-batched in both regimes: every task {!send}-ed to
+    the same (src, dst) link for the same arrival step rides in one
+    frame, staged until the next {!deliver_into} tick flushes it into
+    the channel. Batching is a refinement of the paper's
+    one-task-per-message model below task granularity — each task keeps
+    its fault-free arrival step and per-link FIFO order; only the
+    grouping into physical frames (and hence per-frame bookkeeping:
+    arrival events, pending entries, retransmit timers, acks) changes.
 
     Without a fault plane, delivery is the paper's idealized channel:
-    messages become available at their arrival step and drain in send
-    order among equals, exactly once. This path is byte-identical to the
-    pre-fault implementation, so fault-free traces are unchanged.
+    batches become available at their arrival step and drain in stage
+    order among equals, exactly once.
 
-    With a fault plane ({!Faults.t}), each task rides in a data frame
-    over an at-most-once channel — any physical transmission may be
-    dropped, duplicated or delayed. A reliable-delivery layer re-earns
-    the exactly-once effect the marking and reduction planes assume:
-    per-(sender, destination) sequence numbers, an individual ack per
-    data frame, retransmission on timeout with exponential backoff
-    (initial RTO [2·delay + 2], doubling per attempt, capped), and
-    receiver-side dedup on (src, dst, seq). Everything is driven by the
-    fault plane's own seeded streams, so a (config, seed, fault-spec)
-    triple replays byte-identically.
+    With a fault plane ({!Faults.t}), batches ride in data frames over
+    an at-most-once channel — any physical transmission may be dropped,
+    duplicated or delayed, and a dropped batch retransmits as a unit. A
+    reliable-delivery layer re-earns the exactly-once effect the marking
+    and reduction planes assume: per-(sender, destination) sequence
+    numbers, {e cumulative} acks (the highest contiguous sequence per
+    link, piggybacked on a reverse-direction data frame when one is
+    already flushing, standalone otherwise), retransmission on timeout
+    with exponential backoff (initial RTO [2·delay + 2], doubling per
+    attempt, capped), and receiver-side dedup on (src, dst, seq).
+    Everything is driven by the fault plane's own seeded streams, so a
+    (config, seed, fault-spec) triple replays byte-identically.
+
+    Staging also {e coalesces} mark waves (unless created with
+    [~batch:false]): a mark task structurally identical to one already
+    staged in its batch is absorbed rather than transmitted, and the
+    [on_coalesce] hook fires so the engine can settle the mark/return
+    accounting the dropped twin owed. [Return] marks and reduction
+    tasks never coalesce.
 
     The cycle controller reads {!in_flight} when seeding M_T — the
-    visibility of in-transit tasks the paper defers to [5]. Under
-    faults, that means undelivered sends (frames the receiver has not
-    yet seen), whether or not copies currently sit in the lossy queue:
-    a dropped frame is still in flight in the sense that matters, since
-    its retransmission will eventually deliver it. *)
+    visibility of in-transit tasks the paper defers to [5]. That means
+    undelivered sends, staged or in-channel: a dropped frame is still in
+    flight in the sense that matters, since its retransmission will
+    eventually deliver it. *)
 
 type t
 
-val create : ?recorder:Dgr_obs.Recorder.t -> ?faults:Faults.t -> unit -> t
-(** With a recorder, {!deliver} emits a [Deliver] event per message
-    handed up and {!purge} a [Purge] event per destination PE swept.
-    Under faults, [Drop]/[Dup]/[Retransmit] events trace the channel. *)
+val create :
+  ?recorder:Dgr_obs.Recorder.t -> ?faults:Faults.t -> ?batch:bool -> unit -> t
+(** With a recorder, flushes emit a [Batch] event per frame and
+    {!deliver_into} a [Deliver] event per task handed up; {!purge} emits
+    a [Purge] event per destination PE swept. Under faults,
+    [Drop]/[Dup]/[Retransmit] events trace the channel per frame and
+    [Cum_ack] events trace the acknowledgement watermarks. [batch]
+    (default true) controls multi-task frames and mark coalescing;
+    [~batch:false] restores one task per frame for A/B runs (the
+    cumulative-ack layer is shared by both modes). *)
 
 val send : ?src:int -> t -> arrival:int -> pe:int -> Task.t -> unit
-(** [src] (default [-1], the controller) names the sending PE; it keys
-    the per-link sequence-number space under faults and is otherwise
-    ignored. [arrival] is the fault-free arrival step; under faults the
-    link's base delay is recovered as [arrival - now of last deliver]. *)
+(** Stage a task on link (src, dst = pe) for [arrival]. [src] (default
+    [-1], the controller) names the sending PE; it keys the batch and
+    the per-link sequence-number space under faults. [arrival] is the
+    fault-free arrival step; the link's base delay is recovered as
+    [arrival - now of last deliver]. Tasks staged for the same (src,
+    pe, arrival) join one batch; an identical already-staged mark
+    absorbs the newcomer (see {!set_on_coalesce}). *)
+
+val set_on_coalesce : t -> (pe:int -> Task.mark -> unit) -> unit
+(** Install the mark-coalescing callback: fired from {!send} when a
+    staged identical mark absorbs the task being sent, with [pe] the
+    destination PE. The callback may re-enter {!send} (e.g. to stage
+    the [Return] the absorbed mark would have produced); recursion is
+    bounded because [Return] tasks never coalesce. Default: ignore. *)
 
 val deliver_into : t -> now:int -> push:(int -> Task.t -> unit) -> unit
-(** Hand every message due by [now] to [push pe task], in delivery
-    order, without building a list. Under faults this is also the
-    network's clock tick: acks go out for every data frame received
-    (duplicates included — the previous ack may have been lost),
-    duplicate deliveries are suppressed, and expired retransmission
-    timers fire. Call once per step. *)
+(** The network's clock tick: flush the batches staged since the last
+    tick into the channel, then hand every task due by [now] to
+    [push pe task], in delivery order, without building a list. Under
+    faults this also settles owed cumulative acks (piggybacked or
+    standalone), suppresses duplicate frames, and fires expired
+    retransmission timers. Call once per step. *)
 
 val deliver : t -> now:int -> (int * Task.t) list
 (** {!deliver_into} collected into a list, in delivery order (tests and
     debugging; the engine consumes via [deliver_into]). *)
 
 val in_flight : t -> Task.t list
-(** Tasks sent but not yet delivered, ordered by fault-free arrival step
-    then send order. Delivered-but-unacked frames are excluded: their
-    effect already happened. *)
+(** Tasks sent but not yet delivered — staged batches included — ordered
+    by fault-free arrival step, then batch stage order, then in-batch
+    post order. Delivered-but-unacked frames are excluded: their effect
+    already happened. *)
 
 val iter_in_flight : t -> (Task.t -> unit) -> unit
 (** Apply [f] to every undelivered task in {e unspecified} order, without
     sorting or allocating — for order-insensitive folds (M_T seeding). *)
 
 val purge : t -> (Task.t -> bool) -> int
-(** Remove matching undelivered tasks; returns the count. Retransmission
-    of purged frames stops and late copies are not delivered. Emits one
-    [Purge] event per affected destination PE, ascending. *)
+(** Remove matching undelivered tasks; returns the count. Tasks are
+    filtered inside their batches (queued frame copies share the batch,
+    so every copy is pruned at once); a batch emptied entirely is
+    withdrawn — its retransmission stops, late copies are not delivered,
+    and under faults its sequence number is treated as received so
+    cumulative acks flow past the hole without re-acking survivors.
+    Emits one [Purge] event per affected destination PE, ascending. *)
 
 val size : t -> int
-(** Undelivered task count. [0] means no task will ever be handed up
-    again (outstanding acks and timers for already-delivered frames do
-    not count), so quiescence detection is unaffected by ack traffic. *)
+(** Undelivered task count, staged batches included. [0] means no task
+    will ever be handed up again (outstanding acks and timers for
+    already-delivered frames do not count), so quiescence detection is
+    unaffected by ack traffic. *)
 
 val entries : t -> (int * Task.t) list
 (** [(arrival, task)] pairs for undelivered sends, sorted by fault-free
@@ -75,11 +113,40 @@ val entries : t -> (int * Task.t) list
     under faults, so trace output and M_T seeding never depend on heap
     or hash layout. *)
 
+(** {2 Transport counters}
+
+    Monotonic totals since [create], synced into {!Metrics} by the
+    engine each step. *)
+
+val frames_sent : t -> int
+(** Data frames flushed into the channel (initial transmissions only,
+    both regimes; retransmissions are counted by the fault plane). *)
+
+val acks_sent : t -> int
+(** Standalone cumulative-ack frames transmitted. *)
+
+val acks_piggybacked : t -> int
+(** Cumulative acks carried on reverse-direction data frames. *)
+
+val tasks_sent : t -> int
+(** Tasks staged for transmission (coalesced marks excluded). *)
+
+val marks_coalesced : t -> int
+(** Mark tasks absorbed by a staged identical twin before transmission. *)
+
+val unacked : t -> int
+(** Pending table size under faults: frames sent but not yet covered by
+    a cumulative ack, delivered or not (tests). *)
+
+val set_link_seq : t -> src:int -> dst:int -> int -> unit
+(** Test hook: fast-forward link (src, dst)'s sender sequence number to
+    exercise the wraparound guard. Not for production use. *)
+
 (** Per-PE outgoing buffer for the sharded engine: a worker-domain PE
-    posts its sends here instead of into the shared queue; the engine
-    flushes every mailbox at the step barrier in ascending PE order,
-    which (with FIFO tie-breaking among equal arrivals) reproduces the
-    serial engine's delivery order exactly. *)
+    posts its sends here instead of staging directly; the engine flushes
+    every mailbox at the step barrier in ascending PE order. Staging
+    groups tasks by (src, dst, arrival) regardless of post interleaving,
+    so the merged batches equal the serial engine's exactly. *)
 module Mailbox : sig
   type mb
 

@@ -103,13 +103,6 @@ let iter f q =
     f q.prio.(i) q.vals.(i)
   done
 
-let to_list q =
-  let acc = ref [] in
-  for i = 0 to q.len - 1 do
-    acc := (q.prio.(i), q.vals.(i)) :: !acc
-  done;
-  !acc
-
 let to_sorted_list q =
   let idx = Array.init q.len (fun i -> i) in
   Array.sort

@@ -25,10 +25,6 @@ val clear : 'a t -> unit
 val iter : (int -> 'a -> unit) -> 'a t -> unit
 (** Iteration order is unspecified. *)
 
-val to_list : 'a t -> (int * 'a) list
-  [@@deprecated "order is unspecified; use to_sorted_list (or iter if order is irrelevant)"]
-(** Unspecified (heap-internal) order — never let it reach output. *)
-
 val to_sorted_list : 'a t -> (int * 'a) list
 (** Pop order without popping: ascending priority, FIFO among ties.
     O(n log n) — for deterministic external views (traces, debugging). *)

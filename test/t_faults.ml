@@ -107,6 +107,145 @@ let test_faulted_purge_stops_retransmission () =
        delivered
     && delivered <> [])
 
+(* --- batched frames: purge, cumulative acks, sequence guard ----------- *)
+
+(* Step [deliver] past [drain]'s stopping point until every data frame is
+   cumulatively acked: acks can be lost, but every (re)delivery re-owes
+   the watermark, so the pending set empties with probability 1. *)
+let settle_acks net =
+  let now = ref 100_000 in
+  while Network.unacked net > 0 && !now < 300_000 do
+    incr now;
+    ignore (Network.deliver net ~now:!now)
+  done;
+  Alcotest.(check int) "every data frame cumulatively acked" 0 (Network.unacked net)
+
+(* Purging tasks out of batched frames: survivors in a partially-purged
+   batch still arrive exactly once, a fully-purged batch's queued copies
+   and retransmit timer die with it, and the sequence hole it leaves is
+   skipped by the cumulative acks — nothing is acked twice, nothing
+   blocks behind the hole. *)
+let test_purge_batched_frames () =
+  let f = Faults.create { Faults.none with Faults.drop = 0.3; fault_seed = 21 } in
+  let net = Network.create ~faults:f () in
+  (* one three-task batch on link 0->1, one singleton batch on 0->2 *)
+  Network.send ~src:0 net ~arrival:3 ~pe:1 (Task.request 1 Demand.Vital);
+  Network.send ~src:0 net ~arrival:3 ~pe:1 (Task.request 2 Demand.Vital);
+  Network.send ~src:0 net ~arrival:3 ~pe:1 (Task.request 3 Demand.Vital);
+  Network.send ~src:0 net ~arrival:3 ~pe:2 (Task.request 4 Demand.Vital);
+  (* tick once so the batches flush into the channel as frames *)
+  Alcotest.(check int) "nothing due yet" 0 (List.length (Network.deliver net ~now:1));
+  Alcotest.(check int) "two data frames flushed" 2 (Network.frames_sent net);
+  let purged =
+    Network.purge net (function
+      | Task.Reduction (Task.Request { dst; _ }) -> dst = 1 || dst = 3 || dst = 4
+      | _ -> false)
+  in
+  Alcotest.(check int) "three tasks purged out of the frames" 3 purged;
+  Alcotest.(check int) "one survivor undelivered" 1 (Network.size net);
+  let delivered = drain net in
+  Alcotest.(check bool) "exactly the survivor arrived, once" true
+    (match delivered with
+    | [ (1, Task.Reduction (Task.Request { dst = 2; _ })) ] -> true
+    | _ -> false);
+  (* the fully-purged frame left a hole on link 0->2; the watermark must
+     skip it so the link's pending set still empties *)
+  settle_acks net
+
+(* The cumulative ack piggybacks on the LAST reverse data frame of the
+   flush, not the first: an earlier reverse frame leaves the sender's
+   pending entry alone, and only the final frame's arrival clears it. *)
+let test_piggyback_on_last_reverse_frame () =
+  (* stall-only spec: the reliable layer is on, but no frame is ever
+     dropped, duplicated or delayed — the schedule below is exact *)
+  let f = Faults.create { Faults.none with Faults.stall = 0.9; fault_seed = 2 } in
+  let r = Dgr_obs.Recorder.create ~num_pes:4 () in
+  let net = Network.create ~recorder:r ~faults:f () in
+  Network.send ~src:0 net ~arrival:2 ~pe:1 (Task.request 7 Demand.Vital);
+  ignore (Network.deliver net ~now:1);
+  Alcotest.(check int) "forward frame delivered" 1
+    (List.length (Network.deliver net ~now:2));
+  (* PE 1 now owes PE 0 an ack; it also has two reverse batches to send *)
+  Network.send ~src:1 net ~arrival:4 ~pe:0 (Task.request 8 Demand.Vital);
+  Network.send ~src:1 net ~arrival:5 ~pe:0 (Task.request 9 Demand.Vital);
+  ignore (Network.deliver net ~now:3);
+  Alcotest.(check int) "ack rode a reverse data frame" 1 (Network.acks_piggybacked net);
+  Alcotest.(check int) "no standalone ack was spent on it" 0 (Network.acks_sent net);
+  Alcotest.(check int) "three frames await acks" 3 (Network.unacked net);
+  ignore (Network.deliver net ~now:4);
+  (* the arrival-4 reverse frame carried no ack: the forward frame's
+     pending entry must still be there *)
+  Alcotest.(check int) "first reverse frame cleared nothing" 3 (Network.unacked net);
+  ignore (Network.deliver net ~now:5);
+  (* the arrival-5 frame (the last of that flush) carried the watermark *)
+  Alcotest.(check int) "last reverse frame cleared the forward pending" 2
+    (Network.unacked net);
+  let piggybacks =
+    List.filter_map
+      (function
+        | { Dgr_obs.Event.kind = Dgr_obs.Event.Cum_ack { src; dst; upto; piggyback }; _ }
+          when piggyback -> Some (src, dst, upto)
+        | _ -> None)
+      (Dgr_obs.Recorder.events r)
+  in
+  Alcotest.(check (list (triple int int int))) "the one piggyback names the data link"
+    [ (0, 1, 0) ] piggybacks;
+  settle_acks net;
+  Alcotest.(check bool) "reverse frames settled by standalone acks" true
+    (Network.acks_sent net > 0);
+  Alcotest.(check int) "still only one piggyback" 1 (Network.acks_piggybacked net)
+
+(* Lost acks and reordered redeliveries: every task still arrives exactly
+   once (out-of-order frames park in the receiver's backlog, redeliveries
+   are suppressed), and because every receipt re-owes the watermark the
+   sender's pending set still empties. *)
+let test_ack_loss_out_of_order () =
+  let f =
+    Faults.create
+      { Faults.none with
+        Faults.drop = 0.4; duplicate = 0.1; delay = 0.5; fault_seed = 17 }
+  in
+  let net = Network.create ~faults:f () in
+  let n = 60 in
+  for i = 1 to n do
+    Network.send ~src:0 net ~arrival:(2 + (i mod 13)) ~pe:1
+      (Task.request i Demand.Vital)
+  done;
+  let delivered = drain net in
+  Alcotest.(check int) "every task delivered despite ack loss" n (List.length delivered);
+  let vids =
+    List.filter_map
+      (function
+        | _, Task.Reduction (Task.Request { dst; _ }) -> Some dst
+        | _ -> None)
+      delivered
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "exactly once each" n (List.length vids);
+  Alcotest.(check bool) "frames were dropped and retransmitted" true
+    (f.Faults.drops > 0 && f.Faults.retransmits > 0);
+  Alcotest.(check bool) "reordered redeliveries were suppressed" true
+    (f.Faults.dup_suppressed > 0);
+  settle_acks net
+
+(* The per-link sequence space never wraps: at the guard the flush fails
+   loudly instead of letting cumulative acks run backwards. *)
+let test_seq_wraparound_guard () =
+  let f = Faults.create { Faults.none with Faults.stall = 0.5; fault_seed = 1 } in
+  let net = Network.create ~faults:f () in
+  Network.set_link_seq net ~src:0 ~dst:1 (max_int / 2);
+  Network.send ~src:0 net ~arrival:2 ~pe:1 (Task.request 1 Demand.Vital);
+  Alcotest.check_raises "flush refuses to assign a wrapped sequence"
+    (Invalid_argument "Network.send: per-link sequence space exhausted") (fun () ->
+      ignore (Network.deliver net ~now:1));
+  (* other links are unaffected by the exhausted one *)
+  let net2 = Network.create ~faults:(Faults.create { Faults.none with Faults.fault_seed = 1 }) () in
+  Network.set_link_seq net2 ~src:0 ~dst:1 ((max_int / 2) - 1);
+  Network.send ~src:0 net2 ~arrival:2 ~pe:1 (Task.request 1 Demand.Vital);
+  ignore (Network.deliver net2 ~now:1);
+  Alcotest.(check int) "the last sequence number below the guard still flushes" 1
+    (Network.frames_sent net2)
+
 (* --- differential fuzz: faulted concurrent GC vs fault-free STW ------- *)
 
 (* Build the machine's graph and an identical fault-free replica (same
@@ -340,6 +479,14 @@ let suite =
       test_heavy_drop_still_delivers;
     Alcotest.test_case "purge under faults stops retransmission" `Quick
       test_faulted_purge_stops_retransmission;
+    Alcotest.test_case "purge prunes batched frames without double-acking" `Quick
+      test_purge_batched_frames;
+    Alcotest.test_case "cum ack piggybacks on the last reverse frame" `Quick
+      test_piggyback_on_last_reverse_frame;
+    Alcotest.test_case "ack loss and reordering still deliver exactly once" `Quick
+      test_ack_loss_out_of_order;
+    Alcotest.test_case "per-link sequence space cannot wrap" `Quick
+      test_seq_wraparound_guard;
     Alcotest.test_case "differential fuzz vs STW oracle (50 seeds)" `Slow
       test_differential_block;
     Alcotest.test_case "invariants hold after every step" `Slow
