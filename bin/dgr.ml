@@ -4,8 +4,10 @@
      dgr run FILE       evaluate a program (or -e EXPR) on the simulator
      dgr trace FILE     evaluate with event tracing, write a Perfetto trace
      dgr check FILE     parse + compile only
-     dgr experiment ID  regenerate an experiment table (e1..e11, all)
+     dgr experiment ID  regenerate an experiment table (e1..e12, all)
      dgr bench          run the macro-benchmark suite, write BENCH.json
+     dgr report         run a program or bench scenario, print the post-run
+                        lineage/latency/health/serial-fraction analysis
 
    See `dgr run --help` for the machine knobs. *)
 
@@ -321,6 +323,48 @@ let bench_cmd smoke deterministic domains batch out baseline list_only =
       Format.eprintf "dgr: %s@." msg;
       1
 
+(* [dgr report]: run a workload to completion, then render the post-run
+   analysis (latency decomposition, critical-path lineages, health,
+   serial fraction) from the engine's always-on observability. *)
+let report_run ~file ~expr ~opts ~scenario ~deterministic ~max_steps ~out =
+  let ( let* ) = Result.bind in
+  let* e =
+    match scenario with
+    | Some name -> (
+      match (file, expr) with
+      | None, None -> (
+        try Ok (Dgr_harness.Bench.run_for_report ~domains:opts.domains name)
+        with Invalid_argument msg -> Error msg)
+      | _ -> Error "pass either --scenario or FILE/--expr, not both")
+    | None ->
+      let* source = read_source file expr in
+      let* config = config_of_opts opts in
+      let* g, templates =
+        try Ok (Dgr_lang.Compile.load_string ~num_pes:opts.pes source) with
+        | Dgr_lang.Compile.Compile_error msg -> Error ("compile error: " ^ msg)
+        | Dgr_lang.Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+        | Dgr_lang.Lexer.Error (msg, pos) ->
+          Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+      in
+      let e = Engine.create ~config g templates in
+      Engine.inject_root_demand e;
+      let (_ : int) = Engine.run ~max_steps e in
+      Ok e
+  in
+  let text = Dgr_harness.Report.render ~deterministic e in
+  Engine.dispose e;
+  try
+    (match out with
+    | Some path ->
+      Dgr_obs.Export.write_file path text;
+      Format.printf "report written to %s@." path
+    | None -> print_string text);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let report_cmd file expr opts scenario deterministic max_steps out =
+  report (report_run ~file ~expr ~opts ~scenario ~deterministic ~max_steps ~out)
+
 (* --- cmdliner plumbing ---------------------------------------------- *)
 
 let file_pos = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -589,7 +633,7 @@ let bench_domains_arg =
 
 let bench_out_arg =
   Arg.(value & opt string "BENCH.json" & info [ "o"; "output" ] ~docv:"PATH"
-         ~doc:"Where to write the results (versioned JSON, schema_version 3).")
+         ~doc:"Where to write the results (versioned JSON, schema_version 4).")
 
 let bench_no_batch_arg =
   Arg.(value & flag & info [ "no-batch" ]
@@ -621,11 +665,45 @@ let bench_cmd_v =
              README's Benchmarking section.")
     bench_term
 
+let report_scenario_arg =
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+         ~doc:"Analyze a bench-suite scenario (see $(b,dgr bench --list)) instead of \
+               a FILE/$(b,--expr) program. Only $(b,--domains) applies among the \
+               machine knobs; the scenario fixes the rest.")
+
+let report_det_arg =
+  Arg.(value & flag & info [ "deterministic" ]
+         ~doc:"Omit the wall-clock step-phase section, making the report \
+               byte-reproducible across runs and machines (the CI smoke check \
+               diffs two such reports).")
+
+let report_out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+         ~doc:"Write the report to $(docv) instead of stdout.")
+
+let report_term =
+  Term.(
+    const report_cmd
+    $ file_pos $ expr_arg $ machine_term $ report_scenario_arg $ report_det_arg
+    $ max_steps_arg $ report_out_arg)
+
+let report_cmd_v =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run a program (FILE or $(b,--expr)) or a bench scenario \
+             ($(b,--scenario)) to completion and print the post-run analysis: \
+             per-task latency percentiles decomposed into queue / network / \
+             retransmit / execution components (from the causal lineage \
+             tickets), the top critical-path lineages, health-watchdog \
+             verdicts, transport efficiency, and the step-phase profile with \
+             the measured Amdahl serial fraction.")
+    report_term
+
 let main =
   Cmd.group
     (Cmd.info "dgr" ~version:"1.0.0"
        ~doc:"Distributed graph reduction with decentralized concurrent marking (Hudak, PODC \
              1983).")
-    [ run_cmd_v; trace_cmd_v; check_cmd_v; experiment_cmd_v; bench_cmd_v ]
+    [ run_cmd_v; trace_cmd_v; check_cmd_v; experiment_cmd_v; bench_cmd_v; report_cmd_v ]
 
 let () = exit (Cmd.eval' main)

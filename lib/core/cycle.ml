@@ -24,6 +24,7 @@ type t = {
   cycle_scheme : scheme;
   detection_window : int;
   mutable phase : phase;
+  mutable phase_started_at : int;  (* [env.now] at the last phase transition *)
   mutable mr_run : Run.t option;
   mutable mt_run : Run.t option;
   mutable mr_flood : Flood.t option;
@@ -49,6 +50,7 @@ let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) ?recor
     cycle_scheme = scheme;
     detection_window;
     phase = Idle;
+    phase_started_at = 0;
     mr_run = None;
     mt_run = None;
     mr_flood = None;
@@ -70,6 +72,8 @@ let scheme t = t.cycle_scheme
 
 let phase t = t.phase
 
+let phase_started_at t = t.phase_started_at
+
 let graph t = t.g
 
 let seed run env v =
@@ -88,6 +92,7 @@ let mt_seed_set t =
 let start_mark_root t =
   Graph.reset_plane t.g Plane.MR;
   t.phase <- Mark_root;
+  t.phase_started_at <- t.env.now ();
   obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Mark_root; cycle = t.cycles });
   match t.cycle_scheme with
   | Tree ->
@@ -113,6 +118,7 @@ let start_mark_tasks t =
   Graph.reset_plane t.g Plane.MT;
   t.mt_ran_this_cycle <- true;
   t.phase <- Mark_tasks;
+  t.phase_started_at <- t.env.now ();
   obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Mark_tasks; cycle = t.cycles });
   let seeds = mt_seed_set t in
   match t.cycle_scheme with
@@ -165,6 +171,7 @@ let finish_cycle t =
        { cycle = t.cycles; garbage = List.length report.Restructure.garbage });
   obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Idle; cycle = t.cycles });
   t.phase <- Idle;
+  t.phase_started_at <- t.env.now ();
   t.cycles <- t.cycles + 1;
   t.last_report <- Some report;
   t.deadlocked_ever <-

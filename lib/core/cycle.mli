@@ -70,6 +70,11 @@ val scheme : t -> scheme
 
 val phase : t -> phase
 
+val phase_started_at : t -> int
+(** The step at which the current phase was entered ([env.now] at the
+    last transition; [0] before the first cycle). The engine's mark-wave
+    watchdog and the report tool use this to age a phase. *)
+
 val graph : t -> Graph.t
 
 val start_cycle : t -> unit

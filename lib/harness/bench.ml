@@ -2,11 +2,14 @@ open Dgr_graph
 open Dgr_sim
 open Dgr_lang
 
-(* v3: rows gained the transport columns "frames_sent", "acks_sent",
+(* v4: rows gained the end-to-end latency percentiles "lat_p50".."lat_p999"
+   (in steps, from the lineage histograms — deterministic) and the
+   wall-measured "serial_fraction" (zeroed in deterministic mode). v3
+   added the transport columns "frames_sent", "acks_sent",
    "marks_coalesced" and "tasks_per_frame", and the document a top-level
    "batch" (whether frame batching was on). v2 added per-row "domains"
    and "speedup_vs_seq" and the top-level "domains". *)
-let schema_version = 3
+let schema_version = 4
 
 (* ------------------------------------------------------------------ *)
 (* The macro suite.                                                    *)
@@ -135,6 +138,13 @@ type row = {
   tasks_per_frame : float;
       (** tasks carried / frames sent — the frame-count reduction
           batching bought over one-task-per-frame transport *)
+  lat_p50 : int;  (** end-to-end task latency percentiles, in steps *)
+  lat_p90 : int;
+  lat_p99 : int;
+  lat_p999 : int;
+  serial_fraction : float;
+      (** measured Amdahl serial fraction (wall-clock; 0.0 when
+          deterministic) *)
   digest : string;
   wall_ns : int64;
   minor_words : float;
@@ -185,20 +195,22 @@ let build_engine ?(domains = 1) ?(batch = true) s =
   in
   Engine.create ~config g templates
 
-let run_scenario ?(domains = 1) ?(batch = true) ~deterministic s =
-  let e = build_engine ~domains ~batch s in
+(* Demand alone dies out quickly on a placeholder graph; spraying
+   requests over every 8th live vertex keeps the pools busy (and a
+   stop-the-world machine non-quiescent) while the collector works. *)
+let prime e s =
   Engine.inject_root_demand e;
-  (match s.s_workload with
+  match s.s_workload with
   | Storm _ ->
-    (* Demand alone dies out quickly on a placeholder graph; spraying
-       requests over every 8th live vertex keeps the pools busy (and a
-       stop-the-world machine non-quiescent) while the collector works. *)
     List.iteri
       (fun i v ->
-        if i mod 8 = 0 then
-          Engine.inject e (Dgr_task.Task.request v Demand.Eager))
+        if i mod 8 = 0 then Engine.inject e (Dgr_task.Task.request v Demand.Eager))
       (Graph.live_vids (Engine.graph e))
-  | Program _ -> ());
+  | Program _ -> ()
+
+let run_scenario ?(domains = 1) ?(batch = true) ~deterministic s =
+  let e = build_engine ~domains ~batch s in
+  prime e s;
   let mw0 = if deterministic then 0.0 else Gc.minor_words () in
   let t0 = if deterministic then 0.0 else Unix.gettimeofday () in
   let steps =
@@ -231,6 +243,13 @@ let run_scenario ?(domains = 1) ?(batch = true) ~deterministic s =
     tasks_per_frame =
       (if m.Metrics.frames_sent = 0 then 0.0
        else float_of_int m.Metrics.tasks_sent /. float_of_int m.Metrics.frames_sent);
+    lat_p50 = Dgr_obs.Hist.percentile m.Metrics.lat_e2e 50.0;
+    lat_p90 = Dgr_obs.Hist.percentile m.Metrics.lat_e2e 90.0;
+    lat_p99 = Dgr_obs.Hist.percentile m.Metrics.lat_e2e 99.0;
+    lat_p999 = Dgr_obs.Hist.percentile m.Metrics.lat_e2e 99.9;
+    serial_fraction =
+      (if deterministic then 0.0
+       else Dgr_sim.Profile.serial_fraction (Engine.profile e));
     digest = Digest.to_hex (Digest.string (signature e));
     wall_ns;
     minor_words;
@@ -281,6 +300,24 @@ let run_suite ?(domains = 1) ?(batch = true) ?only ~smoke ~deterministic () =
   in
   List.map (run_scenario ~domains ~batch ~deterministic) selected
 
+(* Build, prime and run one named suite scenario, returning the engine
+   itself (not a row) so a post-run analyzer can walk its lineage store,
+   histograms and profile. The caller owns the engine: dispose it. *)
+let run_for_report ?(domains = 1) ?(batch = true) name =
+  match List.find_opt (fun s -> s.s_name = name) suite with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Bench.run_for_report: unknown scenario %S (have: %s)" name
+         (String.concat ", " (scenario_names ~smoke:false)))
+  | Some s ->
+    let e = build_engine ~domains ~batch s in
+    prime e s;
+    let (_ : int) =
+      if s.s_endless then Engine.run ~max_steps:s.s_max_steps ~stop:(fun _ -> false) e
+      else Engine.run ~max_steps:s.s_max_steps e
+    in
+    e
+
 (* ------------------------------------------------------------------ *)
 (* BENCH.json.                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -293,10 +330,11 @@ let row_json r =
     else r.minor_words /. float_of_int r.steps
   in
   Printf.sprintf
-    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"frames_sent\":%d,\"acks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
+    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"frames_sent\":%d,\"acks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f,\"lat_p50\":%d,\"lat_p90\":%d,\"lat_p99\":%d,\"lat_p999\":%d,\"serial_fraction\":%.4f,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
     r.name r.seed r.domains r.steps r.tasks r.messages r.cycles r.avg_cycle_len
     r.live r.completed r.frames_sent r.acks_sent r.marks_coalesced
-    r.tasks_per_frame r.digest r.wall_ns (rate r.steps) (rate r.tasks)
+    r.tasks_per_frame r.lat_p50 r.lat_p90 r.lat_p99 r.lat_p999 r.serial_fraction
+    r.digest r.wall_ns (rate r.steps) (rate r.tasks)
     (rate r.messages) mwps r.speedup_vs_seq
 
 let to_json ?(batch = true) ~mode ~deterministic rows =

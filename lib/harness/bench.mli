@@ -39,6 +39,16 @@ type row = {
       (** tasks carried / frames sent — the frame-count reduction
           batching bought over one-task-per-frame transport; [0.0]
           when no frames were sent (fault-free ideal channel) *)
+  lat_p50 : int;
+      (** end-to-end task latency percentiles in steps, from the lineage
+          histograms ({!Dgr_sim.Metrics}) — deterministic, present in
+          deterministic rows too *)
+  lat_p90 : int;
+  lat_p99 : int;
+  lat_p999 : int;
+  serial_fraction : float;
+      (** measured Amdahl serial fraction ({!Dgr_sim.Profile});
+          wall-clock derived, [0.0] in deterministic mode *)
   digest : string;
       (** MD5 over the run's deterministic signature: final live set,
           deadlock verdicts, result, and the task/message/GC counters.
@@ -70,6 +80,14 @@ val run_suite :
     [true]) toggles the transport's frame batching ([dgr bench
     --no-batch] measures the one-task-per-frame floor). Raises
     [Invalid_argument] on an unknown name in [only]. *)
+
+val run_for_report :
+  ?domains:int -> ?batch:bool -> string -> Dgr_sim.Engine.t
+(** Build, prime and run one named suite scenario, returning the engine
+    itself so a post-run analyzer ({!Report}, [dgr report --scenario])
+    can walk its lineage store, latency histograms and step-phase
+    profile. The caller owns the engine — {!Dgr_sim.Engine.dispose} it.
+    Raises [Invalid_argument] on an unknown name. *)
 
 val steps_per_sec : row -> float
 (** [0.0] for deterministic rows. *)

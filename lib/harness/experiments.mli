@@ -27,9 +27,13 @@ open Dgr_util
       the same program in;
     - E11 — §2.1's idealized network, revoked: message drop rate vs
       marking-cycle length with reliable delivery (acks, retransmission,
-      dedup) re-earning exactly-once effect over a lossy channel.
+      dedup) re-earning exactly-once effect over a lossy channel;
+    - E12 — the step-phase profiler's measured Amdahl serial fraction vs
+      domain count on a storm workload (the ROADMAP item 1 yardstick).
 
-    Each run function is deterministic for a given seed. *)
+    Each run function is deterministic for a given seed — except E12's
+    serial-fraction and Amdahl-ceiling columns, which are wall-clock
+    measurements (its latency percentile columns stay deterministic). *)
 
 type result = Table.t list
 
@@ -55,6 +59,8 @@ val e10_heap_sweep : ?seed:int -> unit -> result
 
 val e11_fault_sweep : ?seed:int -> unit -> result
 
+val e12_serial_fraction : unit -> result
+
 type info = {
   title : string;  (** one-line description *)
   paper_ref : string;  (** the figure/section of the paper it regenerates *)
@@ -71,7 +77,7 @@ val ids : string list
 val describe : string -> info option
 
 val run : ?trace_dir:string -> string -> unit
-(** Run one experiment by id ("e1".."e11" or "all") and print its tables.
+(** Run one experiment by id ("e1".."e12" or "all") and print its tables.
     With [trace_dir] (created if missing), every simulated run made
     through the shared program-runner additionally records a structured
     event trace and writes it as Chrome trace-event JSON, numbered per

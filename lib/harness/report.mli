@@ -1,0 +1,13 @@
+(** Post-run analyzer behind [dgr report]: renders a finished engine's
+    causal-lineage and latency observability as text — the latency table
+    (p50/p90/p99/p999 per component), the mean end-to-end decomposition
+    (queue vs network vs retransmit vs execution), the top critical-path
+    lineages, health-watchdog verdicts, transport efficiency, and the
+    step-phase profile with the measured Amdahl serial fraction. *)
+
+val render : ?deterministic:bool -> Dgr_sim.Engine.t -> string
+(** [render e] formats the report for a run engine. All sections except
+    the step-phase profile are derived from deterministic machine state
+    and are byte-identical for a (config, seed) pair at every domain
+    count; [~deterministic:true] (default false) omits the wall-clock
+    profile section, making the whole report byte-reproducible. *)

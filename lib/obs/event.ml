@@ -4,10 +4,19 @@ type phase = Idle | Mark_tasks | Mark_root | Restructure
 
 type pause_reason = Restructure_pause | Stw_pause
 
+type health = Mark_wave_stall | Quiescence_stall | Retransmit_storm
+
 type kind =
-  | Send of { kind : task_kind; pe : int; vid : int; arrival : int; remote : bool }
-  | Deliver of { kind : task_kind; pe : int; vid : int }
-  | Execute of { kind : task_kind; pe : int; vid : int }
+  | Send of {
+      kind : task_kind;
+      pe : int;
+      vid : int;
+      arrival : int;
+      remote : bool;
+      lin : int;
+    }
+  | Deliver of { kind : task_kind; pe : int; vid : int; lin : int }
+  | Execute of { kind : task_kind; pe : int; vid : int; lin : int }
   | Purge of { pe : int; count : int }
   | Phase of { phase : phase; cycle : int }
   | Pause of { steps : int; reason : pause_reason }
@@ -26,6 +35,7 @@ type kind =
   | Batch of { src : int; dst : int; count : int }
   | Cum_ack of { src : int; dst : int; upto : int; piggyback : bool }
   | Coalesce of { pe : int; vid : int }
+  | Health of { health : health; value : int }
   | Finished
 
 type t = { step : int; seq : int; kind : kind }
@@ -47,15 +57,20 @@ let pause_reason_name = function
   | Restructure_pause -> "restructure"
   | Stw_pause -> "stw"
 
+let health_name = function
+  | Mark_wave_stall -> "mark_wave_stall"
+  | Quiescence_stall -> "quiescence_stall"
+  | Retransmit_storm -> "retransmit_storm"
+
 let pp_kind fmt = function
-  | Send { kind; pe; vid; arrival; remote } ->
-    Format.fprintf fmt "send %s pe=%d vid=%d arrival=%d%s" (task_kind_name kind) pe vid
-      arrival
+  | Send { kind; pe; vid; arrival; remote; lin } ->
+    Format.fprintf fmt "send %s pe=%d vid=%d arrival=%d lin=%d%s" (task_kind_name kind)
+      pe vid arrival lin
       (if remote then " remote" else "")
-  | Deliver { kind; pe; vid } ->
-    Format.fprintf fmt "deliver %s pe=%d vid=%d" (task_kind_name kind) pe vid
-  | Execute { kind; pe; vid } ->
-    Format.fprintf fmt "execute %s pe=%d vid=%d" (task_kind_name kind) pe vid
+  | Deliver { kind; pe; vid; lin } ->
+    Format.fprintf fmt "deliver %s pe=%d vid=%d lin=%d" (task_kind_name kind) pe vid lin
+  | Execute { kind; pe; vid; lin } ->
+    Format.fprintf fmt "execute %s pe=%d vid=%d lin=%d" (task_kind_name kind) pe vid lin
   | Purge { pe; count } -> Format.fprintf fmt "purge pe=%d count=%d" pe count
   | Phase { phase; cycle } ->
     Format.fprintf fmt "phase %s cycle=%d" (phase_name phase) cycle
@@ -87,6 +102,8 @@ let pp_kind fmt = function
     Format.fprintf fmt "cum-ack link=%d->%d upto=%d%s" src dst upto
       (if piggyback then " piggyback" else "")
   | Coalesce { pe; vid } -> Format.fprintf fmt "coalesce pe=%d vid=%d" pe vid
+  | Health { health; value } ->
+    Format.fprintf fmt "health %s value=%d" (health_name health) value
   | Finished -> Format.pp_print_string fmt "finished"
 
 let pp fmt t = Format.fprintf fmt "@[[%d.%d] %a@]" t.step t.seq pp_kind t.kind

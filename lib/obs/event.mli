@@ -18,12 +18,25 @@ type phase = Idle | Mark_tasks | Mark_root | Restructure
 
 type pause_reason = Restructure_pause | Stw_pause
 
+type health = Mark_wave_stall | Quiescence_stall | Retransmit_storm
+(** Watchdog verdicts: the mark wave stopped advancing while a cycle
+    is active, the machine stopped retiring tasks while work remains,
+    or retransmissions crossed the storm threshold within a window. *)
+
 type kind =
-  | Send of { kind : task_kind; pe : int; vid : int; arrival : int; remote : bool }
-      (** a task entered the network, to arrive at [pe] at step [arrival] *)
-  | Deliver of { kind : task_kind; pe : int; vid : int }
+  | Send of {
+      kind : task_kind;
+      pe : int;
+      vid : int;
+      arrival : int;
+      remote : bool;
+      lin : int;
+    }
+      (** a task entered the network, to arrive at [pe] at step
+          [arrival]; [lin] is its causal lineage id ([-1]: untracked) *)
+  | Deliver of { kind : task_kind; pe : int; vid : int; lin : int }
       (** the network handed a task to [pe]'s pool *)
-  | Execute of { kind : task_kind; pe : int; vid : int }
+  | Execute of { kind : task_kind; pe : int; vid : int; lin : int }
       (** [pe] executed a task addressed at [vid] *)
   | Purge of { pe : int; count : int }
       (** [count] tasks expunged from [pe]'s pool ([-1]: network/parked) *)
@@ -63,6 +76,9 @@ type kind =
   | Coalesce of { pe : int; vid : int }
       (** a mark task bound for [vid] at [pe] was absorbed by an
           identical mark staged in the same batch *)
+  | Health of { health : health; value : int }
+      (** a watchdog fired; [value] is the stalled-step count or the
+          retransmit count inside the storm window *)
   | Finished  (** the root's value arrived *)
 
 type t = { step : int; seq : int; kind : kind }
@@ -72,5 +88,7 @@ val task_kind_name : task_kind -> string
 val phase_name : phase -> string
 
 val pause_reason_name : pause_reason -> string
+
+val health_name : health -> string
 
 val pp : Format.formatter -> t -> unit

@@ -75,22 +75,23 @@ let chrome_trace r =
     (fun { Event.step = ts; seq; kind } ->
       let seq_arg = Printf.sprintf "\"seq\":%d" seq in
       match kind with
-      | Event.Execute { kind; pe; vid } ->
+      | Event.Execute { kind; pe; vid; lin } ->
         instant ctx ~name:(Event.task_kind_name kind) ~tid:(pe_tid pe) ~ts
-          ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
-      | Event.Send { kind; pe; vid; arrival; remote } ->
+          ~args:(Printf.sprintf "\"vid\":%d,\"lin\":%d,%s" vid lin seq_arg)
+      | Event.Send { kind; pe; vid; arrival; remote; lin } ->
         instant ctx
           ~name:("send:" ^ Event.task_kind_name kind)
           ~tid:(pe_tid pe) ~ts
           ~args:
-            (Printf.sprintf "\"vid\":%d,\"arrival\":%d,\"remote\":%d,%s" vid arrival
+            (Printf.sprintf "\"vid\":%d,\"arrival\":%d,\"remote\":%d,\"lin\":%d,%s" vid
+               arrival
                (if remote then 1 else 0)
-               seq_arg)
-      | Event.Deliver { kind; pe; vid } ->
+               lin seq_arg)
+      | Event.Deliver { kind; pe; vid; lin } ->
         instant ctx
           ~name:("deliver:" ^ Event.task_kind_name kind)
           ~tid:(pe_tid pe) ~ts
-          ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
+          ~args:(Printf.sprintf "\"vid\":%d,\"lin\":%d,%s" vid lin seq_arg)
       | Event.Purge { pe; count } ->
         instant ctx ~name:"purge" ~tid:(pe_tid pe) ~ts
           ~args:(Printf.sprintf "\"count\":%d,%s" count seq_arg)
@@ -157,6 +158,11 @@ let chrome_trace r =
       | Event.Coalesce { pe; vid } ->
         instant ctx ~name:"coalesce" ~tid:(pe_tid pe) ~ts
           ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
+      | Event.Health { health; value } ->
+        instant ctx
+          ~name:("health:" ^ Event.health_name health)
+          ~tid:ctrl_tid ~ts
+          ~args:(Printf.sprintf "\"value\":%d,%s" value seq_arg)
       | Event.Finished -> instant ctx ~name:"finished" ~tid:ctrl_tid ~ts ~args:seq_arg)
     (Recorder.events r);
   close_phase ctx ~mark_tid ~ts:(Recorder.now r);
@@ -180,7 +186,12 @@ let chrome_trace r =
       counter "faults" s.Recorder.s_step
         (Printf.sprintf "\"drops\":%d,\"dups\":%d,\"retransmits\":%d,\"stalls\":%d"
            s.Recorder.s_drops s.Recorder.s_dups s.Recorder.s_retransmits
-           s.Recorder.s_stalls))
+           s.Recorder.s_stalls);
+      counter "transport" s.Recorder.s_step
+        (Printf.sprintf
+           "\"frames\":%d,\"batched_tasks\":%d,\"acks_piggybacked\":%d,\"coalesced\":%d"
+           s.Recorder.s_frames s.Recorder.s_batched_tasks
+           s.Recorder.s_acks_piggybacked s.Recorder.s_coalesced))
     (Recorder.samples r);
   Buffer.add_string ctx.b "\n]}\n";
   Buffer.contents ctx.b
@@ -188,15 +199,17 @@ let chrome_trace r =
 let timeseries_csv r =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    "step,pe,pool_depth,marking,reduction,live,in_flight,headroom,drops,dups,retransmits,stalls\n";
+    "step,pe,pool_depth,marking,reduction,live,in_flight,headroom,drops,dups,retransmits,stalls,frames,batched_tasks,acks_piggybacked,coalesced\n";
   List.iter
     (fun (s : Recorder.sample) ->
       Array.iteri
         (fun pe depth ->
-          bpf b "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n" s.Recorder.s_step pe depth
-            s.Recorder.s_marking.(pe) s.Recorder.s_reduction.(pe) s.Recorder.s_live
-            s.Recorder.s_in_flight s.Recorder.s_headroom s.Recorder.s_drops
-            s.Recorder.s_dups s.Recorder.s_retransmits s.Recorder.s_stalls)
+          bpf b "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n" s.Recorder.s_step
+            pe depth s.Recorder.s_marking.(pe) s.Recorder.s_reduction.(pe)
+            s.Recorder.s_live s.Recorder.s_in_flight s.Recorder.s_headroom
+            s.Recorder.s_drops s.Recorder.s_dups s.Recorder.s_retransmits
+            s.Recorder.s_stalls s.Recorder.s_frames s.Recorder.s_batched_tasks
+            s.Recorder.s_acks_piggybacked s.Recorder.s_coalesced)
         s.Recorder.s_pool_depth)
     (Recorder.samples r);
   Buffer.contents b
@@ -213,11 +226,13 @@ let timeseries_json r =
     (fun (s : Recorder.sample) ->
       if !first then first := false else Buffer.add_string b ",\n";
       bpf b
-        "  {\"step\":%d,\"live\":%d,\"in_flight\":%d,\"headroom\":%d,\"pool_depth\":[%s],\"marking\":[%s],\"reduction\":[%s],\"drops\":%d,\"dups\":%d,\"retransmits\":%d,\"stalls\":%d}"
+        "  {\"step\":%d,\"live\":%d,\"in_flight\":%d,\"headroom\":%d,\"pool_depth\":[%s],\"marking\":[%s],\"reduction\":[%s],\"drops\":%d,\"dups\":%d,\"retransmits\":%d,\"stalls\":%d,\"frames\":%d,\"batched_tasks\":%d,\"acks_piggybacked\":%d,\"coalesced\":%d}"
         s.Recorder.s_step s.Recorder.s_live s.Recorder.s_in_flight s.Recorder.s_headroom
         (ints s.Recorder.s_pool_depth) (ints s.Recorder.s_marking)
         (ints s.Recorder.s_reduction) s.Recorder.s_drops s.Recorder.s_dups
-        s.Recorder.s_retransmits s.Recorder.s_stalls)
+        s.Recorder.s_retransmits s.Recorder.s_stalls s.Recorder.s_frames
+        s.Recorder.s_batched_tasks s.Recorder.s_acks_piggybacked
+        s.Recorder.s_coalesced)
     (Recorder.samples r);
   Buffer.add_string b "\n]}\n";
   Buffer.contents b

@@ -1,0 +1,87 @@
+(* Zero-allocation log-bucketed histogram (HDR-style).
+
+   Values 0..15 land in their own bucket, so small-sample percentiles
+   are exact. From 16 up, each power-of-two range is split into 16
+   sub-buckets: for v with most-significant bit k (k >= 4) the bucket
+   index is [(k-4)*16 + (v lsr (k-4))], keeping relative error below
+   1/16 at any magnitude. 62-bit values top out below index 960, so a
+   fixed 1024-slot array covers the whole int range with no resizing
+   and no allocation on the add path. *)
+
+let buckets = 1024
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable total : int;
+  mutable max : int;
+}
+
+let create () = { counts = Array.make buckets 0; count = 0; total = 0; max = 0 }
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.count <- 0;
+  t.total <- 0;
+  t.max <- 0
+
+(* Most-significant-bit position of [v > 0]. *)
+let msb v =
+  let rec go v k = if v <= 1 then k else go (v lsr 1) (k + 1) in
+  go v 0
+
+let index_of v =
+  if v < 16 then v
+  else
+    let k = msb v in
+    ((k - 4) * 16) + (v lsr (k - 4))
+
+(* Lower bound of bucket [i] — the smallest value mapping to it. *)
+let value_of i =
+  if i < 16 then i
+  else
+    let shift = (i / 16) - 1 in
+    (i - (shift * 16)) lsl shift
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.count <- t.count + 1;
+  t.total <- t.total + v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let max_value t = t.max
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+
+(* Nearest-rank percentile: the bucket lower bound of the value at rank
+   [ceil (p/100 * count)]. Exact below 32; within 1/16 above. *)
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let rank = if rank < 1 then 1 else if rank > t.count then t.count else rank in
+    let acc = ref 0 and hit = ref (-1) and i = ref 0 in
+    while !hit < 0 && !i < buckets do
+      acc := !acc + t.counts.(!i);
+      if !acc >= rank then hit := !i;
+      incr i
+    done;
+    let v = value_of (if !hit < 0 then buckets - 1 else !hit) in
+    if v > t.max then t.max else v
+  end
+
+let absorb ~into src =
+  for i = 0 to buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.total <- into.total + src.total;
+  if src.max > into.max then into.max <- src.max;
+  clear src
+
+let to_json t =
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%.2f,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"p999\":%d,\"max\":%d}"
+    t.count (mean t) (percentile t 50.0) (percentile t 90.0) (percentile t 99.0)
+    (percentile t 99.9) t.max

@@ -10,6 +10,10 @@ type sample = {
   s_dups : int;
   s_retransmits : int;
   s_stalls : int;
+  s_frames : int;
+  s_batched_tasks : int;
+  s_acks_piggybacked : int;
+  s_coalesced : int;
 }
 
 type t = {
@@ -28,6 +32,10 @@ type t = {
   mutable dup_delta : int;
   mutable retransmit_delta : int;
   mutable stall_delta : int;
+  mutable frame_delta : int;
+  mutable batched_delta : int;
+  mutable piggyback_delta : int;
+  mutable coalesce_delta : int;
 }
 
 let dummy = { Event.step = 0; seq = -1; kind = Event.Finished }
@@ -50,6 +58,10 @@ let create ?(capacity = 65536) ?(sample_every = 0) ~num_pes () =
     dup_delta = 0;
     retransmit_delta = 0;
     stall_delta = 0;
+    frame_delta = 0;
+    batched_delta = 0;
+    piggyback_delta = 0;
+    coalesce_delta = 0;
   }
 
 let set_now t now = t.clock <- now
@@ -71,6 +83,12 @@ let emit t kind =
   | Event.Dup _ -> t.dup_delta <- t.dup_delta + 1
   | Event.Retransmit _ -> t.retransmit_delta <- t.retransmit_delta + 1
   | Event.Stall _ -> t.stall_delta <- t.stall_delta + 1
+  | Event.Batch { count; _ } ->
+    t.frame_delta <- t.frame_delta + 1;
+    t.batched_delta <- t.batched_delta + count
+  | Event.Cum_ack { piggyback = true; _ } ->
+    t.piggyback_delta <- t.piggyback_delta + 1
+  | Event.Coalesce _ -> t.coalesce_delta <- t.coalesce_delta + 1
   | _ -> ());
   let e = { Event.step = t.clock; seq = t.seq; kind } in
   t.seq <- t.seq + 1;
@@ -109,6 +127,10 @@ let tick t ~live ~in_flight ~headroom ~pool_depth =
         s_dups = t.dup_delta;
         s_retransmits = t.retransmit_delta;
         s_stalls = t.stall_delta;
+        s_frames = t.frame_delta;
+        s_batched_tasks = t.batched_delta;
+        s_acks_piggybacked = t.piggyback_delta;
+        s_coalesced = t.coalesce_delta;
       }
     in
     t.samples_rev <- s :: t.samples_rev;
@@ -117,7 +139,11 @@ let tick t ~live ~in_flight ~headroom ~pool_depth =
     t.drop_delta <- 0;
     t.dup_delta <- 0;
     t.retransmit_delta <- 0;
-    t.stall_delta <- 0
+    t.stall_delta <- 0;
+    t.frame_delta <- 0;
+    t.batched_delta <- 0;
+    t.piggyback_delta <- 0;
+    t.coalesce_delta <- 0
   end
 
 let samples t = List.rev t.samples_rev
@@ -143,4 +169,8 @@ let drain_into ~src ~dst =
   src.drop_delta <- 0;
   src.dup_delta <- 0;
   src.retransmit_delta <- 0;
-  src.stall_delta <- 0
+  src.stall_delta <- 0;
+  src.frame_delta <- 0;
+  src.batched_delta <- 0;
+  src.piggyback_delta <- 0;
+  src.coalesce_delta <- 0

@@ -27,6 +27,10 @@ type sample = {
   s_dups : int;  (** frames duplicated since last sample *)
   s_retransmits : int;  (** retransmissions fired since last sample *)
   s_stalls : int;  (** PE stalls begun since last sample *)
+  s_frames : int;  (** data frames flushed onto links since last sample *)
+  s_batched_tasks : int;  (** tasks carried by those frames *)
+  s_acks_piggybacked : int;  (** cumulative acks that rode a data frame *)
+  s_coalesced : int;  (** mark tasks absorbed in-batch since last sample *)
 }
 
 type t

@@ -106,6 +106,11 @@ type pe_ctx = {
   pred : Reducer.t;  (** private reducer: own counters/park list, shared graph *)
   pm : Metrics.t;  (** private counters, absorbed at the barrier *)
   sub : Dgr_obs.Recorder.t option;  (** private event buffer, drained at the barrier *)
+  mutable clin : int;  (** lineage of the task this PE is executing; -1 outside *)
+  mutable cdepth : int;  (** causal depth its children inherit *)
+  cdone : int Vec.t;  (** tickets of executed tasks, closed at the barrier *)
+  mutable cmark_ns : float;  (** profiler: this shard's marking-budget time *)
+  mutable cred_ns : float;  (** profiler: this shard's reduction-budget time *)
 }
 
 (* The worker pool: [domains - 1] long-lived domains driven by a
@@ -145,8 +150,12 @@ type t = {
   recorder : Dgr_obs.Recorder.t option;
   obs_on : bool;  (** [recorder <> None]; avoids building event records when off *)
   m : Metrics.t;
+  lin : Dgr_obs.Lineage.t;  (** causal lineage tickets, one per pooled reduction *)
+  prof : Profile.t;  (** wall-clock step-phase attribution *)
   mutable now : int;
   mutable current_pe : int;  (** PE whose task is executing; -1 = controller *)
+  mutable current_lin : int;  (** lineage of the executing task; -1 = none *)
+  mutable current_depth : int;  (** causal depth the executing task's sends carry *)
   mutable paused_until : int;
   mutable next_cycle_at : int;
   mutable next_stw_at : int;
@@ -158,6 +167,16 @@ type t = {
       (** vertices RC reclaimed since the last batch purge *)
   mutable ctxs : pe_ctx array;
   mutable workers : workers option;
+  (* Health watchdogs: window-based progress monitors, re-armed on any
+     progress and fired at most once per stall episode (resp. window). *)
+  mutable wd_mark_last : int;  (** [marking_executed] at last mark progress *)
+  mutable wd_mark_since : int;  (** step of last mark progress *)
+  mutable wd_mark_fired : bool;
+  mutable wd_exec_last : int;  (** total executed at last progress *)
+  mutable wd_exec_since : int;
+  mutable wd_exec_fired : bool;
+  mutable wd_retx_last : int;  (** [retransmits] at the last window boundary *)
+  mutable wd_retx_at : int;  (** next retransmit-window boundary *)
 }
 
 let throughput t = Int.max 1 (t.num_pes * t.tasks_per_step)
@@ -240,8 +259,10 @@ and send t task =
              vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
              arrival = t.now + delay;
              remote = pe <> t.current_pe;
+             lin = t.current_lin;
            });
-    Network.send ~src:t.current_pe t.net ~arrival:(t.now + delay) ~pe task
+    Network.send ~src:t.current_pe ~lin:t.current_lin ~depth:t.current_depth t.net
+      ~arrival:(t.now + delay) ~pe task
 
 (* The buffered counterpart of [send], used while PE budgets run inside a
    buffered step (possibly on a worker domain): controller tasks are
@@ -268,8 +289,10 @@ let pe_send t ctx task =
              vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
              arrival = t.now + delay;
              remote = pe <> ctx.cpe;
+             lin = ctx.clin;
            }));
-    Network.Mailbox.post ctx.mbox ~src:ctx.cpe ~arrival:(t.now + delay) ~pe task
+    Network.Mailbox.post ctx.mbox ~lin:ctx.clin ~depth:ctx.cdepth ~src:ctx.cpe
+      ~arrival:(t.now + delay) ~pe task
 
 let purge_everywhere t pred =
   Array.fold_left (fun acc pool -> acc + Pool.purge pool pred) 0 t.pools
@@ -304,6 +327,11 @@ let create ?recorder ?(config = Config.default) g templates =
     if Faults.active faults then Some (Faults.create faults) else None
   in
   let seed = Config.seed config in
+  (* One ticket store for the whole machine. Tickets are opened inside
+     [Network.send] — always on the main domain (inline sends, or the
+     barrier mailbox flush) — so slot allocation is serial and its order
+     a pure function of machine state, independent of [domains]. *)
+  let lineage = Dgr_obs.Lineage.create () in
   let t =
     {
       cfg = config;
@@ -318,8 +346,8 @@ let create ?recorder ?(config = Config.default) g templates =
       g;
       pools =
         Array.init num_pes (fun pe ->
-            Pool.create ?recorder ~pe (Config.pool_policy config) g);
-      net = Network.create ?recorder ?faults:flt ~batch:(Config.batch config) ();
+            Pool.create ?recorder ~lineage ~pe (Config.pool_policy config) g);
+      net = Network.create ?recorder ~lineage ?faults:flt ~batch:(Config.batch config) ();
       mut;
       red;
       cyc = None;
@@ -327,8 +355,12 @@ let create ?recorder ?(config = Config.default) g templates =
       recorder;
       obs_on = recorder <> None;
       m = Metrics.create ();
+      lin = lineage;
+      prof = Profile.create ();
       now = 0;
       current_pe = -1;
+      current_lin = -1;
+      current_depth = 0;
       paused_until = 0;
       next_cycle_at = 0;
       next_stw_at = (match Config.gc config with Stop_the_world { every } -> every | _ -> 0);
@@ -339,6 +371,14 @@ let create ?recorder ?(config = Config.default) g templates =
       rc_freed_batch = Vid.Set.empty;
       ctxs = [||];
       workers = None;
+      wd_mark_last = 0;
+      wd_mark_since = 0;
+      wd_mark_fired = false;
+      wd_exec_last = 0;
+      wd_exec_since = 0;
+      wd_exec_fired = false;
+      wd_retx_last = 0;
+      wd_retx_at = 64;
     }
   in
   mut.Mutator.spawn <- (fun mark -> send t (Marking mark));
@@ -401,6 +441,11 @@ let create ?recorder ?(config = Config.default) g templates =
             pred;
             pm = Metrics.create ();
             sub;
+            clin = -1;
+            cdepth = 0;
+            cdone = Vec.create ();
+            cmark_ns = 0.0;
+            cred_ns = 0.0;
           }
         in
         cell := Some ctx;
@@ -472,6 +517,10 @@ let refcount t = t.rc
 
 let metrics t = t.m
 
+let lineage t = t.lin
+
+let profile t = t.prof
+
 let faults t = t.flt
 
 let now t = t.now
@@ -483,9 +532,14 @@ let enable_ownership_checks t =
   in
   t.mut.Mutator.guard <- (fun v -> Invariants.ownership_guard t.g ~current_pe v)
 
+(* Injection mints a fresh lineage id: every task the machine executes on
+   behalf of this one — transitively, through every send — carries it. *)
 let inject t task =
   t.current_pe <- -1;
-  send t task
+  t.current_lin <- Dgr_obs.Lineage.new_lineage t.lin ~now:t.now;
+  t.current_depth <- 0;
+  send t task;
+  t.current_lin <- -1
 
 let inject_root_demand t = inject t (Reducer.initial_task t.red)
 
@@ -535,11 +589,33 @@ let flush_rc_purge t =
            | Marking _ -> false))
   end
 
-let execute_one t pe task =
+(* Decompose a ticketed task's latency at the moment it executes: network
+   transit (send → fault-free arrival), retransmit delay (arrival →
+   actual delivery), queue wait (delivery → execution) and end-to-end
+   (send → execution, counting the execution step itself). *)
+let note_latency m l stamp ~now =
+  let sent = Dgr_obs.Lineage.sent_of l stamp in
+  let arrival = Dgr_obs.Lineage.arrival_of l stamp in
+  let delivered = Dgr_obs.Lineage.delivered_of l stamp in
+  Dgr_obs.Hist.add m.Metrics.lat_net (arrival - sent);
+  Dgr_obs.Hist.add m.Metrics.lat_retx (delivered - arrival);
+  Dgr_obs.Hist.add m.Metrics.lat_queue (now - delivered);
+  Dgr_obs.Hist.add m.Metrics.lat_e2e (now - sent + 1)
+
+let execute_one t pe task stamp =
   t.current_pe <- pe;
   (* If the previous task's RC cascade reclaimed vertices, expunge tasks
      addressing them before this task can allocate (and recycle) a slot. *)
   flush_rc_purge t;
+  if stamp >= 0 then begin
+    note_latency t.m t.lin stamp ~now:t.now;
+    t.current_lin <- Dgr_obs.Lineage.lin_of t.lin stamp;
+    t.current_depth <- Dgr_obs.Lineage.depth_of t.lin stamp + 1
+  end
+  else begin
+    t.current_lin <- -1;
+    t.current_depth <- 0
+  end;
   if t.obs_on then
     obs t
       (Dgr_obs.Event.Execute
@@ -547,6 +623,7 @@ let execute_one t pe task =
            kind = Task.obs_kind task;
            pe;
            vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+           lin = t.current_lin;
          });
   (match task with
   | Reduction r ->
@@ -555,14 +632,31 @@ let execute_one t pe task =
   | Marking mark ->
     t.m.Metrics.marking_executed <- t.m.Metrics.marking_executed + 1;
     execute_marking t ~pe mark);
-  t.current_pe <- -1
+  if stamp >= 0 then Dgr_obs.Lineage.close t.lin stamp ~now:t.now;
+  t.current_pe <- -1;
+  t.current_lin <- -1;
+  t.current_depth <- 0
 
 (* The buffered counterpart of [execute_one]: no RC purge (buffered steps
    require [rc = None]) and marking tasks are counted and dropped — with
    the cycle controller idle (another buffered-step requirement) the
    handler lookup in [execute_marking] is [None], so the direct path would
-   drop them identically. *)
-let execute_one_buffered ctx task =
+   drop them identically. Latency lands in the context's private sink
+   (histogram absorption is associative, so the merged totals match a
+   serial execution); ticket closes are deferred to the barrier, where
+   they run in ascending PE order — again a fixed, domain-count-free
+   order. Ticket reads are safe off the main domain: between barriers the
+   store is never mutated. *)
+let execute_one_buffered t ctx task stamp =
+  if stamp >= 0 then begin
+    note_latency ctx.pm t.lin stamp ~now:t.now;
+    ctx.clin <- Dgr_obs.Lineage.lin_of t.lin stamp;
+    ctx.cdepth <- Dgr_obs.Lineage.depth_of t.lin stamp + 1
+  end
+  else begin
+    ctx.clin <- -1;
+    ctx.cdepth <- 0
+  end;
   (match ctx.sub with
   | None -> ()
   | Some r ->
@@ -572,12 +666,16 @@ let execute_one_buffered ctx task =
            kind = Task.obs_kind task;
            pe = ctx.cpe;
            vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+           lin = ctx.clin;
          }));
-  match task with
+  (match task with
   | Reduction r ->
     ctx.pm.Metrics.reduction_executed <- ctx.pm.Metrics.reduction_executed + 1;
     Reducer.execute ctx.pred r
-  | Marking _ -> ctx.pm.Metrics.marking_executed <- ctx.pm.Metrics.marking_executed + 1
+  | Marking _ -> ctx.pm.Metrics.marking_executed <- ctx.pm.Metrics.marking_executed + 1);
+  if stamp >= 0 then Vec.push ctx.cdone stamp;
+  ctx.clin <- -1;
+  ctx.cdepth <- 0
 
 (* GC work (tracing a vertex, sweeping a slot) is much lighter than
    executing a task; [gc_work_factor] work units fit in one task slot. *)
@@ -690,48 +788,56 @@ let gc_control t =
    the reduction budget (which lends idle slots to marking — see
    [Pool.pop]). Plain loops: this is the innermost simulator code. *)
 let execute_budgets t pe pool =
+  let t0 = Profile.now () in
   let k = ref t.marking_per_step in
   let continue = ref (!k > 0) in
   while !continue do
-    match Pool.pop_marking pool with
-    | Some task ->
-      execute_one t pe task;
+    match Pool.pop_marking_stamped pool with
+    | Some (task, stamp) ->
+      execute_one t pe task stamp;
       decr k;
       if !k = 0 then continue := false
     | None -> continue := false
   done;
+  let t1 = Profile.now () in
+  t.prof.Profile.mark_ns <- t.prof.Profile.mark_ns +. (t1 -. t0);
   let k = ref t.tasks_per_step in
   let continue = ref (!k > 0) in
   while !continue do
-    match Pool.pop pool with
-    | Some task ->
-      execute_one t pe task;
+    match Pool.pop_stamped pool with
+    | Some (task, stamp) ->
+      execute_one t pe task stamp;
       decr k;
       if !k = 0 then continue := false
     | None -> continue := false
-  done
+  done;
+  t.prof.Profile.red_ns <- t.prof.Profile.red_ns +. (Profile.now () -. t1)
 
 let execute_budgets_buffered t ctx pool =
+  let t0 = Profile.now () in
   let k = ref t.marking_per_step in
   let continue = ref (!k > 0) in
   while !continue do
-    match Pool.pop_marking pool with
-    | Some task ->
-      execute_one_buffered ctx task;
+    match Pool.pop_marking_stamped pool with
+    | Some (task, stamp) ->
+      execute_one_buffered t ctx task stamp;
       decr k;
       if !k = 0 then continue := false
     | None -> continue := false
   done;
+  let t1 = Profile.now () in
+  ctx.cmark_ns <- ctx.cmark_ns +. (t1 -. t0);
   let k = ref t.tasks_per_step in
   let continue = ref (!k > 0) in
   while !continue do
-    match Pool.pop pool with
-    | Some task ->
-      execute_one_buffered ctx task;
+    match Pool.pop_stamped pool with
+    | Some (task, stamp) ->
+      execute_one_buffered t ctx task stamp;
       decr k;
       if !k = 0 then continue := false
     | None -> continue := false
-  done
+  done;
+  ctx.cred_ns <- ctx.cred_ns +. (Profile.now () -. t1)
 
 (* A step is {e buffered} when nothing serial-only is in play: no
    refcounting (immediate purges and free-slot recycling), no fault plane
@@ -854,7 +960,20 @@ let merge_buffered t =
   Array.iter
     (fun ctx ->
       Reducer.absorb t.red ctx.pred;
-      Metrics.absorb t.m ctx.pm)
+      Metrics.absorb t.m ctx.pm;
+      t.prof.Profile.mark_ns <- t.prof.Profile.mark_ns +. ctx.cmark_ns;
+      ctx.cmark_ns <- 0.0;
+      t.prof.Profile.red_ns <- t.prof.Profile.red_ns +. ctx.cred_ns;
+      ctx.cred_ns <- 0.0)
+    t.ctxs;
+  (* Close the executed tasks' tickets before flushing the mailboxes: the
+     freed slots are recycled by the flush's opens, in ascending PE order
+     both times, so slot allocation stays a pure function of the step's
+     buffers. *)
+  Array.iter
+    (fun ctx ->
+      Vec.iter (fun stamp -> Dgr_obs.Lineage.close t.lin stamp ~now:t.now) ctx.cdone;
+      Vec.clear ctx.cdone)
     t.ctxs;
   Array.iter (fun ctx -> Network.Mailbox.flush ctx.mbox t.net) t.ctxs;
   Array.iter
@@ -863,16 +982,91 @@ let merge_buffered t =
       Vec.clear ctx.ctrl)
     t.ctxs
 
+(* Health watchdogs. Window-based: each monitor re-arms on any progress
+   (or while the machine is legitimately paused) and fires at most once
+   per stall episode, so a long outage reads as one event, not a siren.
+   All inputs are deterministic machine state — the events land in traces
+   and must be identical at every domain count. *)
+let wd_window t = Int.max 32 (8 * t.latency)
+
+let health_check t =
+  let now = t.now in
+  let paused = now < t.paused_until in
+  (* Mark wave: a cycle is running but no marking task has executed for a
+     full window — the wave is stuck behind a stalled PE or lost marks. *)
+  let cycle_active =
+    match t.cyc with Some c -> Cycle.phase c <> Cycle.Idle | None -> false
+  in
+  if cycle_active && not paused then begin
+    if t.m.Metrics.marking_executed > t.wd_mark_last then begin
+      t.wd_mark_last <- t.m.Metrics.marking_executed;
+      t.wd_mark_since <- now;
+      t.wd_mark_fired <- false
+    end
+    else if (not t.wd_mark_fired) && now - t.wd_mark_since >= wd_window t then begin
+      t.wd_mark_fired <- true;
+      t.m.Metrics.health_mark_stalls <- t.m.Metrics.health_mark_stalls + 1;
+      obs t
+        (Dgr_obs.Event.Health
+           { health = Dgr_obs.Event.Mark_wave_stall; value = now - t.wd_mark_since })
+    end
+  end
+  else begin
+    t.wd_mark_last <- t.m.Metrics.marking_executed;
+    t.wd_mark_since <- now;
+    t.wd_mark_fired <- false
+  end;
+  (* Quiescence: work is waiting (pooled or in flight) but nothing has
+     executed for several windows — livelock, or frames stuck behind
+     repeated losses. The window is 4× the mark watchdog's so a healthy
+     exponential-backoff retransmit never trips it. *)
+  let executed = t.m.Metrics.reduction_executed + t.m.Metrics.marking_executed in
+  let work_waiting =
+    (not (Array.for_all Pool.is_empty t.pools)) || Network.size t.net > 0
+  in
+  if
+    executed > t.wd_exec_last || paused || (not work_waiting)
+    || t.m.Metrics.completion_step <> None
+  then begin
+    t.wd_exec_last <- executed;
+    t.wd_exec_since <- now;
+    t.wd_exec_fired <- false
+  end
+  else if (not t.wd_exec_fired) && now - t.wd_exec_since >= 4 * wd_window t then begin
+    t.wd_exec_fired <- true;
+    t.m.Metrics.health_quiescence_stalls <- t.m.Metrics.health_quiescence_stalls + 1;
+    obs t
+      (Dgr_obs.Event.Health
+         { health = Dgr_obs.Event.Quiescence_stall; value = now - t.wd_exec_since })
+  end;
+  (* Retransmit storm: the windowed retransmit rate exceeds ~4 per PE per
+     64 steps — the delivery timers are thrashing, not recovering. *)
+  if now >= t.wd_retx_at then begin
+    let delta = t.m.Metrics.retransmits - t.wd_retx_last in
+    if delta >= 4 * t.num_pes then begin
+      t.m.Metrics.health_retx_storms <- t.m.Metrics.health_retx_storms + 1;
+      obs t
+        (Dgr_obs.Event.Health
+           { health = Dgr_obs.Event.Retransmit_storm; value = delta })
+    end;
+    t.wd_retx_last <- t.m.Metrics.retransmits;
+    t.wd_retx_at <- now + 64
+  end
+
 let step t =
+  let p0 = Profile.now () in
   (match t.recorder with Some r -> Dgr_obs.Recorder.set_now r t.now | None -> ());
   (* Every vertex allocated from here on is this step's: the ownership
      checker exempts same-step births (a PE wires up its own fresh
      template vertices before they are published to anyone). *)
   Graph.bump_epoch t.g;
-  (* 1. Deliver the network, straight into the destination pools. *)
-  Network.deliver_into t.net ~now:t.now ~push:(fun pe task ->
-      Pool.push t.pools.(pe) task);
+  (* 1. Deliver the network, straight into the destination pools (the
+     delivered task's lineage ticket rides along as its pool stamp). *)
+  Network.deliver_into t.net ~now:t.now ~push:(fun pe stamp task ->
+      Pool.push ~stamp t.pools.(pe) task);
   flush_rc_purge t;
+  let p1 = Profile.now () in
+  t.prof.Profile.transport_ns <- t.prof.Profile.transport_ns +. (p1 -. p0);
   (* 2. Execute, unless the machine is paused by a collection. Marking
      tasks are lightweight (§6: "bounded amount of time once the required
      vertices are accessed") and get their own per-step budget so GC
@@ -883,9 +1077,12 @@ let step t =
          shard that is a plain loop on this domain, with more the same
          loop bodies run on the worker pool — same buffers either way. *)
       if t.domains > 1 then run_parallel t else run_shard t 0;
-      merge_buffered t
+      let p2 = Profile.now () in
+      t.prof.Profile.execute_ns <- t.prof.Profile.execute_ns +. (p2 -. p1);
+      merge_buffered t;
+      t.prof.Profile.merge_ns <- t.prof.Profile.merge_ns +. (Profile.now () -. p2)
     end
-    else
+    else begin
       for pe = 0 to t.num_pes - 1 do
         (* Transient PE stall (crash-restart with memory preserved): the
            PE skips its execution budget; its pool, heap and in-flight
@@ -910,11 +1107,19 @@ let step t =
             else false
         in
         if not stalled then execute_budgets t pe t.pools.(pe)
-      done
+      done;
+      (* Serial-only execution (faults / RC / active cycle): counted
+         apart from the buffered span — this time is serial by
+         construction and sharding cannot touch it. *)
+      t.prof.Profile.sexec_ns <- t.prof.Profile.sexec_ns +. (Profile.now () -. p1)
+    end
   end;
   (* 3. Memory management. *)
+  let p3 = Profile.now () in
   flush_rc_purge t;
   gc_control t;
+  let p4 = Profile.now () in
+  t.prof.Profile.gc_ns <- t.prof.Profile.gc_ns +. (p4 -. p3);
   (* 4. Bookkeeping. *)
   (match (Reducer.finished t.red, t.m.Metrics.completion_step) with
   | true, None ->
@@ -942,6 +1147,7 @@ let step t =
   t.m.Metrics.acks_piggybacked <- Network.acks_piggybacked t.net;
   t.m.Metrics.tasks_sent <- Network.tasks_sent t.net;
   t.m.Metrics.marks_coalesced <- Network.marks_coalesced t.net;
+  health_check t;
   (match t.recorder with
   | None -> ()
   | Some r ->
@@ -949,7 +1155,11 @@ let step t =
       ~headroom:(match Graph.capacity t.g with None -> -1 | Some _ -> Graph.headroom t.g)
       ~pool_depth:(Array.map Pool.length t.pools));
   t.now <- t.now + 1;
-  t.m.Metrics.steps <- t.m.Metrics.steps + 1
+  t.m.Metrics.steps <- t.m.Metrics.steps + 1;
+  let p5 = Profile.now () in
+  t.prof.Profile.book_ns <- t.prof.Profile.book_ns +. (p5 -. p4);
+  t.prof.Profile.total_ns <- t.prof.Profile.total_ns +. (p5 -. p0);
+  t.prof.Profile.steps <- t.prof.Profile.steps + 1
 
 let result t = t.red.Reducer.result
 

@@ -211,6 +211,21 @@ val refcount : t -> Dgr_baseline.Refcount.t option
 
 val metrics : t -> Metrics.t
 
+val lineage : t -> Dgr_obs.Lineage.t
+(** The machine's causal-lineage ticket store. {!inject} mints a fresh
+    lineage id; every reduction task the machine pools on behalf of that
+    injection — transitively, through every send — carries it, and its
+    per-hop latency decomposition (network transit, retransmit delay,
+    queue wait) is folded into {!metrics}' histograms at execution.
+    Ticket allocation is serial and deterministic, so per-lineage
+    aggregates are identical at every [domains] value. *)
+
+val profile : t -> Profile.t
+(** Wall-clock step-phase attribution (transport / execute / merge / GC /
+    bookkeeping) and the measured Amdahl serial fraction. Always on —
+    the readings are two [gettimeofday] calls per phase — but never part
+    of deterministic artifacts. *)
+
 val faults : t -> Faults.t option
 (** The live fault plane, when [config.faults] is active: its counters
     (drops, dups, retransmits, suppressed redeliveries, stalls) are the

@@ -27,6 +27,17 @@ type t = {
   mutable acks_piggybacked : int;
   mutable tasks_sent : int;
   mutable marks_coalesced : int;
+  (* per-task latency decomposition, recorded at execution from the
+     task's lineage ticket: end-to-end = network + retransmit + queue +
+     1 (the execution step itself) *)
+  lat_e2e : Dgr_obs.Hist.t;
+  lat_queue : Dgr_obs.Hist.t;
+  lat_net : Dgr_obs.Hist.t;
+  lat_retx : Dgr_obs.Hist.t;
+  (* watchdog verdicts (serial-only; never absorbed) *)
+  mutable health_mark_stalls : int;
+  mutable health_quiescence_stalls : int;
+  mutable health_retx_storms : int;
 }
 
 let create () =
@@ -57,6 +68,13 @@ let create () =
     acks_piggybacked = 0;
     tasks_sent = 0;
     marks_coalesced = 0;
+    lat_e2e = Dgr_obs.Hist.create ();
+    lat_queue = Dgr_obs.Hist.create ();
+    lat_net = Dgr_obs.Hist.create ();
+    lat_retx = Dgr_obs.Hist.create ();
+    health_mark_stalls = 0;
+    health_quiescence_stalls = 0;
+    health_retx_storms = 0;
   }
 
 let record_pause t steps =
@@ -79,13 +97,19 @@ let absorb t src =
   t.tasks_purged <- t.tasks_purged + src.tasks_purged;
   src.tasks_purged <- 0;
   t.deadlocks_recovered <- t.deadlocks_recovered + src.deadlocks_recovered;
-  src.deadlocks_recovered <- 0
+  src.deadlocks_recovered <- 0;
+  (* histogram merge is associative and order-independent, so per-PE
+     latency sinks absorb to the same totals at any domain count *)
+  Dgr_obs.Hist.absorb ~into:t.lat_e2e src.lat_e2e;
+  Dgr_obs.Hist.absorb ~into:t.lat_queue src.lat_queue;
+  Dgr_obs.Hist.absorb ~into:t.lat_net src.lat_net;
+  Dgr_obs.Hist.absorb ~into:t.lat_retx src.lat_retx
 
 (* Machine-readable run metrics. All scalar counters plus fixed summary
    statistics for the sampled series; field order is fixed and floats are
    printed with a fixed precision, so equal metrics serialize to equal
    bytes (the bench trajectories diff these files). *)
-let schema_version = 2
+let schema_version = 3
 
 let to_json t =
   let b = Buffer.create 512 in
@@ -107,10 +131,18 @@ let to_json t =
     t.peak_live t.deadlocks_recovered t.msgs_dropped t.msgs_duplicated t.msgs_delayed
     t.retransmits t.dup_suppressed t.stalls t.stall_steps;
   Printf.bprintf b
-    ",\"frames_sent\":%d,\"acks_sent\":%d,\"acks_piggybacked\":%d,\"tasks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f}"
+    ",\"frames_sent\":%d,\"acks_sent\":%d,\"acks_piggybacked\":%d,\"tasks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f"
     t.frames_sent t.acks_sent t.acks_piggybacked t.tasks_sent t.marks_coalesced
     (if t.frames_sent = 0 then 0.0
      else float_of_int t.tasks_sent /. float_of_int t.frames_sent);
+  Printf.bprintf b ",\"latency\":{\"e2e\":%s,\"queue\":%s,\"net\":%s,\"retx\":%s}"
+    (Dgr_obs.Hist.to_json t.lat_e2e)
+    (Dgr_obs.Hist.to_json t.lat_queue)
+    (Dgr_obs.Hist.to_json t.lat_net)
+    (Dgr_obs.Hist.to_json t.lat_retx);
+  Printf.bprintf b
+    ",\"health\":{\"mark_wave_stalls\":%d,\"quiescence_stalls\":%d,\"retransmit_storms\":%d}}"
+    t.health_mark_stalls t.health_quiescence_stalls t.health_retx_storms;
   Buffer.contents b
 
 let pp_summary fmt t =
@@ -137,4 +169,18 @@ let pp_summary fmt t =
        coalesced=%d@]"
       t.frames_sent t.tasks_sent
       (float_of_int t.tasks_sent /. float_of_int t.frames_sent)
-      t.acks_sent t.acks_piggybacked t.marks_coalesced
+      t.acks_sent t.acks_piggybacked t.marks_coalesced;
+  if Dgr_obs.Hist.count t.lat_e2e > 0 then
+    Format.fprintf fmt
+      "@ @[latency(e2e steps): p50=%d p90=%d p99=%d p999=%d max=%d over %d tasks@]"
+      (Dgr_obs.Hist.percentile t.lat_e2e 50.0)
+      (Dgr_obs.Hist.percentile t.lat_e2e 90.0)
+      (Dgr_obs.Hist.percentile t.lat_e2e 99.0)
+      (Dgr_obs.Hist.percentile t.lat_e2e 99.9)
+      (Dgr_obs.Hist.max_value t.lat_e2e)
+      (Dgr_obs.Hist.count t.lat_e2e);
+  if t.health_mark_stalls > 0 || t.health_quiescence_stalls > 0
+     || t.health_retx_storms > 0 then
+    Format.fprintf fmt
+      "@ @[health: mark_wave_stalls=%d quiescence_stalls=%d retransmit_storms=%d@]"
+      t.health_mark_stalls t.health_quiescence_stalls t.health_retx_storms

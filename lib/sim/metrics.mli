@@ -30,6 +30,15 @@ type t = {
   mutable acks_piggybacked : int;  (** cum acks riding reverse data frames *)
   mutable tasks_sent : int;  (** tasks staged for transmission *)
   mutable marks_coalesced : int;  (** marks absorbed by a staged twin *)
+  lat_e2e : Dgr_obs.Hist.t;
+      (** send → execute, in steps (reduction tasks with lineage tickets) *)
+  lat_queue : Dgr_obs.Hist.t;  (** delivery → execute: pool residence *)
+  lat_net : Dgr_obs.Hist.t;  (** send → fault-free arrival: link transit *)
+  lat_retx : Dgr_obs.Hist.t;
+      (** fault-free arrival → actual delivery: retransmit delay *)
+  mutable health_mark_stalls : int;  (** mark-wave watchdog firings *)
+  mutable health_quiescence_stalls : int;  (** progress watchdog firings *)
+  mutable health_retx_storms : int;  (** retransmit-storm windows *)
 }
 
 val create : unit -> t
@@ -38,10 +47,10 @@ val record_pause : t -> int -> unit
 
 val absorb : t -> t -> unit
 (** [absorb t src] adds [src]'s execution counters (reduction/marking
-    executed, messages, purges, recoveries) into [t] and zeroes them in
-    [src]. Used by the sharded engine to merge per-PE sinks at the step
-    barrier; the serially-recorded fields (pauses, pool depth,
-    completion, faults) are untouched. *)
+    executed, messages, purges, recoveries) and latency histograms into
+    [t] and zeroes them in [src]. Used by the sharded engine to merge
+    per-PE sinks at the step barrier; the serially-recorded fields
+    (pauses, pool depth, completion, faults, health) are untouched. *)
 
 val schema_version : int
 (** Version of the {!to_json} layout; bumped whenever a field is added,

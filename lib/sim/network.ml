@@ -40,6 +40,9 @@ type batch = {
   b_delay : int;  (* base link delay at stage time (incl. jitter) *)
   b_uid : int;  (* global stage order; ties in in_flight/entries *)
   b_tasks : Task.t Vec.t;  (* shared with every queued copy of the frame *)
+  b_stamps : int Vec.t;
+      (* lineage tickets, parallel to [b_tasks] ([-1]: untracked); pruned
+         in lock-step by [purge] so the pairing survives in-flight edits *)
   mutable b_marks : (Task.mark, unit) Hashtbl.t option;
       (* membership index over the staged coalescible marks, built only
          once the batch outgrows [mark_scan_limit]: typical batches stay
@@ -81,6 +84,11 @@ type t = {
   q : batch Pqueue.t;  (* ideal channel (faults = None) *)
   fq : frame Pqueue.t;  (* lossy channel, arrival-keyed *)
   recorder : Dgr_obs.Recorder.t option;
+  lineage : Dgr_obs.Lineage.t option;
+      (* when present, every reduction task sent gets a latency ticket:
+         opened here (sends always run serially — inline or at the
+         mailbox flush), marked delivered in [deliver_into], dropped by
+         [purge] *)
   faults : Faults.t option;
   batching : bool;  (* false: one task per frame, no coalescing *)
   staged : batch Vec.t;  (* batches forming since the last flush *)
@@ -105,11 +113,12 @@ type t = {
   mutable marks_coalesced : int;  (* mark tasks absorbed before transmit *)
 }
 
-let create ?recorder ?faults ?(batch = true) () =
+let create ?recorder ?lineage ?faults ?(batch = true) () =
   {
     q = Pqueue.create ();
     fq = Pqueue.create ();
     recorder;
+    lineage;
     faults;
     batching = batch;
     staged = Vec.create ();
@@ -380,7 +389,7 @@ let index_mark b m =
       b.b_marks <- Some tbl
     end
 
-let send ?(src = -1) t ~arrival ~pe task =
+let send ?(src = -1) ?(lin = -1) ?(depth = 0) t ~arrival ~pe task =
   let b =
     match if t.batching then find_staged t ~src ~dst:pe ~arrival else None with
     | Some b -> b
@@ -393,6 +402,7 @@ let send ?(src = -1) t ~arrival ~pe task =
           b_delay = Int.max 1 (arrival - t.clock);
           b_uid = t.next_uid;
           b_tasks = Vec.create ();
+          b_stamps = Vec.create ();
           b_marks = None;
           b_pack = false;
         }
@@ -425,14 +435,52 @@ let send ?(src = -1) t ~arrival ~pe task =
     (match task with
     | Task.Marking (Task.Return _) | Task.Reduction _ -> ()
     | Task.Marking m -> if t.batching then index_mark b m);
+    (* Only reduction tasks are ticketed: marks may be coalesced away
+       above (a leaked ticket would never close), and the latency story
+       the histograms tell is about demand propagation, not the wave. *)
+    let stamp =
+      match (t.lineage, task) with
+      | Some l, Task.Reduction _ ->
+        Dgr_obs.Lineage.open_ticket l ~lin ~depth ~sent:t.clock ~arrival
+      | _ -> -1
+    in
     Vec.push b.b_tasks task;
+    Vec.push b.b_stamps stamp;
     t.undelivered <- t.undelivered + 1;
     t.tasks_sent <- t.tasks_sent + 1
 
 (* Delivery hands each due task to [push] as its batch pops — the
-   engine's pools consume directly, with no intermediate list. Pops emit
-   [Deliver] per task in pop order and [push] emits nothing, so
-   interleaving push with pop keeps the trace deterministic. *)
+   engine's pools consume directly, with no intermediate list. [push]
+   also receives the task's lineage stamp ([-1]: untracked), which the
+   pool carries through residence. Pops emit [Deliver] per task in pop
+   order and [push] emits nothing, so interleaving push with pop keeps
+   the trace deterministic. *)
+let deliver_batch t b ~now ~push =
+  t.undelivered <- t.undelivered - Vec.length b.b_tasks;
+  for i = 0 to Vec.length b.b_tasks - 1 do
+    let task = Vec.get b.b_tasks i in
+    let stamp = Vec.get b.b_stamps i in
+    let lin =
+      match t.lineage with
+      | Some l when stamp >= 0 ->
+        Dgr_obs.Lineage.deliver l stamp ~now;
+        Dgr_obs.Lineage.lin_of l stamp
+      | _ -> -1
+    in
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      Dgr_obs.Recorder.emit r
+        (Dgr_obs.Event.Deliver
+           {
+             kind = Task.obs_kind task;
+             pe = b.b_dst;
+             vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+             lin;
+           }));
+    push b.b_dst stamp task
+  done
+
 let deliver_into t ~now ~push =
   t.clock <- now;
   match t.faults with
@@ -446,23 +494,7 @@ let deliver_into t ~now ~push =
       match Pqueue.peek t.q with
       | Some (arrival, _) when arrival <= now -> (
         match Pqueue.pop t.q with
-        | Some (_, b) ->
-          t.undelivered <- t.undelivered - Vec.length b.b_tasks;
-          Vec.iter
-            (fun task ->
-              (match t.recorder with
-              | None -> ()
-              | Some r ->
-                Dgr_obs.Recorder.emit r
-                  (Dgr_obs.Event.Deliver
-                     {
-                       kind = Task.obs_kind task;
-                       pe = b.b_dst;
-                       vid =
-                         (match Task.exec_vertex task with Some v -> v | None -> -1);
-                     }));
-              push b.b_dst task)
-            b.b_tasks
+        | Some (_, b) -> deliver_batch t b ~now ~push
         | None -> continue := false)
       | Some _ | None -> continue := false
     done
@@ -485,13 +517,7 @@ let deliver_into t ~now ~push =
             (match Hashtbl.find_opt t.pending (src, dst, fseq) with
             | Some p -> p.p_delivered <- true
             | None -> ());
-            t.undelivered <- t.undelivered - Vec.length b.b_tasks;
-            Vec.iter
-              (fun task ->
-                let kind, vid = obs_of task in
-                emit t (Dgr_obs.Event.Deliver { kind; pe = dst; vid });
-                push dst task)
-              b.b_tasks
+            deliver_batch t b ~now ~push
           end;
           (* always owe an ack, even for duplicates: the previous
              cumulative ack may have been lost *)
@@ -534,7 +560,7 @@ let deliver_into t ~now ~push =
 
 let deliver t ~now =
   let acc = ref [] in
-  deliver_into t ~now ~push:(fun pe task -> acc := (pe, task) :: !acc);
+  deliver_into t ~now ~push:(fun pe _stamp task -> acc := (pe, task) :: !acc);
   List.rev !acc
 
 (* Undelivered batches in fault-free arrival order, stage order among
@@ -592,23 +618,35 @@ let purge t pred =
   let removed = ref 0 in
   let prune b =
     let before = Vec.length b.b_tasks in
-    Vec.filter_in_place
-      (fun task ->
-        if pred task then begin
-          bump per_pe b.b_dst;
-          (* a still-staged batch may yet coalesce: the purged mark must
-             not absorb a later identical send as a ghost *)
-          (match (task, b.b_marks) with
-          | (Task.Marking (Task.Return _) | Task.Reduction _), _ | _, None -> ()
-          | Task.Marking m, Some tbl -> Hashtbl.remove tbl m);
-          false
-        end
-        else true)
-      b.b_tasks;
-    let n = before - Vec.length b.b_tasks in
+    let j = ref 0 in
+    for i = 0 to before - 1 do
+      let task = Vec.get b.b_tasks i in
+      let stamp = Vec.get b.b_stamps i in
+      if pred task then begin
+        bump per_pe b.b_dst;
+        (* a still-staged batch may yet coalesce: the purged mark must
+           not absorb a later identical send as a ghost *)
+        (match (task, b.b_marks) with
+        | (Task.Marking (Task.Return _) | Task.Reduction _), _ | _, None -> ()
+        | Task.Marking m, Some tbl -> Hashtbl.remove tbl m);
+        match t.lineage with
+        | Some l when stamp >= 0 -> Dgr_obs.Lineage.drop l stamp
+        | _ -> ()
+      end
+      else begin
+        if !j <> i then begin
+          Vec.set b.b_tasks !j task;
+          Vec.set b.b_stamps !j stamp
+        end;
+        incr j
+      end
+    done;
+    Vec.truncate b.b_tasks !j;
+    Vec.truncate b.b_stamps !j;
+    let n = before - !j in
     removed := !removed + n;
     t.undelivered <- t.undelivered - n;
-    Vec.length b.b_tasks = 0
+    !j = 0
   in
   Vec.filter_in_place (fun b -> not (prune b)) t.staged;
   (match t.faults with
@@ -659,20 +697,31 @@ let set_link_seq t ~src ~dst n =
    batches equal the serial engine's — independent of which domain ran
    which PE when. *)
 module Mailbox = struct
-  type entry = { e_src : int; e_arrival : int; e_pe : int; e_task : Task.t }
+  type entry = {
+    e_src : int;
+    e_arrival : int;
+    e_pe : int;
+    e_lin : int;
+    e_depth : int;
+    e_task : Task.t;
+  }
 
   type mb = entry Vec.t
 
   let create () : mb = Vec.create ()
 
-  let post (mb : mb) ~src ~arrival ~pe task =
-    Vec.push mb { e_src = src; e_arrival = arrival; e_pe = pe; e_task = task }
+  let post (mb : mb) ?(lin = -1) ?(depth = 0) ~src ~arrival ~pe task =
+    Vec.push mb
+      { e_src = src; e_arrival = arrival; e_pe = pe; e_lin = lin; e_depth = depth;
+        e_task = task }
 
   let length (mb : mb) = Vec.length mb
 
   let flush (mb : mb) net =
     Vec.iter
-      (fun e -> send ~src:e.e_src net ~arrival:e.e_arrival ~pe:e.e_pe e.e_task)
+      (fun e ->
+        send ~src:e.e_src ~lin:e.e_lin ~depth:e.e_depth net ~arrival:e.e_arrival
+          ~pe:e.e_pe e.e_task)
       mb;
     Vec.clear mb
 

@@ -44,7 +44,12 @@ open Dgr_task
 type t
 
 val create :
-  ?recorder:Dgr_obs.Recorder.t -> ?faults:Faults.t -> ?batch:bool -> unit -> t
+  ?recorder:Dgr_obs.Recorder.t ->
+  ?lineage:Dgr_obs.Lineage.t ->
+  ?faults:Faults.t ->
+  ?batch:bool ->
+  unit ->
+  t
 (** With a recorder, flushes emit a [Batch] event per frame and
     {!deliver_into} a [Deliver] event per task handed up; {!purge} emits
     a [Purge] event per destination PE swept. Under faults,
@@ -52,12 +57,21 @@ val create :
     [Cum_ack] events trace the acknowledgement watermarks. [batch]
     (default true) controls multi-task frames and mark coalescing;
     [~batch:false] restores one task per frame for A/B runs (the
-    cumulative-ack layer is shared by both modes). *)
+    cumulative-ack layer is shared by both modes).
 
-val send : ?src:int -> t -> arrival:int -> pe:int -> Task.t -> unit
+    With a [lineage] store, {!send} opens a latency ticket per reduction
+    task (marking tasks travel unticketed — they may coalesce away),
+    {!deliver_into} records the delivery step and hands the ticket to
+    [push], and {!purge} drops tickets of expunged tasks. Sends always
+    run serially (inline, or at the barrier's mailbox flush), so ticket
+    ids are deterministic at any domain count. *)
+
+val send : ?src:int -> ?lin:int -> ?depth:int -> t -> arrival:int -> pe:int -> Task.t -> unit
 (** Stage a task on link (src, dst = pe) for [arrival]. [src] (default
     [-1], the controller) names the sending PE; it keys the batch and
-    the per-link sequence-number space under faults. [arrival] is the
+    the per-link sequence-number space under faults. [lin] (default
+    [-1], untracked) and [depth] (default [0]) seed the task's lineage
+    ticket when a lineage store is attached. [arrival] is the
     fault-free arrival step; the link's base delay is recovered as
     [arrival - now of last deliver]. Tasks staged for the same (src,
     pe, arrival) join one batch; an identical already-staged mark
@@ -70,10 +84,11 @@ val set_on_coalesce : t -> (pe:int -> Task.mark -> unit) -> unit
     the [Return] the absorbed mark would have produced); recursion is
     bounded because [Return] tasks never coalesce. Default: ignore. *)
 
-val deliver_into : t -> now:int -> push:(int -> Task.t -> unit) -> unit
+val deliver_into : t -> now:int -> push:(int -> int -> Task.t -> unit) -> unit
 (** The network's clock tick: flush the batches staged since the last
     tick into the channel, then hand every task due by [now] to
-    [push pe task], in delivery order, without building a list. Under
+    [push pe stamp task] — [stamp] its lineage ticket, [-1] when
+    untracked — in delivery order, without building a list. Under
     faults this also settles owed cumulative acks (piggybacked or
     standalone), suppresses duplicate frames, and fires expired
     retransmission timers. Call once per step. *)
@@ -152,7 +167,8 @@ module Mailbox : sig
 
   val create : unit -> mb
 
-  val post : mb -> src:int -> arrival:int -> pe:int -> Task.t -> unit
+  val post :
+    mb -> ?lin:int -> ?depth:int -> src:int -> arrival:int -> pe:int -> Task.t -> unit
 
   val length : mb -> int
 

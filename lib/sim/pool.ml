@@ -19,6 +19,9 @@ type t = {
   g : Graph.t;
   pe : int;
   recorder : Dgr_obs.Recorder.t option;
+  lineage : Dgr_obs.Lineage.t option;
+      (* release tickets of purged tasks; pops return the stamp to the
+         engine, which closes it at execution *)
 }
 
 (* The global class of a vertex: the priority the last completed M_R
@@ -67,19 +70,37 @@ let priority_of policy g task =
     | Dynamic -> (
       match request_class g ~src ~dst ~demand with 3 -> 2 | 2 -> 4 | _ -> 5))
 
-let create ?recorder ?(pe = 0) policy g =
-  { marking = Pqueue.create (); reduction = Pqueue.create (); policy; g; pe; recorder }
+let create ?recorder ?lineage ?(pe = 0) policy g =
+  {
+    marking = Pqueue.create ();
+    reduction = Pqueue.create ();
+    policy;
+    g;
+    pe;
+    recorder;
+    lineage;
+  }
 
-let push t task =
+let push ?(stamp = -1) t task =
   let q = match task with Task.Marking _ -> t.marking | Task.Reduction _ -> t.reduction in
-  Pqueue.add q (priority_of t.policy t.g task) task
+  Pqueue.add_tagged q (priority_of t.policy t.g task) ~tag:stamp task
 
-let pop t =
-  match Pqueue.pop t.reduction with
-  | Some (_, task) -> Some task
-  | None -> Option.map snd (Pqueue.pop t.marking)
+let pop_stamped t =
+  match Pqueue.pop_tagged t.reduction with
+  | Some (_, stamp, task) -> Some (task, stamp)
+  | None -> (
+    match Pqueue.pop_tagged t.marking with
+    | Some (_, stamp, task) -> Some (task, stamp)
+    | None -> None)
 
-let pop_marking t = Option.map snd (Pqueue.pop t.marking)
+let pop t = Option.map fst (pop_stamped t)
+
+let pop_marking_stamped t =
+  match Pqueue.pop_tagged t.marking with
+  | Some (_, stamp, task) -> Some (task, stamp)
+  | None -> None
+
+let pop_marking t = Option.map fst (pop_marking_stamped t)
 
 let length t = Pqueue.length t.marking + Pqueue.length t.reduction
 
@@ -95,8 +116,17 @@ let iter_tasks t f =
 
 let purge t pred =
   let before = length t in
-  Pqueue.filter_in_place (fun _ task -> not (pred task)) t.marking;
-  Pqueue.filter_in_place (fun _ task -> not (pred task)) t.reduction;
+  let keep _prio stamp task =
+    if pred task then begin
+      (match t.lineage with
+      | Some l when stamp >= 0 -> Dgr_obs.Lineage.drop l stamp
+      | _ -> ());
+      false
+    end
+    else true
+  in
+  Pqueue.filter_tagged_in_place keep t.marking;
+  Pqueue.filter_tagged_in_place keep t.reduction;
   let n = before - length t in
   (match t.recorder with
   | Some r when n > 0 ->

@@ -20,20 +20,35 @@ val policy_to_string : policy -> string
 
 type t
 
-val create : ?recorder:Dgr_obs.Recorder.t -> ?pe:int -> policy -> Graph.t -> t
+val create :
+  ?recorder:Dgr_obs.Recorder.t ->
+  ?lineage:Dgr_obs.Lineage.t ->
+  ?pe:int ->
+  policy ->
+  Graph.t ->
+  t
 (** [pe] (default 0) is the owning PE's index, used only to stamp trace
     events; with a recorder, {!purge} emits a [Purge] event per non-empty
-    sweep. *)
+    sweep. With a [lineage] store, {!purge} releases the tickets of the
+    tasks it expunges (stamps ride queue tags; see {!push}). *)
 
-val push : t -> Task.t -> unit
+val push : ?stamp:int -> t -> Task.t -> unit
+(** [stamp] (default [-1]) is the task's lineage ticket; it rides the
+    queue untouched and comes back out of {!pop_stamped}. *)
 
 val pop : t -> Task.t option
 (** Highest-priority reduction task, falling back to marking work when no
     reduction is queued (an idle PE lends its slot to the collector). *)
 
+val pop_stamped : t -> (Task.t * int) option
+(** {!pop}, also returning the task's lineage stamp ([-1] untracked). *)
+
 val pop_marking : t -> Task.t option
 (** Highest-priority queued marking task, if any — marking and reduction
     live in separate queues so the engine can budget them separately. *)
+
+val pop_marking_stamped : t -> (Task.t * int) option
+(** {!pop_marking} with the task's lineage stamp. *)
 
 val length : t -> int
 

@@ -1,0 +1,71 @@
+(* Step-phase profiler: wall-clock attribution of engine time.
+
+   Each engine step is bracketed into phases — transport (network flush
+   and delivery), execution (the per-PE budget loops, the only span the
+   sharded engine runs in parallel), barrier merge (sub-recorder drain,
+   metric absorption, mailbox flush, controller replay), GC control,
+   and bookkeeping (counter sync, watchdogs, sampling). Within the
+   execution span the budget loops further split their time into
+   marking and reduction work.
+
+   The measured Amdahl serial fraction falls out directly:
+   everything outside the execution span is serial by construction, so
+
+     serial_fraction = (total - execute) / total
+
+   is the ceiling on what domain-sharding can ever win — the yardstick
+   for ROADMAP item 1. At [--domains 1] the execution span still counts
+   as parallelizable: the figure then reads "what fraction of this run
+   a perfectly parallel machine could compress".
+
+   Wall-clock readings never feed deterministic artifacts (traces,
+   metrics JSON, golden lines); [dgr report --deterministic] and the
+   deterministic bench rows zero them. *)
+
+type t = {
+  mutable steps : int;
+  mutable total_ns : float;
+  mutable transport_ns : float;
+  mutable execute_ns : float;  (* parallel(izable) buffered execution span *)
+  mutable sexec_ns : float;  (* serial-only execution span (faults/RC/cycle) *)
+  mutable merge_ns : float;
+  mutable gc_ns : float;
+  mutable book_ns : float;
+  mutable mark_ns : float;  (* inside execute: marking budget loops *)
+  mutable red_ns : float;  (* inside execute: reduction budget loops *)
+}
+
+let create () =
+  {
+    steps = 0;
+    total_ns = 0.0;
+    transport_ns = 0.0;
+    execute_ns = 0.0;
+    sexec_ns = 0.0;
+    merge_ns = 0.0;
+    gc_ns = 0.0;
+    book_ns = 0.0;
+    mark_ns = 0.0;
+    red_ns = 0.0;
+  }
+
+let now () = Unix.gettimeofday () *. 1e9
+
+let serial_fraction t =
+  if t.total_ns <= 0.0 then 0.0
+  else Float.max 0.0 ((t.total_ns -. t.execute_ns) /. t.total_ns)
+
+(* Amdahl: the best speedup [domains] workers can extract when only the
+   execution span parallelizes. *)
+let amdahl_speedup t ~domains =
+  let s = serial_fraction t in
+  1.0 /. (s +. ((1.0 -. s) /. float_of_int (Stdlib.max 1 domains)))
+
+let share t part = if t.total_ns <= 0.0 then 0.0 else part /. t.total_ns
+
+let to_json t =
+  Printf.sprintf
+    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"gc\":%.4f,\"bookkeeping\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f}"
+    t.steps (t.total_ns /. 1e6) (share t t.transport_ns) (share t t.execute_ns)
+    (share t t.sexec_ns) (share t t.merge_ns) (share t t.gc_ns) (share t t.book_ns)
+    (share t t.mark_ns) (share t t.red_ns) (serial_fraction t)

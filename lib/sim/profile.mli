@@ -1,0 +1,44 @@
+(** Step-phase profiler: where the engine's wall-clock time goes.
+
+    The engine brackets each step into transport / execution / barrier
+    merge / GC control / bookkeeping phases, and the execution budget
+    loops split their span into marking vs reduction work. Execution is
+    the only phase the sharded engine runs in parallel, so the measured
+    Amdahl serial fraction is [(total - execute) / total] — the direct
+    yardstick for ROADMAP item 1's "shrink the serial controller".
+
+    All readings are wall-clock and therefore non-deterministic; they
+    never feed traces, metrics JSON or golden fixtures. Deterministic
+    outputs ([dgr report --deterministic], deterministic bench rows)
+    zero them. *)
+
+type t = {
+  mutable steps : int;
+  mutable total_ns : float;
+  mutable transport_ns : float;
+  mutable execute_ns : float;
+  mutable sexec_ns : float;
+  mutable merge_ns : float;
+  mutable gc_ns : float;
+  mutable book_ns : float;
+  mutable mark_ns : float;
+  mutable red_ns : float;
+}
+
+val create : unit -> t
+
+(** Monotonic-enough wall clock in nanoseconds (the engine only ever
+    differences readings taken microseconds apart). *)
+val now : unit -> float
+
+(** Fraction of total step time spent outside the parallelizable
+    execution span, in [0, 1]; [0.0] before any step ran. *)
+val serial_fraction : t -> float
+
+(** Best-case speedup at [domains] workers under Amdahl's law with the
+    measured serial fraction. *)
+val amdahl_speedup : t -> domains:int -> float
+
+(** Phase shares and the serial fraction as a JSON object. Wall-clock
+    derived — not byte-deterministic. *)
+val to_json : t -> string

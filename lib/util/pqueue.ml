@@ -3,17 +3,24 @@
    once capacity is reached — the previous entry-record representation
    cost one 4-word block per insertion, and pools/networks insert on
    every task send. Comparison semantics are unchanged: ascending
-   priority, FIFO (insertion rank) among ties. *)
+   priority, FIFO (insertion rank) among ties.
+
+   A fourth int array carries an opaque per-entry tag that travels with
+   the value through every swap and compaction. Task pools thread their
+   lineage tickets through it; plain [add]/[pop] users pay one extra
+   store and see tag -1. *)
 
 type 'a t = {
   mutable prio : int array;
   mutable rank : int array;
+  mutable tag : int array;
   mutable vals : 'a array;
   mutable len : int;
   mutable next_rank : int;
 }
 
-let create () = { prio = [||]; rank = [||]; vals = [||]; len = 0; next_rank = 0 }
+let create () =
+  { prio = [||]; rank = [||]; tag = [||]; vals = [||]; len = 0; next_rank = 0 }
 
 let length q = q.len
 
@@ -26,12 +33,15 @@ let grow q x =
   let cap' = if cap = 0 then 8 else cap * 2 in
   let prio' = Array.make cap' 0 in
   let rank' = Array.make cap' 0 in
+  let tag' = Array.make cap' (-1) in
   let vals' = Array.make cap' x in
   Array.blit q.prio 0 prio' 0 q.len;
   Array.blit q.rank 0 rank' 0 q.len;
+  Array.blit q.tag 0 tag' 0 q.len;
   Array.blit q.vals 0 vals' 0 q.len;
   q.prio <- prio';
   q.rank <- rank';
+  q.tag <- tag';
   q.vals <- vals'
 
 let less q i j =
@@ -45,6 +55,9 @@ let swap q i j =
   let r = q.rank.(i) in
   q.rank.(i) <- q.rank.(j);
   q.rank.(j) <- r;
+  let g = q.tag.(i) in
+  q.tag.(i) <- q.tag.(j);
+  q.tag.(j) <- g;
   let v = q.vals.(i) in
   q.vals.(i) <- q.vals.(j);
   q.vals.(j) <- v
@@ -69,30 +82,37 @@ let rec sift_down q i =
     sift_down q !smallest
   end
 
-let add q prio value =
+let add_tagged q prio ~tag value =
   if q.len = Array.length q.vals then grow q value;
   let i = q.len in
   q.prio.(i) <- prio;
   q.rank.(i) <- q.next_rank;
+  q.tag.(i) <- tag;
   q.vals.(i) <- value;
   q.next_rank <- q.next_rank + 1;
   q.len <- i + 1;
   sift_up q i
 
-let pop q =
+let add q prio value = add_tagged q prio ~tag:(-1) value
+
+let pop_tagged q =
   if q.len = 0 then None
   else begin
-    let p = q.prio.(0) and v = q.vals.(0) in
+    let p = q.prio.(0) and g = q.tag.(0) and v = q.vals.(0) in
     let n = q.len - 1 in
     q.len <- n;
     if n > 0 then begin
       q.prio.(0) <- q.prio.(n);
       q.rank.(0) <- q.rank.(n);
+      q.tag.(0) <- q.tag.(n);
       q.vals.(0) <- q.vals.(n);
       sift_down q 0
     end;
-    Some (p, v)
+    Some (p, g, v)
   end
+
+let pop q =
+  match pop_tagged q with None -> None | Some (p, _, v) -> Some (p, v)
 
 let peek q = if q.len = 0 then None else Some (q.prio.(0), q.vals.(0))
 
@@ -118,13 +138,14 @@ let heapify q =
     sift_down q i
   done
 
-let filter_in_place p q =
+let filter_tagged_in_place p q =
   let j = ref 0 in
   for i = 0 to q.len - 1 do
-    if p q.prio.(i) q.vals.(i) then begin
+    if p q.prio.(i) q.tag.(i) q.vals.(i) then begin
       if !j <> i then begin
         q.prio.(!j) <- q.prio.(i);
         q.rank.(!j) <- q.rank.(i);
+        q.tag.(!j) <- q.tag.(i);
         q.vals.(!j) <- q.vals.(i)
       end;
       incr j
@@ -132,6 +153,8 @@ let filter_in_place p q =
   done;
   q.len <- !j;
   heapify q
+
+let filter_in_place p q = filter_tagged_in_place (fun prio _ v -> p prio v) q
 
 let map_priorities f q =
   for i = 0 to q.len - 1 do

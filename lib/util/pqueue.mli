@@ -13,10 +13,19 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val add : 'a t -> int -> 'a -> unit
-(** [add q prio x] inserts [x] with priority [prio]. *)
+(** [add q prio x] inserts [x] with priority [prio] (and tag [-1]). *)
+
+val add_tagged : 'a t -> int -> tag:int -> 'a -> unit
+(** [add_tagged q prio ~tag x] additionally attaches an opaque integer
+    [tag] that travels with [x] and comes back out of {!pop_tagged}.
+    Task pools use it to carry lineage tickets without boxing. *)
 
 val pop : 'a t -> (int * 'a) option
 (** Removes and returns the minimum-priority element (FIFO among ties). *)
+
+val pop_tagged : 'a t -> (int * int * 'a) option
+(** Like {!pop} but also returns the entry's tag:
+    [(prio, tag, value)]. *)
 
 val peek : 'a t -> (int * 'a) option
 
@@ -31,6 +40,11 @@ val to_sorted_list : 'a t -> (int * 'a) list
 
 val filter_in_place : (int -> 'a -> bool) -> 'a t -> unit
 (** Keep only entries satisfying the predicate. O(n log n). *)
+
+val filter_tagged_in_place : (int -> int -> 'a -> bool) -> 'a t -> unit
+(** Like {!filter_in_place} but the predicate also sees each entry's
+    tag ([prio tag value]) — so callers can release per-entry resources
+    (lineage tickets) for the entries being discarded. *)
 
 val map_priorities : (int -> 'a -> int) -> 'a t -> unit
 (** Recompute every entry's priority (rebuilds the heap; preserves FIFO

@@ -84,6 +84,11 @@ let filter_in_place p v =
   done;
   v.len <- !j
 
+let truncate v n =
+  if n < 0 || n > v.len then
+    invalid_arg (Printf.sprintf "Vec.truncate: length %d out of bounds [0,%d]" n v.len);
+  v.len <- n
+
 let swap_remove v i =
   check v i "swap_remove";
   let x = v.data.(i) in

@@ -48,6 +48,11 @@ val filter_in_place : ('a -> bool) -> 'a t -> unit
 (** [filter_in_place p v] keeps only elements satisfying [p], preserving
     order. O(n). *)
 
+val truncate : 'a t -> int -> unit
+(** [truncate v n] shortens [v] to its first [n] elements in O(1);
+    raises [Invalid_argument] if [n] exceeds the current length. Used to
+    compact parallel vectors in lock-step. *)
+
 val swap_remove : 'a t -> int -> 'a
 (** [swap_remove v i] removes the element at [i] in O(1) by moving the last
     element into its place. Does not preserve order. *)

@@ -14,6 +14,7 @@ let () =
       ("baseline", T_baseline.suite);
       ("sim", T_sim.suite);
       ("obs", T_obs.suite);
+      ("hist", T_hist.suite);
       ("jitter", T_sim.jitter_suite);
       ("faults", T_faults.suite);
       ("reduction", T_reduction.suite);

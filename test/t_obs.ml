@@ -3,7 +3,7 @@
 open Dgr_obs
 open Dgr_sim
 
-let exec pe vid = Event.Execute { kind = Event.Mark; pe; vid }
+let exec pe vid = Event.Execute { kind = Event.Mark; pe; vid; lin = -1 }
 
 (* --- recorder ------------------------------------------------------- *)
 
@@ -44,7 +44,7 @@ let test_sampler () =
     (* one marking execution on PE 0 per step, reduction on PE 1 at step 3 *)
     Recorder.emit r (exec 0 step);
     if step = 3 then
-      Recorder.emit r (Event.Execute { kind = Event.Request; pe = 1; vid = 9 });
+      Recorder.emit r (Event.Execute { kind = Event.Request; pe = 1; vid = 9; lin = -1 });
     Recorder.tick r ~live:(100 + step) ~in_flight:step ~headroom:(-1)
       ~pool_depth:[| step; 2 * step |]
   done;
@@ -67,11 +67,13 @@ let small_recorder () =
   let r = Recorder.create ~sample_every:1 ~num_pes:2 () in
   Recorder.set_now r 0;
   Recorder.emit r (Event.Phase { phase = Event.Mark_root; cycle = 0 });
-  Recorder.emit r (Event.Send { kind = Event.Request; pe = 1; vid = 3; arrival = 4; remote = true });
+  Recorder.emit r
+    (Event.Send
+       { kind = Event.Request; pe = 1; vid = 3; arrival = 4; remote = true; lin = 3 });
   Recorder.tick r ~live:2 ~in_flight:1 ~headroom:(-1) ~pool_depth:[| 1; 0 |];
   Recorder.set_now r 4;
-  Recorder.emit r (Event.Deliver { kind = Event.Request; pe = 1; vid = 3 });
-  Recorder.emit r (Event.Execute { kind = Event.Request; pe = 1; vid = 3 });
+  Recorder.emit r (Event.Deliver { kind = Event.Request; pe = 1; vid = 3; lin = 3 });
+  Recorder.emit r (Event.Execute { kind = Event.Request; pe = 1; vid = 3; lin = 3 });
   Recorder.emit r (Event.Phase { phase = Event.Idle; cycle = 0 });
   Recorder.emit r Event.Finished;
   Recorder.tick r ~live:2 ~in_flight:0 ~headroom:(-1) ~pool_depth:[| 0; 0 |];
@@ -103,9 +105,9 @@ let test_timeseries_csv_shape () =
   let lines = String.split_on_char '\n' (String.trim s) in
   Alcotest.(check int) "header + 2 samples x 2 PEs" 5 (List.length lines);
   Alcotest.(check string) "header"
-    "step,pe,pool_depth,marking,reduction,live,in_flight,headroom,drops,dups,retransmits,stalls"
+    "step,pe,pool_depth,marking,reduction,live,in_flight,headroom,drops,dups,retransmits,stalls,frames,batched_tasks,acks_piggybacked,coalesced"
     (List.hd lines);
-  Alcotest.(check string) "row" "4,1,0,0,1,2,0,-1,0,0,0,0" (List.nth lines 4)
+  Alcotest.(check string) "row" "4,1,0,0,1,2,0,-1,0,0,0,0,0,0,0,0" (List.nth lines 4)
 
 (* --- end-to-end determinism ---------------------------------------- *)
 
