@@ -48,6 +48,8 @@ type machine_opts = {
   fault_dup : float;
   fault_delay : float;
   fault_stall : float;
+  fault_crash : float;
+  fault_crash_down : int;
   fault_seed : int;
   no_batch : bool;
 }
@@ -92,6 +94,8 @@ let config_of_opts o =
            duplicate = o.fault_dup;
            delay = o.fault_delay;
            stall = o.fault_stall;
+           crash = o.fault_crash;
+           crash_down_max = o.fault_crash_down;
            fault_seed = o.fault_seed;
          }
        ())
@@ -454,6 +458,19 @@ let fault_stall_arg =
          ~doc:"Per-PE, per-step probability that a transient stall begins (the PE stops \
                executing for a few steps; its pool and heap survive).")
 
+let fault_crash_arg =
+  Arg.(value & opt float 0.0 & info [ "fault-crash" ] ~docv:"P"
+         ~doc:"Per-PE, per-step probability that the PE crashes outright: its task \
+               pool, in-flight frames and graph segment are lost; the segment is \
+               restored from a per-step checkpoint, its vertices re-home onto the \
+               surviving PEs, and an interrupted marking phase restarts. A crash \
+               that would leave no survivor is suppressed.")
+
+let fault_crash_down_arg =
+  Arg.(value & opt int 32 & info [ "fault-crash-down" ] ~docv:"STEPS"
+         ~doc:"Maximum downtime of a crashed PE, in steps (the actual downtime is \
+               seeded-uniform in [1, $(docv)]; the PE then rejoins empty-handed).")
+
 let fault_seed_arg =
   Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
          ~doc:"Seed for the fault plane's randomness, independent of $(b,--seed): same \
@@ -502,7 +519,8 @@ let machine_term =
     const
       (fun pes domains latency tasks_per_step gc_str heap idle_gap deadlock_every
            stw_every policy_str marking_str recover_deadlock jitter seed no_speculate
-           fault_drop fault_dup fault_delay fault_stall fault_seed no_batch ->
+           fault_drop fault_dup fault_delay fault_stall fault_crash fault_crash_down
+           fault_seed no_batch ->
         {
           pes;
           domains;
@@ -523,13 +541,16 @@ let machine_term =
           fault_dup;
           fault_delay;
           fault_stall;
+          fault_crash;
+          fault_crash_down;
           fault_seed;
           no_batch;
         })
     $ pes_arg $ domains_arg $ latency_arg $ tps_arg $ gc_arg $ heap_arg $ idle_gap_arg
     $ deadlock_every_arg $ stw_every_arg $ policy_arg $ marking_arg $ recover_arg
     $ jitter_arg $ seed_arg $ no_spec_arg $ fault_drop_arg $ fault_dup_arg
-    $ fault_delay_arg $ fault_stall_arg $ fault_seed_arg $ no_batch_arg)
+    $ fault_delay_arg $ fault_stall_arg $ fault_crash_arg $ fault_crash_down_arg
+    $ fault_seed_arg $ no_batch_arg)
 
 let run_term =
   Term.(
@@ -633,7 +654,7 @@ let bench_domains_arg =
 
 let bench_out_arg =
   Arg.(value & opt string "BENCH.json" & info [ "o"; "output" ] ~docv:"PATH"
-         ~doc:"Where to write the results (versioned JSON, schema_version 4).")
+         ~doc:"Where to write the results (versioned JSON, schema_version 5).")
 
 let bench_no_batch_arg =
   Arg.(value & flag & info [ "no-batch" ]

@@ -139,6 +139,35 @@ let start_mark_tasks t =
       (fun v -> if not (Graph.vertex t.g v).Vertex.free then flood_seed fl t.env v)
       seeds
 
+(* Crash recovery: a PE loss invalidates the wave in progress — marks it
+   left half-propagated, returns and counter credits it lost in flight —
+   so the engine purges every marking task machine-wide and calls this to
+   re-derive the phase from scratch. Restarting re-resets the phase's
+   plane, creates a fresh run (tree) or flood counters + termination
+   detector (flood), and re-seeds; the *other* plane's finished result is
+   untouched — its marks were settled before this phase began and remain
+   a valid (conservative) input to the cycle's verdict. The aborted run's
+   executed-mark tally is folded into the totals first. *)
+let restart_phase t =
+  match t.phase with
+  | Idle -> ()
+  | Mark_tasks ->
+    (match t.mt_run with
+    | Some r -> t.mt_marks <- t.mt_marks + r.Run.marks_executed
+    | None -> ());
+    (match t.mt_flood with
+    | Some f -> t.mt_marks <- t.mt_marks + f.Flood.marks_executed
+    | None -> ());
+    start_mark_tasks t
+  | Mark_root ->
+    (match t.mr_run with
+    | Some r -> t.mr_marks <- t.mr_marks + r.Run.marks_executed
+    | None -> ());
+    (match t.mr_flood with
+    | Some f -> t.mr_marks <- t.mr_marks + f.Flood.marks_executed
+    | None -> ());
+    start_mark_root t
+
 let start_cycle t =
   if t.phase <> Idle then invalid_arg "Cycle.start_cycle: cycle already in progress";
   t.mt_ran_this_cycle <- false;

@@ -86,6 +86,17 @@ val poll : t -> Restructure.report option
 (** Advance the state machine if the current run has finished; returns the
     cycle report when a cycle completes (restructure just ran). *)
 
+val restart_phase : t -> unit
+(** Crash recovery: abandon the marking wave in progress and re-derive the
+    current phase from scratch — reset its plane, create a fresh run
+    (tree) or flood counters plus a fresh termination detector (flood:
+    quiescence is re-derived, never resumed), and re-seed. The caller
+    must first purge every marking task machine-wide (pools, network,
+    crashed and surviving PEs alike): a stale mark or return credited to
+    the fresh run would corrupt its accounting exactly the way §2.1's
+    channel assumptions forbid. The other plane's settled result and the
+    cycle counter are untouched. No-op when [Idle]. *)
+
 val run_for_plane : t -> Plane.id -> Run.t option
 (** The tree run whose tasks the engine should hand to [Marker.execute]
     ([None] under the flood scheme — use {!handler_for_plane}). *)

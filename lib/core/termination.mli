@@ -16,7 +16,17 @@
     at-most-once under the fault plane; the network's reliable-delivery
     layer (acks, retransmission, dedup — see [Dgr_sim.Network]) is what
     makes the counters honest, and [executed] must be counted at first
-    delivery only. *)
+    delivery only.
+
+    A PE {e crash} breaks the accounting beyond repair: counted sends
+    die undelivered in severed links and the crashed PE's own counter
+    contributions vanish, so the sums can never be trusted to balance
+    again — a detector that kept its history could even latch a false
+    quiescence from pre-crash readings. Recovery therefore never resumes
+    a detector across a crash: the engine purges all marking tasks,
+    restarts the phase ([Dgr_core.Cycle.restart_phase]), and re-derives
+    quiescence with a {e fresh} detector over the fresh run's counters,
+    which start at zero on both sides. *)
 
 type t
 

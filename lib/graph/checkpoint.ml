@@ -1,0 +1,162 @@
+(* Per-PE incremental checkpoint of a home slice of the graph, for crash
+   recovery. One checkpoint watches one home PE: every slot homed there
+   (dense-prefix vids with [vid mod pes = home] plus the whole striped
+   segment), live and free alike, and the home free list. [sync] is
+   incremental — it rewrites only the entries whose vertex changed since
+   the last sync, tagging each rewritten entry with the step it was
+   captured at — so steady-state cost is proportional to churn, not to
+   segment size. [restore] writes the captured fields back, rebuilding
+   missing striped slots when restoring into a fresh graph. *)
+
+type plane_shot = {
+  p_color : Plane.color;
+  p_cnt : int;
+  p_par : Plane.parent;
+  p_prior : int;
+}
+
+type entry = {
+  mutable e_step : int;  (* step the fields below were captured at *)
+  mutable e_label : Label.t;
+  mutable e_args : Vid.t list;
+  mutable e_req_v : Vid.t list;
+  mutable e_req_e : Vid.t list;
+  mutable e_requested : Vertex.request_entry list;
+  mutable e_recv : (Vid.t * Label.value) list;
+  mutable e_pe : int;
+  mutable e_free : bool;
+  mutable e_birth : int;
+  mutable e_prior : int;
+  mutable e_mr : plane_shot;
+  mutable e_mt : plane_shot;
+}
+
+type t = {
+  g : Graph.t;
+  home : int;
+  entries : (Vid.t, entry) Hashtbl.t;
+  mutable free : Vid.t list;  (* home free list, pop order *)
+  mutable last_sync : int;  (* step of the latest sync; -1 = never *)
+  mutable refreshed : int;  (* entries rewritten by the latest sync *)
+}
+
+let create g ~pe = { g; home = pe; entries = Hashtbl.create 64; free = []; last_sync = -1; refreshed = 0 }
+
+let home t = t.home
+
+let last_sync t = t.last_sync
+
+let refreshed t = t.refreshed
+
+let entry_count t = Hashtbl.length t.entries
+
+let step_of t vid =
+  match Hashtbl.find_opt t.entries vid with None -> None | Some e -> Some e.e_step
+
+let shoot (p : Plane.t) =
+  { p_color = p.Plane.color; p_cnt = p.Plane.cnt; p_par = p.Plane.par; p_prior = p.Plane.prior }
+
+let same_shot s (p : Plane.t) =
+  Plane.equal_color s.p_color p.Plane.color
+  && s.p_cnt = p.Plane.cnt && s.p_par = p.Plane.par && s.p_prior = p.Plane.prior
+
+let entry_of ~now (v : Vertex.t) =
+  {
+    e_step = now;
+    e_label = v.Vertex.label;
+    e_args = Vertex.args v;
+    e_req_v = v.Vertex.req_v;
+    e_req_e = v.Vertex.req_e;
+    e_requested = v.Vertex.requested;
+    e_recv = v.Vertex.recv;
+    e_pe = v.Vertex.pe;
+    e_free = v.Vertex.free;
+    e_birth = v.Vertex.birth;
+    e_prior = v.Vertex.sched_prior;
+    e_mr = shoot v.Vertex.mr;
+    e_mt = shoot v.Vertex.mt;
+  }
+
+let matches e (v : Vertex.t) =
+  Label.equal e.e_label v.Vertex.label
+  && e.e_pe = v.Vertex.pe && e.e_free = v.Vertex.free && e.e_birth = v.Vertex.birth
+  && e.e_prior = v.Vertex.sched_prior
+  && same_shot e.e_mr v.Vertex.mr && same_shot e.e_mt v.Vertex.mt
+  && e.e_args = Vertex.args v && e.e_req_v = v.Vertex.req_v && e.e_req_e = v.Vertex.req_e
+  && e.e_requested = v.Vertex.requested && e.e_recv = v.Vertex.recv
+
+let rewrite ~now e (v : Vertex.t) =
+  e.e_step <- now;
+  e.e_label <- v.Vertex.label;
+  e.e_args <- Vertex.args v;
+  e.e_req_v <- v.Vertex.req_v;
+  e.e_req_e <- v.Vertex.req_e;
+  e.e_requested <- v.Vertex.requested;
+  e.e_recv <- v.Vertex.recv;
+  e.e_pe <- v.Vertex.pe;
+  e.e_free <- v.Vertex.free;
+  e.e_birth <- v.Vertex.birth;
+  e.e_prior <- v.Vertex.sched_prior;
+  e.e_mr <- shoot v.Vertex.mr;
+  e.e_mt <- shoot v.Vertex.mt
+
+let sync t ~now =
+  let n = ref 0 in
+  Graph.iter_home t.g ~pe:t.home (fun v ->
+      match Hashtbl.find_opt t.entries v.Vertex.id with
+      | None ->
+        Hashtbl.replace t.entries v.Vertex.id (entry_of ~now v);
+        incr n
+      | Some e ->
+        if not (matches e v) then begin
+          rewrite ~now e v;
+          incr n
+        end);
+  t.free <- Graph.home_free_list t.g ~pe:t.home;
+  t.last_sync <- now;
+  t.refreshed <- !n;
+  !n
+
+let restore_plane s (p : Plane.t) =
+  p.Plane.color <- s.p_color;
+  p.Plane.cnt <- s.p_cnt;
+  p.Plane.par <- s.p_par;
+  p.Plane.prior <- s.p_prior
+
+let restore_vertex e (v : Vertex.t) =
+  v.Vertex.label <- e.e_label;
+  Vertex.set_args v e.e_args;
+  v.Vertex.req_v <- e.e_req_v;
+  v.Vertex.req_e <- e.e_req_e;
+  v.Vertex.requested <- e.e_requested;
+  v.Vertex.recv <- e.e_recv;
+  v.Vertex.pe <- e.e_pe;
+  v.Vertex.free <- e.e_free;
+  v.Vertex.birth <- e.e_birth;
+  v.Vertex.sched_prior <- e.e_prior;
+  restore_plane e.e_mr v.Vertex.mr;
+  restore_plane e.e_mt v.Vertex.mt
+
+let restore ?into t =
+  if t.last_sync < 0 then invalid_arg "Checkpoint.restore: never synced";
+  let g = match into with Some g -> g | None -> t.g in
+  (* Rebuild any checkpointed striped slot the target lacks (restoring
+     into a fresh graph): grow_home appends slots in exactly the vid
+     order alloc would have created them. *)
+  let max_vid = Hashtbl.fold (fun vid _ m -> Int.max vid m) t.entries (-1) in
+  while max_vid >= 0 && not (Graph.mem g max_vid) do
+    let id = Graph.grow_home g ~pe:t.home in
+    if id > max_vid then
+      invalid_arg "Checkpoint.restore: target graph partition shape mismatch"
+  done;
+  (* Slots born after the last sync are unknown to the checkpoint: the
+     crash loses them, so they come back as free slots appended (in vid
+     order) behind the checkpointed free list. *)
+  let extras = ref [] in
+  Graph.iter_home g ~pe:t.home (fun v ->
+      match Hashtbl.find_opt t.entries v.Vertex.id with
+      | Some e -> restore_vertex e v
+      | None ->
+        Vertex.reset_for_free v;
+        extras := v.Vertex.id :: !extras);
+  Graph.set_home_free_list g ~pe:t.home (t.free @ List.rev !extras)

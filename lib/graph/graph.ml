@@ -299,6 +299,56 @@ let free_list t =
     | None -> []
     | Some p -> List.concat_map Vec.to_list (Array.to_list p.frees)
 
+let home_of_vid t v =
+  match t.part with
+  | None -> ((v mod t.num_pes) + t.num_pes) mod t.num_pes
+  | Some p -> home_of p v
+
+(* Home-scoped views, used by the crash-recovery checkpoints: a PE's
+   checkpoint covers exactly the slots homed at it (dense-prefix slots
+   with [vid mod pes = home] plus its whole striped segment), live and
+   free alike, in ascending vid order. *)
+let iter_home t ~pe f =
+  match t.part with
+  | None ->
+    let h = ((pe mod t.num_pes) + t.num_pes) mod t.num_pes in
+    Vec.iter (fun v -> if v.Vertex.id mod t.num_pes = h then f v) t.verts
+  | Some p ->
+    let h = ((pe mod p.pes) + p.pes) mod p.pes in
+    Vec.iter (fun v -> if v.Vertex.id mod p.pes = h then f v) t.verts;
+    for k = 0 to Seg.length p.segs.(h) - 1 do
+      f (Seg.get p.segs.(h) k)
+    done
+
+let home_free_list t ~pe =
+  match t.part with
+  | None ->
+    let h = ((pe mod t.num_pes) + t.num_pes) mod t.num_pes in
+    List.filter (fun v -> v mod t.num_pes = h) (Vec.to_list t.free)
+  | Some p -> Vec.to_list p.frees.(((pe mod p.pes) + p.pes) mod p.pes)
+
+let set_home_free_list t ~pe ids =
+  match t.part with
+  | None -> invalid_arg "Graph.set_home_free_list: graph is not partitioned"
+  | Some p ->
+    let h = ((pe mod p.pes) + p.pes) mod p.pes in
+    let fl = p.frees.(h) in
+    Vec.clear fl;
+    List.iter (fun id -> Vec.push fl id) ids
+
+let grow_home t ~pe =
+  match t.part with
+  | None -> invalid_arg "Graph.grow_home: graph is not partitioned"
+  | Some p ->
+    let h = ((pe mod p.pes) + p.pes) mod p.pes in
+    let k = Seg.length p.segs.(h) in
+    let id = p.base + (k * p.pes) + h in
+    let v = Vertex.create id ~pe:h Label.Freed in
+    v.Vertex.free <- true;
+    v.Vertex.birth <- t.epoch;
+    Seg.push p.segs.(h) v;
+    id
+
 (* Iteration is always in ascending vid order — dense prefix first, then
    the striped segments interleaved by stripe index — so digests and
    live-set listings cannot depend on which PE allocated a vertex. *)

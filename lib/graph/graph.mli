@@ -92,6 +92,29 @@ val live_count : t -> int
 
 val free_list : t -> Vid.t list
 
+val home_of_vid : t -> Vid.t -> int
+(** The home PE of a vid: [vid mod pes] in the dense prefix, the stripe
+    index past it. Defined for any vid shape, partitioned or not. *)
+
+val iter_home : t -> pe:int -> (Vertex.t -> unit) -> unit
+(** Visit every slot homed at [pe] — live and free alike — in ascending
+    vid order. This is the slice a crash loses and a checkpoint covers. *)
+
+val home_free_list : t -> pe:int -> Vid.t list
+(** [pe]'s home free list, in pop order (LIFO: last element pops first on
+    the partitioned path). *)
+
+val set_home_free_list : t -> pe:int -> Vid.t list -> unit
+(** Overwrite [pe]'s home free list (crash-recovery restore). Partitioned
+    graphs only; raises [Invalid_argument] otherwise. Vertex [free] flags
+    are the caller's responsibility. *)
+
+val grow_home : t -> pe:int -> Vid.t
+(** Append one fresh free slot to [pe]'s striped segment (without putting
+    it on the free list) and return its vid — the next vid [alloc] would
+    have created for that home. Lets a checkpoint restore rebuild a
+    segment inside a fresh graph. Partitioned graphs only. *)
+
 val iter_live : (Vertex.t -> unit) -> t -> unit
 
 val iter_all : (Vertex.t -> unit) -> t -> unit

@@ -2,14 +2,17 @@ open Dgr_graph
 open Dgr_sim
 open Dgr_lang
 
-(* v4: rows gained the end-to-end latency percentiles "lat_p50".."lat_p999"
-   (in steps, from the lineage histograms — deterministic) and the
-   wall-measured "serial_fraction" (zeroed in deterministic mode). v3
-   added the transport columns "frames_sent", "acks_sent",
-   "marks_coalesced" and "tasks_per_frame", and the document a top-level
-   "batch" (whether frame batching was on). v2 added per-row "domains"
-   and "speedup_vs_seq" and the top-level "domains". *)
-let schema_version = 4
+(* v5: rows gained the crash-plane columns "crashes", "recoveries" and
+   "crash_rehomed" (whole-PE crashes with checkpointed re-homing; all
+   zero for crash-free scenarios). v4 added the end-to-end latency
+   percentiles "lat_p50".."lat_p999" (in steps, from the lineage
+   histograms — deterministic) and the wall-measured "serial_fraction"
+   (zeroed in deterministic mode). v3 added the transport columns
+   "frames_sent", "acks_sent", "marks_coalesced" and "tasks_per_frame",
+   and the document a top-level "batch" (whether frame batching was on).
+   v2 added per-row "domains" and "speedup_vs_seq" and the top-level
+   "domains". *)
+let schema_version = 5
 
 (* ------------------------------------------------------------------ *)
 (* The macro suite.                                                    *)
@@ -81,6 +84,22 @@ let light_faults =
     fault_seed = 7;
   }
 
+(* Lossy channel plus whole-PE crashes: in-flight and pooled tasks die
+   with a crashed PE, so completion is never expected — the scenario
+   measures survival (recovery latency, re-homing volume, marking
+   restarts), not the answer. *)
+let crash_faults =
+  {
+    Faults.none with
+    Faults.drop = 0.02;
+    duplicate = 0.01;
+    delay = 0.02;
+    stall = 0.01;
+    crash = 0.004;
+    crash_down_max = 40;
+    fault_seed = 13;
+  }
+
 (* The smoke subset (s_smoke = true) is the cheap half of the suite at
    the SAME sizes and configs — a subset, not a miniature — so smoke
    rates compare directly against a full-run baseline. *)
@@ -108,6 +127,8 @@ let suite =
       (Prelude.speculative_deep 600 10);
     program ~name:"fib-12-faults" ~smoke:true ~faults:light_faults
       ~max_steps:200_000 (Prelude.fib 12);
+    program ~name:"fib-12-crash" ~smoke:true ~faults:crash_faults
+      ~max_steps:20_000 (Prelude.fib 12);
     program ~name:"fib-12-jitter" ~smoke:false ~jitter:0.3 ~seed:3
       ~max_steps:200_000 (Prelude.fib 12);
   ]
@@ -135,6 +156,9 @@ type row = {
   frames_sent : int;  (** data frames flushed by the transport *)
   acks_sent : int;  (** standalone cumulative-ack frames *)
   marks_coalesced : int;  (** marks absorbed by a staged twin *)
+  crashes : int;  (** whole-PE crashes begun *)
+  recoveries : int;  (** crashed PEs that came back up *)
+  crash_rehomed : int;  (** live vertices moved off crashed PEs *)
   tasks_per_frame : float;
       (** tasks carried / frames sent — the frame-count reduction
           batching bought over one-task-per-frame transport *)
@@ -240,6 +264,9 @@ let run_scenario ?(domains = 1) ?(batch = true) ~deterministic s =
     frames_sent = m.Metrics.frames_sent;
     acks_sent = m.Metrics.acks_sent;
     marks_coalesced = m.Metrics.marks_coalesced;
+    crashes = m.Metrics.crashes;
+    recoveries = m.Metrics.recoveries;
+    crash_rehomed = m.Metrics.crash_rehomed;
     tasks_per_frame =
       (if m.Metrics.frames_sent = 0 then 0.0
        else float_of_int m.Metrics.tasks_sent /. float_of_int m.Metrics.frames_sent);
@@ -330,10 +357,11 @@ let row_json r =
     else r.minor_words /. float_of_int r.steps
   in
   Printf.sprintf
-    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"frames_sent\":%d,\"acks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f,\"lat_p50\":%d,\"lat_p90\":%d,\"lat_p99\":%d,\"lat_p999\":%d,\"serial_fraction\":%.4f,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
+    "{\"name\":\"%s\",\"seed\":%d,\"domains\":%d,\"steps\":%d,\"tasks\":%d,\"messages\":%d,\"cycles\":%d,\"avg_cycle_len\":%.2f,\"live\":%d,\"completed\":%b,\"frames_sent\":%d,\"acks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f,\"crashes\":%d,\"recoveries\":%d,\"crash_rehomed\":%d,\"lat_p50\":%d,\"lat_p90\":%d,\"lat_p99\":%d,\"lat_p999\":%d,\"serial_fraction\":%.4f,\"digest\":\"%s\",\"wall_ns\":%Ld,\"steps_per_sec\":%.1f,\"tasks_per_sec\":%.1f,\"msgs_per_sec\":%.1f,\"minor_words_per_step\":%.2f,\"speedup_vs_seq\":%.2f}"
     r.name r.seed r.domains r.steps r.tasks r.messages r.cycles r.avg_cycle_len
     r.live r.completed r.frames_sent r.acks_sent r.marks_coalesced
-    r.tasks_per_frame r.lat_p50 r.lat_p90 r.lat_p99 r.lat_p999 r.serial_fraction
+    r.tasks_per_frame r.crashes r.recoveries r.crash_rehomed r.lat_p50 r.lat_p90
+    r.lat_p99 r.lat_p999 r.serial_fraction
     r.digest r.wall_ns (rate r.steps) (rate r.tasks)
     (rate r.messages) mwps r.speedup_vs_seq
 

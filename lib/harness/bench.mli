@@ -35,6 +35,9 @@ type row = {
   frames_sent : int;  (** data frames flushed by the transport *)
   acks_sent : int;  (** standalone cumulative-ack frames *)
   marks_coalesced : int;  (** marks absorbed by a staged twin *)
+  crashes : int;  (** whole-PE crashes begun (zero outside crash scenarios) *)
+  recoveries : int;  (** crashed PEs that came back up *)
+  crash_rehomed : int;  (** live vertices moved off crashed PEs *)
   tasks_per_frame : float;
       (** tasks carried / frames sent — the frame-count reduction
           batching bought over one-task-per-frame transport; [0.0]

@@ -97,6 +97,17 @@ let render ?(deterministic = false) e =
     "  mark_wave_stalls=%d quiescence_stalls=%d retransmit_storms=%d\n"
     m.Metrics.health_mark_stalls m.Metrics.health_quiescence_stalls
     m.Metrics.health_retx_storms;
+  (* Crash recovery — only when the run could actually crash, so
+     fault-free reports stay byte-identical to pre-crash-plane builds. *)
+  if m.Metrics.crashes > 0 || m.Metrics.recoveries > 0 then begin
+    Printf.bprintf b "\n-- crash recovery --\n";
+    Printf.bprintf b "  crashes=%d recoveries=%d rehomed=%d lost_tasks=%d\n"
+      m.Metrics.crashes m.Metrics.recoveries m.Metrics.crash_rehomed
+      m.Metrics.crash_lost_tasks;
+    Printf.bprintf b "  %-8s %8s %8s %6s %6s %6s %6s %6s\n" "" "count" "mean"
+      "p50" "p90" "p99" "p999" "max";
+    hist_row b "downtime" m.Metrics.lat_recovery
+  end;
   if m.Metrics.frames_sent > 0 then begin
     Printf.bprintf b "\n-- transport --\n";
     Printf.bprintf b

@@ -76,6 +76,11 @@ type kind =
   | Coalesce of { pe : int; vid : int }
       (** a mark task bound for [vid] at [pe] was absorbed by an
           identical mark staged in the same batch *)
+  | Pe_crash of { pe : int; lost : int; down : int }
+      (** [pe] crashed: its pool, striped segment and in-flight frames
+          are gone ([lost] tasks destroyed); it stays down [down] steps *)
+  | Pe_recover of { pe : int; down : int }
+      (** [pe] came back up empty-handed after [down] steps of downtime *)
   | Health of { health : health; value : int }
       (** a watchdog fired; [value] is the stalled-step count or the
           retransmit count inside the storm window *)

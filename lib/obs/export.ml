@@ -158,6 +158,13 @@ let chrome_trace r =
       | Event.Coalesce { pe; vid } ->
         instant ctx ~name:"coalesce" ~tid:(pe_tid pe) ~ts
           ~args:(Printf.sprintf "\"vid\":%d,%s" vid seq_arg)
+      | Event.Pe_crash { pe; lost; down } ->
+        (* the downtime as a span on the PE's own track *)
+        span ctx ~name:"pe_crash" ~tid:(pe_tid pe) ~ts ~dur:(Int.max 1 down)
+          ~args:(Printf.sprintf "\"lost\":%d,\"down\":%d,%s" lost down seq_arg)
+      | Event.Pe_recover { pe; down } ->
+        instant ctx ~name:"pe_recover" ~tid:(pe_tid pe) ~ts
+          ~args:(Printf.sprintf "\"down\":%d,%s" down seq_arg)
       | Event.Health { health; value } ->
         instant ctx
           ~name:("health:" ^ Event.health_name health)

@@ -163,6 +163,17 @@ type t = {
   ctrl_rng : Rng.t;  (** the controller's stream, [Rng.stream ~seed (-1)] *)
   flt : Faults.t option;
   stall_until : int array;  (** per PE: first step it executes again *)
+  (* Crash plane. [ckpts] is built lazily on the first step that can
+     crash (so fault-free machines allocate nothing); [down_since] is -1
+     for a PE that is up. All of it is serial state: any config with
+     [crash > 0] keeps [buffered_ok] false via [flt], and the buffered
+     path only ever {e reads} [down_since] (after an injected crash on an
+     otherwise fault-free machine). *)
+  mutable ckpts : Checkpoint.t array;  (** per-PE segment checkpoints *)
+  down_until : int array;  (** per PE: first step it may recover *)
+  down_since : int array;  (** per PE: step it crashed; -1 = up *)
+  mutable crash_used : bool;
+      (** crashes possible (spec or injection): run the crash tick *)
   mutable rc_freed_batch : Vid.Set.t;
       (** vertices RC reclaimed since the last batch purge *)
   mutable ctxs : pe_ctx array;
@@ -368,6 +379,10 @@ let create ?recorder ?(config = Config.default) g templates =
       ctrl_rng = Rng.stream ~seed (-1);
       flt;
       stall_until = Array.make (Int.max 1 num_pes) 0;
+      ckpts = [||];
+      down_until = Array.make (Int.max 1 num_pes) 0;
+      down_since = Array.make (Int.max 1 num_pes) (-1);
+      crash_used = (Config.faults config).Faults.crash > 0.0;
       rc_freed_batch = Vid.Set.empty;
       ctxs = [||];
       workers = None;
@@ -856,8 +871,13 @@ let buffered_ok t =
 let run_shard t d =
   let lo = d * t.num_pes / t.domains and hi = (d + 1) * t.num_pes / t.domains in
   for pe = lo to hi - 1 do
-    Domain.DLS.set dls_pe pe;
-    execute_budgets_buffered t t.ctxs.(pe) t.pools.(pe)
+    (* The down check only ever fires after an injected crash on an
+       otherwise fault-free machine (any crash {e rate} forces the serial
+       path via [flt]); it reads serial state the barrier published. *)
+    if t.down_since.(pe) < 0 then begin
+      Domain.DLS.set dls_pe pe;
+      execute_budgets_buffered t t.ctxs.(pe) t.pools.(pe)
+    end
   done;
   Domain.DLS.set dls_pe (-1)
 
@@ -1053,6 +1073,118 @@ let health_check t =
     t.wd_retx_at <- now + 64
   end
 
+(* ---- PE crashes (fail-stop with checkpointed re-homing) ---------------
+   A crash loses a PE's volatile state wholesale: its task pool, every
+   frame in flight on its links (both directions, including batched
+   frames), and whatever its striped graph segment drifted to since the
+   last checkpoint. Because the crash tick syncs every PE's checkpoint at
+   the top of the very step the crash dice roll, the restored segment is
+   exact — no acknowledged state ever rolls back — and re-homing the
+   crashed PE's live vertices onto survivors preserves the reachable
+   graph byte-for-byte. What is honestly lost is in-flight and pooled
+   work ([crash_lost_tasks]); an interrupted marking phase is restarted
+   ({!Cycle.restart_phase}) so no partial mark can masquerade as a
+   finished wave. All of this is serial-path state, so verdicts and
+   digests stay bit-identical at every [domains] value. *)
+
+let is_down t pe = t.down_since.(pe) >= 0
+
+let up_count t =
+  let n = ref 0 in
+  for pe = 0 to t.num_pes - 1 do
+    if not (is_down t pe) then incr n
+  done;
+  !n
+
+let sync_ckpts t =
+  if Array.length t.ckpts = 0 then
+    t.ckpts <- Array.init t.num_pes (fun pe -> Checkpoint.create t.g ~pe);
+  Array.iter (fun ck -> ignore (Checkpoint.sync ck ~now:t.now)) t.ckpts
+
+(* The crash itself. Caller guarantees [pe] is up, at least one other PE
+   is up, and [t.ckpts.(pe)] was synced this step. *)
+let crash_now t ~pe ~down =
+  let lost_pool = Pool.purge t.pools.(pe) (fun _ -> true) in
+  let lost_net = Network.crash_pe t.net ~pe in
+  Checkpoint.restore t.ckpts.(pe);
+  t.down_since.(pe) <- t.now;
+  t.down_until.(pe) <- t.now + down;
+  (* Re-home every live vertex stranded on a down PE (the whole-graph
+     scan also catches vertices still pointing at an earlier crash's PE,
+     e.g. two crashes in one step) onto the up PEs, round-robin by vid —
+     deterministic, and balanced regardless of which PE died. *)
+  let survivors = Array.make (up_count t) 0 in
+  let k = ref 0 in
+  for p = 0 to t.num_pes - 1 do
+    if not (is_down t p) then begin
+      survivors.(!k) <- p;
+      incr k
+    end
+  done;
+  let ns = Array.length survivors in
+  let rehomed = ref 0 in
+  Graph.iter_live
+    (fun vx ->
+      let home = vx.Vertex.pe in
+      if home >= 0 && home < t.num_pes && is_down t home then begin
+        vx.Vertex.pe <- survivors.(((vx.Vertex.id mod ns) + ns) mod ns);
+        incr rehomed
+      end)
+    t.g;
+  (* A marking wave the crash interrupted can never complete (marks bound
+     for the dead PE are gone) and must not be trusted (its partial marks
+     include state the restore rewound). Purge every marking task
+     machine-wide, then restart the phase on a fresh run — the settled
+     plane's verdict from the previous phase is untouched. *)
+  (match t.cyc with
+  | Some c when Cycle.phase c <> Cycle.Idle ->
+    ignore
+      (purge_for_baseline t (function Marking _ -> true | Reduction _ -> false));
+    Cycle.restart_phase c
+  | _ -> ());
+  t.m.Metrics.crashes <- t.m.Metrics.crashes + 1;
+  t.m.Metrics.crash_lost_tasks <- t.m.Metrics.crash_lost_tasks + lost_pool + lost_net;
+  t.m.Metrics.crash_rehomed <- t.m.Metrics.crash_rehomed + !rehomed;
+  obs t (Dgr_obs.Event.Pe_crash { pe; lost = lost_pool + lost_net; down })
+
+(* The per-step crash tick: sync checkpoints, recover PEs whose downtime
+   elapsed (they execute again this very step, empty-handed), then roll
+   the crash dice in ascending PE order. A crash that would leave no
+   survivor is suppressed — the fail-stop model assumes a majority of
+   the machine outlives any fault (see {!Faults}). *)
+let crash_tick t =
+  sync_ckpts t;
+  for pe = 0 to t.num_pes - 1 do
+    if is_down t pe && t.now >= t.down_until.(pe) then begin
+      let downtime = t.now - t.down_since.(pe) in
+      t.down_since.(pe) <- -1;
+      t.m.Metrics.recoveries <- t.m.Metrics.recoveries + 1;
+      Dgr_obs.Hist.add t.m.Metrics.lat_recovery downtime;
+      obs t (Dgr_obs.Event.Pe_recover { pe; down = downtime })
+    end
+  done;
+  match t.flt with
+  | Some f when f.Faults.spec.Faults.crash > 0.0 ->
+    for pe = 0 to t.num_pes - 1 do
+      if (not (is_down t pe)) && Faults.crash_begins f ~pe && up_count t >= 2 then begin
+        let down = Faults.down_length f in
+        crash_now t ~pe ~down
+      end
+    done
+  | _ -> ()
+
+let inject_crash t ~pe ~down =
+  if t.num_pes < 2 then invalid_arg "Engine.inject_crash: need at least 2 PEs";
+  if pe < 0 || pe >= t.num_pes then invalid_arg "Engine.inject_crash: no such PE";
+  if is_down t pe then invalid_arg "Engine.inject_crash: PE already down";
+  if up_count t < 2 then invalid_arg "Engine.inject_crash: would leave no survivor";
+  if down < 1 then invalid_arg "Engine.inject_crash: downtime must be >= 1";
+  t.crash_used <- true;
+  sync_ckpts t;
+  crash_now t ~pe ~down
+
+let pe_down t pe = pe >= 0 && pe < t.num_pes && is_down t pe
+
 let step t =
   let p0 = Profile.now () in
   (match t.recorder with Some r -> Dgr_obs.Recorder.set_now r t.now | None -> ());
@@ -1060,6 +1192,11 @@ let step t =
      checker exempts same-step births (a PE wires up its own fresh
      template vertices before they are published to anyone). *)
   Graph.bump_epoch t.g;
+  (* 0. The crash plane: checkpoint sync, recoveries, then crash dice —
+     before delivery, so frames arriving at a PE that crashes this step
+     die with it. Never entered by a machine that cannot crash, keeping
+     fault-free runs byte-identical to builds without the plane. *)
+  if t.crash_used then crash_tick t;
   (* 1. Deliver the network, straight into the destination pools (the
      delivered task's lineage ticket rides along as its pool stamp). *)
   Network.deliver_into t.net ~now:t.now ~push:(fun pe stamp task ->
@@ -1084,11 +1221,15 @@ let step t =
     end
     else begin
       for pe = 0 to t.num_pes - 1 do
-        (* Transient PE stall (crash-restart with memory preserved): the
-           PE skips its execution budget; its pool, heap and in-flight
-           messages survive. The marking plane must tolerate this — a
-           stalled PE delays but never loses its share of the cycle. *)
+        (* A crashed PE executes nothing (and rolls no stall dice) until
+           its downtime elapses. Transient PE stall (crash-restart with
+           memory preserved): the PE skips its execution budget; its
+           pool, heap and in-flight messages survive. The marking plane
+           must tolerate this — a stalled PE delays but never loses its
+           share of the cycle. *)
         let stalled =
+          t.down_since.(pe) >= 0
+          ||
           match t.flt with
           | None -> false
           | Some f ->

@@ -88,12 +88,14 @@ module Config : sig
         (** probability that a remote message takes extra (seeded-random)
             delay, reordering deliveries; 0.0 = fixed latency *)
     faults : Faults.spec;
-        (** the fault plane: seeded message drop/duplication/delay and
-            transient PE stalls, with reliable delivery layered on the
-            network (see {!Faults} and {!Network}). [Faults.none] (the
-            default) leaves every fault path byte-identical to a machine
-            without the plane. Fault randomness rides [fault_seed]'s own
-            streams, never [seed]'s. *)
+        (** the fault plane: seeded message drop/duplication/delay,
+            transient PE stalls, and whole-PE crashes with checkpointed
+            recovery ([crash] / [crash_down_max]; see {!inject_crash}
+            for the crash semantics), with reliable delivery layered on
+            the network (see {!Faults} and {!Network}). [Faults.none]
+            (the default) leaves every fault path byte-identical to a
+            machine without the plane. Fault randomness rides
+            [fault_seed]'s own streams, never [seed]'s. *)
     batch : bool;
         (** frame batching (default true): tasks staged on the same
             (src, dst) link for the same arrival step ride one data
@@ -238,6 +240,22 @@ val inject_root_demand : t -> unit
 
 val inject : t -> Task.t -> unit
 (** Route an arbitrary task (tests and scenario builders). *)
+
+val inject_crash : t -> pe:int -> down:int -> unit
+(** Crash [pe] immediately (tests and scenario builders): its pool,
+    in-flight frames on both link directions and striped graph segment
+    are lost; the segment is restored from a checkpoint synced at the
+    moment of the call (so the restore is exact), its live vertices are
+    re-homed onto the surviving PEs, and an interrupted marking phase is
+    restarted. The PE executes nothing for [down] steps, then comes back
+    up empty-handed. Works on machines with or without a fault plane.
+    Raises [Invalid_argument] if [pe] is out of range or already down,
+    if [down < 1], or if the crash would leave fewer than one survivor.
+    Crashes driven by {!Config}'s [faults.crash] rate follow exactly this
+    path, scheduled by seeded dice at the top of each step. *)
+
+val pe_down : t -> int -> bool
+(** Whether a PE is currently crashed (always false out of range). *)
 
 val step : t -> unit
 (** One discrete step. A step with no serial-only machinery in play (no

@@ -6,18 +6,31 @@ type spec = {
   delay : float;
   stall : float;
   stall_max : int;
+  crash : float;
+  crash_down_max : int;
   fault_seed : int;
 }
 
 let none =
-  { drop = 0.0; duplicate = 0.0; delay = 0.0; stall = 0.0; stall_max = 8; fault_seed = 0 }
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    stall = 0.0;
+    stall_max = 8;
+    crash = 0.0;
+    crash_down_max = 32;
+    fault_seed = 0;
+  }
 
-let active s = s.drop > 0.0 || s.duplicate > 0.0 || s.delay > 0.0 || s.stall > 0.0
+let active s =
+  s.drop > 0.0 || s.duplicate > 0.0 || s.delay > 0.0 || s.stall > 0.0 || s.crash > 0.0
 
 type t = {
   spec : spec;
   net_rng : Rng.t;
   stall_rng : Rng.t;
+  crash_rng : Rng.t;
   mutable drops : int;
   mutable dups : int;
   mutable delays : int;
@@ -29,10 +42,16 @@ type t = {
 
 let create spec =
   let base = Rng.create (spec.fault_seed lxor 0x5eed) in
+  (* The crash stream hangs off its own base so that adding it leaves the
+     net/stall streams (and every pre-crash golden fixture) byte-identical:
+     record fields evaluate in unspecified order, so a third [split] of the
+     shared base could permute which stream each field receives. *)
+  let crash_base = Rng.create (spec.fault_seed lxor 0xc4a54) in
   {
     spec;
     net_rng = Rng.split base;
     stall_rng = Rng.split base;
+    crash_rng = Rng.split crash_base;
     drops = 0;
     dups = 0;
     delays = 0;
@@ -64,3 +83,7 @@ let extra_delay t ~latency =
 let stall_begins t ~pe:_ = roll t.stall_rng t.spec.stall
 
 let stall_length t = 1 + Rng.int t.stall_rng (Int.max 1 t.spec.stall_max)
+
+let crash_begins t ~pe:_ = roll t.crash_rng t.spec.crash
+
+let down_length t = 1 + Rng.int t.crash_rng (Int.max 1 t.spec.crash_down_max)

@@ -12,6 +12,19 @@ open Dgr_util
     then re-earn the exactly-once-effect guarantee the marking and
     reduction planes rely on.
 
+    Beyond stalls, a PE can {e crash}: its task pool, its striped vertex
+    segment and every frame in flight on links touching it (both
+    directions) are lost, and the PE stays down for a seeded number of
+    steps before recovering empty-handed. The engine owns the recovery
+    machinery (per-PE incremental checkpoints, vid re-homing to the
+    survivors, mark-wave restart — see {!Dgr_sim.Engine}); this module
+    only rolls the dice and carries the knobs. Crash assumptions: at
+    least one PE always survives (a crash that would down the last
+    standing PE is suppressed), crashed memory is fail-stop (never
+    corrupt, simply gone), and the checkpoint a PE recovers from is the
+    one synced at the top of the crash step, so no acknowledged graph
+    state is ever rolled back.
+
     All randomness comes from [fault_seed], on streams separate from the
     engine's scheduling seed, so a (config, seed, fault-spec) triple
     replays byte-identically and fault rates can vary without perturbing
@@ -23,6 +36,8 @@ type spec = {
   delay : float;  (** P(a frame takes extra, seeded delay — reordering) *)
   stall : float;  (** per-PE, per-step P(a transient stall begins) *)
   stall_max : int;  (** longest stall, in steps (min 1) *)
+  crash : float;  (** per-PE, per-step P(a whole-PE crash begins) *)
+  crash_down_max : int;  (** longest downtime after a crash, in steps (min 1) *)
   fault_seed : int;
 }
 
@@ -36,6 +51,9 @@ type t = {
   spec : spec;
   net_rng : Rng.t;  (** rolls for frame faults, in transmission order *)
   stall_rng : Rng.t;  (** rolls for PE stalls, one per (step, pe) *)
+  crash_rng : Rng.t;
+      (** rolls for PE crashes, one per (step, up PE); an independent
+          stream so crash rates never perturb the net/stall schedules *)
   mutable drops : int;
   mutable dups : int;
   mutable delays : int;
@@ -63,3 +81,11 @@ val stall_begins : t -> pe:int -> bool
 
 val stall_length : t -> int
 (** [1 + uniform stall_max] steps. *)
+
+val crash_begins : t -> pe:int -> bool
+(** Roll the crash fault for one (step, up PE). As with stalls, [pe] is
+    documentation — the engine's ascending-PE roll order is what keeps
+    the stream deterministic at every domain count. *)
+
+val down_length : t -> int
+(** [1 + uniform crash_down_max] steps of downtime. *)

@@ -22,6 +22,11 @@ type t = {
   mutable dup_suppressed : int;
   mutable stalls : int;
   mutable stall_steps : int;
+  (* crash plane (serial-only; never absorbed) *)
+  mutable crashes : int;
+  mutable recoveries : int;
+  mutable crash_rehomed : int;
+  mutable crash_lost_tasks : int;
   mutable frames_sent : int;
   mutable acks_sent : int;
   mutable acks_piggybacked : int;
@@ -34,6 +39,8 @@ type t = {
   lat_queue : Dgr_obs.Hist.t;
   lat_net : Dgr_obs.Hist.t;
   lat_retx : Dgr_obs.Hist.t;
+  (* downtime per crash→recover episode (serial-only; never absorbed) *)
+  lat_recovery : Dgr_obs.Hist.t;
   (* watchdog verdicts (serial-only; never absorbed) *)
   mutable health_mark_stalls : int;
   mutable health_quiescence_stalls : int;
@@ -63,6 +70,10 @@ let create () =
     dup_suppressed = 0;
     stalls = 0;
     stall_steps = 0;
+    crashes = 0;
+    recoveries = 0;
+    crash_rehomed = 0;
+    crash_lost_tasks = 0;
     frames_sent = 0;
     acks_sent = 0;
     acks_piggybacked = 0;
@@ -72,6 +83,7 @@ let create () =
     lat_queue = Dgr_obs.Hist.create ();
     lat_net = Dgr_obs.Hist.create ();
     lat_retx = Dgr_obs.Hist.create ();
+    lat_recovery = Dgr_obs.Hist.create ();
     health_mark_stalls = 0;
     health_quiescence_stalls = 0;
     health_retx_storms = 0;
@@ -109,7 +121,9 @@ let absorb t src =
    statistics for the sampled series; field order is fixed and floats are
    printed with a fixed precision, so equal metrics serialize to equal
    bytes (the bench trajectories diff these files). *)
-let schema_version = 3
+(* v4: crash counters (crashes/recoveries/crash_rehomed/crash_lost_tasks)
+   and the "recovery" latency histogram. *)
+let schema_version = 4
 
 let to_json t =
   let b = Buffer.create 512 in
@@ -131,15 +145,20 @@ let to_json t =
     t.peak_live t.deadlocks_recovered t.msgs_dropped t.msgs_duplicated t.msgs_delayed
     t.retransmits t.dup_suppressed t.stalls t.stall_steps;
   Printf.bprintf b
+    ",\"crashes\":%d,\"recoveries\":%d,\"crash_rehomed\":%d,\"crash_lost_tasks\":%d"
+    t.crashes t.recoveries t.crash_rehomed t.crash_lost_tasks;
+  Printf.bprintf b
     ",\"frames_sent\":%d,\"acks_sent\":%d,\"acks_piggybacked\":%d,\"tasks_sent\":%d,\"marks_coalesced\":%d,\"tasks_per_frame\":%.2f"
     t.frames_sent t.acks_sent t.acks_piggybacked t.tasks_sent t.marks_coalesced
     (if t.frames_sent = 0 then 0.0
      else float_of_int t.tasks_sent /. float_of_int t.frames_sent);
-  Printf.bprintf b ",\"latency\":{\"e2e\":%s,\"queue\":%s,\"net\":%s,\"retx\":%s}"
+  Printf.bprintf b
+    ",\"latency\":{\"e2e\":%s,\"queue\":%s,\"net\":%s,\"retx\":%s,\"recovery\":%s}"
     (Dgr_obs.Hist.to_json t.lat_e2e)
     (Dgr_obs.Hist.to_json t.lat_queue)
     (Dgr_obs.Hist.to_json t.lat_net)
-    (Dgr_obs.Hist.to_json t.lat_retx);
+    (Dgr_obs.Hist.to_json t.lat_retx)
+    (Dgr_obs.Hist.to_json t.lat_recovery);
   Printf.bprintf b
     ",\"health\":{\"mark_wave_stalls\":%d,\"quiescence_stalls\":%d,\"retransmit_storms\":%d}}"
     t.health_mark_stalls t.health_quiescence_stalls t.health_retx_storms;
@@ -179,6 +198,10 @@ let pp_summary fmt t =
       (Dgr_obs.Hist.percentile t.lat_e2e 99.9)
       (Dgr_obs.Hist.max_value t.lat_e2e)
       (Dgr_obs.Hist.count t.lat_e2e);
+  if t.crashes > 0 || t.recoveries > 0 then
+    Format.fprintf fmt
+      "@ @[crashes: crashed=%d recovered=%d rehomed=%d lost_tasks=%d@]"
+      t.crashes t.recoveries t.crash_rehomed t.crash_lost_tasks;
   if t.health_mark_stalls > 0 || t.health_quiescence_stalls > 0
      || t.health_retx_storms > 0 then
     Format.fprintf fmt

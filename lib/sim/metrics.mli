@@ -25,6 +25,11 @@ type t = {
   mutable dup_suppressed : int;  (** redeliveries swallowed by dedup *)
   mutable stalls : int;  (** transient PE stalls begun *)
   mutable stall_steps : int;  (** execution steps lost to stalls *)
+  mutable crashes : int;  (** whole-PE crashes (pool/segment/links lost) *)
+  mutable recoveries : int;  (** crashed PEs that came back up *)
+  mutable crash_rehomed : int;  (** live vertices moved off crashed PEs *)
+  mutable crash_lost_tasks : int;
+      (** tasks destroyed by crashes (pool + undelivered in-flight) *)
   mutable frames_sent : int;  (** data frames flushed (initial sends) *)
   mutable acks_sent : int;  (** standalone cumulative-ack frames *)
   mutable acks_piggybacked : int;  (** cum acks riding reverse data frames *)
@@ -36,6 +41,8 @@ type t = {
   lat_net : Dgr_obs.Hist.t;  (** send → fault-free arrival: link transit *)
   lat_retx : Dgr_obs.Hist.t;
       (** fault-free arrival → actual delivery: retransmit delay *)
+  lat_recovery : Dgr_obs.Hist.t;
+      (** crash → recover downtime per episode, in steps *)
   mutable health_mark_stalls : int;  (** mark-wave watchdog firings *)
   mutable health_quiescence_stalls : int;  (** progress watchdog firings *)
   mutable health_retx_storms : int;  (** retransmit-storm windows *)

@@ -688,6 +688,83 @@ let set_link_seq t ~src ~dst n =
   sl.snd_next <- n;
   sl.snd_una <- n
 
+(* A PE crash severs every link touching [pe], both directions, all at
+   once: staged batches, unacked sends, queued frame copies, retransmit
+   timers, owed acks, and — crucially — the per-link seq state on both
+   ends, so the link restarts at fseq 0 when traffic resumes. Resetting
+   seqs without dedup false-positives is only sound because every frame
+   that could carry an old seq dies in the same call: there is nothing
+   left in the channel to collide with the reused numbers, and stale
+   timers are filtered rather than lazily dropped so a fresh send's
+   (src, dst, 0) key cannot be retransmitted by a dead PE's timer.
+   Returns the number of undelivered tasks lost; their lineage tickets
+   are dropped. Delivered-but-unacked batches lose only their ack state
+   (the receiver already has the tasks). *)
+let crash_pe t ~pe =
+  let lost = ref 0 in
+  let touches b = b.b_src = pe || b.b_dst = pe in
+  let forget_batch b =
+    let n = Vec.length b.b_tasks in
+    lost := !lost + n;
+    t.undelivered <- t.undelivered - n;
+    match t.lineage with
+    | None -> ()
+    | Some l ->
+      Vec.iter (fun stamp -> if stamp >= 0 then Dgr_obs.Lineage.drop l stamp) b.b_stamps
+  in
+  Vec.filter_in_place
+    (fun b ->
+      if touches b then begin
+        forget_batch b;
+        false
+      end
+      else true)
+    t.staged;
+  (match t.last_batch with
+  | Some b when touches b -> t.last_batch <- None
+  | Some _ | None -> ());
+  (match t.faults with
+  | None ->
+    (* ideal channel (a crash injected without a fault plane) *)
+    Pqueue.filter_in_place
+      (fun _ b ->
+        if touches b then begin
+          forget_batch b;
+          false
+        end
+        else true)
+      t.q
+  | Some _ ->
+    let victims =
+      Hashtbl.fold
+        (fun ((s, d, _) as key) p acc ->
+          if s = pe || d = pe then (key, p) :: acc else acc)
+        t.pending []
+    in
+    List.iter
+      (fun (key, p) ->
+        Hashtbl.remove t.pending key;
+        if not p.p_delivered then forget_batch p.p_batch)
+      victims;
+    Pqueue.filter_in_place
+      (fun _ frame ->
+        match frame with
+        | Data { batch = b; _ } -> not (touches b)
+        | Ack { a_src; a_dst; _ } -> a_src <> pe && a_dst <> pe)
+      t.fq;
+    Pqueue.filter_in_place (fun _ (s, d, _) -> s <> pe && d <> pe) t.timers);
+  let purge_links tbl =
+    let doomed =
+      Hashtbl.fold (fun ((s, d) as k) _ acc -> if s = pe || d = pe then k :: acc else acc) tbl []
+    in
+    List.iter (Hashtbl.remove tbl) doomed
+  in
+  purge_links t.snd;
+  purge_links t.rcv;
+  purge_links t.owed;
+  Vec.filter_in_place (fun (s, d) -> s <> pe && d <> pe) t.owed_order;
+  !lost
+
 (* Per-PE outgoing buffer for the sharded engine. A PE executing on a
    worker domain never touches the shared staging area directly: it
    posts into its private mailbox, and the engine flushes all mailboxes

@@ -157,6 +157,20 @@ val set_link_seq : t -> src:int -> dst:int -> int -> unit
 (** Test hook: fast-forward link (src, dst)'s sender sequence number to
     exercise the wraparound guard. Not for production use. *)
 
+val crash_pe : t -> pe:int -> int
+(** A PE crash, as the network sees it: discard every frame in flight on
+    links touching [pe] in either direction — staged batches, unacked
+    sends, queued copies (retransmitted duplicates included), standalone
+    acks — cancel their retransmit timers and owed acks, and reset the
+    per-link sequence state on both endpoints of every severed link, so
+    traffic after recovery restarts at seq 0. The reset cannot produce
+    dedup false-positives: every frame that could carry an old sequence
+    number on those links is removed in the same call, and stale timers
+    are filtered eagerly so a reused (src, dst, fseq) key is never fired
+    by a pre-crash timer. Returns the number of undelivered tasks lost
+    (their lineage tickets are dropped); delivered-but-unacked batches
+    lose only their ack bookkeeping. *)
+
 (** Per-PE outgoing buffer for the sharded engine: a worker-domain PE
     posts its sends here instead of staging directly; the engine flushes
     every mailbox at the step barrier in ascending PE order. Staging

@@ -54,7 +54,26 @@ let heavy_faults ?(seed = 0) () =
     delay = 0.2;
     stall = 0.05;
     stall_max = 6;
+    crash = 0.0;
+    crash_down_max = 32;
     fault_seed = seed;
+  }
+
+(* The crash-schedule adversary: a moderately lossy channel plus
+   whole-PE crashes. The crash rate and the maximum downtime (the
+   recovery delay) are keyed on the seed so the 50-seed block covers
+   rare long outages, frequent short ones, and — at rates toward the top
+   of the range on 3-4 PE machines — overlapping multi-crashes. *)
+let crash_faults ?(seed = 0) () =
+  {
+    Dgr_sim.Faults.drop = 0.05;
+    duplicate = 0.05;
+    delay = 0.1;
+    stall = 0.02;
+    stall_max = 4;
+    crash = 0.003 +. (0.003 *. float_of_int (seed mod 4));
+    crash_down_max = 1 + (seed mod 40);
+    fault_seed = seed + 1000;
   }
 
 (* Graph shapes keyed on the seed: a few to ~65 live vertices, some

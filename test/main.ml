@@ -17,6 +17,8 @@ let () =
       ("hist", T_hist.suite);
       ("jitter", T_sim.jitter_suite);
       ("faults", T_faults.suite);
+      ("checkpoint", T_checkpoint.suite);
+      ("crash", T_crash.suite);
       ("reduction", T_reduction.suite);
       ("recovery", T_reduction.recovery_suite);
       ("properties", T_properties.suite);

@@ -31,7 +31,9 @@ let test_golden_domains_4 () = check_golden ~domains:4 ()
 (* A deterministic BENCH.json is byte-reproducible: the simulation fields
    are replayed exactly and the wall-clock fields are zeroed. *)
 let test_bench_json_deterministic () =
-  let subset = [ "fib-12-concurrent"; "fib-12-faults"; "storm-tree-8k" ] in
+  let subset =
+    [ "fib-12-concurrent"; "fib-12-faults"; "fib-12-crash"; "storm-tree-8k" ]
+  in
   let run () =
     Dgr_harness.Bench.(
       to_json ~mode:"smoke" ~deterministic:true

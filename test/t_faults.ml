@@ -332,6 +332,107 @@ let test_differential_block () =
     true
     (!drops > 0 && !retx > 0 && !supp > 0)
 
+(* --- crash-schedule fuzz: whole-PE crashes vs fault-free STW ---------- *)
+
+(* The differential harness again, with the crash plane switched on: the
+   machine loses whole PEs — pool, in-flight frames, graph segment — on
+   seeded schedules whose crash rate, recovery delay ([crash_down_max])
+   and overlap (3-4 PE machines at the top rates multi-crash) are keyed
+   on the seed, recovers each from its checkpoint, and must still
+   converge on exactly the fault-free replica's live set and deadlock
+   verdict. Completion-style properties are out of bounds by design:
+   reduction tasks lost in a crash are honestly lost, and these
+   workloads carry none. Any crash rate forces the deterministic serial
+   execute path, so the whole fingerprint — clock, live set, crash and
+   marking counters — must be bit-identical at 1, 2 and 4 domains. *)
+let run_crash_differential ?(domains = 1) seed =
+  let ctx = Printf.sprintf "crash seed %d (domains %d)" seed domains in
+  let num_pes = 2 + (seed mod 3) in
+  let spec = Helpers.fuzz_spec seed in
+  let ga = Builder.random ~num_pes (Rng.create seed) spec in
+  let gb = Builder.random ~num_pes (Rng.create seed) spec in
+  let marking =
+    if seed land 1 = 0 then Dgr_core.Cycle.Tree else Dgr_core.Cycle.Flood_counters
+  in
+  let config =
+    Engine.Config.make ~num_pes ~seed ~marking ~domains
+      ~gc:(Engine.Concurrent { deadlock_every = 1; idle_gap = 8 })
+      ~faults:(Helpers.crash_faults ~seed ())
+      ()
+  in
+  let e = Engine.create ~config ga (registry ()) in
+  let rng = Rng.create ((seed * 11) + 5) in
+  let schedule = Helpers.gen_schedule rng gb ~ops:(8 + (seed mod 16)) in
+  let mut = Engine.mutator e in
+  List.iter
+    (fun op ->
+      Helpers.apply_mutation mut op;
+      for _ = 1 to Rng.int rng 6 do
+        Engine.step e
+      done)
+    schedule;
+  let c = Option.get (Engine.cycle e) in
+  let target = Dgr_core.Cycle.cycles_completed c + 6 in
+  let guard = ref 0 in
+  while Dgr_core.Cycle.cycles_completed c < target && !guard < 400_000 do
+    incr guard;
+    Engine.step e
+  done;
+  Alcotest.(check bool) (ctx ^ ": cycles keep completing under crashes") true
+    (Dgr_core.Cycle.cycles_completed c >= target);
+  let (_ : Dgr_baseline.Stw.report) =
+    Dgr_baseline.Stw.collect gb ~purge_tasks:(fun _ -> 0)
+  in
+  Helpers.check_vid_set (ctx ^ ": live set = fault-free STW live set")
+    (Vid.Set.of_list (Graph.live_vids gb))
+    (Vid.Set.of_list (Graph.live_vids ga));
+  Alcotest.(check (list string)) (ctx ^ ": machine graph validates") []
+    (Validate.check ga);
+  let oracle = Dgr_analysis.Classify.compute (Snapshot.take gb) ~tasks:[] in
+  let report = Option.get (Dgr_core.Cycle.last_report c) in
+  Helpers.check_vid_set (ctx ^ ": deadlock verdict = oracle DL'")
+    oracle.Dgr_analysis.Classify.deadlocked
+    (Vid.Set.of_list report.Dgr_core.Restructure.deadlocked);
+  let m = Engine.metrics e in
+  let live_digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ","
+            (List.map string_of_int (List.sort compare (Graph.live_vids ga)))))
+  in
+  let fp =
+    ( Engine.now e, live_digest, m.Metrics.crashes, m.Metrics.recoveries,
+      m.Metrics.crash_rehomed, m.Metrics.crash_lost_tasks,
+      m.Metrics.marking_executed, m.Metrics.cycles_completed )
+  in
+  Engine.dispose e;
+  fp
+
+let test_crash_differential_block () =
+  let base = seed_base () in
+  let crashes = ref 0 and recoveries = ref 0 and rehomed = ref 0 in
+  for seed = base to base + 49 do
+    let (_, _, c, r, h, _, _, _) as fp = run_crash_differential seed in
+    crashes := !crashes + c;
+    recoveries := !recoveries + r;
+    rehomed := !rehomed + h;
+    (* every 5th seed: the same crash schedule must replay bit-identically
+       when the machine is sharded across 2 and 4 OCaml domains *)
+    if seed mod 5 = 0 then begin
+      Alcotest.(check bool)
+        (Printf.sprintf "crash seed %d: bit-identical at 2 domains" seed)
+        true
+        (run_crash_differential ~domains:2 seed = fp);
+      Alcotest.(check bool)
+        (Printf.sprintf "crash seed %d: bit-identical at 4 domains" seed)
+        true
+        (run_crash_differential ~domains:4 seed = fp)
+    end
+  done;
+  Alcotest.(check bool)
+    "block-wide: crashes, recoveries and re-homings all occurred" true
+    (!crashes > 0 && !recoveries > 0 && !rehomed > 0)
+
 (* --- invariants after every step, while the channel misbehaves -------- *)
 
 let check_invariants_now seed e =
@@ -489,6 +590,8 @@ let suite =
       test_seq_wraparound_guard;
     Alcotest.test_case "differential fuzz vs STW oracle (50 seeds)" `Slow
       test_differential_block;
+    Alcotest.test_case "crash-schedule fuzz vs STW oracle (50 seeds)" `Slow
+      test_crash_differential_block;
     Alcotest.test_case "invariants hold after every step" `Slow
       test_invariants_every_step;
     Alcotest.test_case "programs compute correctly under faults" `Slow
