@@ -251,7 +251,8 @@ let experiment_cmd id trace_dir =
     Format.eprintf "dgr: %s@." msg;
     1
 
-let bench_cmd smoke deterministic domains batch out baseline list_only =
+let bench_cmd smoke deterministic domains batch out baseline alloc_budget
+    list_only =
   let module B = Dgr_harness.Bench in
   if list_only then begin
     List.iter print_endline (B.scenario_names ~smoke);
@@ -306,21 +307,50 @@ let bench_cmd smoke deterministic domains batch out baseline list_only =
       Format.printf "wrote %s (%d scenarios, mode=%s%s)@." out (List.length rows)
         mode
         (if deterministic then ", deterministic" else "");
-      match baseline with
-      | None -> Ok ()
-      | Some path ->
-        let base = In_channel.with_open_text path In_channel.input_all in
-        (match B.regressions ~threshold:0.2 ~baseline:base rows with
-        | [] ->
-          Format.printf "no steps/sec regression beyond 20%% vs %s@." path;
-          Ok ()
-        | regs ->
-          Error
-            (String.concat "; "
-               (List.map
-                  (fun (n, b, c) ->
-                    Printf.sprintf "%s regressed: %.0f -> %.0f steps/sec" n b c)
-                  regs)))
+      let rate_check =
+        match baseline with
+        | None -> Ok ()
+        | Some path -> (
+          let base = In_channel.with_open_text path In_channel.input_all in
+          match B.regressions ~threshold:0.2 ~baseline:base rows with
+          | [] ->
+            Format.printf "no steps/sec regression beyond 20%% vs %s@." path;
+            Ok ()
+          | regs ->
+            Error
+              (String.concat "; "
+                 (List.map
+                    (fun (n, b, c) ->
+                      Printf.sprintf "%s regressed: %.0f -> %.0f steps/sec" n b
+                        c)
+                    regs)))
+      in
+      let alloc_check =
+        match alloc_budget with
+        | None -> Ok ()
+        | Some path -> (
+          let doc = In_channel.with_open_text path In_channel.input_all in
+          let budgets = B.scenario_alloc_budgets doc in
+          match B.alloc_regressions ~budgets rows with
+          | [] ->
+            Format.printf "allocation within budget for every scenario in %s@."
+              path;
+            Ok ()
+          | regs ->
+            Error
+              (String.concat "; "
+                 (List.map
+                    (fun (n, b, c) ->
+                      Printf.sprintf
+                        "%s over allocation budget: %.0f > %.0f minor \
+                         words/step"
+                        n c b)
+                    regs)))
+      in
+      (match (rate_check, alloc_check) with
+      | Ok (), Ok () -> Ok ()
+      | Error a, Error b -> Error (a ^ "; " ^ b)
+      | (Error _ as e), Ok () | Ok (), (Error _ as e) -> e)
     with
     | Ok () -> 0
     | Error msg | (exception Sys_error msg) | (exception Failure msg) ->
@@ -666,6 +696,14 @@ let bench_baseline_arg =
          ~doc:"Compare steps/sec per scenario against a committed BENCH.json and exit \
                non-zero if any scenario regressed by more than 20%.")
 
+let bench_alloc_budget_arg =
+  Arg.(value & opt (some string) None & info [ "alloc-budget" ] ~docv:"PATH"
+         ~doc:"Compare minor words allocated per step against a committed \
+               per-scenario budget file and exit non-zero if any scenario \
+               exceeds its ceiling. Allocation per step is near-deterministic, \
+               so the budget is absolute — no noise tolerance. Ignored under \
+               $(b,--deterministic) (the meters are zeroed).")
+
 let bench_list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List the scenario names and exit.")
 
@@ -673,7 +711,7 @@ let bench_term =
   Term.(
     const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_domains_arg
     $ Term.app (const not) bench_no_batch_arg $ bench_out_arg $ bench_baseline_arg
-    $ bench_list_arg)
+    $ bench_alloc_budget_arg $ bench_list_arg)
 
 let bench_cmd_v =
   Cmd.v

@@ -43,7 +43,7 @@ let detect title source =
     Vid.Set.iter
       (fun v ->
         Format.printf "  deadlocked: %a labelled %a@." Vid.pp v Label.pp
-          (Graph.vertex graph v).Vertex.label)
+          (Vertex.label (Graph.vertex graph v)))
       dl;
     (* cross-check against the global oracle *)
     let sets =

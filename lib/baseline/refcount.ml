@@ -28,7 +28,7 @@ let set_on_free t f = t.on_free <- f
 let tally_message t parent child =
   if
     Graph.mem t.g parent && Graph.mem t.g child
-    && (Graph.vertex t.g parent).Vertex.pe <> (Graph.vertex t.g child).Vertex.pe
+    && (Vertex.pe (Graph.vertex t.g parent)) <> (Vertex.pe (Graph.vertex t.g child))
   then t.messages <- t.messages + 1
 
 let on_connect t parent child =
@@ -39,7 +39,7 @@ let is_root t v = Graph.has_root t.g && Vid.equal (Graph.root t.g) v
 
 let rec release t v =
   let vx = Graph.vertex t.g v in
-  if not vx.Vertex.free then begin
+  if not (Vertex.free vx) then begin
     let children = Vertex.args vx in
     t.reclaimed <- t.reclaimed + 1;
     t.on_free v;
@@ -80,8 +80,8 @@ let leaked t =
   in
   Graph.fold_live
     (fun acc v ->
-      if (not (Vid.Set.mem v.Vertex.id reachable)) && count t v.Vertex.id > 0 then
-        v.Vertex.id :: acc
+      if (not (Vid.Set.mem (Vertex.id v) reachable)) && count t (Vertex.id v) > 0 then
+        (Vertex.id v) :: acc
       else acc)
     [] t.g
   |> List.rev

@@ -11,7 +11,7 @@ let collect g ~purge_tasks =
   in
   let garbage =
     Graph.fold_live
-      (fun acc v -> if Vid.Set.mem v.Vertex.id reachable then acc else v.Vertex.id :: acc)
+      (fun acc v -> if Vid.Set.mem (Vertex.id v) reachable then acc else (Vertex.id v) :: acc)
       [] g
   in
   let gar_set = Vid.Set.of_list garbage in
@@ -25,12 +25,8 @@ let collect g ~purge_tasks =
   (* Dangling requester entries, as in the concurrent restructure. *)
   Graph.iter_live
     (fun v ->
-      if Vid.Set.mem v.Vertex.id reachable then
-        v.Vertex.requested <-
-          List.filter
-            (fun (e : Vertex.request_entry) ->
-              match e.Vertex.who with Some r -> not (Vid.Set.mem r gar_set) | None -> true)
-            v.Vertex.requested)
+      if Vid.Set.mem (Vertex.id v) reachable then
+        Vertex.retain_requesters v (fun r -> not (Vid.Set.mem r gar_set)))
     g;
   List.iter (Graph.release g) garbage;
   let marked = Vid.Set.cardinal reachable in

@@ -29,6 +29,8 @@ type t = {
   mutable mt_run : Run.t option;
   mutable mr_flood : Flood.t option;
   mutable mt_flood : Flood.t option;
+  mutable mr_h : handler option;  (* cached boxed handlers: the dispatch *)
+  mutable mt_h : handler option;  (* runs per marking task, so no re-boxing *)
   mutable detector : Termination.t;
   mutable mt_ran_this_cycle : bool;
   mutable cycles : int;
@@ -55,6 +57,8 @@ let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) ?recor
     mt_run = None;
     mr_flood = None;
     mt_flood = None;
+    mr_h = None;
+    mt_h = None;
     detector = Termination.create ~window:detection_window;
     mt_ran_this_cycle = false;
     cycles = 0;
@@ -98,20 +102,22 @@ let start_mark_root t =
   | Tree ->
     let run = Run.create t.g Run.Priority in
     t.mr_run <- Some run;
+    t.mr_h <- Some (Tree_run run);
     Mutator.set_active t.mut [ run ];
     if Graph.has_root t.g then begin
       let root = Graph.root t.g in
-      if not (Graph.vertex t.g root).Vertex.free then seed run t.env root
+      if not (Vertex.free (Graph.vertex t.g root)) then seed run t.env root
     end;
     Run.check_trivially_finished run
   | Flood_counters ->
     let fl = Flood.create t.g Run.Priority in
     t.mr_flood <- Some fl;
+    t.mr_h <- Some (Flood_run fl);
     t.detector <- Termination.create ~window:t.detection_window;
     Mutator.set_active_flood t.mut [ fl ];
     if Graph.has_root t.g then begin
       let root = Graph.root t.g in
-      if not (Graph.vertex t.g root).Vertex.free then flood_seed fl t.env root
+      if not (Vertex.free (Graph.vertex t.g root)) then flood_seed fl t.env root
     end
 
 let start_mark_tasks t =
@@ -125,18 +131,20 @@ let start_mark_tasks t =
   | Tree ->
     let run = Run.create t.g Run.Tasks in
     t.mt_run <- Some run;
+    t.mt_h <- Some (Tree_run run);
     Mutator.set_active t.mut [ run ];
     Vid.Set.iter
-      (fun v -> if not (Graph.vertex t.g v).Vertex.free then seed run t.env v)
+      (fun v -> if not (Vertex.free (Graph.vertex t.g v)) then seed run t.env v)
       seeds;
     Run.check_trivially_finished run
   | Flood_counters ->
     let fl = Flood.create t.g Run.Tasks in
     t.mt_flood <- Some fl;
+    t.mt_h <- Some (Flood_run fl);
     t.detector <- Termination.create ~window:t.detection_window;
     Mutator.set_active_flood t.mut [ fl ];
     Vid.Set.iter
-      (fun v -> if not (Graph.vertex t.g v).Vertex.free then flood_seed fl t.env v)
+      (fun v -> if not (Vertex.free (Graph.vertex t.g v)) then flood_seed fl t.env v)
       seeds
 
 (* Crash recovery: a PE loss invalidates the wave in progress — marks it
@@ -210,6 +218,8 @@ let finish_cycle t =
   t.mt_run <- None;
   t.mr_flood <- None;
   t.mt_flood <- None;
+  t.mr_h <- None;
+  t.mt_h <- None;
   report
 
 (* Flood-scheme completion: the per-PE counters balance and stay balanced
@@ -242,11 +252,7 @@ let poll t =
 let run_for_plane t = function Plane.MR -> t.mr_run | Plane.MT -> t.mt_run
 
 let handler_for_plane t plane =
-  match (t.cycle_scheme, plane) with
-  | Tree, Plane.MR -> Option.map (fun r -> Tree_run r) t.mr_run
-  | Tree, Plane.MT -> Option.map (fun r -> Tree_run r) t.mt_run
-  | Flood_counters, Plane.MR -> Option.map (fun f -> Flood_run f) t.mr_flood
-  | Flood_counters, Plane.MT -> Option.map (fun f -> Flood_run f) t.mt_flood
+  match plane with Plane.MR -> t.mr_h | Plane.MT -> t.mt_h
 
 let cycles_completed t = t.cycles
 

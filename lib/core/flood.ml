@@ -51,15 +51,13 @@ let seed_for t v = mark_task_for t ~v ~prior:3
 
 let mark_task t ~v ~prior = mark_task_for t ~v ~prior
 
-let spawn_children t ~pe ~v ~prior =
+let spawn_children t ~pe ~v ~prior ~emit =
   let g = t.graph in
-  List.map
-    (fun c ->
+  Trace.iter_children g t.plane v (fun c ->
       count_seed t ~pe;
-      mark_task_for t ~v:c ~prior:(Trace.child_priority g v prior c))
-    (Trace.children g t.plane v)
+      emit (mark_task_for t ~v:c ~prior:(Trace.child_priority g v prior c)))
 
-let execute t ~pe task =
+let execute t ~pe ~emit task =
   (match task with
   | Return _ -> invalid_arg "Flood.execute: this scheme has no return tasks"
   | Mark1 _ | Mark2 _ | Mark3 _ ->
@@ -71,21 +69,21 @@ let execute t ~pe task =
   | Mark1 { v; _ } | Mark3 { v; _ } ->
     let vx = Graph.vertex t.graph v in
     let plane = Vertex.plane vx t.plane in
-    if vx.Vertex.free || Plane.marked plane then []
+    if (Vertex.free vx) || Plane.marked plane then ()
     else begin
       Plane.mark plane;
-      spawn_children t ~pe ~v ~prior:3
+      spawn_children t ~pe ~v ~prior:3 ~emit
     end
   | Mark2 { v; prior; _ } ->
     let vx = Graph.vertex t.graph v in
     let plane = Vertex.plane vx t.plane in
-    if vx.Vertex.free then []
-    else if Plane.marked plane && prior <= plane.Plane.prior then []
+    if (Vertex.free vx) then ()
+    else if Plane.marked plane && prior <= (Plane.prior plane) then ()
     else begin
       (* first visit, or a strictly higher priority: (re-)flood *)
       Plane.mark plane;
-      plane.Plane.prior <- prior;
-      spawn_children t ~pe ~v ~prior
+      Plane.set_prior plane @@ prior;
+      spawn_children t ~pe ~v ~prior ~emit
     end
 
 let sent_total t = Array.fold_left ( + ) 0 t.sent

@@ -39,10 +39,11 @@ type t = {
 val create : Graph.t -> Run.variant -> t
 (** The plane is implied by the variant, as in {!Run}. *)
 
-val execute : t -> pe:int -> Task.mark -> Task.mark list
-(** Execute one mark task on PE [pe]; returns the spawned tasks (already
-    counted as sent by [pe]). [Return] tasks are rejected — this scheme
-    never creates them. *)
+val execute : t -> pe:int -> emit:(Task.mark -> unit) -> Task.mark -> unit
+(** Execute one mark task on PE [pe]; each spawned task is handed to
+    [emit] as it is created (already counted as sent by [pe]) — no list
+    is built. [Return] tasks are rejected — this scheme never creates
+    them. *)
 
 val seed_for : t -> Vid.t -> Task.mark
 

@@ -28,12 +28,12 @@ let check run ~pending =
     Graph.fold_live
       (fun acc c ->
         let p = Vertex.plane c plane_id in
-        if Plane.transient p && p.Plane.par = Plane.Parent v then acc + 1 else acc)
+        if Plane.transient p && (Plane.par p) = Plane.Parent v then acc + 1 else acc)
       0 g
   in
   Graph.iter_live
     (fun vx ->
-      let v = vx.Vertex.id in
+      let v = (Vertex.id vx) in
       let p = Vertex.plane vx plane_id in
       let children = Trace.children g plane_id v in
       if Plane.transient p then
@@ -48,14 +48,14 @@ let check run ~pending =
           (fun c ->
             let cv = Graph.vertex g c in
             if
-              (not cv.Vertex.free)
+              (not (Vertex.free cv))
               && Plane.unmarked (Vertex.plane cv plane_id)
               && not (pending_mark_on c)
             then err "invariant 2: marked v%d points to unmarked v%d with no pending mark" v c)
           children;
       let expected = credits v + transient_children_of v in
-      if p.Plane.cnt <> expected then
-        err "invariant 3: v%d has mt-cnt=%d but %d unreturned tasks" v p.Plane.cnt expected)
+      if (Plane.cnt p) <> expected then
+        err "invariant 3: v%d has mt-cnt=%d but %d unreturned tasks" v (Plane.cnt p) expected)
     g;
   List.rev !errors
 
@@ -76,12 +76,12 @@ let ownership_guard g ~current_pe v =
   if pe >= 0 then begin
     let vx = Graph.vertex g v in
     if
-      (not vx.Vertex.free)
-      && vx.Vertex.birth < Graph.epoch g
-      && vx.Vertex.pe <> pe
+      (not (Vertex.free vx))
+      && (Vertex.birth vx) < Graph.epoch g
+      && (Vertex.pe vx) <> pe
     then
       failwith
         (Printf.sprintf
            "Invariants.ownership: task at PE %d mutated v%d owned by PE %d" pe v
-           vx.Vertex.pe)
+           (Vertex.pe vx))
   end

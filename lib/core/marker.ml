@@ -8,93 +8,81 @@ let bad_task run task =
        run)
 
 (* Shared by mark1/mark3 (the non-priority variants): trace [children],
-   building the marking tree. Returns the spawned tasks. *)
-let mark_simple run ~v ~par ~children =
+   building the marking tree. Spawned tasks are handed to [emit] in the
+   order the children are traced; if no child charged the count, the
+   vertex is fully marked and owes its parent a return. *)
+let mark_simple run ~v ~par ~emit =
   let g = run.Run.graph in
   let vx = Graph.vertex g v in
   let plane = Vertex.plane vx run.Run.plane in
-  if vx.Vertex.free || not (Plane.unmarked plane) then
-    [ Return { plane = run.Run.plane; par } ]
+  if (Vertex.free vx) || not (Plane.unmarked plane) then
+    emit (Return { plane = run.Run.plane; par })
   else begin
     Plane.touch plane;
-    plane.Plane.par <- par;
-    let spawned =
-      List.map
-        (fun c ->
-          plane.Plane.cnt <- plane.Plane.cnt + 1;
-          match run.Run.variant with
+    Plane.set_par plane @@ par;
+    Trace.iter_children g run.Run.plane v (fun c ->
+        Plane.set_cnt plane @@ (Plane.cnt plane) + 1;
+        emit
+          (match run.Run.variant with
           | Run.Tasks -> Mark3 { v = c; par = Plane.Parent v }
-          | Run.Basic | Run.Priority -> Mark1 { v = c; par = Plane.Parent v })
-        children
-    in
-    if plane.Plane.cnt = 0 then begin
+          | Run.Basic | Run.Priority -> Mark1 { v = c; par = Plane.Parent v }));
+    if (Plane.cnt plane) = 0 then begin
       Plane.mark plane;
-      [ Return { plane = run.Run.plane; par } ]
+      emit (Return { plane = run.Run.plane; par })
     end
-    else spawned
   end
 
 (* Fig 5-1: the body of [modify(v,par,prior)]. *)
-let modify run ~v ~par ~prior =
+let modify run ~v ~par ~prior ~emit =
   let g = run.Run.graph in
   let vx = Graph.vertex g v in
   let plane = Vertex.plane vx run.Run.plane in
   Plane.touch plane;
-  plane.Plane.par <- par;
-  plane.Plane.prior <- prior;
-  let spawned =
-    List.map
-      (fun c ->
-        plane.Plane.cnt <- plane.Plane.cnt + 1;
-        Mark2 { v = c; par = Plane.Parent v; prior = Trace.child_priority g v prior c })
-      (Vertex.args vx)
-  in
-  if plane.Plane.cnt = 0 then begin
+  Plane.set_par plane @@ par;
+  Plane.set_prior plane @@ prior;
+  Vertex.iter_args vx (fun c ->
+      Plane.set_cnt plane @@ (Plane.cnt plane) + 1;
+      emit (Mark2 { v = c; par = Plane.Parent v; prior = Trace.child_priority g v prior c }));
+  if (Plane.cnt plane) = 0 then begin
     Plane.mark plane;
-    [ Return { plane = run.Run.plane; par } ]
+    emit (Return { plane = run.Run.plane; par })
   end
-  else spawned
 
 (* Fig 5-1: mark2. *)
-let mark_priority run ~v ~par ~prior =
+let mark_priority run ~v ~par ~prior ~emit =
   let g = run.Run.graph in
   let vx = Graph.vertex g v in
   let plane = Vertex.plane vx run.Run.plane in
-  if vx.Vertex.free then [ Return { plane = run.Run.plane; par } ]
-  else if Plane.unmarked plane then modify run ~v ~par ~prior
-  else if prior <= plane.Plane.prior then [ Return { plane = run.Run.plane; par } ]
+  if (Vertex.free vx) then emit (Return { plane = run.Run.plane; par })
+  else if Plane.unmarked plane then modify run ~v ~par ~prior ~emit
+  else if prior <= (Plane.prior plane) then emit (Return { plane = run.Run.plane; par })
   else begin
     (* Re-mark at a higher priority. If the vertex is mid-marking
        (transient), release its current parent first: the new [modify]
        re-points mt-par at the new parent, and the outstanding children
        from the previous visit still credit this vertex's count. *)
-    let release =
-      if Plane.transient plane then [ Return { plane = run.Run.plane; par = plane.Plane.par } ]
-      else []
-    in
-    release @ modify run ~v ~par ~prior
+    if Plane.transient plane then
+      emit (Return { plane = run.Run.plane; par = (Plane.par plane) });
+    modify run ~v ~par ~prior ~emit
   end
 
 (* Fig 4-1: return1. *)
-let return_task run ~par =
+let return_task run ~par ~emit =
   match par with
-  | Plane.Rootpar ->
-    Run.seed_returned run;
-    []
+  | Plane.Rootpar -> Run.seed_returned run
   | Plane.Parent v ->
     let g = run.Run.graph in
     let vx = Graph.vertex g v in
     let plane = Vertex.plane vx run.Run.plane in
-    if plane.Plane.cnt <= 0 then
+    if (Plane.cnt plane) <= 0 then
       invalid_arg (Format.asprintf "Marker: return to %a with mt-cnt=0" Vid.pp v);
-    plane.Plane.cnt <- plane.Plane.cnt - 1;
-    if plane.Plane.cnt = 0 then begin
+    Plane.set_cnt plane @@ (Plane.cnt plane) - 1;
+    if (Plane.cnt plane) = 0 then begin
       Plane.mark plane;
-      [ Return { plane = run.Run.plane; par = plane.Plane.par } ]
+      emit (Return { plane = run.Run.plane; par = (Plane.par plane) })
     end
-    else []
 
-let execute run task =
+let execute run ~emit task =
   (match task with
   | Return _ -> ()
   | Mark1 _ | Mark2 _ | Mark3 _ ->
@@ -102,22 +90,22 @@ let execute run task =
   match (task, run.Run.variant) with
   | Mark1 { v; par }, Run.Basic ->
     run.Run.marks_executed <- run.Run.marks_executed + 1;
-    mark_simple run ~v ~par ~children:(Trace.children run.Run.graph Plane.MR v)
+    mark_simple run ~v ~par ~emit
   | Mark1 { v; par }, Run.Priority ->
     (* mark1 inside an M_R run happens only via legacy callers; treat it
        as a priority-less mark2 at the lowest priority. *)
     run.Run.marks_executed <- run.Run.marks_executed + 1;
-    mark_priority run ~v ~par ~prior:1
+    mark_priority run ~v ~par ~prior:1 ~emit
   | Mark2 { v; par; prior }, Run.Priority ->
     run.Run.marks_executed <- run.Run.marks_executed + 1;
-    mark_priority run ~v ~par ~prior
+    mark_priority run ~v ~par ~prior ~emit
   | Mark3 { v; par }, Run.Tasks ->
     run.Run.marks_executed <- run.Run.marks_executed + 1;
-    mark_simple run ~v ~par ~children:(Trace.children run.Run.graph Plane.MT v)
+    mark_simple run ~v ~par ~emit
   | Return { plane; par }, _ ->
     if plane <> run.Run.plane then bad_task run task;
     run.Run.returns_executed <- run.Run.returns_executed + 1;
-    return_task run ~par
+    return_task run ~par ~emit
   | (Mark1 _ | Mark2 _ | Mark3 _), _ -> bad_task run task
 
 let seed_for run v =

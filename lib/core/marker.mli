@@ -3,16 +3,17 @@ open Dgr_task
 
 (** Atomic execution of marking tasks (Figs 4-1, 5-1, 5-3).
 
-    [execute run task] runs one marking task to completion against the
-    run's plane and returns the mark tasks it spawns. Task execution is
-    atomic with respect to the vertex it manipulates (§2.1); in the
-    simulator the spawned tasks travel through the network, in the
-    synchronous engine they are queued locally. A mark task addressed to a
-    free vertex degenerates to an immediate return (its target was
-    reclaimed by an earlier cycle's restructuring; the next cycle will see
-    the truth). *)
+    [execute run ~emit task] runs one marking task to completion against
+    the run's plane, handing each spawned mark task to [emit] as it is
+    created — no intermediate list is built, so the marking inner loop
+    does not allocate. Task execution is atomic with respect to the
+    vertex it manipulates (§2.1); in the simulator [emit] sends the task
+    through the network, in the synchronous engine it queues locally. A
+    mark task addressed to a free vertex degenerates to an immediate
+    return (its target was reclaimed by an earlier cycle's restructuring;
+    the next cycle will see the truth). *)
 
-val execute : Run.t -> Task.mark -> Task.mark list
+val execute : Run.t -> emit:(Task.mark -> unit) -> Task.mark -> unit
 (** Raises [Invalid_argument] if the task does not belong to the run
     (wrong plane / variant). *)
 

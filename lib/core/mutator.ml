@@ -14,6 +14,11 @@ type t = {
   mutable guard : Vid.t -> unit;
   mutable total_coop_spawned : int;
   mutable total_coop_closure : int;
+  (* Scratch stack for the synchronous marking closures, (vid, prior)
+     pairs interleaved. Reused across calls — the closures never nest —
+     so the traversal allocates nothing once the stack has grown. *)
+  mutable stk : int array;
+  mutable stk_n : int;
 }
 
 let nop2 _ _ = ()
@@ -31,7 +36,20 @@ let create ?(on_connect = nop2) ?(on_disconnect = nop2) ?recorder ~spawn graph =
     guard = ignore;
     total_coop_spawned = 0;
     total_coop_closure = 0;
+    stk = Array.make 32 0;
+    stk_n = 0;
   }
+
+let stk_push t v prior =
+  let n = t.stk_n in
+  if 2 * (n + 1) > Array.length t.stk then begin
+    let a = Array.make (4 * (n + 1)) 0 in
+    Array.blit t.stk 0 a 0 (2 * n);
+    t.stk <- a
+  end;
+  t.stk.(2 * n) <- v;
+  t.stk.((2 * n) + 1) <- prior;
+  t.stk_n <- n + 1
 
 let obs t kind =
   match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
@@ -56,29 +74,25 @@ let flood_cooperate_edge t (fl : Flood.t) ~parent ~child =
   let g = t.graph in
   let pplane = Vertex.plane (Graph.vertex g parent) fl.Flood.plane in
   if Plane.marked pplane then begin
-    let stack =
-      ref [ (child, Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child) ]
-    in
+    t.stk_n <- 0;
+    stk_push t child (Trace.child_priority g parent (Int.max 1 (Plane.prior pplane)) child);
     let marked_here = ref 0 in
-    while !stack <> [] do
-      match !stack with
-      | [] -> ()
-      | (v, prior) :: rest ->
-        stack := rest;
-        let vx = Graph.vertex g v in
-        let plane = Vertex.plane vx fl.Flood.plane in
-        if
-          (not vx.Vertex.free)
-          && ((not (Plane.marked plane)) || prior > plane.Plane.prior)
-        then begin
-          Plane.mark plane;
-          plane.Plane.prior <- prior;
-          t.total_coop_closure <- t.total_coop_closure + 1;
-          incr marked_here;
-          List.iter
-            (fun c -> stack := (c, Trace.child_priority g v prior c) :: !stack)
-            (Trace.children g fl.Flood.plane v)
-        end
+    while t.stk_n > 0 do
+      t.stk_n <- t.stk_n - 1;
+      let v = t.stk.(2 * t.stk_n) and prior = t.stk.((2 * t.stk_n) + 1) in
+      let vx = Graph.vertex g v in
+      let plane = Vertex.plane vx fl.Flood.plane in
+      if
+        (not (Vertex.free vx))
+        && ((not (Plane.marked plane)) || prior > (Plane.prior plane))
+      then begin
+        Plane.mark plane;
+        Plane.set_prior plane @@ prior;
+        t.total_coop_closure <- t.total_coop_closure + 1;
+        incr marked_here;
+        Trace.iter_children g fl.Flood.plane v (fun c ->
+            stk_push t c (Trace.child_priority g v prior c))
+      end
     done;
     obs_closure t ~from:child ~marked:!marked_here
   end
@@ -100,7 +114,7 @@ let mark_task_for run ~v ~par ~prior =
    (invariant 1 lets a transient vertex carry new outstanding tasks). *)
 let charge_and_spawn t run ~parent ~child ~prior =
   let plane = Vertex.plane (Graph.vertex t.graph parent) run.Run.plane in
-  plane.Plane.cnt <- plane.Plane.cnt + 1;
+  Plane.set_cnt plane @@ (Plane.cnt plane) + 1;
   run.Run.coop_spawns <- run.Run.coop_spawns + 1;
   t.total_coop_spawned <- t.total_coop_spawned + 1;
   obs t (Dgr_obs.Event.Coop_spawn { pe = t.coop_pe (); parent; child });
@@ -112,26 +126,24 @@ let charge_and_spawn t run ~parent ~child ~prior =
    no returns are owed; transient vertices are left to their own marking
    subtree. Priorities propagate with min(prior, request-type). *)
 let closure t run ~from ~prior =
-  let stack = ref [ (from, prior) ] in
   let g = t.graph in
+  t.stk_n <- 0;
+  stk_push t from prior;
   let marked_here = ref 0 in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | (v, prior) :: rest ->
-      stack := rest;
-      let vx = Graph.vertex g v in
-      let plane = Vertex.plane vx run.Run.plane in
-      if (not vx.Vertex.free) && Plane.unmarked plane then begin
-        Plane.mark plane;
-        plane.Plane.prior <- prior;
-        run.Run.coop_closure <- run.Run.coop_closure + 1;
-        t.total_coop_closure <- t.total_coop_closure + 1;
-        incr marked_here;
-        List.iter
-          (fun c -> stack := (c, Trace.child_priority g v prior c) :: !stack)
-          (Trace.children g run.Run.plane v)
-      end
+  while t.stk_n > 0 do
+    t.stk_n <- t.stk_n - 1;
+    let v = t.stk.(2 * t.stk_n) and prior = t.stk.((2 * t.stk_n) + 1) in
+    let vx = Graph.vertex g v in
+    let plane = Vertex.plane vx run.Run.plane in
+    if (not (Vertex.free vx)) && Plane.unmarked plane then begin
+      Plane.mark plane;
+      Plane.set_prior plane @@ prior;
+      run.Run.coop_closure <- run.Run.coop_closure + 1;
+      t.total_coop_closure <- t.total_coop_closure + 1;
+      incr marked_here;
+      Trace.iter_children g run.Run.plane v (fun c ->
+          stk_push t c (Trace.child_priority g v prior c))
+    end
   done;
   obs_closure t ~from ~marked:!marked_here
 
@@ -140,11 +152,11 @@ let cooperate_edge t run ~parent ~child =
   let g = t.graph in
   let pplane = Vertex.plane (Graph.vertex g parent) run.Run.plane in
   if Plane.transient pplane then begin
-    let prior = Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child in
+    let prior = Trace.child_priority g parent (Int.max 1 (Plane.prior pplane)) child in
     charge_and_spawn t run ~parent ~child ~prior
   end
   else if Plane.marked pplane then begin
-    let prior = Trace.child_priority g parent (Int.max 1 pplane.Plane.prior) child in
+    let prior = Trace.child_priority g parent (Int.max 1 (Plane.prior pplane)) child in
     closure t run ~from:child ~prior
   end
 
@@ -167,18 +179,17 @@ let witness_cooperate t run ~a ~b ~c =
   let pa = Vertex.plane (Graph.vertex g a) run.Run.plane in
   let pb = Vertex.plane (Graph.vertex g b) run.Run.plane in
   if Plane.transient pa && Plane.unmarked pb then begin
-    let prior = Trace.child_priority g a (Int.max 1 pa.Plane.prior) c in
+    let prior = Trace.child_priority g a (Int.max 1 (Plane.prior pa)) c in
     charge_and_spawn t run ~parent:a ~child:c ~prior
   end
   else if Plane.marked pa && Plane.transient pb then begin
     (* execute mark(c,b) synchronously, charged to the transient b. *)
-    pb.Plane.cnt <- pb.Plane.cnt + 1;
+    Plane.set_cnt pb @@ (Plane.cnt pb) + 1;
     run.Run.coop_spawns <- run.Run.coop_spawns + 1;
     t.total_coop_spawned <- t.total_coop_spawned + 1;
     obs t (Dgr_obs.Event.Coop_spawn { pe = t.coop_pe (); parent = b; child = c });
-    let prior = Trace.child_priority g b (Int.max 1 pb.Plane.prior) c in
-    let spawned = Marker.execute run (mark_task_for run ~v:c ~par:(Plane.Parent b) ~prior) in
-    List.iter t.spawn spawned
+    let prior = Trace.child_priority g b (Int.max 1 (Plane.prior pb)) c in
+    Marker.execute run ~emit:t.spawn (mark_task_for run ~v:c ~par:(Plane.Parent b) ~prior)
   end
   (* marked a / marked b: c is at least transient by invariant 2;
      unmarked a, or transient a with non-unmarked b: covered by b. *)
@@ -213,7 +224,7 @@ let expand_node t ~a ~entry =
          min(prior(a), request-type) = 1 (Fig 5-1); if the caller records
          demand on the spliced edge afterwards, the upgrade waits for the
          next cycle (§5.3's "simply wait" option). *)
-      let prior = Trace.child_priority t.graph a (Int.max 1 pa.Plane.prior) entry in
+      let prior = Trace.child_priority t.graph a (Int.max 1 (Plane.prior pa)) entry in
       if Plane.marked pa then closure t run ~from:entry ~prior
       else if Plane.transient pa then charge_and_spawn t run ~parent:a ~child:entry ~prior)
     t.active;

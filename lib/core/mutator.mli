@@ -50,6 +50,10 @@ type t = {
           installs the debug ownership-discipline check here. *)
   mutable total_coop_spawned : int;
   mutable total_coop_closure : int;
+  mutable stk : int array;
+      (** scratch stack for the synchronous marking closures — (vid,
+          prior) pairs interleaved, reused across calls *)
+  mutable stk_n : int;
 }
 
 val create :

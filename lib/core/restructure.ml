@@ -12,15 +12,15 @@ type report = {
 let collect_sets g ~deadlock_checked =
   Graph.fold_live
     (fun (gar, dl) v ->
-      let mr = v.Vertex.mr in
-      if Plane.unmarked mr then (v.Vertex.id :: gar, dl)
+      let mr = (Vertex.mr v) in
+      if Plane.unmarked mr then ((Vertex.id v) :: gar, dl)
       else begin
         let dl =
           if
             deadlock_checked && Plane.marked mr
-            && mr.Plane.prior = 3
-            && not (Plane.marked v.Vertex.mt)
-          then v.Vertex.id :: dl
+            && (Plane.prior mr) = 3
+            && not (Plane.marked (Vertex.mt v))
+          then (Vertex.id v) :: dl
           else dl
         in
         (gar, dl)
@@ -42,14 +42,10 @@ let run ~graph:g ~deadlock_checked ~purge_tasks ~reprioritize () =
   (* Dangling bookkeeping on surviving vertices. *)
   Graph.iter_live
     (fun v ->
-      if not (in_gar v.Vertex.id) then begin
-        v.Vertex.requested <-
-          List.filter
-            (fun (e : Vertex.request_entry) ->
-              match e.Vertex.who with Some r -> not (in_gar r) | None -> true)
-            v.Vertex.requested;
+      if not (in_gar (Vertex.id v)) then begin
+        Vertex.retain_requesters v (fun r -> not (in_gar r));
         (* Persist the cycle's priority verdict for pool scheduling. *)
-        if Plane.marked v.Vertex.mr then v.Vertex.sched_prior <- v.Vertex.mr.Plane.prior
+        if Plane.marked (Vertex.mr v) then Vertex.set_sched_prior v @@ Plane.prior (Vertex.mr v)
       end)
     g;
   List.iter (Graph.release g) gar;

@@ -2,15 +2,24 @@ open Dgr_graph
 
 let children g plane v =
   let vx = Graph.vertex g v in
-  if vx.Vertex.free then []
+  if (Vertex.free vx) then []
   else
     match plane with
     | Plane.MR -> Vertex.args vx
     | Plane.MT ->
       let requesters =
-        List.filter_map (fun (e : Vertex.request_entry) -> e.Vertex.who) vx.Vertex.requested
+        List.filter_map (fun (e : Vertex.request_entry) -> e.Vertex.who) (Vertex.requested vx)
       in
       requesters @ Vertex.unrequested_args vx
+
+let iter_children g plane v f =
+  let vx = Graph.vertex g v in
+  if not (Vertex.free vx) then
+    match plane with
+    | Plane.MR -> Vertex.iter_args vx f
+    | Plane.MT ->
+      Vertex.iter_requesters vx f;
+      Vertex.iter_unrequested_args vx f
 
 let child_priority g v prior c =
   let vx = Graph.vertex g v in

@@ -9,9 +9,13 @@ open Dgr_graph
     relation it changes (§5.3). *)
 
 val children : Graph.t -> Plane.id -> Vid.t -> Vid.t list
-(** Traced children of a vertex under a plane's relation. Free vertices
-    have no traced children. External requesters ([None] entries of
-    [requested]) contribute nothing. *)
+(** Traced children of a vertex under a plane's relation, as a fresh
+    list — cold paths only. Free vertices have no traced children.
+    External requesters ([None] entries of [requested]) contribute
+    nothing. *)
+
+val iter_children : Graph.t -> Plane.id -> Vid.t -> (Vid.t -> unit) -> unit
+(** Visit the traced children in {!children} order. Does not allocate. *)
 
 val child_priority : Graph.t -> Vid.t -> int -> Vid.t -> int
 (** [child_priority g v prior c] is the priority a [mark2] task spawned

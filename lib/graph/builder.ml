@@ -3,7 +3,7 @@ open Dgr_util
 let add ?pe g label args =
   let v = Graph.alloc ?pe g label in
   List.iter (Vertex.connect v) args;
-  v.Vertex.id
+  (Vertex.id v)
 
 let add_root ?pe g label args =
   let id = add ?pe g label args in
@@ -43,13 +43,13 @@ let cycle g n =
     if k = 0 then prev
     else begin
       let v = Graph.alloc g Label.Ind in
-      Vertex.connect v prev.Vertex.id;
+      Vertex.connect v (Vertex.id prev);
       extend v (k - 1)
     end
   in
   let last = extend first (n - 1) in
-  Vertex.connect first last.Vertex.id;
-  first.Vertex.id
+  Vertex.connect first (Vertex.id last);
+  (Vertex.id first)
 
 type random_spec = {
   live : int;
@@ -59,7 +59,6 @@ type random_spec = {
   cycle_bias : float;
 }
 
-let default_spec = { live = 100; garbage = 30; free_pool = 20; avg_degree = 2.0; cycle_bias = 0.2 }
 
 let placeholder_labels = [| Label.If; Label.Prim Label.Add; Label.Apply "f"; Label.Ind |]
 
@@ -134,12 +133,12 @@ let random_with_requests ?num_pes rng spec =
       List.iter
         (fun c ->
           let cv = Graph.vertex g c in
-          if not cv.Vertex.free then
+          if not (Vertex.free cv) then
             let demand =
-              if List.exists (Vid.equal c) v.Vertex.req_v then Demand.Vital else Demand.Eager
+              if List.exists (Vid.equal c) (Vertex.req_v v) then Demand.Vital else Demand.Eager
             in
             if Rng.int rng 4 <> 0 then
-              Vertex.add_requester cv (Some v.Vertex.id) ~demand ~key:c)
+              Vertex.add_requester cv (Some (Vertex.id v)) ~demand ~key:c)
         (Vertex.req_args v))
     g;
   (* The root is being demanded by the external initial task <-,root>. *)

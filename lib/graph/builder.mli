@@ -35,8 +35,6 @@ type random_spec = {
   cycle_bias : float;  (** probability that an edge targets an ancestor *)
 }
 
-val default_spec : random_spec
-
 val random : ?num_pes:int -> Dgr_util.Rng.t -> random_spec -> Graph.t
 (** A rooted random graph: [live] vertices reachable from the root (a
     spanning structure guarantees reachability, extra edges are random,

@@ -5,137 +5,64 @@
    incremental — it rewrites only the entries whose vertex changed since
    the last sync, tagging each rewritten entry with the step it was
    captured at — so steady-state cost is proportional to churn, not to
-   segment size. [restore] writes the captured fields back, rebuilding
-   missing striped slots when restoring into a fresh graph. *)
+   segment size. [restore] writes the captured state back, rebuilding
+   missing striped slots when restoring into a fresh graph.
 
-type plane_shot = {
-  p_color : Plane.color;
-  p_cnt : int;
-  p_par : Plane.parent;
-  p_prior : int;
-}
+   Entries hold [Vertex.Cells] shots: flat column-slice copies of one
+   slot's state (scalar cells, plane cells, and the row prefixes), so
+   capture/compare/restore are array blits and never traverse lists. *)
 
 type entry = {
-  mutable e_step : int;  (* step the fields below were captured at *)
-  mutable e_label : Label.t;
-  mutable e_args : Vid.t list;
-  mutable e_req_v : Vid.t list;
-  mutable e_req_e : Vid.t list;
-  mutable e_requested : Vertex.request_entry list;
-  mutable e_recv : (Vid.t * Label.value) list;
-  mutable e_pe : int;
-  mutable e_free : bool;
-  mutable e_birth : int;
-  mutable e_prior : int;
-  mutable e_mr : plane_shot;
-  mutable e_mt : plane_shot;
+  mutable e_step : int;  (* step the shot below was captured at *)
+  mutable e_shot : Vertex.Cells.shot;
 }
 
 type t = {
   g : Graph.t;
   home : int;
   entries : (Vid.t, entry) Hashtbl.t;
-  mutable free : Vid.t list;  (* home free list, pop order *)
+  free : Vid.t Dgr_util.Vec.t;  (* home free list, pop order *)
   mutable last_sync : int;  (* step of the latest sync; -1 = never *)
-  mutable refreshed : int;  (* entries rewritten by the latest sync *)
 }
 
-let create g ~pe = { g; home = pe; entries = Hashtbl.create 64; free = []; last_sync = -1; refreshed = 0 }
-
-let home t = t.home
+let create g ~pe =
+  {
+    g;
+    home = pe;
+    entries = Hashtbl.create 64;
+    free = Dgr_util.Vec.create ();
+    last_sync = -1;
+  }
 
 let last_sync t = t.last_sync
-
-let refreshed t = t.refreshed
 
 let entry_count t = Hashtbl.length t.entries
 
 let step_of t vid =
   match Hashtbl.find_opt t.entries vid with None -> None | Some e -> Some e.e_step
 
-let shoot (p : Plane.t) =
-  { p_color = p.Plane.color; p_cnt = p.Plane.cnt; p_par = p.Plane.par; p_prior = p.Plane.prior }
-
-let same_shot s (p : Plane.t) =
-  Plane.equal_color s.p_color p.Plane.color
-  && s.p_cnt = p.Plane.cnt && s.p_par = p.Plane.par && s.p_prior = p.Plane.prior
-
-let entry_of ~now (v : Vertex.t) =
-  {
-    e_step = now;
-    e_label = v.Vertex.label;
-    e_args = Vertex.args v;
-    e_req_v = v.Vertex.req_v;
-    e_req_e = v.Vertex.req_e;
-    e_requested = v.Vertex.requested;
-    e_recv = v.Vertex.recv;
-    e_pe = v.Vertex.pe;
-    e_free = v.Vertex.free;
-    e_birth = v.Vertex.birth;
-    e_prior = v.Vertex.sched_prior;
-    e_mr = shoot v.Vertex.mr;
-    e_mt = shoot v.Vertex.mt;
-  }
-
-let matches e (v : Vertex.t) =
-  Label.equal e.e_label v.Vertex.label
-  && e.e_pe = v.Vertex.pe && e.e_free = v.Vertex.free && e.e_birth = v.Vertex.birth
-  && e.e_prior = v.Vertex.sched_prior
-  && same_shot e.e_mr v.Vertex.mr && same_shot e.e_mt v.Vertex.mt
-  && e.e_args = Vertex.args v && e.e_req_v = v.Vertex.req_v && e.e_req_e = v.Vertex.req_e
-  && e.e_requested = v.Vertex.requested && e.e_recv = v.Vertex.recv
-
-let rewrite ~now e (v : Vertex.t) =
-  e.e_step <- now;
-  e.e_label <- v.Vertex.label;
-  e.e_args <- Vertex.args v;
-  e.e_req_v <- v.Vertex.req_v;
-  e.e_req_e <- v.Vertex.req_e;
-  e.e_requested <- v.Vertex.requested;
-  e.e_recv <- v.Vertex.recv;
-  e.e_pe <- v.Vertex.pe;
-  e.e_free <- v.Vertex.free;
-  e.e_birth <- v.Vertex.birth;
-  e.e_prior <- v.Vertex.sched_prior;
-  e.e_mr <- shoot v.Vertex.mr;
-  e.e_mt <- shoot v.Vertex.mt
-
+(* Sync runs every step while the crash plane is active, so the quiet
+   path must not allocate: entry lookups use [Hashtbl.find] (no option
+   box), unchanged entries refresh in place via [Cells.recapture], and
+   the free list is re-filled into a retained vector. *)
 let sync t ~now =
   let n = ref 0 in
   Graph.iter_home t.g ~pe:t.home (fun v ->
-      match Hashtbl.find_opt t.entries v.Vertex.id with
-      | None ->
-        Hashtbl.replace t.entries v.Vertex.id (entry_of ~now v);
-        incr n
-      | Some e ->
-        if not (matches e v) then begin
-          rewrite ~now e v;
+      match Hashtbl.find t.entries (Vertex.id v) with
+      | e ->
+        if not (Vertex.Cells.matches e.e_shot v) then begin
+          e.e_step <- now;
+          Vertex.Cells.recapture e.e_shot v;
           incr n
-        end);
-  t.free <- Graph.home_free_list t.g ~pe:t.home;
+        end
+      | exception Not_found ->
+        Hashtbl.replace t.entries (Vertex.id v)
+          { e_step = now; e_shot = Vertex.Cells.capture v };
+        incr n);
+  Dgr_util.Vec.clear t.free;
+  Graph.iter_home_free t.g ~pe:t.home (fun v -> Dgr_util.Vec.push t.free v);
   t.last_sync <- now;
-  t.refreshed <- !n;
   !n
-
-let restore_plane s (p : Plane.t) =
-  p.Plane.color <- s.p_color;
-  p.Plane.cnt <- s.p_cnt;
-  p.Plane.par <- s.p_par;
-  p.Plane.prior <- s.p_prior
-
-let restore_vertex e (v : Vertex.t) =
-  v.Vertex.label <- e.e_label;
-  Vertex.set_args v e.e_args;
-  v.Vertex.req_v <- e.e_req_v;
-  v.Vertex.req_e <- e.e_req_e;
-  v.Vertex.requested <- e.e_requested;
-  v.Vertex.recv <- e.e_recv;
-  v.Vertex.pe <- e.e_pe;
-  v.Vertex.free <- e.e_free;
-  v.Vertex.birth <- e.e_birth;
-  v.Vertex.sched_prior <- e.e_prior;
-  restore_plane e.e_mr v.Vertex.mr;
-  restore_plane e.e_mt v.Vertex.mt
 
 let restore ?into t =
   if t.last_sync < 0 then invalid_arg "Checkpoint.restore: never synced";
@@ -154,9 +81,10 @@ let restore ?into t =
      order) behind the checkpointed free list. *)
   let extras = ref [] in
   Graph.iter_home g ~pe:t.home (fun v ->
-      match Hashtbl.find_opt t.entries v.Vertex.id with
-      | Some e -> restore_vertex e v
+      match Hashtbl.find_opt t.entries (Vertex.id v) with
+      | Some e -> Vertex.Cells.restore e.e_shot v
       | None ->
         Vertex.reset_for_free v;
-        extras := v.Vertex.id :: !extras);
-  Graph.set_home_free_list g ~pe:t.home (t.free @ List.rev !extras)
+        extras := Vertex.id v :: !extras);
+  let base = Dgr_util.Vec.to_list t.free in
+  Graph.set_home_free_list g ~pe:t.home (base @ List.rev !extras)

@@ -33,13 +33,8 @@ val restore : ?into:Graph.t -> t -> unit
     the crash lost them. Raises [Invalid_argument] if never synced, or
     if [into]'s partition shape cannot host the checkpointed vids. *)
 
-val home : t -> int
-
 val last_sync : t -> int
 (** Step of the latest {!sync}; [-1] before the first. *)
-
-val refreshed : t -> int
-(** Entries created or rewritten by the latest {!sync}. *)
 
 val entry_count : t -> int
 

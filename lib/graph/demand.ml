@@ -6,5 +6,3 @@ let equal a b =
 let to_string = function Vital -> "vital" | Eager -> "eager"
 
 let pp fmt d = Format.pp_print_string fmt (to_string d)
-
-let priority = function Vital -> 3 | Eager -> 2

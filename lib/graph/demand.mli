@@ -12,6 +12,3 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
-
-val priority : t -> int
-(** Paper §5.1 encoding: vital = 3, eager = 2 (reserve paths = 1). *)

@@ -1,13 +1,13 @@
 let vertex_attrs (v : Vertex.t) is_root =
   let shape = if is_root then "doublecircle" else "circle" in
   let fill =
-    match v.Vertex.mr.Plane.color with
+    match Plane.color (Vertex.mr v) with
     | Plane.Marked -> "gray70"
     | Plane.Transient -> "gray90"
     | Plane.Unmarked -> "white"
   in
-  Printf.sprintf "shape=%s style=filled fillcolor=%s label=\"v%d\\n%s\"" shape fill v.Vertex.id
-    (String.escaped (Label.to_string v.Vertex.label))
+  Printf.sprintf "shape=%s style=filled fillcolor=%s label=\"v%d\\n%s\"" shape fill (Vertex.id v)
+    (String.escaped (Label.to_string (Vertex.label v)))
 
 let to_string ?(name = "g") g =
   let buf = Buffer.create 1024 in
@@ -15,23 +15,23 @@ let to_string ?(name = "g") g =
   let root = if Graph.has_root g then Some (Graph.root g) else None in
   Graph.iter_live
     (fun v ->
-      let is_root = match root with Some r -> Vid.equal r v.Vertex.id | None -> false in
-      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" v.Vertex.id (vertex_attrs v is_root));
+      let is_root = match root with Some r -> Vid.equal r (Vertex.id v) | None -> false in
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" (Vertex.id v) (vertex_attrs v is_root));
       List.iter
         (fun c ->
           let annot =
-            if List.exists (Vid.equal c) v.Vertex.req_v then " [label=\"*v\"]"
-            else if List.exists (Vid.equal c) v.Vertex.req_e then " [label=\"*e\"]"
+            if List.exists (Vid.equal c) (Vertex.req_v v) then " [label=\"*v\"]"
+            else if List.exists (Vid.equal c) (Vertex.req_e v) then " [label=\"*e\"]"
             else ""
           in
-          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" v.Vertex.id c annot))
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" (Vertex.id v) c annot))
         (Vertex.args v);
       List.iter
         (fun (e : Vertex.request_entry) ->
           match e.Vertex.who with
-          | Some r -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [style=dashed];\n" v.Vertex.id r)
+          | Some r -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [style=dashed];\n" (Vertex.id v) r)
           | None -> ())
-        v.Vertex.requested)
+        (Vertex.requested v))
     g;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -8,15 +8,28 @@ exception Out_of_vertices
    observe a half-copied backing store. The sharded engine's step barrier
    orders every push before any cross-domain read of the slot (fresh vids
    only escape their allocating PE via messages, which take a step), so
-   reads of published slots are race-free. Single writer per segment. *)
+   reads of published slots are race-free. Single writer per segment.
+
+   Each chunk owns a struct-of-arrays column set ([Vertex.cols]) holding
+   the fixed-width per-vertex state; the handle directory is parallel to
+   it. Columns obey the same no-move discipline as the handles. *)
 module Seg = struct
-  type t = { chunks : Vertex.t array array; mutable len : int }
+  type t = {
+    chunks : Vertex.t array array;
+    cols : Vertex.cols array;
+    mutable len : int;
+  }
 
   let n_chunks = 40
 
   let base_size = 512
 
-  let create () = { chunks = Array.make n_chunks [||]; len = 0 }
+  let create () =
+    {
+      chunks = Array.make n_chunks [||];
+      cols = Array.make n_chunks Vertex.empty_cols;
+      len = 0;
+    }
 
   (* chunk index and offset for slot [i]: chunk [j] starts at
      [base_size * (2^j - 1)]. *)
@@ -37,12 +50,41 @@ module Seg = struct
 
   let dummy = lazy (Vertex.create (-1) ~pe:(-1) Label.Freed)
 
-  let push t v =
+  (* Append a fresh slot, materializing the chunk (handles + columns) on
+     first touch, and return its handle. *)
+  let alloc t id ~pe label =
     let j, off = locate t.len in
-    if Array.length t.chunks.(j) = 0 then
-      t.chunks.(j) <- Array.make (base_size lsl j) (Lazy.force dummy);
+    if Array.length t.chunks.(j) = 0 then begin
+      t.cols.(j) <- Vertex.make_cols (base_size lsl j);
+      t.chunks.(j) <- Array.make (base_size lsl j) (Lazy.force dummy)
+    end;
+    let v = Vertex.attach id ~off t.cols.(j) ~pe label in
     t.chunks.(j).(off) <- v;
-    t.len <- t.len + 1
+    t.len <- t.len + 1;
+    v
+
+  let iter f t =
+    let remaining = ref t.len and j = ref 0 in
+    while !remaining > 0 do
+      let chunk = t.chunks.(!j) in
+      let n = Int.min !remaining (Array.length chunk) in
+      for off = 0 to n - 1 do
+        f (Array.unsafe_get chunk off)
+      done;
+      remaining := !remaining - n;
+      incr j
+    done
+
+  (* Bulk plane reset, one column fill per materialized chunk. Slots past
+     [len] are pristine already, so whole-chunk fills are equivalent to
+     per-slot resets. *)
+  let reset_plane t plane =
+    let remaining = ref t.len and j = ref 0 in
+    while !remaining > 0 do
+      Vertex.reset_plane_cols t.cols.(!j) plane;
+      remaining := !remaining - Int.min !remaining (Array.length t.chunks.(!j));
+      incr j
+    done
 end
 
 (* Partitioned storage, installed by [partition] once the graph stops
@@ -60,16 +102,14 @@ type part = {
   frees : Vid.t Vec.t array;
   shares : int array;  (** per-home slot budget; [max_int] = unbounded *)
   dense_counts : int array;  (** dense-prefix slots owned by each home *)
-  allocs : int array;
 }
 
 type t = {
-  verts : Vertex.t Vec.t;
+  dense : Seg.t;
   free : Vid.t Vec.t;
   mutable num_pes : int;
   mutable root : Vid.t option;
   mutable next_pe : int;
-  mutable allocations : int;
   mutable releases : int;
   mutable capacity : int option;
   mutable part : part option;
@@ -79,12 +119,11 @@ type t = {
 let create ?(num_pes = 1) () =
   if num_pes <= 0 then invalid_arg "Graph.create: num_pes must be positive";
   {
-    verts = Vec.create ();
+    dense = Seg.create ();
     free = Vec.create ();
     num_pes;
     root = None;
     next_pe = 0;
-    allocations = 0;
     releases = 0;
     capacity = None;
     part = None;
@@ -92,7 +131,7 @@ let create ?(num_pes = 1) () =
   }
 
 let vertex_count t =
-  Vec.length t.verts
+  Seg.length t.dense
   + match t.part with
     | None -> 0
     | Some p -> Array.fold_left (fun acc s -> acc + Seg.length s) 0 p.segs
@@ -122,7 +161,7 @@ let partition t ~pes =
   if pes <= 0 then invalid_arg "Graph.partition: pes must be positive";
   if t.part <> None then invalid_arg "Graph.partition: already partitioned";
   t.num_pes <- pes;
-  let base = Vec.length t.verts in
+  let base = Seg.length t.dense in
   let dense_counts = Array.init pes (fun h -> share_of base pes h) in
   let shares =
     match t.capacity with
@@ -141,7 +180,6 @@ let partition t ~pes =
         frees;
         shares;
         dense_counts;
-        allocs = Array.make pes 0;
       }
 
 let home_of p v = if v < p.base then v mod p.pes else (v - p.base) mod p.pes
@@ -153,7 +191,7 @@ let headroom_for t ~pe =
   | None -> (
     match t.capacity with
     | None -> max_int
-    | Some c -> Vec.length t.free + (c - Vec.length t.verts))
+    | Some c -> Vec.length t.free + (c - Seg.length t.dense))
   | Some p ->
     let h = ((pe mod p.pes) + p.pes) mod p.pes in
     if p.shares.(h) = max_int then max_int
@@ -164,7 +202,7 @@ let headroom t =
   | None -> (
     match t.capacity with
     | None -> max_int
-    | Some c -> Vec.length t.free + (c - Vec.length t.verts))
+    | Some c -> Vec.length t.free + (c - Seg.length t.dense))
   | Some p ->
     if t.capacity = None then max_int
     else
@@ -192,7 +230,7 @@ let set_root t r = t.root <- Some r
 let mem t v =
   v >= 0
   &&
-  if v < Vec.length t.verts then true
+  if v < Seg.length t.dense then true
   else
     match t.part with
     | None -> false
@@ -201,7 +239,7 @@ let mem t v =
       off >= 0 && off / p.pes < Seg.length p.segs.(off mod p.pes)
 
 let vertex t v =
-  if v >= 0 && v < Vec.length t.verts then Vec.get t.verts v
+  if v >= 0 && v < Seg.length t.dense then Seg.get t.dense v
   else
     match t.part with
     | Some p when v >= p.base && (v - p.base) / p.pes < Seg.length p.segs.((v - p.base) mod p.pes)
@@ -210,38 +248,40 @@ let vertex t v =
     | Some _ | None ->
       invalid_arg (Printf.sprintf "Graph.vertex: unknown vertex v%d" v)
 
+(* Vid-keyed scalar accessors: one slot lookup, no allocation. *)
+let label t v = Vertex.label (vertex t v)
+
+let is_free t v = Vertex.free (vertex t v)
+
+let sched_prior t v = Vertex.sched_prior (vertex t v)
+
 let next_pe t =
   let pe = t.next_pe in
   t.next_pe <- (t.next_pe + 1) mod t.num_pes;
   pe
 
-let fresh t ~pe label =
-  let id = Vec.length t.verts in
-  let v = Vertex.create id ~pe label in
-  Vec.push t.verts v;
-  v
+let fresh t ~pe label = Seg.alloc t.dense (Seg.length t.dense) ~pe label
 
 let reuse t v ~pe label =
   let vx = vertex t v in
-  vx.Vertex.label <- label;
-  vx.Vertex.free <- false;
-  vx.Vertex.pe <- pe;
-  vx.Vertex.birth <- t.epoch;
+  Vertex.set_label vx label;
+  Vertex.set_free vx false;
+  Vertex.set_pe vx pe;
+  Vertex.set_birth vx t.epoch;
   vx
 
 let alloc ?pe ?from t label =
   match t.part with
   | None ->
     let pe = match pe with Some p -> p | None -> next_pe t in
-    t.allocations <- t.allocations + 1;
     (match Vec.pop t.free with
     | Some id -> reuse t id ~pe label
     | None ->
       (match t.capacity with
-      | Some c when Vec.length t.verts >= c -> raise Out_of_vertices
+      | Some c when Seg.length t.dense >= c -> raise Out_of_vertices
       | Some _ | None -> ());
       let v = fresh t ~pe label in
-      v.Vertex.birth <- t.epoch;
+      Vertex.set_birth v t.epoch;
       v)
   | Some p ->
     (* Partitioned: every structure touched below belongs to [home], so
@@ -253,7 +293,6 @@ let alloc ?pe ?from t label =
       | None, None -> 0
     in
     let pe = match pe with Some q -> q | None -> home in
-    p.allocs.(home) <- p.allocs.(home) + 1;
     (match Vec.pop p.frees.(home) with
     | Some id -> reuse t id ~pe label
     | None ->
@@ -261,14 +300,13 @@ let alloc ?pe ?from t label =
         raise Out_of_vertices;
       let k = Seg.length p.segs.(home) in
       let id = p.base + (k * p.pes) + home in
-      let v = Vertex.create id ~pe label in
-      v.Vertex.birth <- t.epoch;
-      Seg.push p.segs.(home) v;
+      let v = Seg.alloc p.segs.(home) id ~pe label in
+      Vertex.set_birth v t.epoch;
       v)
 
 let release t id =
   let v = vertex t id in
-  if v.Vertex.free then invalid_arg (Printf.sprintf "Graph.release: v%d already free" id);
+  if Vertex.free v then invalid_arg (Printf.sprintf "Graph.release: v%d already free" id);
   t.releases <- t.releases + 1;
   Vertex.reset_for_free v;
   match t.part with
@@ -279,11 +317,13 @@ let preallocate t n =
   if t.part <> None then invalid_arg "Graph.preallocate: graph is partitioned";
   for _ = 1 to n do
     let v = fresh t ~pe:(next_pe t) Label.Freed in
-    v.Vertex.free <- true;
-    Vec.push t.free v.Vertex.id
+    Vertex.set_free v true;
+    Vec.push t.free (Vertex.id v)
   done
 
 let children t v = Vertex.args (vertex t v)
+
+let iter_children t v f = Vertex.iter_args (vertex t v) f
 
 let free_count t =
   Vec.length t.free
@@ -312,10 +352,10 @@ let iter_home t ~pe f =
   match t.part with
   | None ->
     let h = ((pe mod t.num_pes) + t.num_pes) mod t.num_pes in
-    Vec.iter (fun v -> if v.Vertex.id mod t.num_pes = h then f v) t.verts
+    Seg.iter (fun v -> if Vertex.id v mod t.num_pes = h then f v) t.dense
   | Some p ->
     let h = ((pe mod p.pes) + p.pes) mod p.pes in
-    Vec.iter (fun v -> if v.Vertex.id mod p.pes = h then f v) t.verts;
+    Seg.iter (fun v -> if Vertex.id v mod p.pes = h then f v) t.dense;
     for k = 0 to Seg.length p.segs.(h) - 1 do
       f (Seg.get p.segs.(h) k)
     done
@@ -326,6 +366,13 @@ let home_free_list t ~pe =
     let h = ((pe mod t.num_pes) + t.num_pes) mod t.num_pes in
     List.filter (fun v -> v mod t.num_pes = h) (Vec.to_list t.free)
   | Some p -> Vec.to_list p.frees.(((pe mod p.pes) + p.pes) mod p.pes)
+
+let iter_home_free t ~pe f =
+  match t.part with
+  | None ->
+    let h = ((pe mod t.num_pes) + t.num_pes) mod t.num_pes in
+    Vec.iter (fun v -> if v mod t.num_pes = h then f v) t.free
+  | Some p -> Vec.iter f p.frees.(((pe mod p.pes) + p.pes) mod p.pes)
 
 let set_home_free_list t ~pe ids =
   match t.part with
@@ -343,17 +390,16 @@ let grow_home t ~pe =
     let h = ((pe mod p.pes) + p.pes) mod p.pes in
     let k = Seg.length p.segs.(h) in
     let id = p.base + (k * p.pes) + h in
-    let v = Vertex.create id ~pe:h Label.Freed in
-    v.Vertex.free <- true;
-    v.Vertex.birth <- t.epoch;
-    Seg.push p.segs.(h) v;
+    let v = Seg.alloc p.segs.(h) id ~pe:h Label.Freed in
+    Vertex.set_free v true;
+    Vertex.set_birth v t.epoch;
     id
 
 (* Iteration is always in ascending vid order — dense prefix first, then
    the striped segments interleaved by stripe index — so digests and
    live-set listings cannot depend on which PE allocated a vertex. *)
 let iter_all f t =
-  Vec.iter f t.verts;
+  Seg.iter f t.dense;
   match t.part with
   | None -> ()
   | Some p ->
@@ -364,11 +410,11 @@ let iter_all f t =
       done
     done
 
-let iter_live f t = iter_all (fun v -> if not v.Vertex.free then f v) t
+let iter_live f t = iter_all (fun v -> if not (Vertex.free v) then f v) t
 
 let live_vids t =
   let acc = ref [] in
-  iter_live (fun v -> acc := v.Vertex.id :: !acc) t;
+  iter_live (fun v -> acc := Vertex.id v :: !acc) t;
   List.rev !acc
 
 let fold_live f acc t =
@@ -376,12 +422,10 @@ let fold_live f acc t =
   iter_live (fun v -> acc := f !acc v) t;
   !acc
 
-let reset_plane t plane = iter_all (fun v -> Plane.reset (Vertex.plane v plane)) t
-
-let allocations t =
-  t.allocations
-  + match t.part with
-    | None -> 0
-    | Some p -> Array.fold_left ( + ) 0 p.allocs
+let reset_plane t plane =
+  Seg.reset_plane t.dense plane;
+  match t.part with
+  | None -> ()
+  | Some p -> Array.iter (fun s -> Seg.reset_plane s plane) p.segs
 
 let releases t = t.releases

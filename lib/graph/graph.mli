@@ -63,6 +63,17 @@ val vertex : t -> Vid.t -> Vertex.t
 
 val mem : t -> Vid.t -> bool
 
+(** {2 Vid-keyed scalar accessors}
+
+    One slot lookup, no allocation — the step loop reads vertex state
+    through these instead of materializing intermediate structure. *)
+
+val label : t -> Vid.t -> Label.t
+
+val is_free : t -> Vid.t -> bool
+
+val sched_prior : t -> Vid.t -> int
+
 val alloc : ?pe:int -> ?from:int -> t -> Label.t -> Vertex.t
 (** Acquire a vertex from the free list (or grow the table if [F] is
     empty), assign it to a PE and label it. The returned vertex has no
@@ -80,7 +91,10 @@ val preallocate : t -> int -> unit
 (** Grow the table by [n] vertices placed directly on the free list. *)
 
 val children : t -> Vid.t -> Vid.t list
-(** [args] of the vertex. *)
+(** [args] of the vertex, as a fresh list — cold paths only. *)
+
+val iter_children : t -> Vid.t -> (Vid.t -> unit) -> unit
+(** Visit [args] of the vertex in order. Does not allocate. *)
 
 val vertex_count : t -> int
 (** Total table size |V| (live + free). *)
@@ -104,6 +118,10 @@ val home_free_list : t -> pe:int -> Vid.t list
 (** [pe]'s home free list, in pop order (LIFO: last element pops first on
     the partitioned path). *)
 
+val iter_home_free : t -> pe:int -> (Vid.t -> unit) -> unit
+(** Visit [pe]'s home free list in the same order as {!home_free_list},
+    without allocating it — the per-step checkpoint-sync form. *)
+
 val set_home_free_list : t -> pe:int -> Vid.t list -> unit
 (** Overwrite [pe]'s home free list (crash-recovery restore). Partitioned
     graphs only; raises [Invalid_argument] otherwise. Vertex [free] flags
@@ -125,9 +143,6 @@ val fold_live : ('a -> Vertex.t -> 'a) -> 'a -> t -> 'a
 
 val reset_plane : t -> Plane.id -> unit
 (** Unmark every vertex's plane (between marking cycles). *)
-
-val allocations : t -> int
-(** Cumulative number of [alloc] calls. *)
 
 val releases : t -> int
 (** Cumulative number of [release] calls. *)

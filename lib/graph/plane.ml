@@ -2,33 +2,112 @@ type color = Unmarked | Transient | Marked
 
 type parent = Rootpar | Parent of Vid.t
 
-type t = { mutable color : color; mutable cnt : int; mutable par : parent; mutable prior : int }
-
 type id = MR | MT
 
-let create () = { color = Unmarked; cnt = 0; par = Rootpar; prior = 0 }
+(* One marking plane's state for a whole storage chunk, as parallel
+   columns: colour packed one byte per slot, the counter/parent/priority
+   words one cell per slot. Chunks never move once allocated (see
+   [Graph]), so a handle caches the column arrays directly. *)
+type cols = {
+  c_color : Bytes.t;
+  c_cnt : int array;
+  c_par : parent array;
+  c_prior : int array;
+}
+
+(* A handle onto one slot of a plane column set. Copying the handle is
+   cheap and aliases the same state. *)
+type t = { off : int; c : cols }
+
+let make_cols n =
+  {
+    c_color = Bytes.make n '\000';
+    c_cnt = Array.make n 0;
+    c_par = Array.make n Rootpar;
+    c_prior = Array.make n 0;
+  }
+
+let reset_cols c =
+  Bytes.fill c.c_color 0 (Bytes.length c.c_color) '\000';
+  Array.fill c.c_cnt 0 (Array.length c.c_cnt) 0;
+  Array.fill c.c_par 0 (Array.length c.c_par) Rootpar;
+  Array.fill c.c_prior 0 (Array.length c.c_prior) 0
+
+let handle c off = { off; c }
+
+let create () = handle (make_cols 1) 0
+
+let color t =
+  match Bytes.unsafe_get t.c.c_color t.off with
+  | '\000' -> Unmarked
+  | '\001' -> Transient
+  | _ -> Marked
+
+let set_color t col =
+  Bytes.unsafe_set t.c.c_color t.off
+    (match col with Unmarked -> '\000' | Transient -> '\001' | Marked -> '\002')
+
+let cnt t = Array.unsafe_get t.c.c_cnt t.off
+
+let set_cnt t n = Array.unsafe_set t.c.c_cnt t.off n
+
+let par t = t.c.c_par.(t.off)
+
+let set_par t p = t.c.c_par.(t.off) <- p
+
+let prior t = Array.unsafe_get t.c.c_prior t.off
+
+let set_prior t p = Array.unsafe_set t.c.c_prior t.off p
 
 let reset t =
-  t.color <- Unmarked;
-  t.cnt <- 0;
-  t.par <- Rootpar;
-  t.prior <- 0
+  set_color t Unmarked;
+  set_cnt t 0;
+  set_par t Rootpar;
+  set_prior t 0
 
-let unmarked t = t.color = Unmarked
+let unmarked t = Bytes.unsafe_get t.c.c_color t.off = '\000'
 
-let transient t = t.color = Transient
+let transient t = Bytes.unsafe_get t.c.c_color t.off = '\001'
 
-let marked t = t.color = Marked
+let marked t = Bytes.unsafe_get t.c.c_color t.off = '\002'
 
-let touch t = t.color <- Transient
+let touch t = set_color t Transient
 
-let mark t = t.color <- Marked
+let mark t = set_color t Marked
 
 let unmark t =
-  t.color <- Unmarked;
-  t.prior <- 0
+  set_color t Unmarked;
+  set_prior t 0
 
 let equal_color (a : color) b = a = b
+
+(* A boxed copy of one slot's plane state (checkpointing). Fields are
+   mutable so an incremental checkpoint can refresh a stale shot in
+   place instead of allocating a new one per sync. *)
+type shot = {
+  mutable s_color : color;
+  mutable s_cnt : int;
+  mutable s_par : parent;
+  mutable s_prior : int;
+}
+
+let capture t = { s_color = color t; s_cnt = cnt t; s_par = par t; s_prior = prior t }
+
+let recapture s t =
+  s.s_color <- color t;
+  s.s_cnt <- cnt t;
+  s.s_par <- par t;
+  s.s_prior <- prior t
+
+let matches s t =
+  equal_color s.s_color (color t)
+  && s.s_cnt = cnt t && s.s_par = par t && s.s_prior = prior t
+
+let restore s t =
+  set_color t s.s_color;
+  set_cnt t s.s_cnt;
+  set_par t s.s_par;
+  set_prior t s.s_prior
 
 let pp_color fmt = function
   | Unmarked -> Format.pp_print_string fmt "unmarked"
@@ -44,5 +123,5 @@ let pp_id fmt = function
   | MT -> Format.pp_print_string fmt "M_T"
 
 let pp fmt t =
-  Format.fprintf fmt "{%a cnt=%d par=%a prior=%d}" pp_color t.color t.cnt pp_parent t.par
-    t.prior
+  Format.fprintf fmt "{%a cnt=%d par=%a prior=%d}" pp_color (color t) (cnt t) pp_parent
+    (par t) (prior t)

@@ -8,7 +8,11 @@
     A plane holds the tri-state colour (unmarked / transient / marked,
     §4.1), the outstanding-mark-task counter [mt-cnt], the marking-tree
     parent [mt-par], and — for M_R only — the priority with which the
-    vertex was traced (3 = vital, 2 = eager, 1 = reserve; §5.1). *)
+    vertex was traced (3 = vital, 2 = eager, 1 = reserve; §5.1).
+
+    Plane state lives in struct-of-arrays columns owned by the graph's
+    storage chunks; {!t} is a cheap handle (column set + slot offset) and
+    all access goes through the functions below. *)
 
 type color = Unmarked | Transient | Marked
 
@@ -16,16 +20,45 @@ type parent = Rootpar | Parent of Vid.t
 (** [Rootpar] is the paper's dummy node used by [return1] to detect
     termination of the whole marking process. *)
 
-type t = {
-  mutable color : color;
-  mutable cnt : int;  (** mt-cnt: spawned-but-unreturned mark tasks *)
-  mutable par : parent;  (** mt-par: parent in the marking tree *)
-  mutable prior : int;  (** 0 when unmarked; 1..3 once traced (M_R) *)
-}
-
 type id = MR | MT
 
+type cols
+(** One plane's columns for a whole storage chunk: colour bytes plus
+    cnt/par/prior cells, one slot each per vertex. *)
+
+type t
+(** A handle onto one slot of a column set. *)
+
+val make_cols : int -> cols
+(** Pristine (unmarked, zeroed) columns for [n] slots. *)
+
+val reset_cols : cols -> unit
+(** Reset every slot of the chunk to the pristine state — the column-wise
+    bulk form of {!reset}, used by [Graph.reset_plane]. *)
+
+val handle : cols -> int -> t
+
 val create : unit -> t
+(** A standalone single-slot plane (tests). *)
+
+val color : t -> color
+
+val set_color : t -> color -> unit
+
+val cnt : t -> int
+(** mt-cnt: spawned-but-unreturned mark tasks. *)
+
+val set_cnt : t -> int -> unit
+
+val par : t -> parent
+(** mt-par: parent in the marking tree. *)
+
+val set_par : t -> parent -> unit
+
+val prior : t -> int
+(** 0 when unmarked; 1..3 once traced (M_R). *)
+
+val set_prior : t -> int -> unit
 
 val reset : t -> unit
 (** Return the plane to the pristine unmarked state (between cycles). *)
@@ -45,9 +78,24 @@ val mark : t -> unit
 val unmark : t -> unit
 (** -> unmarked, clearing priority. *)
 
-val equal_color : color -> color -> bool
+type shot = {
+  mutable s_color : color;
+  mutable s_cnt : int;
+  mutable s_par : parent;
+  mutable s_prior : int;
+}
+(** A boxed copy of one slot's plane state (checkpointing); mutable so
+    incremental checkpoints can refresh shots in place. *)
 
-val pp_color : Format.formatter -> color -> unit
+val capture : t -> shot
+
+val recapture : shot -> t -> unit
+(** [recapture s t] overwrites [s] with [t]'s current plane state — the
+    allocation-free refresh of an existing {!capture}. *)
+
+val matches : shot -> t -> bool
+
+val restore : shot -> t -> unit
 
 val pp_parent : Format.formatter -> parent -> unit
 

@@ -19,17 +19,17 @@ type t = { root : Vid.t option; verts : vertex array; index : int array }
 
 let snap_vertex (v : Vertex.t) =
   {
-    id = v.Vertex.id;
-    label = v.Vertex.label;
+    id = (Vertex.id v);
+    label = (Vertex.label v);
     args = Vertex.args v;
-    req_v = v.Vertex.req_v;
-    req_e = v.Vertex.req_e;
-    requested = v.Vertex.requested;
-    free = v.Vertex.free;
-    pe = v.Vertex.pe;
-    mr_color = v.Vertex.mr.Plane.color;
-    mr_prior = v.Vertex.mr.Plane.prior;
-    mt_color = v.Vertex.mt.Plane.color;
+    req_v = (Vertex.req_v v);
+    req_e = (Vertex.req_e v);
+    requested = (Vertex.requested v);
+    free = (Vertex.free v);
+    pe = (Vertex.pe v);
+    mr_color = Plane.color (Vertex.mr v);
+    mr_prior = Plane.prior (Vertex.mr v);
+    mt_color = Plane.color (Vertex.mt v);
   }
 
 let take g =

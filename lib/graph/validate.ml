@@ -13,7 +13,7 @@ let check g =
   in
   Graph.iter_all
     (fun v ->
-      let id = v.Vertex.id in
+      let id = (Vertex.id v) in
       let vargs = Vertex.args v in
       List.iter
         (fun c -> if not (in_range c) then err "v%d: arg v%d out of range" id c)
@@ -23,24 +23,24 @@ let check g =
           match e.Vertex.who with
           | Some r when not (in_range r) -> err "v%d: requester v%d out of range" id r
           | Some _ | None -> ())
-        v.Vertex.requested;
-      subset "req_v" id v.Vertex.req_v vargs;
-      subset "req_e" id v.Vertex.req_e vargs;
+        (Vertex.requested v);
+      subset "req_v" id (Vertex.req_v v) vargs;
+      subset "req_e" id (Vertex.req_e v) vargs;
       List.iter
         (fun c ->
-          if List.exists (Vid.equal c) v.Vertex.req_e then
+          if List.exists (Vid.equal c) (Vertex.req_e v) then
             err "v%d: v%d in both req_v and req_e" id c)
-        v.Vertex.req_v;
-      if v.Vertex.free then begin
-        if v.Vertex.label <> Label.Freed then
-          err "v%d: free vertex has label %s" id (Label.to_string v.Vertex.label);
+        (Vertex.req_v v);
+      if (Vertex.free v) then begin
+        if (Vertex.label v) <> Label.Freed then
+          err "v%d: free vertex has label %s" id (Label.to_string (Vertex.label v));
         if vargs <> [] then err "v%d: free vertex has args" id;
-        if v.Vertex.requested <> [] then err "v%d: free vertex has requesters" id
+        if (Vertex.requested v) <> [] then err "v%d: free vertex has requesters" id
       end
       else
         List.iter
           (fun c ->
-            if in_range c && (Graph.vertex g c).Vertex.free then
+            if in_range c && Graph.is_free g c then
               err "v%d: live vertex points to free vertex v%d" id c)
           vargs)
     g;
@@ -50,18 +50,18 @@ let check g =
     (fun v ->
       if Vid.Tbl.mem on_list v then err "free list contains v%d twice" v;
       Vid.Tbl.replace on_list v ();
-      if Graph.mem g v && not (Graph.vertex g v).Vertex.free then
+      if Graph.mem g v && not (Graph.is_free g v) then
         err "free list contains live vertex v%d" v)
     (Graph.free_list g);
   Graph.iter_all
     (fun v ->
-      if v.Vertex.free && not (Vid.Tbl.mem on_list v.Vertex.id) then
-        err "v%d flagged free but not on free list" v.Vertex.id)
+      if (Vertex.free v) && not (Vid.Tbl.mem on_list (Vertex.id v)) then
+        err "v%d flagged free but not on free list" (Vertex.id v))
     g;
   if Graph.has_root g then begin
     let r = Graph.root g in
     if not (Graph.mem g r) then err "root v%d out of range" r
-    else if (Graph.vertex g r).Vertex.free then err "root v%d is free" r
+    else if Graph.is_free g r then err "root v%d is free" r
   end;
   List.rev !errors
 

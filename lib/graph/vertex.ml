@@ -2,168 +2,553 @@ type requester = Vid.t option
 
 type request_entry = { who : requester; demand : Demand.t; key : Vid.t }
 
-(* The argument list, as an immutable pair: the normalized prefix [fwd]
-   plus a reversed tail of recent appends. [connect] prepends onto
-   [rtail] in O(1); readers normalize ([fwd @ rev rtail]) lazily and
-   cache the result back, so a burst of n appends costs O(n) total
-   instead of the O(n²) of repeated [l @ [c]]. Both fields live in one
-   immutable record behind a single mutable field: a concurrent reader
-   racing a (re-)normalization can only ever observe a consistent pair,
-   and re-normalizing twice writes structurally equal values. *)
-type args_cell = { fwd : Vid.t list; rtail : Vid.t list }
+(* Struct-of-arrays vertex storage. The fixed-width per-vertex state
+   (label, pe, free, birth, sched_prior, and the two marking planes)
+   lives in parallel columns, one column set per storage chunk; chunks
+   never move once allocated (see [Graph.Seg]), so handles can cache the
+   column arrays directly and a concurrent reader can never observe a
+   half-copied backing store.
+
+   The variable-width state — args, the two req-args sets, the requester
+   table and the received-values table — is paged: each slot owns flat
+   int rows that grow by doubling and are *recycled with the slot* (the
+   free list returns the slot with its row capacity intact), so steady
+   state churn allocates nothing.
+
+   Row order conventions (these encode the exact semantics of the old
+   list representation, which the golden traces depend on):
+   - [args] rows are kept in append order — identical to the old
+     normalized [fwd @ rev rtail] order; removal takes the *first*
+     occurrence and compacts in place.
+   - [req_v]/[req_e]/[requested]/[recv] rows are kept in append order
+     but *viewed newest-first* (the old lists prepended), so list views
+     and iterators walk the rows backwards. In-place filters compact
+     without reordering, matching [List.filter] on the old lists. *)
+type cols = {
+  label : Label.t array;
+  pe : int array;
+  birth : int array;
+  sprior : int array;
+  free : Bytes.t;
+  mrc : Plane.cols;
+  mtc : Plane.cols;
+}
 
 type t = {
   id : Vid.t;
-  mutable argc : args_cell;
-  mutable label : Label.t;
-  mutable req_v : Vid.t list;
-  mutable req_e : Vid.t list;
-  mutable requested : request_entry list;
-  mutable recv : (Vid.t * Label.value) list;
-  mutable pe : int;
-  mutable free : bool;
-  mutable birth : int;
-  mutable sched_prior : int;
+  c : cols;
+  off : int;
   mr : Plane.t;
   mt : Plane.t;
+  (* args: ordered data-dependency children, append order *)
+  mutable args_a : int array;
+  mutable args_n : int;
+  (* req-args_v / req-args_e: disjoint subsets of args, append order *)
+  mutable reqv_a : int array;
+  mutable reqv_n : int;
+  mutable reqe_a : int array;
+  mutable reqe_n : int;
+  (* requested: stride-3 triples [who; demand; key], who = -1 for the
+     external requester, demand = 0 eager / 1 vital; rq_n counts entries *)
+  mutable rq_a : int array;
+  mutable rq_n : int;
+  (* recv: from-vids with a parallel array of received values *)
+  mutable recv_a : int array;
+  mutable recv_n : int;
+  mutable recv_v : Label.value array;
 }
 
-let create id ~pe label =
+let make_cols n =
+  {
+    label = Array.make n Label.Freed;
+    pe = Array.make n 0;
+    birth = Array.make n 0;
+    sprior = Array.make n 0;
+    free = Bytes.make n '\000';
+    mrc = Plane.make_cols n;
+    mtc = Plane.make_cols n;
+  }
+
+let empty_cols = make_cols 0
+
+let reset_plane_cols c = function
+  | Plane.MR -> Plane.reset_cols c.mrc
+  | Plane.MT -> Plane.reset_cols c.mtc
+
+let empty_row = [||]
+
+let attach id ~off c ~pe label =
+  c.label.(off) <- label;
+  c.pe.(off) <- pe;
+  c.birth.(off) <- 0;
+  c.sprior.(off) <- 0;
+  Bytes.set c.free off '\000';
   {
     id;
-    label;
-    argc = { fwd = []; rtail = [] };
-    req_v = [];
-    req_e = [];
-    requested = [];
-    recv = [];
-    pe;
-    free = false;
-    birth = 0;
-    sched_prior = 0;
-    mr = Plane.create ();
-    mt = Plane.create ();
+    c;
+    off;
+    mr = Plane.handle c.mrc off;
+    mt = Plane.handle c.mtc off;
+    args_a = empty_row;
+    args_n = 0;
+    reqv_a = empty_row;
+    reqv_n = 0;
+    reqe_a = empty_row;
+    reqe_n = 0;
+    rq_a = empty_row;
+    rq_n = 0;
+    recv_a = empty_row;
+    recv_n = 0;
+    recv_v = [||];
   }
+
+let create id ~pe label = attach id ~off:0 (make_cols 1) ~pe label
+
+(* --- scalar columns --------------------------------------------------- *)
+
+let id t = t.id
+
+let label t = Array.unsafe_get t.c.label t.off
+
+let set_label t l = Array.unsafe_set t.c.label t.off l
+
+let pe t = Array.unsafe_get t.c.pe t.off
+
+let set_pe t p = Array.unsafe_set t.c.pe t.off p
+
+let birth t = Array.unsafe_get t.c.birth t.off
+
+let set_birth t b = Array.unsafe_set t.c.birth t.off b
+
+let free t = Bytes.unsafe_get t.c.free t.off <> '\000'
+
+let set_free t b = Bytes.unsafe_set t.c.free t.off (if b then '\001' else '\000')
+
+let sched_prior t = Array.unsafe_get t.c.sprior t.off
+
+let set_sched_prior t p = Array.unsafe_set t.c.sprior t.off p
+
+let mr t = t.mr
+
+let mt t = t.mt
 
 let plane t = function Plane.MR -> t.mr | Plane.MT -> t.mt
 
+(* --- row plumbing ----------------------------------------------------- *)
+
+(* Return a row with index [n] writable, doubling (and copying the live
+   prefix) when the current capacity is exhausted. *)
+let grown a n =
+  let cap = Array.length a in
+  if n < cap then a
+  else begin
+    let a' = Array.make (Int.max 4 (Int.max (n + 1) (2 * cap))) 0 in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let row_mem a n c =
+  let rec scan i = i < n && (Vid.equal (Array.unsafe_get a i) c || scan (i + 1)) in
+  scan 0
+
+(* Drop every occurrence of [c], compacting in place; returns the new
+   length. Preserves the order of the survivors. *)
+let row_remove_all a n c =
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get a i in
+    if not (Vid.equal x c) then begin
+      Array.unsafe_set a !j x;
+      incr j
+    end
+  done;
+  !j
+
+(* --- args ------------------------------------------------------------- *)
+
+let connect t c =
+  t.args_a <- grown t.args_a t.args_n;
+  Array.unsafe_set t.args_a t.args_n c;
+  t.args_n <- t.args_n + 1
+
+let has_arg t c = row_mem t.args_a t.args_n c
+
+let arg_count t = t.args_n
+
+let arg t i =
+  if i < 0 || i >= t.args_n then invalid_arg "Vertex.arg: index out of bounds";
+  t.args_a.(i)
+
+let iter_args t f =
+  for i = 0 to t.args_n - 1 do
+    f (Array.unsafe_get t.args_a i)
+  done
+
 let args t =
-  match t.argc with
-  | { fwd; rtail = [] } -> fwd
-  | { fwd; rtail } ->
-    let all = fwd @ List.rev rtail in
-    t.argc <- { fwd = all; rtail = [] };
-    all
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.args_a.(i) :: acc) in
+  build (t.args_n - 1) []
 
-let set_args t l = t.argc <- { fwd = l; rtail = [] }
-
-let connect t c = t.argc <- { t.argc with rtail = c :: t.argc.rtail }
-
-let has_arg t c =
-  List.exists (Vid.equal c) t.argc.fwd || List.exists (Vid.equal c) t.argc.rtail
-
-let arg_count t = List.length t.argc.fwd + List.length t.argc.rtail
-
-let remove_one x l =
-  let rec loop acc = function
-    | [] -> List.rev acc
-    | y :: rest -> if Vid.equal x y then List.rev_append acc rest else loop (y :: acc) rest
-  in
-  loop [] l
-
-let remove_all x l = List.filter (fun y -> not (Vid.equal x y)) l
+let set_args t l =
+  t.args_n <- 0;
+  List.iter (connect t) l
 
 let disconnect t c =
-  set_args t (remove_one c (args t));
+  (* remove the first occurrence of [c] *)
+  let n = t.args_n in
+  let i = ref 0 in
+  while !i < n && not (Vid.equal t.args_a.(!i) c) do
+    incr i
+  done;
+  if !i < n then begin
+    Array.blit t.args_a (!i + 1) t.args_a !i (n - !i - 1);
+    t.args_n <- n - 1
+  end;
   (* req-args must remain subsets of args: drop the request record only if
      no occurrence of [c] remains among the args. *)
   if not (has_arg t c) then begin
-    t.req_v <- remove_all c t.req_v;
-    t.req_e <- remove_all c t.req_e
+    t.reqv_n <- row_remove_all t.reqv_a t.reqv_n c;
+    t.reqe_n <- row_remove_all t.reqe_a t.reqe_n c
   end
 
-let req_args t = t.req_v @ t.req_e
+(* --- req-args --------------------------------------------------------- *)
+
+let req_v t =
+  let acc = ref [] in
+  for i = 0 to t.reqv_n - 1 do
+    acc := t.reqv_a.(i) :: !acc
+  done;
+  !acc
+
+let req_e t =
+  let acc = ref [] in
+  for i = 0 to t.reqe_n - 1 do
+    acc := t.reqe_a.(i) :: !acc
+  done;
+  !acc
+
+let req_args t = req_v t @ req_e t
+
+let req_count t = t.reqv_n + t.reqe_n
+
+let is_req_arg t c = row_mem t.reqv_a t.reqv_n c || row_mem t.reqe_a t.reqe_n c
+
+let iter_unrequested_args t f =
+  for i = 0 to t.args_n - 1 do
+    let c = Array.unsafe_get t.args_a i in
+    if not (is_req_arg t c) then f c
+  done
 
 let unrequested_args t =
-  let requested = req_args t in
-  List.filter (fun c -> not (List.exists (Vid.equal c) requested)) (args t)
+  let acc = ref [] in
+  for i = t.args_n - 1 downto 0 do
+    let c = t.args_a.(i) in
+    if not (is_req_arg t c) then acc := c :: !acc
+  done;
+  !acc
 
 let request_arg t c demand =
-  let in_v = List.exists (Vid.equal c) t.req_v in
-  let in_e = List.exists (Vid.equal c) t.req_e in
+  let in_v = row_mem t.reqv_a t.reqv_n c in
+  let in_e = row_mem t.reqe_a t.reqe_n c in
   match demand with
   | Demand.Vital ->
     if not in_v then begin
-      t.req_v <- c :: t.req_v;
-      if in_e then t.req_e <- remove_all c t.req_e
+      t.reqv_a <- grown t.reqv_a t.reqv_n;
+      t.reqv_a.(t.reqv_n) <- c;
+      t.reqv_n <- t.reqv_n + 1;
+      if in_e then t.reqe_n <- row_remove_all t.reqe_a t.reqe_n c
     end
-  | Demand.Eager -> if (not in_v) && not in_e then t.req_e <- c :: t.req_e
+  | Demand.Eager ->
+    if (not in_v) && not in_e then begin
+      t.reqe_a <- grown t.reqe_a t.reqe_n;
+      t.reqe_a.(t.reqe_n) <- c;
+      t.reqe_n <- t.reqe_n + 1
+    end
 
 let drop_request t c =
-  t.req_v <- remove_all c t.req_v;
-  t.req_e <- remove_all c t.req_e
+  t.reqv_n <- row_remove_all t.reqv_a t.reqv_n c;
+  t.reqe_n <- row_remove_all t.reqe_a t.reqe_n c
 
 let request_type t c =
-  if List.exists (Vid.equal c) t.req_v then 3
-  else if List.exists (Vid.equal c) t.req_e then 2
-  else 1
+  if row_mem t.reqv_a t.reqv_n c then 3 else if row_mem t.reqe_a t.reqe_n c then 2 else 1
 
-let requester_equal a b =
-  match (a, b) with
-  | None, None -> true
-  | Some x, Some y -> Vid.equal x y
-  | None, Some _ | Some _, None -> false
+(* --- requested -------------------------------------------------------- *)
+
+let who_code = function None -> -1 | Some v -> v
+
+let who_of_code w = if w < 0 then None else Some w
+
+let demand_code = function Demand.Eager -> 0 | Demand.Vital -> 1
+
+let demand_of_code d = if d = 0 then Demand.Eager else Demand.Vital
+
+let requested_count t = t.rq_n
+
+let requested t =
+  let acc = ref [] in
+  for i = 0 to t.rq_n - 1 do
+    acc :=
+      {
+        who = who_of_code t.rq_a.(3 * i);
+        demand = demand_of_code t.rq_a.((3 * i) + 1);
+        key = t.rq_a.((3 * i) + 2);
+      }
+      :: !acc
+  done;
+  !acc
+
+let blit_requests t dst =
+  Array.blit t.rq_a 0 dst 0 (3 * t.rq_n);
+  t.rq_n
+
+(* Newest-first, like the old list; external (None) entries are skipped. *)
+let iter_requesters t f =
+  for i = t.rq_n - 1 downto 0 do
+    let w = Array.unsafe_get t.rq_a (3 * i) in
+    if w >= 0 then f w
+  done
 
 let add_requester t r ~demand ~key =
-  if
-    List.exists
-      (fun e -> requester_equal r e.who && Vid.equal key e.key)
-      t.requested
-  then begin
-    let upgrade e =
-      if
-        requester_equal r e.who && Vid.equal key e.key
-        && Demand.equal e.demand Demand.Eager
-        && Demand.equal demand Demand.Vital
-      then { e with demand = Demand.Vital }
-      else e
-    in
-    t.requested <- List.map upgrade t.requested
+  let w = who_code r in
+  let found = ref false in
+  for i = 0 to t.rq_n - 1 do
+    if t.rq_a.(3 * i) = w && Vid.equal t.rq_a.((3 * i) + 2) key then begin
+      found := true;
+      (* a vital request upgrades an existing eager entry; never downgrades *)
+      if demand_code demand = 1 then t.rq_a.((3 * i) + 1) <- 1
+    end
+  done;
+  if not !found then begin
+    t.rq_a <- grown t.rq_a ((3 * t.rq_n) + 2);
+    t.rq_a.(3 * t.rq_n) <- w;
+    t.rq_a.((3 * t.rq_n) + 1) <- demand_code demand;
+    t.rq_a.((3 * t.rq_n) + 2) <- key;
+    t.rq_n <- t.rq_n + 1
   end
-  else t.requested <- { who = r; demand; key } :: t.requested
+
+let rq_filter t keep =
+  let j = ref 0 in
+  for i = 0 to t.rq_n - 1 do
+    if keep t.rq_a.(3 * i) t.rq_a.((3 * i) + 1) t.rq_a.((3 * i) + 2) then begin
+      if !j < i then begin
+        t.rq_a.(3 * !j) <- t.rq_a.(3 * i);
+        t.rq_a.((3 * !j) + 1) <- t.rq_a.((3 * i) + 1);
+        t.rq_a.((3 * !j) + 2) <- t.rq_a.((3 * i) + 2)
+      end;
+      incr j
+    end
+  done;
+  t.rq_n <- !j
 
 let remove_requester t r =
-  t.requested <- List.filter (fun e -> not (requester_equal r e.who)) t.requested
+  let w = who_code r in
+  rq_filter t (fun w' _ _ -> w' <> w)
 
-let has_requester t r = List.exists (fun e -> requester_equal r e.who) t.requested
+let retain_requesters t keep = rq_filter t (fun w _ _ -> w < 0 || keep w)
+
+let has_requester t r =
+  let w = who_code r in
+  let rec scan i = i < t.rq_n && (t.rq_a.(3 * i) = w || scan (i + 1)) in
+  scan 0
 
 let has_request_entry t r key =
-  List.exists (fun e -> requester_equal r e.who && Vid.equal key e.key) t.requested
+  let w = who_code r in
+  let rec scan i =
+    i < t.rq_n && ((t.rq_a.(3 * i) = w && Vid.equal t.rq_a.((3 * i) + 2) key) || scan (i + 1))
+  in
+  scan 0
+
+let clear_requesters t = t.rq_n <- 0
+
+let has_vital_requester t =
+  let rec scan i = i < t.rq_n && (t.rq_a.((3 * i) + 1) = 1 || scan (i + 1)) in
+  scan 0
+
+(* --- recv ------------------------------------------------------------- *)
 
 let record_value t ~from value =
-  if not (List.exists (fun (c, _) -> Vid.equal c from) t.recv) then
-    t.recv <- (from, value) :: t.recv
+  if not (row_mem t.recv_a t.recv_n from) then begin
+    t.recv_a <- grown t.recv_a t.recv_n;
+    (if Array.length t.recv_v < Array.length t.recv_a then begin
+       let v' = Array.make (Array.length t.recv_a) Label.V_nil in
+       Array.blit t.recv_v 0 v' 0 t.recv_n;
+       t.recv_v <- v'
+     end);
+    t.recv_a.(t.recv_n) <- from;
+    t.recv_v.(t.recv_n) <- value;
+    t.recv_n <- t.recv_n + 1
+  end
 
 let value_from t c =
-  List.find_map (fun (c', v) -> if Vid.equal c c' then Some v else None) t.recv
+  let rec scan i =
+    if i >= t.recv_n then None
+    else if Vid.equal t.recv_a.(i) c then Some t.recv_v.(i)
+    else scan (i + 1)
+  in
+  scan 0
 
-let clear_reduction_state t = t.recv <- []
+let has_value t c = row_mem t.recv_a t.recv_n c
+
+let recv t =
+  let acc = ref [] in
+  for i = 0 to t.recv_n - 1 do
+    acc := (t.recv_a.(i), t.recv_v.(i)) :: !acc
+  done;
+  !acc
+
+let clear_reduction_state t = t.recv_n <- 0
+
+(* --- lifecycle -------------------------------------------------------- *)
 
 let reset_for_free t =
-  t.label <- Label.Freed;
-  set_args t [];
-  t.req_v <- [];
-  t.req_e <- [];
-  t.requested <- [];
-  t.recv <- [];
-  t.free <- true;
-  t.sched_prior <- 0;
+  set_label t Label.Freed;
+  t.args_n <- 0;
+  t.reqv_n <- 0;
+  t.reqe_n <- 0;
+  t.rq_n <- 0;
+  t.recv_n <- 0;
+  set_free t true;
+  set_sched_prior t 0;
   Plane.reset t.mr;
   Plane.reset t.mt
 
+(* --- checkpointing ---------------------------------------------------- *)
+
+(* A flat boxed copy of one slot's full state; the checkpoint layer
+   compares and restores through this so it never sees the row layout. *)
+module Cells = struct
+  (* Row arrays are sized exactly to the captured prefix ([matches] and
+     [restore] take Array.length as the row length), and fields are
+     mutable so [recapture] can refresh a stale shot in place. *)
+  type shot = {
+    mutable s_label : Label.t;
+    mutable s_pe : int;
+    mutable s_free : bool;
+    mutable s_birth : int;
+    mutable s_sprior : int;
+    mutable s_args : int array;
+    mutable s_reqv : int array;
+    mutable s_reqe : int array;
+    mutable s_rq : int array;
+    mutable s_recv : int array;
+    mutable s_recv_v : Label.value array;
+    s_mr : Plane.shot;
+    s_mt : Plane.shot;
+  }
+
+  let capture t =
+    {
+      s_label = label t;
+      s_pe = pe t;
+      s_free = free t;
+      s_birth = birth t;
+      s_sprior = sched_prior t;
+      s_args = Array.sub t.args_a 0 t.args_n;
+      s_reqv = Array.sub t.reqv_a 0 t.reqv_n;
+      s_reqe = Array.sub t.reqe_a 0 t.reqe_n;
+      s_rq = Array.sub t.rq_a 0 (3 * t.rq_n);
+      s_recv = Array.sub t.recv_a 0 t.recv_n;
+      s_recv_v = Array.sub t.recv_v 0 t.recv_n;
+      s_mr = Plane.capture t.mr;
+      s_mt = Plane.capture t.mt;
+    }
+
+  (* Refresh one captured row: reuse the shot's array when the live
+     prefix has the same length (the common case — most churn rewrites
+     values, not arity), else size a fresh exact-length copy. *)
+  let cap_row s a n =
+    if Array.length s = n then begin
+      Array.blit a 0 s 0 n;
+      s
+    end
+    else Array.sub a 0 n
+
+  let recapture s t =
+    s.s_label <- label t;
+    s.s_pe <- pe t;
+    s.s_free <- free t;
+    s.s_birth <- birth t;
+    s.s_sprior <- sched_prior t;
+    s.s_args <- cap_row s.s_args t.args_a t.args_n;
+    s.s_reqv <- cap_row s.s_reqv t.reqv_a t.reqv_n;
+    s.s_reqe <- cap_row s.s_reqe t.reqe_a t.reqe_n;
+    s.s_rq <- cap_row s.s_rq t.rq_a (3 * t.rq_n);
+    s.s_recv <- cap_row s.s_recv t.recv_a t.recv_n;
+    (s.s_recv_v <-
+       (if Array.length s.s_recv_v = t.recv_n then begin
+          Array.blit t.recv_v 0 s.s_recv_v 0 t.recv_n;
+          s.s_recv_v
+        end
+        else Array.sub t.recv_v 0 t.recv_n));
+    Plane.recapture s.s_mr t.mr;
+    Plane.recapture s.s_mt t.mt
+
+  (* Loop-based row comparisons: [matches] runs for every checkpointed
+     slot on every sync, so the scans are plain while-loops (a nested
+     [let rec] would allocate its closure per row per call). *)
+  let row_matches s a n =
+    Array.length s = n
+    &&
+    begin
+      let i = ref 0 in
+      while !i < n && s.(!i) = Array.unsafe_get a !i do
+        incr i
+      done;
+      !i >= n
+    end
+
+  let matches s t =
+    Label.equal s.s_label (label t)
+    && s.s_pe = pe t && s.s_free = free t && s.s_birth = birth t
+    && s.s_sprior = sched_prior t
+    && Plane.matches s.s_mr t.mr && Plane.matches s.s_mt t.mt
+    && row_matches s.s_args t.args_a t.args_n
+    && row_matches s.s_reqv t.reqv_a t.reqv_n
+    && row_matches s.s_reqe t.reqe_a t.reqe_n
+    && row_matches s.s_rq t.rq_a (3 * t.rq_n)
+    && row_matches s.s_recv t.recv_a t.recv_n
+    &&
+    begin
+      let i = ref 0 in
+      while !i < t.recv_n && Label.equal_value s.s_recv_v.(!i) t.recv_v.(!i) do
+        incr i
+      done;
+      !i >= t.recv_n
+    end
+
+  let restore_row t a n =
+    let dst = if Array.length a >= n then a else Array.make (Int.max 4 n) 0 in
+    Array.blit t 0 dst 0 n;
+    dst
+
+  let restore s t =
+    set_label t s.s_label;
+    set_pe t s.s_pe;
+    set_free t s.s_free;
+    set_birth t s.s_birth;
+    set_sched_prior t s.s_sprior;
+    t.args_a <- restore_row s.s_args t.args_a (Array.length s.s_args);
+    t.args_n <- Array.length s.s_args;
+    t.reqv_a <- restore_row s.s_reqv t.reqv_a (Array.length s.s_reqv);
+    t.reqv_n <- Array.length s.s_reqv;
+    t.reqe_a <- restore_row s.s_reqe t.reqe_a (Array.length s.s_reqe);
+    t.reqe_n <- Array.length s.s_reqe;
+    t.rq_a <- restore_row s.s_rq t.rq_a (Array.length s.s_rq);
+    t.rq_n <- Array.length s.s_rq / 3;
+    t.recv_a <- restore_row s.s_recv t.recv_a (Array.length s.s_recv);
+    t.recv_n <- Array.length s.s_recv;
+    (if Array.length t.recv_v < t.recv_n then t.recv_v <- Array.make (Int.max 4 t.recv_n) Label.V_nil);
+    Array.blit s.s_recv_v 0 t.recv_v 0 t.recv_n;
+    Plane.restore s.s_mr t.mr;
+    Plane.restore s.s_mt t.mt
+end
+
+(* --- introspection (tests) -------------------------------------------- *)
+
+let args_capacity t = Array.length t.args_a
+
 let pp fmt t =
   let pp_vids = Fmt.(list ~sep:comma Vid.pp) in
-  Format.fprintf fmt "@[<h>%a[%a] pe=%d args=[%a] req_v=[%a] req_e=[%a] requested=%d%s@]" Vid.pp
-    t.id Label.pp t.label t.pe pp_vids (args t) pp_vids t.req_v pp_vids t.req_e
-    (List.length t.requested)
-    (if t.free then " FREE" else "")
+  Format.fprintf fmt "@[<h>%a[%a] pe=%d args=[%a] req_v=[%a] req_e=[%a] requested=%d%s@]"
+    Vid.pp t.id Label.pp (label t) (pe t) pp_vids (args t) pp_vids (req_v t) pp_vids
+    (req_e t) t.rq_n
+    (if free t then " FREE" else "")

@@ -10,10 +10,18 @@
       for the distinguished initial task [<-,root>]).
 
     It also carries the reduction engine's per-vertex bookkeeping (values
-    received so far) and the two marking planes. Mutations of [args] must
-    go through the cooperating mutator primitives in [Dgr_core.Mutator];
-    the raw [connect]/[disconnect] operations here are the paper's
-    non-cooperating graph edits. *)
+    received so far) and the two marking planes.
+
+    {!t} is an opaque handle into a struct-of-arrays store: fixed-width
+    state (label, pe, free, birth, sched_prior, planes) lives in parallel
+    columns owned by the graph's storage chunks; the variable-width edge
+    sets live in flat per-slot rows that are recycled — capacity intact —
+    when the slot returns to the free list. All access goes through the
+    accessors and iterators below; the [iter_*] forms do not allocate.
+
+    Mutations of [args] must go through the cooperating mutator
+    primitives in [Dgr_core.Mutator]; the raw [connect]/[disconnect]
+    operations here are the paper's non-cooperating graph edits. *)
 
 type requester = Vid.t option
 (** [None] is the external origin of the initial task [<-,root>]. *)
@@ -26,63 +34,116 @@ type request_entry = {
           correlation state; see [Dgr_task.Task]) *)
 }
 
-type args_cell
-(** The argument list behind one mutable field: a normalized prefix plus
-    a reversed tail of recent O(1) appends, re-normalized lazily by
-    {!args}. Abstract so every reader goes through the accessor. *)
+type t
+(** An opaque vertex handle: column set + slot offset + the slot's rows.
+    Handles are allocated once per slot and alias the store — copying one
+    is cheap and never copies state. *)
 
-type t = {
-  id : Vid.t;
-  mutable argc : args_cell;
-      (** access through {!args}/{!has_arg}/{!arg_count} *)
-  mutable label : Label.t;
-  mutable req_v : Vid.t list;
-  mutable req_e : Vid.t list;
-  mutable requested : request_entry list;
-  mutable recv : (Vid.t * Label.value) list;
-      (** values already returned by requested children, keyed by child *)
-  mutable pe : int;  (** owning processing element *)
-  mutable free : bool;  (** true while the vertex sits on the free list *)
-  mutable birth : int;
-      (** the graph epoch (engine step) this slot was last allocated in;
-          the ownership checker exempts same-epoch vertices, which only
-          their allocating PE can reach *)
-  mutable sched_prior : int;
-      (** last priority assigned by a completed M_R cycle (3 = vital, 2 =
-          eager, 1 = reserve); 0 until first classified. Survives plane
-          resets so PE pools can order tasks between cycles (§3.2). *)
-  mr : Plane.t;
-  mt : Plane.t;
-}
+(** {1 Store plumbing (used by [Graph])} *)
+
+type cols
+(** One storage chunk's fixed-width columns (including both plane column
+    sets). *)
+
+val make_cols : int -> cols
+(** Pristine columns for [n] slots. *)
+
+val empty_cols : cols
+
+val reset_plane_cols : cols -> Plane.id -> unit
+(** Column-wise bulk reset of one plane over a whole chunk. *)
+
+val attach : Vid.t -> off:int -> cols -> pe:int -> Label.t -> t
+(** Bind a fresh handle to slot [off] of a chunk, labelling it and
+    assigning its PE. Rows start empty. *)
 
 val create : Vid.t -> pe:int -> Label.t -> t
+(** A standalone vertex backed by its own single-slot chunk (tests). *)
+
+(** {1 Scalar state} *)
+
+val id : t -> Vid.t
+
+val label : t -> Label.t
+
+val set_label : t -> Label.t -> unit
+
+val pe : t -> int
+(** Owning processing element. *)
+
+val set_pe : t -> int -> unit
+
+val free : t -> bool
+(** True while the vertex sits on the free list. *)
+
+val set_free : t -> bool -> unit
+
+val birth : t -> int
+(** The graph epoch (engine step) this slot was last allocated in; the
+    ownership checker exempts same-epoch vertices, which only their
+    allocating PE can reach. *)
+
+val set_birth : t -> int -> unit
+
+val sched_prior : t -> int
+(** Last priority assigned by a completed M_R cycle (3 = vital, 2 =
+    eager, 1 = reserve); 0 until first classified. Survives plane resets
+    so PE pools can order tasks between cycles (§3.2). *)
+
+val set_sched_prior : t -> int -> unit
+
+val mr : t -> Plane.t
+
+val mt : t -> Plane.t
 
 val plane : t -> Plane.id -> Plane.t
 
+(** {1 args} *)
+
 val args : t -> Vid.t list
-(** The ordered data-dependency children. Amortized O(1): normalizes and
-    caches pending appends on first read. *)
+(** The ordered data-dependency children, as a freshly built list — cold
+    paths only; hot paths use {!iter_args}/{!arg}. *)
 
 val set_args : t -> Vid.t list -> unit
 
+val iter_args : t -> (Vid.t -> unit) -> unit
+(** Visit the args in order. Does not allocate. *)
+
+val arg : t -> int -> Vid.t
+(** The [i]-th arg. Raises [Invalid_argument] out of bounds. *)
+
 val has_arg : t -> Vid.t -> bool
-(** Membership in [args] without forcing normalization. *)
 
 val arg_count : t -> int
 
 val connect : t -> Vid.t -> unit
 (** Append a child to [args] (paper's [connect(a,b)]); duplicates allowed —
-    [args] is a multiset in the presence of e.g. [x + x]. O(1). *)
+    [args] is a multiset in the presence of e.g. [x + x]. Amortized O(1). *)
 
 val disconnect : t -> Vid.t -> unit
 (** Remove one occurrence of the child from [args] and from any [req-args]
     set it appears in (paper's [disconnect(a,b)]). No-op if absent. *)
 
+(** {1 req-args} *)
+
+val req_v : t -> Vid.t list
+
+val req_e : t -> Vid.t list
+
 val req_args : t -> Vid.t list
 (** [req_v @ req_e] — the paper's req-args(v). *)
 
+val req_count : t -> int
+(** |req-args(v)|, without building the list. *)
+
+val is_req_arg : t -> Vid.t -> bool
+(** Membership in req-args(v). *)
+
 val unrequested_args : t -> Vid.t list
 (** args(v) − req-args(v): children not yet demanded (reserve paths). *)
+
+val iter_unrequested_args : t -> (Vid.t -> unit) -> unit
+(** Visit {!unrequested_args} in order. Does not allocate. *)
 
 val request_arg : t -> Vid.t -> Demand.t -> unit
 (** Record that [v] demanded a child with the given kind. Upgrades an
@@ -96,6 +157,25 @@ val request_type : t -> Vid.t -> int
 (** The paper's [request-type(c,v)] (Fig 5-1): 3 if [c] is vitally
     requested by [v], 2 if eagerly requested, 1 otherwise. *)
 
+(** {1 requested} *)
+
+val requested : t -> request_entry list
+(** The pending requesters as a freshly built list — cold paths only. *)
+
+val requested_count : t -> int
+
+val iter_requesters : t -> (Vid.t -> unit) -> unit
+(** Visit the requesters in [requested] order, skipping the external
+    ([None]) entries. Does not allocate. *)
+
+val blit_requests : t -> int array -> int
+(** Copy the raw request rows into [dst] — stride 3 per entry: requester
+    vid ([-1] for the external entry), demand code (0 eager / 1 vital),
+    key — in storage (oldest-first) order; {!requested} is this reversed.
+    [dst] must hold [3 * requested_count t] cells. Returns the entry
+    count. Lets hot callers snapshot the set into a reusable scratch
+    buffer instead of building the entry list. *)
+
 val add_requester : t -> requester -> demand:Demand.t -> key:Vid.t -> unit
 (** Add to [requested v]. Entries are identified by [(who, key)] — the
     same requester may legitimately await [v] through two different args.
@@ -105,20 +185,66 @@ val remove_requester : t -> requester -> unit
 (** Remove every entry of this requester (it dereferenced [v], or was
     answered on all its keys). *)
 
+val retain_requesters : t -> (Vid.t -> bool) -> unit
+(** Keep only entries whose requester satisfies the predicate; external
+    ([None]) entries are always kept. In-place, order-preserving. *)
+
+val clear_requesters : t -> unit
+
 val has_requester : t -> requester -> bool
 
 val has_request_entry : t -> requester -> Vid.t -> bool
 (** Entry-level membership (same [(who, key)] identity as
     [add_requester]). *)
 
+val has_vital_requester : t -> bool
+(** True when some pending entry carries vital demand — the vertex is
+    globally vital. Does not allocate. *)
+
+(** {1 Received values} *)
+
 val record_value : t -> from:Vid.t -> Label.value -> unit
 
 val value_from : t -> Vid.t -> Label.value option
 
+val has_value : t -> Vid.t -> bool
+(** [value_from t c <> None] without the option box. *)
+
+val recv : t -> (Vid.t * Label.value) list
+(** Values received so far, newest first — cold paths only. *)
+
 val clear_reduction_state : t -> unit
-(** Reset [recv] (used when a vertex is re-expanded or freed). *)
+(** Reset the received values (used when a vertex is re-expanded or
+    freed). *)
+
+(** {1 Lifecycle} *)
 
 val reset_for_free : t -> unit
-(** Wipe every field for return to the free list. *)
+(** Wipe every field for return to the free list. Row capacities are
+    retained for the slot's next life. *)
+
+(** {1 Checkpointing} *)
+
+(** Flat boxed copies of one slot's full state: capture/compare/restore
+    without exposing the row layout (used by [Checkpoint]). *)
+module Cells : sig
+  type shot
+
+  val capture : t -> shot
+
+  val recapture : shot -> t -> unit
+  (** [recapture s v] refreshes [s] with [v]'s current state in place,
+      reusing the shot's row arrays when lengths match — the
+      low-allocation form of {!capture} for incremental re-syncs. *)
+
+  val matches : shot -> t -> bool
+
+  val restore : shot -> t -> unit
+end
+
+(** {1 Introspection} *)
+
+val args_capacity : t -> int
+(** Current capacity of the args row (tests observe recycling). *)
 
 val pp : Format.formatter -> t -> unit

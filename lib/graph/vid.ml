@@ -4,8 +4,6 @@ let equal = Int.equal
 
 let compare = Int.compare
 
-let hash = Hashtbl.hash
-
 let pp fmt v = Format.fprintf fmt "v%d" v
 
 let to_string v = "v" ^ string_of_int v

@@ -396,10 +396,10 @@ let find_from hay needle start =
   in
   go start
 
-let scenario_rates json =
-  (match find_from json "\"bench\":\"dgr-macro\"" 0 with
-  | Some _ -> ()
-  | None -> failwith "Bench.scenario_rates: not a dgr-macro BENCH.json");
+(* [(name, value)] per scenario: after each "name" string, scan forward
+   for [key] and read the number behind it. *)
+let scenario_floats json ~key =
+  let key = Printf.sprintf "\"%s\":" key in
   let rec collect acc pos =
     match find_from json "\"name\":\"" pos with
     | None -> List.rev acc
@@ -408,7 +408,7 @@ let scenario_rates json =
       | None -> List.rev acc
       | Some close -> (
         let name = String.sub json start (close - start) in
-        match find_from json "\"steps_per_sec\":" close with
+        match find_from json key close with
         | None -> List.rev acc
         | Some vstart ->
           let vend = ref vstart in
@@ -421,13 +421,19 @@ let scenario_rates json =
           do
             incr vend
           done;
-          let rate =
+          let v =
             try float_of_string (String.sub json vstart (!vend - vstart))
             with _ -> 0.0
           in
-          collect ((name, rate) :: acc) !vend))
+          collect ((name, v) :: acc) !vend))
   in
   collect [] 0
+
+let scenario_rates json =
+  (match find_from json "\"bench\":\"dgr-macro\"" 0 with
+  | Some _ -> ()
+  | None -> failwith "Bench.scenario_rates: not a dgr-macro BENCH.json");
+  scenario_floats json ~key:"steps_per_sec"
 
 let regressions ~threshold ~baseline rows =
   let base = scenario_rates baseline in
@@ -441,6 +447,28 @@ let regressions ~threshold ~baseline rows =
         in
         if cur < (1.0 -. threshold) *. base_sps then Some (r.name, base_sps, cur)
         else None
+      | Some _ | None -> None)
+    rows
+
+(* The allocation gate. Unlike steps/sec, minor words per step is
+   near-deterministic — same binary, same workload, same allocation —
+   so the budget file commits an absolute ceiling per scenario and the
+   gate is a hard comparison, not a noise-tolerant ratio. *)
+
+let scenario_alloc_budgets json =
+  (match find_from json "\"bench\":\"dgr-alloc-budget\"" 0 with
+  | Some _ -> ()
+  | None ->
+    failwith "Bench.scenario_alloc_budgets: not a dgr-alloc-budget file");
+  scenario_floats json ~key:"budget_minor_words_per_step"
+
+let alloc_regressions ~budgets rows =
+  List.filter_map
+    (fun r ->
+      match List.assoc_opt r.name budgets with
+      | Some budget when budget > 0.0 && r.steps > 0 && r.wall_ns <> 0L ->
+        let mw = r.minor_words /. float_of_int r.steps in
+        if mw > budget then Some (r.name, budget, mw) else None
       | Some _ | None -> None)
     rows
 

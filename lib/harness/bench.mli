@@ -126,6 +126,20 @@ val regressions :
     >20% regressions. Scenarios with a non-positive baseline rate (a
     deterministic baseline) are skipped. *)
 
+val scenario_alloc_budgets : string -> (string * float) list
+(** [(name, budget_minor_words_per_step)] parsed out of a committed
+    allocation-budget document ([BENCH_alloc_budget.json]). Raises
+    [Failure] if the document is not a ["dgr-alloc-budget"] file. *)
+
+val alloc_regressions :
+  budgets:(string * float) list -> row list -> (string * float * float) list
+(** [(name, budget, current_mw_per_step)] for every fresh row whose
+    minor words per step exceed its committed budget. Allocation per
+    step is near-deterministic (unlike wall-clock rates), so the budget
+    is an absolute ceiling, not a noise-tolerant ratio. Rows from
+    deterministic runs (zeroed meters) and scenarios without a positive
+    budget are skipped. *)
+
 val golden_lines : ?domains:int -> unit -> string list
 (** The 20-scenario differential fixture: workloads × collectors ×
     machine shapes × fault planes, each summarized as one line capturing

@@ -122,9 +122,9 @@ let e2_task_types () =
   let sets = Classify.compute snap ~tasks:scenario.Scenarios.tasks in
   let decentralized_kind dst =
     let vx = Graph.vertex g dst in
-    if Plane.unmarked vx.Vertex.mr then "irrelevant"
+    if Plane.unmarked (Vertex.mr vx) then "irrelevant"
     else
-      match vx.Vertex.mr.Plane.prior with
+      match Plane.prior (Vertex.mr vx) with
       | 3 -> "vital"
       | 2 -> "eager"
       | 1 -> "reserve"
@@ -181,11 +181,11 @@ let tasks_of_requests rng g =
         (fun acc (e : Vertex.request_entry) ->
           if Rng.int rng 3 = 0 then
             Dgr_task.Task.Request
-              { src = e.Vertex.who; dst = v.Vertex.id; demand = e.Vertex.demand;
+              { src = e.Vertex.who; dst = (Vertex.id v); demand = e.Vertex.demand;
                 key = e.Vertex.key }
             :: acc
           else acc)
-        acc v.Vertex.requested)
+        acc (Vertex.requested v))
     [] g
 
 let e3_venn ?(seed = 7) () =
@@ -486,7 +486,7 @@ let e6_cyclic_garbage ?(seed = 3) () =
         let snap = Snapshot.take g in
         let reach = Reach.reachable_from snap [ Graph.root g ] in
         Graph.fold_live
-          (fun acc v -> if Vid.Set.mem v.Vertex.id reach then acc else acc + 1)
+          (fun acc v -> if Vid.Set.mem (Vertex.id v) reach then acc else acc + 1)
           0 g
     in
     let messages =

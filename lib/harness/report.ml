@@ -135,6 +135,16 @@ let render ?(deterministic = false) e =
       (share p.Profile.gc_ns) (share p.Profile.book_ns);
     Printf.bprintf b "  within execute: marking=%.1f%% reduction=%.1f%%\n"
       (share p.Profile.mark_ns) (share p.Profile.red_ns);
+    let steps = float_of_int (Stdlib.max 1 p.Profile.steps) in
+    Printf.bprintf b
+      "  minor words/step: transport=%.0f execute=%.0f execute_serial=%.0f \
+       merge=%.0f gc=%.0f bookkeeping=%.0f\n"
+      (p.Profile.transport_mw /. steps)
+      (p.Profile.execute_mw /. steps)
+      (p.Profile.sexec_mw /. steps)
+      (p.Profile.merge_mw /. steps)
+      (p.Profile.gc_mw /. steps)
+      (p.Profile.book_mw /. steps);
     Printf.bprintf b
       "  serial_fraction=%.3f (Amdahl ceiling: x%.2f at 2 domains, x%.2f at \
        4, x%.2f at 8)\n"

@@ -8,11 +8,11 @@ let fig_3_1 ?(num_pes = 2) () =
   let g = Graph.create ~num_pes () in
   let one = Builder.add g (Label.Int 1) [] in
   let x = Graph.alloc g (Label.Prim Label.Add) in
-  Vertex.connect x x.Vertex.id;
+  Vertex.connect x (Vertex.id x);
   Vertex.connect x one;
-  let root = Builder.add_root g Label.Ind [ x.Vertex.id ] in
+  let root = Builder.add_root g Label.Ind [ (Vertex.id x) ] in
   ignore root;
-  { graph = g; x = x.Vertex.id; one }
+  { graph = g; x = (Vertex.id x); one }
 
 type fig_3_2 = {
   graph : Graph.t;

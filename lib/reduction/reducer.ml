@@ -27,6 +27,10 @@ type t = {
   mutable stale_dropped : int;
   mutable alloc_stalls : int;
   mutable stuck : (Vid.t * string) list;
+  mutable rq_scratch : int array;
+      (* reusable snapshot of one vertex's raw request rows (stride 3:
+         who|-1, demand code, key) — lets the rewrite hot paths walk
+         [requested] without building the entry list *)
 }
 
 let create ?(speculate_if = true) ?(speculation_reserve = 0) ?recorder ~graph ~mut
@@ -49,6 +53,7 @@ let create ?(speculate_if = true) ?(speculation_reserve = 0) ?recorder ~graph ~m
     stale_dropped = 0;
     alloc_stalls = 0;
     stuck = [];
+    rq_scratch = Array.make 24 0;
   }
 
 let obs t kind =
@@ -87,35 +92,52 @@ let send_respond t ~src:s ~dst ~value ~key ~demand =
    [ctx] — a task spawned on behalf of an eager computation is itself
    eager ("an initially eager task may expand into a highly parallel
    workload of many other tasks"). *)
-let demand_args t v args ~ctx =
-  List.iter
-    (fun c ->
+let demand_own_args t v vx ~ctx =
+  let n = Vertex.arg_count vx in
+  for i = 0 to n - 1 do
+    let c = Vertex.arg vx i in
+    let dup = ref false in
+    for j = 0 to i - 1 do
+      if Vid.equal (Vertex.arg vx j) c then dup := true
+    done;
+    if not !dup then begin
       Mutator.request_child t.mut ~v ~c ~demand:Demand.Vital;
-      send_request t ~src:(Some v) ~dst:c ~demand:ctx ~key:c)
-    (distinct args)
+      send_request t ~src:(Some v) ~dst:c ~demand:ctx ~key:c
+    end
+  done
 
 (* True when an existing requester already makes [v] globally vital. *)
-let has_vital_requester vx =
-  List.exists
-    (fun (e : Vertex.request_entry) -> Demand.equal e.Vertex.demand Demand.Vital)
-    vx.Vertex.requested
+let has_vital_requester vx = Vertex.has_vital_requester vx
 
-(* Answer every requester of [v] with [value] and forget them. *)
+let rq_snapshot t vx =
+  let n = Vertex.requested_count vx in
+  if 3 * n > Array.length t.rq_scratch then t.rq_scratch <- Array.make (6 * (n + 1)) 0;
+  Vertex.blit_requests vx t.rq_scratch
+
+(* Answer every requester of [v] with [value] and forget them. The rows
+   are snapshotted into the scratch buffer and walked newest-first,
+   matching the order of the old [requested] list view. *)
 let answer_all t v value =
   let vx = Graph.vertex t.graph v in
-  let entries = vx.Vertex.requested in
-  List.iter
-    (fun (e : Vertex.request_entry) ->
-      send_respond t ~src:v ~dst:e.Vertex.who ~value ~key:e.Vertex.key ~demand:e.Vertex.demand)
-    entries;
-  (* [answer] removes all entries of a requester at once; deduplicate. *)
-  let whos =
-    List.fold_left
-      (fun acc (e : Vertex.request_entry) ->
-        if List.mem e.Vertex.who acc then acc else e.Vertex.who :: acc)
-      [] entries
-  in
-  List.iter (fun who -> Mutator.answer t.mut ~at:v ~requester:who) whos
+  let k = rq_snapshot t vx in
+  let scratch = t.rq_scratch in
+  for i = k - 1 downto 0 do
+    let w = scratch.(3 * i) in
+    let dst = if w < 0 then None else Some w in
+    let demand = if scratch.((3 * i) + 1) = 0 then Demand.Eager else Demand.Vital in
+    send_respond t ~src:v ~dst ~value ~key:scratch.((3 * i) + 2) ~demand
+  done;
+  (* [answer] removes all entries of a requester at once; answer each
+     distinct requester exactly once, at its last row — the same order
+     the old fold-and-prepend dedup produced. *)
+  for i = 0 to k - 1 do
+    let w = scratch.(3 * i) in
+    let last = ref true in
+    for j = i + 1 to k - 1 do
+      if scratch.(3 * j) = w then last := false
+    done;
+    if !last then Mutator.answer t.mut ~at:v ~requester:(if w < 0 then None else Some w)
+  done
 
 (* Forward every pending requester of the indirection [v] to [target].
    The forwarded demand is also recorded on the edge v→target itself
@@ -124,42 +146,41 @@ let answer_all t v value =
    below an indirection as reserve. *)
 let forward_requesters t v target =
   let vx = Graph.vertex t.graph v in
-  let entries = vx.Vertex.requested in
-  (match entries with
-  | [] -> ()
-  | _ ->
-    let demand =
-      if
-        List.exists
-          (fun (e : Vertex.request_entry) -> Demand.equal e.Vertex.demand Demand.Vital)
-          entries
-      then Demand.Vital
-      else Demand.Eager
-    in
-    Mutator.request_child t.mut ~v ~c:target ~demand);
-  List.iter
-    (fun (e : Vertex.request_entry) ->
-      send_request t ~src:e.Vertex.who ~dst:target ~demand:e.Vertex.demand ~key:e.Vertex.key)
-    entries;
-  vx.Vertex.requested <- []
+  if Vertex.requested_count vx > 0 then begin
+    let demand = if has_vital_requester vx then Demand.Vital else Demand.Eager in
+    Mutator.request_child t.mut ~v ~c:target ~demand
+  end;
+  let k = rq_snapshot t vx in
+  let scratch = t.rq_scratch in
+  for i = k - 1 downto 0 do
+    let w = scratch.(3 * i) in
+    let src = if w < 0 then None else Some w in
+    let demand = if scratch.((3 * i) + 1) = 0 then Demand.Eager else Demand.Vital in
+    send_request t ~src ~dst:target ~demand ~key:scratch.((3 * i) + 2)
+  done;
+  Vertex.clear_requesters vx
 
 (* Rewrite [v] to a scalar/WHNF label: answer requesters, drop argument
    references (the contraction that creates garbage), clear state. *)
 let finish_value t v label =
   let vx = Graph.vertex t.graph v in
-  vx.Vertex.label <- label;
+  Vertex.set_label vx @@ label;
   t.rewrites <- t.rewrites + 1;
   (match Label.value_of_whnf ~self:v label with
   | Some value -> answer_all t v value
   | None -> assert false);
-  List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) (Vertex.args vx);
+  (* [delete_reference] removes the first occurrence, so draining from the
+     front deletes the children in the same order the old list walk did. *)
+  while Vertex.arg_count vx > 0 do
+    Mutator.delete_reference t.mut ~a:v ~b:(Vertex.arg vx 0)
+  done;
   Vertex.clear_reduction_state vx
 
 (* Rewrite [v] to an indirection onto its (sole remaining) child [target],
    forwarding all pending demand. *)
 let become_indirection t v target =
   let vx = Graph.vertex t.graph v in
-  vx.Vertex.label <- Label.Ind;
+  Vertex.set_label vx @@ Label.Ind;
   t.rewrites <- t.rewrites + 1;
   forward_requesters t v target;
   Vertex.clear_reduction_state vx
@@ -218,28 +239,30 @@ let eval_scalar p values =
 let rec exec_request t ~src:s ~dst:v ~demand ~key =
   t.requests_executed <- t.requests_executed + 1;
   let vx = Graph.vertex t.graph v in
-  if vx.Vertex.free then stale t
+  if (Vertex.free vx) then stale t
   else
-    match vx.Vertex.label with
+    match (Vertex.label vx) with
     | (Label.Int _ | Label.Bool _ | Label.Nil | Label.Cons | Label.Err _) as l ->
       let value = Option.get (Label.value_of_whnf ~self:v l) in
       send_respond t ~src:v ~dst:s ~value ~key ~demand
-    | Label.Ind -> (
-      match Vertex.args vx with
-      | target :: _ ->
+    | Label.Ind ->
+      if Vertex.arg_count vx > 0 then begin
+        let target = Vertex.arg vx 0 in
         (* Record the forwarded demand on the edge so the marking process
            sees the path as requested (never downgrades). *)
         Mutator.request_child t.mut ~v ~c:target ~demand;
         send_request t ~src:s ~dst:target ~demand ~key
-      | [] ->
+      end
+      else begin
         mark_stuck t v "dangling indirection";
-        Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key)
+        Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key
+      end
     | Label.Bottom -> Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key
     | Label.Param _ | Label.Freed ->
       mark_stuck t v "request on template parameter or freed vertex";
       stale t
     | Label.Prim p ->
-      let first = Vertex.req_args vx = [] in
+      let first = Vertex.req_count vx = 0 in
       let was_vital = has_vital_requester vx in
       Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
       if first then begin
@@ -247,7 +270,7 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
           mark_stuck t v
             (Printf.sprintf "%s applied to %d args (arity %d)" (Label.prim_name p)
                (Vertex.arg_count vx) (Label.prim_arity p))
-        else demand_args t v (Vertex.args vx) ~ctx:demand
+        else demand_own_args t v vx ~ctx:demand
       end
       else if Demand.equal demand Demand.Vital && not was_vital then
         (* Eager → vital upgrade (§3.2 item 2): re-demand the pending
@@ -258,11 +281,12 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
             if Vertex.value_from vx c = None then
               send_request t ~src:(Some v) ~dst:c ~demand:Demand.Vital ~key:c)
           (distinct (Vertex.req_args vx))
-    | Label.If -> (
+    | Label.If ->
       let was_vital = has_vital_requester vx in
       Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
-      match Vertex.args vx with
-      | [ p; th; el ] when Vertex.req_args vx = [] ->
+      let n = Vertex.arg_count vx in
+      if n = 3 && Vertex.req_count vx = 0 then begin
+        let p = Vertex.arg vx 0 and th = Vertex.arg vx 1 and el = Vertex.arg vx 2 in
         Mutator.request_child t.mut ~v ~c:p ~demand:Demand.Vital;
         send_request t ~src:(Some v) ~dst:p ~demand ~key:p;
         if t.speculate_if then begin
@@ -271,15 +295,18 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
           Mutator.request_child t.mut ~v ~c:el ~demand:Demand.Eager;
           send_request t ~src:(Some v) ~dst:el ~demand:Demand.Eager ~key:el
         end
-      | ([ _; _; _ ] | [ _ ]) when Demand.equal demand Demand.Vital && not was_vital ->
-        (* Upgrade: re-demand whatever we are still waiting on. *)
-        List.iter
-          (fun c ->
-            if Vertex.value_from vx c = None then
-              send_request t ~src:(Some v) ~dst:c ~demand:Demand.Vital ~key:c)
-          (distinct (Vertex.req_args vx))
-      | [ _; _; _ ] | [ _ ] -> () (* demand already in flight *)
-      | _ -> mark_stuck t v "malformed if")
+      end
+      else if n = 3 || n = 1 then begin
+        if Demand.equal demand Demand.Vital && not was_vital then
+          (* Upgrade: re-demand whatever we are still waiting on. *)
+          List.iter
+            (fun c ->
+              if Vertex.value_from vx c = None then
+                send_request t ~src:(Some v) ~dst:c ~demand:Demand.Vital ~key:c)
+            (distinct (Vertex.req_args vx))
+        (* else: demand already in flight *)
+      end
+      else mark_stuck t v "malformed if"
     | Label.Apply f -> (
       Mutator.record_request t.mut ~at:v ~requester:s ~demand ~key;
       match Template.find t.templates f with
@@ -304,18 +331,18 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
                  verdict — upgrades travel by task between cycles. *)
               3
             | Demand.Eager -> (
-              match vx.Vertex.sched_prior with
+              match (Vertex.sched_prior vx) with
               | 0 -> (
                 match s with
-                | Some src_v when (Graph.vertex t.graph src_v).Vertex.sched_prior > 0 ->
-                  Int.min (Graph.vertex t.graph src_v).Vertex.sched_prior 2
+                | Some src_v when (Vertex.sched_prior (Graph.vertex t.graph src_v)) > 0 ->
+                  Int.min (Vertex.sched_prior (Graph.vertex t.graph src_v)) 2
                 | Some _ | None -> 2)
               | c -> c)
           in
           let need =
             Template.size tpl + if cls >= 3 then 0 else t.speculation_reserve
           in
-          Graph.headroom_for t.graph ~pe:vx.Vertex.pe < need
+          Graph.headroom_for t.graph ~pe:(Vertex.pe vx) < need
         then begin
           t.alloc_stalls <- t.alloc_stalls + 1;
           obs t (Dgr_obs.Event.Alloc_stall { vid = v });
@@ -323,11 +350,11 @@ let rec exec_request t ~src:s ~dst:v ~demand ~key =
         end
         else begin
           let entry =
-            Template.instantiate ~from:vx.Vertex.pe tpl t.graph t.mut
+            Template.instantiate ~from:(Vertex.pe vx) tpl t.graph t.mut
               ~actuals:(Vertex.args vx)
           in
           Mutator.expand_node t.mut ~a:v ~entry;
-          vx.Vertex.label <- Label.Ind;
+          Vertex.set_label vx @@ Label.Ind;
           t.expansions <- t.expansions + 1;
           obs t (Dgr_obs.Event.Expand { vid = v; entry });
           forward_requesters t v entry;
@@ -340,11 +367,11 @@ and exec_respond t ~src:responder ~dst ~value ~key =
   | None -> t.result <- Some value
   | Some r -> (
     let vx = Graph.vertex t.graph r in
-    if vx.Vertex.free then stale t
-    else if not (List.exists (Vid.equal key) (Vertex.req_args vx)) then stale t
+    if (Vertex.free vx) then stale t
+    else if not (Vertex.is_req_arg vx key) then stale t
     else begin
       Vertex.record_value vx ~from:key value;
-      match vx.Vertex.label with
+      match (Vertex.label vx) with
       | Label.Prim p -> try_reduce_prim t r p
       | Label.If -> progress_if t r ~key ~value
       | Label.Int _ | Label.Bool _ | Label.Nil | Label.Cons | Label.Ind | Label.Apply _
@@ -355,8 +382,11 @@ and exec_respond t ~src:responder ~dst ~value ~key =
 
 and try_reduce_prim t v p =
   let vx = Graph.vertex t.graph v in
-  let needed = distinct (Vertex.args vx) in
-  if List.for_all (fun c -> Vertex.value_from vx c <> None) needed then begin
+  let ready = ref true in
+  for i = 0 to Vertex.arg_count vx - 1 do
+    if not (Vertex.has_value vx (Vertex.arg vx i)) then ready := false
+  done;
+  if !ready then begin
     match p with
     | Label.Head | Label.Tail -> (
       match List.map (fun c -> Option.get (Vertex.value_from vx c)) (Vertex.args vx) with
@@ -372,7 +402,7 @@ and try_reduce_prim t v p =
 
 and reduce_projection t v p cell =
   let cx = Graph.vertex t.graph cell in
-  match (cx.Vertex.label, Vertex.args cx) with
+  match ((Vertex.label cx), Vertex.args cx) with
   | Label.Cons, [ hd; tl ] ->
     let target = match p with Label.Head -> hd | _ -> tl in
     let vx = Graph.vertex t.graph v in
@@ -392,40 +422,40 @@ and reduce_projection t v p cell =
 
 and progress_if t v ~key ~value =
   let vx = Graph.vertex t.graph v in
-  match Vertex.args vx with
-  | [ p; th; el ] when Vid.equal key p && (match value with Label.V_err _ -> true | _ -> false)
-    ->
-    (* an undefined predicate poisons the conditional: cancel both
-       branches and propagate the error *)
-    let msg = match value with Label.V_err m -> m | _ -> assert false in
-    List.iter
-      (fun b ->
-        if List.exists (Vid.equal b) (Vertex.req_args vx) then
-          t.send (Reduction (Cancel { src = v; dst = b })))
-      [ th; el ];
-    finish_value t v (Label.Err msg)
-  | [ p; th; el ] when Vid.equal key p ->
-    let chosen, other = if truthy value then (th, el) else (el, th) in
-    (* Dereference the losing branch (§3.2): drop our reference and tell
-       it to forget us. Irrelevant tasks under it keep running until a
-       marking cycle expunges them. *)
-    let other_requested = List.exists (Vid.equal other) (Vertex.req_args vx) in
-    Mutator.delete_reference t.mut ~a:v ~b:other;
-    if other_requested && not (Vid.equal other chosen) then
-      t.send (Reduction (Cancel { src = v; dst = other }));
-    Mutator.delete_reference t.mut ~a:v ~b:p;
-    (match Vertex.value_from vx chosen with
-    | Some cv -> resolve_if t v chosen cv
-    | None ->
-      (* The winner is now strictly needed relative to v; globally it is
-         vital only if v itself is vitally awaited. *)
-      Mutator.request_child t.mut ~v ~c:chosen ~demand:Demand.Vital;
-      let ctx = if has_vital_requester vx then Demand.Vital else Demand.Eager in
-      send_request t ~src:(Some v) ~dst:chosen ~demand:ctx ~key:chosen)
-  | [ _; _; _ ] -> () (* speculative branch value arrived first; cached *)
-  | [ chosen ] when Vid.equal key chosen ->
-    resolve_if t v chosen value
-  | _ -> stale t
+  let n = Vertex.arg_count vx in
+  if n = 3 then begin
+    let p = Vertex.arg vx 0 and th = Vertex.arg vx 1 and el = Vertex.arg vx 2 in
+    if Vid.equal key p then begin
+      match value with
+      | Label.V_err msg ->
+        (* an undefined predicate poisons the conditional: cancel both
+           branches and propagate the error *)
+        if Vertex.is_req_arg vx th then t.send (Reduction (Cancel { src = v; dst = th }));
+        if Vertex.is_req_arg vx el then t.send (Reduction (Cancel { src = v; dst = el }));
+        finish_value t v (Label.Err msg)
+      | _ ->
+        let chosen, other = if truthy value then (th, el) else (el, th) in
+        (* Dereference the losing branch (§3.2): drop our reference and
+           tell it to forget us. Irrelevant tasks under it keep running
+           until a marking cycle expunges them. *)
+        let other_requested = Vertex.is_req_arg vx other in
+        Mutator.delete_reference t.mut ~a:v ~b:other;
+        if other_requested && not (Vid.equal other chosen) then
+          t.send (Reduction (Cancel { src = v; dst = other }));
+        Mutator.delete_reference t.mut ~a:v ~b:p;
+        (match Vertex.value_from vx chosen with
+        | Some cv -> resolve_if t v chosen cv
+        | None ->
+          (* The winner is now strictly needed relative to v; globally it
+             is vital only if v itself is vitally awaited. *)
+          Mutator.request_child t.mut ~v ~c:chosen ~demand:Demand.Vital;
+          let ctx = if has_vital_requester vx then Demand.Vital else Demand.Eager in
+          send_request t ~src:(Some v) ~dst:chosen ~demand:ctx ~key:chosen)
+    end
+    (* else: speculative branch value arrived first; cached *)
+  end
+  else if n = 1 && Vid.equal key (Vertex.arg vx 0) then resolve_if t v key value
+  else stale t
 
 and resolve_if t v chosen value =
   match value with
@@ -438,11 +468,12 @@ and resolve_if t v chosen value =
 and exec_cancel t ~src:s ~dst:v =
   t.cancels_executed <- t.cancels_executed + 1;
   let vx = Graph.vertex t.graph v in
-  if vx.Vertex.free then stale t
+  if (Vertex.free vx) then stale t
   else begin
     Mutator.answer t.mut ~at:v ~requester:(Some s);
-    match (vx.Vertex.label, Vertex.args vx) with
-    | Label.Ind, target :: _ -> t.send (Reduction (Cancel { src = s; dst = target }))
+    match (Vertex.label vx) with
+    | Label.Ind when Vertex.arg_count vx > 0 ->
+      t.send (Reduction (Cancel { src = s; dst = Vertex.arg vx 0 }))
     | _ -> ()
   end
 

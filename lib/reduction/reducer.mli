@@ -51,6 +51,9 @@ type t = {
       (** expansions deferred because the free list could not supply the
           template (V is finite, §2.2; the task is retried) *)
   mutable stuck : (Vid.t * string) list;  (** runtime errors turned into ⊥ *)
+  mutable rq_scratch : int array;
+      (** reusable raw snapshot of one vertex's request rows (see
+          [Vertex.blit_requests]) — keeps the rewrite paths allocation-free *)
 }
 
 val create :

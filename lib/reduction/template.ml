@@ -37,11 +37,11 @@ let instantiate ?from t g mut ~actuals =
   Array.iteri
     (fun i instr ->
       let v = Graph.alloc ?from g instr.label in
-      vids.(i) <- v.Vertex.id;
+      vids.(i) <- (Vertex.id v);
       List.iter
         (fun operand ->
           let child = match operand with Param p -> actuals.(p) | Slot s -> vids.(s) in
-          Dgr_core.Mutator.connect_fresh mut ~parent:v.Vertex.id ~child)
+          Dgr_core.Mutator.connect_fresh mut ~parent:(Vertex.id v) ~child)
         instr.operands)
     t.slots;
   vids.(t.entry)

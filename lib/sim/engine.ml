@@ -111,6 +111,9 @@ type pe_ctx = {
   cdone : int Vec.t;  (** tickets of executed tasks, closed at the barrier *)
   mutable cmark_ns : float;  (** profiler: this shard's marking-budget time *)
   mutable cred_ns : float;  (** profiler: this shard's reduction-budget time *)
+  mutable cexec : (Task.t -> int -> unit) option;
+      (** pre-bound [execute_one_buffered] — built on first use, reused by
+          every budget drain so the inner loop allocates no closures *)
 }
 
 (* The worker pool: [domains - 1] long-lived domains driven by a
@@ -188,6 +191,14 @@ type t = {
   mutable wd_exec_fired : bool;
   mutable wd_retx_last : int;  (** [retransmits] at the last window boundary *)
   mutable wd_retx_at : int;  (** next retransmit-window boundary *)
+  mutable emit_mark : Task.mark -> unit;
+      (** [send] wrapped for the marker/flood spawn callbacks — allocated
+          once so the marking inner loop builds no closures. *)
+  mutable budget_pe : int;
+      (** the PE whose serial budget is draining — read by [exec_cb] *)
+  mutable exec_cb : (Task.t -> int -> unit) option;
+      (** pre-bound [execute_one] over [budget_pe]; built on first use so
+          the serial budget drains allocate no closures *)
 }
 
 let throughput t = Int.max 1 (t.num_pes * t.tasks_per_step)
@@ -195,10 +206,11 @@ let throughput t = Int.max 1 (t.num_pes * t.tasks_per_step)
 let obs t kind =
   match t.recorder with None -> () | Some r -> Dgr_obs.Recorder.emit r kind
 
+(* Destination PE of a task, or [-1] for controller-addressed tasks.
+   Unboxed (no option) — this runs once per send. *)
 let pe_of t task =
-  match Task.exec_vertex task with
-  | None -> None
-  | Some v -> Some (Graph.vertex t.g v).Vertex.pe
+  let v = Task.exec_vid task in
+  if v < 0 then -1 else Vertex.pe (Graph.vertex t.g v)
 
 (* The PE a mutation is charged to for the ownership checker: the
    domain-local executing PE during buffered steps (the engine never
@@ -242,10 +254,8 @@ let rec execute_marking t ~pe m =
   | None -> ()
   | Some c -> (
     match Cycle.handler_for_plane c (Task.plane_of_mark m) with
-    | Some (Cycle.Tree_run run) ->
-      List.iter (fun x -> send t (Marking x)) (Marker.execute run m)
-    | Some (Cycle.Flood_run fl) ->
-      List.iter (fun x -> send t (Marking x)) (Flood.execute fl ~pe m)
+    | Some (Cycle.Tree_run run) -> Marker.execute run ~emit:t.emit_mark m
+    | Some (Cycle.Flood_run fl) -> Flood.execute fl ~pe ~emit:t.emit_mark m
     | None -> () (* stray task from a finished run: drop *))
 
 and execute_at_controller t task =
@@ -254,9 +264,9 @@ and execute_at_controller t task =
   | Marking m -> execute_marking t ~pe:0 m
 
 and send t task =
-  match pe_of t task with
-  | None -> execute_at_controller t task
-  | Some pe ->
+  let pe = pe_of t task in
+  if pe < 0 then execute_at_controller t task
+  else begin
     (if pe <> t.current_pe && t.current_pe >= 0 then
        t.m.Metrics.remote_messages <- t.m.Metrics.remote_messages + 1);
     let delay = delay_of t ~rng:(rng_for t) ~src:t.current_pe task pe in
@@ -267,13 +277,14 @@ and send t task =
            {
              kind = Task.obs_kind task;
              pe;
-             vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+             vid = Task.exec_vid task;
              arrival = t.now + delay;
              remote = pe <> t.current_pe;
              lin = t.current_lin;
            });
     Network.send ~src:t.current_pe ~lin:t.current_lin ~depth:t.current_depth t.net
       ~arrival:(t.now + delay) ~pe task
+  end
 
 (* The buffered counterpart of [send], used while PE budgets run inside a
    buffered step (possibly on a worker domain): controller tasks are
@@ -282,9 +293,9 @@ and send t task =
    touched. The delay computation and jitter stream are exactly [send]'s,
    so a PE's arrival schedule is identical whichever path carried it. *)
 let pe_send t ctx task =
-  match pe_of t task with
-  | None -> Vec.push ctx.ctrl task
-  | Some pe ->
+  let pe = pe_of t task in
+  if pe < 0 then Vec.push ctx.ctrl task
+  else begin
     (if pe <> ctx.cpe then
        ctx.pm.Metrics.remote_messages <- ctx.pm.Metrics.remote_messages + 1);
     let delay = delay_of t ~rng:ctx.crng ~src:ctx.cpe task pe in
@@ -297,13 +308,14 @@ let pe_send t ctx task =
            {
              kind = Task.obs_kind task;
              pe;
-             vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+             vid = Task.exec_vid task;
              arrival = t.now + delay;
              remote = pe <> ctx.cpe;
              lin = ctx.clin;
            }));
     Network.Mailbox.post ctx.mbox ~lin:ctx.clin ~depth:ctx.cdepth ~src:ctx.cpe
       ~arrival:(t.now + delay) ~pe task
+  end
 
 let purge_everywhere t pred =
   Array.fold_left (fun acc pool -> acc + Pool.purge pool pred) 0 t.pools
@@ -394,9 +406,13 @@ let create ?recorder ?(config = Config.default) g templates =
       wd_exec_fired = false;
       wd_retx_last = 0;
       wd_retx_at = 64;
+      emit_mark = ignore;
+      budget_pe = -1;
+      exec_cb = None;
     }
   in
-  mut.Mutator.spawn <- (fun mark -> send t (Marking mark));
+  t.emit_mark <- (fun mark -> send t (Marking mark));
+  mut.Mutator.spawn <- t.emit_mark;
   mut.Mutator.coop_pe <- (fun () -> Int.max 0 t.current_pe);
   (* A mark the transport coalesced away still owes its parent a return
      credit (tree) or an executed count (flood): synthesize it here, as
@@ -461,6 +477,7 @@ let create ?recorder ?(config = Config.default) g templates =
             cdone = Vec.create ();
             cmark_ns = 0.0;
             cred_ns = 0.0;
+            cexec = None;
           }
         in
         cell := Some ctx;
@@ -637,7 +654,7 @@ let execute_one t pe task stamp =
          {
            kind = Task.obs_kind task;
            pe;
-           vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+           vid = Task.exec_vid task;
            lin = t.current_lin;
          });
   (match task with
@@ -680,7 +697,7 @@ let execute_one_buffered t ctx task stamp =
          {
            kind = Task.obs_kind task;
            pe = ctx.cpe;
-           vid = (match Task.exec_vertex task with Some v -> v | None -> -1);
+           vid = Task.exec_vid task;
            lin = ctx.clin;
          }));
   (match task with
@@ -712,10 +729,10 @@ let recover_deadlocks t report =
   List.iter
     (fun v ->
       let vx = Graph.vertex t.g v in
-      if (not vx.Vertex.free) && not (Label.is_whnf vx.Vertex.label) then begin
-        vx.Vertex.label <- Label.Err "deadlock";
+      if (not (Vertex.free vx)) && not (Label.is_whnf (Vertex.label vx)) then begin
+        Vertex.set_label vx @@ Label.Err "deadlock";
         t.m.Metrics.deadlocks_recovered <- t.m.Metrics.deadlocks_recovered + 1;
-        let entries = vx.Vertex.requested in
+        let entries = (Vertex.requested vx) in
         List.iter
           (fun (e : Vertex.request_entry) ->
             send t
@@ -729,7 +746,7 @@ let recover_deadlocks t report =
                       demand = e.Vertex.demand;
                     })))
           entries;
-        vx.Vertex.requested <- [];
+        Vertex.clear_requesters vx;
         List.iter (fun c -> Mutator.delete_reference t.mut ~a:v ~b:c) (Vertex.args vx);
         Vertex.clear_reduction_state vx
       end)
@@ -750,9 +767,8 @@ let unpark t =
   | tasks ->
     List.iter
       (fun r ->
-        match pe_of t (Reduction r) with
-        | Some pe -> Network.send ~src:(-1) t.net ~arrival:(t.now + 1) ~pe (Reduction r)
-        | None -> ())
+        let pe = pe_of t (Reduction r) in
+        if pe >= 0 then Network.send ~src:(-1) t.net ~arrival:(t.now + 1) ~pe (Reduction r))
       tasks
 
 let gc_control t =
@@ -804,54 +820,35 @@ let gc_control t =
    [Pool.pop]). Plain loops: this is the innermost simulator code. *)
 let execute_budgets t pe pool =
   let t0 = Profile.now () in
-  let k = ref t.marking_per_step in
-  let continue = ref (!k > 0) in
-  while !continue do
-    match Pool.pop_marking_stamped pool with
-    | Some (task, stamp) ->
-      execute_one t pe task stamp;
-      decr k;
-      if !k = 0 then continue := false
-    | None -> continue := false
-  done;
+  let f =
+    match t.exec_cb with
+    | Some f -> f
+    | None ->
+      let f task stamp = execute_one t t.budget_pe task stamp in
+      t.exec_cb <- Some f;
+      f
+  in
+  t.budget_pe <- pe;
+  Pool.drain_marking pool ~budget:t.marking_per_step f;
   let t1 = Profile.now () in
   t.prof.Profile.mark_ns <- t.prof.Profile.mark_ns +. (t1 -. t0);
-  let k = ref t.tasks_per_step in
-  let continue = ref (!k > 0) in
-  while !continue do
-    match Pool.pop_stamped pool with
-    | Some (task, stamp) ->
-      execute_one t pe task stamp;
-      decr k;
-      if !k = 0 then continue := false
-    | None -> continue := false
-  done;
+  Pool.drain pool ~budget:t.tasks_per_step f;
   t.prof.Profile.red_ns <- t.prof.Profile.red_ns +. (Profile.now () -. t1)
 
 let execute_budgets_buffered t ctx pool =
   let t0 = Profile.now () in
-  let k = ref t.marking_per_step in
-  let continue = ref (!k > 0) in
-  while !continue do
-    match Pool.pop_marking_stamped pool with
-    | Some (task, stamp) ->
-      execute_one_buffered t ctx task stamp;
-      decr k;
-      if !k = 0 then continue := false
-    | None -> continue := false
-  done;
+  let f =
+    match ctx.cexec with
+    | Some f -> f
+    | None ->
+      let f task stamp = execute_one_buffered t ctx task stamp in
+      ctx.cexec <- Some f;
+      f
+  in
+  Pool.drain_marking pool ~budget:t.marking_per_step f;
   let t1 = Profile.now () in
   ctx.cmark_ns <- ctx.cmark_ns +. (t1 -. t0);
-  let k = ref t.tasks_per_step in
-  let continue = ref (!k > 0) in
-  while !continue do
-    match Pool.pop_stamped pool with
-    | Some (task, stamp) ->
-      execute_one_buffered t ctx task stamp;
-      decr k;
-      if !k = 0 then continue := false
-    | None -> continue := false
-  done;
+  Pool.drain pool ~budget:t.tasks_per_step f;
   ctx.cred_ns <- ctx.cred_ns +. (Profile.now () -. t1)
 
 (* A step is {e buffered} when nothing serial-only is in play: no
@@ -1125,9 +1122,9 @@ let crash_now t ~pe ~down =
   let rehomed = ref 0 in
   Graph.iter_live
     (fun vx ->
-      let home = vx.Vertex.pe in
+      let home = (Vertex.pe vx) in
       if home >= 0 && home < t.num_pes && is_down t home then begin
-        vx.Vertex.pe <- survivors.(((vx.Vertex.id mod ns) + ns) mod ns);
+        Vertex.set_pe vx @@ survivors.((((Vertex.id vx) mod ns) + ns) mod ns);
         incr rehomed
       end)
     t.g;
@@ -1187,6 +1184,7 @@ let pe_down t pe = pe >= 0 && pe < t.num_pes && is_down t pe
 
 let step t =
   let p0 = Profile.now () in
+  let w0 = Profile.words () in
   (match t.recorder with Some r -> Dgr_obs.Recorder.set_now r t.now | None -> ());
   (* Every vertex allocated from here on is this step's: the ownership
      checker exempts same-step births (a PE wires up its own fresh
@@ -1203,7 +1201,9 @@ let step t =
       Pool.push ~stamp t.pools.(pe) task);
   flush_rc_purge t;
   let p1 = Profile.now () in
+  let w1 = Profile.words () in
   t.prof.Profile.transport_ns <- t.prof.Profile.transport_ns +. (p1 -. p0);
+  t.prof.Profile.transport_mw <- t.prof.Profile.transport_mw +. (w1 -. w0);
   (* 2. Execute, unless the machine is paused by a collection. Marking
      tasks are lightweight (§6: "bounded amount of time once the required
      vertices are accessed") and get their own per-step budget so GC
@@ -1215,9 +1215,12 @@ let step t =
          loop bodies run on the worker pool — same buffers either way. *)
       if t.domains > 1 then run_parallel t else run_shard t 0;
       let p2 = Profile.now () in
+      let w2 = Profile.words () in
       t.prof.Profile.execute_ns <- t.prof.Profile.execute_ns +. (p2 -. p1);
+      t.prof.Profile.execute_mw <- t.prof.Profile.execute_mw +. (w2 -. w1);
       merge_buffered t;
-      t.prof.Profile.merge_ns <- t.prof.Profile.merge_ns +. (Profile.now () -. p2)
+      t.prof.Profile.merge_ns <- t.prof.Profile.merge_ns +. (Profile.now () -. p2);
+      t.prof.Profile.merge_mw <- t.prof.Profile.merge_mw +. (Profile.words () -. w2)
     end
     else begin
       for pe = 0 to t.num_pes - 1 do
@@ -1252,15 +1255,19 @@ let step t =
       (* Serial-only execution (faults / RC / active cycle): counted
          apart from the buffered span — this time is serial by
          construction and sharding cannot touch it. *)
-      t.prof.Profile.sexec_ns <- t.prof.Profile.sexec_ns +. (Profile.now () -. p1)
+      t.prof.Profile.sexec_ns <- t.prof.Profile.sexec_ns +. (Profile.now () -. p1);
+      t.prof.Profile.sexec_mw <- t.prof.Profile.sexec_mw +. (Profile.words () -. w1)
     end
   end;
   (* 3. Memory management. *)
   let p3 = Profile.now () in
+  let w3 = Profile.words () in
   flush_rc_purge t;
   gc_control t;
   let p4 = Profile.now () in
+  let w4 = Profile.words () in
   t.prof.Profile.gc_ns <- t.prof.Profile.gc_ns +. (p4 -. p3);
+  t.prof.Profile.gc_mw <- t.prof.Profile.gc_mw +. (w4 -. w3);
   (* 4. Bookkeeping. *)
   (match (Reducer.finished t.red, t.m.Metrics.completion_step) with
   | true, None ->
@@ -1298,8 +1305,11 @@ let step t =
   t.now <- t.now + 1;
   t.m.Metrics.steps <- t.m.Metrics.steps + 1;
   let p5 = Profile.now () in
+  let w5 = Profile.words () in
   t.prof.Profile.book_ns <- t.prof.Profile.book_ns +. (p5 -. p4);
+  t.prof.Profile.book_mw <- t.prof.Profile.book_mw +. (w5 -. w4);
   t.prof.Profile.total_ns <- t.prof.Profile.total_ns +. (p5 -. p0);
+  t.prof.Profile.total_mw <- t.prof.Profile.total_mw +. (w5 -. w0);
   t.prof.Profile.steps <- t.prof.Profile.steps + 1
 
 let result t = t.red.Reducer.result

@@ -33,12 +33,16 @@ open Dgr_task
    settle the mark/return accounting (synthesize the [Return] the
    dropped twin would have produced, or credit the flood counters). *)
 
+(* Scalar fields are mutable so delivered frames can be recycled through
+   a free list (lossless channel only — see [recycle_batch]): a storm
+   step stages tens of frames, and re-initializing a dead record beats
+   allocating record + two vectors + (eventually) an index table. *)
 type batch = {
-  b_src : int;
-  b_dst : int;
-  b_arrival : int;  (* fault-free arrival step, the stable sort key *)
-  b_delay : int;  (* base link delay at stage time (incl. jitter) *)
-  b_uid : int;  (* global stage order; ties in in_flight/entries *)
+  mutable b_src : int;
+  mutable b_dst : int;
+  mutable b_arrival : int;  (* fault-free arrival step, the stable sort key *)
+  mutable b_delay : int;  (* base link delay at stage time (incl. jitter) *)
+  mutable b_uid : int;  (* global stage order; ties in in_flight/entries *)
   b_tasks : Task.t Vec.t;  (* shared with every queued copy of the frame *)
   b_stamps : int Vec.t;
       (* lineage tickets, parallel to [b_tasks] ([-1]: untracked); pruned
@@ -92,6 +96,10 @@ type t = {
   faults : Faults.t option;
   batching : bool;  (* false: one task per frame, no coalescing *)
   staged : batch Vec.t;  (* batches forming since the last flush *)
+  free_batches : batch Vec.t;
+      (* delivered frames awaiting reuse (idealized channel only: under
+         faults a frame outlives delivery in [pending] until its
+         cumulative ack lands, so those are never recycled) *)
   snd : (int * int, snd_link) Hashtbl.t;  (* (src, dst) -> sender state *)
   rcv : (int * int, rcv_link) Hashtbl.t;  (* (src, dst) -> receiver state *)
   pending : (int * int * int, pending) Hashtbl.t;  (* unacked sends *)
@@ -122,6 +130,7 @@ let create ?recorder ?lineage ?faults ?(batch = true) () =
     faults;
     batching = batch;
     staged = Vec.create ();
+    free_batches = Vec.create ();
     snd = Hashtbl.create 16;
     rcv = Hashtbl.create 16;
     pending = Hashtbl.create 64;
@@ -394,24 +403,43 @@ let send ?(src = -1) ?(lin = -1) ?(depth = 0) t ~arrival ~pe task =
     match if t.batching then find_staged t ~src ~dst:pe ~arrival else None with
     | Some b -> b
     | None ->
+      let n_free = Vec.length t.free_batches in
       let b =
-        {
-          b_src = src;
-          b_dst = pe;
-          b_arrival = arrival;
-          b_delay = Int.max 1 (arrival - t.clock);
-          b_uid = t.next_uid;
-          b_tasks = Vec.create ();
-          b_stamps = Vec.create ();
-          b_marks = None;
-          b_pack = false;
-        }
+        if n_free > 0 then begin
+          (* reuse a delivered frame: vectors keep their storage, and a
+             retained (emptied) [b_marks] index answers membership
+             exactly like a fresh scan over the empty batch *)
+          let b = Vec.get t.free_batches (n_free - 1) in
+          Vec.truncate t.free_batches (n_free - 1);
+          b.b_src <- src;
+          b.b_dst <- pe;
+          b.b_arrival <- arrival;
+          b.b_delay <- Int.max 1 (arrival - t.clock);
+          b.b_uid <- t.next_uid;
+          b.b_pack <- false;
+          b
+        end
+        else
+          {
+            b_src = src;
+            b_dst = pe;
+            b_arrival = arrival;
+            b_delay = Int.max 1 (arrival - t.clock);
+            b_uid = t.next_uid;
+            b_tasks = Vec.create ();
+            b_stamps = Vec.create ();
+            b_marks = None;
+            b_pack = false;
+          }
       in
       t.next_uid <- t.next_uid + 1;
       Vec.push t.staged b;
       b
   in
-  if t.batching then t.last_batch <- Some b;
+  (if t.batching then
+     match t.last_batch with
+     | Some lb when lb == b -> ()
+     | _ -> t.last_batch <- Some b);
   (* Marks are flat scalar records, so the structural hashing and
      equality behind [b_marks] are exact; Returns never coalesce (each
      one carries a distinct mt-cnt credit) and reduction tasks are never
@@ -481,22 +509,40 @@ let deliver_batch t b ~now ~push =
     push b.b_dst stamp task
   done
 
+(* Return a delivered frame to the free list. Only the idealized channel
+   may call this: after its pop the batch is referenced nowhere (staged
+   was flushed, [last_batch] was reset by that flush), whereas the fault
+   path keeps frames in [pending] until cumulatively acked. The mark
+   index is emptied but kept allocated — [mark_staged] on an empty table
+   is exactly the empty-batch scan. The free list is capped so a burst
+   does not pin its high-water mark of vectors forever. *)
+let free_batches_cap = 64
+
+let recycle_batch t b =
+  if Vec.length t.free_batches < free_batches_cap then begin
+    Vec.clear b.b_tasks;
+    Vec.clear b.b_stamps;
+    (match b.b_marks with Some tbl -> Hashtbl.reset tbl | None -> ());
+    Vec.push t.free_batches b
+  end
+
 let deliver_into t ~now ~push =
   t.clock <- now;
   match t.faults with
   | None ->
     flush_ideal t;
     (* Fast path: the idealized channel is a single peek/pop loop with
-       no frame bookkeeping, and [Deliver] event records are only
-       constructed when a recorder is attached. *)
-    let continue = ref true in
-    while !continue do
-      match Pqueue.peek t.q with
-      | Some (arrival, _) when arrival <= now -> (
-        match Pqueue.pop t.q with
-        | Some (_, b) -> deliver_batch t b ~now ~push
-        | None -> continue := false)
-      | Some _ | None -> continue := false
+       no frame bookkeeping — the unboxed [min_prio]/[pop_tagged_with]
+       pair pops due frames without building options or tuples — and
+       [Deliver] event records are only constructed when a recorder is
+       attached. *)
+    while
+      Pqueue.min_prio t.q ~default:max_int <= now
+      && Pqueue.pop_tagged_with t.q (fun b _stamp ->
+             deliver_batch t b ~now ~push;
+             recycle_batch t b)
+    do
+      ()
     done
   | Some f ->
     flush t f ~now;

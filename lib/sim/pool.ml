@@ -27,7 +27,7 @@ type t = {
 (* The global class of a vertex: the priority the last completed M_R
    cycle assigned (3 vital / 2 eager / 1 reserve), 0 when not yet
    classified. *)
-let class_of g v = if Graph.mem g v then (Graph.vertex g v).Vertex.sched_prior else 0
+let class_of g v = if Graph.mem g v then (Vertex.sched_prior (Graph.vertex g v)) else 0
 
 (* Effective global class of a request <s,d>: the destination's class if
    known; otherwise inherit from the source, capped by the request's own
@@ -101,6 +101,25 @@ let pop_marking_stamped t =
   | None -> None
 
 let pop_marking t = Option.map fst (pop_marking_stamped t)
+
+(* Budgeted callback drains — the no-box counterparts of the
+   [pop_*_stamped] forms, for the engine's per-step budget loops. Pop
+   order is identical: [drain] serves the reduction queue first and falls
+   back to marking, like [pop_stamped]. *)
+let drain_marking t ~budget f =
+  let n = ref 0 in
+  while !n < budget && Pqueue.pop_tagged_with t.marking f do
+    incr n
+  done
+
+let drain t ~budget f =
+  let n = ref 0 in
+  let continue = ref true in
+  while !n < budget && !continue do
+    if Pqueue.pop_tagged_with t.reduction f then incr n
+    else if Pqueue.pop_tagged_with t.marking f then incr n
+    else continue := false
+  done
 
 let length t = Pqueue.length t.marking + Pqueue.length t.reduction
 

@@ -50,6 +50,14 @@ val pop_marking : t -> Task.t option
 val pop_marking_stamped : t -> (Task.t * int) option
 (** {!pop_marking} with the task's lineage stamp. *)
 
+val drain : t -> budget:int -> (Task.t -> int -> unit) -> unit
+(** Pop and apply [f task stamp] up to [budget] times in {!pop_stamped}
+    order (reduction first, then marking), stopping early when both
+    queues run dry. Allocates nothing — the engine's budget-loop form. *)
+
+val drain_marking : t -> budget:int -> (Task.t -> int -> unit) -> unit
+(** {!drain} over the marking queue only ({!pop_marking_stamped} order). *)
+
 val length : t -> int
 
 val is_empty : t -> bool

@@ -1,4 +1,5 @@
-(* Step-phase profiler: wall-clock attribution of engine time.
+(* Step-phase profiler: wall-clock and allocation attribution of engine
+   time.
 
    Each engine step is bracketed into phases — transport (network flush
    and delivery), execution (the per-PE budget loops, the only span the
@@ -7,6 +8,12 @@
    and bookkeeping (counter sync, watchdogs, sampling). Within the
    execution span the budget loops further split their time into
    marking and reduction work.
+
+   Alongside each wall-clock span the same brackets accumulate
+   [Gc.minor_words] deltas, attributing the engine's minor-heap traffic
+   to phases — the working measure for the allocation-free inner-loop
+   budget ([minor_words_per_step] in the bench): when the bench gate
+   trips, the per-phase words say which span regressed.
 
    The measured Amdahl serial fraction falls out directly:
    everything outside the execution span is serial by construction, so
@@ -20,7 +27,10 @@
 
    Wall-clock readings never feed deterministic artifacts (traces,
    metrics JSON, golden lines); [dgr report --deterministic] and the
-   deterministic bench rows zero them. *)
+   deterministic bench rows zero them. Minor-word readings are exact
+   counts, but the sharded engine's worker domains keep their own
+   counters, so per-phase words are only attributed on the coordinating
+   domain. *)
 
 type t = {
   mutable steps : int;
@@ -33,6 +43,13 @@ type t = {
   mutable book_ns : float;
   mutable mark_ns : float;  (* inside execute: marking budget loops *)
   mutable red_ns : float;  (* inside execute: reduction budget loops *)
+  mutable total_mw : float;  (* minor words, same brackets as the ns spans *)
+  mutable transport_mw : float;
+  mutable execute_mw : float;
+  mutable sexec_mw : float;
+  mutable merge_mw : float;
+  mutable gc_mw : float;
+  mutable book_mw : float;
 }
 
 let create () =
@@ -47,9 +64,18 @@ let create () =
     book_ns = 0.0;
     mark_ns = 0.0;
     red_ns = 0.0;
+    total_mw = 0.0;
+    transport_mw = 0.0;
+    execute_mw = 0.0;
+    sexec_mw = 0.0;
+    merge_mw = 0.0;
+    gc_mw = 0.0;
+    book_mw = 0.0;
   }
 
 let now () = Unix.gettimeofday () *. 1e9
+
+let words () = Gc.minor_words ()
 
 let serial_fraction t =
   if t.total_ns <= 0.0 then 0.0
@@ -63,9 +89,13 @@ let amdahl_speedup t ~domains =
 
 let share t part = if t.total_ns <= 0.0 then 0.0 else part /. t.total_ns
 
+let per_step t part = if t.steps <= 0 then 0.0 else part /. float_of_int t.steps
+
 let to_json t =
   Printf.sprintf
-    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"gc\":%.4f,\"bookkeeping\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f}"
+    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"gc\":%.4f,\"bookkeeping\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f,\"mw_per_step\":{\"transport\":%.1f,\"execute\":%.1f,\"execute_serial\":%.1f,\"merge\":%.1f,\"gc\":%.1f,\"bookkeeping\":%.1f}}"
     t.steps (t.total_ns /. 1e6) (share t t.transport_ns) (share t t.execute_ns)
     (share t t.sexec_ns) (share t t.merge_ns) (share t t.gc_ns) (share t t.book_ns)
     (share t t.mark_ns) (share t t.red_ns) (serial_fraction t)
+    (per_step t t.transport_mw) (per_step t t.execute_mw) (per_step t t.sexec_mw)
+    (per_step t t.merge_mw) (per_step t t.gc_mw) (per_step t t.book_mw)

@@ -1,4 +1,5 @@
-(** Step-phase profiler: where the engine's wall-clock time goes.
+(** Step-phase profiler: where the engine's wall-clock time — and its
+    minor-heap allocation — goes.
 
     The engine brackets each step into transport / execution / barrier
     merge / GC control / bookkeeping phases, and the execution budget
@@ -7,10 +8,15 @@
     Amdahl serial fraction is [(total - execute) / total] — the direct
     yardstick for ROADMAP item 1's "shrink the serial controller".
 
-    All readings are wall-clock and therefore non-deterministic; they
-    never feed traces, metrics JSON or golden fixtures. Deterministic
-    outputs ([dgr report --deterministic], deterministic bench rows)
-    zero them. *)
+    The same brackets also accumulate [Gc.minor_words] deltas, so the
+    bench's [minor_words_per_step] budget can be attributed to a phase
+    when it regresses. On the sharded engine only the coordinating
+    domain's words are attributed (workers count on their own heaps).
+
+    Wall-clock readings are non-deterministic; they never feed traces,
+    metrics JSON or golden fixtures. Deterministic outputs
+    ([dgr report --deterministic], deterministic bench rows) zero the
+    whole profile. *)
 
 type t = {
   mutable steps : int;
@@ -23,6 +29,13 @@ type t = {
   mutable book_ns : float;
   mutable mark_ns : float;
   mutable red_ns : float;
+  mutable total_mw : float;
+  mutable transport_mw : float;
+  mutable execute_mw : float;
+  mutable sexec_mw : float;
+  mutable merge_mw : float;
+  mutable gc_mw : float;
+  mutable book_mw : float;
 }
 
 val create : unit -> t
@@ -30,6 +43,10 @@ val create : unit -> t
 (** Monotonic-enough wall clock in nanoseconds (the engine only ever
     differences readings taken microseconds apart). *)
 val now : unit -> float
+
+(** This domain's cumulative minor-heap allocation in words
+    ([Gc.minor_words]) — differenced at the same points as {!now}. *)
+val words : unit -> float
 
 (** Fraction of total step time spent outside the parallelizable
     execution span, in [0, 1]; [0.0] before any step ran. *)
@@ -39,6 +56,6 @@ val serial_fraction : t -> float
     measured serial fraction. *)
 val amdahl_speedup : t -> domains:int -> float
 
-(** Phase shares and the serial fraction as a JSON object. Wall-clock
-    derived — not byte-deterministic. *)
+(** Phase shares, the serial fraction, and per-phase minor words per
+    step as a JSON object. Wall-clock derived — not byte-deterministic. *)
 val to_json : t -> string

@@ -28,6 +28,16 @@ let exec_vertex = function
   | Marking (Return { par = Plane.Parent v; _ }) -> Some v
   | Marking (Return { par = Plane.Rootpar; _ }) -> None
 
+(* [exec_vertex] without the option box, for the per-send hot path. *)
+let exec_vid = function
+  | Reduction (Request { dst; _ }) -> dst
+  | Reduction (Respond { dst = Some d; _ }) -> d
+  | Reduction (Respond { dst = None; _ }) -> -1
+  | Reduction (Cancel { dst; _ }) -> dst
+  | Marking (Mark1 { v; _ } | Mark2 { v; _ } | Mark3 { v; _ }) -> v
+  | Marking (Return { par = Plane.Parent v; _ }) -> v
+  | Marking (Return { par = Plane.Rootpar; _ }) -> -1
+
 let reduction_endpoints = function
   | Request { src; dst; _ } -> ( match src with Some s -> [ s; dst ] | None -> [ dst ])
   | Respond { src; dst; _ } -> ( match dst with Some d -> [ src; d ] | None -> [ src ])

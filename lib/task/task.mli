@@ -57,6 +57,10 @@ val exec_vertex : t -> Vid.t option
     [None] for tasks addressed to the controller ([Respond] to the
     external requester; [Return] to [Rootpar]). *)
 
+val exec_vid : t -> int
+(** [exec_vertex] without the option box, for per-send hot paths: the
+    vid, or [-1] for controller-addressed tasks. *)
+
 val reduction_endpoints : reduction -> Vid.t list
 (** Source and destination vertices of a reduction task — the seeds
     contributed to [args(taskroot_i)] when M_T starts (§5.2). *)

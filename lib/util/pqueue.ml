@@ -114,7 +114,31 @@ let pop_tagged q =
 let pop q =
   match pop_tagged q with None -> None | Some (p, _, v) -> Some (p, v)
 
+(* Callback form of [pop_tagged] for per-pop hot loops: no option or
+   tuple is built. The heap invariant is restored before [f] runs, so
+   [f] may re-enter [add_tagged]. *)
+let pop_tagged_with q f =
+  if q.len = 0 then false
+  else begin
+    let g = q.tag.(0) and v = q.vals.(0) in
+    let n = q.len - 1 in
+    q.len <- n;
+    if n > 0 then begin
+      q.prio.(0) <- q.prio.(n);
+      q.rank.(0) <- q.rank.(n);
+      q.tag.(0) <- q.tag.(n);
+      q.vals.(0) <- q.vals.(n);
+      sift_down q 0
+    end;
+    f v g;
+    true
+  end
+
 let peek q = if q.len = 0 then None else Some (q.prio.(0), q.vals.(0))
+
+(* Unboxed peek at the minimum priority for hot drain loops that only
+   need to compare it against a threshold before committing to a pop. *)
+let min_prio q ~default = if q.len = 0 then default else q.prio.(0)
 
 let clear q = q.len <- 0
 

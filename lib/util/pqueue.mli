@@ -27,7 +27,18 @@ val pop_tagged : 'a t -> (int * int * 'a) option
 (** Like {!pop} but also returns the entry's tag:
     [(prio, tag, value)]. *)
 
+val pop_tagged_with : 'a t -> ('a -> int -> unit) -> bool
+(** [pop_tagged_with q f] pops the minimum entry and calls [f value tag];
+    false (and no call) when empty. Allocates nothing — the hot-loop form
+    of {!pop_tagged}. The heap invariant is restored before [f] runs, so
+    [f] may re-enter {!add_tagged}. *)
+
 val peek : 'a t -> (int * 'a) option
+
+val min_prio : 'a t -> default:int -> int
+(** The minimum priority in the queue, or [default] when empty — the
+    allocation-free form of [peek] for threshold checks (e.g. "is the
+    next arrival due?"). *)
 
 val clear : 'a t -> unit
 

@@ -12,14 +12,14 @@ let check_vid_set msg expected actual =
 let marked_set g plane =
   Graph.fold_live
     (fun acc v ->
-      if Plane.marked (Vertex.plane v plane) then Vid.Set.add v.Vertex.id acc else acc)
+      if Plane.marked (Vertex.plane v plane) then Vid.Set.add (Vertex.id v) acc else acc)
     Vid.Set.empty g
 
 let marked_with_prior g prior =
   Graph.fold_live
     (fun acc v ->
-      if Plane.marked v.Vertex.mr && v.Vertex.mr.Plane.prior = prior then
-        Vid.Set.add v.Vertex.id acc
+      if Plane.marked (Vertex.mr v) && Plane.prior (Vertex.mr v) = prior then
+        Vid.Set.add (Vertex.id v) acc
       else acc)
     Vid.Set.empty g
 
@@ -29,9 +29,9 @@ let check_quiescent g plane =
     (fun v ->
       let p = Vertex.plane v plane in
       if Plane.transient p then
-        Alcotest.failf "v%d left transient after marking" v.Vertex.id;
-      if p.Plane.cnt <> 0 then
-        Alcotest.failf "v%d has residual mt-cnt=%d" v.Vertex.id p.Plane.cnt)
+        Alcotest.failf "v%d left transient after marking" (Vertex.id v);
+      if (Plane.cnt p) <> 0 then
+        Alcotest.failf "v%d has residual mt-cnt=%d" (Vertex.id v) (Plane.cnt p))
     g
 
 let orders rng =

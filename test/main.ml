@@ -3,6 +3,7 @@ let () =
     [
       ("util", T_util.suite);
       ("graph", T_graph.suite);
+      ("store", T_store.suite);
       ("task", T_task.suite);
       ("lang", T_lang.suite);
       ("marking", T_marking.suite);

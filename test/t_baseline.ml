@@ -19,8 +19,8 @@ let test_rc_frees_on_zero_and_cascades () =
   Refcount.pin rc a;
   Refcount.on_disconnect rc a b;
   Vertex.disconnect (Graph.vertex g a) b;
-  Alcotest.(check bool) "b freed" true (Graph.vertex g b).Vertex.free;
-  Alcotest.(check bool) "cascade freed c" true (Graph.vertex g c).Vertex.free;
+  Alcotest.(check bool) "b freed" true (Vertex.free (Graph.vertex g b));
+  Alcotest.(check bool) "cascade freed c" true (Vertex.free (Graph.vertex g c));
   Alcotest.(check int) "reclaimed count" 2 (Refcount.reclaimed rc)
 
 let test_rc_cannot_reclaim_cycles () =
@@ -34,7 +34,7 @@ let test_rc_cannot_reclaim_cycles () =
   Refcount.on_disconnect rc holder ring;
   Vertex.disconnect (Graph.vertex g holder) ring;
   Alcotest.(check bool) "ring member still live (leak)" false
-    (Graph.vertex g ring).Vertex.free;
+    (Vertex.free (Graph.vertex g ring));
   (* the holder has count 0 (never referenced) so it is not part of the
      positive-count leak census; the four ring members are *)
   Alcotest.(check int) "leak reported" 4 (List.length (Refcount.leaked rc))
@@ -54,23 +54,23 @@ let test_rc_pin_unpin () =
   let rc = Refcount.create g in
   Refcount.pin rc w;
   Refcount.unpin rc w;
-  Alcotest.(check bool) "unpin frees unreferenced vertex" true (Graph.vertex g w).Vertex.free;
+  Alcotest.(check bool) "unpin frees unreferenced vertex" true (Vertex.free (Graph.vertex g w));
   Refcount.pin rc v;
   Refcount.unpin rc v;
-  Alcotest.(check bool) "the root is never freed" false (Graph.vertex g v).Vertex.free
+  Alcotest.(check bool) "the root is never freed" false (Vertex.free (Graph.vertex g v))
 
 let test_rc_messages_cross_pe_only () =
   let g = Graph.create ~num_pes:2 () in
   let b = Graph.alloc ~pe:0 g (Label.Int 1) in
   let c = Graph.alloc ~pe:1 g (Label.Int 2) in
   let a = Graph.alloc ~pe:0 g Label.If in
-  Graph.set_root g a.Vertex.id;
+  Graph.set_root g (Vertex.id a);
   let rc = Refcount.create g in
-  Refcount.on_connect rc a.Vertex.id b.Vertex.id;
-  Vertex.connect a b.Vertex.id;
+  Refcount.on_connect rc (Vertex.id a) (Vertex.id b);
+  Vertex.connect a (Vertex.id b);
   Alcotest.(check int) "same-PE inc is local" 0 (Refcount.messages rc);
-  Refcount.on_connect rc a.Vertex.id c.Vertex.id;
-  Vertex.connect a c.Vertex.id;
+  Refcount.on_connect rc (Vertex.id a) (Vertex.id c);
+  Vertex.connect a (Vertex.id c);
   Alcotest.(check int) "cross-PE inc is a message" 1 (Refcount.messages rc)
 
 let test_rc_on_free_callback () =
@@ -103,8 +103,8 @@ let test_stw_collects_and_purges () =
   Alcotest.(check int) "marked" 4 report.Stw.marked;
   Alcotest.(check int) "reclaimed" 5 report.Stw.reclaimed;
   Alcotest.(check int) "only the junk task purged" 1 !purged;
-  Alcotest.(check bool) "junk freed" true (Graph.vertex g junk).Vertex.free;
-  Alcotest.(check bool) "live kept" false (Graph.vertex g live).Vertex.free;
+  Alcotest.(check bool) "junk freed" true (Vertex.free (Graph.vertex g junk));
+  Alcotest.(check bool) "live kept" false (Vertex.free (Graph.vertex g live));
   Alcotest.(check (list string)) "graph valid after sweep" [] (Validate.check g)
 
 let test_stw_cleans_dangling_requesters () =
@@ -113,9 +113,9 @@ let test_stw_cleans_dangling_requesters () =
   let junk = Builder.add g Label.If [] in
   Vertex.add_requester (Graph.vertex g live) (Some junk) ~demand:Demand.Eager ~key:live;
   let (_ : Stw.report) = Stw.collect g ~purge_tasks:(fun _ -> 0) in
-  Alcotest.(check bool) "junk reclaimed" true (Graph.vertex g junk).Vertex.free;
+  Alcotest.(check bool) "junk reclaimed" true (Vertex.free (Graph.vertex g junk));
   Alcotest.(check int) "dangling requester dropped" 0
-    (List.length (Graph.vertex g live).Vertex.requested)
+    (List.length (Vertex.requested (Graph.vertex g live)))
 
 let suite =
   [

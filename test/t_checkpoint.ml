@@ -31,12 +31,12 @@ let restore_all ?into cks = Array.iter (fun c -> Checkpoint.restore ?into c) cks
    checkpoint is concerned. *)
 let maul g ~pe =
   Graph.iter_home g ~pe (fun v ->
-      if not v.Vertex.free then begin
+      if not (Vertex.free v) then begin
         Vertex.set_args v [];
-        v.Vertex.req_v <- [];
-        v.Vertex.sched_prior <- v.Vertex.sched_prior + 7;
-        v.Vertex.mr.Plane.color <- Plane.Transient;
-        v.Vertex.mr.Plane.cnt <- 42
+        List.iter (Vertex.drop_request v) (Vertex.req_v v);
+        Vertex.set_sched_prior v @@ (Vertex.sched_prior v) + 7;
+        Plane.set_color (Vertex.mr v) Plane.Transient;
+        Plane.set_cnt (Vertex.mr v) 42
       end)
 
 (* How [Invariants.ownership_guard] answers for every live vertex, under
@@ -57,7 +57,7 @@ let guard_fingerprint g =
             with Failure _ -> false
           in
           (vid, probe, ok))
-        [ v.Vertex.pe; (v.Vertex.pe + 1) mod num_pes; -1 ])
+        [ (Vertex.pe v); ((Vertex.pe v) + 1) mod num_pes; -1 ])
     (List.sort compare (Graph.live_vids g))
 
 let test_roundtrip_in_place () =
@@ -131,7 +131,7 @@ let test_incremental_sync () =
   (match List.filter (fun v -> Graph.home_of_vid g v = 0) (Graph.live_vids g) with
   | [] -> Alcotest.fail "no live vertex homed at 0"
   | vid :: _ ->
-    (Graph.vertex g vid).Vertex.sched_prior <- 99;
+    Vertex.set_sched_prior (Graph.vertex g vid) @@ 99;
     Alcotest.(check int) "one mutation, one rewrite" 1 (Checkpoint.sync c ~now:3);
     Alcotest.(check (option int)) "rewritten entry carries the sync step" (Some 3)
       (Checkpoint.step_of c vid);
@@ -158,13 +158,13 @@ let test_same_step_birth_forfeited () =
   done;
   let fresh = Graph.alloc ~from:0 g Label.Nil in
   Alcotest.(check int) "allocation landed on home 0" 0
-    (Graph.home_of_vid g fresh.Vertex.id);
-  Alcotest.(check bool) "newborn is live pre-crash" false fresh.Vertex.free;
+    (Graph.home_of_vid g (Vertex.id fresh));
+  Alcotest.(check bool) "newborn is live pre-crash" false (Vertex.free fresh);
   restore_all cks;
   Alcotest.(check bool) "newborn forfeited to the free pool" true
-    (Graph.vertex g fresh.Vertex.id).Vertex.free;
+    (Vertex.free (Graph.vertex g (Vertex.id fresh)));
   Alcotest.(check (list int)) "free list = checkpointed list, newborn appended"
-    (free_before @ [ fresh.Vertex.id ])
+    (free_before @ [ (Vertex.id fresh) ])
     (Graph.home_free_list g ~pe:0);
   Alcotest.(check (list string)) "graph validates after forfeiture" []
     (Validate.check g)
@@ -183,7 +183,7 @@ let test_free_list_headroom () =
   let born = ref [] in
   for _ = 1 to List.length free_before + 3 do
     let v = Graph.alloc ~from:1 g Label.Nil in
-    if Graph.home_of_vid g v.Vertex.id = 1 then born := v.Vertex.id :: !born
+    if Graph.home_of_vid g (Vertex.id v) = 1 then born := (Vertex.id v) :: !born
   done;
   Alcotest.(check (list int)) "free list drained" []
     (Graph.home_free_list g ~pe:1);
@@ -197,7 +197,7 @@ let test_free_list_headroom () =
   List.iter
     (fun v ->
       Alcotest.(check bool) (Printf.sprintf "post-sync slot %d is free again" v) true
-        (Graph.vertex g v).Vertex.free)
+        (Vertex.free (Graph.vertex g v)))
     !born
 
 let test_restore_before_sync_rejected () =

@@ -186,8 +186,8 @@ let run_mid_phase_crash ~marking ~seed =
   (* no live vertex may still be homed for execution at the corpse *)
   Graph.iter_live
     (fun v ->
-      if v.Vertex.pe = 1 then
-        Alcotest.failf "%s: v%d still owned by the crashed PE" ctx v.Vertex.id)
+      if (Vertex.pe v) = 1 then
+        Alcotest.failf "%s: v%d still owned by the crashed PE" ctx (Vertex.id v))
     (Engine.graph e);
   let target = Dgr_core.Cycle.cycles_completed c + 6 in
   let guard = ref 0 in

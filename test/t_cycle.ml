@@ -86,12 +86,12 @@ let test_sched_prior_persists () =
   Vertex.request_arg (Graph.vertex g root) leaf Demand.Eager;
   let e = engine_for g in
   let (_ : Cycle.t) = run_cycles e 1 in
-  Alcotest.(check int) "root classified vital" 3 (Graph.vertex g root).Vertex.sched_prior;
-  Alcotest.(check int) "leaf classified eager" 2 (Graph.vertex g leaf).Vertex.sched_prior;
+  Alcotest.(check int) "root classified vital" 3 (Vertex.sched_prior (Graph.vertex g root));
+  Alcotest.(check int) "leaf classified eager" 2 (Vertex.sched_prior (Graph.vertex g leaf));
   Alcotest.(check bool) "planes reset between cycles" true
-    (Plane.unmarked (Graph.vertex g root).Vertex.mr
-    || Plane.transient (Graph.vertex g root).Vertex.mr
-    || Plane.marked (Graph.vertex g root).Vertex.mr)
+    (Plane.unmarked (Vertex.mr (Graph.vertex g root))
+    || Plane.transient (Vertex.mr (Graph.vertex g root))
+    || Plane.marked (Vertex.mr (Graph.vertex g root)))
 
 let test_irrelevant_tasks_purged () =
   let g = Graph.create ~num_pes:1 () in
@@ -105,7 +105,7 @@ let test_irrelevant_tasks_purged () =
   let (_ : Cycle.t) = run_cycles e 3 in
   Alcotest.(check bool) "circulating irrelevant task expunged" true
     ((Engine.metrics e).Metrics.tasks_purged >= 1);
-  Alcotest.(check bool) "junk ring collected" true (Graph.vertex g junk).Vertex.free;
+  Alcotest.(check bool) "junk ring collected" true (Vertex.free (Graph.vertex g junk));
   (* and the machine actually quiesces once the task is gone *)
   let still_pending =
     List.exists Dgr_task.Task.is_reduction (Engine.pending_tasks e)

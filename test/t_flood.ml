@@ -23,7 +23,7 @@ let flood_drain ?mut fl seeds =
   let executed = ref 0 in
   while not (Queue.is_empty queue) do
     let task = Queue.pop queue in
-    List.iter (fun t -> Queue.add t queue) (Flood.execute fl ~pe:0 task);
+    Flood.execute fl ~pe:0 ~emit:(fun t -> Queue.add t queue) task;
     incr executed;
     if !executed > 10_000_000 then failwith "flood diverged"
   done;
@@ -58,7 +58,7 @@ let test_flood_marks_reachable () =
   let expected = Dgr_analysis.Reach.reachable_from (Snapshot.take g) [ root ] in
   Helpers.check_vid_set "flood = R" expected marked;
   Alcotest.(check bool) "junk untouched" true
-    (Plane.unmarked (Graph.vertex g junk).Vertex.mr);
+    (Plane.unmarked (Vertex.mr (Graph.vertex g junk)));
   Alcotest.(check int) "2 words per PE" 2 (Flood.bookkeeping_words fl)
 
 let spec_gen =
@@ -87,9 +87,9 @@ let prop_flood_equals_tree_static =
         (fun ok v ->
           ok
           &&
-          let w = Graph.vertex g2 v.Vertex.id in
-          Plane.marked v.Vertex.mr = Plane.marked w.Vertex.mr
-          && v.Vertex.mr.Plane.prior = w.Vertex.mr.Plane.prior)
+          let w = Graph.vertex g2 (Vertex.id v) in
+          Plane.marked (Vertex.mr v) = Plane.marked (Vertex.mr w)
+          && Plane.prior (Vertex.mr v) = Plane.prior (Vertex.mr w))
         true g1)
 
 let prop_flood_mt_equals_oracle =
@@ -104,11 +104,11 @@ let prop_flood_mt_equals_oracle =
               (fun acc (e : Vertex.request_entry) ->
                 if Rng.int rng 2 = 0 then
                   Dgr_task.Task.Request
-                    { src = e.Vertex.who; dst = v.Vertex.id; demand = e.Vertex.demand;
+                    { src = e.Vertex.who; dst = (Vertex.id v); demand = e.Vertex.demand;
                       key = e.Vertex.key }
                   :: acc
                 else acc)
-              acc v.Vertex.requested)
+              acc (Vertex.requested v))
           [] g
       in
       let seeds =
@@ -132,7 +132,7 @@ let prop_flood_safety_liveness_under_mutation =
         let r = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
         Graph.fold_live
           (fun acc v ->
-            if Vid.Set.mem v.Vertex.id r then acc else Vid.Set.add v.Vertex.id acc)
+            if Vid.Set.mem (Vertex.id v) r then acc else Vid.Set.add (Vertex.id v) acc)
           Vid.Set.empty g
       in
       let fl = Flood.create g Run.Priority in
@@ -166,9 +166,9 @@ let prop_flood_safety_liveness_under_mutation =
             if Graph.headroom g > 3 then begin
               let inner = Graph.alloc g Label.Ind in
               List.iter
-                (fun old -> Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:old)
+                (fun old -> Mutator.connect_fresh mut ~parent:(Vertex.id inner) ~child:old)
                 (Graph.children g a);
-              Mutator.expand_node mut ~a ~entry:inner.Vertex.id
+              Mutator.expand_node mut ~a ~entry:(Vertex.id inner)
             end
         end
       in
@@ -177,19 +177,19 @@ let prop_flood_safety_liveness_under_mutation =
         adversary ();
         (if not (Queue.is_empty queue) then
            let task = Queue.pop queue in
-           List.iter (fun t -> Queue.add t queue) (Flood.execute fl ~pe:0 task));
+           Flood.execute fl ~pe:0 ~emit:(fun t -> Queue.add t queue) task);
         incr steps;
         if !steps > 5_000_000 then failwith "flood diverged under mutation"
       done;
       let reachable = Dgr_analysis.Reach.reachable_from (Snapshot.take g) [ Graph.root g ] in
       let liveness =
         Vid.Set.for_all
-          (fun v -> Plane.marked (Graph.vertex g v).Vertex.mr)
+          (fun v -> Plane.marked (Vertex.mr (Graph.vertex g v)))
           reachable
       in
       let safety =
         Vid.Set.for_all
-          (fun v -> Plane.unmarked (Graph.vertex g v).Vertex.mr)
+          (fun v -> Plane.unmarked (Vertex.mr (Graph.vertex g v)))
           gar_tb
       in
       liveness && safety && Flood.outstanding fl = 0)

@@ -57,19 +57,19 @@ let test_vertex_requesters () =
   let v = Vertex.create 5 ~pe:0 Label.Bottom in
   Vertex.add_requester v (Some 1) ~demand:Demand.Eager ~key:5;
   Vertex.add_requester v (Some 1) ~demand:Demand.Eager ~key:5;
-  Alcotest.(check int) "deduplicated" 1 (List.length v.Vertex.requested);
+  Alcotest.(check int) "deduplicated" 1 (List.length (Vertex.requested v));
   Vertex.add_requester v (Some 1) ~demand:Demand.Vital ~key:5;
-  (match v.Vertex.requested with
+  (match (Vertex.requested v) with
   | [ e ] -> Alcotest.(check bool) "upgraded" true (Demand.equal e.Vertex.demand Demand.Vital)
   | _ -> Alcotest.fail "expected a single entry");
   Vertex.add_requester v (Some 1) ~demand:Demand.Eager ~key:7;
-  Alcotest.(check int) "same requester, second key" 2 (List.length v.Vertex.requested);
+  Alcotest.(check int) "same requester, second key" 2 (List.length (Vertex.requested v));
   Alcotest.(check bool) "has_request_entry" true (Vertex.has_request_entry v (Some 1) 7);
   Alcotest.(check bool) "missing entry" false (Vertex.has_request_entry v (Some 2) 7);
   Vertex.add_requester v None ~demand:Demand.Vital ~key:5;
   Alcotest.(check bool) "external requester" true (Vertex.has_requester v None);
   Vertex.remove_requester v (Some 1);
-  Alcotest.(check int) "all entries of requester removed" 1 (List.length v.Vertex.requested)
+  Alcotest.(check int) "all entries of requester removed" 1 (List.length (Vertex.requested v))
 
 let test_vertex_recv () =
   let v = Vertex.create 0 ~pe:0 (Label.Prim Label.Add) in
@@ -85,19 +85,19 @@ let test_graph_alloc_release_reuse () =
   let g = Graph.create ~num_pes:3 () in
   let a = Graph.alloc g (Label.Int 1) in
   let b = Graph.alloc g (Label.Int 2) in
-  Alcotest.(check int) "round-robin pe 0" 0 a.Vertex.pe;
-  Alcotest.(check int) "round-robin pe 1" 1 b.Vertex.pe;
-  Graph.release g a.Vertex.id;
+  Alcotest.(check int) "round-robin pe 0" 0 (Vertex.pe a);
+  Alcotest.(check int) "round-robin pe 1" 1 (Vertex.pe b);
+  Graph.release g (Vertex.id a);
   Alcotest.(check int) "free count" 1 (Graph.free_count g);
-  Alcotest.(check bool) "flagged free" true (Graph.vertex g a.Vertex.id).Vertex.free;
+  Alcotest.(check bool) "flagged free" true (Vertex.free (Graph.vertex g (Vertex.id a)));
   let c = Graph.alloc g (Label.Int 3) in
-  Alcotest.(check int) "slot reused" a.Vertex.id c.Vertex.id;
-  Alcotest.(check bool) "live again" false c.Vertex.free;
+  Alcotest.(check int) "slot reused" (Vertex.id a) (Vertex.id c);
+  Alcotest.(check bool) "live again" false (Vertex.free c);
   Alcotest.check_raises "double release"
-    (Invalid_argument (Printf.sprintf "Graph.release: v%d already free" b.Vertex.id))
+    (Invalid_argument (Printf.sprintf "Graph.release: v%d already free" (Vertex.id b)))
     (fun () ->
-      Graph.release g b.Vertex.id;
-      Graph.release g b.Vertex.id)
+      Graph.release g (Vertex.id b);
+      Graph.release g (Vertex.id b))
 
 let test_graph_capacity () =
   let g = Graph.create () in
@@ -107,10 +107,10 @@ let test_graph_capacity () =
   Alcotest.(check int) "headroom exhausted" 0 (Graph.headroom g);
   Alcotest.check_raises "out of vertices" Graph.Out_of_vertices (fun () ->
       ignore (Graph.alloc g (Label.Int 3)));
-  Graph.release g a.Vertex.id;
+  Graph.release g (Vertex.id a);
   Alcotest.(check int) "headroom via free list" 1 (Graph.headroom g);
   let c = Graph.alloc g (Label.Int 3) in
-  Alcotest.(check int) "alloc from free list under cap" a.Vertex.id c.Vertex.id;
+  Alcotest.(check int) "alloc from free list under cap" (Vertex.id a) (Vertex.id c);
   Alcotest.check_raises "cannot shrink below table"
     (Invalid_argument "Graph.set_capacity: below current table size") (fun () ->
       Graph.set_capacity g (Some 1))
@@ -121,7 +121,7 @@ let test_graph_preallocate () =
   Alcotest.(check int) "free pool" 5 (Graph.free_count g);
   Alcotest.(check int) "no live" 0 (Graph.live_count g);
   let v = Graph.alloc g Label.Nil in
-  Alcotest.(check bool) "drawn from pool" true (v.Vertex.id < 5);
+  Alcotest.(check bool) "drawn from pool" true ((Vertex.id v) < 5);
   Alcotest.(check int) "pool shrank" 4 (Graph.free_count g)
 
 let test_graph_root () =
@@ -139,7 +139,7 @@ let test_builder_structures () =
   let rec depth v n = match Graph.children g v with [ c ] -> depth c (n + 1) | _ -> n in
   Alcotest.(check int) "chain depth" 4 (depth head 0);
   let lst = Builder.int_list g [ 1; 2; 3 ] in
-  Alcotest.(check bool) "cons head" true ((Graph.vertex g lst).Vertex.label = Label.Cons);
+  Alcotest.(check bool) "cons head" true ((Vertex.label (Graph.vertex g lst)) = Label.Cons);
   let ring = Builder.cycle g 4 in
   let rec follow v n = if n = 0 then v else follow (List.hd (Graph.children g v)) (n - 1) in
   Alcotest.(check int) "ring closes" ring (follow ring 4)
@@ -179,8 +179,9 @@ let test_validate_req_subset () =
   let g = Graph.create () in
   let a = Builder.add_root g Label.If [] in
   Vertex.request_arg (Graph.vertex g a) 0 Demand.Vital;
-  (* req_v not a subset of args: only possible by direct manipulation *)
-  (Graph.vertex g a).Vertex.req_v <- [ 42 ];
+  (* req_v not a subset of args: request_arg records the demand without
+     checking args membership *)
+  Vertex.request_arg (Graph.vertex g a) 42 Demand.Vital;
   Alcotest.(check bool) "req_v ⊄ args reported" true (Validate.check g <> [])
 
 let test_snapshot_immutable () =
@@ -202,13 +203,13 @@ let test_plane_lifecycle () =
   Alcotest.(check bool) "transient" true (Plane.transient p);
   Plane.mark p;
   Alcotest.(check bool) "marked" true (Plane.marked p);
-  p.Plane.prior <- 3;
+  Plane.set_prior p @@ 3;
   Plane.unmark p;
-  Alcotest.(check bool) "unmark clears priority" true (Plane.unmarked p && p.Plane.prior = 0);
+  Alcotest.(check bool) "unmark clears priority" true (Plane.unmarked p && (Plane.prior p) = 0);
   Plane.touch p;
-  p.Plane.cnt <- 5;
+  Plane.set_cnt p @@ 5;
   Plane.reset p;
-  Alcotest.(check bool) "reset" true (Plane.unmarked p && p.Plane.cnt = 0)
+  Alcotest.(check bool) "reset" true (Plane.unmarked p && (Plane.cnt p) = 0)
 
 let contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in

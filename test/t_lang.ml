@@ -130,7 +130,7 @@ let test_template_instantiate () =
   let mut = Dgr_core.Mutator.create ~spawn:(fun _ -> ()) g in
   let entry = Template.instantiate tpl g mut ~actuals:[ x; y ] in
   Alcotest.(check bool) "entry is the indirection" true
-    ((Graph.vertex g entry).Vertex.label = Label.Ind);
+    ((Vertex.label (Graph.vertex g entry)) = Label.Ind);
   let add = List.hd (Graph.children g entry) in
   Alcotest.(check (list int)) "params substituted" [ x; y ] (Graph.children g add);
   Alcotest.check_raises "arity mismatch"
@@ -152,7 +152,7 @@ let test_graph_of_expr () =
   let g = Graph.create () in
   let v = Compile.graph_of_expr g (parse "1 + 2 * 3") in
   Alcotest.(check bool) "rooted at add" true
-    ((Graph.vertex g v).Vertex.label = Label.Prim Label.Add);
+    ((Vertex.label (Graph.vertex g v)) = Label.Prim Label.Add);
   Alcotest.(check (list string)) "valid" [] (Validate.check g)
 
 let suite =

@@ -34,11 +34,11 @@ let test_tree () =
 let test_self_loop () =
   let g = Graph.create () in
   let v = Graph.alloc g Label.If in
-  Vertex.connect v v.Vertex.id;
-  Graph.set_root g v.Vertex.id;
+  Vertex.connect v (Vertex.id v);
+  Graph.set_root g (Vertex.id v);
   let run = mark_basic g in
   Alcotest.(check bool) "finished" true run.Run.finished;
-  Alcotest.(check bool) "self-loop marked" true (Plane.marked v.Vertex.mr);
+  Alcotest.(check bool) "self-loop marked" true (Plane.marked (Vertex.mr v));
   Helpers.check_quiescent g Plane.MR
 
 let test_cycle_ring () =
@@ -57,7 +57,7 @@ let test_garbage_not_marked () =
   let garbage = Builder.cycle g 4 in
   let (_ : Run.t) = mark_basic g in
   Alcotest.(check bool) "garbage unmarked" true
-    (Plane.unmarked (Graph.vertex g garbage).Vertex.mr)
+    (Plane.unmarked (Vertex.mr (Graph.vertex g garbage)))
 
 let test_shared_subexpression () =
   let g = Graph.create () in
@@ -120,7 +120,7 @@ let test_priority_diamond () =
   Vertex.request_arg (Graph.vertex g r) d Demand.Vital;
   let run = Sync_engine.mark g Run.Priority ~seeds:[ root ] in
   Alcotest.(check bool) "finished" true run.Run.finished;
-  let prior v = (Graph.vertex g v).Vertex.mr.Plane.prior in
+  let prior v = Plane.prior (Vertex.mr (Graph.vertex g v)) in
   Alcotest.(check int) "root vital" 3 (prior root);
   Alcotest.(check int) "left vital" 3 (prior l);
   Alcotest.(check int) "right eager" 2 (prior r);
@@ -137,7 +137,7 @@ let test_priority_eager_subtree_requests_vitally () =
   Vertex.request_arg (Graph.vertex g root) e Demand.Eager;
   Vertex.request_arg (Graph.vertex g e) w Demand.Vital;
   let (_ : Run.t) = Sync_engine.mark g Run.Priority ~seeds:[ root ] in
-  let prior v = (Graph.vertex g v).Vertex.mr.Plane.prior in
+  let prior v = Plane.prior (Vertex.mr (Graph.vertex g v)) in
   Alcotest.(check int) "e eager" 2 (prior e);
   Alcotest.(check int) "w capped at eager" 2 (prior w)
 
@@ -148,7 +148,7 @@ let test_priority_unrequested_is_reserve () =
   ignore root;
   let (_ : Run.t) = Sync_engine.mark g Run.Priority ~seeds:[ Graph.root g ] in
   Alcotest.(check int) "unrequested arg priority 1" 1
-    (Graph.vertex g x).Vertex.mr.Plane.prior
+    (Plane.prior (Vertex.mr (Graph.vertex g x)))
 
 let test_priority_matches_oracle_random () =
   let rng = Rng.create 99 in
@@ -212,16 +212,16 @@ let test_mark_tasks_skips_req_args () =
   let run = Sync_engine.mark g Run.Tasks ~seeds:[ x ] in
   Alcotest.(check bool) "finished" true run.Run.finished;
   Alcotest.(check bool) "y not task-reachable" true
-    (Plane.unmarked (Graph.vertex g y).Vertex.mt);
-  Alcotest.(check bool) "x marked" true (Plane.marked (Graph.vertex g x).Vertex.mt)
+    (Plane.unmarked (Vertex.mt (Graph.vertex g y)));
+  Alcotest.(check bool) "x marked" true (Plane.marked (Vertex.mt (Graph.vertex g x)))
 
 let test_planes_independent () =
   let g = Graph.create () in
   let head = Builder.chain g 4 in
   Graph.set_root g head;
   let (_ : Run.t) = Sync_engine.mark g Run.Basic ~seeds:[ head ] in
-  Alcotest.(check bool) "MR marked" true (Plane.marked (Graph.vertex g head).Vertex.mr);
-  Alcotest.(check bool) "MT untouched" true (Plane.unmarked (Graph.vertex g head).Vertex.mt)
+  Alcotest.(check bool) "MR marked" true (Plane.marked (Vertex.mr (Graph.vertex g head)));
+  Alcotest.(check bool) "MT untouched" true (Plane.unmarked (Vertex.mt (Graph.vertex g head)))
 
 let suite =
   [
@@ -251,13 +251,14 @@ let test_wrong_plane_rejected () =
   let v = Builder.add_root g (Label.Int 1) [] in
   let run = Run.create g Run.Priority in
   Run.seed_added run;
-  (match Marker.execute run (Dgr_task.Task.Mark3 { v; par = Plane.Rootpar }) with
+  (match Marker.execute run ~emit:ignore (Dgr_task.Task.Mark3 { v; par = Plane.Rootpar }) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mark3 accepted by an M_R run");
   let run_t = Run.create g Run.Tasks in
   Run.seed_added run_t;
   match
-    Marker.execute run_t (Dgr_task.Task.Mark2 { v; par = Plane.Rootpar; prior = 3 })
+    Marker.execute run_t ~emit:ignore
+      (Dgr_task.Task.Mark2 { v; par = Plane.Rootpar; prior = 3 })
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mark2 accepted by an M_T run"
@@ -267,7 +268,8 @@ let test_return_without_credit_rejected () =
   let v = Builder.add_root g (Label.Int 1) [] in
   let run = Run.create g Run.Basic in
   match
-    Marker.execute run (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Parent v })
+    Marker.execute run ~emit:ignore
+      (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Parent v })
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "return accepted with mt-cnt = 0"
@@ -278,7 +280,7 @@ let test_flood_rejects_returns () =
   ignore v;
   let fl = Dgr_core.Flood.create g Run.Basic in
   match
-    Dgr_core.Flood.execute fl ~pe:0
+    Dgr_core.Flood.execute fl ~pe:0 ~emit:ignore
       (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Rootpar })
   with
   | exception Invalid_argument _ -> ()
@@ -292,8 +294,9 @@ let test_invariant_checker_catches_corruption () =
   let run = Sync_engine.start engine Run.Basic ~seeds:[ head ] in
   let (_ : bool) = Sync_engine.step engine in
   (* corrupt the count behind the algorithm's back *)
-  (Graph.vertex g head).Vertex.mr.Plane.cnt <-
-    (Graph.vertex g head).Vertex.mr.Plane.cnt + 5;
+  Plane.set_cnt
+    (Vertex.mr (Graph.vertex g head))
+    (Plane.cnt (Vertex.mr (Graph.vertex g head)) + 5);
   Alcotest.(check bool) "invariant 3 violation reported" true
     (Invariants.check run ~pending:(Sync_engine.pending engine) <> [])
 

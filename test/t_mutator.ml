@@ -24,7 +24,7 @@ let drain_and_check engine run =
   let reachable = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
   Vid.Set.iter
     (fun v ->
-      if not (Plane.marked (Graph.vertex g v).Vertex.mr) then
+      if not (Plane.marked (Vertex.mr (Graph.vertex g v))) then
         Alcotest.failf "reachable v%d missed by marking" v)
     reachable
 
@@ -39,7 +39,7 @@ let test_paper_race () =
   let engine, run = partial_mark g ~steps:1 in
   (* After one step the root a is transient and a mark task for b is
      pending; c is untouched. *)
-  Alcotest.(check bool) "a transient" true (Plane.transient (Graph.vertex g a).Vertex.mr);
+  Alcotest.(check bool) "a transient" true (Plane.transient (Vertex.mr (Graph.vertex g a)));
   let mut = Sync_engine.mutator engine in
   Mutator.add_reference mut ~a ~b ~c;
   Mutator.delete_reference mut ~a:b ~b:c;
@@ -60,13 +60,13 @@ let test_paper_race_after_marked () =
      chain). *)
   let steps = ref 0 in
   while
-    (not (Plane.marked (Graph.vertex g a).Vertex.mr))
+    (not (Plane.marked (Vertex.mr (Graph.vertex g a))))
     && !steps < 100
     && Sync_engine.step engine
   do
     incr steps
   done;
-  if Plane.marked (Graph.vertex g a).Vertex.mr && Plane.transient (Graph.vertex g b).Vertex.mr
+  if Plane.marked (Vertex.mr (Graph.vertex g a)) && Plane.transient (Vertex.mr (Graph.vertex g b))
   then begin
     let fresh = Builder.add g (Label.Int 9) [] in
     Vertex.connect (Graph.vertex g b) fresh;
@@ -104,10 +104,10 @@ let test_expand_node_marked_parent () =
   let mut = Sync_engine.mutator engine in
   Mutator.set_active mut [ run ];
   let inner = Graph.alloc g (Label.Prim Label.Neg) in
-  Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:leaf;
-  Mutator.expand_node mut ~a ~entry:inner.Vertex.id;
-  Alcotest.(check bool) "subgraph closure-marked" true (Plane.marked inner.Vertex.mr);
-  Alcotest.(check (list int)) "a rewired" [ inner.Vertex.id ] (Vertex.args (Graph.vertex g a));
+  Mutator.connect_fresh mut ~parent:(Vertex.id inner) ~child:leaf;
+  Mutator.expand_node mut ~a ~entry:(Vertex.id inner);
+  Alcotest.(check bool) "subgraph closure-marked" true (Plane.marked (Vertex.mr inner));
+  Alcotest.(check (list int)) "a rewired" [ (Vertex.id inner) ] (Vertex.args (Graph.vertex g a));
   Invariants.check_exn run ~pending:(Sync_engine.pending engine)
 
 let test_expand_node_unmarked_parent () =
@@ -116,9 +116,9 @@ let test_expand_node_unmarked_parent () =
   let a = Builder.add_root g Label.Ind [ leaf ] in
   let mut = Mutator.create ~spawn:(fun _ -> ()) g in
   let inner = Graph.alloc g (Label.Prim Label.Neg) in
-  Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:leaf;
-  Mutator.expand_node mut ~a ~entry:inner.Vertex.id;
-  Alcotest.(check bool) "no marking without active runs" true (Plane.unmarked inner.Vertex.mr)
+  Mutator.connect_fresh mut ~parent:(Vertex.id inner) ~child:leaf;
+  Mutator.expand_node mut ~a ~entry:(Vertex.id inner);
+  Alcotest.(check bool) "no marking without active runs" true (Plane.unmarked (Vertex.mr inner))
 
 let test_record_request_cooperates_once () =
   (* Re-recording the same request entry must not charge the marking tree
@@ -130,16 +130,16 @@ let test_record_request_cooperates_once () =
   let run = Sync_engine.start engine Run.Tasks ~seeds:[ x ] in
   let (_ : bool) = Sync_engine.step engine in
   (* x is now transient on the MT plane *)
-  Alcotest.(check bool) "x transient (MT)" true (Plane.transient (Graph.vertex g x).Vertex.mt);
+  Alcotest.(check bool) "x transient (MT)" true (Plane.transient (Vertex.mt (Graph.vertex g x)));
   let mut = Sync_engine.mutator engine in
-  let cnt_before = (Graph.vertex g x).Vertex.mt.Plane.cnt in
+  let cnt_before = Plane.cnt (Vertex.mt (Graph.vertex g x)) in
   Mutator.record_request mut ~at:x ~requester:(Some y) ~demand:Demand.Vital ~key:x;
-  let cnt_after_first = (Graph.vertex g x).Vertex.mt.Plane.cnt in
+  let cnt_after_first = Plane.cnt (Vertex.mt (Graph.vertex g x)) in
   Alcotest.(check int) "first recording charges once" (cnt_before + 1) cnt_after_first;
   Mutator.record_request mut ~at:x ~requester:(Some y) ~demand:Demand.Vital ~key:x;
   Alcotest.(check int) "re-recording does not charge"
     cnt_after_first
-    (Graph.vertex g x).Vertex.mt.Plane.cnt;
+    (Plane.cnt (Vertex.mt (Graph.vertex g x)));
   let (_ : int) = Sync_engine.drain engine in
   Alcotest.(check bool) "M_T terminates" true run.Run.finished
 
@@ -154,12 +154,12 @@ let test_drop_request_restores_mt_edge () =
   let run = Sync_engine.start engine Run.Tasks ~seeds:[ x ] in
   let (_ : int) = Sync_engine.drain engine in
   Alcotest.(check bool) "x marked, y skipped (req-arg edge)" true
-    (Plane.marked (Graph.vertex g x).Vertex.mt && Plane.unmarked (Graph.vertex g y).Vertex.mt);
+    (Plane.marked (Vertex.mt (Graph.vertex g x)) && Plane.unmarked (Vertex.mt (Graph.vertex g y)));
   let mut = Sync_engine.mutator engine in
   Mutator.set_active mut [ run ];
   Mutator.drop_request_child mut ~v:x ~c:y;
   Alcotest.(check bool) "y closure-marked on dereference" true
-    (Plane.marked (Graph.vertex g y).Vertex.mt)
+    (Plane.marked (Vertex.mt (Graph.vertex g y)))
 
 let test_hooks_fire () =
   let g = Graph.create () in
@@ -224,9 +224,9 @@ let test_interleaved_random_mutations () =
           if Graph.headroom g > 2 then begin
             let inner = Graph.alloc g Label.Ind in
             List.iter
-              (fun old -> Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:old)
+              (fun old -> Mutator.connect_fresh mut ~parent:(Vertex.id inner) ~child:old)
               (Graph.children g a);
-            Mutator.expand_node mut ~a ~entry:inner.Vertex.id
+            Mutator.expand_node mut ~a ~entry:(Vertex.id inner)
           end
       end;
       Invariants.check_exn run ~pending:(Sync_engine.pending engine)
@@ -239,7 +239,7 @@ let test_interleaved_random_mutations () =
     let reachable = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
     Vid.Set.iter
       (fun v ->
-        if not (Plane.marked (Graph.vertex g v).Vertex.mr) then
+        if not (Plane.marked (Vertex.mr (Graph.vertex g v))) then
           Alcotest.failf "seed %d: reachable v%d missed" seed v)
       reachable
   done

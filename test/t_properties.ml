@@ -116,11 +116,11 @@ let prop_mt_marking_equals_oracle =
               (fun acc (e : Vertex.request_entry) ->
                 if Rng.int rng 2 = 0 then
                   Dgr_task.Task.Request
-                    { src = e.Vertex.who; dst = v.Vertex.id; demand = e.Vertex.demand;
+                    { src = e.Vertex.who; dst = (Vertex.id v); demand = e.Vertex.demand;
                       key = e.Vertex.key }
                   :: acc
                 else acc)
-              acc v.Vertex.requested)
+              acc (Vertex.requested v))
           [] g
       in
       let seeds =

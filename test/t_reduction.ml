@@ -152,7 +152,7 @@ let test_deadlock_detected () =
     (* The deadlocked set must contain the vitally-awaited add vertex. *)
     let has_add =
       Vid.Set.exists
-        (fun v -> (Graph.vertex g v).Vertex.label = Label.Prim Label.Add)
+        (fun v -> (Vertex.label (Graph.vertex g v)) = Label.Prim Label.Add)
         dl
     in
     Alcotest.(check bool) "the strict + vertex is deadlocked" true has_add

@@ -26,23 +26,23 @@ let test_pool_dynamic_uses_classification () =
   let g, a, b = mk_graph () in
   let eager = Task.request ~src:a b Demand.Eager in
   let before = Pool.priority_of Pool.Dynamic g eager in
-  (Graph.vertex g b).Vertex.sched_prior <- 3;
+  Vertex.set_sched_prior (Graph.vertex g b) @@ 3;
   let after = Pool.priority_of Pool.Dynamic g eager in
   Alcotest.(check bool) "classification upgrades an eager task" true (after < before);
-  (Graph.vertex g b).Vertex.sched_prior <- 1;
+  Vertex.set_sched_prior (Graph.vertex g b) @@ 1;
   Alcotest.(check bool) "demotion to reserve" true
     (Pool.priority_of Pool.Dynamic g eager > before)
 
 let test_pool_vital_overrides_stale () =
   let g, a, b = mk_graph () in
-  (Graph.vertex g b).Vertex.sched_prior <- 1;
+  Vertex.set_sched_prior (Graph.vertex g b) @@ 1;
   let vital = Task.request ~src:a b Demand.Vital in
   Alcotest.(check int) "vital task ignores a stale reserve verdict" 2
     (Pool.priority_of Pool.Dynamic g vital)
 
 let test_pool_source_inheritance () =
   let g, a, b = mk_graph () in
-  (Graph.vertex g a).Vertex.sched_prior <- 2;
+  Vertex.set_sched_prior (Graph.vertex g a) @@ 2;
   (* eager-region source: a vital-flagged task is still vital (upgrades
      travel by task), but an eager task from an eager source stays eager *)
   let eager = Task.request ~src:a b Demand.Eager in
@@ -84,15 +84,15 @@ let test_pool_purge_and_reprioritize () =
       | _ -> false)
   in
   Alcotest.(check int) "purged one" 1 n;
-  (Graph.vertex g a).Vertex.sched_prior <- 3;
+  Vertex.set_sched_prior (Graph.vertex g a) @@ 3;
   Alcotest.(check int) "reprioritize reports changes" 1 (Pool.reprioritize pool)
 
 (* Full pop orderings, policy by policy, over one mixed push set. *)
 let test_pool_policy_pop_orders () =
   let g, a, b = mk_graph () in
   (* a sits in the vital region, b was classified reserve last cycle *)
-  (Graph.vertex g a).Vertex.sched_prior <- 3;
-  (Graph.vertex g b).Vertex.sched_prior <- 1;
+  Vertex.set_sched_prior (Graph.vertex g a) @@ 3;
+  Vertex.set_sched_prior (Graph.vertex g b) @@ 1;
   let e_b = Task.request ~src:a b Demand.Eager in
   let v_b = Task.request ~src:a b Demand.Vital in
   let e_a = Task.request ~src:b a Demand.Eager in
@@ -171,8 +171,8 @@ let test_engine_local_vs_remote_latency () =
   let g = Graph.create ~num_pes:2 () in
   let b = Graph.alloc ~pe:1 g (Label.Int 7) in
   let a = Graph.alloc ~pe:0 g Label.Ind in
-  Vertex.connect a b.Vertex.id;
-  Graph.set_root g a.Vertex.id;
+  Vertex.connect a (Vertex.id b);
+  Graph.set_root g (Vertex.id a);
   let config = Engine.Config.make ~num_pes:2 ~latency:9 ~gc:Engine.No_gc () in
   let e = Engine.create ~config g (Dgr_reduction.Template.create_registry ()) in
   Engine.inject_root_demand e;

@@ -50,9 +50,9 @@ let adversary ?(monotone_requests = false) rng mut g prob _step =
         if Graph.headroom g > 3 && Vertex.req_args va = [] then begin
           let inner = Graph.alloc g Label.Ind in
           List.iter
-            (fun old -> Mutator.connect_fresh mut ~parent:inner.Vertex.id ~child:old)
+            (fun old -> Mutator.connect_fresh mut ~parent:(Vertex.id inner) ~child:old)
             (Graph.children g a);
-          Mutator.expand_node mut ~a ~entry:inner.Vertex.id
+          Mutator.expand_node mut ~a ~entry:(Vertex.id inner)
         end
       | 3 -> (
         (* demand an existing child: a pure upgrade *)
@@ -94,7 +94,7 @@ let prop_theorem_1 =
         let snap = Snapshot.take g in
         let r = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
         Graph.fold_live
-          (fun acc v -> if Vid.Set.mem v.Vertex.id r then acc else Vid.Set.add v.Vertex.id acc)
+          (fun acc v -> if Vid.Set.mem (Vertex.id v) r then acc else Vid.Set.add (Vertex.id v) acc)
           Vid.Set.empty g
       in
       let engine = Sync_engine.create ~order:(Sync_engine.Random (Rng.split rng)) g in
@@ -108,7 +108,7 @@ let prop_theorem_1 =
         let gar' =
           Graph.fold_live
             (fun acc v ->
-              if Plane.unmarked v.Vertex.mr then Vid.Set.add v.Vertex.id acc else acc)
+              if Plane.unmarked (Vertex.mr v) then Vid.Set.add (Vertex.id v) acc else acc)
             Vid.Set.empty g
         in
         let gar_tc =
@@ -116,7 +116,7 @@ let prop_theorem_1 =
           let r = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
           Graph.fold_live
             (fun acc v ->
-              if Vid.Set.mem v.Vertex.id r then acc else Vid.Set.add v.Vertex.id acc)
+              if Vid.Set.mem (Vertex.id v) r then acc else Vid.Set.add (Vertex.id v) acc)
             Vid.Set.empty g
         in
         (* gar_tb restricted to vertices still live (expand-node never
@@ -140,11 +140,11 @@ let prop_theorem_2 =
               (fun acc (e : Vertex.request_entry) ->
                 if Rng.int rng 3 = 0 then
                   Dgr_task.Task.Request
-                    { src = e.Vertex.who; dst = v.Vertex.id; demand = e.Vertex.demand;
+                    { src = e.Vertex.who; dst = (Vertex.id v); demand = e.Vertex.demand;
                       key = e.Vertex.key }
                   :: acc
                 else acc)
-              acc v.Vertex.requested)
+              acc (Vertex.requested v))
           [] g
       in
       let dl_of_snapshot () =
@@ -173,10 +173,10 @@ let prop_theorem_2 =
           Graph.fold_live
             (fun acc v ->
               if
-                Plane.marked v.Vertex.mr
-                && v.Vertex.mr.Plane.prior = 3
-                && not (Plane.marked v.Vertex.mt)
-              then Vid.Set.add v.Vertex.id acc
+                Plane.marked (Vertex.mr v)
+                && Plane.prior (Vertex.mr v) = 3
+                && not (Plane.marked (Vertex.mt v))
+              then Vid.Set.add (Vertex.id v) acc
               else acc)
             Vid.Set.empty g
         in
@@ -194,7 +194,7 @@ let prop_mr_safety =
         let snap = Snapshot.take g in
         let r = Dgr_analysis.Reach.reachable_from snap [ Graph.root g ] in
         Graph.fold_live
-          (fun acc v -> if Vid.Set.mem v.Vertex.id r then acc else Vid.Set.add v.Vertex.id acc)
+          (fun acc v -> if Vid.Set.mem (Vertex.id v) r then acc else Vid.Set.add (Vertex.id v) acc)
           Vid.Set.empty g
       in
       let engine = Sync_engine.create g in
@@ -203,7 +203,7 @@ let prop_mr_safety =
       let (_ : int) = Sync_engine.drain ~interleave:(adversary rng mut g 3) engine in
       run.Run.finished
       && Vid.Set.for_all
-           (fun v -> Plane.unmarked (Graph.vertex g v).Vertex.mr)
+           (fun v -> Plane.unmarked (Vertex.mr (Graph.vertex g v)))
            gar_tb)
 
 (* Invariants hold at every interleaving point of a mutated M_R run. *)
