@@ -252,7 +252,7 @@ let experiment_cmd id trace_dir =
     1
 
 let bench_cmd smoke deterministic domains batch out baseline alloc_budget
-    list_only =
+    serial_ceiling list_only =
   let module B = Dgr_harness.Bench in
   if list_only then begin
     List.iter print_endline (B.scenario_names ~smoke);
@@ -267,7 +267,7 @@ let bench_cmd smoke deterministic domains batch out baseline alloc_budget
               B.run_suite ~domains ~batch ~only:[ name ] ~smoke ~deterministic ()
             with
             | [ row ] ->
-              Format.printf "%-24s %8d steps %9d tasks%s%s@." name row.B.steps
+              Format.printf "%-24s %8d steps %9d tasks%s%s%s@." name row.B.steps
                 row.B.tasks
                 (if row.B.frames_sent = 0 then ""
                  else
@@ -276,7 +276,9 @@ let bench_cmd smoke deterministic domains batch out baseline alloc_budget
                  else
                    Printf.sprintf "  %.0f steps/sec"
                      (float_of_int row.B.steps
-                     /. (Int64.to_float row.B.wall_ns /. 1e9)));
+                     /. (Int64.to_float row.B.wall_ns /. 1e9)))
+                (if deterministic || row.B.wall_ns = 0L then ""
+                 else Printf.sprintf "  serial=%.2f" row.B.serial_fraction);
               row
             | _ -> assert false)
           (B.scenario_names ~smoke)
@@ -347,10 +349,38 @@ let bench_cmd smoke deterministic domains batch out baseline alloc_budget
                         n c b)
                     regs)))
       in
-      (match (rate_check, alloc_check) with
-      | Ok (), Ok () -> Ok ()
-      | Error a, Error b -> Error (a ^ "; " ^ b)
-      | (Error _ as e), Ok () | Ok (), (Error _ as e) -> e)
+      let serial_check =
+        (* The Amdahl gate: the decentralized-cycle work is only real if
+           the measured serial fraction on the marking-heavy storm stays
+           under its committed ceiling. Wall-clock derived, so it is
+           skipped on deterministic passes (the profile is zeroed). *)
+        match serial_ceiling with
+        | None -> Ok ()
+        | Some _ when deterministic -> Ok ()
+        | Some ceil -> (
+          match
+            List.find_opt (fun r -> r.B.name = "storm-tree-8k") rows
+          with
+          | None -> Ok ()
+          | Some row when row.B.serial_fraction <= ceil ->
+            Format.printf "serial fraction %.2f within ceiling %.2f on storm-tree-8k@."
+              row.B.serial_fraction ceil;
+            Ok ()
+          | Some row ->
+            Error
+              (Printf.sprintf
+                 "storm-tree-8k serial fraction over ceiling: %.2f > %.2f"
+                 row.B.serial_fraction ceil))
+      in
+      (match (rate_check, alloc_check, serial_check) with
+      | Ok (), Ok (), Ok () -> Ok ()
+      | a, b, c ->
+        let errs =
+          List.filter_map
+            (function Error e -> Some e | Ok () -> None)
+            [ a; b; c ]
+        in
+        Error (String.concat "; " errs))
     with
     | Ok () -> 0
     | Error msg | (exception Sys_error msg) | (exception Failure msg) ->
@@ -704,6 +734,12 @@ let bench_alloc_budget_arg =
                so the budget is absolute — no noise tolerance. Ignored under \
                $(b,--deterministic) (the meters are zeroed).")
 
+let bench_serial_ceiling_arg =
+  Arg.(value & opt (some float) None & info [ "serial-ceiling" ] ~docv:"FRAC"
+         ~doc:"Fail if the measured Amdahl serial fraction on the storm-tree-8k \
+               scenario exceeds $(docv) (in [0,1]). Skipped under \
+               $(b,--deterministic), which zeroes the wall-clock profile.")
+
 let bench_list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List the scenario names and exit.")
 
@@ -711,7 +747,7 @@ let bench_term =
   Term.(
     const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_domains_arg
     $ Term.app (const not) bench_no_batch_arg $ bench_out_arg $ bench_baseline_arg
-    $ bench_alloc_budget_arg $ bench_list_arg)
+    $ bench_alloc_budget_arg $ bench_serial_ceiling_arg $ bench_list_arg)
 
 let bench_cmd_v =
   Cmd.v

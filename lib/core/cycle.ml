@@ -3,9 +3,11 @@ open Dgr_task
 
 type env = {
   spawn_mark : Task.mark -> unit;
-  iter_reduction_endpoints : (Vid.t -> unit) -> unit;
+  pes : int;
+  iter_pe_endpoints : int -> (Vid.t -> unit) -> unit;
   purge_tasks : (Task.t -> bool) -> int;
   reprioritize : unit -> int;
+  each_home : (int -> unit) -> unit;
   now : unit -> int;
 }
 
@@ -59,7 +61,9 @@ let create ?(deadlock_every = 1) ?(scheme = Tree) ?(detection_window = 8) ?recor
     mt_flood = None;
     mr_h = None;
     mt_h = None;
-    detector = Termination.create ~window:detection_window;
+    (* placeholder; replaced at each flood phase start with the phase's
+       epoch — never consulted while Idle *)
+    detector = Termination.create ~window:detection_window ~epoch:(-1) ~pes:1;
     mt_ran_this_cycle = false;
     cycles = 0;
     last_report = None;
@@ -88,16 +92,31 @@ let flood_seed fl env v =
   Flood.count_seed fl ~pe:0;
   env.spawn_mark (Flood.seed_for fl v)
 
-let mt_seed_set t =
-  let acc = ref Vid.Set.empty in
-  t.env.iter_reduction_endpoints (fun v -> acc := Vid.Set.add v !acc);
-  !acc
+(* Build taskroot_i from per-PE local knowledge: each PE enumerates the
+   reduction endpoints it knows (its pool, its mailbox, its shard of the
+   in-flight set), visited in fixed PE order. Duplicates across PEs (a
+   task in flight is known to sender and receiver) are dropped in O(1)
+   by stamping the vertex with the current wave — no global set is
+   built. First PE to name a vertex seeds it. *)
+let seed_endpoints t ~seed_one =
+  let wave = Graph.wave t.g in
+  for pe = 0 to t.env.pes - 1 do
+    t.env.iter_pe_endpoints pe (fun v ->
+        let vx = Graph.vertex t.g v in
+        if (not (Vertex.free vx)) && Vertex.seed_stamp vx <> wave then begin
+          Vertex.set_seed_stamp vx wave;
+          seed_one v
+        end)
+  done
+
+let phase_obs t phase =
+  obs t (Dgr_obs.Event.Phase { phase; cycle = t.cycles; wave = Graph.wave t.g })
 
 let start_mark_root t =
   Graph.reset_plane t.g Plane.MR;
   t.phase <- Mark_root;
   t.phase_started_at <- t.env.now ();
-  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Mark_root; cycle = t.cycles });
+  phase_obs t Dgr_obs.Event.Mark_root;
   match t.cycle_scheme with
   | Tree ->
     let run = Run.create t.g Run.Priority in
@@ -113,7 +132,8 @@ let start_mark_root t =
     let fl = Flood.create t.g Run.Priority in
     t.mr_flood <- Some fl;
     t.mr_h <- Some (Flood_run fl);
-    t.detector <- Termination.create ~window:t.detection_window;
+    t.detector <-
+      Termination.create ~window:t.detection_window ~epoch:fl.Flood.wave ~pes:t.env.pes;
     Mutator.set_active_flood t.mut [ fl ];
     if Graph.has_root t.g then begin
       let root = Graph.root t.g in
@@ -125,54 +145,53 @@ let start_mark_tasks t =
   t.mt_ran_this_cycle <- true;
   t.phase <- Mark_tasks;
   t.phase_started_at <- t.env.now ();
-  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Mark_tasks; cycle = t.cycles });
-  let seeds = mt_seed_set t in
+  phase_obs t Dgr_obs.Event.Mark_tasks;
   match t.cycle_scheme with
   | Tree ->
     let run = Run.create t.g Run.Tasks in
     t.mt_run <- Some run;
     t.mt_h <- Some (Tree_run run);
     Mutator.set_active t.mut [ run ];
-    Vid.Set.iter
-      (fun v -> if not (Vertex.free (Graph.vertex t.g v)) then seed run t.env v)
-      seeds;
+    seed_endpoints t ~seed_one:(fun v -> seed run t.env v);
     Run.check_trivially_finished run
   | Flood_counters ->
     let fl = Flood.create t.g Run.Tasks in
     t.mt_flood <- Some fl;
     t.mt_h <- Some (Flood_run fl);
-    t.detector <- Termination.create ~window:t.detection_window;
+    t.detector <-
+      Termination.create ~window:t.detection_window ~epoch:fl.Flood.wave ~pes:t.env.pes;
     Mutator.set_active_flood t.mut [ fl ];
-    Vid.Set.iter
-      (fun v -> if not (Vertex.free (Graph.vertex t.g v)) then flood_seed fl t.env v)
-      seeds
+    seed_endpoints t ~seed_one:(fun v -> flood_seed fl t.env v)
 
 (* Crash recovery: a PE loss invalidates the wave in progress — marks it
    left half-propagated, returns and counter credits it lost in flight —
-   so the engine purges every marking task machine-wide and calls this to
-   re-derive the phase from scratch. Restarting re-resets the phase's
-   plane, creates a fresh run (tree) or flood counters + termination
-   detector (flood), and re-seeds; the *other* plane's finished result is
-   untouched — its marks were settled before this phase began and remain
-   a valid (conservative) input to the cycle's verdict. The aborted run's
+   so the engine calls this to re-derive the phase from scratch.
+   Restarting re-resets the phase's plane, which opens a {e new} wave:
+   the dead wave's surviving in-flight tasks and credits carry the old
+   epoch and are dropped at dispatch / by the detector, so no
+   machine-wide purge is needed. A fresh run (tree) or flood counters +
+   termination detector (flood) is created under the new epoch and
+   re-seeded; the {e other} plane's finished result is untouched — its
+   marks were settled before this phase began and remain a valid
+   (conservative) input to the cycle's verdict. The aborted run's
    executed-mark tally is folded into the totals first. *)
 let restart_phase t =
   match t.phase with
   | Idle -> ()
   | Mark_tasks ->
     (match t.mt_run with
-    | Some r -> t.mt_marks <- t.mt_marks + r.Run.marks_executed
+    | Some r -> t.mt_marks <- t.mt_marks + Run.marks_total r
     | None -> ());
     (match t.mt_flood with
-    | Some f -> t.mt_marks <- t.mt_marks + f.Flood.marks_executed
+    | Some f -> t.mt_marks <- t.mt_marks + Flood.marks_executed_total f
     | None -> ());
     start_mark_tasks t
   | Mark_root ->
     (match t.mr_run with
-    | Some r -> t.mr_marks <- t.mr_marks + r.Run.marks_executed
+    | Some r -> t.mr_marks <- t.mr_marks + Run.marks_total r
     | None -> ());
     (match t.mr_flood with
-    | Some f -> t.mr_marks <- t.mr_marks + f.Flood.marks_executed
+    | Some f -> t.mr_marks <- t.mr_marks + Flood.marks_executed_total f
     | None -> ());
     start_mark_root t
 
@@ -185,18 +204,19 @@ let start_cycle t =
 let finish_cycle t =
   Mutator.set_active t.mut [];
   Mutator.set_active_flood t.mut [];
-  (match t.mr_run with Some r -> t.mr_marks <- t.mr_marks + r.Run.marks_executed | None -> ());
-  (match t.mt_run with Some r -> t.mt_marks <- t.mt_marks + r.Run.marks_executed | None -> ());
+  (match t.mr_run with Some r -> t.mr_marks <- t.mr_marks + Run.marks_total r | None -> ());
+  (match t.mt_run with Some r -> t.mt_marks <- t.mt_marks + Run.marks_total r | None -> ());
   (match t.mr_flood with
-  | Some f -> t.mr_marks <- t.mr_marks + f.Flood.marks_executed
+  | Some f -> t.mr_marks <- t.mr_marks + Flood.marks_executed_total f
   | None -> ());
   (match t.mt_flood with
-  | Some f -> t.mt_marks <- t.mt_marks + f.Flood.marks_executed
+  | Some f -> t.mt_marks <- t.mt_marks + Flood.marks_executed_total f
   | None -> ());
-  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Restructure; cycle = t.cycles });
+  phase_obs t Dgr_obs.Event.Restructure;
   let report =
     Restructure.run ~graph:t.g ~deadlock_checked:t.mt_ran_this_cycle
-      ~purge_tasks:t.env.purge_tasks ~reprioritize:t.env.reprioritize ()
+      ~purge_tasks:t.env.purge_tasks ~reprioritize:t.env.reprioritize
+      ~each_home:t.env.each_home ()
   in
   (match report.Restructure.deadlocked with
   | [] -> ()
@@ -206,7 +226,7 @@ let finish_cycle t =
   obs t
     (Dgr_obs.Event.Cycle_done
        { cycle = t.cycles; garbage = List.length report.Restructure.garbage });
-  obs t (Dgr_obs.Event.Phase { phase = Dgr_obs.Event.Idle; cycle = t.cycles });
+  phase_obs t Dgr_obs.Event.Idle;
   t.phase <- Idle;
   t.phase_started_at <- t.env.now ();
   t.cycles <- t.cycles + 1;
@@ -222,11 +242,16 @@ let finish_cycle t =
   t.mt_h <- None;
   report
 
-(* Flood-scheme completion: the per-PE counters balance and stay balanced
-   across the detection window. *)
-let flood_finished t fl =
-  Termination.observe t.detector ~now:(t.env.now ())
-    ~sent:(Flood.sent_total fl) ~executed:(Flood.executed_total fl);
+(* Credits flow in from the transport (piggybacked on data frames and
+   cumulative acks, or standalone heartbeats); the detector max-merges
+   them and drops wrong-epoch noise itself. *)
+let learn_credit t ~pe ~epoch ~sent ~executed =
+  Termination.learn t.detector ~pe ~epoch ~sent ~executed
+
+(* Flood-scheme completion: every PE's learned credits balance and stay
+   balanced (same sent total) across the detection window. *)
+let flood_finished t _fl =
+  Termination.observe t.detector ~now:(t.env.now ());
   Termination.terminated t.detector
 
 let phase_finished t =

@@ -1,7 +1,7 @@
 open Dgr_graph
 open Dgr_task
 
-(** The endless mark/restructure cycle (§4, §5).
+(** The endless mark/restructure cycle (§4, §5), decentralized.
 
     A [Cycle.t] is the controller state machine driving garbage collection
     concurrently with the reduction process:
@@ -10,35 +10,56 @@ open Dgr_task
 
     M_T runs {e before} M_R within a cycle (required by Theorem 2) and only
     on every [deadlock_every]-th cycle (§6: "our approach is to execute
-    M_T only occasionally"). The controller is polled by the engine after
-    every simulation step; phase transitions are detected by run
-    completion. The restructuring phase executes atomically inside one
-    poll — its cost is what the engine reports as "pause" in E4.
+    M_T only occasionally"). The controller is polled by the engine at
+    step barriers; phase transitions are detected by run completion.
 
-    M_T's seeds are the endpoints of every reduction task currently in a
-    pool or in flight — the [troot]/[taskroot_i] construction of §5.2
-    flattened, with in-transit tasks made visible by the environment
-    snapshot (the paper defers that mechanism to [5]).
+    {b Epochs.} Every phase start resets its plane, which opens a fresh
+    {e wave} ({!Dgr_graph.Graph.wave}) — a globally-unique epoch stamped
+    into every mark task the wave spawns and every per-slot mark the
+    wave writes. Stale tasks (a crash-abandoned wave's survivors still
+    in flight when the phase restarts) are dropped at dispatch by their
+    epoch; stale plane slots read as pristine. Nothing is ever purged
+    machine-wide, and a new wave can start while an old wave's debris
+    drains — marking no longer serializes the step loop.
 
-    Everything here assumes §2.1's idealized channel: every spawned mark
-    task arrives, exactly once. A lost mark leaves its parent's count
-    forever positive (tree scheme) or the PE counters forever unbalanced
-    (flood scheme) — the cycle simply never completes; a duplicated
-    return corrupts the counts outright. When the simulator injects
-    faults, the network's reliable-delivery layer ([Dgr_sim.Network])
-    restores that exactly-once effect, and "in flight" above means
+    {b Seeding.} M_T's seeds ([troot]/[taskroot_i], §5.2) are built from
+    per-PE local knowledge: each PE enumerates the reduction-task
+    endpoints it knows (its pool, its outgoing mailbox, its shard of the
+    in-flight set) via [iter_pe_endpoints], visited in fixed PE order;
+    cross-PE duplicates are dropped in O(1) by stamping each vertex with
+    the current wave. No global task snapshot is taken.
+
+    {b Completion.} The tree scheme completes structurally (the [Return]
+    chain drains to [Rootpar]). The flood scheme completes by the
+    distributed credit protocol: per-PE (sent, executed) counters ride
+    the transport as epoch-tagged credits ({!learn_credit}), and a
+    {!Termination} detector pinned to the wave's epoch declares
+    quiescence after two balanced observations a detection window apart.
+    The paper's §2.1 exactly-once channel assumption still underpins the
+    counters; under injected faults the network's reliable-delivery
+    layer ([Dgr_sim.Network]) re-earns it, and "in flight" above means
     {e undelivered sends} — a dropped frame still seeds M_T, since its
-    retransmission will eventually deliver it. *)
+    retransmission will eventually deliver it.
+
+    {b Restructure} is sharded by home partition (see {!Restructure}):
+    verdict collection and survivor bookkeeping fan out across domains
+    through [env.each_home] and merge in fixed PE order. *)
 
 type env = {
   spawn_mark : Task.mark -> unit;  (** route into the owning PE's pool *)
-  iter_reduction_endpoints : (Vid.t -> unit) -> unit;
-      (** apply a function to the endpoint vertices of every pending or
-          in-flight reduction task (pools + network + parked), in no
-          particular order and possibly with repeats — the controller
-          folds them into the M_T seed set *)
+  pes : int;  (** home-partition count — one endpoint source per PE *)
+  iter_pe_endpoints : int -> (Vid.t -> unit) -> unit;
+      (** [iter_pe_endpoints pe f]: apply [f] to the endpoint vertices of
+          every pending or in-flight reduction task that PE [pe] knows
+          locally — its pool, its outgoing sends, its shard of parked
+          work. Repeats (within or across PEs) are fine: the controller
+          dedups by wave stamp. Called serially, in ascending PE order. *)
   purge_tasks : (Task.t -> bool) -> int;
   reprioritize : unit -> int;
+  each_home : (int -> unit) -> unit;
+      (** run a per-home restructure pass for every home PE, possibly in
+          parallel (the engine's domain fan-out); must call its argument
+          exactly once per PE *)
   now : unit -> int;
       (** simulation clock, for flood-scheme termination detection *)
 }
@@ -49,7 +70,7 @@ type scheme = Tree | Flood_counters
 (** [Tree]: the marking-tree algorithm of Figs 4-1/5-1/5-3 (per-vertex
     mt-cnt/mt-par, return tasks, [done] via rootpar). [Flood_counters]:
     the §6 space optimization — no returns, two counter words per PE,
-    termination by counting (see {!Flood} and {!Termination}). *)
+    termination by credit counting (see {!Flood} and {!Termination}). *)
 
 type handler = Tree_run of Run.t | Flood_run of Flood.t
 (** What the engine must hand a marking task to. *)
@@ -61,10 +82,10 @@ val create :
   ?recorder:Dgr_obs.Recorder.t -> Graph.t -> Mutator.t -> env -> t
 (** [deadlock_every = k]: every k-th cycle also runs M_T (default 1 =
     every cycle; 0 = never detect deadlock). [scheme] defaults to [Tree];
-    [detection_window] (default 8) is the flood scheme's termination-wave
-    round trip in steps. [recorder] receives phase transitions and cycle
-    verdicts as trace events. The mutator's active lists are managed by
-    this controller from here on. *)
+    [detection_window] (default 8) is the flood scheme's credit
+    round trip in steps. [recorder] receives phase transitions (wave-
+    tagged) and cycle verdicts as trace events. The mutator's active
+    lists are managed by this controller from here on. *)
 
 val scheme : t -> scheme
 
@@ -86,16 +107,24 @@ val poll : t -> Restructure.report option
 (** Advance the state machine if the current run has finished; returns the
     cycle report when a cycle completes (restructure just ran). *)
 
+val learn_credit : t -> pe:int -> epoch:int -> sent:int -> executed:int -> unit
+(** Feed one termination credit to the current flood detector (the
+    engine wires the network's credit sink here). Wrong-epoch credits —
+    debris of an abandoned wave, or latecomers after a phase flip — are
+    dropped by the detector; calling while Idle or under the tree scheme
+    is harmless for the same reason. *)
+
 val restart_phase : t -> unit
-(** Crash recovery: abandon the marking wave in progress and re-derive the
-    current phase from scratch — reset its plane, create a fresh run
-    (tree) or flood counters plus a fresh termination detector (flood:
-    quiescence is re-derived, never resumed), and re-seed. The caller
-    must first purge every marking task machine-wide (pools, network,
-    crashed and surviving PEs alike): a stale mark or return credited to
-    the fresh run would corrupt its accounting exactly the way §2.1's
-    channel assumptions forbid. The other plane's settled result and the
-    cycle counter are untouched. No-op when [Idle]. *)
+(** Crash recovery: abandon the marking wave in progress and re-derive
+    the current phase from scratch — reset its plane ({e opening a new
+    wave}), create a fresh run (tree) or flood counters plus a fresh
+    termination detector pinned to the new epoch (flood: quiescence is
+    re-derived, never resumed), and re-seed. No machine-wide purge is
+    required: the dead wave's surviving marks, returns and credits carry
+    the old epoch and are dropped at dispatch (engine) or by the
+    detector — they cannot corrupt the fresh run's accounting. The other
+    plane's settled result and the cycle counter are untouched. No-op
+    when [Idle]. *)
 
 val run_for_plane : t -> Plane.id -> Run.t option
 (** The tree run whose tasks the engine should hand to [Marker.execute]

@@ -6,9 +6,10 @@ type t = {
   graph : Graph.t;
   plane : Plane.id;
   variant : Run.variant;
+  wave : int;
   sent : int array;
   executed : int array;
-  mutable marks_executed : int;
+  marked : int array;
 }
 
 let create graph variant =
@@ -17,9 +18,10 @@ let create graph variant =
     graph;
     plane = Run.plane_of_variant variant;
     variant;
+    wave = Graph.wave graph;
     sent = Array.make n 0;
     executed = Array.make n 0;
-    marks_executed = 0;
+    marked = Array.make n 0;
   }
 
 let pe_slot t pe = if pe >= 0 && pe < Array.length t.sent then pe else 0
@@ -29,8 +31,9 @@ let count_seed t ~pe = t.sent.(pe_slot t pe) <- t.sent.(pe_slot t pe) + 1
 let count_coop_spawn t ~pe = count_seed t ~pe
 
 let count_executed t ~pe =
-  t.executed.(pe_slot t pe) <- t.executed.(pe_slot t pe) + 1;
-  t.marks_executed <- t.marks_executed + 1
+  let s = pe_slot t pe in
+  t.executed.(s) <- t.executed.(s) + 1;
+  t.marked.(s) <- t.marked.(s) + 1
 
 (* A mark coalesced in transit was already counted sent by its spawner;
    crediting executed here keeps sent − executed = outstanding honest
@@ -39,11 +42,16 @@ let count_executed t ~pe =
 let count_coalesced t ~pe =
   t.executed.(pe_slot t pe) <- t.executed.(pe_slot t pe) + 1
 
+let credit t ~pe =
+  let s = pe_slot t pe in
+  (t.sent.(s), t.executed.(s))
+
 let mark_task_for t ~v ~prior =
+  let ep = t.wave in
   match t.variant with
-  | Run.Basic -> Mark1 { v; par = Plane.Rootpar }
-  | Run.Priority -> Mark2 { v; par = Plane.Rootpar; prior }
-  | Run.Tasks -> Mark3 { v; par = Plane.Rootpar }
+  | Run.Basic -> Mark1 { v; par = Plane.Rootpar; ep }
+  | Run.Priority -> Mark2 { v; par = Plane.Rootpar; prior; ep }
+  | Run.Tasks -> Mark3 { v; par = Plane.Rootpar; ep }
 
 (* The flood never uses mt-par; seeds and spawned tasks alike carry the
    dummy Rootpar so a task printout distinguishes the schemes. *)
@@ -63,6 +71,8 @@ let execute t ~pe ~emit task =
   | Mark1 _ | Mark2 _ | Mark3 _ ->
     if Task.plane_of_mark task <> t.plane then
       invalid_arg "Flood.execute: task for the wrong plane");
+  if Task.mark_ep task <> t.wave then
+    invalid_arg "Flood.execute: stale-wave task (drop before dispatch)";
   count_executed t ~pe;
   match task with
   | Return _ -> assert false
@@ -89,6 +99,8 @@ let execute t ~pe ~emit task =
 let sent_total t = Array.fold_left ( + ) 0 t.sent
 
 let executed_total t = Array.fold_left ( + ) 0 t.executed
+
+let marks_executed_total t = Array.fold_left ( + ) 0 t.marked
 
 let outstanding t = sent_total t - executed_total t
 

@@ -31,13 +31,16 @@ type t = {
   graph : Graph.t;
   plane : Plane.id;
   variant : Run.variant;
+  wave : int;  (** the [Graph.wave] this flood marks under *)
   sent : int array;  (** per-PE: mark tasks spawned from this PE *)
   executed : int array;  (** per-PE: mark tasks executed on this PE *)
-  mutable marks_executed : int;  (** convenience total (= Σ executed) *)
+  marked : int array;  (** per-PE: marking work actually run (≤ executed) *)
 }
 
 val create : Graph.t -> Run.variant -> t
-(** The plane is implied by the variant, as in {!Run}. *)
+(** The plane is implied by the variant, as in {!Run}; the wave is
+    captured from the graph, so create the flood right after
+    [Graph.reset_plane] opened its wave. *)
 
 val execute : t -> pe:int -> emit:(Task.mark -> unit) -> Task.mark -> unit
 (** Execute one mark task on PE [pe]; each spawned task is handed to
@@ -65,9 +68,17 @@ val count_coalesced : t -> pe:int -> unit
     spawner already counted it sent, and it will never arrive) but not
     as marking work — the surviving twin marks the vertex. *)
 
+val credit : t -> pe:int -> int * int
+(** [pe]'s local [(sent, executed)] counter pair — what the PE reports
+    to the distributed termination detector (piggybacked on transport
+    frames; see {!Termination}). *)
+
 val sent_total : t -> int
 
 val executed_total : t -> int
+
+val marks_executed_total : t -> int
+(** Marking work actually run (coalesced tasks excluded). *)
 
 val outstanding : t -> int
 (** [sent_total - executed_total] — mark tasks pooled or in flight. *)

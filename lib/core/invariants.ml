@@ -7,8 +7,13 @@ let check run ~pending =
   let plane_id = run.Run.plane in
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  (* Only this run's tasks are relevant. *)
-  let pending = List.filter (fun m -> Task.plane_of_mark m = plane_id) pending in
+  (* Only this run's tasks are relevant: same plane, same wave (a
+     stale-wave task is dead at dispatch and credits nothing). *)
+  let pending =
+    List.filter
+      (fun m -> Task.plane_of_mark m = plane_id && Task.mark_ep m = run.Run.wave)
+      pending
+  in
   let pending_mark_on c =
     List.exists
       (function

@@ -10,13 +10,15 @@ let bad_task run task =
 (* Shared by mark1/mark3 (the non-priority variants): trace [children],
    building the marking tree. Spawned tasks are handed to [emit] in the
    order the children are traced; if no child charged the count, the
-   vertex is fully marked and owes its parent a return. *)
+   vertex is fully marked and owes its parent a return. Every spawned
+   task carries the run's wave. *)
 let mark_simple run ~v ~par ~emit =
   let g = run.Run.graph in
+  let ep = run.Run.wave in
   let vx = Graph.vertex g v in
   let plane = Vertex.plane vx run.Run.plane in
   if (Vertex.free vx) || not (Plane.unmarked plane) then
-    emit (Return { plane = run.Run.plane; par })
+    emit (Return { plane = run.Run.plane; par; ep })
   else begin
     Plane.touch plane;
     Plane.set_par plane @@ par;
@@ -24,17 +26,18 @@ let mark_simple run ~v ~par ~emit =
         Plane.set_cnt plane @@ (Plane.cnt plane) + 1;
         emit
           (match run.Run.variant with
-          | Run.Tasks -> Mark3 { v = c; par = Plane.Parent v }
-          | Run.Basic | Run.Priority -> Mark1 { v = c; par = Plane.Parent v }));
+          | Run.Tasks -> Mark3 { v = c; par = Plane.Parent v; ep }
+          | Run.Basic | Run.Priority -> Mark1 { v = c; par = Plane.Parent v; ep }));
     if (Plane.cnt plane) = 0 then begin
       Plane.mark plane;
-      emit (Return { plane = run.Run.plane; par })
+      emit (Return { plane = run.Run.plane; par; ep })
     end
   end
 
 (* Fig 5-1: the body of [modify(v,par,prior)]. *)
 let modify run ~v ~par ~prior ~emit =
   let g = run.Run.graph in
+  let ep = run.Run.wave in
   let vx = Graph.vertex g v in
   let plane = Vertex.plane vx run.Run.plane in
   Plane.touch plane;
@@ -42,27 +45,29 @@ let modify run ~v ~par ~prior ~emit =
   Plane.set_prior plane @@ prior;
   Vertex.iter_args vx (fun c ->
       Plane.set_cnt plane @@ (Plane.cnt plane) + 1;
-      emit (Mark2 { v = c; par = Plane.Parent v; prior = Trace.child_priority g v prior c }));
+      emit
+        (Mark2 { v = c; par = Plane.Parent v; prior = Trace.child_priority g v prior c; ep }));
   if (Plane.cnt plane) = 0 then begin
     Plane.mark plane;
-    emit (Return { plane = run.Run.plane; par })
+    emit (Return { plane = run.Run.plane; par; ep })
   end
 
 (* Fig 5-1: mark2. *)
 let mark_priority run ~v ~par ~prior ~emit =
   let g = run.Run.graph in
+  let ep = run.Run.wave in
   let vx = Graph.vertex g v in
   let plane = Vertex.plane vx run.Run.plane in
-  if (Vertex.free vx) then emit (Return { plane = run.Run.plane; par })
+  if (Vertex.free vx) then emit (Return { plane = run.Run.plane; par; ep })
   else if Plane.unmarked plane then modify run ~v ~par ~prior ~emit
-  else if prior <= (Plane.prior plane) then emit (Return { plane = run.Run.plane; par })
+  else if prior <= (Plane.prior plane) then emit (Return { plane = run.Run.plane; par; ep })
   else begin
     (* Re-mark at a higher priority. If the vertex is mid-marking
        (transient), release its current parent first: the new [modify]
        re-points mt-par at the new parent, and the outstanding children
        from the previous visit still credit this vertex's count. *)
     if Plane.transient plane then
-      emit (Return { plane = run.Run.plane; par = (Plane.par plane) });
+      emit (Return { plane = run.Run.plane; par = (Plane.par plane); ep });
     modify run ~v ~par ~prior ~emit
   end
 
@@ -79,37 +84,39 @@ let return_task run ~par ~emit =
     Plane.set_cnt plane @@ (Plane.cnt plane) - 1;
     if (Plane.cnt plane) = 0 then begin
       Plane.mark plane;
-      emit (Return { plane = run.Run.plane; par = (Plane.par plane) })
+      emit (Return { plane = run.Run.plane; par = (Plane.par plane); ep = run.Run.wave })
     end
 
-let execute run ~emit task =
+let execute run ~pe ~emit task =
   (match task with
   | Return _ -> ()
   | Mark1 _ | Mark2 _ | Mark3 _ ->
     if Task.plane_of_mark task <> run.Run.plane then bad_task run task);
+  if Task.mark_ep task <> run.Run.wave then bad_task run task;
   match (task, run.Run.variant) with
-  | Mark1 { v; par }, Run.Basic ->
-    run.Run.marks_executed <- run.Run.marks_executed + 1;
+  | Mark1 { v; par; _ }, Run.Basic ->
+    Run.count_mark run ~pe;
     mark_simple run ~v ~par ~emit
-  | Mark1 { v; par }, Run.Priority ->
+  | Mark1 { v; par; _ }, Run.Priority ->
     (* mark1 inside an M_R run happens only via legacy callers; treat it
        as a priority-less mark2 at the lowest priority. *)
-    run.Run.marks_executed <- run.Run.marks_executed + 1;
+    Run.count_mark run ~pe;
     mark_priority run ~v ~par ~prior:1 ~emit
-  | Mark2 { v; par; prior }, Run.Priority ->
-    run.Run.marks_executed <- run.Run.marks_executed + 1;
+  | Mark2 { v; par; prior; _ }, Run.Priority ->
+    Run.count_mark run ~pe;
     mark_priority run ~v ~par ~prior ~emit
-  | Mark3 { v; par }, Run.Tasks ->
-    run.Run.marks_executed <- run.Run.marks_executed + 1;
+  | Mark3 { v; par; _ }, Run.Tasks ->
+    Run.count_mark run ~pe;
     mark_simple run ~v ~par ~emit
-  | Return { plane; par }, _ ->
+  | Return { plane; par; _ }, _ ->
     if plane <> run.Run.plane then bad_task run task;
-    run.Run.returns_executed <- run.Run.returns_executed + 1;
+    Run.count_return run ~pe;
     return_task run ~par ~emit
   | (Mark1 _ | Mark2 _ | Mark3 _), _ -> bad_task run task
 
 let seed_for run v =
+  let ep = run.Run.wave in
   match run.Run.variant with
-  | Run.Basic -> Mark1 { v; par = Plane.Rootpar }
-  | Run.Priority -> Mark2 { v; par = Plane.Rootpar; prior = 3 }
-  | Run.Tasks -> Mark3 { v; par = Plane.Rootpar }
+  | Run.Basic -> Mark1 { v; par = Plane.Rootpar; ep }
+  | Run.Priority -> Mark2 { v; par = Plane.Rootpar; prior = 3; ep }
+  | Run.Tasks -> Mark3 { v; par = Plane.Rootpar; ep }

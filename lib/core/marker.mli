@@ -13,9 +13,12 @@ open Dgr_task
     return (its target was reclaimed by an earlier cycle's restructuring;
     the next cycle will see the truth). *)
 
-val execute : Run.t -> emit:(Task.mark -> unit) -> Task.mark -> unit
+val execute : Run.t -> pe:int -> emit:(Task.mark -> unit) -> Task.mark -> unit
 (** Raises [Invalid_argument] if the task does not belong to the run
-    (wrong plane / variant). *)
+    (wrong plane / variant / wave — stale-wave tasks must be dropped by
+    the caller before dispatch). [pe] is the executing PE, used only to
+    pick the run's per-PE execution counter cell; pass [-1] from the
+    controller. *)
 
 val seed_for : Run.t -> Vid.t -> Task.mark
 (** The seed task of the run's variant for a given vertex, with parent

@@ -2,12 +2,18 @@ open Dgr_graph
 open Dgr_task
 open Task
 
+type coop_event =
+  | Ev_tree_edge of { run : Run.t; parent : Vid.t; child : Vid.t }
+  | Ev_witness of { run : Run.t; a : Vid.t; b : Vid.t; c : Vid.t }
+  | Ev_flood_edge of { fl : Flood.t; parent : Vid.t; child : Vid.t }
+
 type t = {
   graph : Graph.t;
   mutable active : Run.t list;
   mutable active_flood : Flood.t list;
   mutable spawn : Task.mark -> unit;
   mutable coop_pe : unit -> int;
+  mutable defer : (coop_event -> unit) option;
   mutable on_connect : Vid.t -> Vid.t -> unit;
   mutable on_disconnect : Vid.t -> Vid.t -> unit;
   mutable recorder : Dgr_obs.Recorder.t option;
@@ -30,6 +36,7 @@ let create ?(on_connect = nop2) ?(on_disconnect = nop2) ?recorder ~spawn graph =
     active_flood = [];
     spawn;
     coop_pe = (fun () -> 0);
+    defer = None;
     on_connect;
     on_disconnect;
     recorder;
@@ -61,6 +68,8 @@ let obs_closure t ~from ~marked =
 let set_active t runs = t.active <- runs
 
 let set_active_flood t floods = t.active_flood <- floods
+
+let set_defer t sink = t.defer <- sink
 
 (* Flood-scheme cooperation: a marked vertex that gains a traced child
    marks the child's unmarked component synchronously (the same closure
@@ -97,18 +106,33 @@ let flood_cooperate_edge t (fl : Flood.t) ~parent ~child =
     obs_closure t ~from:child ~marked:!marked_here
   end
 
+(* Deferral: in the sharded engine's buffered steps, cooperation may not
+   run inline — its closures mark vertices on other PEs' shards. The
+   engine installs a sink; the graph edit itself (always owner-local)
+   proceeds immediately, and the cooperation body is replayed serially
+   at the step barrier, in deferring-PE order, against the plane state
+   as of the barrier. Evaluating the marked/transient dispatch late is
+   sound: the invariants are only consumed at barriers (verdict,
+   restructure, invariant checks), and a parent that advanced
+   unmarked→transient→marked in the meantime only strengthens what the
+   replayed cooperation does. *)
+let coop_flood t fl ~parent ~child =
+  match t.defer with
+  | Some sink -> sink (Ev_flood_edge { fl; parent; child })
+  | None -> flood_cooperate_edge t fl ~parent ~child
+
 let flood_edge_all t ~parent ~child ~mt_only =
   List.iter
     (fun fl ->
-      if (not mt_only) || fl.Flood.plane = Plane.MT then
-        flood_cooperate_edge t fl ~parent ~child)
+      if (not mt_only) || fl.Flood.plane = Plane.MT then coop_flood t fl ~parent ~child)
     t.active_flood
 
 let mark_task_for run ~v ~par ~prior =
+  let ep = run.Run.wave in
   match run.Run.variant with
-  | Run.Basic -> Mark1 { v; par }
-  | Run.Priority -> Mark2 { v; par; prior }
-  | Run.Tasks -> Mark3 { v; par }
+  | Run.Basic -> Mark1 { v; par; ep }
+  | Run.Priority -> Mark2 { v; par; prior; ep }
+  | Run.Tasks -> Mark3 { v; par; ep }
 
 (* Spawn a mark task on [child] charged to the transient [parent]
    (invariant 1 lets a transient vertex carry new outstanding tasks). *)
@@ -160,6 +184,11 @@ let cooperate_edge t run ~parent ~child =
     closure t run ~from:child ~prior
   end
 
+let coop_tree t run ~parent ~child =
+  match t.defer with
+  | Some sink -> sink (Ev_tree_edge { run; parent; child })
+  | None -> cooperate_edge t run ~parent ~child
+
 let connect t a c =
   t.guard a;
   Vertex.connect (Graph.vertex t.graph a) c;
@@ -189,10 +218,26 @@ let witness_cooperate t run ~a ~b ~c =
     t.total_coop_spawned <- t.total_coop_spawned + 1;
     obs t (Dgr_obs.Event.Coop_spawn { pe = t.coop_pe (); parent = b; child = c });
     let prior = Trace.child_priority g b (Int.max 1 (Plane.prior pb)) c in
-    Marker.execute run ~emit:t.spawn (mark_task_for run ~v:c ~par:(Plane.Parent b) ~prior)
+    Marker.execute run ~pe:(t.coop_pe ()) ~emit:t.spawn
+      (mark_task_for run ~v:c ~par:(Plane.Parent b) ~prior)
   end
   (* marked a / marked b: c is at least transient by invariant 2;
      unmarked a, or transient a with non-unmarked b: covered by b. *)
+
+let coop_witness t run ~a ~b ~c =
+  match t.defer with
+  | Some sink -> sink (Ev_witness { run; a; b; c })
+  | None -> witness_cooperate t run ~a ~b ~c
+
+(* Replay one deferred cooperation event against the current plane
+   state. The engine calls this serially at the barrier, in deferring-PE
+   order, with [coop_pe] answering the event's PE so flood counters and
+   trace events charge where the mutation ran. *)
+let replay t ev =
+  match ev with
+  | Ev_tree_edge { run; parent; child } -> cooperate_edge t run ~parent ~child
+  | Ev_witness { run; a; b; c } -> witness_cooperate t run ~a ~b ~c
+  | Ev_flood_edge { fl; parent; child } -> flood_cooperate_edge t fl ~parent ~child
 
 let add_reference t ~a ~b ~c =
   let g = t.graph in
@@ -206,28 +251,24 @@ let add_reference t ~a ~b ~c =
   List.iter
     (fun run ->
       match run.Run.plane with
-      | Plane.MR -> witness_cooperate t run ~a ~b ~c
+      | Plane.MR -> coop_witness t run ~a ~b ~c
       | Plane.MT ->
         (* The witness argument needs c ∈ traced-children(b), which does
            not hold for M_T in general (b may have requested c). Use the
            generic protocol. *)
-        cooperate_edge t run ~parent:a ~child:c)
+        coop_tree t run ~parent:a ~child:c)
     t.active;
   flood_edge_all t ~parent:a ~child:c ~mt_only:false;
   connect t a c
 
 let expand_node t ~a ~entry =
-  List.iter
-    (fun run ->
-      let pa = Vertex.plane (Graph.vertex t.graph a) run.Run.plane in
-      (* The new edge a→entry starts unrequested, so the trace priority is
-         min(prior(a), request-type) = 1 (Fig 5-1); if the caller records
-         demand on the spliced edge afterwards, the upgrade waits for the
-         next cycle (§5.3's "simply wait" option). *)
-      let prior = Trace.child_priority t.graph a (Int.max 1 (Plane.prior pa)) entry in
-      if Plane.marked pa then closure t run ~from:entry ~prior
-      else if Plane.transient pa then charge_and_spawn t run ~parent:a ~child:entry ~prior)
-    t.active;
+  (* The new edge a→entry starts unrequested, so the trace priority is
+     min(prior(a), request-type) = 1 (Fig 5-1); if the caller records
+     demand on the spliced edge afterwards, the upgrade waits for the
+     next cycle (§5.3's "simply wait" option). The dispatch on [a]'s
+     state is exactly [cooperate_edge]'s, so the generic (deferrable)
+     path serves here too. *)
+  List.iter (fun run -> coop_tree t run ~parent:a ~child:entry) t.active;
   flood_edge_all t ~parent:a ~child:entry ~mt_only:false;
   let va = Graph.vertex t.graph a in
   List.iter (fun old -> disconnect t a old) (Vertex.args va);
@@ -243,15 +284,14 @@ let add_edge ?demand t ~a ~c =
   List.iter
     (fun run ->
       match run.Run.plane with
-      | Plane.MR -> cooperate_edge t run ~parent:a ~child:c
+      | Plane.MR -> coop_tree t run ~parent:a ~child:c
       | Plane.MT ->
         (* a→c is in M_T's relation only if c is not requested by a. *)
-        if demand = None then cooperate_edge t run ~parent:a ~child:c)
+        if demand = None then coop_tree t run ~parent:a ~child:c)
     t.active;
   List.iter
     (fun fl ->
-      if fl.Flood.plane = Plane.MR || demand = None then
-        flood_cooperate_edge t fl ~parent:a ~child:c)
+      if fl.Flood.plane = Plane.MR || demand = None then coop_flood t fl ~parent:a ~child:c)
     t.active_flood
 
 let record_request t ~at ~requester ~demand ~key =
@@ -267,8 +307,7 @@ let record_request t ~at ~requester ~demand ~key =
        marking tree again or M_T would never terminate. *)
     if fresh then begin
       List.iter
-        (fun run ->
-          if run.Run.plane = Plane.MT then cooperate_edge t run ~parent:at ~child:r)
+        (fun run -> if run.Run.plane = Plane.MT then coop_tree t run ~parent:at ~child:r)
         t.active;
       flood_edge_all t ~parent:at ~child:r ~mt_only:true
     end
@@ -287,8 +326,7 @@ let drop_request_child t ~v ~c =
   Vertex.drop_request vx c;
   if Vertex.has_arg vx c then begin
     List.iter
-      (fun run ->
-        if run.Run.plane = Plane.MT then cooperate_edge t run ~parent:v ~child:c)
+      (fun run -> if run.Run.plane = Plane.MT then coop_tree t run ~parent:v ~child:c)
       t.active;
     flood_edge_all t ~parent:v ~child:c ~mt_only:true
   end

@@ -29,7 +29,26 @@ open Dgr_task
       unmarked component (a bounded form of the paper's [mark(g)] in
       [expand-node]) so invariant 2 is never violated.
 
-    A mutator with no active runs degenerates to plain graph edits. *)
+    A mutator with no active runs degenerates to plain graph edits.
+
+    {b Deferred cooperation} (sharded engine): cooperation closures mark
+    vertices anywhere in the graph, which a worker domain must not do
+    while other shards run. With a defer sink installed
+    ({!set_defer}), the owner-local graph edit proceeds immediately but
+    the cooperation body is captured as a {!coop_event} instead of run;
+    the engine replays the events serially at the step barrier, in
+    deferring-PE order, via {!replay}. Late evaluation is sound because
+    the marking invariants are only consumed at barriers and a parent's
+    plane state only advances (unmarked → transient → marked) within a
+    step. *)
+
+type coop_event =
+  | Ev_tree_edge of { run : Run.t; parent : Vid.t; child : Vid.t }
+      (** generic cooperation for new traced edge parent→child *)
+  | Ev_witness of { run : Run.t; a : Vid.t; b : Vid.t; c : Vid.t }
+      (** Fig 4-2 witness protocol for add-reference on M_R *)
+  | Ev_flood_edge of { fl : Flood.t; parent : Vid.t; child : Vid.t }
+      (** flood-scheme cooperation for new traced edge parent→child *)
 
 type t = {
   graph : Graph.t;
@@ -38,6 +57,8 @@ type t = {
   mutable spawn : Task.mark -> unit;  (** asynchronous task injection *)
   mutable coop_pe : unit -> int;
       (** the PE a cooperation spawn is charged to (flood counters) *)
+  mutable defer : (coop_event -> unit) option;
+      (** when set, cooperation bodies are captured instead of run *)
   mutable on_connect : Vid.t -> Vid.t -> unit;  (** parent, child — RC hook *)
   mutable on_disconnect : Vid.t -> Vid.t -> unit;
   mutable recorder : Dgr_obs.Recorder.t option;
@@ -67,6 +88,15 @@ val create :
 val set_active : t -> Run.t list -> unit
 
 val set_active_flood : t -> Flood.t list -> unit
+
+val set_defer : t -> (coop_event -> unit) option -> unit
+(** Install (or clear) the deferral sink. While set, every cooperation
+    a mutation would run is handed to the sink instead. *)
+
+val replay : t -> coop_event -> unit
+(** Run one deferred cooperation body against the {e current} plane
+    state. Call serially, in deferring-PE order, with {!field-coop_pe}
+    answering the deferring PE. *)
 
 (** {1 The paper's three primitives (Fig 4-2)} *)
 

@@ -9,45 +9,63 @@ type report = {
   reprioritized : int;
 }
 
-let collect_sets g ~deadlock_checked =
-  Graph.fold_live
-    (fun (gar, dl) v ->
-      let mr = (Vertex.mr v) in
-      if Plane.unmarked mr then ((Vertex.id v) :: gar, dl)
-      else begin
-        let dl =
-          if
-            deadlock_checked && Plane.marked mr
-            && (Plane.prior mr) = 3
-            && not (Plane.marked (Vertex.mt v))
-          then (Vertex.id v) :: dl
-          else dl
-        in
-        (gar, dl)
-      end)
-    ([], []) g
+(* The verdict pass for one home partition: read-only over the planes,
+   touching only [pe]'s slots, so every home can run concurrently.
+   Lists are built by prepending over the ascending-vid slot walk —
+   deterministic per home, and the caller concatenates homes in fixed PE
+   order, so the merged verdict is identical at every domain count. *)
+let collect_home g ~deadlock_checked ~pe =
+  let gar = ref [] and dl = ref [] in
+  Graph.iter_home g ~pe (fun v ->
+      if not (Vertex.free v) then begin
+        let mr = Vertex.mr v in
+        if Plane.unmarked mr then gar := Vertex.id v :: !gar
+        else if
+          deadlock_checked && Plane.marked mr
+          && Plane.prior mr = 3
+          && not (Plane.marked (Vertex.mt v))
+        then dl := Vertex.id v :: !dl
+      end);
+  (!gar, !dl)
 
-let run ~graph:g ~deadlock_checked ~purge_tasks ~reprioritize () =
-  let gar, dl = collect_sets g ~deadlock_checked in
+(* Owner-local bookkeeping on one home's survivors: requester sets and
+   scheduling priorities live on the vertex itself, so this pass is also
+   safe per home. *)
+let persist_home g ~in_gar ~pe =
+  Graph.iter_home g ~pe (fun v ->
+      if (not (Vertex.free v)) && not (in_gar (Vertex.id v)) then begin
+        Vertex.retain_requesters v (fun r -> not (in_gar r));
+        (* Persist the cycle's priority verdict for pool scheduling. *)
+        if Plane.marked (Vertex.mr v) then Vertex.set_sched_prior v @@ Plane.prior (Vertex.mr v)
+      end)
+
+let serial_each_home g f =
+  for pe = 0 to Graph.num_pes g - 1 do
+    f pe
+  done
+
+let run ~graph:g ~deadlock_checked ~purge_tasks ~reprioritize ?each_home () =
+  let each_home = match each_home with Some f -> f | None -> serial_each_home g in
+  let pes = Graph.num_pes g in
+  let gar_by = Array.make pes [] and dl_by = Array.make pes [] in
+  each_home (fun pe ->
+      let gar, dl = collect_home g ~deadlock_checked ~pe in
+      gar_by.(pe) <- gar;
+      dl_by.(pe) <- dl);
+  let gar = List.concat (Array.to_list gar_by) in
+  let dl = List.concat (Array.to_list dl_by) in
   let gar_set = Vid.Set.of_list gar in
   let in_gar v = Vid.Set.mem v gar_set in
   (* Expunge tasks touching garbage before the slots are recycled.
-     Requests into GAR are Property 6's irrelevant tasks. *)
+     Requests into GAR are Property 6's irrelevant tasks. The network is
+     shared, so this stays serial between the two sharded passes. *)
   let purged =
     purge_tasks (fun task ->
         match task with
         | Task.Reduction r -> List.exists in_gar (Task.reduction_endpoints r)
         | Task.Marking _ -> false)
   in
-  (* Dangling bookkeeping on surviving vertices. *)
-  Graph.iter_live
-    (fun v ->
-      if not (in_gar (Vertex.id v)) then begin
-        Vertex.retain_requesters v (fun r -> not (in_gar r));
-        (* Persist the cycle's priority verdict for pool scheduling. *)
-        if Plane.marked (Vertex.mr v) then Vertex.set_sched_prior v @@ Plane.prior (Vertex.mr v)
-      end)
-    g;
+  each_home (fun pe -> persist_home g ~in_gar ~pe);
   List.iter (Graph.release g) gar;
   let moved = reprioritize () in
   Graph.reset_plane g Plane.MR;

@@ -21,7 +21,14 @@ open Dgr_task
     - both marking planes are reset for the next cycle.
 
     The paper leaves this phase "to be tailored to a particular system";
-    this is the obvious instantiation for ours (see DESIGN.md §1). *)
+    this is the obvious instantiation for ours (see DESIGN.md §1).
+
+    The phase is {e sharded by home partition}: the verdict collection
+    and the survivor-bookkeeping passes each touch only one home PE's
+    slots, so the engine can fan them out across domains ([each_home]),
+    with per-home results merged in fixed PE order — bit-identical at
+    every domain count. Only the task purge, the free-list releases, the
+    pool re-sort, and the plane resets remain serial. *)
 
 type report = {
   garbage : Vid.t list;  (** vertices reclaimed this cycle *)
@@ -36,12 +43,19 @@ val run :
   deadlock_checked:bool ->
   purge_tasks:((Task.t -> bool) -> int) ->
   reprioritize:(unit -> int) ->
+  ?each_home:((int -> unit) -> unit) ->
   unit ->
   report
 (** [purge_tasks pred] must delete every pending/in-flight task satisfying
     [pred] from pools and network and return how many were deleted;
     [reprioritize ()] re-sorts pool entries by current priorities and
     returns how many moved. Both are provided by the engine driving the
-    system. *)
+    system. [each_home f] must call [f pe] exactly once for every home
+    PE, with the [f] calls free to run concurrently (each touches only
+    its home's slots plus its own cell of a results array); default is a
+    serial ascending loop. *)
+
+val collect_home : Graph.t -> deadlock_checked:bool -> pe:int -> Vid.t list * Vid.t list
+(** One home's [(garbage, deadlocked)] verdict, read-only (tests). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -6,10 +6,11 @@ type t = {
   graph : Graph.t;
   plane : Plane.id;
   variant : variant;
+  wave : int;
   mutable outstanding_seeds : int;
   mutable finished : bool;
-  mutable marks_executed : int;
-  mutable returns_executed : int;
+  marks_executed : int array;
+  returns_executed : int array;
   mutable coop_spawns : int;
   mutable coop_closure : int;
 }
@@ -21,13 +22,30 @@ let create graph variant =
     graph;
     plane = plane_of_variant variant;
     variant;
+    wave = Graph.wave graph;
     outstanding_seeds = 0;
     finished = false;
-    marks_executed = 0;
-    returns_executed = 0;
+    marks_executed = Array.make (Int.max 1 (Graph.num_pes graph)) 0;
+    returns_executed = Array.make (Int.max 1 (Graph.num_pes graph)) 0;
     coop_spawns = 0;
     coop_closure = 0;
   }
+
+(* Out-of-range executors (the controller replays barrier tasks as PE
+   [-1]) account to slot 0; only the totals are ever read. *)
+let pe_slot t pe = if pe < 0 || pe >= Array.length t.marks_executed then 0 else pe
+
+let count_mark t ~pe =
+  let s = pe_slot t pe in
+  t.marks_executed.(s) <- t.marks_executed.(s) + 1
+
+let count_return t ~pe =
+  let s = pe_slot t pe in
+  t.returns_executed.(s) <- t.returns_executed.(s) + 1
+
+let marks_total t = Array.fold_left ( + ) 0 t.marks_executed
+
+let returns_total t = Array.fold_left ( + ) 0 t.returns_executed
 
 let seed_added t = t.outstanding_seeds <- t.outstanding_seeds + 1
 
@@ -42,5 +60,6 @@ let pp fmt t =
   let variant =
     match t.variant with Basic -> "basic" | Priority -> "M_R" | Tasks -> "M_T"
   in
-  Format.fprintf fmt "%s[%a] seeds=%d finished=%b marks=%d returns=%d" variant Plane.pp_id
-    t.plane t.outstanding_seeds t.finished t.marks_executed t.returns_executed
+  Format.fprintf fmt "%s[%a] w%d seeds=%d finished=%b marks=%d returns=%d" variant
+    Plane.pp_id t.plane t.wave t.outstanding_seeds t.finished (marks_total t)
+    (returns_total t)

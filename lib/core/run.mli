@@ -6,7 +6,16 @@ open Dgr_graph
     [done] flag; we generalize the flag to a count of outstanding seeds so
     that M_T can be started from every task endpoint at once (the paper's
     [troot] / [taskroot_i] construction collapses to "one seed per
-    endpoint, all crediting rootpar"). *)
+    endpoint, all crediting rootpar").
+
+    A run is pinned to the wave ([Graph.wave]) that was current when it
+    was created; every task it spawns carries that wave, and tasks from
+    another wave must never be credited to it (the executor drops them).
+    The execution counters are per-PE cells so that PEs sharded across
+    domains can count their own executions without contention; only the
+    totals are meaningful. The seed count and [finished] flag are still
+    scalar — they are only touched at the step barrier (returns to
+    [Rootpar] are controller tasks). *)
 
 type variant = Basic | Priority | Tasks
 (** Which mark task drives this run: [Basic] = mark1 (Fig 4-1),
@@ -16,10 +25,11 @@ type t = {
   graph : Graph.t;
   plane : Plane.id;
   variant : variant;
+  wave : int;  (** the [Graph.wave] this run marks under *)
   mutable outstanding_seeds : int;
   mutable finished : bool;
-  mutable marks_executed : int;
-  mutable returns_executed : int;
+  marks_executed : int array;  (** per-PE; read via {!marks_total} *)
+  returns_executed : int array;  (** per-PE; read via {!returns_total} *)
   mutable coop_spawns : int;  (** mark tasks spawned by cooperating mutators *)
   mutable coop_closure : int;  (** vertices marked synchronously by closure cooperation *)
 }
@@ -27,9 +37,20 @@ type t = {
 val create : Graph.t -> variant -> t
 (** A run with no seeds; [finished] is false until seeds are added and all
     have returned. The plane is implied by the variant ([Tasks] -> M_T,
-    others -> M_R). *)
+    others -> M_R); the wave is captured from the graph, so create the
+    run right after [Graph.reset_plane] opened its wave. *)
 
 val plane_of_variant : variant -> Plane.id
+
+val count_mark : t -> pe:int -> unit
+(** Count one mark-task execution on [pe]'s cell (out-of-range PEs — the
+    controller replays as [-1] — account to slot 0). *)
+
+val count_return : t -> pe:int -> unit
+
+val marks_total : t -> int
+
+val returns_total : t -> int
 
 val seed_added : t -> unit
 (** Record that a seed mark task (with parent [Rootpar]) was spawned. *)

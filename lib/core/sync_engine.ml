@@ -90,7 +90,7 @@ let step t =
   | Some task ->
     t.executed <- t.executed + 1;
     let run = run_for t (Task.plane_of_mark task) in
-    Marker.execute run ~emit:t.mut.Mutator.spawn task;
+    Marker.execute run ~pe:0 ~emit:t.mut.Mutator.spawn task;
     true
 
 let drain ?interleave ?(max_steps = 10_000_000) t =

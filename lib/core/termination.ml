@@ -1,14 +1,55 @@
 type t = {
   window : int;
+  epoch : int;
+  sent : int array;
+  executed : int array;
+  reported : bool array;
   mutable first : (int * int) option;  (** (step, sent) of the first quiet wave *)
   mutable terminated : bool;
 }
 
-let create ~window = { window; first = None; terminated = false }
+let create ~window ~epoch ~pes =
+  {
+    window;
+    epoch;
+    sent = Array.make (Int.max 1 pes) 0;
+    executed = Array.make (Int.max 1 pes) 0;
+    reported = Array.make (Int.max 1 pes) false;
+    first = None;
+    terminated = false;
+  }
 
-let observe t ~now ~sent ~executed =
+let epoch t = t.epoch
+
+(* Counters are cumulative within a wave, so a reordered or duplicated
+   credit can only report a stale (smaller) value: componentwise max
+   makes [learn] idempotent and order-insensitive, which is what lets
+   credits ride every transport frame without any delivery discipline of
+   their own. A credit from another wave is noise and is dropped. *)
+let learn t ~pe ~epoch ~sent ~executed =
+  if epoch = t.epoch && pe >= 0 && pe < Array.length t.sent then begin
+    t.reported.(pe) <- true;
+    if sent > t.sent.(pe) then t.sent.(pe) <- sent;
+    if executed > t.executed.(pe) then t.executed.(pe) <- executed
+  end
+
+let all_reported t =
+  let n = Array.length t.reported in
+  let rec go i = i >= n || (t.reported.(i) && go (i + 1)) in
+  go 0
+
+let learned_sent t = Array.fold_left ( + ) 0 t.sent
+
+let learned_executed t = Array.fold_left ( + ) 0 t.executed
+
+(* The two-wave rule on the learned vectors: balanced sums with the same
+   [sent] total at two observations at least [window] apart. Requiring
+   every PE to have reported at least once keeps the empty prefix honest
+   — before any credits arrive both sums are 0 and would look quiet. *)
+let observe t ~now =
   if not t.terminated then begin
-    if sent <> executed then t.first <- None
+    let sent = learned_sent t and executed = learned_executed t in
+    if (not (all_reported t)) || sent <> executed then t.first <- None
     else
       match t.first with
       | None -> t.first <- Some (now, sent)
@@ -18,7 +59,3 @@ let observe t ~now ~sent ~executed =
   end
 
 let terminated t = t.terminated
-
-let reset t =
-  t.first <- None;
-  t.terminated <- false

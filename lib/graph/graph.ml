@@ -114,6 +114,7 @@ type t = {
   mutable capacity : int option;
   mutable part : part option;
   mutable epoch : int;
+  mutable wave : int;
 }
 
 let create ?(num_pes = 1) () =
@@ -128,6 +129,7 @@ let create ?(num_pes = 1) () =
     capacity = None;
     part = None;
     epoch = 0;
+    wave = 0;
   }
 
 let vertex_count t =
@@ -422,10 +424,18 @@ let fold_live f acc t =
   iter_live (fun v -> acc := f !acc v) t;
   !acc
 
+(* Resetting a plane is an O(chunks) epoch bump (see [Plane.reset_cols])
+   and opens a new wave: the wave counter is shared by both planes, so
+   it is globally unique across M_R and M_T — mark tasks, termination
+   credits and seed stamps tagged with it can never collide between the
+   two marking processes, or between overlapping cycles. *)
 let reset_plane t plane =
+  t.wave <- t.wave + 1;
   Seg.reset_plane t.dense plane;
   match t.part with
   | None -> ()
   | Some p -> Array.iter (fun s -> Seg.reset_plane s plane) p.segs
+
+let wave t = t.wave
 
 let releases t = t.releases

@@ -49,6 +49,14 @@ val epoch : t -> int
 
 val bump_epoch : t -> unit
 
+val wave : t -> int
+(** The mark-wave counter: bumped by every {!reset_plane}, shared by
+    both planes, never decreasing (crash restores do not rewind it). A
+    wave number globally identifies one marking process across
+    overlapping cycles — mark tasks, termination credits and seed
+    stamps are tagged with it, and a task whose wave is not the plane's
+    current one is stale and must be dropped. *)
+
 val num_pes : t -> int
 
 val root : t -> Vid.t
@@ -142,7 +150,10 @@ val live_vids : t -> Vid.t list
 val fold_live : ('a -> Vertex.t -> 'a) -> 'a -> t -> 'a
 
 val reset_plane : t -> Plane.id -> unit
-(** Unmark every vertex's plane (between marking cycles). *)
+(** Unmark every vertex's plane (between marking cycles) and bump
+    {!wave}. O(storage chunks), not O(vertices): the plane columns carry
+    per-chunk epochs and stale slots read as pristine, so the reset is a
+    counter bump and the old wave's bits become invisible instantly. *)
 
 val releases : t -> int
 (** Cumulative number of [release] calls. *)

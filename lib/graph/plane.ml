@@ -7,12 +7,24 @@ type id = MR | MT
 (* One marking plane's state for a whole storage chunk, as parallel
    columns: colour packed one byte per slot, the counter/parent/priority
    words one cell per slot. Chunks never move once allocated (see
-   [Graph]), so a handle caches the column arrays directly. *)
+   [Graph]), so a handle caches the column arrays directly.
+
+   The [c_epoch] column makes between-cycle resets O(1): a slot's state
+   is valid only while its epoch equals the chunk's current epoch
+   [cur]; a stale slot reads as pristine (unmarked, zero, rootpar) and
+   is lazily re-zeroed the first time the new wave writes it. Bumping
+   [cur] therefore resets the whole chunk without touching a slot —
+   which is what lets cycle N+1's mark wave start while cycle N's
+   restructuring is still draining, instead of a bulk wipe that has to
+   wait for every outstanding reader. Epochs start at 0 with [cur] at 1,
+   so a fresh chunk is wholly stale, i.e. wholly pristine. *)
 type cols = {
   c_color : Bytes.t;
   c_cnt : int array;
   c_par : parent array;
   c_prior : int array;
+  c_epoch : int array;
+  mutable cur : int;
 }
 
 (* A handle onto one slot of a plane column set. Copying the handle is
@@ -25,51 +37,68 @@ let make_cols n =
     c_cnt = Array.make n 0;
     c_par = Array.make n Rootpar;
     c_prior = Array.make n 0;
+    c_epoch = Array.make n 0;
+    cur = 1;
   }
 
-let reset_cols c =
-  Bytes.fill c.c_color 0 (Bytes.length c.c_color) '\000';
-  Array.fill c.c_cnt 0 (Array.length c.c_cnt) 0;
-  Array.fill c.c_par 0 (Array.length c.c_par) Rootpar;
-  Array.fill c.c_prior 0 (Array.length c.c_prior) 0
+let reset_cols c = c.cur <- c.cur + 1
 
 let handle c off = { off; c }
 
 let create () = handle (make_cols 1) 0
 
+let live t = Array.unsafe_get t.c.c_epoch t.off = t.c.cur
+
+(* Bring a stale slot into the current epoch, pristine. Every write goes
+   through this first so a slot never mixes bits from two waves. *)
+let materialize t =
+  if not (live t) then begin
+    Array.unsafe_set t.c.c_epoch t.off t.c.cur;
+    Bytes.unsafe_set t.c.c_color t.off '\000';
+    Array.unsafe_set t.c.c_cnt t.off 0;
+    t.c.c_par.(t.off) <- Rootpar;
+    Array.unsafe_set t.c.c_prior t.off 0
+  end
+
 let color t =
-  match Bytes.unsafe_get t.c.c_color t.off with
-  | '\000' -> Unmarked
-  | '\001' -> Transient
-  | _ -> Marked
+  if not (live t) then Unmarked
+  else
+    match Bytes.unsafe_get t.c.c_color t.off with
+    | '\000' -> Unmarked
+    | '\001' -> Transient
+    | _ -> Marked
 
 let set_color t col =
+  materialize t;
   Bytes.unsafe_set t.c.c_color t.off
     (match col with Unmarked -> '\000' | Transient -> '\001' | Marked -> '\002')
 
-let cnt t = Array.unsafe_get t.c.c_cnt t.off
+let cnt t = if live t then Array.unsafe_get t.c.c_cnt t.off else 0
 
-let set_cnt t n = Array.unsafe_set t.c.c_cnt t.off n
+let set_cnt t n =
+  materialize t;
+  Array.unsafe_set t.c.c_cnt t.off n
 
-let par t = t.c.c_par.(t.off)
+let par t = if live t then t.c.c_par.(t.off) else Rootpar
 
-let set_par t p = t.c.c_par.(t.off) <- p
+let set_par t p =
+  materialize t;
+  t.c.c_par.(t.off) <- p
 
-let prior t = Array.unsafe_get t.c.c_prior t.off
+let prior t = if live t then Array.unsafe_get t.c.c_prior t.off else 0
 
-let set_prior t p = Array.unsafe_set t.c.c_prior t.off p
+let set_prior t p =
+  materialize t;
+  Array.unsafe_set t.c.c_prior t.off p
 
-let reset t =
-  set_color t Unmarked;
-  set_cnt t 0;
-  set_par t Rootpar;
-  set_prior t 0
+(* Per-slot reset: mark the slot stale, which IS the pristine state. *)
+let reset t = Array.unsafe_set t.c.c_epoch t.off 0
 
-let unmarked t = Bytes.unsafe_get t.c.c_color t.off = '\000'
+let unmarked t = (not (live t)) || Bytes.unsafe_get t.c.c_color t.off = '\000'
 
-let transient t = Bytes.unsafe_get t.c.c_color t.off = '\001'
+let transient t = live t && Bytes.unsafe_get t.c.c_color t.off = '\001'
 
-let marked t = Bytes.unsafe_get t.c.c_color t.off = '\002'
+let marked t = live t && Bytes.unsafe_get t.c.c_color t.off = '\002'
 
 let touch t = set_color t Transient
 

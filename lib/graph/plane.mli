@@ -34,7 +34,10 @@ val make_cols : int -> cols
 
 val reset_cols : cols -> unit
 (** Reset every slot of the chunk to the pristine state — the column-wise
-    bulk form of {!reset}, used by [Graph.reset_plane]. *)
+    bulk form of {!reset}, used by [Graph.reset_plane]. O(1): the chunk
+    carries a per-slot epoch column and a current-epoch counter; the
+    reset bumps the counter, stale slots read as pristine, and a slot is
+    lazily re-zeroed the first time the new wave writes it. *)
 
 val handle : cols -> int -> t
 

@@ -29,6 +29,12 @@ type cols = {
   pe : int array;
   birth : int array;
   sprior : int array;
+  (* seed-stamp: the Graph wave number that last added this vertex to an
+     M_T seed set. Compared against the graph's current wave for O(1)
+     per-wave dedup of the per-PE taskroot construction; deliberately
+     excluded from checkpoints — the wave counter never decreases, so a
+     stale stamp can only cause a harmless re-seed, never a miss. *)
+  stamp : int array;
   free : Bytes.t;
   mrc : Plane.cols;
   mtc : Plane.cols;
@@ -64,6 +70,7 @@ let make_cols n =
     pe = Array.make n 0;
     birth = Array.make n 0;
     sprior = Array.make n 0;
+    stamp = Array.make n 0;
     free = Bytes.make n '\000';
     mrc = Plane.make_cols n;
     mtc = Plane.make_cols n;
@@ -82,6 +89,7 @@ let attach id ~off c ~pe label =
   c.pe.(off) <- pe;
   c.birth.(off) <- 0;
   c.sprior.(off) <- 0;
+  c.stamp.(off) <- 0;
   Bytes.set c.free off '\000';
   {
     id;
@@ -127,6 +135,10 @@ let set_free t b = Bytes.unsafe_set t.c.free t.off (if b then '\001' else '\000'
 let sched_prior t = Array.unsafe_get t.c.sprior t.off
 
 let set_sched_prior t p = Array.unsafe_set t.c.sprior t.off p
+
+let seed_stamp t = Array.unsafe_get t.c.stamp t.off
+
+let set_seed_stamp t s = Array.unsafe_set t.c.stamp t.off s
 
 let mr t = t.mr
 

@@ -92,6 +92,14 @@ val sched_prior : t -> int
 
 val set_sched_prior : t -> int -> unit
 
+val seed_stamp : t -> int
+(** The graph wave number that last added this vertex to an M_T seed
+    set; compared against [Graph.wave] for O(1) per-wave seed dedup.
+    Not checkpointed — the wave counter never decreases, so a stale
+    stamp can only cause a harmless duplicate seed check. *)
+
+val set_seed_stamp : t -> int -> unit
+
 val mr : t -> Plane.t
 
 val mt : t -> Plane.t

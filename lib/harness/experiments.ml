@@ -769,32 +769,36 @@ let e11_fault_sweep ?(seed = 1) () =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
-(* E12: measured Amdahl serial fraction vs domain count — the step-phase *)
-(* profiler on the sharding-relevant storm workload. The latency          *)
-(* percentiles are deterministic (and must agree across rows — the same   *)
-(* simulation runs at every shard count); the serial-fraction and ceiling *)
-(* columns are wall-clock measurements and vary run to run, the one       *)
-(* documented exception to the experiments' determinism claim.            *)
+(* E12: measured Amdahl serial fraction and speedup vs domain count —    *)
+(* the step-phase profiler on the sharding-relevant storm workload. The  *)
+(* latency percentiles are deterministic (and must agree across rows —   *)
+(* the same simulation runs at every shard count); the steps/sec,        *)
+(* speedup, serial-fraction and ceiling columns are wall-clock           *)
+(* measurements and vary run to run, the one documented exception to     *)
+(* the experiments' determinism claim.                                   *)
 (* ------------------------------------------------------------------ *)
 
 let e12_serial_fraction () =
   let table =
     Table.create
       ~title:
-        "E12: measured serial fraction vs domains — storm-tree-8k, step-phase \
-         profiler (serial-fraction/ceiling columns are wall-clock, \
-         non-deterministic)"
+        "E12: serial fraction and speedup vs domains — storm-tree-8k, \
+         step-phase profiler (steps/sec, speedup, serial-fraction and \
+         ceiling columns are wall-clock, non-deterministic)"
       ~columns:
         [
           ("domains", Table.Right);
           ("steps", Table.Right);
           ("lat p50", Table.Right);
           ("lat p99", Table.Right);
+          ("steps/sec", Table.Right);
+          ("speedup", Table.Right);
           ("execute share", Table.Right);
           ("serial fraction", Table.Right);
           ("amdahl ceiling @8", Table.Right);
         ]
   in
+  let base_rate = ref 0.0 in
   List.iter
     (fun domains ->
       let e = Bench.run_for_report ~domains "storm-tree-8k" in
@@ -803,18 +807,26 @@ let e12_serial_fraction () =
       let share part =
         if p.Profile.total_ns <= 0.0 then 0.0 else part /. p.Profile.total_ns
       in
+      let rate =
+        if p.Profile.total_ns <= 0.0 then 0.0
+        else float_of_int m.Metrics.steps /. (p.Profile.total_ns /. 1e9)
+      in
+      if domains = 1 then base_rate := rate;
       Table.add_row table
         [
           Table.cell_i domains;
           Table.cell_i m.Metrics.steps;
           Table.cell_i (Dgr_obs.Hist.percentile m.Metrics.lat_e2e 50.0);
           Table.cell_i (Dgr_obs.Hist.percentile m.Metrics.lat_e2e 99.0);
+          Printf.sprintf "%.0f" rate;
+          (if !base_rate <= 0.0 then "-"
+           else Printf.sprintf "x%.2f" (rate /. !base_rate));
           Printf.sprintf "%.1f%%" (100.0 *. share p.Profile.execute_ns);
           Printf.sprintf "%.3f" (Profile.serial_fraction p);
           Printf.sprintf "x%.2f" (Profile.amdahl_speedup p ~domains:8);
         ];
       Engine.dispose e)
-    [ 1; 2; 4 ];
+    [ 1; 2; 4; 8 ];
   [ table ]
 
 (* ------------------------------------------------------------------ *)
@@ -912,7 +924,7 @@ let all =
      fun () -> e10_heap_sweep ());
     ("e11", { title = "fault sweep (drop rate vs cycle length)"; paper_ref = "§2.1 relaxed" },
      fun () -> e11_fault_sweep ());
-    ("e12", { title = "serial fraction vs domains (step-phase profiler)"; paper_ref = "§1" },
+    ("e12", { title = "serial fraction and speedup vs domains (step-phase profiler)"; paper_ref = "§1" },
      fun () -> e12_serial_fraction ());
     ("e13", { title = "crash sweep (crash rate vs recovery latency)"; paper_ref = "§2.1 relaxed" },
      fun () -> e13_crash_sweep ());

@@ -18,7 +18,7 @@ type kind =
   | Deliver of { kind : task_kind; pe : int; vid : int; lin : int }
   | Execute of { kind : task_kind; pe : int; vid : int; lin : int }
   | Purge of { pe : int; count : int }
-  | Phase of { phase : phase; cycle : int }
+  | Phase of { phase : phase; cycle : int; wave : int }
   | Pause of { steps : int; reason : pause_reason }
   | Heap_pressure of { headroom : int }
   | Alloc_stall of { vid : int }
@@ -74,8 +74,8 @@ let pp_kind fmt = function
   | Execute { kind; pe; vid; lin } ->
     Format.fprintf fmt "execute %s pe=%d vid=%d lin=%d" (task_kind_name kind) pe vid lin
   | Purge { pe; count } -> Format.fprintf fmt "purge pe=%d count=%d" pe count
-  | Phase { phase; cycle } ->
-    Format.fprintf fmt "phase %s cycle=%d" (phase_name phase) cycle
+  | Phase { phase; cycle; wave } ->
+    Format.fprintf fmt "phase %s cycle=%d wave=%d" (phase_name phase) cycle wave
   | Pause { steps; reason } ->
     Format.fprintf fmt "pause %d (%s)" steps (pause_reason_name reason)
   | Heap_pressure { headroom } -> Format.fprintf fmt "heap-pressure headroom=%d" headroom

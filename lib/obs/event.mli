@@ -40,8 +40,11 @@ type kind =
       (** [pe] executed a task addressed at [vid] *)
   | Purge of { pe : int; count : int }
       (** [count] tasks expunged from [pe]'s pool ([-1]: network/parked) *)
-  | Phase of { phase : phase; cycle : int }
-      (** the marking controller entered [phase] of cycle number [cycle] *)
+  | Phase of { phase : phase; cycle : int; wave : int }
+      (** the marking controller entered [phase] of cycle number [cycle];
+          [wave] is the graph's current wave counter (the epoch tag the
+          phase's mark tasks carry), so overlapping-epoch debris in a
+          trace can be attributed to the wave that spawned it *)
   | Pause of { steps : int; reason : pause_reason }
       (** the whole machine stops executing for [steps] steps *)
   | Heap_pressure of { headroom : int }

@@ -95,7 +95,7 @@ let chrome_trace r =
       | Event.Purge { pe; count } ->
         instant ctx ~name:"purge" ~tid:(pe_tid pe) ~ts
           ~args:(Printf.sprintf "\"count\":%d,%s" count seq_arg)
-      | Event.Phase { phase; cycle } ->
+      | Event.Phase { phase; cycle; wave = _ } ->
         close_phase ctx ~mark_tid ~ts;
         ctx.open_phase <- Some (phase, ts, cycle)
       | Event.Pause { steps; reason } ->

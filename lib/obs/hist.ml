@@ -72,13 +72,18 @@ let percentile t p =
   end
 
 let absorb ~into src =
-  for i = 0 to buckets - 1 do
-    into.counts.(i) <- into.counts.(i) + src.counts.(i)
-  done;
-  into.count <- into.count + src.count;
-  into.total <- into.total + src.total;
-  if src.max > into.max then into.max <- src.max;
-  clear src
+  (* [count = 0] implies every bucket is zero: skip the 2x1024-slot walk.
+     The per-PE latency sinks are empty on most steps (only reduction
+     tasks are ticketed), and the engine absorbs them at every barrier. *)
+  if src.count > 0 then begin
+    for i = 0 to buckets - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    into.count <- into.count + src.count;
+    into.total <- into.total + src.total;
+    if src.max > into.max then into.max <- src.max;
+    clear src
+  end
 
 let to_json t =
   Printf.sprintf

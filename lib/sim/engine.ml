@@ -5,6 +5,7 @@ open Task
 module Marker = Dgr_core.Marker
 module Mutator = Dgr_core.Mutator
 module Cycle = Dgr_core.Cycle
+module Run = Dgr_core.Run
 module Flood = Dgr_core.Flood
 module Invariants = Dgr_core.Invariants
 module Reducer = Dgr_reduction.Reducer
@@ -114,6 +115,12 @@ type pe_ctx = {
   mutable cexec : (Task.t -> int -> unit) option;
       (** pre-bound [execute_one_buffered] — built on first use, reused by
           every budget drain so the inner loop allocates no closures *)
+  ccoop : Mutator.coop_event Vec.t;
+      (** cooperation events this PE's reductions deferred; replayed at
+          the barrier in ascending PE order *)
+  mutable cemit : (Task.mark -> unit) option;
+      (** pre-bound buffered mark emit ([pe_send] of a [Marking]) — built
+          on first use so the marking inner loop allocates no closures *)
 }
 
 (* The worker pool: [domains - 1] long-lived domains driven by a
@@ -199,7 +206,18 @@ type t = {
   mutable exec_cb : (Task.t -> int -> unit) option;
       (** pre-bound [execute_one] over [budget_pe]; built on first use so
           the serial budget drains allocate no closures *)
+  mutable mark_only : bool;
+      (** buffered budgets drain marking only — set while the machine is
+          paused for restructure but the next wave's marks may flow *)
+  mutable coop_sink : Mutator.coop_event -> unit;
+      (** routes a deferred cooperation event to the executing PE's
+          context; installed on the mutator around buffered execution *)
 }
+
+(* Forward reference: restructure's sharded home passes ride the worker
+   pool, whose machinery lives below [create]; engines bind [each_home]
+   through this cell (assigned once, next to [run_parallel]). *)
+let each_home_cell : (t -> (int -> unit) -> unit) ref = ref (fun _ _ -> ())
 
 let throughput t = Int.max 1 (t.num_pes * t.tasks_per_step)
 
@@ -227,6 +245,25 @@ let rng_for t =
     t.pe_rngs.(t.current_pe)
   else t.ctrl_rng
 
+(* The flood handler of the phase in progress, if any — the source of
+   truth for what epoch termination credits should speak. *)
+let active_flood t =
+  match t.cyc with
+  | None -> None
+  | Some c -> (
+    let plane =
+      match Cycle.phase c with
+      | Cycle.Idle -> None
+      | Cycle.Mark_tasks -> Some Plane.MT
+      | Cycle.Mark_root -> Some Plane.MR
+    in
+    match plane with
+    | None -> None
+    | Some p -> (
+      match Cycle.handler_for_plane c p with
+      | Some (Cycle.Flood_run fl) -> Some fl
+      | Some (Cycle.Tree_run _) | None -> None))
+
 let delay_of t ~rng ~src task pe =
   if pe = src then 1
   else begin
@@ -248,14 +285,24 @@ let delay_of t ~rng ~src task pe =
   end
 
 (* Execute controller-addressed tasks immediately: the final response of
-   the computation, and marking returns to the dummy rootpar. *)
+   the computation, and marking returns to the dummy rootpar. A mark
+   whose epoch is not the handler's wave is debris from a superseded
+   wave (a crash restart, or the previous cycle's tail still draining
+   while this one marks): it is dropped here, at dispatch, so stale
+   tasks never touch a plane or credit a counter. *)
 let rec execute_marking t ~pe m =
   match t.cyc with
   | None -> ()
   | Some c -> (
     match Cycle.handler_for_plane c (Task.plane_of_mark m) with
-    | Some (Cycle.Tree_run run) -> Marker.execute run ~emit:t.emit_mark m
-    | Some (Cycle.Flood_run fl) -> Flood.execute fl ~pe ~emit:t.emit_mark m
+    | Some (Cycle.Tree_run run) ->
+      if Task.mark_ep m <> run.Run.wave then
+        t.m.Metrics.stale_marks_dropped <- t.m.Metrics.stale_marks_dropped + 1
+      else Marker.execute run ~pe ~emit:t.emit_mark m
+    | Some (Cycle.Flood_run fl) ->
+      if Task.mark_ep m <> fl.Flood.wave then
+        t.m.Metrics.stale_marks_dropped <- t.m.Metrics.stale_marks_dropped + 1
+      else Flood.execute fl ~pe ~emit:t.emit_mark m
     | None -> () (* stray task from a finished run: drop *))
 
 and execute_at_controller t task =
@@ -409,6 +456,8 @@ let create ?recorder ?(config = Config.default) g templates =
       emit_mark = ignore;
       budget_pe = -1;
       exec_cb = None;
+      mark_only = false;
+      coop_sink = ignore;
     }
   in
   t.emit_mark <- (fun mark -> send t (Marking mark));
@@ -418,21 +467,30 @@ let create ?recorder ?(config = Config.default) g templates =
      credit (tree) or an executed count (flood): synthesize it here, as
      if the absorbed twin had executed and immediately returned. The
      surviving twin keeps the wave's progress honest — a subtree is
-     never considered marked before a mark actually traverses it. Marks
-     only fly while a cycle is active, so these steps are never
-     buffered: [send] runs with the spawning PE's context at every
-     domain count. *)
+     never considered marked before a mark actually traverses it.
+     Coalescing happens wherever the physical send does — inline on the
+     serial path, at the barrier mailbox flush on buffered steps — and
+     both are fixed, domain-count-free orders. Two marks can only
+     coalesce when every field matches, epoch included; a stale pair
+     still coalesces in the network, but owes its dead wave nothing the
+     dispatch-time epoch drop won't discard, so only current-wave marks
+     synthesize credit here. *)
   Network.set_on_coalesce t.net (fun ~pe mark ->
       match t.cyc with
       | None -> ()
       | Some c -> (
         match Cycle.handler_for_plane c (Task.plane_of_mark mark) with
-        | Some (Cycle.Tree_run _) -> (
+        | Some (Cycle.Tree_run run) -> (
           match mark with
           | Mark1 { par; _ } | Mark2 { par; _ } | Mark3 { par; _ } ->
-            send t (Marking (Return { plane = Task.plane_of_mark mark; par }))
+            if Task.mark_ep mark = run.Run.wave then
+              send t
+                (Marking
+                   (Return
+                      { plane = Task.plane_of_mark mark; par; ep = Task.mark_ep mark }))
           | Return _ -> () (* returns never coalesce *))
-        | Some (Cycle.Flood_run fl) -> Flood.count_coalesced fl ~pe
+        | Some (Cycle.Flood_run fl) ->
+          if Task.mark_ep mark = fl.Flood.wave then Flood.count_coalesced fl ~pe
         | None -> () (* stray mark from a finished run: nothing owed *)));
   (* The reserve is per-home now that parking consults the executing
      vertex's partition ({!Graph.headroom_for}): a quarter of the heap
@@ -478,10 +536,16 @@ let create ?recorder ?(config = Config.default) g templates =
             cmark_ns = 0.0;
             cred_ns = 0.0;
             cexec = None;
+            ccoop = Vec.create ();
+            cemit = None;
           }
         in
         cell := Some ctx;
         ctx);
+  t.coop_sink <-
+    (fun ev ->
+      let pe = Domain.DLS.get dls_pe in
+      Vec.push t.ctxs.(if pe >= 0 then pe else 0).ccoop ev);
   (match rc with
   | Some rc ->
     mut.Mutator.on_connect <- Refcount.on_connect rc;
@@ -495,22 +559,32 @@ let create ?recorder ?(config = Config.default) g templates =
   (match Config.gc config with
   | Concurrent { deadlock_every; idle_gap } ->
     let purge_tasks pred = purge_for_baseline t pred in
-    (* Endpoint vids of every pending reduction task — pooled, in flight
-       and parked — in no particular order: the cycle controller folds
-       them into a set, so no sorting or list assembly is needed here. *)
-    let iter_reduction_endpoints f =
-      Array.iter
-        (fun pool ->
-          Pool.iter_tasks pool (fun task ->
-              match task with
-              | Reduction r -> Task.iter_reduction_endpoints f r
-              | Marking _ -> ()))
-        t.pools;
-      Network.iter_in_flight t.net (fun task ->
+    (* taskroot_i from per-PE local knowledge: each PE enumerates the
+       endpoint vids of the pending reduction tasks it can see — its own
+       pool, parked expansions homed on it, and the in-flight frames
+       bound for it. The transport's frames are bucketed by destination
+       in one sweep on PE 0's turn (the cycle visits PEs in ascending
+       order) and served per PE after; no global snapshot or set is
+       assembled — cross-PE duplicates die on the vertex seed stamp. *)
+    let net_scratch = Array.init num_pes (fun _ -> Vec.create ()) in
+    let iter_pe_endpoints pe f =
+      if pe = 0 then begin
+        Array.iter Vec.clear net_scratch;
+        Network.iter_in_flight_dst t.net (fun ~dst task ->
+            match task with
+            | Reduction r ->
+              if dst >= 0 && dst < num_pes then
+                Task.iter_reduction_endpoints (fun v -> Vec.push net_scratch.(dst) v) r
+            | Marking _ -> ())
+      end;
+      Pool.iter_tasks t.pools.(pe) (fun task ->
           match task with
           | Reduction r -> Task.iter_reduction_endpoints f r
           | Marking _ -> ());
-      Reducer.iter_parked t.red (fun r -> Task.iter_reduction_endpoints f r)
+      Vec.iter f net_scratch.(pe);
+      Reducer.iter_parked t.red (fun r ->
+          let home = pe_of t (Reduction r) in
+          if home = pe || (home < 0 && pe = 0) then Task.iter_reduction_endpoints f r)
     in
     let reprioritize () =
       Array.fold_left (fun acc pool -> acc + Pool.reprioritize pool) 0 t.pools
@@ -518,9 +592,11 @@ let create ?recorder ?(config = Config.default) g templates =
     let env =
       {
         Cycle.spawn_mark = (fun mark -> send t (Marking mark));
-        iter_reduction_endpoints;
+        pes = num_pes;
+        iter_pe_endpoints;
         purge_tasks;
         reprioritize;
+        each_home = (fun f -> !each_home_cell t f);
         now = (fun () -> t.now);
       }
     in
@@ -529,6 +605,20 @@ let create ?recorder ?(config = Config.default) g templates =
         (Cycle.create ~deadlock_every ~scheme:(Config.marking config)
            ~detection_window:(2 * Int.max 1 (Config.latency config))
            ?recorder g mut env);
+    (* Termination credits (flood scheme): every physical transmission
+       samples the sending PE's counters via [credit_of]; arriving
+       credits — piggybacked or standalone heartbeats — flow into the
+       cycle's detector, which discards wrong-epoch noise itself. *)
+    Network.set_credit_of t.net (fun pe ->
+        match active_flood t with
+        | Some fl when pe >= 0 && pe < num_pes ->
+          let sent, executed = Flood.credit fl ~pe in
+          Some (fl.Flood.wave, sent, executed)
+        | _ -> None);
+    Network.set_on_credit t.net (fun ~pe ~epoch ~sent ~executed ->
+        match t.cyc with
+        | Some c -> Cycle.learn_credit c ~pe ~epoch ~sent ~executed
+        | None -> ());
     t.next_cycle_at <- idle_gap
   | No_gc | Stop_the_world _ | Refcount -> ());
   t
@@ -669,11 +759,39 @@ let execute_one t pe task stamp =
   t.current_lin <- -1;
   t.current_depth <- 0
 
+(* Buffered marking dispatch. Everything a mark handler touches is
+   either owned by the executing PE (the target vertex's plane state —
+   marks are delivered to the vertex's home) or a per-PE counter slot
+   (run/flood tallies), so marking shards exactly like reduction. Emits
+   ride the PE's mailbox; returns to the dummy rootpar are
+   controller-addressed and replay serially at the barrier. The handler
+   table itself ([Cycle.handler_for_plane]) only changes at serial
+   points, published to workers by the step barrier. *)
+let cemit_for t ctx =
+  match ctx.cemit with
+  | Some f -> f
+  | None ->
+    let f mark = pe_send t ctx (Marking mark) in
+    ctx.cemit <- Some f;
+    f
+
+let execute_marking_buffered t ctx m =
+  match t.cyc with
+  | None -> ()
+  | Some c -> (
+    match Cycle.handler_for_plane c (Task.plane_of_mark m) with
+    | Some (Cycle.Tree_run run) ->
+      if Task.mark_ep m <> run.Run.wave then
+        ctx.pm.Metrics.stale_marks_dropped <- ctx.pm.Metrics.stale_marks_dropped + 1
+      else Marker.execute run ~pe:ctx.cpe ~emit:(cemit_for t ctx) m
+    | Some (Cycle.Flood_run fl) ->
+      if Task.mark_ep m <> fl.Flood.wave then
+        ctx.pm.Metrics.stale_marks_dropped <- ctx.pm.Metrics.stale_marks_dropped + 1
+      else Flood.execute fl ~pe:ctx.cpe ~emit:(cemit_for t ctx) m
+    | None -> () (* stray task from a finished run: drop *))
+
 (* The buffered counterpart of [execute_one]: no RC purge (buffered steps
-   require [rc = None]) and marking tasks are counted and dropped — with
-   the cycle controller idle (another buffered-step requirement) the
-   handler lookup in [execute_marking] is [None], so the direct path would
-   drop them identically. Latency lands in the context's private sink
+   require [rc = None]). Latency lands in the context's private sink
    (histogram absorption is associative, so the merged totals match a
    serial execution); ticket closes are deferred to the barrier, where
    they run in ascending PE order — again a fixed, domain-count-free
@@ -704,7 +822,9 @@ let execute_one_buffered t ctx task stamp =
   | Reduction r ->
     ctx.pm.Metrics.reduction_executed <- ctx.pm.Metrics.reduction_executed + 1;
     Reducer.execute ctx.pred r
-  | Marking _ -> ctx.pm.Metrics.marking_executed <- ctx.pm.Metrics.marking_executed + 1);
+  | Marking m ->
+    ctx.pm.Metrics.marking_executed <- ctx.pm.Metrics.marking_executed + 1;
+    execute_marking_buffered t ctx m);
   if stamp >= 0 then Vec.push ctx.cdone stamp;
   ctx.clin <- -1;
   ctx.cdepth <- 0
@@ -806,7 +926,11 @@ let gc_control t =
         pause t ~reason:Dgr_obs.Event.Restructure_pause
           (Graph.live_count t.g + List.length report.Dgr_core.Restructure.garbage);
         if Config.recover_deadlock t.cfg then recover_deadlocks t report;
-        t.next_cycle_at <- Int.max t.paused_until t.now + idle_gap;
+        (* Decentralized initiation: the next cycle's mark wave may open
+           while this cycle's restructure pause is still draining — the
+           wave is epoch-tagged and the mutator is the only thing the
+           pause actually stops. *)
+        t.next_cycle_at <- t.now + idle_gap;
         unpark t
       | None -> if t.now land 63 = 0 && not (under_pressure t) then unpark t);
       if Cycle.phase c = Cycle.Idle && (t.now >= t.next_cycle_at || under_pressure t) then begin
@@ -848,21 +972,25 @@ let execute_budgets_buffered t ctx pool =
   Pool.drain_marking pool ~budget:t.marking_per_step f;
   let t1 = Profile.now () in
   ctx.cmark_ns <- ctx.cmark_ns +. (t1 -. t0);
-  Pool.drain pool ~budget:t.tasks_per_step f;
-  ctx.cred_ns <- ctx.cred_ns +. (Profile.now () -. t1)
+  (* During a restructure pause only the marking budget runs: the
+     mutator is stopped, the next wave's marks are not. *)
+  if not t.mark_only then begin
+    Pool.drain pool ~budget:t.tasks_per_step f;
+    ctx.cred_ns <- ctx.cred_ns +. (Profile.now () -. t1)
+  end
 
 (* A step is {e buffered} when nothing serial-only is in play: no
-   refcounting (immediate purges and free-slot recycling), no fault plane
-   (stalls and the reliable-delivery clock), and the marking controller
-   idle (cooperative marking mutates shared run state). The predicate
-   depends only on machine state — never on [domains] — so whether a step
-   is buffered is identical at every shard count; [domains] only decides
-   whether the buffered budgets run on worker domains or inline. *)
-let buffered_ok t =
-  t.rc = None && t.flt = None
-  && t.mut.Mutator.active = []
-  && t.mut.Mutator.active_flood = []
-  && match t.cyc with None -> true | Some c -> Cycle.phase c = Cycle.Idle
+   refcounting (immediate purges and free-slot recycling) and no fault
+   plane (stalls and the reliable-delivery clock). An active marking
+   cycle no longer forces the serial path: mark handlers shard by the
+   target vertex's home, run/flood tallies are per-PE slots, and the
+   mutator's cooperation bodies are deferred to the barrier
+   ({!Mutator.set_defer}) — so the wave executes buffered alongside
+   reduction. The predicate depends only on machine state — never on
+   [domains] — so whether a step is buffered is identical at every shard
+   count; [domains] only decides whether the buffered budgets run on
+   worker domains or inline. *)
+let buffered_ok t = t.rc = None && t.flt = None
 
 (* Shard [d] owns the PE range [d*n/domains, (d+1)*n/domains). *)
 let run_shard t d =
@@ -917,10 +1045,12 @@ let spawn_workers t =
   w.doms <- Array.init (t.domains - 1) (fun i -> Domain.spawn (worker i));
   w
 
-(* One parallel buffered phase: publish the job, run shard 0 on the main
-   domain, wait for the workers. The mutex pair on each side doubles as
-   the memory barrier that publishes every shard's writes to the merge. *)
-let run_parallel t =
+(* One parallel phase: publish [job], run shard 0 on the main domain,
+   wait for the workers. The mutex pair on each side doubles as the
+   memory barrier that publishes every shard's writes to the merge.
+   [job d] must touch only shard [d]'s state — the execution budgets and
+   restructure's home passes both qualify. *)
+let run_parallel t job =
   let w =
     match t.workers with
     | Some w -> w
@@ -930,18 +1060,34 @@ let run_parallel t =
       w
   in
   Mutex.lock w.mu;
-  w.job <- Some (fun d -> run_shard t d);
+  w.job <- Some job;
   w.gen <- w.gen + 1;
   w.done_count <- 0;
   Condition.broadcast w.cv;
   Mutex.unlock w.mu;
-  run_shard t 0;
+  job 0;
   Mutex.lock w.mu;
   while w.done_count < Array.length w.doms do
     Condition.wait w.cv w.mu
   done;
   w.job <- None;
   Mutex.unlock w.mu
+
+(* Restructure's sharded passes: run [f] over every home PE, sharded
+   across the domains exactly like the execution budgets. The span is
+   attributed to the profiler's parallel(izable) restructure bucket. *)
+let each_home_run t f =
+  let r0 = Profile.now () in
+  let job d =
+    let lo = d * t.num_pes / t.domains and hi = (d + 1) * t.num_pes / t.domains in
+    for pe = lo to hi - 1 do
+      f pe
+    done
+  in
+  if t.domains > 1 then run_parallel t job else job 0;
+  t.prof.Profile.restr_ns <- t.prof.Profile.restr_ns +. (Profile.now () -. r0)
+
+let () = each_home_cell := each_home_run
 
 let dispose t =
   match t.workers with
@@ -961,10 +1107,13 @@ let dispose t =
    execute-then-control), then counters, then network sends (the queue is
    FIFO-stable among equal arrivals, so PE-ordered flushing reproduces
    what a serial PE-ordered execution would have enqueued), then the
-   deferred controller tasks (whose own sends go straight to the network,
-   after every buffered send — again a fixed order). *)
+   deferred cooperation events (whose mark spawns are charged to the
+   deferring PE and draw its jitter stream), then the deferred controller
+   tasks (whose own sends go straight to the network, after every
+   buffered send — again a fixed order). *)
 let merge_buffered t =
   t.current_pe <- -1;
+  Mutator.set_defer t.mut None;
   (match t.recorder with
   | None -> ()
   | Some r ->
@@ -993,6 +1142,15 @@ let merge_buffered t =
       Vec.clear ctx.cdone)
     t.ctxs;
   Array.iter (fun ctx -> Network.Mailbox.flush ctx.mbox t.net) t.ctxs;
+  Array.iter
+    (fun ctx ->
+      if Vec.length ctx.ccoop > 0 then begin
+        t.current_pe <- ctx.cpe;
+        Vec.iter (fun ev -> Mutator.replay t.mut ev) ctx.ccoop;
+        Vec.clear ctx.ccoop
+      end)
+    t.ctxs;
+  t.current_pe <- -1;
   Array.iter
     (fun ctx ->
       Vec.iter (fun task -> execute_at_controller t task) ctx.ctrl;
@@ -1130,14 +1288,13 @@ let crash_now t ~pe ~down =
     t.g;
   (* A marking wave the crash interrupted can never complete (marks bound
      for the dead PE are gone) and must not be trusted (its partial marks
-     include state the restore rewound). Purge every marking task
-     machine-wide, then restart the phase on a fresh run — the settled
-     plane's verdict from the previous phase is untouched. *)
+     include state the restore rewound). Restart the phase on a fresh
+     wave — no machine-wide purge: the dead wave's surviving tasks carry
+     the old epoch and die at dispatch ([stale_marks_dropped]), its
+     credits die at the detector, and the settled plane's verdict from
+     the previous phase is untouched. *)
   (match t.cyc with
-  | Some c when Cycle.phase c <> Cycle.Idle ->
-    ignore
-      (purge_for_baseline t (function Marking _ -> true | Reduction _ -> false));
-    Cycle.restart_phase c
+  | Some c when Cycle.phase c <> Cycle.Idle -> Cycle.restart_phase c
   | _ -> ());
   t.m.Metrics.crashes <- t.m.Metrics.crashes + 1;
   t.m.Metrics.crash_lost_tasks <- t.m.Metrics.crash_lost_tasks + lost_pool + lost_net;
@@ -1208,20 +1365,23 @@ let step t =
      tasks are lightweight (§6: "bounded amount of time once the required
      vertices are accessed") and get their own per-step budget so GC
      neither starves nor is starved by the reduction process. *)
+  let buffered_exec () =
+    (* Buffered: every PE runs against its private context; with one
+       shard that is a plain loop on this domain, with more the same
+       loop bodies run on the worker pool — same buffers either way.
+       Cooperation bodies are deferred for the barrier replay. *)
+    Mutator.set_defer t.mut (Some t.coop_sink);
+    if t.domains > 1 then run_parallel t (fun d -> run_shard t d) else run_shard t 0;
+    let p2 = Profile.now () in
+    let w2 = Profile.words () in
+    t.prof.Profile.execute_ns <- t.prof.Profile.execute_ns +. (p2 -. p1);
+    t.prof.Profile.execute_mw <- t.prof.Profile.execute_mw +. (w2 -. w1);
+    merge_buffered t;
+    t.prof.Profile.merge_ns <- t.prof.Profile.merge_ns +. (Profile.now () -. p2);
+    t.prof.Profile.merge_mw <- t.prof.Profile.merge_mw +. (Profile.words () -. w2)
+  in
   if t.now >= t.paused_until then begin
-    if buffered_ok t then begin
-      (* Buffered: every PE runs against its private context; with one
-         shard that is a plain loop on this domain, with more the same
-         loop bodies run on the worker pool — same buffers either way. *)
-      if t.domains > 1 then run_parallel t else run_shard t 0;
-      let p2 = Profile.now () in
-      let w2 = Profile.words () in
-      t.prof.Profile.execute_ns <- t.prof.Profile.execute_ns +. (p2 -. p1);
-      t.prof.Profile.execute_mw <- t.prof.Profile.execute_mw +. (w2 -. w1);
-      merge_buffered t;
-      t.prof.Profile.merge_ns <- t.prof.Profile.merge_ns +. (Profile.now () -. p2);
-      t.prof.Profile.merge_mw <- t.prof.Profile.merge_mw +. (Profile.words () -. w2)
-    end
+    if buffered_ok t then buffered_exec ()
     else begin
       for pe = 0 to t.num_pes - 1 do
         (* A crashed PE executes nothing (and rolls no stall dice) until
@@ -1252,18 +1412,47 @@ let step t =
         in
         if not stalled then execute_budgets t pe t.pools.(pe)
       done;
-      (* Serial-only execution (faults / RC / active cycle): counted
-         apart from the buffered span — this time is serial by
-         construction and sharding cannot touch it. *)
+      (* Serial-only execution (faults / RC): counted apart from the
+         buffered span — this time is serial by construction and
+         sharding cannot touch it. *)
       t.prof.Profile.sexec_ns <- t.prof.Profile.sexec_ns +. (Profile.now () -. p1);
       t.prof.Profile.sexec_mw <- t.prof.Profile.sexec_mw +. (Profile.words () -. w1)
     end
+  end
+  else if
+    buffered_ok t
+    && match t.cyc with Some c -> Cycle.phase c <> Cycle.Idle | None -> false
+  then begin
+    (* Epoch overlap: the machine is paused for cycle N's restructure,
+       but cycle N+1's mark wave has already opened — its tasks carry the
+       new epoch and touch nothing the pause protects, so the marking
+       budgets keep draining while reduction stays stopped. *)
+    t.mark_only <- true;
+    buffered_exec ();
+    t.mark_only <- false
   end;
   (* 3. Memory management. *)
   let p3 = Profile.now () in
   let w3 = Profile.words () in
   flush_rc_purge t;
   gc_control t;
+  (* Flood termination heartbeats: while a flood phase is in progress
+     every up PE periodically posts its (epoch, sent, executed) credit
+     as a standalone loss-free control message, so the detector hears
+     from PEs the data traffic never visits. Deterministic: driven by
+     [t.now] and machine state only. *)
+  (match active_flood t with
+  | Some fl ->
+    let ht = Int.max 1 (t.latency / 4) in
+    if t.now mod ht = 0 then
+      for pe = 0 to t.num_pes - 1 do
+        if t.down_since.(pe) < 0 then begin
+          let sent, executed = Flood.credit fl ~pe in
+          Network.post_credit t.net ~arrival:(t.now + ht) ~pe ~epoch:fl.Flood.wave ~sent
+            ~executed
+        end
+      done
+  | None -> ());
   let p4 = Profile.now () in
   let w4 = Profile.words () in
   t.prof.Profile.gc_ns <- t.prof.Profile.gc_ns +. (p4 -. p3);

@@ -4,6 +4,7 @@ type t = {
   mutable steps : int;
   mutable reduction_executed : int;
   mutable marking_executed : int;
+  mutable stale_marks_dropped : int;
   mutable remote_messages : int;
   mutable local_messages : int;
   mutable tasks_purged : int;
@@ -52,6 +53,7 @@ let create () =
     steps = 0;
     reduction_executed = 0;
     marking_executed = 0;
+    stale_marks_dropped = 0;
     remote_messages = 0;
     local_messages = 0;
     tasks_purged = 0;
@@ -102,6 +104,8 @@ let absorb t src =
   src.reduction_executed <- 0;
   t.marking_executed <- t.marking_executed + src.marking_executed;
   src.marking_executed <- 0;
+  t.stale_marks_dropped <- t.stale_marks_dropped + src.stale_marks_dropped;
+  src.stale_marks_dropped <- 0;
   t.remote_messages <- t.remote_messages + src.remote_messages;
   src.remote_messages <- 0;
   t.local_messages <- t.local_messages + src.local_messages;
@@ -122,8 +126,10 @@ let absorb t src =
    printed with a fixed precision, so equal metrics serialize to equal
    bytes (the bench trajectories diff these files). *)
 (* v4: crash counters (crashes/recoveries/crash_rehomed/crash_lost_tasks)
-   and the "recovery" latency histogram. *)
-let schema_version = 4
+   and the "recovery" latency histogram.
+   v5: stale_marks_dropped (epoch-tagged marking — debris from a
+   superseded wave dropped at dispatch). *)
+let schema_version = 5
 
 let to_json t =
   let b = Buffer.create 512 in
@@ -136,8 +142,8 @@ let to_json t =
   in
   Printf.bprintf b "{\"schema_version\":%d," schema_version;
   Printf.bprintf b
-    "\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d"
-    t.steps t.reduction_executed t.marking_executed t.remote_messages t.local_messages
+    "\"steps\":%d,\"reduction_executed\":%d,\"marking_executed\":%d,\"stale_marks_dropped\":%d,\"remote_messages\":%d,\"local_messages\":%d,\"tasks_purged\":%d,\"cycles_completed\":%d,\"stw_collections\":%d,\"total_pause_steps\":%d,%s,\"completion_step\":%s,%s,\"peak_live\":%d,\"deadlocks_recovered\":%d,\"msgs_dropped\":%d,\"msgs_duplicated\":%d,\"msgs_delayed\":%d,\"retransmits\":%d,\"dup_suppressed\":%d,\"stalls\":%d,\"stall_steps\":%d"
+    t.steps t.reduction_executed t.marking_executed t.stale_marks_dropped t.remote_messages t.local_messages
     t.tasks_purged t.cycles_completed t.stw_collections t.total_pause_steps
     (stats "pauses" t.pauses)
     (match t.completion_step with Some s -> string_of_int s | None -> "null")

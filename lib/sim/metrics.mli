@@ -6,6 +6,8 @@ type t = {
   mutable steps : int;
   mutable reduction_executed : int;
   mutable marking_executed : int;
+  mutable stale_marks_dropped : int;
+      (** marks from a superseded wave dropped at dispatch (epoch tag) *)
   mutable remote_messages : int;  (** tasks sent across PE boundaries *)
   mutable local_messages : int;
   mutable tasks_purged : int;  (** irrelevant/stale tasks expunged by GC *)

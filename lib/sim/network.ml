@@ -59,12 +59,15 @@ type batch = {
 let mark_scan_limit = 16
 
 type frame =
-  | Data of { fseq : int; pack : int; batch : batch }
+  | Data of { fseq : int; pack : int; credit : (int * int * int) option; batch : batch }
       (** [pack] piggybacks a cumulative ack for the reverse data link
-          (batch.b_dst, batch.b_src); [min_int] when none is carried. *)
-  | Ack of { a_src : int; a_dst : int; cum : int }
+          (batch.b_dst, batch.b_src); [min_int] when none is carried.
+          [credit] piggybacks the sender's termination credit
+          (epoch, sent, executed) — see {!set_credit_of}. *)
+  | Ack of { a_src : int; a_dst : int; cum : int; credit : (int * int * int) option }
       (** cumulative ack for data link (a_src, a_dst): every fseq up to
-          and including [cum] has been received; travels a_dst→a_src *)
+          and including [cum] has been received; travels a_dst→a_src and
+          carries a_dst's termination credit when one is due *)
 
 type pending = {
   p_batch : batch;
@@ -87,6 +90,12 @@ type rcv_link = {
 type t = {
   q : batch Pqueue.t;  (* ideal channel (faults = None) *)
   fq : frame Pqueue.t;  (* lossy channel, arrival-keyed *)
+  cq : (int * int * int * int) Pqueue.t;
+      (* standalone termination credits (pe, epoch, sent, executed),
+         arrival-keyed: the heartbeat path for PEs with no data or ack
+         traffic to piggyback on. Loss-free by design — credits are
+         idempotent advisories, and the heartbeat is the liveness
+         backstop the lossy piggyback paths lean on *)
   recorder : Dgr_obs.Recorder.t option;
   lineage : Dgr_obs.Lineage.t option;
       (* when present, every reduction task sent gets a latency ticket:
@@ -110,6 +119,12 @@ type t = {
       (* the batch the previous send staged into: sends cluster by link,
          so most lookups hit here without scanning [staged] *)
   mutable on_coalesce : pe:int -> Task.mark -> unit;
+  mutable credit_of : int -> (int * int * int) option;
+      (* the sending PE's current termination credit, sampled at each
+         physical transmission (flush and retransmit alike, so a
+         retransmitted frame carries *fresher* counters than the
+         original — harmless, [Termination.learn] is monotone) *)
+  mutable on_credit : pe:int -> epoch:int -> sent:int -> executed:int -> unit;
   mutable next_uid : int;
   mutable undelivered : int;  (* staged + in-channel task count *)
   mutable clock : int;  (* last [deliver ~now]; send-time reference *)
@@ -125,6 +140,7 @@ let create ?recorder ?lineage ?faults ?(batch = true) () =
   {
     q = Pqueue.create ();
     fq = Pqueue.create ();
+    cq = Pqueue.create ();
     recorder;
     lineage;
     faults;
@@ -139,6 +155,8 @@ let create ?recorder ?lineage ?faults ?(batch = true) () =
     owed_order = Vec.create ();
     last_batch = None;
     on_coalesce = (fun ~pe:_ _ -> ());
+    credit_of = (fun _ -> None);
+    on_credit = (fun ~pe:_ ~epoch:_ ~sent:_ ~executed:_ -> ());
     next_uid = 0;
     undelivered = 0;
     clock = 0;
@@ -150,6 +168,16 @@ let create ?recorder ?lineage ?faults ?(batch = true) () =
   }
 
 let set_on_coalesce t f = t.on_coalesce <- f
+let set_credit_of t f = t.credit_of <- f
+let set_on_credit t f = t.on_credit <- f
+
+let post_credit t ~arrival ~pe ~epoch ~sent ~executed =
+  Pqueue.add t.cq arrival (pe, epoch, sent, executed)
+
+let apply_credit t ~pe credit =
+  match credit with
+  | Some (epoch, sent, executed) -> t.on_credit ~pe ~epoch ~sent ~executed
+  | None -> ()
 
 let frames_sent t = t.frames_sent
 let acks_sent t = t.acks_sent
@@ -241,6 +269,7 @@ let owe_ack t ~src ~dst ~delay =
    rolls drop and extra delay. [arrival] is the fault-free arrival step;
    [base] the link delay that scales the fault plane's extra delay. *)
 let transmit_data t f ~arrival ~base ~fseq ~pack b =
+  let credit = t.credit_of b.b_src in
   let copies =
     if Faults.duplicates_frame f then begin
       let kind, vid = head_obs b in
@@ -257,7 +286,7 @@ let transmit_data t f ~arrival ~base ~fseq ~pack b =
     else
       Pqueue.add t.fq
         (arrival + Faults.extra_delay f ~latency:base)
-        (Data { fseq; pack; batch = b })
+        (Data { fseq; pack; credit; batch = b })
   done
 
 (* Acks roll drop and delay only — duplicating an ack is a no-op, and
@@ -327,7 +356,7 @@ let flush t f ~now =
         t.acks_sent <- t.acks_sent + 1;
         emit t (Dgr_obs.Event.Cum_ack { src; dst; upto = cum; piggyback = false });
         transmit_ack t f ~arrival:(now + delay) ~base:delay
-          (Ack { a_src = src; a_dst = dst; cum }))
+          (Ack { a_src = src; a_dst = dst; cum; credit = t.credit_of dst }))
     t.owed_order;
   Vec.clear t.owed_order
 
@@ -526,8 +555,21 @@ let recycle_batch t b =
     Vec.push t.free_batches b
   end
 
+(* Standalone credits drain in arrival order (FIFO among equals) in both
+   regimes; [learn] is idempotent and order-insensitive anyway, so this
+   order only matters for trace determinism. *)
+let drain_credits t ~now =
+  while
+    Pqueue.min_prio t.cq ~default:max_int <= now
+    && Pqueue.pop_tagged_with t.cq (fun (pe, epoch, sent, executed) _stamp ->
+           t.on_credit ~pe ~epoch ~sent ~executed)
+  do
+    ()
+  done
+
 let deliver_into t ~now ~push =
   t.clock <- now;
+  drain_credits t ~now;
   match t.faults with
   | None ->
     flush_ideal t;
@@ -550,10 +592,12 @@ let deliver_into t ~now ~push =
       match Pqueue.peek t.fq with
       | Some (arrival, _) when arrival <= now ->
         (match Pqueue.pop t.fq with
-        | Some (_, Data { fseq; pack; batch = b }) ->
+        | Some (_, Data { fseq; pack; credit; batch = b }) ->
           let src = b.b_src and dst = b.b_dst in
           (* a piggybacked cum ack settles the reverse data link *)
           if pack > min_int then apply_cum t ~src:dst ~dst:src pack;
+          (* credits apply even on duplicate frames — idempotent *)
+          apply_credit t ~pe:src credit;
           if already_received t ~src ~dst fseq then
             (* redelivery of a frame already seen (or whose batch was
                purged): suppress — this is the exactly-once edge *)
@@ -569,8 +613,9 @@ let deliver_into t ~now ~push =
              cumulative ack may have been lost *)
           owe_ack t ~src ~dst ~delay:b.b_delay;
           drain ()
-        | Some (_, Ack { a_src; a_dst; cum }) ->
+        | Some (_, Ack { a_src; a_dst; cum; credit }) ->
           apply_cum t ~src:a_src ~dst:a_dst cum;
+          apply_credit t ~pe:a_dst credit;
           drain ()
         | None -> ())
       | Some _ | None -> ()
@@ -630,6 +675,13 @@ let in_flight t =
 
 let iter_in_flight t f =
   let visit b = Vec.iter f b.b_tasks in
+  (match t.faults with
+  | None -> Pqueue.iter (fun _ b -> visit b) t.q
+  | Some _ -> Hashtbl.iter (fun _ p -> if not p.p_delivered then visit p.p_batch) t.pending);
+  Vec.iter visit t.staged
+
+let iter_in_flight_dst t f =
+  let visit b = Vec.iter (fun task -> f ~dst:b.b_dst task) b.b_tasks in
   (match t.faults with
   | None -> Pqueue.iter (fun _ b -> visit b) t.q
   | Some _ -> Hashtbl.iter (fun _ p -> if not p.p_delivered then visit p.p_batch) t.pending);
@@ -799,6 +851,8 @@ let crash_pe t ~pe =
         | Ack { a_src; a_dst; _ } -> a_src <> pe && a_dst <> pe)
       t.fq;
     Pqueue.filter_in_place (fun _ (s, d, _) -> s <> pe && d <> pe) t.timers);
+  (* in-flight heartbeat credits from the dead PE die with it *)
+  Pqueue.filter_in_place (fun _ (p, _, _, _) -> p <> pe) t.cq;
   let purge_links tbl =
     let doomed =
       Hashtbl.fold (fun ((s, d) as k) _ acc -> if s = pe || d = pe then k :: acc else acc) tbl []

@@ -84,6 +84,32 @@ val set_on_coalesce : t -> (pe:int -> Task.mark -> unit) -> unit
     the [Return] the absorbed mark would have produced); recursion is
     bounded because [Return] tasks never coalesce. Default: ignore. *)
 
+(** {2 Termination credits}
+
+    Transport for the flood scheme's distributed termination detector
+    (see [Dgr_core.Termination]): per-PE [(epoch, sent, executed)]
+    credits ride on data frames and cumulative acks under faults, and on
+    a loss-free standalone queue (the heartbeat path) in both regimes.
+    Credits are idempotent advisories — the detector max-merges them —
+    so no delivery discipline is required. *)
+
+val set_credit_of : t -> (int -> (int * int * int) option) -> unit
+(** Install the credit sampler: [credit_of pe] is the PE's current
+    [(epoch, sent, executed)] credit, or [None] when no mark wave is
+    active. Sampled at every physical transmission — flush {e and}
+    retransmit — of a data frame (from its source PE) and at every
+    standalone ack (from the ack's sender). Default: no credits. *)
+
+val set_on_credit : t -> (pe:int -> epoch:int -> sent:int -> executed:int -> unit) -> unit
+(** Install the credit sink, fired at each receipt of a credit-carrying
+    frame (duplicates included — credits are idempotent) and at each
+    standalone credit's arrival. Default: ignore. *)
+
+val post_credit : t -> arrival:int -> pe:int -> epoch:int -> sent:int -> executed:int -> unit
+(** Enqueue a standalone heartbeat credit from [pe], handed to the
+    credit sink at [arrival]. Loss-free even under faults: heartbeats
+    are the liveness backstop for PEs with no traffic to piggyback on. *)
+
 val deliver_into : t -> now:int -> push:(int -> int -> Task.t -> unit) -> unit
 (** The network's clock tick: flush the batches staged since the last
     tick into the channel, then hand every task due by [now] to
@@ -106,6 +132,11 @@ val in_flight : t -> Task.t list
 val iter_in_flight : t -> (Task.t -> unit) -> unit
 (** Apply [f] to every undelivered task in {e unspecified} order, without
     sorting or allocating — for order-insensitive folds (M_T seeding). *)
+
+val iter_in_flight_dst : t -> (dst:int -> Task.t -> unit) -> unit
+(** Like {!iter_in_flight}, with each task's destination PE: the
+    receiver is the PE whose "local knowledge" an in-flight task counts
+    as when the cycle builds taskroot from per-PE enumerations. *)
 
 val purge : t -> (Task.t -> bool) -> int
 (** Remove matching undelivered tasks; returns the count. Tasks are

@@ -16,12 +16,13 @@
    trips, the per-phase words say which span regressed.
 
    The measured Amdahl serial fraction falls out directly:
-   everything outside the execution span is serial by construction, so
+   everything outside the sharded spans — the execution span and
+   restructure's per-home passes — is serial by construction, so
 
-     serial_fraction = (total - execute) / total
+     serial_fraction = (total - execute - restructure) / total
 
    is the ceiling on what domain-sharding can ever win — the yardstick
-   for ROADMAP item 1. At [--domains 1] the execution span still counts
+   for ROADMAP item 1. At [--domains 1] the sharded spans still count
    as parallelizable: the figure then reads "what fraction of this run
    a perfectly parallel machine could compress".
 
@@ -41,6 +42,7 @@ type t = {
   mutable merge_ns : float;
   mutable gc_ns : float;
   mutable book_ns : float;
+  mutable restr_ns : float;  (* inside gc: restructure's sharded home passes *)
   mutable mark_ns : float;  (* inside execute: marking budget loops *)
   mutable red_ns : float;  (* inside execute: reduction budget loops *)
   mutable total_mw : float;  (* minor words, same brackets as the ns spans *)
@@ -62,6 +64,7 @@ let create () =
     merge_ns = 0.0;
     gc_ns = 0.0;
     book_ns = 0.0;
+    restr_ns = 0.0;
     mark_ns = 0.0;
     red_ns = 0.0;
     total_mw = 0.0;
@@ -79,7 +82,7 @@ let words () = Gc.minor_words ()
 
 let serial_fraction t =
   if t.total_ns <= 0.0 then 0.0
-  else Float.max 0.0 ((t.total_ns -. t.execute_ns) /. t.total_ns)
+  else Float.max 0.0 ((t.total_ns -. t.execute_ns -. t.restr_ns) /. t.total_ns)
 
 (* Amdahl: the best speedup [domains] workers can extract when only the
    execution span parallelizes. *)
@@ -93,9 +96,9 @@ let per_step t part = if t.steps <= 0 then 0.0 else part /. float_of_int t.steps
 
 let to_json t =
   Printf.sprintf
-    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"gc\":%.4f,\"bookkeeping\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f,\"mw_per_step\":{\"transport\":%.1f,\"execute\":%.1f,\"execute_serial\":%.1f,\"merge\":%.1f,\"gc\":%.1f,\"bookkeeping\":%.1f}}"
+    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"gc\":%.4f,\"bookkeeping\":%.4f,\"restructure\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f,\"mw_per_step\":{\"transport\":%.1f,\"execute\":%.1f,\"execute_serial\":%.1f,\"merge\":%.1f,\"gc\":%.1f,\"bookkeeping\":%.1f}}"
     t.steps (t.total_ns /. 1e6) (share t t.transport_ns) (share t t.execute_ns)
     (share t t.sexec_ns) (share t t.merge_ns) (share t t.gc_ns) (share t t.book_ns)
-    (share t t.mark_ns) (share t t.red_ns) (serial_fraction t)
+    (share t t.restr_ns) (share t t.mark_ns) (share t t.red_ns) (serial_fraction t)
     (per_step t t.transport_mw) (per_step t t.execute_mw) (per_step t t.sexec_mw)
     (per_step t t.merge_mw) (per_step t t.gc_mw) (per_step t t.book_mw)

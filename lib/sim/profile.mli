@@ -3,10 +3,11 @@
 
     The engine brackets each step into transport / execution / barrier
     merge / GC control / bookkeeping phases, and the execution budget
-    loops split their span into marking vs reduction work. Execution is
-    the only phase the sharded engine runs in parallel, so the measured
-    Amdahl serial fraction is [(total - execute) / total] — the direct
-    yardstick for ROADMAP item 1's "shrink the serial controller".
+    loops split their span into marking vs reduction work. The sharded
+    engine runs two spans in parallel — execution and restructure's
+    per-home passes — so the measured Amdahl serial fraction is
+    [(total - execute - restructure) / total], the direct yardstick for
+    ROADMAP item 1's "shrink the serial controller".
 
     The same brackets also accumulate [Gc.minor_words] deltas, so the
     bench's [minor_words_per_step] budget can be attributed to a phase
@@ -27,6 +28,7 @@ type t = {
   mutable merge_ns : float;
   mutable gc_ns : float;
   mutable book_ns : float;
+  mutable restr_ns : float;
   mutable mark_ns : float;
   mutable red_ns : float;
   mutable total_mw : float;
@@ -48,8 +50,9 @@ val now : unit -> float
     ([Gc.minor_words]) — differenced at the same points as {!now}. *)
 val words : unit -> float
 
-(** Fraction of total step time spent outside the parallelizable
-    execution span, in [0, 1]; [0.0] before any step ran. *)
+(** Fraction of total step time spent outside the parallelizable spans
+    (execution and sharded restructure), in [0, 1]; [0.0] before any
+    step ran. *)
 val serial_fraction : t -> float
 
 (** Best-case speedup at [domains] workers under Amdahl's law with the

@@ -12,11 +12,18 @@ type reduction =
     }
   | Cancel of { src : Vid.t; dst : Vid.t }
 
+(* Every mark task is tagged with the wave ([Graph.wave]) that spawned
+   it. With overlapping cycles, a task from wave N can still be in a
+   pool or in flight after wave N+1 opened its plane; the executor
+   compares [ep] against the handler's wave and drops stale tasks
+   instead of crediting them to the wrong marking process. The tag also
+   keeps the transport's mark-coalescing honest: tasks from different
+   waves are structurally unequal and never merge. *)
 type mark =
-  | Mark1 of { v : Vid.t; par : Plane.parent }
-  | Mark2 of { v : Vid.t; par : Plane.parent; prior : int }
-  | Mark3 of { v : Vid.t; par : Plane.parent }
-  | Return of { plane : Plane.id; par : Plane.parent }
+  | Mark1 of { v : Vid.t; par : Plane.parent; ep : int }
+  | Mark2 of { v : Vid.t; par : Plane.parent; prior : int; ep : int }
+  | Mark3 of { v : Vid.t; par : Plane.parent; ep : int }
+  | Return of { plane : Plane.id; par : Plane.parent; ep : int }
 
 type t = Reduction of reduction | Marking of mark
 
@@ -101,13 +108,18 @@ let pp_reduction fmt = function
       Label.pp_value value Vid.pp key
   | Cancel { src; dst } -> Format.fprintf fmt "cancel<%a,%a>" Vid.pp src Vid.pp dst
 
+let mark_ep = function
+  | Mark1 { ep; _ } | Mark2 { ep; _ } | Mark3 { ep; _ } | Return { ep; _ } -> ep
+
 let pp_mark fmt = function
-  | Mark1 { v; par } -> Format.fprintf fmt "mark1<%a par=%a>" Vid.pp v Plane.pp_parent par
-  | Mark2 { v; par; prior } ->
-    Format.fprintf fmt "mark2<%a par=%a prio=%d>" Vid.pp v Plane.pp_parent par prior
-  | Mark3 { v; par } -> Format.fprintf fmt "mark3<%a par=%a>" Vid.pp v Plane.pp_parent par
-  | Return { plane; par } ->
-    Format.fprintf fmt "return<%a to=%a>" Plane.pp_id plane Plane.pp_parent par
+  | Mark1 { v; par; ep } ->
+    Format.fprintf fmt "mark1<%a par=%a w%d>" Vid.pp v Plane.pp_parent par ep
+  | Mark2 { v; par; prior; ep } ->
+    Format.fprintf fmt "mark2<%a par=%a prio=%d w%d>" Vid.pp v Plane.pp_parent par prior ep
+  | Mark3 { v; par; ep } ->
+    Format.fprintf fmt "mark3<%a par=%a w%d>" Vid.pp v Plane.pp_parent par ep
+  | Return { plane; par; ep } ->
+    Format.fprintf fmt "return<%a to=%a w%d>" Plane.pp_id plane Plane.pp_parent par ep
 
 let pp fmt = function
   | Reduction r -> pp_reduction fmt r

@@ -38,15 +38,20 @@ type reduction =
           from [requested(dst)]. Spawned when speculation is resolved
           against a branch. *)
 
+(** Mark tasks carry the wave ([Graph.wave]) that spawned them ([ep]):
+    with overlapping cycles a task can outlive its wave in a pool or in
+    flight, and the executor drops any task whose [ep] is not the
+    handler's current wave. Tasks from different waves are structurally
+    unequal, so the transport's coalescing never merges them. *)
 type mark =
-  | Mark1 of { v : Vid.t; par : Plane.parent }
+  | Mark1 of { v : Vid.t; par : Plane.parent; ep : int }
       (** Fig 4-1 basic algorithm (runs on the M_R plane). *)
-  | Mark2 of { v : Vid.t; par : Plane.parent; prior : int }
+  | Mark2 of { v : Vid.t; par : Plane.parent; prior : int; ep : int }
       (** Fig 5-1, process M_R: priority-carrying marking from the root. *)
-  | Mark3 of { v : Vid.t; par : Plane.parent }
+  | Mark3 of { v : Vid.t; par : Plane.parent; ep : int }
       (** Fig 5-3, process M_T: marking from tasks through
           [requested ∪ (args − req-args)]. *)
-  | Return of { plane : Plane.id; par : Plane.parent }
+  | Return of { plane : Plane.id; par : Plane.parent; ep : int }
       (** Fig 4-1 [return1], shared by all three mark tasks; [par =
           Rootpar] signals termination to the controller. *)
 
@@ -76,6 +81,9 @@ val reduction_endpoint_exists : (Vid.t -> bool) -> reduction -> bool
 val plane_of_mark : mark -> Plane.id
 (** The marking plane a mark task operates on: M_R for [Mark1]/[Mark2],
     M_T for [Mark3], the carried plane for [Return]. *)
+
+val mark_ep : mark -> int
+(** The wave that spawned the task (see the {!mark} doc). *)
 
 val obs_kind : t -> Dgr_obs.Event.task_kind
 (** The trace-event kind a task maps to (observability layer). *)

@@ -10,6 +10,7 @@ let () =
       ("marking-negative", T_marking.negative_suite);
       ("mutator", T_mutator.suite);
       ("cycle", T_cycle.suite);
+      ("epoch", T_epoch.suite);
       ("flood", T_flood.suite);
       ("analysis", T_analysis.suite);
       ("baseline", T_baseline.suite);

@@ -119,9 +119,11 @@ let test_start_cycle_twice_rejected () =
   let env =
     {
       Cycle.spawn_mark = (fun _ -> ());
-      iter_reduction_endpoints = (fun _ -> ());
+      pes = 1;
+      iter_pe_endpoints = (fun _ _ -> ());
       purge_tasks = (fun _ -> 0);
       reprioritize = (fun () -> 0);
+      each_home = (fun f -> f 0);
       now = (fun () -> 0);
     }
   in
@@ -140,14 +142,16 @@ let test_mt_before_mr_order () =
   let env =
     {
       Cycle.spawn_mark = (fun m -> spawned := m :: !spawned);
-      iter_reduction_endpoints =
-        (fun f ->
+      pes = 1;
+      iter_pe_endpoints =
+        (fun _pe f ->
           Dgr_task.Task.iter_reduction_endpoints f
             (Dgr_task.Task.Request
                { src = None; dst = Graph.root g; demand = Demand.Vital;
                  key = Graph.root g }));
       purge_tasks = (fun _ -> 0);
       reprioritize = (fun () -> 0);
+      each_home = (fun f -> f 0);
       now = (fun () -> 0);
     }
   in

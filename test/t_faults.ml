@@ -403,7 +403,8 @@ let run_crash_differential ?(domains = 1) seed =
   let fp =
     ( Engine.now e, live_digest, m.Metrics.crashes, m.Metrics.recoveries,
       m.Metrics.crash_rehomed, m.Metrics.crash_lost_tasks,
-      m.Metrics.marking_executed, m.Metrics.cycles_completed )
+      m.Metrics.marking_executed, m.Metrics.stale_marks_dropped,
+      m.Metrics.cycles_completed )
   in
   Engine.dispose e;
   fp
@@ -412,7 +413,7 @@ let test_crash_differential_block () =
   let base = seed_base () in
   let crashes = ref 0 and recoveries = ref 0 and rehomed = ref 0 in
   for seed = base to base + 49 do
-    let (_, _, c, r, h, _, _, _) as fp = run_crash_differential seed in
+    let (_, _, c, r, h, _, _, _, _) as fp = run_crash_differential seed in
     crashes := !crashes + c;
     recoveries := !recoveries + r;
     rehomed := !rehomed + h;

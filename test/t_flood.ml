@@ -31,21 +31,32 @@ let flood_drain ?mut fl seeds =
   Alcotest.(check int) "outstanding zero" 0 (Flood.outstanding fl)
 
 let test_termination_detector () =
-  let t = Termination.create ~window:5 in
-  Termination.observe t ~now:0 ~sent:3 ~executed:1;
+  let t = Termination.create ~window:5 ~epoch:7 ~pes:2 in
+  (* silence is not termination: every PE must have reported *)
+  Termination.observe t ~now:0;
+  Alcotest.(check bool) "no reports" false (Termination.terminated t);
+  Termination.learn t ~pe:0 ~epoch:7 ~sent:3 ~executed:1;
+  Termination.learn t ~pe:1 ~epoch:7 ~sent:0 ~executed:0;
+  Termination.observe t ~now:0;
   Alcotest.(check bool) "busy" false (Termination.terminated t);
-  Termination.observe t ~now:1 ~sent:3 ~executed:3;
-  Termination.observe t ~now:3 ~sent:3 ~executed:3;
+  (* a credit from a superseded wave must be ignored *)
+  Termination.learn t ~pe:0 ~epoch:6 ~sent:90 ~executed:1;
+  Termination.learn t ~pe:0 ~epoch:7 ~sent:3 ~executed:3;
+  Termination.observe t ~now:1;
+  Termination.observe t ~now:3;
   Alcotest.(check bool) "quiet but window not elapsed" false (Termination.terminated t);
-  Termination.observe t ~now:6 ~sent:3 ~executed:3;
-  Alcotest.(check bool) "two waves apart" true (Termination.terminated t);
-  Termination.reset t;
-  (* a racing task between waves resets the first observation *)
-  Termination.observe t ~now:10 ~sent:5 ~executed:5;
-  Termination.observe t ~now:16 ~sent:6 ~executed:6;
-  Alcotest.(check bool) "sum moved between waves" false (Termination.terminated t);
-  Termination.observe t ~now:22 ~sent:6 ~executed:6;
-  Alcotest.(check bool) "stable afterwards" true (Termination.terminated t)
+  Termination.observe t ~now:6;
+  Alcotest.(check bool) "two observations apart" true (Termination.terminated t);
+  Alcotest.(check int) "stale credit never merged" 3 (Termination.learned_sent t);
+  (* a racing task between observations resets the first observation *)
+  let t2 = Termination.create ~window:5 ~epoch:1 ~pes:1 in
+  Termination.learn t2 ~pe:0 ~epoch:1 ~sent:5 ~executed:5;
+  Termination.observe t2 ~now:10;
+  Termination.learn t2 ~pe:0 ~epoch:1 ~sent:6 ~executed:6;
+  Termination.observe t2 ~now:16;
+  Alcotest.(check bool) "sum moved between observations" false (Termination.terminated t2);
+  Termination.observe t2 ~now:22;
+  Alcotest.(check bool) "stable afterwards" true (Termination.terminated t2)
 
 let test_flood_marks_reachable () =
   let g = Graph.create () in

@@ -20,7 +20,7 @@ let test_chain () =
   Alcotest.(check bool) "finished" true run.Run.finished;
   Helpers.check_vid_set "all 10 marked" (oracle_reachable g) (Helpers.marked_set g Plane.MR);
   Helpers.check_quiescent g Plane.MR;
-  Alcotest.(check int) "10 mark executions" 10 run.Run.marks_executed
+  Alcotest.(check int) "10 mark executions" 10 (Run.marks_total run)
 
 let test_tree () =
   let g = Graph.create () in
@@ -251,14 +251,17 @@ let test_wrong_plane_rejected () =
   let v = Builder.add_root g (Label.Int 1) [] in
   let run = Run.create g Run.Priority in
   Run.seed_added run;
-  (match Marker.execute run ~emit:ignore (Dgr_task.Task.Mark3 { v; par = Plane.Rootpar }) with
+  (match
+     Marker.execute run ~pe:0 ~emit:ignore
+       (Dgr_task.Task.Mark3 { v; par = Plane.Rootpar; ep = run.Run.wave })
+   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mark3 accepted by an M_R run");
   let run_t = Run.create g Run.Tasks in
   Run.seed_added run_t;
   match
-    Marker.execute run_t ~emit:ignore
-      (Dgr_task.Task.Mark2 { v; par = Plane.Rootpar; prior = 3 })
+    Marker.execute run_t ~pe:0 ~emit:ignore
+      (Dgr_task.Task.Mark2 { v; par = Plane.Rootpar; prior = 3; ep = run_t.Run.wave })
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mark2 accepted by an M_T run"
@@ -268,8 +271,8 @@ let test_return_without_credit_rejected () =
   let v = Builder.add_root g (Label.Int 1) [] in
   let run = Run.create g Run.Basic in
   match
-    Marker.execute run ~emit:ignore
-      (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Parent v })
+    Marker.execute run ~pe:0 ~emit:ignore
+      (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Parent v; ep = run.Run.wave })
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "return accepted with mt-cnt = 0"
@@ -281,7 +284,7 @@ let test_flood_rejects_returns () =
   let fl = Dgr_core.Flood.create g Run.Basic in
   match
     Dgr_core.Flood.execute fl ~pe:0 ~emit:ignore
-      (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Rootpar })
+      (Dgr_task.Task.Return { plane = Plane.MR; par = Plane.Rootpar; ep = fl.Dgr_core.Flood.wave })
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "flood accepted a return task"

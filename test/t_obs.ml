@@ -26,7 +26,7 @@ let test_ring_wraparound () =
 let test_event_ordering () =
   let r = Recorder.create ~num_pes:2 () in
   Recorder.set_now r 5;
-  Recorder.emit r (Event.Phase { phase = Event.Mark_root; cycle = 0 });
+  Recorder.emit r (Event.Phase { phase = Event.Mark_root; cycle = 0; wave = 1 });
   Recorder.emit r (exec 0 1);
   Recorder.set_now r 6;
   Recorder.emit r (exec 1 2);
@@ -66,7 +66,7 @@ let test_sampler () =
 let small_recorder () =
   let r = Recorder.create ~sample_every:1 ~num_pes:2 () in
   Recorder.set_now r 0;
-  Recorder.emit r (Event.Phase { phase = Event.Mark_root; cycle = 0 });
+  Recorder.emit r (Event.Phase { phase = Event.Mark_root; cycle = 0; wave = 1 });
   Recorder.emit r
     (Event.Send
        { kind = Event.Request; pe = 1; vid = 3; arrival = 4; remote = true; lin = 3 });
@@ -74,7 +74,7 @@ let small_recorder () =
   Recorder.set_now r 4;
   Recorder.emit r (Event.Deliver { kind = Event.Request; pe = 1; vid = 3; lin = 3 });
   Recorder.emit r (Event.Execute { kind = Event.Request; pe = 1; vid = 3; lin = 3 });
-  Recorder.emit r (Event.Phase { phase = Event.Idle; cycle = 0 });
+  Recorder.emit r (Event.Phase { phase = Event.Idle; cycle = 0; wave = 1 });
   Recorder.emit r Event.Finished;
   Recorder.tick r ~live:2 ~in_flight:0 ~headroom:(-1) ~pool_depth:[| 0; 0 |];
   r

@@ -13,7 +13,7 @@ let test_pool_policy_bands () =
   let g, a, b = mk_graph () in
   let vital = Task.request ~src:a b Demand.Vital in
   let eager = Task.request ~src:a b Demand.Eager in
-  let mark = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar }) in
+  let mark = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar; ep = 0 }) in
   Alcotest.(check int) "marking always first" 0 (Pool.priority_of Pool.Dynamic g mark);
   Alcotest.(check bool) "flat ignores demand" true
     (Pool.priority_of Pool.Flat g vital = Pool.priority_of Pool.Flat g eager);
@@ -53,7 +53,7 @@ let test_pool_fifo_and_separate_queues () =
   let pool = Pool.create Pool.Flat g in
   let r1 = Task.request ~src:a b Demand.Vital in
   let r2 = Task.request ~src:b a Demand.Vital in
-  let m = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar }) in
+  let m = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar; ep = 0 }) in
   Pool.push pool r1;
   Pool.push pool m;
   Pool.push pool r2;
@@ -68,7 +68,7 @@ let test_pool_fifo_and_separate_queues () =
 let test_pool_pop_lends_slot_to_marking () =
   let g, a, _ = mk_graph () in
   let pool = Pool.create Pool.Dynamic g in
-  Pool.push pool (Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar }));
+  Pool.push pool (Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar; ep = 0 }));
   match Pool.pop pool with
   | Some (Task.Marking _) -> ()
   | _ -> Alcotest.fail "an idle reduction slot should take marking work"
@@ -96,7 +96,7 @@ let test_pool_policy_pop_orders () =
   let e_b = Task.request ~src:a b Demand.Eager in
   let v_b = Task.request ~src:a b Demand.Vital in
   let e_a = Task.request ~src:b a Demand.Eager in
-  let m = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar }) in
+  let m = Task.Marking (Task.Mark1 { v = a; par = Plane.Rootpar; ep = 0 }) in
   let pop_all policy =
     let pool = Pool.create policy g in
     List.iter (Pool.push pool) [ e_b; v_b; e_a; m ];

@@ -13,11 +13,11 @@ let test_exec_vertex () =
   Alcotest.(check (option int)) "cancel executes at dst" (Some 9)
     (exec_vertex (Reduction (Cancel { src = 2; dst = 9 })));
   Alcotest.(check (option int)) "mark executes at v" (Some 4)
-    (exec_vertex (Marking (Mark1 { v = 4; par = Plane.Rootpar })));
+    (exec_vertex (Marking (Mark1 { v = 4; par = Plane.Rootpar; ep = 0 })));
   Alcotest.(check (option int)) "return executes at the credited parent" (Some 6)
-    (exec_vertex (Marking (Return { plane = Plane.MR; par = Plane.Parent 6 })));
+    (exec_vertex (Marking (Return { plane = Plane.MR; par = Plane.Parent 6; ep = 0 })));
   Alcotest.(check (option int)) "rootpar return goes to the controller" None
-    (exec_vertex (Marking (Return { plane = Plane.MT; par = Plane.Rootpar })))
+    (exec_vertex (Marking (Return { plane = Plane.MT; par = Plane.Rootpar; ep = 0 })))
 
 let test_endpoints () =
   let sorted = List.sort compare in
@@ -37,13 +37,13 @@ let test_endpoints () =
 
 let test_planes () =
   Alcotest.(check bool) "mark1 -> MR" true
-    (plane_of_mark (Mark1 { v = 0; par = Plane.Rootpar }) = Plane.MR);
+    (plane_of_mark (Mark1 { v = 0; par = Plane.Rootpar; ep = 0 }) = Plane.MR);
   Alcotest.(check bool) "mark2 -> MR" true
-    (plane_of_mark (Mark2 { v = 0; par = Plane.Rootpar; prior = 3 }) = Plane.MR);
+    (plane_of_mark (Mark2 { v = 0; par = Plane.Rootpar; prior = 3; ep = 0 }) = Plane.MR);
   Alcotest.(check bool) "mark3 -> MT" true
-    (plane_of_mark (Mark3 { v = 0; par = Plane.Rootpar }) = Plane.MT);
+    (plane_of_mark (Mark3 { v = 0; par = Plane.Rootpar; ep = 0 }) = Plane.MT);
   Alcotest.(check bool) "return carries its plane" true
-    (plane_of_mark (Return { plane = Plane.MT; par = Plane.Rootpar }) = Plane.MT)
+    (plane_of_mark (Return { plane = Plane.MT; par = Plane.Rootpar; ep = 0 }) = Plane.MT)
 
 let test_predicates_and_pp () =
   let req = request 5 Demand.Eager in
@@ -52,8 +52,8 @@ let test_predicates_and_pp () =
   Alcotest.(check string) "request pp" "request<-,v5>?[key=v5]" (to_string req);
   Alcotest.(check string) "respond pp" "respond<v5,v2>!=7[key=v5]"
     (to_string (respond ~src:5 ~key:5 (Some 2) (Label.V_int 7)));
-  Alcotest.(check string) "mark2 pp" "mark2<v1 par=rootpar prio=3>"
-    (to_string (Marking (Mark2 { v = 1; par = Plane.Rootpar; prior = 3 })))
+  Alcotest.(check string) "mark2 pp" "mark2<v1 par=rootpar prio=3 w2>"
+    (to_string (Marking (Mark2 { v = 1; par = Plane.Rootpar; prior = 3; ep = 2 })))
 
 let test_request_default_key () =
   match request ~src:9 7 Demand.Vital with
