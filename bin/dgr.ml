@@ -252,13 +252,32 @@ let experiment_cmd id trace_dir =
     1
 
 let bench_cmd smoke deterministic domains batch out baseline alloc_budget
-    serial_ceiling list_only =
+    serial_ceiling list_only compare compare_to =
   let module B = Dgr_harness.Bench in
   if list_only then begin
     List.iter print_endline (B.scenario_names ~smoke);
     0
   end
   else
+    match compare with
+    | Some base_path -> (
+      match compare_to with
+      | None ->
+        Format.eprintf
+          "dgr: --compare needs a second BENCH.json (dgr bench --compare A.json B.json)@.";
+        1
+      | Some cand_path -> (
+        try
+          let read p = In_channel.with_open_text p In_channel.input_all in
+          print_string
+            (B.compare_table ~baseline:(read base_path) ~candidate:(read cand_path));
+          0
+        with
+        | Sys_error msg | Failure msg ->
+          Format.eprintf "dgr: %s@." msg;
+          1))
+    | None ->
+  (* no diff requested: run the suite *)
     match
       let rows =
         List.map
@@ -743,11 +762,23 @@ let bench_serial_ceiling_arg =
 let bench_list_arg =
   Arg.(value & flag & info [ "list" ] ~doc:"List the scenario names and exit.")
 
+let bench_compare_arg =
+  Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"BASELINE"
+         ~doc:"Diff two committed BENCH.json files instead of running the suite: \
+               $(b,dgr bench --compare A.json B.json) prints a per-scenario table \
+               of steps/sec, serial fraction, minor words/step and latency \
+               percentile deltas from $(docv) to the positional candidate file.")
+
+let bench_compare_to_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"CANDIDATE"
+         ~doc:"The candidate BENCH.json for $(b,--compare).")
+
 let bench_term =
   Term.(
     const bench_cmd $ bench_smoke_arg $ bench_det_arg $ bench_domains_arg
     $ Term.app (const not) bench_no_batch_arg $ bench_out_arg $ bench_baseline_arg
-    $ bench_alloc_budget_arg $ bench_serial_ceiling_arg $ bench_list_arg)
+    $ bench_alloc_budget_arg $ bench_serial_ceiling_arg $ bench_list_arg
+    $ bench_compare_arg $ bench_compare_to_arg)
 
 let bench_cmd_v =
   Cmd.v

@@ -99,8 +99,22 @@ let drain ?interleave ?(max_steps = 10_000_000) t =
   while !continue do
     (match interleave with Some f -> f t.executed | None -> ());
     if not (step t) then continue := false
-    else if t.executed - start > max_steps then
-      failwith "Sync_engine.drain: exceeded max_steps (marking diverged?)"
+    else if t.executed - start > max_steps then begin
+      let run_state =
+        match active_runs t with
+        | [] -> "no active run"
+        | runs ->
+          String.concat "; "
+            (List.map (fun r -> Format.asprintf "%a" Run.pp r) runs)
+      in
+      failwith
+        (Printf.sprintf
+           "Sync_engine.drain: exceeded max_steps=%d after %d steps with %d \
+            tasks queued (%s) — marking diverged?"
+           max_steps (t.executed - start)
+           (Vec.length t.tasks - t.head)
+           run_state)
+    end
   done;
   t.executed - start
 

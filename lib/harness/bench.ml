@@ -462,6 +462,70 @@ let scenario_alloc_budgets json =
     failwith "Bench.scenario_alloc_budgets: not a dgr-alloc-budget file");
   scenario_floats json ~key:"budget_minor_words_per_step"
 
+(* A/B diff of two committed BENCH.json files, one row per scenario:
+   throughput, serial fraction, allocation rate, and the latency
+   percentile shifts. Reuses the targeted scanner — both documents were
+   written by [to_json] above. Scenarios present in only one file are
+   listed with the side they're missing from. *)
+let compare_table ~baseline ~candidate =
+  let check json which =
+    match find_from json "\"bench\":\"dgr-macro\"" 0 with
+    | Some _ -> ()
+    | None ->
+      failwith (Printf.sprintf "Bench.compare_table: %s is not a dgr-macro BENCH.json" which)
+  in
+  check baseline "baseline";
+  check candidate "candidate";
+  let keyed json k = scenario_floats json ~key:k in
+  let a_sps = keyed baseline "steps_per_sec" in
+  let b_sps = keyed candidate "steps_per_sec" in
+  let a_serial = keyed baseline "serial_fraction" in
+  let b_serial = keyed candidate "serial_fraction" in
+  let a_mw = keyed baseline "minor_words_per_step" in
+  let b_mw = keyed candidate "minor_words_per_step" in
+  let lat p json = keyed json (Printf.sprintf "lat_p%s" p) in
+  let a_lat = List.map (fun p -> (p, lat p baseline)) [ "50"; "90"; "99"; "999" ] in
+  let b_lat = List.map (fun p -> (p, lat p candidate)) [ "50"; "90"; "99"; "999" ] in
+  let b_buf = Buffer.create 1024 in
+  Printf.bprintf b_buf "%-24s %22s %15s %19s  %s\n" "scenario" "steps/sec"
+    "serial" "minor words/step" "latency p50/p90/p99/p999";
+  let get l name = List.assoc_opt name l in
+  let names =
+    List.map fst a_sps
+    @ List.filter (fun n -> not (List.mem_assoc n a_sps)) (List.map fst b_sps)
+  in
+  List.iter
+    (fun name ->
+      match (get a_sps name, get b_sps name) with
+      | Some _, None -> Printf.bprintf b_buf "%-24s (missing from candidate)\n" name
+      | None, Some _ -> Printf.bprintf b_buf "%-24s (missing from baseline)\n" name
+      | None, None -> ()
+      | Some sa, Some sb ->
+        let delta =
+          if sa > 0.0 then Printf.sprintf "%+.1f%%" (100.0 *. (sb -. sa) /. sa)
+          else "n/a"
+        in
+        let f l = Option.value (get l name) ~default:0.0 in
+        let mwa = f a_mw and mwb = f b_mw in
+        let mw_delta =
+          if mwa > 0.0 then Printf.sprintf "%+.0f%%" (100.0 *. (mwb -. mwa) /. mwa)
+          else "n/a"
+        in
+        let lat_cell =
+          String.concat " "
+            (List.map2
+               (fun (p, la) (_, lb) ->
+                 let va = int_of_float (Option.value (get la name) ~default:0.0) in
+                 let vb = int_of_float (Option.value (get lb name) ~default:0.0) in
+                 if va = vb then Printf.sprintf "p%s=%d" p va
+                 else Printf.sprintf "p%s=%d->%d" p va vb)
+               a_lat b_lat)
+        in
+        Printf.bprintf b_buf "%-24s %8.1f->%8.1f %s %6.3f->%.3f %8.0f->%5.0f %s  %s\n"
+          name sa sb delta (f a_serial) (f b_serial) mwa mwb mw_delta lat_cell)
+    names;
+  Buffer.contents b_buf
+
 let alloc_regressions ~budgets rows =
   List.filter_map
     (fun r ->

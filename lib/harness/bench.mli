@@ -126,6 +126,15 @@ val regressions :
     >20% regressions. Scenarios with a non-positive baseline rate (a
     deterministic baseline) are skipped. *)
 
+val compare_table : baseline:string -> candidate:string -> string
+(** An A/B diff of two {!to_json}-formatted documents, one row per
+    scenario: steps/sec with the relative delta, serial fraction, minor
+    words per step with the relative delta, and the end-to-end latency
+    percentiles (printed as [pN=v] when unchanged, [pN=a->b] when
+    shifted). Scenarios present in only one document are flagged.
+    Raises [Failure] if either document is not a dgr-macro
+    [BENCH.json]. *)
+
 val scenario_alloc_budgets : string -> (string * float) list
 (** [(name, budget_minor_words_per_step)] parsed out of a committed
     allocation-budget document ([BENCH_alloc_budget.json]). Raises

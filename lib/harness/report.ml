@@ -151,6 +151,30 @@ let render ?(deterministic = false) e =
       (Profile.serial_fraction p)
       (Profile.amdahl_speedup p ~domains:2)
       (Profile.amdahl_speedup p ~domains:4)
-      (Profile.amdahl_speedup p ~domains:8)
+      (Profile.amdahl_speedup p ~domains:8);
+    (* The step-barrier bill: what merging the per-PE buffers costs, and
+       where inside the merge the time goes. [flush sharded] is the
+       parallelizable destination-grouping pass; everything else on this
+       line runs serially at the barrier. *)
+    if p.Profile.merge_ns > 0.0 then begin
+      let mshare part =
+        if p.Profile.merge_ns <= 0.0 then 0.0
+        else 100.0 *. part /. p.Profile.merge_ns
+      in
+      Printf.bprintf b "\n-- merge cost (step barrier) --\n";
+      Printf.bprintf b
+        "  merge=%.1f%% of step, %.1fus/step, %.0f minor words/merge\n"
+        (share p.Profile.merge_ns)
+        (p.Profile.merge_ns /. 1e3 /. steps)
+        (p.Profile.merge_mw /. steps);
+      Printf.bprintf b
+        "  within merge: drain=%.1f%% absorb=%.1f%% close=%.1f%% flush \
+         sharded=%.1f%% serial=%.1f%% replay=%.1f%%\n"
+        (mshare p.Profile.drain_ns) (mshare p.Profile.absorb_ns)
+        (mshare p.Profile.close_ns)
+        (mshare p.Profile.pflush_ns)
+        (mshare p.Profile.flush_ns)
+        (mshare p.Profile.replay_ns)
+    end
   end;
   Buffer.contents b

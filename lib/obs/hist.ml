@@ -10,17 +10,35 @@
 
 let buckets = 1024
 
+(* [dirty] lists the indices of the nonzero buckets ([n_dirty] of them,
+   unordered). A histogram used as a per-shard sink is filled with a
+   handful of samples and drained at every step barrier, so [absorb] and
+   [clear] walk the dirty list instead of all 1024 slots — the barrier
+   pays for the buckets actually touched, not the array size. *)
 type t = {
   counts : int array;
+  dirty : int array;
+  mutable n_dirty : int;
   mutable count : int;
   mutable total : int;
   mutable max : int;
 }
 
-let create () = { counts = Array.make buckets 0; count = 0; total = 0; max = 0 }
+let create () =
+  {
+    counts = Array.make buckets 0;
+    dirty = Array.make buckets 0;
+    n_dirty = 0;
+    count = 0;
+    total = 0;
+    max = 0;
+  }
 
 let clear t =
-  Array.fill t.counts 0 buckets 0;
+  for k = 0 to t.n_dirty - 1 do
+    t.counts.(t.dirty.(k)) <- 0
+  done;
+  t.n_dirty <- 0;
   t.count <- 0;
   t.total <- 0;
   t.max <- 0
@@ -45,7 +63,12 @@ let value_of i =
 
 let add t v =
   let v = if v < 0 then 0 else v in
-  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  let i = index_of v in
+  if t.counts.(i) = 0 then begin
+    t.dirty.(t.n_dirty) <- i;
+    t.n_dirty <- t.n_dirty + 1
+  end;
+  t.counts.(i) <- t.counts.(i) + 1;
   t.count <- t.count + 1;
   t.total <- t.total + v;
   if v > t.max then t.max <- v
@@ -72,11 +95,18 @@ let percentile t p =
   end
 
 let absorb ~into src =
-  (* [count = 0] implies every bucket is zero: skip the 2x1024-slot walk.
-     The per-PE latency sinks are empty on most steps (only reduction
-     tasks are ticketed), and the engine absorbs them at every barrier. *)
+  (* O(dirty): only the buckets [src] actually touched are merged and
+     re-zeroed, and [into]'s dirty list absorbs any index it did not
+     already hold. Bucket totals are order-independent sums and the
+     dirty list's order never feeds a percentile walk (those scan by
+     index), so the merge stays associative. *)
   if src.count > 0 then begin
-    for i = 0 to buckets - 1 do
+    for k = 0 to src.n_dirty - 1 do
+      let i = src.dirty.(k) in
+      if into.counts.(i) = 0 then begin
+        into.dirty.(into.n_dirty) <- i;
+        into.n_dirty <- into.n_dirty + 1
+      end;
       into.counts.(i) <- into.counts.(i) + src.counts.(i)
     done;
     into.count <- into.count + src.count;

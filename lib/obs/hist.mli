@@ -31,9 +31,12 @@ val mean : t -> float
     above, and never exceeding [max_value t]. [0] when empty. *)
 val percentile : t -> float -> int
 
-(** [absorb ~into src] adds every bucket of [src] into [into] and
-    clears [src]. Merging is associative: any grouping of shard
-    histograms yields identical totals and percentiles. *)
+(** [absorb ~into src] adds every nonzero bucket of [src] into [into]
+    and clears [src] — O(buckets actually touched), not O(array size):
+    both sides track their dirty bucket set, so per-shard sinks merge
+    and re-zero at the step barrier in time proportional to the step's
+    samples. Merging is associative: any grouping of shard histograms
+    yields identical totals and percentiles. *)
 val absorb : into:t -> t -> unit
 
 (** One-line JSON object: count, mean and p50/p90/p99/p999/max.

@@ -46,6 +46,12 @@ val delivered_of : t -> int -> int
     depth) and recycles the slot. *)
 val close : t -> int -> now:int -> unit
 
+(** [close_many t slots ~len ~now] closes [slots.(0..len-1)] in order —
+    one bulk call per shard at the step barrier, byte-equivalent to
+    [len] successive {!close} calls (same aggregates, same LIFO slot
+    recycling order). *)
+val close_many : t -> int array -> len:int -> now:int -> unit
+
 (** [drop t stamp] retires a ticket whose task was purged in flight,
     without touching lineage aggregates. *)
 val drop : t -> int -> unit

@@ -504,8 +504,10 @@ let purge_parked t pred =
 (* Fold a per-PE reducer's step-local effects into [t] and zero them.
    The sharded engine calls this at the barrier in ascending PE order, so
    the merged parked list and stuck set are independent of which domain
-   ran which PE. *)
-let absorb t src =
+   ran which PE. Gated on the shard having done anything at all — the
+   counters are non-negative, so one summed branch skips the whole fold
+   for a PE that executed no reduction this step. *)
+let absorb_dirty t src =
   t.requests_executed <- t.requests_executed + src.requests_executed;
   src.requests_executed <- 0;
   t.responds_executed <- t.responds_executed + src.responds_executed;
@@ -529,3 +531,12 @@ let absorb t src =
       if not (List.mem_assoc v t.stuck) then t.stuck <- (v, reason) :: t.stuck)
     (List.rev src.stuck);
   src.stuck <- []
+
+let absorb t src =
+  if
+    src.requests_executed + src.responds_executed + src.cancels_executed
+    + src.expansions + src.rewrites + src.stale_dropped + src.alloc_stalls <> 0
+    || src.result <> None
+    || not (Dgr_util.Vec.is_empty src.parked)
+    || src.stuck <> []
+  then absorb_dirty t src

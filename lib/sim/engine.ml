@@ -187,6 +187,8 @@ type t = {
   mutable rc_freed_batch : Vid.Set.t;
       (** vertices RC reclaimed since the last batch purge *)
   mutable ctxs : pe_ctx array;
+  mutable mboxes : Network.Mailbox.mb array;
+      (** [ctxs]' mailboxes in PE order, for the sharded barrier flush *)
   mutable workers : workers option;
   (* Health watchdogs: window-based progress monitors, re-armed on any
      progress and fired at most once per stall episode (resp. window). *)
@@ -444,6 +446,7 @@ let create ?recorder ?(config = Config.default) g templates =
       crash_used = (Config.faults config).Faults.crash > 0.0;
       rc_freed_batch = Vid.Set.empty;
       ctxs = [||];
+      mboxes = [||];
       workers = None;
       wd_mark_last = 0;
       wd_mark_since = 0;
@@ -542,6 +545,7 @@ let create ?recorder ?(config = Config.default) g templates =
         in
         cell := Some ctx;
         ctx);
+  t.mboxes <- Array.map (fun ctx -> ctx.mbox) t.ctxs;
   t.coop_sink <-
     (fun ev ->
       let pe = Domain.DLS.get dls_pe in
@@ -1089,6 +1093,45 @@ let each_home_run t f =
 
 let () = each_home_cell := each_home_run
 
+(* The barrier mailbox flush, destination-sharded (see the
+   [flush_shard_*] trio in {!Network}): grouping tasks into frames is
+   per-destination work, so it runs on the worker pool sharded by the
+   same PE ranges as the execution budgets, and only the globally
+   ordered finalization (uids, tickets, coalesce callbacks, counters)
+   stays serial. At [domains = 1] the same two passes run inline — the
+   code path, and therefore the merged network state, is identical at
+   every domain count. Grouping is also kept inline on hosts without a
+   second core ([Domain.recommended_domain_count]): the shard jobs are
+   data-disjoint either way, so where they run never shows in the
+   bytes, and an oversubscribed host skips a worker-pool round-trip
+   per step. The grouping span counts as parallelizable in the
+   profiler ([pflush_ns]); the finalization as serial. *)
+let flush_on_workers = Domain.recommended_domain_count () > 1
+
+let flush_mailboxes t =
+  let f0 = Profile.now () in
+  if Network.flush_shard_plan t.net t.mboxes then begin
+    let job d =
+      let lo = d * t.num_pes / t.domains and hi = (d + 1) * t.num_pes / t.domains in
+      Network.flush_shard_group t.net t.mboxes ~lo ~hi
+    in
+    if t.domains > 1 && flush_on_workers then run_parallel t job
+    else
+      for d = 0 to t.domains - 1 do
+        job d
+      done;
+    let f1 = Profile.now () in
+    t.prof.Profile.pflush_ns <- t.prof.Profile.pflush_ns +. (f1 -. f0);
+    Network.flush_shard_finalize t.net t.mboxes;
+    t.prof.Profile.flush_ns <- t.prof.Profile.flush_ns +. (Profile.now () -. f1)
+  end
+  else begin
+    (* Staged frames already forming (a send outside the step loop):
+       only the serial flush merges into those correctly. *)
+    Array.iter (fun ctx -> Network.Mailbox.flush ctx.mbox t.net) t.ctxs;
+    t.prof.Profile.flush_ns <- t.prof.Profile.flush_ns +. (Profile.now () -. f0)
+  end
+
 let dispose t =
   match t.workers with
   | None -> ()
@@ -1114,15 +1157,18 @@ let dispose t =
 let merge_buffered t =
   t.current_pe <- -1;
   Mutator.set_defer t.mut None;
+  let m0 = Profile.now () in
   (match t.recorder with
   | None -> ()
   | Some r ->
     Array.iter
       (fun ctx ->
         match ctx.sub with
-        | Some s -> Dgr_obs.Recorder.drain_into ~src:s ~dst:r
+        | Some s -> Dgr_obs.Recorder.absorb_chunks ~src:s ~dst:r
         | None -> ())
       t.ctxs);
+  let m1 = Profile.now () in
+  t.prof.Profile.drain_ns <- t.prof.Profile.drain_ns +. (m1 -. m0);
   Array.iter
     (fun ctx ->
       Reducer.absorb t.red ctx.pred;
@@ -1132,16 +1178,22 @@ let merge_buffered t =
       t.prof.Profile.red_ns <- t.prof.Profile.red_ns +. ctx.cred_ns;
       ctx.cred_ns <- 0.0)
     t.ctxs;
+  let m2 = Profile.now () in
+  t.prof.Profile.absorb_ns <- t.prof.Profile.absorb_ns +. (m2 -. m1);
   (* Close the executed tasks' tickets before flushing the mailboxes: the
      freed slots are recycled by the flush's opens, in ascending PE order
      both times, so slot allocation stays a pure function of the step's
      buffers. *)
   Array.iter
     (fun ctx ->
-      Vec.iter (fun stamp -> Dgr_obs.Lineage.close t.lin stamp ~now:t.now) ctx.cdone;
+      Dgr_obs.Lineage.close_many t.lin (Vec.unsafe_data ctx.cdone)
+        ~len:(Vec.length ctx.cdone) ~now:t.now;
       Vec.clear ctx.cdone)
     t.ctxs;
-  Array.iter (fun ctx -> Network.Mailbox.flush ctx.mbox t.net) t.ctxs;
+  let m3 = Profile.now () in
+  t.prof.Profile.close_ns <- t.prof.Profile.close_ns +. (m3 -. m2);
+  flush_mailboxes t;
+  let m4 = Profile.now () in
   Array.iter
     (fun ctx ->
       if Vec.length ctx.ccoop > 0 then begin
@@ -1155,7 +1207,8 @@ let merge_buffered t =
     (fun ctx ->
       Vec.iter (fun task -> execute_at_controller t task) ctx.ctrl;
       Vec.clear ctx.ctrl)
-    t.ctxs
+    t.ctxs;
+  t.prof.Profile.replay_ns <- t.prof.Profile.replay_ns +. (Profile.now () -. m4)
 
 (* Health watchdogs. Window-based: each monitor re-arms on any progress
    (or while the machine is legitimately paused) and fires at most once

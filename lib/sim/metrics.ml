@@ -98,28 +98,39 @@ let record_pause t steps =
 (* Fold a per-PE metrics sink into [t] and zero it. Only the counters a
    PE can touch while executing its budget are merged — pauses, pool
    depth, completion and the fault/GC counters are recorded serially by
-   the engine and never live in a per-PE sink. *)
+   the engine and never live in a per-PE sink. The whole fold is gated
+   on the sink being dirty at all, so a PE that executed nothing this
+   step costs the barrier one branch (the counters are non-negative, so
+   a zero sum means every one is zero); the histogram absorbs below are
+   themselves O(buckets touched). *)
 let absorb t src =
-  t.reduction_executed <- t.reduction_executed + src.reduction_executed;
-  src.reduction_executed <- 0;
-  t.marking_executed <- t.marking_executed + src.marking_executed;
-  src.marking_executed <- 0;
-  t.stale_marks_dropped <- t.stale_marks_dropped + src.stale_marks_dropped;
-  src.stale_marks_dropped <- 0;
-  t.remote_messages <- t.remote_messages + src.remote_messages;
-  src.remote_messages <- 0;
-  t.local_messages <- t.local_messages + src.local_messages;
-  src.local_messages <- 0;
-  t.tasks_purged <- t.tasks_purged + src.tasks_purged;
-  src.tasks_purged <- 0;
-  t.deadlocks_recovered <- t.deadlocks_recovered + src.deadlocks_recovered;
-  src.deadlocks_recovered <- 0;
-  (* histogram merge is associative and order-independent, so per-PE
-     latency sinks absorb to the same totals at any domain count *)
-  Dgr_obs.Hist.absorb ~into:t.lat_e2e src.lat_e2e;
-  Dgr_obs.Hist.absorb ~into:t.lat_queue src.lat_queue;
-  Dgr_obs.Hist.absorb ~into:t.lat_net src.lat_net;
-  Dgr_obs.Hist.absorb ~into:t.lat_retx src.lat_retx
+  if
+    src.reduction_executed + src.marking_executed + src.stale_marks_dropped
+    + src.remote_messages + src.local_messages + src.tasks_purged
+    + src.deadlocks_recovered <> 0
+    || Dgr_obs.Hist.count src.lat_e2e > 0
+  then begin
+    t.reduction_executed <- t.reduction_executed + src.reduction_executed;
+    src.reduction_executed <- 0;
+    t.marking_executed <- t.marking_executed + src.marking_executed;
+    src.marking_executed <- 0;
+    t.stale_marks_dropped <- t.stale_marks_dropped + src.stale_marks_dropped;
+    src.stale_marks_dropped <- 0;
+    t.remote_messages <- t.remote_messages + src.remote_messages;
+    src.remote_messages <- 0;
+    t.local_messages <- t.local_messages + src.local_messages;
+    src.local_messages <- 0;
+    t.tasks_purged <- t.tasks_purged + src.tasks_purged;
+    src.tasks_purged <- 0;
+    t.deadlocks_recovered <- t.deadlocks_recovered + src.deadlocks_recovered;
+    src.deadlocks_recovered <- 0;
+    (* histogram merge is associative and order-independent, so per-PE
+       latency sinks absorb to the same totals at any domain count *)
+    Dgr_obs.Hist.absorb ~into:t.lat_e2e src.lat_e2e;
+    Dgr_obs.Hist.absorb ~into:t.lat_queue src.lat_queue;
+    Dgr_obs.Hist.absorb ~into:t.lat_net src.lat_net;
+    Dgr_obs.Hist.absorb ~into:t.lat_retx src.lat_retx
+  end
 
 (* Machine-readable run metrics. All scalar counters plus fixed summary
    statistics for the sampled series; field order is fixed and floats are

@@ -105,10 +105,25 @@ type t = {
   faults : Faults.t option;
   batching : bool;  (* false: one task per frame, no coalescing *)
   staged : batch Vec.t;  (* batches forming since the last flush *)
-  free_batches : batch Vec.t;
-      (* delivered frames awaiting reuse (idealized channel only: under
-         faults a frame outlives delivery in [pending] until its
-         cumulative ack lands, so those are never recycled) *)
+  (* Delivered frames awaiting reuse, segregated by destination
+     (idealized channel only: under faults a frame outlives delivery in
+     [pending] until its cumulative ack lands, so those are never
+     recycled). Per-destination pools exist for the sharded barrier
+     flush: each destination shard recycles frames for its own PEs
+     without sharing a free list across domains. *)
+  mutable sf_free : batch Vec.t array;
+  (* Destination-sharded flush plan (see [flush_shard_plan] and
+     friends): forming proto-batches and a last-batch cache per
+     destination — written by at most one shard each — plus a flat
+     per-entry verdict, indexed by [sf_offs.(src) + i] for mailbox
+     entry [i] of PE [src]. [sf_dummy] is the "no batch" sentinel, so
+     the hot paths never box an option. *)
+  sf_dummy : batch;
+  mutable sf_batches : batch Vec.t array;  (* forming frames, by dst *)
+  mutable sf_last : batch array;  (* per-dst last-batch cache *)
+  mutable sf_offs : int array;  (* per-src entry offset into the plan *)
+  mutable sf_vbatch : batch array;  (* per-entry: target proto-batch *)
+  mutable sf_vidx : int array;  (* per-entry: slot in batch; -1 = coalesced *)
   snd : (int * int, snd_link) Hashtbl.t;  (* (src, dst) -> sender state *)
   rcv : (int * int, rcv_link) Hashtbl.t;  (* (src, dst) -> receiver state *)
   pending : (int * int * int, pending) Hashtbl.t;  (* unacked sends *)
@@ -136,7 +151,21 @@ type t = {
   mutable marks_coalesced : int;  (* mark tasks absorbed before transmit *)
 }
 
+let dummy_batch () =
+  {
+    b_src = min_int;
+    b_dst = min_int;
+    b_arrival = min_int;
+    b_delay = 0;
+    b_uid = -1;
+    b_tasks = Vec.create ();
+    b_stamps = Vec.create ();
+    b_marks = None;
+    b_pack = false;
+  }
+
 let create ?recorder ?lineage ?faults ?(batch = true) () =
+  let sf_dummy = dummy_batch () in
   {
     q = Pqueue.create ();
     fq = Pqueue.create ();
@@ -146,7 +175,13 @@ let create ?recorder ?lineage ?faults ?(batch = true) () =
     faults;
     batching = batch;
     staged = Vec.create ();
-    free_batches = Vec.create ();
+    sf_free = [||];
+    sf_dummy;
+    sf_batches = [||];
+    sf_last = [||];
+    sf_offs = [||];
+    sf_vbatch = [||];
+    sf_vidx = [||];
     snd = Hashtbl.create 16;
     rcv = Hashtbl.create 16;
     pending = Hashtbl.create 64;
@@ -427,40 +462,42 @@ let index_mark b m =
       b.b_marks <- Some tbl
     end
 
+(* The free pool for frames bound for [dst], grown on demand (serial
+   contexts only; the sharded grouping pass never resizes, it relies on
+   [flush_shard_plan] having sized the array first). *)
+let free_list_for t dst =
+  let n = Array.length t.sf_free in
+  if dst >= n then begin
+    let a = Array.init (dst + 1) (fun i -> if i < n then t.sf_free.(i) else Vec.create ()) in
+    t.sf_free <- a
+  end;
+  t.sf_free.(dst)
+
+(* Pop a recycled frame from [fl], or allocate one. The caller fills the
+   scalar header; vectors keep their storage and a retained (emptied)
+   [b_marks] index answers membership exactly like a fresh scan over the
+   empty batch. *)
+let batch_for fl =
+  let n_free = Vec.length fl in
+  if n_free > 0 then begin
+    let b = Vec.get fl (n_free - 1) in
+    Vec.truncate fl (n_free - 1);
+    b
+  end
+  else dummy_batch ()
+
 let send ?(src = -1) ?(lin = -1) ?(depth = 0) t ~arrival ~pe task =
   let b =
     match if t.batching then find_staged t ~src ~dst:pe ~arrival else None with
     | Some b -> b
     | None ->
-      let n_free = Vec.length t.free_batches in
-      let b =
-        if n_free > 0 then begin
-          (* reuse a delivered frame: vectors keep their storage, and a
-             retained (emptied) [b_marks] index answers membership
-             exactly like a fresh scan over the empty batch *)
-          let b = Vec.get t.free_batches (n_free - 1) in
-          Vec.truncate t.free_batches (n_free - 1);
-          b.b_src <- src;
-          b.b_dst <- pe;
-          b.b_arrival <- arrival;
-          b.b_delay <- Int.max 1 (arrival - t.clock);
-          b.b_uid <- t.next_uid;
-          b.b_pack <- false;
-          b
-        end
-        else
-          {
-            b_src = src;
-            b_dst = pe;
-            b_arrival = arrival;
-            b_delay = Int.max 1 (arrival - t.clock);
-            b_uid = t.next_uid;
-            b_tasks = Vec.create ();
-            b_stamps = Vec.create ();
-            b_marks = None;
-            b_pack = false;
-          }
-      in
+      let b = batch_for (free_list_for t pe) in
+      b.b_src <- src;
+      b.b_dst <- pe;
+      b.b_arrival <- arrival;
+      b.b_delay <- Int.max 1 (arrival - t.clock);
+      b.b_uid <- t.next_uid;
+      b.b_pack <- false;
       t.next_uid <- t.next_uid + 1;
       Vec.push t.staged b;
       b
@@ -538,21 +575,23 @@ let deliver_batch t b ~now ~push =
     push b.b_dst stamp task
   done
 
-(* Return a delivered frame to the free list. Only the idealized channel
-   may call this: after its pop the batch is referenced nowhere (staged
-   was flushed, [last_batch] was reset by that flush), whereas the fault
-   path keeps frames in [pending] until cumulatively acked. The mark
-   index is emptied but kept allocated — [mark_staged] on an empty table
-   is exactly the empty-batch scan. The free list is capped so a burst
-   does not pin its high-water mark of vectors forever. *)
-let free_batches_cap = 64
+(* Return a delivered frame to its destination's free pool. Only the
+   idealized channel may call this: after its pop the batch is
+   referenced nowhere (staged was flushed, [last_batch] was reset by
+   that flush), whereas the fault path keeps frames in [pending] until
+   cumulatively acked. The mark index is emptied but kept allocated —
+   [mark_staged] on an empty table is exactly the empty-batch scan. Each
+   pool is capped so a burst does not pin its high-water mark of vectors
+   forever. *)
+let free_batches_cap = 32
 
 let recycle_batch t b =
-  if Vec.length t.free_batches < free_batches_cap then begin
+  let fl = free_list_for t b.b_dst in
+  if Vec.length fl < free_batches_cap then begin
     Vec.clear b.b_tasks;
     Vec.clear b.b_stamps;
     (match b.b_marks with Some tbl -> Hashtbl.reset tbl | None -> ());
-    Vec.push t.free_batches b
+    Vec.push fl b
   end
 
 (* Standalone credits drain in arrival order (FIFO among equals) in both
@@ -904,3 +943,195 @@ module Mailbox = struct
 
   type t = mb
 end
+
+(* ---- Destination-sharded mailbox flush --------------------------------
+   The barrier flush split in two, so the grouping half can run on the
+   worker pool.
+
+   Everything [send] computes per mailbox entry falls into two classes:
+
+   - {e per-destination} state: which (src, arrival) frame the task
+     joins, whether an identical mark is already staged there (the
+     coalescing test), the frame's mark index and task/stamp vectors.
+     Frames are keyed by destination, so this state is disjoint across
+     destinations — [flush_shard_group] partitions the destination space
+     and lets each shard group its own PEs' inbound entries in parallel.
+     Each shard scans every mailbox in ascending src order and takes
+     post order within one, so the entries of one destination are
+     visited in exactly the order the serial flush would visit them
+     (the global order is src-major; restricting a src-major order to
+     one destination preserves it), making each shard's grouping a pure
+     function of the mailboxes. Coalescing is decidable in this pass
+     because a secondary send fired by [on_coalesce] carries src = -1
+     and can never join a mailbox entry's (src >= 0) frame.
+
+   - {e globally ordered} state: frame uids and their [staged] order,
+     lineage ticket slots, the [on_coalesce] callbacks (whose synthetic
+     Returns draw the controller's jitter stream), and the send
+     counters. [flush_shard_finalize] replays the verdicts in the
+     serial flush's exact global order and performs only this part, so
+     uids, ticket slots, rng draws, events and counters are
+     byte-identical to the serial flush — at every domain count, the
+     sharded flush and [Mailbox.flush] over the same mailboxes leave
+     the network in the same state. *)
+
+(* Size the plan for [mbs] and publish the per-src offsets. Returns
+   [false] when the staged area is not empty — then a forming frame
+   could already match a mailbox entry's key, only the serial flush
+   handles that (the engine's barrier always runs on an empty staged
+   area; external callers get the fallback). *)
+let flush_shard_plan t (mbs : Mailbox.mb array) =
+  if Vec.length t.staged > 0 then false
+  else begin
+    let n = Array.length mbs in
+    ignore (free_list_for t (n - 1));
+    if Array.length t.sf_batches < n then begin
+      let old_b = t.sf_batches and old_l = t.sf_last in
+      let nb = Array.length old_b in
+      t.sf_batches <-
+        Array.init n (fun i -> if i < nb then old_b.(i) else Vec.create ());
+      t.sf_last <- Array.init n (fun i -> if i < nb then old_l.(i) else t.sf_dummy)
+    end;
+    if Array.length t.sf_offs < n + 1 then t.sf_offs <- Array.make (n + 1) 0;
+    let total = ref 0 in
+    for src = 0 to n - 1 do
+      t.sf_offs.(src) <- !total;
+      total := !total + Mailbox.length mbs.(src)
+    done;
+    t.sf_offs.(n) <- !total;
+    if Array.length t.sf_vidx < !total then begin
+      let cap = Stdlib.max 64 (2 * !total) in
+      t.sf_vidx <- Array.make cap 0;
+      t.sf_vbatch <- Array.make cap t.sf_dummy
+    end;
+    true
+  end
+
+(* The forming frame for (src, arrival) bound for [dst], or [sf_dummy].
+   Same lookup as [find_staged] restricted to one destination: the
+   last-batch cache first, then a backward scan — the dummy's negative
+   header fields can never match a real (src >= 0) key. *)
+let sf_find t ~dst ~src ~arrival =
+  let last = t.sf_last.(dst) in
+  if last.b_src = src && last.b_arrival = arrival then last
+  else begin
+    let bs = t.sf_batches.(dst) in
+    let rec scan i =
+      if i < 0 then t.sf_dummy
+      else
+        let b = Vec.get bs i in
+        if b.b_src = src && b.b_arrival = arrival then b else scan (i - 1)
+    in
+    scan (Vec.length bs - 1)
+  end
+
+(* Group the mailbox entries bound for destinations [lo, hi) into
+   proto-frames, and record each entry's verdict: the (frame, slot) it
+   joined, or coalesced. Touches only per-destination state of its own
+   range, so shards over disjoint ranges run concurrently; run over the
+   full range it is the serial grouping. Frame uids, [staged], tickets
+   and counters are untouched — that is [flush_shard_finalize]'s. *)
+let flush_shard_group t (mbs : Mailbox.mb array) ~lo ~hi =
+  for src = 0 to Array.length mbs - 1 do
+    let mb = mbs.(src) in
+    let data = Vec.unsafe_data mb in
+    let base = t.sf_offs.(src) in
+    for i = 0 to Mailbox.length mb - 1 do
+      let e = data.(i) in
+      let dst = e.Mailbox.e_pe in
+      if dst >= lo && dst < hi then begin
+        let arrival = e.Mailbox.e_arrival in
+        let b =
+          if not t.batching then t.sf_dummy else sf_find t ~dst ~src ~arrival
+        in
+        let b =
+          if b != t.sf_dummy then b
+          else begin
+            let b = batch_for t.sf_free.(dst) in
+            b.b_src <- src;
+            b.b_dst <- dst;
+            b.b_arrival <- arrival;
+            b.b_delay <- Int.max 1 (arrival - t.clock);
+            b.b_uid <- -1;  (* staged (and numbered) at finalize *)
+            b.b_pack <- false;
+            Vec.push t.sf_batches.(dst) b;
+            if t.batching then t.sf_last.(dst) <- b;
+            b
+          end
+        in
+        match e.Mailbox.e_task with
+        | Task.Marking m
+          when (match m with Task.Return _ -> false | _ -> t.batching)
+               && mark_staged b m ->
+          t.sf_vidx.(base + i) <- -1
+        | task ->
+          (match task with
+          | Task.Marking (Task.Return _) | Task.Reduction _ -> ()
+          | Task.Marking m -> if t.batching then index_mark b m);
+          t.sf_vbatch.(base + i) <- b;
+          t.sf_vidx.(base + i) <- Vec.length b.b_tasks;
+          Vec.push b.b_tasks task;
+          Vec.push b.b_stamps (-1)
+      end
+    done
+  done
+
+(* Replay the verdicts in the serial flush's global order (ascending
+   src, post order within a mailbox): number and stage each frame at its
+   first kept entry — a frame's first entry is always kept (there is
+   nothing in a fresh frame to coalesce against), so staging order
+   equals the serial flush's creation order — open lineage tickets in
+   slot-allocation order, fire [on_coalesce] (whose synthetic sends
+   stage and draw jitter exactly where the serial flush would), and
+   settle the counters. Clears the mailboxes and the plan. *)
+let flush_shard_finalize t (mbs : Mailbox.mb array) =
+  let n = Array.length mbs in
+  for src = 0 to n - 1 do
+    let mb = mbs.(src) in
+    let data = Vec.unsafe_data mb in
+    let base = t.sf_offs.(src) in
+    for i = 0 to Mailbox.length mb - 1 do
+      let e = data.(i) in
+      if t.sf_vidx.(base + i) < 0 then begin
+        t.marks_coalesced <- t.marks_coalesced + 1;
+        (match t.recorder with
+        | None -> ()
+        | Some r ->
+          Dgr_obs.Recorder.emit r
+            (Dgr_obs.Event.Coalesce
+               {
+                 pe = e.Mailbox.e_pe;
+                 vid =
+                   (match Task.exec_vertex e.Mailbox.e_task with
+                   | Some v -> v
+                   | None -> -1);
+               }));
+        match e.Mailbox.e_task with
+        | Task.Marking m -> t.on_coalesce ~pe:e.Mailbox.e_pe m
+        | Task.Reduction _ -> assert false (* only marks coalesce *)
+      end
+      else begin
+        let idx = t.sf_vidx.(base + i) in
+        let b = t.sf_vbatch.(base + i) in
+        t.sf_vbatch.(base + i) <- t.sf_dummy;
+        if b.b_uid < 0 then begin
+          b.b_uid <- t.next_uid;
+          t.next_uid <- t.next_uid + 1;
+          Vec.push t.staged b
+        end;
+        (match (t.lineage, e.Mailbox.e_task) with
+        | Some l, Task.Reduction _ ->
+          Vec.set b.b_stamps idx
+            (Dgr_obs.Lineage.open_ticket l ~lin:e.Mailbox.e_lin
+               ~depth:e.Mailbox.e_depth ~sent:t.clock ~arrival:e.Mailbox.e_arrival)
+        | _ -> ());
+        t.undelivered <- t.undelivered + 1;
+        t.tasks_sent <- t.tasks_sent + 1
+      end
+    done;
+    Vec.clear mb
+  done;
+  for dst = 0 to n - 1 do
+    Vec.clear t.sf_batches.(dst);
+    t.sf_last.(dst) <- t.sf_dummy
+  done

@@ -223,3 +223,33 @@ module Mailbox : sig
 
   type t = mb
 end
+
+(** {2 Destination-sharded flush}
+
+    The barrier mailbox flush split into a parallelizable grouping pass
+    and a serial finalization, together byte-equivalent to flushing
+    every mailbox through {!Mailbox.flush} in ascending PE order.
+    Frames are keyed by destination, so grouping tasks into frames and
+    deciding mark coalescing touch per-destination state only: shards
+    over disjoint destination ranges may run {!flush_shard_group}
+    concurrently. Everything globally ordered — frame uids and staging
+    order, lineage ticket slots, [on_coalesce] callbacks and their rng
+    draws, counters, events — happens in {!flush_shard_finalize}, which
+    replays the per-entry verdicts in the serial flush's exact order. *)
+
+val flush_shard_plan : t -> Mailbox.mb array -> bool
+(** Size the plan for one barrier ([mbs.(src)] is PE [src]'s mailbox)
+    and publish per-src offsets. Serial. Returns [false] if the staged
+    area is non-empty — a forming frame could match a mailbox entry's
+    key, so the caller must fall back to {!Mailbox.flush}. *)
+
+val flush_shard_group : t -> Mailbox.mb array -> lo:int -> hi:int -> unit
+(** Group entries bound for destinations [lo, hi) into forming frames
+    and record per-entry verdicts. Safe to run concurrently with other
+    disjoint ranges after {!flush_shard_plan}; deterministic per range
+    (ascending src, post order within a mailbox). *)
+
+val flush_shard_finalize : t -> Mailbox.mb array -> unit
+(** Stage the grouped frames and settle tickets, coalesce callbacks and
+    counters, in the serial flush's global order; clears the mailboxes
+    and the plan. Serial, after every {!flush_shard_group} returned. *)

@@ -40,6 +40,17 @@ type t = {
   mutable execute_ns : float;  (* parallel(izable) buffered execution span *)
   mutable sexec_ns : float;  (* serial-only execution span (faults/RC/cycle) *)
   mutable merge_ns : float;
+  (* Inside merge, where the barrier's time goes — the attack surface of
+     the pay-as-you-go merge. [pflush_ns] is the destination-sharded
+     grouping pass: per-destination state is disjoint, so that span runs
+     on the worker pool and counts as parallelizable alongside execute
+     and restructure. *)
+  mutable drain_ns : float;  (* inside merge: sub-recorder event drain *)
+  mutable absorb_ns : float;  (* inside merge: metrics/reducer absorption *)
+  mutable close_ns : float;  (* inside merge: batched lineage closes *)
+  mutable pflush_ns : float;  (* inside merge: sharded flush grouping (parallelizable) *)
+  mutable flush_ns : float;  (* inside merge: serial flush finalization *)
+  mutable replay_ns : float;  (* inside merge: coop + controller replay *)
   mutable gc_ns : float;
   mutable book_ns : float;
   mutable restr_ns : float;  (* inside gc: restructure's sharded home passes *)
@@ -62,6 +73,12 @@ let create () =
     execute_ns = 0.0;
     sexec_ns = 0.0;
     merge_ns = 0.0;
+    drain_ns = 0.0;
+    absorb_ns = 0.0;
+    close_ns = 0.0;
+    pflush_ns = 0.0;
+    flush_ns = 0.0;
+    replay_ns = 0.0;
     gc_ns = 0.0;
     book_ns = 0.0;
     restr_ns = 0.0;
@@ -82,7 +99,9 @@ let words () = Gc.minor_words ()
 
 let serial_fraction t =
   if t.total_ns <= 0.0 then 0.0
-  else Float.max 0.0 ((t.total_ns -. t.execute_ns -. t.restr_ns) /. t.total_ns)
+  else
+    Float.max 0.0
+      ((t.total_ns -. t.execute_ns -. t.restr_ns -. t.pflush_ns) /. t.total_ns)
 
 (* Amdahl: the best speedup [domains] workers can extract when only the
    execution span parallelizes. *)
@@ -96,9 +115,11 @@ let per_step t part = if t.steps <= 0 then 0.0 else part /. float_of_int t.steps
 
 let to_json t =
   Printf.sprintf
-    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"gc\":%.4f,\"bookkeeping\":%.4f,\"restructure\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f,\"mw_per_step\":{\"transport\":%.1f,\"execute\":%.1f,\"execute_serial\":%.1f,\"merge\":%.1f,\"gc\":%.1f,\"bookkeeping\":%.1f}}"
+    "{\"steps\":%d,\"total_ms\":%.3f,\"transport\":%.4f,\"execute\":%.4f,\"execute_serial\":%.4f,\"merge\":%.4f,\"merge_breakdown\":{\"drain\":%.4f,\"absorb\":%.4f,\"close\":%.4f,\"flush_sharded\":%.4f,\"flush_serial\":%.4f,\"replay\":%.4f},\"gc\":%.4f,\"bookkeeping\":%.4f,\"restructure\":%.4f,\"marking\":%.4f,\"reduction\":%.4f,\"serial_fraction\":%.4f,\"mw_per_step\":{\"transport\":%.1f,\"execute\":%.1f,\"execute_serial\":%.1f,\"merge\":%.1f,\"gc\":%.1f,\"bookkeeping\":%.1f}}"
     t.steps (t.total_ns /. 1e6) (share t t.transport_ns) (share t t.execute_ns)
-    (share t t.sexec_ns) (share t t.merge_ns) (share t t.gc_ns) (share t t.book_ns)
+    (share t t.sexec_ns) (share t t.merge_ns) (share t t.drain_ns)
+    (share t t.absorb_ns) (share t t.close_ns) (share t t.pflush_ns)
+    (share t t.flush_ns) (share t t.replay_ns) (share t t.gc_ns) (share t t.book_ns)
     (share t t.restr_ns) (share t t.mark_ns) (share t t.red_ns) (serial_fraction t)
     (per_step t t.transport_mw) (per_step t t.execute_mw) (per_step t t.sexec_mw)
     (per_step t t.merge_mw) (per_step t t.gc_mw) (per_step t t.book_mw)

@@ -3,11 +3,15 @@
 
     The engine brackets each step into transport / execution / barrier
     merge / GC control / bookkeeping phases, and the execution budget
-    loops split their span into marking vs reduction work. The sharded
-    engine runs two spans in parallel — execution and restructure's
-    per-home passes — so the measured Amdahl serial fraction is
-    [(total - execute - restructure) / total], the direct yardstick for
-    ROADMAP item 1's "shrink the serial controller".
+    loops split their span into marking vs reduction work. The merge
+    span is further split into its barrier stages (event drain, metric
+    absorption, lineage closes, mailbox flush, deferred replay). The
+    sharded engine runs three spans in parallel — execution,
+    restructure's per-home passes, and the destination-sharded half of
+    the mailbox flush — so the measured Amdahl serial fraction is
+    [(total - execute - restructure - sharded_flush) / total], the
+    direct yardstick for ROADMAP item 1's "shrink the serial
+    controller".
 
     The same brackets also accumulate [Gc.minor_words] deltas, so the
     bench's [minor_words_per_step] budget can be attributed to a phase
@@ -26,6 +30,12 @@ type t = {
   mutable execute_ns : float;
   mutable sexec_ns : float;
   mutable merge_ns : float;
+  mutable drain_ns : float;
+  mutable absorb_ns : float;
+  mutable close_ns : float;
+  mutable pflush_ns : float;
+  mutable flush_ns : float;
+  mutable replay_ns : float;
   mutable gc_ns : float;
   mutable book_ns : float;
   mutable restr_ns : float;
@@ -51,8 +61,8 @@ val now : unit -> float
 val words : unit -> float
 
 (** Fraction of total step time spent outside the parallelizable spans
-    (execution and sharded restructure), in [0, 1]; [0.0] before any
-    step ran. *)
+    (execution, sharded restructure, and the sharded flush-grouping
+    pass), in [0, 1]; [0.0] before any step ran. *)
 val serial_fraction : t -> float
 
 (** Best-case speedup at [domains] workers under Amdahl's law with the

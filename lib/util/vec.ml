@@ -95,3 +95,5 @@ let swap_remove v i =
   v.len <- v.len - 1;
   v.data.(i) <- v.data.(v.len);
   x
+
+let unsafe_data v = v.data

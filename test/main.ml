@@ -25,5 +25,6 @@ let () =
       ("recovery", T_reduction.recovery_suite);
       ("properties", T_properties.suite);
       ("theorems", T_theorems.suite);
+      ("merge", T_merge.suite);
       ("bench", T_bench.suite);
     ]
